@@ -1,0 +1,76 @@
+// Extra ablation (design choice called out in DESIGN.md): the two factors of
+// the fitness score (Eq. 2). f^s is the graph-attention component, f^c the
+// sigmoid dot-product "linearity" component; the paper multiplies them.
+// This bench measures node classification with each factor alone.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace adamgnn::bench {
+namespace {
+
+double RunMode(const data::NodeDataset& d, core::FitnessMode mode,
+               const BenchSettings& settings) {
+  double sum = 0;
+  for (int s = 0; s < settings.seeds; ++s) {
+    util::Rng rng(1600 + static_cast<uint64_t>(s));
+    data::IndexSplit split =
+        data::SplitIndices(d.graph.num_nodes(), 0.8, 0.1, &rng).ValueOrDie();
+    core::AdamGnnConfig c;
+    c.in_dim = d.graph.feature_dim();
+    c.hidden_dim = settings.hidden_dim;
+    c.num_classes = static_cast<size_t>(d.graph.num_classes());
+    c.num_levels = 3;
+    c.fitness_mode = mode;
+    core::AdamGnnNodeModel model(c, &rng);
+    sum += train::TrainNodeClassifier(
+               &model, d.graph, split,
+               settings.TrainerConfig(static_cast<uint64_t>(s) + 1))
+               .ValueOrDie()
+               .test_accuracy;
+  }
+  return 100.0 * sum / settings.seeds;
+}
+
+int Run() {
+  BenchSettings settings = BenchSettings::FromEnv();
+  std::printf(
+      "Ablation — fitness-score composition (Eq. 2), node classification "
+      "accuracy (%%), scale=%.2f seeds=%d\n\n",
+      settings.node_scale, settings.seeds);
+
+  const data::NodeDatasetId ids[] = {data::NodeDatasetId::kAcm,
+                                     data::NodeDatasetId::kCora};
+  std::vector<data::NodeDataset> datasets;
+  std::vector<std::string> headers;
+  for (auto id : ids) {
+    datasets.push_back(
+        data::MakeNodeDataset(id, 2024, settings.node_scale).ValueOrDie());
+    headers.push_back(datasets.back().name);
+  }
+  PrintRow("Fitness variant", headers, 22);
+
+  struct Row {
+    const char* name;
+    core::FitnessMode mode;
+  };
+  const Row rows[] = {
+      {"f_s x f_c (paper)", core::FitnessMode::kBoth},
+      {"f_s only (attention)", core::FitnessMode::kAttentionOnly},
+      {"f_c only (sigmoid dot)", core::FitnessMode::kSigmoidOnly},
+  };
+  for (const Row& row : rows) {
+    std::vector<std::string> cells;
+    for (const auto& d : datasets) {
+      cells.push_back(util::FormatFloat(RunMode(d, row.mode, settings), 2));
+    }
+    PrintRow(row.name, cells, 22);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace adamgnn::bench
+
+int main() { return adamgnn::bench::Run(); }

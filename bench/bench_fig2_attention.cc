@@ -1,0 +1,104 @@
+// Reproduces Figure 2: the flyback attention weights β_k, averaged per node
+// class and granularity level, on the ACM and DBLP node-classification
+// tasks. The paper's qualitative claim: different classes draw on different
+// granularity levels (an ASCII heat map replaces the paper's color plot).
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace adamgnn::bench {
+namespace {
+
+void RunDataset(data::NodeDatasetId id, const BenchSettings& settings) {
+  data::NodeDataset d =
+      data::MakeNodeDataset(id, 2024, settings.node_scale).ValueOrDie();
+  util::Rng rng(1300);
+  data::IndexSplit split =
+      data::SplitIndices(d.graph.num_nodes(), 0.8, 0.1, &rng).ValueOrDie();
+
+  core::AdamGnnConfig c;
+  c.in_dim = d.graph.feature_dim();
+  c.hidden_dim = settings.hidden_dim;
+  c.num_classes = static_cast<size_t>(d.graph.num_classes());
+  c.num_levels = 4;
+  core::AdamGnnNodeModel model(c, &rng);
+  train::TrainNodeClassifier(&model, d.graph, split,
+                             settings.TrainerConfig(1))
+      .ValueOrDie();
+
+  // Re-run a clean forward to capture attention, then average per class.
+  util::Rng frng(1);
+  model.Forward(d.graph, /*training=*/false, &frng);
+  const tensor::Matrix& att = model.last_attention();
+  const size_t num_levels = att.cols();
+  const int num_classes = d.graph.num_classes();
+
+  tensor::Matrix class_mean(static_cast<size_t>(num_classes), num_levels);
+  std::vector<size_t> counts(static_cast<size_t>(num_classes), 0);
+  for (size_t v = 0; v < d.graph.num_nodes(); ++v) {
+    const auto cls = static_cast<size_t>(d.graph.labels()[v]);
+    ++counts[cls];
+    for (size_t k = 0; k < num_levels; ++k) {
+      class_mean(cls, k) += att(v, k);
+    }
+  }
+  std::printf("%s — mean flyback attention per class and level:\n",
+              d.name.c_str());
+  std::printf("%-8s", "class");
+  for (size_t k = 0; k < num_levels; ++k) {
+    std::printf("  level-%zu", k + 1);
+  }
+  std::printf("\n");
+  for (int cls = 0; cls < num_classes; ++cls) {
+    std::printf("%-8d", cls);
+    for (size_t k = 0; k < num_levels; ++k) {
+      const double mean = counts[static_cast<size_t>(cls)] > 0
+                              ? class_mean(static_cast<size_t>(cls), k) /
+                                    static_cast<double>(
+                                        counts[static_cast<size_t>(cls)])
+                              : 0.0;
+      std::printf("  %7.3f", mean);
+    }
+    std::printf("\n");
+  }
+  // ASCII shading: darker = heavier attention (the paper's heat map).
+  const char* shades = " .:-=+*#%@";
+  std::printf("heat map (dark = high):\n");
+  for (int cls = 0; cls < num_classes; ++cls) {
+    std::printf("  class %d  |", cls);
+    for (size_t k = 0; k < num_levels; ++k) {
+      const double mean = counts[static_cast<size_t>(cls)] > 0
+                              ? class_mean(static_cast<size_t>(cls), k) /
+                                    static_cast<double>(
+                                        counts[static_cast<size_t>(cls)])
+                              : 0.0;
+      const int shade =
+          std::min(9, static_cast<int>(mean * 10.0 / (1.0 / num_levels)
+                                       * 0.9));
+      std::printf("%c", shades[std::max(0, shade)]);
+    }
+    std::printf("|\n");
+  }
+  std::printf("\n");
+}
+
+int Run() {
+  BenchSettings settings = BenchSettings::FromEnv();
+  std::printf(
+      "Figure 2 — flyback attention by class and level (ACM and DBLP), "
+      "scale=%.2f\n\n",
+      settings.node_scale);
+  RunDataset(data::NodeDatasetId::kAcm, settings);
+  RunDataset(data::NodeDatasetId::kDblp, settings);
+  std::printf(
+      "Paper's qualitative observation: general topics spread attention "
+      "evenly across levels; specialised topics concentrate on one level, "
+      "and the preferred level differs across datasets.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace adamgnn::bench
+
+int main() { return adamgnn::bench::Run(); }

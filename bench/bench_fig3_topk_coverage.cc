@@ -1,0 +1,97 @@
+// Reproduces Figure 3 (Appendix A.1): the fraction of nodes covered by
+// Top-k pooling as the ratio k varies — the motivation for AdamGNN's
+// adaptive selection. For each ratio we run the Top-k hierarchy over a
+// sample of graphs and report surviving-node fractions; AdamGNN's adaptive
+// coverage (nodes inside pooled ego-networks) is printed for contrast.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "graph/builder.h"
+
+namespace adamgnn::bench {
+namespace {
+
+int Run() {
+  BenchSettings settings = BenchSettings::FromEnv();
+  std::printf(
+      "Figure 3 — node coverage of Top-k pooling vs. the ratio k "
+      "(graph_scale=%.3f)\n\n",
+      settings.graph_scale);
+
+  data::GraphDataset dataset =
+      data::MakeGraphDataset(data::GraphDatasetId::kNci1, 2024,
+                             settings.graph_scale)
+          .ValueOrDie();
+  std::vector<const graph::Graph*> sample;
+  for (size_t i = 0; i < std::min<size_t>(dataset.graphs.size(), 32); ++i) {
+    sample.push_back(&dataset.graphs[i]);
+  }
+  graph::GraphBatch batch = graph::MakeBatch(sample).ValueOrDie();
+
+  std::printf("%-8s %24s\n", "ratio", "covered after 1 level");
+  for (double ratio : {0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9}) {
+    util::Rng rng(1400);
+    pool::TopKGraphConfig c;
+    c.in_dim = dataset.feature_dim;
+    c.hidden_dim = settings.hidden_dim;
+    c.num_classes = dataset.num_classes;
+    c.ratio = ratio;
+    c.num_levels = 1;
+    pool::TopKGraphModel model(c, &rng);
+    util::Rng frng(1);
+    model.Forward(batch, /*training=*/false, &frng);
+    double mean = 0;
+    for (double cov : model.last_coverage()) mean += cov;
+    mean /= static_cast<double>(model.last_coverage().size());
+    std::printf("%-8.1f %24s\n", ratio, util::FormatFloat(mean, 3).c_str());
+  }
+
+  // AdamGNN's adaptive selection: coverage = nodes inside selected
+  // ego-networks (information retained, not dropped) at level 1.
+  {
+    util::Rng rng(1500);
+    core::AdamGnnConfig c;
+    c.in_dim = dataset.feature_dim;
+    c.hidden_dim = settings.hidden_dim;
+    c.num_levels = 1;
+    core::AdamGnnGraphModel model(c, dataset.num_classes, &rng);
+    util::Rng frng(2);
+    model.Forward(batch, /*training=*/false, &frng);
+    // Statistics via a direct node-level forward on the merged graph.
+    core::AdamGnnConfig cn = c;
+    cn.num_classes = 2;
+    util::Rng rng2(1501);
+    core::AdamGnnNodeModel node_model(cn, &rng2);
+    graph::GraphBuilder builder(batch.merged.num_nodes());
+    for (const auto& e : batch.merged.UndirectedEdges()) {
+      builder.AddEdge(e.src, e.dst, e.weight).CheckOK();
+    }
+    builder.SetFeatures(batch.merged.features()).CheckOK();
+    std::vector<int> labels(batch.merged.num_nodes(), 0);
+    builder.SetLabels(labels).CheckOK();
+    graph::Graph merged = std::move(builder).Build().ValueOrDie();
+    util::Rng frng2(3);
+    node_model.Forward(merged, /*training=*/false, &frng2);
+    if (!node_model.last_levels().empty()) {
+      const core::LevelInfo& info = node_model.last_levels()[0];
+      std::printf(
+          "\nAdamGNN adaptive selection at level 1: %zu/%zu nodes inside "
+          "pooled ego-networks (%.3f coverage) — no ratio hyper-parameter, "
+          "uncovered nodes are retained rather than dropped.\n",
+          info.num_covered, info.num_prev_nodes,
+          static_cast<double>(info.num_covered) /
+              static_cast<double>(info.num_prev_nodes));
+    }
+  }
+  std::printf(
+      "\nPaper's point: with Top-k, coverage is dictated by the chosen k; "
+      "small k silently discards most node features, and the 'right' k "
+      "varies per dataset. AdamGNN removes the knob.\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace adamgnn::bench
+
+int main() { return adamgnn::bench::Run(); }

@@ -1,0 +1,109 @@
+// Micro-benchmarks (google-benchmark) for the kernels on AdamGNN's critical
+// path: dense GEMM, sparse SpMM, segment softmax, λ-hop ego-network
+// enumeration, and one full adaptive-pooling step.
+
+#include <benchmark/benchmark.h>
+
+#include "autograd/ops.h"
+#include "autograd/segment_ops.h"
+#include "autograd/sparse_ops.h"
+#include "core/assignment.h"
+#include "core/ego_selection.h"
+#include "core/fitness.h"
+#include "data/node_datasets.h"
+#include "tensor/kernels.h"
+#include "util/random.h"
+
+namespace adamgnn {
+namespace {
+
+void BM_DenseMatMul(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  util::Rng rng(1);
+  tensor::Matrix a = tensor::Matrix::Gaussian(n, n, 1.0, &rng);
+  tensor::Matrix b = tensor::Matrix::Gaussian(n, n, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tensor::MatMul(a, b));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(n * n * n));
+}
+BENCHMARK(BM_DenseMatMul)->Arg(64)->Arg(128)->Arg(256);
+
+graph::SparseMatrix RandomSparse(size_t n, size_t nnz_per_row,
+                                 util::Rng* rng) {
+  std::vector<graph::Triplet> t;
+  for (size_t r = 0; r < n; ++r) {
+    for (size_t k = 0; k < nnz_per_row; ++k) {
+      t.push_back({r, rng->NextUint64(n), rng->NextDouble() + 0.1});
+    }
+  }
+  return graph::SparseMatrix::FromTriplets(n, n, std::move(t));
+}
+
+void BM_SpMM(benchmark::State& state) {
+  const auto n = static_cast<size_t>(state.range(0));
+  util::Rng rng(2);
+  graph::SparseMatrix s = RandomSparse(n, 8, &rng);
+  tensor::Matrix x = tensor::Matrix::Gaussian(n, 64, 1.0, &rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(s.MultiplyDense(x));
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(s.nnz() * 64));
+}
+BENCHMARK(BM_SpMM)->Arg(1000)->Arg(4000);
+
+void BM_SegmentSoftmax(benchmark::State& state) {
+  const auto m = static_cast<size_t>(state.range(0));
+  util::Rng rng(3);
+  autograd::Variable scores = autograd::Variable::Constant(
+      tensor::Matrix::Gaussian(m, 1, 1.0, &rng));
+  const size_t num_segments = m / 8 + 1;
+  std::vector<size_t> seg(m);
+  for (auto& s : seg) s = rng.NextUint64(num_segments);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        autograd::SegmentSoftmax(scores, seg, num_segments));
+  }
+}
+BENCHMARK(BM_SegmentSoftmax)->Arg(10000)->Arg(50000);
+
+void BM_EgoNetworkEnumeration(benchmark::State& state) {
+  data::NodeDataset d =
+      data::MakeNodeDataset(data::NodeDatasetId::kCora, 1, 0.25)
+          .ValueOrDie();
+  auto adj = core::AdjacencyLists(d.graph);
+  const int lambda = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::EgoPairs::Build(adj, lambda));
+  }
+}
+BENCHMARK(BM_EgoNetworkEnumeration)->Arg(1)->Arg(2);
+
+void BM_AdaptivePoolingStep(benchmark::State& state) {
+  // One full AGP step: score -> select -> assemble S -> coarsen adjacency.
+  data::NodeDataset d =
+      data::MakeNodeDataset(data::NodeDatasetId::kCora, 1, 0.25)
+          .ValueOrDie();
+  auto adj_lists = core::AdjacencyLists(d.graph);
+  core::EgoPairs pairs = core::EgoPairs::Build(adj_lists, 1);
+  util::Rng rng(4);
+  core::FitnessScorer scorer(32, &rng);
+  autograd::Variable h = autograd::Variable::Constant(
+      tensor::Matrix::Gaussian(d.graph.num_nodes(), 32, 1.0, &rng));
+  graph::SparseMatrix prev = graph::SparseMatrix::Adjacency(d.graph);
+  for (auto _ : state) {
+    core::FitnessScorer::Scores scores = scorer.Score(pairs, h);
+    core::Selection sel = core::SelectEgoNetworks(scores.ego_phi.value(),
+                                                  adj_lists, pairs);
+    core::Assignment asg = core::BuildAssignment(pairs, sel, scores);
+    benchmark::DoNotOptimize(core::NextAdjacency(prev, asg));
+  }
+}
+BENCHMARK(BM_AdaptivePoolingStep);
+
+}  // namespace
+}  // namespace adamgnn
+
+BENCHMARK_MAIN();

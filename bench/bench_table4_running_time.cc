@@ -1,0 +1,62 @@
+// Reproduces Table 4: average one-epoch training time (seconds) of the
+// pooling-based graph classifiers on NCI1, NCI109 and PROTEINS. Absolute
+// values depend on hardware; the claim under test is the *ordering* — the
+// dense methods (DIFFPOOL, STRUCTPOOL) cost the most, SAGPOOL the least,
+// with TOPKPOOL and AdamGNN in between.
+
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace adamgnn::bench {
+namespace {
+
+const char* kModels[] = {"DIFFPOOL", "SAGPOOL", "TOPKPOOL", "STRUCTPOOL",
+                         "AdamGNN"};
+// Paper Table 4 (seconds/epoch on the authors' V100 machine).
+const double kPaper[][3] = {{6.23, 3.22, 3.65},
+                            {1.95, 1.55, 0.45},
+                            {4.58, 4.45, 1.46},
+                            {6.31, 6.04, 1.34},
+                            {3.62, 3.24, 1.03}};
+
+int Run() {
+  BenchSettings settings = BenchSettings::FromEnv();
+  // A couple of epochs suffice for a stable per-epoch mean.
+  settings.max_epochs = EnvInt("ADAMGNN_BENCH_EPOCHS", 3);
+  settings.seeds = 1;
+  std::printf(
+      "Table 4 — average one-epoch training time (s), graph_scale=%.3f "
+      "(CPU; compare orderings, not absolutes)\n\n",
+      settings.graph_scale);
+
+  const data::GraphDatasetId ids[] = {data::GraphDatasetId::kNci1,
+                                      data::GraphDatasetId::kNci109,
+                                      data::GraphDatasetId::kProteins};
+  std::vector<data::GraphDataset> datasets;
+  std::vector<std::string> headers;
+  for (data::GraphDatasetId id : ids) {
+    datasets.push_back(
+        data::MakeGraphDataset(id, 2024, settings.graph_scale).ValueOrDie());
+    headers.push_back(datasets.back().name);
+  }
+  PrintRow("Models", headers);
+
+  for (size_t mi = 0; mi < std::size(kModels); ++mi) {
+    std::vector<std::string> measured, paper;
+    for (const auto& dataset : datasets) {
+      double epoch_seconds = 0.0;
+      MeanGraphAccuracy(kModels[mi], dataset, settings, &epoch_seconds);
+      measured.push_back(util::FormatFloat(epoch_seconds, 3));
+    }
+    PrintRow(kModels[mi], measured);
+    for (double v : kPaper[mi]) paper.push_back(util::FormatFloat(v, 2));
+    PrintRow("  (paper)", paper);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace adamgnn::bench
+
+int main() { return adamgnn::bench::Run(); }

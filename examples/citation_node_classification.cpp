@@ -1,0 +1,71 @@
+// Node classification on a citation-style network (the paper's Table 2
+// setting): trains GCN and AdamGNN on a synthetic Cora analogue with the
+// 80/10/10 protocol and reports held-out accuracy side by side.
+//
+//   ./build/examples/citation_node_classification [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/adapters.h"
+#include "data/node_datasets.h"
+#include "data/splits.h"
+#include "pool/flat_models.h"
+#include "train/node_trainer.h"
+#include "util/random.h"
+
+using namespace adamgnn;  // example code
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.15;
+  data::NodeDataset dataset =
+      data::MakeNodeDataset(data::NodeDatasetId::kCora, /*seed=*/7, scale)
+          .ValueOrDie();
+  std::printf("dataset %s: %s\n", dataset.name.c_str(),
+              dataset.graph.DebugString().c_str());
+
+  util::Rng rng(7);
+  data::IndexSplit split =
+      data::SplitIndices(dataset.graph.num_nodes(), 0.8, 0.1, &rng)
+          .ValueOrDie();
+
+  train::TrainConfig tc;
+  tc.max_epochs = 120;
+  tc.patience = 25;
+  tc.learning_rate = 0.01;
+  tc.seed = 7;
+
+  // Flat GCN baseline.
+  pool::FlatGnnConfig gcn_cfg;
+  gcn_cfg.kind = pool::FlatGnnKind::kGcn;
+  gcn_cfg.in_dim = dataset.graph.feature_dim();
+  gcn_cfg.hidden_dim = 32;
+  gcn_cfg.num_classes = static_cast<size_t>(dataset.graph.num_classes());
+  pool::FlatNodeModel gcn(gcn_cfg, &rng);
+  train::NodeTaskResult gcn_result =
+      train::TrainNodeClassifier(&gcn, dataset.graph, split, tc).ValueOrDie();
+
+  // AdamGNN with 3 granularity levels.
+  core::AdamGnnConfig adam_cfg;
+  adam_cfg.in_dim = dataset.graph.feature_dim();
+  adam_cfg.hidden_dim = 32;
+  adam_cfg.num_classes = static_cast<size_t>(dataset.graph.num_classes());
+  adam_cfg.num_levels = 3;
+  core::AdamGnnNodeModel adam(adam_cfg, &rng);
+  train::NodeTaskResult adam_result =
+      train::TrainNodeClassifier(&adam, dataset.graph, split, tc).ValueOrDie();
+
+  std::printf("\n%-10s %8s %8s %10s\n", "model", "val", "test", "epochs");
+  std::printf("%-10s %8.4f %8.4f %10d\n", "GCN", gcn_result.val_accuracy,
+              gcn_result.test_accuracy, gcn_result.epochs_run);
+  std::printf("%-10s %8.4f %8.4f %10d\n", "AdamGNN", adam_result.val_accuracy,
+              adam_result.test_accuracy, adam_result.epochs_run);
+
+  std::printf("\nAdamGNN pooling levels on the final forward:\n");
+  for (size_t k = 0; k < adam.last_levels().size(); ++k) {
+    const core::LevelInfo& info = adam.last_levels()[k];
+    std::printf("  level %zu: %zu -> %zu hyper-nodes\n", k + 1,
+                info.num_prev_nodes, info.num_hyper_nodes);
+  }
+  return 0;
+}

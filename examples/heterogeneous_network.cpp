@@ -1,0 +1,74 @@
+// Heterogeneous AdamGNN — the paper's future-work direction, implemented in
+// core/hetero.h. An academic network mixes authors and papers whose features
+// live in different regions of the raw space; a homogeneous AdamGNN must
+// reconcile them with a single encoder, while the hetero variant learns one
+// projection per node type.
+//
+//   ./build/examples/heterogeneous_network [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/adapters.h"
+#include "core/hetero.h"
+#include "data/hetero.h"
+#include "data/splits.h"
+#include "train/node_trainer.h"
+#include "util/random.h"
+
+using namespace adamgnn;  // example code
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.3;
+  data::HeteroDataset dataset =
+      data::MakeHeteroAcademicDataset(/*seed=*/31, scale).ValueOrDie();
+  size_t authors = 0;
+  for (int t : dataset.node_types) authors += t == 0 ? 1 : 0;
+  std::printf("dataset %s: %s (%zu authors, %zu papers)\n",
+              dataset.name.c_str(), dataset.graph.DebugString().c_str(),
+              authors, dataset.graph.num_nodes() - authors);
+
+  util::Rng rng(31);
+  data::IndexSplit split =
+      data::SplitIndices(dataset.graph.num_nodes(), 0.8, 0.1, &rng)
+          .ValueOrDie();
+  train::TrainConfig tc;
+  tc.max_epochs = 80;
+  tc.patience = 25;
+  tc.learning_rate = 0.01;
+  tc.seed = 31;
+
+  const auto num_classes =
+      static_cast<size_t>(dataset.graph.num_classes());
+
+  // Homogeneous AdamGNN: one encoder for all node types.
+  core::AdamGnnConfig homo_cfg;
+  homo_cfg.in_dim = dataset.graph.feature_dim();
+  homo_cfg.hidden_dim = 32;
+  homo_cfg.num_classes = num_classes;
+  homo_cfg.num_levels = 2;
+  core::AdamGnnNodeModel homo(homo_cfg, &rng);
+  train::NodeTaskResult homo_result =
+      train::TrainNodeClassifier(&homo, dataset.graph, split, tc)
+          .ValueOrDie();
+
+  // Heterogeneous AdamGNN: per-type projections in front.
+  core::HeteroAdamGnnConfig hetero_cfg;
+  hetero_cfg.raw_dim = dataset.graph.feature_dim();
+  hetero_cfg.projected_dim = 32;
+  hetero_cfg.num_types = dataset.num_types;
+  hetero_cfg.base.hidden_dim = 32;
+  hetero_cfg.base.num_classes = num_classes;
+  hetero_cfg.base.num_levels = 2;
+  core::HeteroAdamGnnNodeModel hetero(hetero_cfg, dataset.node_types, &rng);
+  train::NodeTaskResult hetero_result =
+      train::TrainNodeClassifier(&hetero, dataset.graph, split, tc)
+          .ValueOrDie();
+
+  std::printf("\n%-22s %8s %8s\n", "model", "val", "test");
+  std::printf("%-22s %8.4f %8.4f\n", "AdamGNN (homogeneous)",
+              homo_result.val_accuracy, homo_result.test_accuracy);
+  std::printf("%-22s %8.4f %8.4f\n", "HeteroAdamGNN",
+              hetero_result.val_accuracy, hetero_result.test_accuracy);
+  return 0;
+}

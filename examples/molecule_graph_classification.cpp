@@ -1,0 +1,77 @@
+// Graph classification on a molecule-style dataset (the paper's Table 1
+// setting): trains GIN, SAGPool and AdamGNN on a synthetic MUTAG analogue
+// and reports test accuracy for each.
+//
+//   ./build/examples/molecule_graph_classification [graph_scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/adapters.h"
+#include "data/graph_datasets.h"
+#include "data/splits.h"
+#include "pool/flat_models.h"
+#include "pool/sag_pool.h"
+#include "train/graph_trainer.h"
+#include "util/random.h"
+
+using namespace adamgnn;  // example code
+
+int main(int argc, char** argv) {
+  const double graph_scale = argc > 1 ? std::atof(argv[1]) : 0.6;
+  data::GraphDataset dataset =
+      data::MakeGraphDataset(data::GraphDatasetId::kMutag, /*seed=*/11,
+                             graph_scale)
+          .ValueOrDie();
+  std::printf("dataset %s: %zu graphs, %zu node types\n",
+              dataset.name.c_str(), dataset.graphs.size(),
+              dataset.feature_dim);
+
+  util::Rng rng(11);
+  data::IndexSplit split =
+      data::SplitIndices(dataset.graphs.size(), 0.8, 0.1, &rng).ValueOrDie();
+
+  train::TrainConfig tc;
+  tc.max_epochs = 25;
+  tc.patience = 10;
+  tc.learning_rate = 0.01;
+  tc.seed = 11;
+  const size_t batch_size = 16;
+
+  std::printf("\n%-10s %8s %8s %14s\n", "model", "val", "test", "s/epoch");
+
+  {
+    pool::FlatGnnConfig c;
+    c.kind = pool::FlatGnnKind::kGin;
+    c.in_dim = dataset.feature_dim;
+    c.hidden_dim = 32;
+    pool::FlatGraphModel gin(c, dataset.num_classes, &rng);
+    train::GraphTaskResult r =
+        train::TrainGraphClassifier(&gin, dataset, split, tc, batch_size)
+            .ValueOrDie();
+    std::printf("%-10s %8.4f %8.4f %14.3f\n", "GIN", r.val_accuracy,
+                r.test_accuracy, r.avg_epoch_seconds);
+  }
+  {
+    auto sag = pool::MakeSagPoolModel(dataset.feature_dim, 32,
+                                      dataset.num_classes, 0.5, &rng);
+    train::GraphTaskResult r =
+        train::TrainGraphClassifier(sag.get(), dataset, split, tc, batch_size)
+            .ValueOrDie();
+    std::printf("%-10s %8.4f %8.4f %14.3f\n", "SAGPool", r.val_accuracy,
+                r.test_accuracy, r.avg_epoch_seconds);
+  }
+  {
+    core::AdamGnnConfig c;
+    c.in_dim = dataset.feature_dim;
+    c.hidden_dim = 32;
+    c.num_levels = 2;
+    core::AdamGnnGraphModel adam(c, dataset.num_classes, &rng);
+    train::GraphTaskResult r =
+        train::TrainGraphClassifier(&adam, dataset, split, tc, batch_size)
+            .ValueOrDie();
+    std::printf("%-10s %8.4f %8.4f %14.3f\n", "AdamGNN", r.val_accuracy,
+                r.test_accuracy, r.avg_epoch_seconds);
+  }
+  return 0;
+}

@@ -1,0 +1,94 @@
+// Node clustering — the third node-level task the paper's introduction
+// motivates. Trains AdamGNN embeddings *without labels* (reconstruction +
+// self-optimisation losses only), clusters them with k-means, scores NMI and
+// purity against the hidden classes, prints per-node explanations for a few
+// nodes, and round-trips the trained model through a checkpoint.
+//
+//   ./build/examples/node_clustering [scale]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "autograd/ops.h"
+#include "core/adamgnn_model.h"
+#include "core/explain.h"
+#include "core/losses.h"
+#include "data/node_datasets.h"
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "train/clustering.h"
+#include "util/random.h"
+
+using namespace adamgnn;  // example code
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 0.15;
+  data::NodeDataset dataset =
+      data::MakeNodeDataset(data::NodeDatasetId::kAcm, /*seed=*/21, scale)
+          .ValueOrDie();
+  const graph::Graph& g = dataset.graph;
+  std::printf("dataset %s: %s\n", dataset.name.c_str(),
+              g.DebugString().c_str());
+
+  core::AdamGnnConfig config;
+  config.in_dim = g.feature_dim();
+  config.hidden_dim = 32;
+  config.num_levels = 3;
+  util::Rng rng(21);
+  core::AdamGnn model(config, &rng);
+  nn::Adam optimizer(model.Parameters(), 0.01);
+
+  // Unsupervised training: L = L_R + γ·L_KL (no task labels touched).
+  for (int epoch = 0; epoch < 60; ++epoch) {
+    core::AdamGnn::Output out = model.Forward(g, /*training=*/true, &rng);
+    autograd::Variable loss =
+        core::ReconstructionLoss(out.embeddings, g, &rng);
+    if (!out.level1_egos.empty()) {
+      loss = autograd::Add(
+          loss, autograd::Scale(core::KlSelfOptimisationLoss(
+                                    out.embeddings, out.level1_egos),
+                                0.1));
+    }
+    autograd::Backward(loss);
+    optimizer.Step();
+    if (epoch % 20 == 0) {
+      std::printf("epoch %2d  unsupervised loss %.4f\n", epoch,
+                  loss.value()(0, 0));
+    }
+  }
+
+  // Cluster the learned embeddings.
+  core::AdamGnn::Output out = model.Forward(g, /*training=*/false, &rng);
+  train::KMeansResult clusters =
+      train::KMeans(out.embeddings.value(), g.num_classes(), &rng)
+          .ValueOrDie();
+  const double nmi = train::NormalizedMutualInformation(
+      clusters.assignments, g.labels());
+  const double purity =
+      train::ClusterPurity(clusters.assignments, g.labels());
+  std::printf("\nk-means over AdamGNN embeddings (k = %d):\n",
+              g.num_classes());
+  std::printf("  NMI    %.4f\n  purity %.4f\n", nmi, purity);
+
+  // Explanations: which granularity level informed each node.
+  std::printf("\nsample explanations:\n");
+  auto explanations = core::ExplainNodes(out);
+  for (size_t v = 0; v < 5 && v < explanations.size(); ++v) {
+    std::printf("  %s\n", core::FormatExplanation(explanations[v]).c_str());
+  }
+
+  // Checkpoint round trip.
+  const std::string ckpt = "/tmp/adamgnn_clustering.ckpt";
+  nn::SaveParameters(model.Parameters(), ckpt).CheckOK();
+  util::Rng rng2(99);
+  core::AdamGnn restored(config, &rng2);
+  auto params = restored.Parameters();
+  nn::LoadParameters(ckpt, &params).CheckOK();
+  core::AdamGnn::Output again = restored.Forward(g, false, &rng2);
+  std::printf("\ncheckpoint round trip: embeddings identical = %s\n",
+              tensor::AllClose(out.embeddings.value(),
+                               again.embeddings.value(), 1e-12)
+                  ? "yes"
+                  : "no");
+  return 0;
+}

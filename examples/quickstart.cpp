@@ -1,0 +1,92 @@
+// Quickstart: build a small graph, run AdamGNN, inspect the multi-grained
+// structure it discovers, and train it for a few epochs on node labels.
+//
+//   ./build/examples/quickstart
+
+#include <cstdio>
+
+#include "autograd/loss_ops.h"
+#include "autograd/ops.h"
+#include "core/adamgnn_model.h"
+#include "graph/builder.h"
+#include "nn/optimizer.h"
+#include "train/metrics.h"
+#include "util/random.h"
+
+using namespace adamgnn;  // example code; library code never does this
+
+int main() {
+  // 1. Build an attributed graph: two communities of 8 nodes bridged by one
+  //    edge, with community-correlated features.
+  const size_t n = 16;
+  graph::GraphBuilder builder(n);
+  util::Rng rng(42);
+  for (size_t c = 0; c < 2; ++c) {
+    const size_t base = c * 8;
+    for (size_t i = 0; i < 8; ++i) {
+      for (size_t j = i + 1; j < 8; ++j) {
+        if (rng.NextBernoulli(0.5)) {
+          builder
+              .AddEdge(static_cast<graph::NodeId>(base + i),
+                       static_cast<graph::NodeId>(base + j))
+              .CheckOK();
+        }
+      }
+    }
+  }
+  builder.AddEdge(0, 8).CheckOK();  // bridge
+
+  tensor::Matrix features(n, 8);
+  std::vector<int> labels(n);
+  for (size_t v = 0; v < n; ++v) {
+    labels[v] = v < 8 ? 0 : 1;
+    for (size_t j = 0; j < 8; ++j) {
+      features(v, j) = 0.5 * rng.NextGaussian() + (labels[v] == 0 ? 1.0 : -1.0);
+    }
+  }
+  builder.SetFeatures(std::move(features)).CheckOK();
+  builder.SetLabels(labels).CheckOK();
+  graph::Graph g = std::move(builder).Build().ValueOrDie();
+  std::printf("graph: %s\n", g.DebugString().c_str());
+
+  // 2. Configure AdamGNN: 2 granularity levels, 16-dim hidden space.
+  core::AdamGnnConfig config;
+  config.in_dim = g.feature_dim();
+  config.hidden_dim = 16;
+  config.num_classes = 2;
+  config.num_levels = 2;
+  core::AdamGnn model(config, &rng);
+  std::printf("model parameters: %zu tensors\n", model.Parameters().size());
+
+  // 3. Train full-batch for 30 epochs.
+  nn::Adam optimizer(model.Parameters(), 0.02);
+  std::vector<size_t> all_rows(n);
+  for (size_t i = 0; i < n; ++i) all_rows[i] = i;
+  for (int epoch = 0; epoch < 30; ++epoch) {
+    core::AdamGnn::Output out = model.Forward(g, /*training=*/true, &rng);
+    autograd::Variable loss =
+        autograd::SoftmaxCrossEntropy(out.logits, g.labels(), all_rows);
+    if (out.aux_loss.defined()) loss = autograd::Add(loss, out.aux_loss);
+    autograd::Backward(loss);
+    optimizer.Step();
+    if (epoch % 10 == 0) {
+      std::printf("epoch %2d  loss %.4f\n", epoch, loss.value()(0, 0));
+    }
+  }
+
+  // 4. Inspect what the adaptive pooling discovered.
+  core::AdamGnn::Output out = model.Forward(g, /*training=*/false, &rng);
+  std::printf("\nmulti-grained structure:\n");
+  for (size_t k = 0; k < out.levels.size(); ++k) {
+    const core::LevelInfo& info = out.levels[k];
+    std::printf(
+        "  level %zu: %zu nodes -> %zu hyper-nodes (%zu ego-networks, "
+        "%zu retained)\n",
+        k + 1, info.num_prev_nodes, info.num_hyper_nodes,
+        info.num_selected_egos, info.num_retained);
+  }
+  const double acc =
+      train::Accuracy(out.logits.value(), g.labels(), all_rows);
+  std::printf("\ntraining accuracy: %.2f\n", acc);
+  return 0;
+}

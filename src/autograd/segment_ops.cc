@@ -1,0 +1,136 @@
+#include "autograd/segment_ops.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "autograd/ops.h"
+#include "tensor/kernels.h"
+#include "util/logging.h"
+
+namespace adamgnn::autograd {
+
+using internal::AccumulateGrad;
+using internal::NewOpNode;
+using internal::Node;
+using tensor::Matrix;
+
+Variable SegmentSum(const Variable& x, std::vector<size_t> segments,
+                    size_t num_segments) {
+  ADAMGNN_CHECK_EQ(segments.size(), x.rows());
+  auto px = x.node();
+  Matrix out = tensor::SegmentSum(x.value(), segments, num_segments);
+  return Variable::FromNode(NewOpNode(
+      std::move(out), {px}, [px, seg = std::move(segments)](Node& self) {
+        Matrix d(px->value.rows(), px->value.cols());
+        for (size_t i = 0; i < seg.size(); ++i) {
+          const double* g = self.grad.row(seg[i]);
+          std::copy(g, g + d.cols(), d.row(i));
+        }
+        AccumulateGrad(px.get(), d);
+      }));
+}
+
+Variable SegmentMean(const Variable& x, std::vector<size_t> segments,
+                     size_t num_segments) {
+  ADAMGNN_CHECK_EQ(segments.size(), x.rows());
+  auto px = x.node();
+  std::vector<double> inv_counts(num_segments, 0.0);
+  for (size_t s : segments) {
+    ADAMGNN_CHECK_LT(s, num_segments);
+    inv_counts[s] += 1.0;
+  }
+  for (double& c : inv_counts) {
+    if (c > 0.0) c = 1.0 / c;
+  }
+  Matrix out = tensor::SegmentMean(x.value(), segments, num_segments);
+  return Variable::FromNode(
+      NewOpNode(std::move(out), {px},
+                [px, seg = std::move(segments), inv_counts](Node& self) {
+                  Matrix d(px->value.rows(), px->value.cols());
+                  for (size_t i = 0; i < seg.size(); ++i) {
+                    const double w = inv_counts[seg[i]];
+                    const double* g = self.grad.row(seg[i]);
+                    double* dr = d.row(i);
+                    for (size_t j = 0; j < d.cols(); ++j) dr[j] = w * g[j];
+                  }
+                  AccumulateGrad(px.get(), d);
+                }));
+}
+
+Variable SegmentMax(const Variable& x, std::vector<size_t> segments,
+                    size_t num_segments) {
+  ADAMGNN_CHECK_EQ(segments.size(), x.rows());
+  auto px = x.node();
+  const size_t d = x.cols();
+  Matrix out(num_segments, d);
+  // argmax[s * d + j] = input row that owns the max of column j in segment s.
+  std::vector<int64_t> argmax(num_segments * d, -1);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const size_t s = segments[i];
+    ADAMGNN_CHECK_LT(s, num_segments);
+    const double* xr = x.value().row(i);
+    for (size_t j = 0; j < d; ++j) {
+      int64_t& am = argmax[s * d + j];
+      if (am < 0 || xr[j] > out(s, j)) {
+        out(s, j) = xr[j];
+        am = static_cast<int64_t>(i);
+      }
+    }
+  }
+  return Variable::FromNode(NewOpNode(
+      std::move(out), {px},
+      [px, argmax = std::move(argmax), d](Node& self) {
+        Matrix dx(px->value.rows(), d);
+        for (size_t s = 0; s < self.grad.rows(); ++s) {
+          const double* g = self.grad.row(s);
+          for (size_t j = 0; j < d; ++j) {
+            const int64_t am = argmax[s * d + j];
+            if (am >= 0) dx(static_cast<size_t>(am), j) += g[j];
+          }
+        }
+        AccumulateGrad(px.get(), dx);
+      }));
+}
+
+Variable SegmentSoftmax(const Variable& scores, std::vector<size_t> segments,
+                        size_t num_segments) {
+  ADAMGNN_CHECK_EQ(scores.cols(), 1u);
+  ADAMGNN_CHECK_EQ(segments.size(), scores.rows());
+  auto ps = scores.node();
+
+  const size_t m = scores.rows();
+  std::vector<double> seg_max(num_segments,
+                              -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < m; ++i) {
+    ADAMGNN_CHECK_LT(segments[i], num_segments);
+    seg_max[segments[i]] =
+        std::max(seg_max[segments[i]], scores.value()(i, 0));
+  }
+  std::vector<double> seg_z(num_segments, 0.0);
+  Matrix out(m, 1);
+  for (size_t i = 0; i < m; ++i) {
+    out(i, 0) = std::exp(scores.value()(i, 0) - seg_max[segments[i]]);
+    seg_z[segments[i]] += out(i, 0);
+  }
+  for (size_t i = 0; i < m; ++i) out(i, 0) /= seg_z[segments[i]];
+
+  return Variable::FromNode(NewOpNode(
+      std::move(out), {ps},
+      [ps, seg = std::move(segments), num_segments](Node& self) {
+        // ds_i = p_i (g_i - Σ_{j in seg} p_j g_j)
+        std::vector<double> seg_dot(num_segments, 0.0);
+        const size_t m2 = self.value.rows();
+        for (size_t i = 0; i < m2; ++i) {
+          seg_dot[seg[i]] += self.grad(i, 0) * self.value(i, 0);
+        }
+        Matrix d(m2, 1);
+        for (size_t i = 0; i < m2; ++i) {
+          d(i, 0) = self.value(i, 0) * (self.grad(i, 0) - seg_dot[seg[i]]);
+        }
+        AccumulateGrad(ps.get(), d);
+      }));
+}
+
+}  // namespace adamgnn::autograd

@@ -1,0 +1,38 @@
+// Differentiable segment (scatter/gather) reductions — the message-passing
+// primitives. Segments identify, e.g., the destination node of each edge
+// message, the ego-network of each member, or the source graph of each node
+// in a batch (readout).
+
+#ifndef ADAMGNN_AUTOGRAD_SEGMENT_OPS_H_
+#define ADAMGNN_AUTOGRAD_SEGMENT_OPS_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace adamgnn::autograd {
+
+/// out.row(s) = Σ_{i : seg[i]==s} x.row(i). out has num_segments rows.
+Variable SegmentSum(const Variable& x, std::vector<size_t> segments,
+                    size_t num_segments);
+
+/// Per-segment mean; empty segments produce zero rows.
+Variable SegmentMean(const Variable& x, std::vector<size_t> segments,
+                     size_t num_segments);
+
+/// Per-segment, per-column max; gradient flows to the arg-max element.
+/// Empty segments produce zero rows (and receive no gradient).
+Variable SegmentMax(const Variable& x, std::vector<size_t> segments,
+                    size_t num_segments);
+
+/// Softmax of scores (m x 1) *within* each segment:
+///   out_i = exp(s_i - max_seg) / Σ_{j in seg(i)} exp(s_j - max_seg).
+/// This is the attention normalizer of GAT, of AdamGNN's fitness component
+/// f^s_φ (Eq. 2), of the hyper-node attention α (Eq. 3), and of the flyback
+/// attention β (Eq. 4).
+Variable SegmentSoftmax(const Variable& scores, std::vector<size_t> segments,
+                        size_t num_segments);
+
+}  // namespace adamgnn::autograd
+
+#endif  // ADAMGNN_AUTOGRAD_SEGMENT_OPS_H_

@@ -1,0 +1,92 @@
+#include "autograd/sparse_ops.h"
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+
+namespace adamgnn::autograd {
+
+using internal::AccumulateGrad;
+using internal::NewOpNode;
+using internal::Node;
+using tensor::Matrix;
+
+graph::SparseMatrix SparsePattern::WithValues(
+    const std::vector<double>& values) const {
+  ADAMGNN_CHECK_EQ(values.size(), nnz());
+  std::vector<graph::Triplet> t;
+  t.reserve(nnz());
+  for (size_t k = 0; k < nnz(); ++k) {
+    t.push_back({row_indices[k], col_indices[k], values[k]});
+  }
+  return graph::SparseMatrix::FromTriplets(rows, cols, std::move(t));
+}
+
+Variable SpMM(std::shared_ptr<const graph::SparseMatrix> s,
+              const Variable& x) {
+  ADAMGNN_CHECK(s != nullptr);
+  ADAMGNN_CHECK_EQ(s->cols(), x.rows());
+  auto px = x.node();
+  return Variable::FromNode(
+      NewOpNode(s->MultiplyDense(x.value()), {px}, [s, px](Node& self) {
+        AccumulateGrad(px.get(), s->TransposeMultiplyDense(self.grad));
+      }));
+}
+
+Variable SpMMTranspose(std::shared_ptr<const graph::SparseMatrix> s,
+                       const Variable& x) {
+  ADAMGNN_CHECK(s != nullptr);
+  ADAMGNN_CHECK_EQ(s->rows(), x.rows());
+  auto px = x.node();
+  return Variable::FromNode(NewOpNode(s->TransposeMultiplyDense(x.value()),
+                                      {px}, [s, px](Node& self) {
+                                        AccumulateGrad(
+                                            px.get(),
+                                            s->MultiplyDense(self.grad));
+                                      }));
+}
+
+Variable SpMMValues(std::shared_ptr<const SparsePattern> pattern,
+                    const Variable& values, const Variable& x) {
+  ADAMGNN_CHECK(pattern != nullptr);
+  ADAMGNN_CHECK_EQ(values.rows(), pattern->nnz());
+  ADAMGNN_CHECK_EQ(values.cols(), 1u);
+  ADAMGNN_CHECK_EQ(pattern->cols, x.rows());
+  auto pv = values.node();
+  auto px = x.node();
+
+  Matrix out(pattern->rows, x.cols());
+  for (size_t k = 0; k < pattern->nnz(); ++k) {
+    const double v = values.value()(k, 0);
+    const double* xr = x.value().row(pattern->col_indices[k]);
+    double* orow = out.row(pattern->row_indices[k]);
+    for (size_t j = 0; j < x.cols(); ++j) orow[j] += v * xr[j];
+  }
+
+  return Variable::FromNode(NewOpNode(
+      std::move(out), {pv, px}, [pattern, pv, px](Node& self) {
+        const size_t d = px->value.cols();
+        if (pv->requires_grad) {
+          Matrix dvals(pattern->nnz(), 1);
+          for (size_t k = 0; k < pattern->nnz(); ++k) {
+            const double* g = self.grad.row(pattern->row_indices[k]);
+            const double* xr = px->value.row(pattern->col_indices[k]);
+            double s = 0.0;
+            for (size_t j = 0; j < d; ++j) s += g[j] * xr[j];
+            dvals(k, 0) = s;
+          }
+          AccumulateGrad(pv.get(), dvals);
+        }
+        if (px->requires_grad) {
+          Matrix dx(px->value.rows(), d);
+          for (size_t k = 0; k < pattern->nnz(); ++k) {
+            const double v = pv->value(k, 0);
+            const double* g = self.grad.row(pattern->row_indices[k]);
+            double* dr = dx.row(pattern->col_indices[k]);
+            for (size_t j = 0; j < d; ++j) dr[j] += v * g[j];
+          }
+          AccumulateGrad(px.get(), dx);
+        }
+      }));
+}
+
+}  // namespace adamgnn::autograd

@@ -1,0 +1,48 @@
+// Differentiable sparse products. Two flavors:
+//  - SpMM with a *constant* sparse operator (GCN propagation with Â).
+//  - SpMM where the sparse *values* are themselves a Variable (AdamGNN's
+//    assignment matrices S_k, whose entries are learned fitness scores).
+
+#ifndef ADAMGNN_AUTOGRAD_SPARSE_OPS_H_
+#define ADAMGNN_AUTOGRAD_SPARSE_OPS_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "graph/sparse_matrix.h"
+
+namespace adamgnn::autograd {
+
+/// The fixed sparsity structure of a learned sparse matrix: where the
+/// nonzeros live, independent of their values.
+struct SparsePattern {
+  size_t rows = 0;
+  size_t cols = 0;
+  /// Coordinates of each nonzero; values come from a Variable of shape
+  /// (nnz x 1) aligned with these arrays.
+  std::vector<size_t> row_indices;
+  std::vector<size_t> col_indices;
+
+  size_t nnz() const { return row_indices.size(); }
+
+  /// Materializes a concrete sparse matrix with the given values.
+  graph::SparseMatrix WithValues(const std::vector<double>& values) const;
+};
+
+/// y = S * x for a constant sparse S. Gradient: dx = Sᵀ g.
+Variable SpMM(std::shared_ptr<const graph::SparseMatrix> s, const Variable& x);
+
+/// y = Sᵀ * x for a constant sparse S. Gradient: dx = S g.
+Variable SpMMTranspose(std::shared_ptr<const graph::SparseMatrix> s,
+                       const Variable& x);
+
+/// y = S(values) * x where values is (nnz x 1) aligned with `pattern`.
+/// Differentiable in both values and x:
+///   dvalues_k = g.row(i_k) · x.row(j_k),  dx.row(j) += v_k g.row(i_k).
+Variable SpMMValues(std::shared_ptr<const SparsePattern> pattern,
+                    const Variable& values, const Variable& x);
+
+}  // namespace adamgnn::autograd
+
+#endif  // ADAMGNN_AUTOGRAD_SPARSE_OPS_H_

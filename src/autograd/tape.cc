@@ -1,0 +1,57 @@
+// Backward(): iterative topological sort + pullback execution.
+
+#include <unordered_set>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "util/logging.h"
+
+namespace adamgnn::autograd {
+
+void Backward(const Variable& loss) {
+  ADAMGNN_CHECK(loss.defined());
+  ADAMGNN_CHECK_EQ(loss.value().rows(), 1u);
+  ADAMGNN_CHECK_EQ(loss.value().cols(), 1u);
+
+  using internal::Node;
+
+  // Iterative post-order DFS (recursion would overflow on deep graphs).
+  std::vector<Node*> order;
+  std::unordered_set<Node*> visited;
+  struct Frame {
+    Node* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  Node* root = loss.node().get();
+  visited.insert(root);
+  stack.push_back({root, 0});
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      Node* parent = top.node->parents[top.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order.push_back(top.node);
+      stack.pop_back();
+    }
+  }
+
+  // Fresh gradients for this pass.
+  for (Node* n : order) n->grad_ready = false;
+
+  root->grad = tensor::Matrix(1, 1, 1.0);
+  root->grad_ready = true;
+
+  // `order` is post-order (parents before children); walk children-first.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    Node* n = *it;
+    if (!n->backward_fn) continue;
+    if (!n->grad_ready) continue;  // not on any path contributing to loss
+    n->backward_fn(*n);
+  }
+}
+
+}  // namespace adamgnn::autograd

@@ -1,0 +1,65 @@
+#include "autograd/variable.h"
+
+#include "util/logging.h"
+
+namespace adamgnn::autograd {
+
+namespace internal {
+
+void AccumulateGrad(Node* node, const tensor::Matrix& delta) {
+  if (!node->requires_grad) return;
+  if (!node->grad_ready) {
+    node->grad = tensor::Matrix(node->value.rows(), node->value.cols());
+    node->grad_ready = true;
+  }
+  node->grad += delta;
+}
+
+}  // namespace internal
+
+Variable Variable::Constant(tensor::Matrix value) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  node->requires_grad = false;
+  return FromNode(std::move(node));
+}
+
+Variable Variable::Parameter(tensor::Matrix value) {
+  auto node = std::make_shared<internal::Node>();
+  node->value = std::move(value);
+  node->requires_grad = true;
+  return FromNode(std::move(node));
+}
+
+const tensor::Matrix& Variable::value() const {
+  ADAMGNN_CHECK(defined());
+  return node_->value;
+}
+
+tensor::Matrix& Variable::mutable_value() {
+  ADAMGNN_CHECK(defined());
+  return node_->value;
+}
+
+const tensor::Matrix& Variable::grad() const {
+  ADAMGNN_CHECK(defined());
+  if (!node_->grad_ready) {
+    // Touched never or not reached by the last Backward: report zeros.
+    node_->grad = tensor::Matrix(node_->value.rows(), node_->value.cols());
+    node_->grad_ready = true;
+  }
+  return node_->grad;
+}
+
+bool Variable::requires_grad() const {
+  ADAMGNN_CHECK(defined());
+  return node_->requires_grad;
+}
+
+Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
+  Variable v;
+  v.node_ = std::move(node);
+  return v;
+}
+
+}  // namespace adamgnn::autograd

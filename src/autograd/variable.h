@@ -1,0 +1,79 @@
+// Tape-free reverse-mode automatic differentiation. Each op builds a node in
+// a dynamic DAG; Backward() topologically sorts the DAG reachable from a
+// scalar loss and runs each node's pullback. This is the engine the paper's
+// PyTorch substrate is replaced with; every op's gradient is verified against
+// central finite differences in tests/autograd_*.
+
+#ifndef ADAMGNN_AUTOGRAD_VARIABLE_H_
+#define ADAMGNN_AUTOGRAD_VARIABLE_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace adamgnn::autograd {
+
+class Variable;
+
+namespace internal {
+
+/// One vertex of the autograd DAG. Owned via shared_ptr by Variables and by
+/// child nodes (through their parent lists), so a subgraph stays alive as
+/// long as anything downstream of it does.
+struct Node {
+  tensor::Matrix value;
+  tensor::Matrix grad;  // allocated lazily by Backward
+  bool requires_grad = false;
+  bool grad_ready = false;  // grad buffer zeroed for the current backward pass
+  std::vector<std::shared_ptr<Node>> parents;
+  /// Pullback: given this node's grad, accumulate into parents' grads.
+  std::function<void(Node&)> backward_fn;
+};
+
+/// Adds `delta` into node->grad, allocating/zeroing the buffer on first use.
+void AccumulateGrad(Node* node, const tensor::Matrix& delta);
+
+}  // namespace internal
+
+/// A handle to a matrix in the autograd DAG. Cheap to copy (shared_ptr).
+/// A default-constructed Variable is null; using it in an op aborts.
+class Variable {
+ public:
+  Variable() = default;
+
+  /// A leaf that does not require gradients.
+  static Variable Constant(tensor::Matrix value);
+  /// A trainable leaf (gradients are computed into grad()).
+  static Variable Parameter(tensor::Matrix value);
+
+  bool defined() const { return node_ != nullptr; }
+  const tensor::Matrix& value() const;
+  /// Mutable access for optimizers; must not be called mid-graph (only on
+  /// leaves between forward passes).
+  tensor::Matrix& mutable_value();
+  /// Gradient after Backward(); zero matrix when never touched.
+  const tensor::Matrix& grad() const;
+  bool requires_grad() const;
+
+  size_t rows() const { return value().rows(); }
+  size_t cols() const { return value().cols(); }
+
+  /// Internal: wraps an existing node (used by ops).
+  static Variable FromNode(std::shared_ptr<internal::Node> node);
+  const std::shared_ptr<internal::Node>& node() const { return node_; }
+
+ private:
+  std::shared_ptr<internal::Node> node_;
+};
+
+/// Runs reverse-mode differentiation from `loss`, which must be 1x1.
+/// Gradients of all reachable nodes with requires_grad are freshly computed
+/// (prior grad contents are discarded, so there is no need to zero grads
+/// between steps).
+void Backward(const Variable& loss);
+
+}  // namespace adamgnn::autograd
+
+#endif  // ADAMGNN_AUTOGRAD_VARIABLE_H_

@@ -1,0 +1,193 @@
+#include "core/adamgnn_model.h"
+
+#include <utility>
+
+#include "autograd/ops.h"
+#include "autograd/segment_ops.h"
+#include "core/losses.h"
+#include "core/unpooling.h"
+#include "util/logging.h"
+
+namespace adamgnn::core {
+
+AdamGnn::AdamGnn(const AdamGnnConfig& config, util::Rng* rng)
+    : config_(config), dropout_(config.dropout) {
+  ADAMGNN_CHECK_GT(config.in_dim, 0u);
+  ADAMGNN_CHECK_GT(config.hidden_dim, 0u);
+  ADAMGNN_CHECK_GE(config.num_levels, 1);
+  ADAMGNN_CHECK_GE(config.lambda, 1);
+
+  input_conv_ =
+      std::make_unique<nn::GcnConv>(config.in_dim, config.hidden_dim, rng);
+  for (int k = 0; k < config.num_levels; ++k) {
+    fitness_.push_back(std::make_unique<FitnessScorer>(
+        config.hidden_dim, rng, config.fitness_mode));
+    hyper_init_.push_back(
+        std::make_unique<HyperFeatureInit>(config.hidden_dim, rng));
+    level_convs_.push_back(
+        std::make_unique<nn::GcnConv>(config.hidden_dim, config.hidden_dim,
+                                      rng));
+  }
+  flyback_ = std::make_unique<FlybackAggregator>(config.hidden_dim, rng);
+  if (config.num_classes > 0) {
+    node_head_ = std::make_unique<nn::Linear>(config.hidden_dim,
+                                              config.num_classes,
+                                              /*use_bias=*/true, rng);
+    graph_head_ = std::make_unique<nn::Linear>(2 * config.hidden_dim,
+                                               config.num_classes,
+                                               /*use_bias=*/true, rng);
+  }
+}
+
+AdamGnn::Output AdamGnn::Forward(const graph::Graph& g, bool training,
+                                 util::Rng* rng) const {
+  ADAMGNN_CHECK_EQ(g.feature_dim(), config_.in_dim);
+  return ForwardFromFeatures(g, autograd::Variable::Constant(g.features()),
+                             training, rng);
+}
+
+AdamGnn::Output AdamGnn::ForwardFromFeatures(const graph::Graph& g,
+                                             const autograd::Variable& x,
+                                             bool training,
+                                             util::Rng* rng) const {
+  ADAMGNN_CHECK_EQ(x.rows(), g.num_nodes());
+  ADAMGNN_CHECK_EQ(x.cols(), config_.in_dim);
+  Output out;
+
+  // Primary node representation (Eq. 1, one GCN layer as in the paper).
+  auto norm_adj = std::make_shared<const graph::SparseMatrix>(
+      graph::SparseMatrix::NormalizedAdjacency(g));
+  autograd::Variable h0 = autograd::Relu(input_conv_->Forward(norm_adj, x));
+  h0 = dropout_.Apply(h0, rng, training);
+
+  // Multi-grained structure construction, level by level.
+  graph::SparseMatrix cur_adj = graph::SparseMatrix::Adjacency(g);
+  std::vector<std::vector<size_t>> cur_lists = AdjacencyLists(g);
+  autograd::Variable h_prev = h0;
+  std::vector<Assignment> assignments;
+  std::vector<autograd::Variable> messages;
+
+  for (int k = 0; k < config_.num_levels; ++k) {
+    EgoPairs pairs = EgoPairs::Build(cur_lists, config_.lambda);
+    if (pairs.num_pairs() == 0) break;  // no edges left to pool over
+
+    FitnessScorer::Scores scores = fitness_[static_cast<size_t>(k)]->Score(
+        pairs, h_prev);
+    Selection sel =
+        SelectEgoNetworks(scores.ego_phi.value(), cur_lists, pairs);
+    if (sel.selected_egos.empty()) break;
+    if (sel.num_hyper_nodes() >= pairs.num_nodes) break;  // no compression
+
+    Assignment asg = BuildAssignment(pairs, sel, scores);
+    autograd::Variable x_k = hyper_init_[static_cast<size_t>(k)]->Initialise(
+        pairs, sel, asg, scores, h_prev);
+
+    graph::SparseMatrix next_adj = NextAdjacency(cur_adj, asg);
+    auto norm_next =
+        std::make_shared<const graph::SparseMatrix>(next_adj.Normalized());
+    autograd::Variable h_k = autograd::Relu(
+        level_convs_[static_cast<size_t>(k)]->Forward(norm_next, x_k));
+    h_k = dropout_.Apply(h_k, rng, training);
+
+    LevelInfo info;
+    info.num_prev_nodes = pairs.num_nodes;
+    info.num_hyper_nodes = sel.num_hyper_nodes();
+    info.num_selected_egos = sel.selected_egos.size();
+    info.num_retained = sel.retained_nodes.size();
+    info.num_covered = 0;
+    for (bool c : sel.covered) info.num_covered += c ? 1 : 0;
+    out.levels.push_back(info);
+    if (k == 0) {
+      out.level1_egos = sel.selected_egos;
+      // Ownership map for explainability: strongest-φ covering ego.
+      out.level1_ego_of_node.assign(pairs.num_nodes, -1);
+      std::vector<double> best_phi(pairs.num_nodes, -1.0);
+      for (size_t e : sel.selected_egos) {
+        out.level1_ego_of_node[e] = static_cast<int64_t>(e);
+        best_phi[e] = 2.0;  // an ego always owns itself
+      }
+      for (size_t idx : asg.kept_pair_indices) {
+        const size_t member = pairs.member[idx];
+        const size_t ego = pairs.ego[idx];
+        const double phi = scores.pair_phi.value()(idx, 0);
+        if (phi > best_phi[member]) {
+          best_phi[member] = phi;
+          out.level1_ego_of_node[member] = static_cast<int64_t>(ego);
+        }
+      }
+    }
+
+    assignments.push_back(std::move(asg));
+    messages.push_back(Unpool(assignments, assignments.size(), h_k));
+
+    if (sel.num_hyper_nodes() < 4) break;  // pooled to (near) a point
+    cur_adj = std::move(next_adj);
+    cur_lists = AdjacencyListsFromSparse(cur_adj);
+    h_prev = h_k;
+  }
+
+  // Flyback aggregation (Eq. 4); the ablation keeps H = H_0.
+  if (config_.use_flyback) {
+    FlybackAggregator::Output fb = flyback_->Aggregate(h0, messages);
+    out.embeddings = fb.h;
+    out.flyback_attention = std::move(fb.attention);
+  } else {
+    out.embeddings = h0;
+    out.flyback_attention = tensor::Matrix(h0.rows(), 0);
+  }
+
+  // Auxiliary losses (Eq. 7): L = L_task + γ L_KL + δ L_R.
+  std::vector<autograd::Variable> aux_terms;
+  if (config_.use_kl_loss && !out.level1_egos.empty()) {
+    std::vector<size_t> kl_egos = out.level1_egos;
+    if (config_.max_kl_egos > 0 && kl_egos.size() > config_.max_kl_egos) {
+      std::vector<size_t> sampled;
+      const size_t stride = kl_egos.size() / config_.max_kl_egos + 1;
+      for (size_t i = 0; i < kl_egos.size(); i += stride) {
+        sampled.push_back(kl_egos[i]);
+      }
+      kl_egos = std::move(sampled);
+    }
+    aux_terms.push_back(autograd::Scale(
+        KlSelfOptimisationLoss(out.embeddings, kl_egos), config_.gamma));
+  }
+  if (config_.use_recon_loss) {
+    aux_terms.push_back(autograd::Scale(
+        ReconstructionLoss(out.embeddings, g, rng), config_.delta));
+  }
+  if (!aux_terms.empty()) out.aux_loss = autograd::AddN(aux_terms);
+
+  if (node_head_ != nullptr) {
+    out.logits =
+        node_head_->Forward(dropout_.Apply(out.embeddings, rng, training));
+  }
+  return out;
+}
+
+autograd::Variable AdamGnn::GraphLogits(
+    const Output& out, const std::vector<size_t>& node_to_graph,
+    size_t num_graphs) const {
+  ADAMGNN_CHECK(graph_head_ != nullptr);
+  ADAMGNN_CHECK_EQ(node_to_graph.size(), out.embeddings.rows());
+  autograd::Variable mean_read =
+      autograd::SegmentMean(out.embeddings, node_to_graph, num_graphs);
+  autograd::Variable max_read =
+      autograd::SegmentMax(out.embeddings, node_to_graph, num_graphs);
+  return graph_head_->Forward(autograd::ConcatCols(mean_read, max_read));
+}
+
+std::vector<autograd::Variable> AdamGnn::Parameters() const {
+  std::vector<autograd::Variable> params = input_conv_->Parameters();
+  auto append = [&params](const std::vector<autograd::Variable>& more) {
+    params.insert(params.end(), more.begin(), more.end());
+  };
+  for (const auto& f : fitness_) append(f->Parameters());
+  for (const auto& h : hyper_init_) append(h->Parameters());
+  for (const auto& c : level_convs_) append(c->Parameters());
+  append(flyback_->Parameters());
+  if (node_head_ != nullptr) append(node_head_->Parameters());
+  if (graph_head_ != nullptr) append(graph_head_->Parameters());
+  return params;
+}
+
+}  // namespace adamgnn::core

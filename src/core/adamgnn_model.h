@@ -1,0 +1,126 @@
+// The AdamGNN model (Algorithm 1): GCN primary representations, K levels of
+// adaptive ego-network pooling, unpooling of every level's semantics back to
+// the original nodes, flyback attention, and the auxiliary training losses.
+// One model serves all three tasks: node classification (node logits), link
+// prediction (embeddings + dot-product scoring), and graph classification
+// (readout + graph logits).
+
+#ifndef ADAMGNN_CORE_ADAMGNN_MODEL_H_
+#define ADAMGNN_CORE_ADAMGNN_MODEL_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/assignment.h"
+#include "core/ego_selection.h"
+#include "core/fitness.h"
+#include "core/flyback.h"
+#include "core/hyper_features.h"
+#include "graph/graph.h"
+#include "nn/dropout.h"
+#include "nn/gcn_conv.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "util/random.h"
+
+namespace adamgnn::core {
+
+struct AdamGnnConfig {
+  size_t in_dim = 0;
+  size_t hidden_dim = 64;
+  /// 0 disables the node classification head (link-prediction mode).
+  size_t num_classes = 0;
+  /// K, the number of granularity levels (paper Appendix A.4: 2–5).
+  int num_levels = 3;
+  /// λ, the ego-network radius.
+  int lambda = 1;
+  /// Loss mixing weights (paper: γ = 0.1, δ = 0.01).
+  double gamma = 0.1;
+  double delta = 0.01;
+  /// Ablation toggles (Tables 3 and 5).
+  bool use_flyback = true;
+  bool use_kl_loss = true;
+  bool use_recon_loss = true;
+  /// Fitness-score composition (Eq. 2); kBoth is the paper's model.
+  FitnessMode fitness_mode = FitnessMode::kBoth;
+  /// L_KL costs O(n · #egos); when level-1 selects more egos than this, a
+  /// deterministic stride subsample of egos anchors the loss (a standard
+  /// scalability measure for center-based self-training losses).
+  size_t max_kl_egos = 128;
+  double dropout = 0.1;
+};
+
+/// Pooling statistics of one constructed level, for diagnostics and the
+/// coverage experiment (Figure 3).
+struct LevelInfo {
+  size_t num_prev_nodes = 0;
+  size_t num_hyper_nodes = 0;
+  size_t num_selected_egos = 0;
+  size_t num_retained = 0;
+  size_t num_covered = 0;
+};
+
+class AdamGnn : public nn::Module {
+ public:
+  AdamGnn(const AdamGnnConfig& config, util::Rng* rng);
+
+  struct Output {
+    /// Final node representations H (n x hidden).
+    autograd::Variable embeddings;
+    /// Node-classification logits (n x num_classes); undefined when the
+    /// config has no head.
+    autograd::Variable logits;
+    /// γ·L_KL + δ·L_R (1x1); undefined when both are disabled.
+    autograd::Variable aux_loss;
+    /// Flyback β (n x K_effective); empty when flyback is off.
+    tensor::Matrix flyback_attention;
+    /// Per-level pooling statistics (may be shorter than num_levels when
+    /// pooling bottoms out early).
+    std::vector<LevelInfo> levels;
+    /// Level-1 selected egos (original-graph node ids).
+    std::vector<size_t> level1_egos;
+    /// For each original node, the level-1 ego whose network absorbed it
+    /// (highest-φ owner when several overlap; the ego itself for egos;
+    /// -1 for retained nodes). Drives core/explain.h.
+    std::vector<int64_t> level1_ego_of_node;
+  };
+
+  /// Runs the full pipeline on g. `training` controls dropout; `rng` drives
+  /// dropout masks and negative sampling for L_R.
+  Output Forward(const graph::Graph& g, bool training, util::Rng* rng) const;
+
+  /// Same pipeline, but over externally supplied node features (n x in_dim)
+  /// instead of g's — the hook the heterogeneous extension (core/hetero.h)
+  /// uses to feed per-type projected features. Gradients flow into
+  /// `features` if it requires them.
+  Output ForwardFromFeatures(const graph::Graph& g,
+                             const autograd::Variable& features,
+                             bool training, util::Rng* rng) const;
+
+  /// Graph-classification logits from a forward output over a batched graph:
+  /// readout = [mean ‖ max] of embeddings per member graph, then a linear
+  /// head. `node_to_graph` comes from graph::GraphBatch.
+  autograd::Variable GraphLogits(const Output& out,
+                                 const std::vector<size_t>& node_to_graph,
+                                 size_t num_graphs) const;
+
+  std::vector<autograd::Variable> Parameters() const override;
+
+  const AdamGnnConfig& config() const { return config_; }
+
+ private:
+  AdamGnnConfig config_;
+  std::unique_ptr<nn::GcnConv> input_conv_;
+  std::vector<std::unique_ptr<FitnessScorer>> fitness_;
+  std::vector<std::unique_ptr<HyperFeatureInit>> hyper_init_;
+  std::vector<std::unique_ptr<nn::GcnConv>> level_convs_;
+  std::unique_ptr<FlybackAggregator> flyback_;
+  std::unique_ptr<nn::Linear> node_head_;
+  std::unique_ptr<nn::Linear> graph_head_;
+  nn::Dropout dropout_;
+};
+
+}  // namespace adamgnn::core
+
+#endif  // ADAMGNN_CORE_ADAMGNN_MODEL_H_

@@ -1,0 +1,65 @@
+// Adapters exposing core::AdamGnn through the task interfaces the trainers
+// and benches consume.
+
+#ifndef ADAMGNN_CORE_ADAPTERS_H_
+#define ADAMGNN_CORE_ADAPTERS_H_
+
+#include <vector>
+
+#include "core/adamgnn_model.h"
+#include "nn/linear.h"
+#include "train/interfaces.h"
+
+namespace adamgnn::core {
+
+class AdamGnnNodeModel final : public train::NodeModel {
+ public:
+  AdamGnnNodeModel(const AdamGnnConfig& config, util::Rng* rng);
+
+  Out Forward(const graph::Graph& g, bool training, util::Rng* rng) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+  /// The most recent forward's flyback attention (for Figure 2).
+  const tensor::Matrix& last_attention() const { return last_attention_; }
+  /// The most recent forward's per-level pooling stats (for Figure 3).
+  const std::vector<LevelInfo>& last_levels() const { return last_levels_; }
+
+ private:
+  AdamGnn model_;
+  tensor::Matrix last_attention_;
+  std::vector<LevelInfo> last_levels_;
+};
+
+class AdamGnnEmbeddingModel final : public train::EmbeddingModel {
+ public:
+  AdamGnnEmbeddingModel(const AdamGnnConfig& config, util::Rng* rng);
+
+  Out Forward(const graph::Graph& g, bool training, util::Rng* rng) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  AdamGnn model_;
+  // Linear decoder projection: AdamGNN's H is elementwise non-negative
+  // (ReLU outputs mixed through non-negative assignment weights), which a
+  // dot-product decoder cannot rank well; the projection restores a full
+  // sign range, the same role the final linear layer plays in the flat
+  // baselines.
+  nn::Linear projection_;
+};
+
+class AdamGnnGraphModel final : public train::GraphModel {
+ public:
+  AdamGnnGraphModel(const AdamGnnConfig& config, int num_graph_classes,
+                    util::Rng* rng);
+
+  Out Forward(const graph::GraphBatch& batch, bool training,
+              util::Rng* rng) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  AdamGnn model_;
+};
+
+}  // namespace adamgnn::core
+
+#endif  // ADAMGNN_CORE_ADAPTERS_H_

@@ -1,0 +1,52 @@
+#include "core/ego_selection.h"
+
+#include "util/logging.h"
+
+namespace adamgnn::core {
+
+Selection SelectEgoNetworks(const tensor::Matrix& ego_phi,
+                            const std::vector<std::vector<size_t>>& adjacency,
+                            const EgoPairs& pairs) {
+  const size_t n = adjacency.size();
+  ADAMGNN_CHECK_EQ(ego_phi.rows(), n);
+  ADAMGNN_CHECK_EQ(ego_phi.cols(), 1u);
+
+  Selection sel;
+  sel.covered.assign(n, false);
+
+  // Local maximum over the closed 1-hop neighborhood, ties broken toward the
+  // smaller node id (a strict total order, so isolated plateaus still yield
+  // selections and adjacent egos are never both selected on a tie).
+  auto beats = [&](size_t a, size_t b) {
+    const double pa = ego_phi(a, 0), pb = ego_phi(b, 0);
+    if (pa != pb) return pa > pb;
+    return a < b;
+  };
+  for (size_t v = 0; v < n; ++v) {
+    if (adjacency[v].empty()) continue;  // isolated: nothing to merge
+    bool is_max = true;
+    for (size_t u : adjacency[v]) {
+      if (!beats(v, u)) {
+        is_max = false;
+        break;
+      }
+    }
+    if (is_max) sel.selected_egos.push_back(v);
+  }
+
+  // Coverage: a selected ego covers itself and its λ-hop members.
+  std::vector<bool> is_selected(n, false);
+  for (size_t v : sel.selected_egos) {
+    is_selected[v] = true;
+    sel.covered[v] = true;
+  }
+  for (size_t p = 0; p < pairs.num_pairs(); ++p) {
+    if (is_selected[pairs.ego[p]]) sel.covered[pairs.member[p]] = true;
+  }
+  for (size_t v = 0; v < n; ++v) {
+    if (!sel.covered[v]) sel.retained_nodes.push_back(v);
+  }
+  return sel;
+}
+
+}  // namespace adamgnn::core

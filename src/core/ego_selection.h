@@ -1,0 +1,42 @@
+// Adaptive ego-network selection: an ego is selected iff its fitness score
+// beats every 1-hop neighbor's (Section 3.2). This replaces Top-k pooling's
+// ratio hyper-parameter; Proposition 1 guarantees at least one selection on
+// a connected graph. Ties are broken by node id so the guarantee holds even
+// with equal scores.
+
+#ifndef ADAMGNN_CORE_EGO_SELECTION_H_
+#define ADAMGNN_CORE_EGO_SELECTION_H_
+
+#include <vector>
+
+#include "core/fitness.h"
+#include "tensor/matrix.h"
+
+namespace adamgnn::core {
+
+struct Selection {
+  /// Selected egos N̂_p (level k-1 node ids, ascending).
+  std::vector<size_t> selected_egos;
+  /// Retained nodes N̂_r: nodes not covered by any selected ego-network,
+  /// ascending.
+  std::vector<size_t> retained_nodes;
+  /// For each level k-1 node: true if it lies inside (or is) a selected ego.
+  std::vector<bool> covered;
+
+  /// Size of the pooled level: |N̂_p| + |N̂_r|.
+  size_t num_hyper_nodes() const {
+    return selected_egos.size() + retained_nodes.size();
+  }
+};
+
+/// Runs the local-maximum selection rule.
+///   ego_phi:   (n x 1) scores φ_i.
+///   adjacency: 1-hop lists at this level.
+///   pairs:     λ-hop ego memberships (defines coverage).
+Selection SelectEgoNetworks(const tensor::Matrix& ego_phi,
+                            const std::vector<std::vector<size_t>>& adjacency,
+                            const EgoPairs& pairs);
+
+}  // namespace adamgnn::core
+
+#endif  // ADAMGNN_CORE_EGO_SELECTION_H_

@@ -1,0 +1,76 @@
+#include "core/explain.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace adamgnn::core {
+
+std::vector<NodeExplanation> ExplainNodes(const AdamGnn::Output& output) {
+  const size_t n = output.embeddings.rows();
+  const tensor::Matrix& att = output.flyback_attention;
+  std::vector<NodeExplanation> out(n);
+  for (size_t v = 0; v < n; ++v) {
+    NodeExplanation& e = out[v];
+    e.node = v;
+    if (att.cols() > 0) {
+      ADAMGNN_CHECK_EQ(att.rows(), n);
+      e.level_attention.resize(att.cols());
+      size_t best = 0;
+      for (size_t k = 0; k < att.cols(); ++k) {
+        e.level_attention[k] = att(v, k);
+        if (att(v, k) > att(v, best)) best = k;
+      }
+      e.dominant_level = static_cast<int>(best) + 1;
+    }
+    if (v < output.level1_ego_of_node.size()) {
+      e.level1_ego = output.level1_ego_of_node[v];
+    }
+  }
+  return out;
+}
+
+tensor::Matrix ClassLevelAttention(const AdamGnn::Output& output,
+                                   const std::vector<int>& labels,
+                                   int num_classes) {
+  const tensor::Matrix& att = output.flyback_attention;
+  ADAMGNN_CHECK_EQ(labels.size(), att.rows());
+  ADAMGNN_CHECK_GT(num_classes, 0);
+  tensor::Matrix mean(static_cast<size_t>(num_classes), att.cols());
+  std::vector<double> counts(static_cast<size_t>(num_classes), 0.0);
+  for (size_t v = 0; v < att.rows(); ++v) {
+    ADAMGNN_CHECK_GE(labels[v], 0);
+    ADAMGNN_CHECK_LT(labels[v], num_classes);
+    const auto cls = static_cast<size_t>(labels[v]);
+    counts[cls] += 1.0;
+    for (size_t k = 0; k < att.cols(); ++k) mean(cls, k) += att(v, k);
+  }
+  for (size_t c = 0; c < mean.rows(); ++c) {
+    if (counts[c] == 0.0) continue;
+    for (size_t k = 0; k < mean.cols(); ++k) mean(c, k) /= counts[c];
+  }
+  return mean;
+}
+
+std::string FormatExplanation(const NodeExplanation& explanation) {
+  std::ostringstream os;
+  os << "node " << explanation.node << ": ";
+  if (explanation.level_attention.empty()) {
+    os << "local (primary) representation only";
+  } else {
+    const size_t k = static_cast<size_t>(explanation.dominant_level - 1);
+    os << "draws mostly on level " << explanation.dominant_level
+       << " (beta = ";
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "%.2f", explanation.level_attention[k]);
+    os << buf << ")";
+  }
+  if (explanation.level1_ego >= 0) {
+    os << "; pooled into ego " << explanation.level1_ego;
+  } else {
+    os << "; retained (not pooled)";
+  }
+  return os.str();
+}
+
+}  // namespace adamgnn::core

@@ -1,0 +1,43 @@
+// Explainability utilities (paper Section 4.2): AdamGNN can explain a
+// prediction in terms of the *scope of the graph* — which granularity level
+// the node drew its decisive message from (flyback attention β), and which
+// ego-network absorbed it during pooling — instead of only local neighbors.
+
+#ifndef ADAMGNN_CORE_EXPLAIN_H_
+#define ADAMGNN_CORE_EXPLAIN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/adamgnn_model.h"
+
+namespace adamgnn::core {
+
+struct NodeExplanation {
+  size_t node = 0;
+  /// β_k(v) per granularity level (sums to 1; empty when flyback is off or
+  /// no level was built).
+  std::vector<double> level_attention;
+  /// 1-based level with the highest attention; 0 means "primary (local)
+  /// representation only".
+  int dominant_level = 0;
+  /// The level-1 ego-network that absorbed this node (-1: retained).
+  int64_t level1_ego = -1;
+};
+
+/// Extracts explanations for every node from a forward output.
+std::vector<NodeExplanation> ExplainNodes(const AdamGnn::Output& output);
+
+/// Per-class mean attention over levels: the data behind Figure 2. Rows are
+/// classes, columns are levels. `labels` must cover every node.
+tensor::Matrix ClassLevelAttention(const AdamGnn::Output& output,
+                                   const std::vector<int>& labels,
+                                   int num_classes);
+
+/// Human-readable one-liner, e.g.
+/// "node 17: draws mostly on level 2 (beta = 0.61); pooled into ego 4".
+std::string FormatExplanation(const NodeExplanation& explanation);
+
+}  // namespace adamgnn::core
+
+#endif  // ADAMGNN_CORE_EXPLAIN_H_

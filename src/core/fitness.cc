@@ -1,0 +1,108 @@
+#include "core/fitness.h"
+
+#include <deque>
+#include <utility>
+
+#include "autograd/loss_ops.h"
+#include "autograd/ops.h"
+#include "autograd/segment_ops.h"
+#include "nn/init.h"
+#include "util/logging.h"
+
+namespace adamgnn::core {
+
+std::vector<std::vector<size_t>> AdjacencyLists(const graph::Graph& g) {
+  std::vector<std::vector<size_t>> adj(g.num_nodes());
+  for (graph::NodeId v = 0; static_cast<size_t>(v) < g.num_nodes(); ++v) {
+    for (graph::NodeId u : g.Neighbors(v)) {
+      adj[static_cast<size_t>(v)].push_back(static_cast<size_t>(u));
+    }
+  }
+  return adj;
+}
+
+EgoPairs EgoPairs::Build(const std::vector<std::vector<size_t>>& adjacency,
+                         int lambda) {
+  ADAMGNN_CHECK_GE(lambda, 1);
+  EgoPairs pairs;
+  pairs.num_nodes = adjacency.size();
+  const size_t n = adjacency.size();
+  std::vector<int> visited(n, 0);
+  std::vector<size_t> seen;
+  for (size_t ego = 0; ego < n; ++ego) {
+    // Bounded BFS identical to graph::EgoNetwork but over raw lists.
+    seen.clear();
+    std::deque<std::pair<size_t, int>> queue;
+    queue.emplace_back(ego, 0);
+    visited[ego] = 1;
+    seen.push_back(ego);
+    while (!queue.empty()) {
+      auto [v, depth] = queue.front();
+      queue.pop_front();
+      if (depth == lambda) continue;
+      for (size_t w : adjacency[v]) {
+        if (visited[w]) continue;
+        visited[w] = 1;
+        seen.push_back(w);
+        pairs.ego.push_back(ego);
+        pairs.member.push_back(w);
+        queue.emplace_back(w, depth + 1);
+      }
+    }
+    for (size_t v : seen) visited[v] = 0;
+  }
+  return pairs;
+}
+
+FitnessScorer::FitnessScorer(size_t dim, util::Rng* rng, FitnessMode mode)
+    : mode_(mode) {
+  weight_ = autograd::Variable::Parameter(nn::GlorotUniform(dim, dim, rng));
+  attention_ =
+      autograd::Variable::Parameter(nn::GlorotUniform(2 * dim, 1, rng));
+}
+
+FitnessScorer::Scores FitnessScorer::Score(const EgoPairs& pairs,
+                                           const autograd::Variable& h) const {
+  ADAMGNN_CHECK_GT(pairs.num_pairs(), 0u);
+  autograd::Variable wh = autograd::MatMul(h, weight_);
+  autograd::Variable wh_member = autograd::GatherRows(wh, pairs.member);
+  autograd::Variable wh_ego = autograd::GatherRows(wh, pairs.ego);
+
+  // f^s: attention logits normalized within each ego-network.
+  autograd::Variable logits = autograd::LeakyRelu(
+      autograd::MatMul(autograd::ConcatCols(wh_member, wh_ego), attention_),
+      0.2);
+  std::vector<size_t> segments = pairs.ego;
+  autograd::Variable f_s = autograd::SegmentSoftmax(
+      logits, std::move(segments), pairs.num_nodes);
+
+  // f^c: linearity between member and ego representations.
+  std::vector<std::pair<size_t, size_t>> dot_pairs(pairs.num_pairs());
+  for (size_t p = 0; p < pairs.num_pairs(); ++p) {
+    dot_pairs[p] = {pairs.member[p], pairs.ego[p]};
+  }
+  autograd::Variable f_c = autograd::Sigmoid(
+      autograd::EdgeDotProduct(h, std::move(dot_pairs)));
+
+  Scores scores;
+  switch (mode_) {
+    case FitnessMode::kBoth:
+      scores.pair_phi = autograd::CwiseMul(f_s, f_c);
+      break;
+    case FitnessMode::kAttentionOnly:
+      scores.pair_phi = f_s;
+      break;
+    case FitnessMode::kSigmoidOnly:
+      scores.pair_phi = f_c;
+      break;
+  }
+  scores.ego_phi = autograd::SegmentMean(scores.pair_phi, pairs.ego,
+                                         pairs.num_nodes);
+  return scores;
+}
+
+std::vector<autograd::Variable> FitnessScorer::Parameters() const {
+  return {weight_, attention_};
+}
+
+}  // namespace adamgnn::core

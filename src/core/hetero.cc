@@ -1,0 +1,81 @@
+#include "core/hetero.h"
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+
+namespace adamgnn::core {
+
+HeteroAdamGnn::HeteroAdamGnn(const HeteroAdamGnnConfig& config,
+                             util::Rng* rng)
+    : config_(config) {
+  ADAMGNN_CHECK_GT(config.raw_dim, 0u);
+  ADAMGNN_CHECK_GT(config.projected_dim, 0u);
+  ADAMGNN_CHECK_GE(config.num_types, 1);
+  for (int t = 0; t < config.num_types; ++t) {
+    type_projections_.push_back(std::make_unique<nn::Linear>(
+        config.raw_dim, config.projected_dim, /*use_bias=*/true, rng));
+  }
+  AdamGnnConfig base = config.base;
+  base.in_dim = config.projected_dim;
+  base_ = std::make_unique<AdamGnn>(base, rng);
+}
+
+AdamGnn::Output HeteroAdamGnn::Forward(const graph::Graph& g,
+                                       const std::vector<int>& types,
+                                       bool training, util::Rng* rng) const {
+  ADAMGNN_CHECK_EQ(types.size(), g.num_nodes());
+  ADAMGNN_CHECK_EQ(g.feature_dim(), config_.raw_dim);
+
+  // x = Σ_t mask_t ⊙ (X W_t): every row goes through exactly the projection
+  // of its type; gradients reach only that type's weights.
+  autograd::Variable raw = autograd::Variable::Constant(g.features());
+  autograd::Variable projected;
+  for (int t = 0; t < config_.num_types; ++t) {
+    tensor::Matrix mask(g.num_nodes(), 1);
+    size_t members = 0;
+    for (size_t v = 0; v < g.num_nodes(); ++v) {
+      ADAMGNN_CHECK_GE(types[v], 0);
+      ADAMGNN_CHECK_LT(types[v], config_.num_types);
+      if (types[v] == t) {
+        mask(v, 0) = 1.0;
+        ++members;
+      }
+    }
+    if (members == 0) continue;
+    autograd::Variable typed = autograd::MulColBroadcast(
+        type_projections_[static_cast<size_t>(t)]->Forward(raw),
+        autograd::Variable::Constant(std::move(mask)));
+    projected = projected.defined() ? autograd::Add(projected, typed) : typed;
+  }
+  ADAMGNN_CHECK(projected.defined());
+  return base_->ForwardFromFeatures(g, projected, training, rng);
+}
+
+std::vector<autograd::Variable> HeteroAdamGnn::Parameters() const {
+  std::vector<autograd::Variable> params;
+  for (const auto& proj : type_projections_) {
+    for (auto& p : proj->Parameters()) params.push_back(p);
+  }
+  for (auto& p : base_->Parameters()) params.push_back(p);
+  return params;
+}
+
+HeteroAdamGnnNodeModel::HeteroAdamGnnNodeModel(
+    const HeteroAdamGnnConfig& config, std::vector<int> types,
+    util::Rng* rng)
+    : model_(config, rng), types_(std::move(types)) {
+  ADAMGNN_CHECK_GT(config.base.num_classes, 0u);
+}
+
+train::NodeModel::Out HeteroAdamGnnNodeModel::Forward(const graph::Graph& g,
+                                                      bool training,
+                                                      util::Rng* rng) {
+  AdamGnn::Output out = model_.Forward(g, types_, training, rng);
+  return {out.logits, out.aux_loss};
+}
+
+std::vector<autograd::Variable> HeteroAdamGnnNodeModel::Parameters() const {
+  return model_.Parameters();
+}
+
+}  // namespace adamgnn::core

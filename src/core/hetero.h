@@ -1,0 +1,68 @@
+// Heterogeneous-network extension — the future-work direction the paper's
+// conclusion names. Nodes carry a type (author/paper/venue, …); each type
+// gets its own learned projection into a shared latent space, and the
+// standard AdamGNN pipeline (adaptive pooling, unpooling, flyback) runs on
+// the projected features. This is the R-GCN-style "typed encoder in front"
+// recipe, the minimal faithful generalisation that keeps every AdamGNN
+// component intact.
+
+#ifndef ADAMGNN_CORE_HETERO_H_
+#define ADAMGNN_CORE_HETERO_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/adamgnn_model.h"
+#include "nn/linear.h"
+#include "train/interfaces.h"
+
+namespace adamgnn::core {
+
+struct HeteroAdamGnnConfig {
+  /// Raw feature dimension shared by all node types.
+  size_t raw_dim = 0;
+  /// Dimension of the shared latent space the per-type projections map to.
+  size_t projected_dim = 32;
+  /// Number of node types.
+  int num_types = 2;
+  /// Base AdamGNN settings; its in_dim is overridden with projected_dim.
+  AdamGnnConfig base;
+};
+
+class HeteroAdamGnn : public nn::Module {
+ public:
+  HeteroAdamGnn(const HeteroAdamGnnConfig& config, util::Rng* rng);
+
+  /// `types[v]` in [0, num_types) selects the projection for node v.
+  AdamGnn::Output Forward(const graph::Graph& g,
+                          const std::vector<int>& types, bool training,
+                          util::Rng* rng) const;
+
+  std::vector<autograd::Variable> Parameters() const override;
+
+  const AdamGnn& base() const { return *base_; }
+
+ private:
+  HeteroAdamGnnConfig config_;
+  std::vector<std::unique_ptr<nn::Linear>> type_projections_;
+  std::unique_ptr<AdamGnn> base_;
+};
+
+/// Node-classification adapter; the type vector is bound at construction
+/// (types describe the dataset, not the batch).
+class HeteroAdamGnnNodeModel final : public train::NodeModel {
+ public:
+  HeteroAdamGnnNodeModel(const HeteroAdamGnnConfig& config,
+                         std::vector<int> types, util::Rng* rng);
+
+  Out Forward(const graph::Graph& g, bool training, util::Rng* rng) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  HeteroAdamGnn model_;
+  std::vector<int> types_;
+};
+
+}  // namespace adamgnn::core
+
+#endif  // ADAMGNN_CORE_HETERO_H_

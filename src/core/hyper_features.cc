@@ -1,0 +1,82 @@
+#include "core/hyper_features.h"
+
+#include "autograd/ops.h"
+#include "autograd/segment_ops.h"
+#include "nn/init.h"
+#include "util/logging.h"
+
+namespace adamgnn::core {
+
+HyperFeatureInit::HyperFeatureInit(size_t dim, util::Rng* rng) {
+  weight_ = autograd::Variable::Parameter(nn::GlorotUniform(dim, dim, rng));
+  attention_ =
+      autograd::Variable::Parameter(nn::GlorotUniform(2 * dim, 1, rng));
+}
+
+autograd::Variable HyperFeatureInit::Initialise(
+    const EgoPairs& pairs, const Selection& selection,
+    const Assignment& assignment, const FitnessScorer::Scores& scores,
+    const autograd::Variable& h_prev) const {
+  const size_t num_egos = selection.selected_egos.size();
+
+  // Ego base features H_{k-1}(i).
+  autograd::Variable ego_feats =
+      num_egos > 0
+          ? autograd::GatherRows(h_prev, selection.selected_egos)
+          : autograd::Variable();
+
+  if (num_egos > 0 && !assignment.kept_pair_indices.empty()) {
+    // Member contributions, attention-weighted per selected ego-network.
+    const auto& kept = assignment.kept_pair_indices;
+    std::vector<size_t> member_rows(kept.size());
+    std::vector<size_t> ego_rows(kept.size());
+    // Segment = position of the ego among selected columns.
+    std::vector<size_t> segments(kept.size());
+    std::vector<int64_t> ego_column(pairs.num_nodes, -1);
+    for (size_t c = 0; c < num_egos; ++c) {
+      ego_column[selection.selected_egos[c]] = static_cast<int64_t>(c);
+    }
+    for (size_t i = 0; i < kept.size(); ++i) {
+      const size_t p = kept[i];
+      member_rows[i] = pairs.member[p];
+      ego_rows[i] = pairs.ego[p];
+      segments[i] = static_cast<size_t>(ego_column[pairs.ego[p]]);
+    }
+
+    autograd::Variable h_member = autograd::GatherRows(h_prev, member_rows);
+    autograd::Variable h_ego = autograd::GatherRows(h_prev, ego_rows);
+    autograd::Variable phi =
+        autograd::GatherRows(scores.pair_phi, kept);
+
+    // aᵀ LeakyReLU(W(φ_ij · h_j) ‖ h_i)
+    autograd::Variable scaled_member =
+        autograd::MulColBroadcast(h_member, phi);
+    autograd::Variable logits = autograd::LeakyRelu(
+        autograd::MatMul(
+            autograd::ConcatCols(autograd::MatMul(scaled_member, weight_),
+                                 h_ego),
+            attention_),
+        0.2);
+    autograd::Variable alpha =
+        autograd::SegmentSoftmax(logits, segments, num_egos);
+    autograd::Variable weighted = autograd::MulColBroadcast(h_member, alpha);
+    autograd::Variable member_sum =
+        autograd::SegmentSum(weighted, segments, num_egos);
+    ego_feats = autograd::Add(ego_feats, member_sum);
+  }
+
+  if (selection.retained_nodes.empty()) {
+    ADAMGNN_CHECK_GT(num_egos, 0u);
+    return ego_feats;
+  }
+  autograd::Variable retained_feats =
+      autograd::GatherRows(h_prev, selection.retained_nodes);
+  if (num_egos == 0) return retained_feats;
+  return autograd::ConcatRows(ego_feats, retained_feats);
+}
+
+std::vector<autograd::Variable> HyperFeatureInit::Parameters() const {
+  return {weight_, attention_};
+}
+
+}  // namespace adamgnn::core

@@ -1,0 +1,38 @@
+// Training-strategy losses (Section 3.5): the graph-reconstruction loss L_R
+// (Eq. 6) fighting over-smoothing, and a convenience wrapper around the
+// Student-t self-optimisation loss L_KL (Eq. 5).
+
+#ifndef ADAMGNN_CORE_LOSSES_H_
+#define ADAMGNN_CORE_LOSSES_H_
+
+#include <utility>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace adamgnn::core {
+
+/// L_R = BCE(σ(h_u·h_v), A_uv) over all edges of g plus `neg_per_pos`
+/// sampled non-edges per edge. The paper's Eq. 6 scores every pair (dense
+/// σ(HHᵀ)); sampling the negatives is the standard O(|E|) estimator of the
+/// same objective and is what keeps L_R usable on large graphs.
+autograd::Variable ReconstructionLoss(const autograd::Variable& h,
+                                      const graph::Graph& g, util::Rng* rng,
+                                      int neg_per_pos = 1);
+
+/// Same estimator over an explicit positive edge list (used by the link
+/// prediction task, where only training edges may be scored).
+autograd::Variable ReconstructionLossOnEdges(
+    const autograd::Variable& h,
+    const std::vector<std::pair<size_t, size_t>>& positives,
+    const std::vector<std::pair<size_t, size_t>>& negatives);
+
+/// L_KL over the level-1 selected egos (Eq. 5). `ego_rows` must be non-empty.
+autograd::Variable KlSelfOptimisationLoss(const autograd::Variable& h,
+                                          const std::vector<size_t>& ego_rows);
+
+}  // namespace adamgnn::core
+
+#endif  // ADAMGNN_CORE_LOSSES_H_

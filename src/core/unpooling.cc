@@ -1,0 +1,21 @@
+#include "core/unpooling.h"
+
+#include "autograd/sparse_ops.h"
+#include "util/logging.h"
+
+namespace adamgnn::core {
+
+autograd::Variable Unpool(const std::vector<Assignment>& assignments,
+                          size_t level, const autograd::Variable& h) {
+  ADAMGNN_CHECK_GE(level, 1u);
+  ADAMGNN_CHECK_LE(level, assignments.size());
+  autograd::Variable out = h;
+  for (size_t k = level; k >= 1; --k) {
+    const Assignment& asg = assignments[k - 1];
+    ADAMGNN_CHECK_EQ(asg.pattern->cols, out.rows());
+    out = autograd::SpMMValues(asg.pattern, asg.values, out);
+  }
+  return out;
+}
+
+}  // namespace adamgnn::core

@@ -1,0 +1,24 @@
+// Graph unpooling (Section 3.3): top-down message passing that restores a
+// level-k representation to the original node set,
+//   Ĥ_k = S_1 (… (S_{k-1} (S_k H_k))).
+// The S chain is differentiable in both the representations and the
+// assignment values, so gradients reach the fitness scores of every level.
+
+#ifndef ADAMGNN_CORE_UNPOOLING_H_
+#define ADAMGNN_CORE_UNPOOLING_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/assignment.h"
+
+namespace adamgnn::core {
+
+/// Applies S_{level}, S_{level-1}, …, S_1 to h (the representation produced
+/// at granularity `level`, 1-based). `assignments[i]` is S_{i+1}.
+autograd::Variable Unpool(const std::vector<Assignment>& assignments,
+                          size_t level, const autograd::Variable& h);
+
+}  // namespace adamgnn::core
+
+#endif  // ADAMGNN_CORE_UNPOOLING_H_

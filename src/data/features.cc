@@ -1,0 +1,101 @@
+#include "data/features.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace adamgnn::data {
+
+tensor::Matrix ClassBagOfWords(const std::vector<int>& classes,
+                               const BagOfWordsConfig& config,
+                               util::Rng* rng) {
+  const size_t n = classes.size();
+  ADAMGNN_CHECK_GT(n, 0u);
+  int num_classes = 0;
+  for (int c : classes) num_classes = std::max(num_classes, c + 1);
+  ADAMGNN_CHECK_GE(config.feature_dim,
+                   config.topic_words_per_class);
+
+  // Assign each class a random topic vocabulary (overlaps allowed when the
+  // vocabulary is small relative to classes — as in real corpora).
+  std::vector<std::vector<size_t>> topics(static_cast<size_t>(num_classes));
+  for (auto& topic : topics) {
+    topic.reserve(config.topic_words_per_class);
+    for (size_t w = 0; w < config.topic_words_per_class; ++w) {
+      topic.push_back(rng->NextUint64(config.feature_dim));
+    }
+  }
+
+  tensor::Matrix x(n, config.feature_dim);
+  for (size_t i = 0; i < n; ++i) {
+    const auto& topic = topics[static_cast<size_t>(classes[i])];
+    for (size_t w = 0; w < config.words_per_node; ++w) {
+      size_t word;
+      if (rng->NextBernoulli(config.topic_affinity)) {
+        word = topic[rng->NextUint64(topic.size())];
+      } else {
+        word = rng->NextUint64(config.feature_dim);
+      }
+      x(i, word) += 1.0;
+    }
+    if (config.row_normalize) {
+      double sum = 0.0;
+      for (size_t j = 0; j < config.feature_dim; ++j) sum += x(i, j);
+      if (sum > 0.0) {
+        for (size_t j = 0; j < config.feature_dim; ++j) x(i, j) /= sum;
+      }
+    }
+  }
+  return x;
+}
+
+tensor::Matrix DegreeFeatures(const graph::Graph& g, size_t feature_dim,
+                              util::Rng* rng) {
+  ADAMGNN_CHECK_GE(feature_dim, 10u);
+  const size_t n = g.num_nodes();
+  tensor::Matrix x(n, feature_dim);
+  // Layout: [log-degree | 8 one-hot degree buckets | neighborhood random
+  // projection]. The projection x_i = mean_{u in N(i)} r_u (r iid Gaussian
+  // per node) is structure-derived: nodes with overlapping neighborhoods
+  // get correlated features, the standard featureless-graph treatment.
+  const size_t proj_dim = feature_dim - 9;
+  tensor::Matrix node_codes(n, proj_dim);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j < proj_dim; ++j) {
+      node_codes(i, j) = rng->NextGaussian();
+    }
+  }
+  for (size_t i = 0; i < n; ++i) {
+    const size_t deg = g.Degree(static_cast<graph::NodeId>(i));
+    x(i, 0) = std::log1p(static_cast<double>(deg));
+    size_t bucket = 0;
+    size_t threshold = 1;
+    while (bucket < 7 && deg > threshold) {
+      threshold *= 2;
+      ++bucket;
+    }
+    x(i, 1 + bucket) = 1.0;
+    if (deg > 0) {
+      const double inv = 1.0 / static_cast<double>(deg);
+      for (graph::NodeId u : g.Neighbors(static_cast<graph::NodeId>(i))) {
+        for (size_t j = 0; j < proj_dim; ++j) {
+          x(i, 9 + j) += inv * node_codes(static_cast<size_t>(u), j);
+        }
+      }
+    }
+  }
+  return x;
+}
+
+tensor::Matrix OneHotTypes(const std::vector<int>& types, size_t num_types) {
+  tensor::Matrix x(types.size(), num_types);
+  for (size_t i = 0; i < types.size(); ++i) {
+    ADAMGNN_CHECK_GE(types[i], 0);
+    ADAMGNN_CHECK_LT(static_cast<size_t>(types[i]), num_types);
+    x(i, static_cast<size_t>(types[i])) = 1.0;
+  }
+  return x;
+}
+
+}  // namespace adamgnn::data

@@ -1,0 +1,44 @@
+// Node feature models for the synthetic datasets.
+
+#ifndef ADAMGNN_DATA_FEATURES_H_
+#define ADAMGNN_DATA_FEATURES_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+#include "util/random.h"
+
+namespace adamgnn::data {
+
+struct BagOfWordsConfig {
+  size_t feature_dim = 128;
+  /// Dims reserved per class as its "topic vocabulary".
+  size_t topic_words_per_class = 24;
+  /// Active words per node.
+  size_t words_per_node = 12;
+  /// Probability an active word is drawn from the node's class topic
+  /// (vs. uniform noise over the whole vocabulary).
+  double topic_affinity = 0.8;
+  /// L1-normalize rows (tf-style), as is conventional for Cora/Citeseer.
+  bool row_normalize = true;
+};
+
+/// Class-conditional sparse bag-of-words, mimicking citation-network
+/// features: nodes of a class share a topic vocabulary, plus noise words.
+tensor::Matrix ClassBagOfWords(const std::vector<int>& classes,
+                               const BagOfWordsConfig& config,
+                               util::Rng* rng);
+
+/// Structure-derived features for datasets that ship none (the paper's
+/// Emails graph): log-degree, a one-hot degree bucket, and Gaussian noise.
+/// The substitution note lives in DESIGN.md.
+tensor::Matrix DegreeFeatures(const graph::Graph& g, size_t feature_dim,
+                              util::Rng* rng);
+
+/// One-hot "atom type" features for molecule-style graphs.
+tensor::Matrix OneHotTypes(const std::vector<int>& types, size_t num_types);
+
+}  // namespace adamgnn::data
+
+#endif  // ADAMGNN_DATA_FEATURES_H_

@@ -1,0 +1,208 @@
+#include "data/graph_datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+
+#include "data/features.h"
+#include "graph/builder.h"
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace adamgnn::data {
+
+namespace {
+
+using EdgePair = std::pair<graph::NodeId, graph::NodeId>;
+
+EdgePair Canonical(graph::NodeId a, graph::NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+// Class-conditional node-type sampler: half the draws come from a class-
+// independent background distribution, half from a mildly class-tilted one,
+// so the feature signal alone cannot separate the classes.
+int SampleNodeType(int graph_label, size_t num_types, util::Rng* rng) {
+  std::vector<double> w(num_types);
+  for (size_t t = 0; t < num_types; ++t) {
+    const double background = 1.0 / (1.0 + static_cast<double>(t));
+    const double rank =
+        graph_label == 1
+            ? static_cast<double>(t)
+            : static_cast<double>((t + num_types / 4) % num_types);
+    const double tilted = 1.0 / (1.0 + rank);
+    w[t] = 0.5 * background + 0.5 * tilted;
+  }
+  return static_cast<int>(rng->NextCategorical(w));
+}
+
+// Small molecule-style graph: chain-with-branches backbone; class 1 closes
+// rings (cycles of length 3..6), class 0 adds star/tree decorations.
+std::set<EdgePair> MoleculeEdges(size_t n, size_t target_edges,
+                                 int graph_label, util::Rng* rng) {
+  std::set<EdgePair> edges;
+  // Chain-like backbone: node i attaches to one of the previous 3 nodes,
+  // mimicking a molecular skeleton rather than a broad random tree.
+  for (size_t i = 1; i < n; ++i) {
+    const size_t lo = i > 3 ? i - 3 : 0;
+    const size_t attach = lo + rng->NextUint64(i - lo);
+    edges.insert(Canonical(static_cast<graph::NodeId>(attach),
+                           static_cast<graph::NodeId>(i)));
+  }
+  size_t guard = 0;
+  // Motif mix: class 1 mostly closes rings, class 0 mostly adds star
+  // spokes — but each class does some of both, so single-graph structure is
+  // an imperfect (≈75/25) class signal rather than a giveaway.
+  const double ring_prob = graph_label == 1 ? 0.75 : 0.25;
+  while (edges.size() < target_edges && ++guard < target_edges * 30) {
+    if (rng->NextBernoulli(ring_prob)) {
+      // Ring closure: connect node i to i + L (L in 2..5) — with the chain
+      // backbone this closes short cycles, the planted "mutagenic" motif.
+      const size_t span = 2 + rng->NextUint64(4);
+      if (n <= span + 1) continue;
+      const size_t i = rng->NextUint64(n - span);
+      edges.insert(Canonical(static_cast<graph::NodeId>(i),
+                             static_cast<graph::NodeId>(i + span)));
+    } else {
+      // Star decoration: extra spokes around a random hub.
+      const size_t hub = rng->NextUint64(n);
+      const size_t leaf = rng->NextUint64(n);
+      if (hub == leaf) continue;
+      edges.insert(Canonical(static_cast<graph::NodeId>(hub),
+                             static_cast<graph::NodeId>(leaf)));
+    }
+  }
+  return edges;
+}
+
+// Protein-style graph (used when avg_nodes is large, e.g. D&D): nodes split
+// into domains (dense clusters); class 1 has more, smaller domains with
+// denser intra-domain wiring — a meso-level signal for hierarchical pooling.
+std::set<EdgePair> ProteinEdges(size_t n, size_t target_edges,
+                                int graph_label, util::Rng* rng) {
+  std::set<EdgePair> edges;
+  const size_t num_domains =
+      std::max<size_t>(2, (graph_label == 1 ? n / 30 : n / 45));
+  std::vector<std::vector<graph::NodeId>> domains(num_domains);
+  for (size_t i = 0; i < n; ++i) {
+    domains[i % num_domains].push_back(static_cast<graph::NodeId>(i));
+  }
+  // Spanning path per domain + a chain across domains for connectivity.
+  for (const auto& d : domains) {
+    for (size_t i = 1; i < d.size(); ++i) {
+      edges.insert(Canonical(d[i - 1], d[i]));
+    }
+  }
+  for (size_t k = 1; k < num_domains; ++k) {
+    edges.insert(Canonical(domains[k - 1][0], domains[k][0]));
+  }
+  // 85% of the remaining budget intra-domain, 15% inter-domain.
+  size_t guard = 0;
+  while (edges.size() < target_edges && ++guard < target_edges * 30) {
+    if (rng->NextBernoulli(0.85)) {
+      const auto& d = domains[rng->NextUint64(num_domains)];
+      if (d.size() < 2) continue;
+      const graph::NodeId a = d[rng->NextUint64(d.size())];
+      const graph::NodeId b = d[rng->NextUint64(d.size())];
+      if (a == b) continue;
+      edges.insert(Canonical(a, b));
+    } else {
+      const graph::NodeId a =
+          static_cast<graph::NodeId>(rng->NextUint64(n));
+      const graph::NodeId b =
+          static_cast<graph::NodeId>(rng->NextUint64(n));
+      if (a == b) continue;
+      edges.insert(Canonical(a, b));
+    }
+  }
+  return edges;
+}
+
+util::Result<graph::Graph> MakeOneGraph(const GraphDatasetSpec& spec,
+                                        int graph_label, util::Rng* rng) {
+  // Node count ~ Uniform[0.7, 1.3] * avg, at least 8.
+  const double factor = rng->NextUniform(0.7, 1.3);
+  const size_t n = std::max<size_t>(
+      8, static_cast<size_t>(std::llround(spec.avg_nodes * factor)));
+  const size_t target_edges = std::max<size_t>(
+      n - 1,
+      static_cast<size_t>(std::llround(spec.avg_edges / spec.avg_nodes *
+                                       static_cast<double>(n))));
+
+  std::set<EdgePair> edges =
+      spec.avg_nodes > 100.0
+          ? ProteinEdges(n, target_edges, graph_label, rng)
+          : MoleculeEdges(n, target_edges, graph_label, rng);
+
+  std::vector<int> types(n);
+  for (size_t i = 0; i < n; ++i) {
+    types[i] = SampleNodeType(graph_label, spec.feature_dim, rng);
+  }
+
+  graph::GraphBuilder builder(n);
+  for (const auto& [u, v] : edges) {
+    ADAMGNN_RETURN_NOT_OK(builder.AddEdge(u, v));
+  }
+  ADAMGNN_RETURN_NOT_OK(
+      builder.SetFeatures(OneHotTypes(types, spec.feature_dim)));
+  builder.SetGraphLabel(graph_label);
+  return std::move(builder).Build();
+}
+
+}  // namespace
+
+const std::vector<GraphDatasetId>& AllGraphDatasets() {
+  static const std::vector<GraphDatasetId> kAll = {
+      GraphDatasetId::kNci1,         GraphDatasetId::kNci109,
+      GraphDatasetId::kDd,           GraphDatasetId::kMutag,
+      GraphDatasetId::kMutagenicity, GraphDatasetId::kProteins,
+  };
+  return kAll;
+}
+
+GraphDatasetSpec GetGraphDatasetSpec(GraphDatasetId id) {
+  // Numbers from Table 7 of the paper.
+  switch (id) {
+    case GraphDatasetId::kNci1:
+      return {"NCI1", 4110, 29.87, 32.30, 37, 2};
+    case GraphDatasetId::kNci109:
+      return {"NCI109", 4127, 29.68, 32.13, 38, 2};
+    case GraphDatasetId::kDd:
+      return {"D&D", 1178, 284.32, 715.66, 89, 2};
+    case GraphDatasetId::kMutag:
+      return {"MUTAG", 188, 17.93, 19.79, 7, 2};
+    case GraphDatasetId::kMutagenicity:
+      return {"Mutagenicity", 4337, 30.32, 30.77, 14, 2};
+    case GraphDatasetId::kProteins:
+      return {"PROTEINS", 1113, 39.06, 72.82, 32, 2};
+  }
+  ADAMGNN_CHECK(false) << "unknown dataset id";
+  return {};
+}
+
+util::Result<GraphDataset> MakeGraphDataset(GraphDatasetId id, uint64_t seed,
+                                            double graph_scale) {
+  if (graph_scale <= 0.0 || graph_scale > 1.0) {
+    return util::Status::InvalidArgument("graph_scale must be in (0, 1]");
+  }
+  GraphDatasetSpec spec = GetGraphDatasetSpec(id);
+  util::Rng rng(seed ^ 0x6DA7A5E7ULL);
+
+  const size_t num_graphs = std::max<size_t>(
+      80, static_cast<size_t>(std::llround(spec.num_graphs * graph_scale)));
+
+  GraphDataset out;
+  out.name = spec.name;
+  out.feature_dim = spec.feature_dim;
+  out.num_classes = spec.num_classes;
+  out.graphs.reserve(num_graphs);
+  for (size_t i = 0; i < num_graphs; ++i) {
+    const int label = static_cast<int>(i % 2);  // balanced classes
+    ADAMGNN_ASSIGN_OR_RETURN(graph::Graph g, MakeOneGraph(spec, label, &rng));
+    out.graphs.push_back(std::move(g));
+  }
+  return out;
+}
+
+}  // namespace adamgnn::data

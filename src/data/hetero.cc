@@ -1,0 +1,76 @@
+#include "data/hetero.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "data/sbm.h"
+#include "graph/builder.h"
+#include "util/random.h"
+
+namespace adamgnn::data {
+
+util::Result<HeteroDataset> MakeHeteroAcademicDataset(uint64_t seed,
+                                                      double scale) {
+  if (scale <= 0.0 || scale > 1.0) {
+    return util::Status::InvalidArgument("scale must be in (0, 1]");
+  }
+  util::Rng rng(seed ^ 0x48E7E40ULL);
+  const size_t n = std::max<size_t>(
+      64, static_cast<size_t>(std::llround(2000 * scale)));
+  const size_t m = n * 3;
+  const int num_classes = 4;
+  const size_t feature_dim = 96;
+
+  SbmConfig sbm;
+  sbm.num_nodes = n;
+  sbm.num_classes = num_classes;
+  sbm.communities_per_class = 3;
+  sbm.target_edges = m;
+  ADAMGNN_ASSIGN_OR_RETURN(SbmSample sample, SampleSbm(sbm, &rng));
+
+  // Types alternate within communities so author–paper edges dominate.
+  std::vector<int> types(n);
+  for (size_t v = 0; v < n; ++v) {
+    types[v] = static_cast<int>(v % 2);
+  }
+
+  // Features: class topics live in dims [0, 40) for authors and [48, 88)
+  // for papers — same class, different region per type. The remaining dims
+  // carry noise words.
+  tensor::Matrix features(n, feature_dim);
+  for (size_t v = 0; v < n; ++v) {
+    const int cls = sample.classes[v];
+    const size_t region_base = types[v] == 0 ? 0 : 48;
+    const size_t topic_base =
+        region_base + static_cast<size_t>(cls) * 10;
+    for (int w = 0; w < 6; ++w) {
+      size_t word;
+      if (rng.NextBernoulli(0.6)) {
+        word = topic_base + rng.NextUint64(10);
+      } else {
+        word = rng.NextUint64(feature_dim);
+      }
+      features(v, word) += 1.0;
+    }
+    // L1 normalize.
+    double sum = 0.0;
+    for (size_t j = 0; j < feature_dim; ++j) sum += features(v, j);
+    if (sum > 0) {
+      for (size_t j = 0; j < feature_dim; ++j) features(v, j) /= sum;
+    }
+  }
+
+  graph::GraphBuilder builder(n);
+  for (const auto& [u, v] : sample.edges) {
+    ADAMGNN_RETURN_NOT_OK(builder.AddEdge(u, v));
+  }
+  ADAMGNN_RETURN_NOT_OK(builder.SetFeatures(std::move(features)));
+  ADAMGNN_RETURN_NOT_OK(builder.SetLabels(sample.classes));
+  HeteroDataset out;
+  out.name = "HeteroAcademic";
+  ADAMGNN_ASSIGN_OR_RETURN(out.graph, std::move(builder).Build());
+  out.node_types = std::move(types);
+  return out;
+}
+
+}  // namespace adamgnn::data

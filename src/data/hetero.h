@@ -1,0 +1,33 @@
+// Synthetic heterogeneous academic network for the hetero-AdamGNN
+// extension: two node types (authors, papers) share a research-area class
+// structure, but express their features in disjoint regions of the raw
+// feature space — so a homogeneous encoder sees conflicting signals while a
+// per-type projection can align them.
+
+#ifndef ADAMGNN_DATA_HETERO_H_
+#define ADAMGNN_DATA_HETERO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/status.h"
+
+namespace adamgnn::data {
+
+struct HeteroDataset {
+  std::string name;
+  graph::Graph graph;
+  /// 0 = author, 1 = paper.
+  std::vector<int> node_types;
+  int num_types = 2;
+};
+
+/// Generates the academic network: `scale` shrinks the 2000-node default.
+/// Classes (research areas) are on all nodes; feature dim is 96.
+util::Result<HeteroDataset> MakeHeteroAcademicDataset(uint64_t seed,
+                                                      double scale = 1.0);
+
+}  // namespace adamgnn::data
+
+#endif  // ADAMGNN_DATA_HETERO_H_

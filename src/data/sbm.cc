@@ -1,0 +1,146 @@
+#include "data/sbm.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "util/logging.h"
+
+namespace adamgnn::data {
+
+namespace {
+
+using EdgeSet = std::set<std::pair<graph::NodeId, graph::NodeId>>;
+
+std::pair<graph::NodeId, graph::NodeId> Canonical(graph::NodeId a,
+                                                  graph::NodeId b) {
+  return a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+}
+
+// Samples `count` distinct edges whose endpoints are drawn from `pool_a` and
+// `pool_b` (which may be the same pool), inserting into `edges`.
+void SamplePairs(const std::vector<graph::NodeId>& pool_a,
+                 const std::vector<graph::NodeId>& pool_b, size_t count,
+                 util::Rng* rng, EdgeSet* edges) {
+  if (pool_a.empty() || pool_b.empty()) return;
+  size_t added = 0;
+  // Bounded retries so dense pools cannot loop forever.
+  size_t attempts = 0;
+  const size_t max_attempts = count * 20 + 100;
+  while (added < count && attempts < max_attempts) {
+    ++attempts;
+    graph::NodeId a = pool_a[rng->NextUint64(pool_a.size())];
+    graph::NodeId b = pool_b[rng->NextUint64(pool_b.size())];
+    if (a == b) continue;
+    if (edges->insert(Canonical(a, b)).second) ++added;
+  }
+}
+
+}  // namespace
+
+util::Result<SbmSample> SampleSbm(const SbmConfig& config, util::Rng* rng) {
+  if (config.num_nodes < 4) {
+    return util::Status::InvalidArgument("SBM needs at least 4 nodes");
+  }
+  if (config.num_classes < 1 || config.communities_per_class < 1) {
+    return util::Status::InvalidArgument(
+        "num_classes and communities_per_class must be >= 1");
+  }
+  if (config.frac_within_community < 0 || config.frac_within_class < 0 ||
+      config.frac_within_community + config.frac_within_class > 1.0) {
+    return util::Status::InvalidArgument("invalid edge tier fractions");
+  }
+  const size_t n = config.num_nodes;
+  const int num_comms = config.num_classes * config.communities_per_class;
+
+  SbmSample sample;
+  sample.classes.resize(n);
+  sample.communities.resize(n);
+
+  // Round-robin assignment keeps class/community sizes balanced, then a
+  // shuffle decouples node id from community id.
+  std::vector<graph::NodeId> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = static_cast<graph::NodeId>(i);
+  rng->Shuffle(&order);
+  std::vector<std::vector<graph::NodeId>> comm_members(
+      static_cast<size_t>(num_comms));
+  for (size_t i = 0; i < n; ++i) {
+    const int comm = static_cast<int>(i % static_cast<size_t>(num_comms));
+    const graph::NodeId v = order[i];
+    sample.communities[static_cast<size_t>(v)] = comm;
+    sample.classes[static_cast<size_t>(v)] =
+        comm / config.communities_per_class;
+    comm_members[static_cast<size_t>(comm)].push_back(v);
+  }
+
+  EdgeSet edges;
+
+  // Connectivity backbone: a path through every community, a chain of
+  // communities within each class, and a chain across classes.
+  for (auto& members : comm_members) {
+    for (size_t i = 1; i < members.size(); ++i) {
+      edges.insert(Canonical(members[i - 1], members[i]));
+    }
+  }
+  for (int c = 0; c < config.num_classes; ++c) {
+    for (int k = 1; k < config.communities_per_class; ++k) {
+      const auto& a =
+          comm_members[static_cast<size_t>(c * config.communities_per_class +
+                                           k - 1)];
+      const auto& b = comm_members[static_cast<size_t>(
+          c * config.communities_per_class + k)];
+      if (!a.empty() && !b.empty()) {
+        edges.insert(Canonical(a[rng->NextUint64(a.size())],
+                               b[rng->NextUint64(b.size())]));
+      }
+    }
+  }
+  for (int c = 1; c < config.num_classes; ++c) {
+    const auto& a = comm_members[static_cast<size_t>(
+        (c - 1) * config.communities_per_class)];
+    const auto& b =
+        comm_members[static_cast<size_t>(c * config.communities_per_class)];
+    if (!a.empty() && !b.empty()) {
+      edges.insert(Canonical(a[rng->NextUint64(a.size())],
+                             b[rng->NextUint64(b.size())]));
+    }
+  }
+
+  // Remaining budget split across the three tiers.
+  const size_t budget =
+      config.target_edges > edges.size() ? config.target_edges - edges.size()
+                                         : 0;
+  const size_t within_comm =
+      static_cast<size_t>(config.frac_within_community * budget);
+  const size_t within_class =
+      static_cast<size_t>(config.frac_within_class * budget);
+  const size_t cross_class = budget - within_comm - within_class;
+
+  // Tier 1: within sub-communities, spread proportionally to size.
+  for (const auto& members : comm_members) {
+    const size_t share =
+        within_comm * members.size() / std::max<size_t>(n, 1);
+    SamplePairs(members, members, share, rng, &edges);
+  }
+  // Tier 2: across sub-communities of the same class.
+  for (int c = 0; c < config.num_classes; ++c) {
+    std::vector<graph::NodeId> class_pool;
+    for (int k = 0; k < config.communities_per_class; ++k) {
+      const auto& m = comm_members[static_cast<size_t>(
+          c * config.communities_per_class + k)];
+      class_pool.insert(class_pool.end(), m.begin(), m.end());
+    }
+    const size_t share =
+        within_class * class_pool.size() / std::max<size_t>(n, 1);
+    SamplePairs(class_pool, class_pool, share, rng, &edges);
+  }
+  // Tier 3: fully random (mostly cross-class noise).
+  std::vector<graph::NodeId> all(n);
+  for (size_t i = 0; i < n; ++i) all[i] = static_cast<graph::NodeId>(i);
+  SamplePairs(all, all, cross_class, rng, &edges);
+
+  sample.edges.assign(edges.begin(), edges.end());
+  return sample;
+}
+
+}  // namespace adamgnn::data

@@ -1,0 +1,112 @@
+#include "data/splits.h"
+
+#include <algorithm>
+#include <set>
+
+#include "graph/builder.h"
+#include "util/logging.h"
+
+namespace adamgnn::data {
+
+util::Result<IndexSplit> SplitIndices(size_t n, double train_frac,
+                                      double val_frac, util::Rng* rng) {
+  if (n == 0) return util::Status::InvalidArgument("empty index set");
+  if (train_frac <= 0 || val_frac <= 0 || train_frac + val_frac >= 1.0) {
+    return util::Status::InvalidArgument("invalid split fractions");
+  }
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  rng->Shuffle(&order);
+  const size_t n_train = std::max<size_t>(
+      1, static_cast<size_t>(train_frac * static_cast<double>(n)));
+  const size_t n_val = std::max<size_t>(
+      1, static_cast<size_t>(val_frac * static_cast<double>(n)));
+  if (n_train + n_val >= n) {
+    return util::Status::InvalidArgument("split leaves no test items");
+  }
+  IndexSplit split;
+  split.train.assign(order.begin(), order.begin() + n_train);
+  split.val.assign(order.begin() + n_train, order.begin() + n_train + n_val);
+  split.test.assign(order.begin() + n_train + n_val, order.end());
+  return split;
+}
+
+namespace {
+
+// Samples `count` distinct non-edges of g, avoiding `taken`.
+std::vector<std::pair<size_t, size_t>> SampleNegatives(
+    const graph::Graph& g, size_t count,
+    std::set<std::pair<size_t, size_t>>* taken, util::Rng* rng) {
+  std::vector<std::pair<size_t, size_t>> out;
+  const size_t n = g.num_nodes();
+  size_t guard = 0;
+  const size_t max_attempts = count * 100 + 1000;
+  while (out.size() < count && ++guard < max_attempts) {
+    size_t u = rng->NextUint64(n);
+    size_t v = rng->NextUint64(n);
+    if (u == v) continue;
+    if (u > v) std::swap(u, v);
+    if (g.HasEdge(static_cast<graph::NodeId>(u),
+                  static_cast<graph::NodeId>(v))) {
+      continue;
+    }
+    if (!taken->insert({u, v}).second) continue;
+    out.emplace_back(u, v);
+  }
+  return out;
+}
+
+}  // namespace
+
+util::Result<LinkSplit> MakeLinkSplit(const graph::Graph& g, double val_frac,
+                                      double test_frac, util::Rng* rng) {
+  if (val_frac <= 0 || test_frac <= 0 || val_frac + test_frac >= 1.0) {
+    return util::Status::InvalidArgument("invalid link split fractions");
+  }
+  std::vector<graph::Edge> edges = g.UndirectedEdges();
+  if (edges.size() < 10) {
+    return util::Status::InvalidArgument("too few edges for a link split");
+  }
+  rng->Shuffle(&edges);
+  const size_t n_val = std::max<size_t>(
+      1, static_cast<size_t>(val_frac * static_cast<double>(edges.size())));
+  const size_t n_test = std::max<size_t>(
+      1, static_cast<size_t>(test_frac * static_cast<double>(edges.size())));
+  ADAMGNN_CHECK_LT(n_val + n_test, edges.size());
+
+  LinkSplit split;
+  auto to_pair = [](const graph::Edge& e) {
+    return std::make_pair(static_cast<size_t>(e.src),
+                          static_cast<size_t>(e.dst));
+  };
+  for (size_t i = 0; i < n_val; ++i) split.val_pos.push_back(to_pair(edges[i]));
+  for (size_t i = n_val; i < n_val + n_test; ++i) {
+    split.test_pos.push_back(to_pair(edges[i]));
+  }
+  for (size_t i = n_val + n_test; i < edges.size(); ++i) {
+    split.train_pos.push_back(to_pair(edges[i]));
+  }
+
+  // Training graph retains only training positives; features/labels carry
+  // over unchanged.
+  graph::GraphBuilder builder(g.num_nodes());
+  for (size_t i = n_val + n_test; i < edges.size(); ++i) {
+    ADAMGNN_RETURN_NOT_OK(
+        builder.AddEdge(edges[i].src, edges[i].dst, edges[i].weight));
+  }
+  if (g.has_features()) {
+    ADAMGNN_RETURN_NOT_OK(builder.SetFeatures(g.features()));
+  }
+  if (g.has_labels()) {
+    ADAMGNN_RETURN_NOT_OK(builder.SetLabels(g.labels()));
+  }
+  ADAMGNN_ASSIGN_OR_RETURN(split.train_graph, std::move(builder).Build());
+
+  std::set<std::pair<size_t, size_t>> taken;
+  split.train_neg = SampleNegatives(g, split.train_pos.size(), &taken, rng);
+  split.val_neg = SampleNegatives(g, split.val_pos.size(), &taken, rng);
+  split.test_neg = SampleNegatives(g, split.test_pos.size(), &taken, rng);
+  return split;
+}
+
+}  // namespace adamgnn::data

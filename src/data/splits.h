@@ -1,0 +1,48 @@
+// Train/validation/test splitting, following the paper's protocol:
+// 80/10/10 over labelled nodes (or graphs), and for link prediction 80/10/10
+// over existing edges with an equal number of sampled non-edges per split.
+
+#ifndef ADAMGNN_DATA_SPLITS_H_
+#define ADAMGNN_DATA_SPLITS_H_
+
+#include <utility>
+#include <vector>
+
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace adamgnn::data {
+
+/// Index split over n items.
+struct IndexSplit {
+  std::vector<size_t> train;
+  std::vector<size_t> val;
+  std::vector<size_t> test;
+};
+
+/// Random shuffle-split; fractions must satisfy 0 < train, val, and
+/// train + val < 1 (test takes the remainder).
+util::Result<IndexSplit> SplitIndices(size_t n, double train_frac,
+                                      double val_frac, util::Rng* rng);
+
+/// Link-prediction split: positives are existing edges, negatives are
+/// sampled non-edges (one per positive in each split).
+struct LinkSplit {
+  /// The observable graph: original minus val/test positive edges.
+  graph::Graph train_graph;
+  /// (u,v) pairs per split.
+  std::vector<std::pair<size_t, size_t>> train_pos, train_neg;
+  std::vector<std::pair<size_t, size_t>> val_pos, val_neg;
+  std::vector<std::pair<size_t, size_t>> test_pos, test_neg;
+};
+
+/// Builds a link split from g. val_frac/test_frac apply to edges; removing
+/// them from the training graph may disconnect it (as in the standard
+/// protocol). Negatives are disjoint from all edges of g.
+util::Result<LinkSplit> MakeLinkSplit(const graph::Graph& g, double val_frac,
+                                      double test_frac, util::Rng* rng);
+
+}  // namespace adamgnn::data
+
+#endif  // ADAMGNN_DATA_SPLITS_H_

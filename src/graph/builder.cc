@@ -1,0 +1,93 @@
+#include "graph/builder.h"
+
+#include <algorithm>
+#include <string>
+
+namespace adamgnn::graph {
+
+util::Status GraphBuilder::AddEdge(NodeId u, NodeId v, double weight) {
+  if (u < 0 || v < 0 || static_cast<size_t>(u) >= num_nodes_ ||
+      static_cast<size_t>(v) >= num_nodes_) {
+    return util::Status::InvalidArgument(
+        "edge endpoint out of range: (" + std::to_string(u) + ", " +
+        std::to_string(v) + ") with n=" + std::to_string(num_nodes_));
+  }
+  if (u == v) {
+    return util::Status::InvalidArgument("self-loop rejected at node " +
+                                         std::to_string(u));
+  }
+  if (weight <= 0.0) {
+    return util::Status::InvalidArgument("edge weight must be positive");
+  }
+  edges_.push_back({u, v, weight});
+  return util::Status::OK();
+}
+
+util::Status GraphBuilder::SetFeatures(tensor::Matrix features) {
+  if (features.rows() != num_nodes_) {
+    return util::Status::InvalidArgument(
+        "feature rows (" + std::to_string(features.rows()) +
+        ") != num_nodes (" + std::to_string(num_nodes_) + ")");
+  }
+  features_ = std::move(features);
+  return util::Status::OK();
+}
+
+util::Status GraphBuilder::SetLabels(std::vector<int> labels) {
+  if (labels.size() != num_nodes_) {
+    return util::Status::InvalidArgument(
+        "label count (" + std::to_string(labels.size()) + ") != num_nodes (" +
+        std::to_string(num_nodes_) + ")");
+  }
+  for (int l : labels) {
+    if (l < 0) {
+      return util::Status::InvalidArgument("negative node label");
+    }
+  }
+  labels_ = std::move(labels);
+  return util::Status::OK();
+}
+
+util::Result<Graph> GraphBuilder::Build() && {
+  // Expand to directed copies, canonicalize, dedupe keeping max weight.
+  std::vector<Edge> directed;
+  directed.reserve(edges_.size() * 2);
+  for (const Edge& e : edges_) {
+    directed.push_back({e.src, e.dst, e.weight});
+    directed.push_back({e.dst, e.src, e.weight});
+  }
+  std::sort(directed.begin(), directed.end(), [](const Edge& a, const Edge& b) {
+    if (a.src != b.src) return a.src < b.src;
+    return a.dst < b.dst;
+  });
+  std::vector<Edge> unique;
+  unique.reserve(directed.size());
+  for (const Edge& e : directed) {
+    if (!unique.empty() && unique.back().src == e.src &&
+        unique.back().dst == e.dst) {
+      unique.back().weight = std::max(unique.back().weight, e.weight);
+    } else {
+      unique.push_back(e);
+    }
+  }
+
+  Graph g;
+  g.num_nodes_ = num_nodes_;
+  g.offsets_.assign(num_nodes_ + 1, 0);
+  for (const Edge& e : unique) {
+    ++g.offsets_[static_cast<size_t>(e.src) + 1];
+  }
+  for (size_t i = 1; i <= num_nodes_; ++i) g.offsets_[i] += g.offsets_[i - 1];
+  g.directed_dst_.reserve(unique.size());
+  g.directed_weight_.reserve(unique.size());
+  for (const Edge& e : unique) {
+    g.directed_dst_.push_back(e.dst);
+    g.directed_weight_.push_back(e.weight);
+  }
+  g.features_ = std::move(features_);
+  g.labels_ = std::move(labels_);
+  g.graph_label_ = graph_label_;
+  return g;
+}
+
+}  // namespace adamgnn::graph

@@ -1,0 +1,51 @@
+// Mutable accumulator that validates and canonicalizes edges into a Graph.
+
+#ifndef ADAMGNN_GRAPH_BUILDER_H_
+#define ADAMGNN_GRAPH_BUILDER_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace adamgnn::graph {
+
+/// Accumulates edges/attributes and produces an immutable Graph.
+///
+/// Self-loops are rejected (GNN layers add them explicitly where their math
+/// requires it); duplicate edges are coalesced by keeping the maximum weight.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(size_t num_nodes) : num_nodes_(num_nodes) {}
+
+  /// Adds undirected edge (u,v). Returns InvalidArgument for out-of-range
+  /// endpoints or self-loops, and for non-positive weights.
+  util::Status AddEdge(NodeId u, NodeId v, double weight = 1.0);
+
+  /// Sets the full feature matrix; must have num_nodes rows.
+  util::Status SetFeatures(tensor::Matrix features);
+
+  /// Sets per-node integer labels in [0, num_classes).
+  util::Status SetLabels(std::vector<int> labels);
+
+  /// Sets the graph-level class for graph-classification datasets.
+  void SetGraphLabel(int label) { graph_label_ = label; }
+
+  size_t num_pending_edges() const { return edges_.size(); }
+
+  /// Finalizes into a Graph. The builder can be reused afterwards only by
+  /// constructing a new one.
+  util::Result<Graph> Build() &&;
+
+ private:
+  size_t num_nodes_;
+  std::vector<Edge> edges_;
+  tensor::Matrix features_;
+  std::vector<int> labels_;
+  int graph_label_ = -1;
+};
+
+}  // namespace adamgnn::graph
+
+#endif  // ADAMGNN_GRAPH_BUILDER_H_

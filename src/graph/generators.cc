@@ -1,0 +1,160 @@
+#include "graph/generators.h"
+
+#include <vector>
+
+#include "graph/builder.h"
+
+namespace adamgnn::graph {
+
+util::Result<Graph> ErdosRenyi(size_t num_nodes, double p, util::Rng* rng) {
+  if (p < 0.0 || p > 1.0) {
+    return util::Status::InvalidArgument("p must be in [0, 1]");
+  }
+  GraphBuilder builder(num_nodes);
+  for (size_t u = 0; u < num_nodes; ++u) {
+    for (size_t v = u + 1; v < num_nodes; ++v) {
+      if (rng->NextBernoulli(p)) {
+        ADAMGNN_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(u),
+                                              static_cast<NodeId>(v)));
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+util::Result<Graph> BarabasiAlbert(size_t num_nodes, size_t edges_per_node,
+                                   util::Rng* rng) {
+  if (edges_per_node < 1 || num_nodes <= edges_per_node) {
+    return util::Status::InvalidArgument(
+        "need num_nodes > edges_per_node >= 1");
+  }
+  GraphBuilder builder(num_nodes);
+  // Repeated-endpoint list: sampling uniformly from it is sampling
+  // proportional to degree.
+  std::vector<NodeId> endpoints;
+  // Seed clique over the first m+1 nodes.
+  for (size_t u = 0; u <= edges_per_node; ++u) {
+    for (size_t v = u + 1; v <= edges_per_node; ++v) {
+      ADAMGNN_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(u),
+                                            static_cast<NodeId>(v)));
+      endpoints.push_back(static_cast<NodeId>(u));
+      endpoints.push_back(static_cast<NodeId>(v));
+    }
+  }
+  for (size_t v = edges_per_node + 1; v < num_nodes; ++v) {
+    std::vector<NodeId> chosen;
+    size_t guard = 0;
+    while (chosen.size() < edges_per_node && ++guard < 100 * edges_per_node) {
+      NodeId target = endpoints[rng->NextUint64(endpoints.size())];
+      bool duplicate = false;
+      for (NodeId c : chosen) duplicate = duplicate || c == target;
+      if (!duplicate) chosen.push_back(target);
+    }
+    for (NodeId target : chosen) {
+      ADAMGNN_RETURN_NOT_OK(
+          builder.AddEdge(static_cast<NodeId>(v), target));
+      endpoints.push_back(static_cast<NodeId>(v));
+      endpoints.push_back(target);
+    }
+  }
+  return std::move(builder).Build();
+}
+
+util::Result<Graph> WattsStrogatz(size_t num_nodes, size_t k, double beta,
+                                  util::Rng* rng) {
+  if (k < 2 || k % 2 != 0 || num_nodes <= k) {
+    return util::Status::InvalidArgument(
+        "need even k >= 2 and num_nodes > k");
+  }
+  if (beta < 0.0 || beta > 1.0) {
+    return util::Status::InvalidArgument("beta must be in [0, 1]");
+  }
+  GraphBuilder builder(num_nodes);
+  for (size_t u = 0; u < num_nodes; ++u) {
+    for (size_t j = 1; j <= k / 2; ++j) {
+      size_t v = (u + j) % num_nodes;
+      if (rng->NextBernoulli(beta)) {
+        // Rewire: keep u, choose a random non-u target. Collisions with an
+        // existing edge simply coalesce in the builder.
+        size_t w = rng->NextUint64(num_nodes);
+        if (w == u) w = (u + 1) % num_nodes;
+        v = w;
+      }
+      if (v != u) {
+        ADAMGNN_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(u),
+                                              static_cast<NodeId>(v)));
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+util::Result<Graph> Path(size_t num_nodes) {
+  GraphBuilder builder(num_nodes);
+  for (size_t i = 0; i + 1 < num_nodes; ++i) {
+    ADAMGNN_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(i),
+                                          static_cast<NodeId>(i + 1)));
+  }
+  return std::move(builder).Build();
+}
+
+util::Result<Graph> Cycle(size_t num_nodes) {
+  if (num_nodes < 3) {
+    return util::Status::InvalidArgument("cycle needs >= 3 nodes");
+  }
+  GraphBuilder builder(num_nodes);
+  for (size_t i = 0; i < num_nodes; ++i) {
+    ADAMGNN_RETURN_NOT_OK(
+        builder.AddEdge(static_cast<NodeId>(i),
+                        static_cast<NodeId>((i + 1) % num_nodes)));
+  }
+  return std::move(builder).Build();
+}
+
+util::Result<Graph> Star(size_t num_nodes) {
+  if (num_nodes < 2) {
+    return util::Status::InvalidArgument("star needs >= 2 nodes");
+  }
+  GraphBuilder builder(num_nodes);
+  for (size_t i = 1; i < num_nodes; ++i) {
+    ADAMGNN_RETURN_NOT_OK(builder.AddEdge(0, static_cast<NodeId>(i)));
+  }
+  return std::move(builder).Build();
+}
+
+util::Result<Graph> Complete(size_t num_nodes) {
+  if (num_nodes < 2) {
+    return util::Status::InvalidArgument("complete graph needs >= 2 nodes");
+  }
+  GraphBuilder builder(num_nodes);
+  for (size_t u = 0; u < num_nodes; ++u) {
+    for (size_t v = u + 1; v < num_nodes; ++v) {
+      ADAMGNN_RETURN_NOT_OK(builder.AddEdge(static_cast<NodeId>(u),
+                                            static_cast<NodeId>(v)));
+    }
+  }
+  return std::move(builder).Build();
+}
+
+util::Result<Graph> Grid(size_t rows, size_t cols) {
+  if (rows == 0 || cols == 0) {
+    return util::Status::InvalidArgument("grid needs positive dimensions");
+  }
+  GraphBuilder builder(rows * cols);
+  auto id = [cols](size_t r, size_t c) {
+    return static_cast<NodeId>(r * cols + c);
+  };
+  for (size_t r = 0; r < rows; ++r) {
+    for (size_t c = 0; c < cols; ++c) {
+      if (c + 1 < cols) {
+        ADAMGNN_RETURN_NOT_OK(builder.AddEdge(id(r, c), id(r, c + 1)));
+      }
+      if (r + 1 < rows) {
+        ADAMGNN_RETURN_NOT_OK(builder.AddEdge(id(r, c), id(r + 1, c)));
+      }
+    }
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace adamgnn::graph

@@ -1,0 +1,46 @@
+// Classic random- and structured-graph generators: building blocks for
+// tests, benchmarks, and users who want standard topologies (the SBM lives
+// separately in data/sbm.h since it carries class structure).
+
+#ifndef ADAMGNN_GRAPH_GENERATORS_H_
+#define ADAMGNN_GRAPH_GENERATORS_H_
+
+#include "graph/graph.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace adamgnn::graph {
+
+/// G(n, p): every pair independently an edge with probability p.
+util::Result<Graph> ErdosRenyi(size_t num_nodes, double p, util::Rng* rng);
+
+/// Barabási–Albert preferential attachment: each new node attaches
+/// `edges_per_node` edges to existing nodes with probability proportional
+/// to degree. Requires edges_per_node >= 1 and num_nodes > edges_per_node.
+util::Result<Graph> BarabasiAlbert(size_t num_nodes, size_t edges_per_node,
+                                   util::Rng* rng);
+
+/// Watts–Strogatz small world: ring lattice with k nearest neighbors per
+/// side, each edge rewired with probability beta. Requires even k >= 2 and
+/// num_nodes > k.
+util::Result<Graph> WattsStrogatz(size_t num_nodes, size_t k, double beta,
+                                  util::Rng* rng);
+
+/// Path 0-1-…-(n-1).
+util::Result<Graph> Path(size_t num_nodes);
+
+/// Cycle of n nodes (n >= 3).
+util::Result<Graph> Cycle(size_t num_nodes);
+
+/// Star: node 0 connected to all others (n >= 2).
+util::Result<Graph> Star(size_t num_nodes);
+
+/// Complete graph K_n (n >= 2).
+util::Result<Graph> Complete(size_t num_nodes);
+
+/// rows x cols 4-neighbor grid.
+util::Result<Graph> Grid(size_t rows, size_t cols);
+
+}  // namespace adamgnn::graph
+
+#endif  // ADAMGNN_GRAPH_GENERATORS_H_

@@ -1,0 +1,71 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace adamgnn::graph {
+
+std::span<const NodeId> Graph::Neighbors(NodeId v) const {
+  ADAMGNN_CHECK_GE(v, 0);
+  ADAMGNN_CHECK_LT(static_cast<size_t>(v), num_nodes_);
+  size_t begin = offsets_[static_cast<size_t>(v)];
+  size_t end = offsets_[static_cast<size_t>(v) + 1];
+  return {directed_dst_.data() + begin, end - begin};
+}
+
+std::span<const double> Graph::NeighborWeights(NodeId v) const {
+  ADAMGNN_CHECK_GE(v, 0);
+  ADAMGNN_CHECK_LT(static_cast<size_t>(v), num_nodes_);
+  size_t begin = offsets_[static_cast<size_t>(v)];
+  size_t end = offsets_[static_cast<size_t>(v) + 1];
+  return {directed_weight_.data() + begin, end - begin};
+}
+
+size_t Graph::Degree(NodeId v) const { return Neighbors(v).size(); }
+
+bool Graph::HasEdge(NodeId u, NodeId v) const {
+  auto nbrs = Neighbors(u);
+  return std::binary_search(nbrs.begin(), nbrs.end(), v);
+}
+
+double Graph::EdgeWeight(NodeId u, NodeId v) const {
+  auto nbrs = Neighbors(u);
+  auto it = std::lower_bound(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end() || *it != v) return 0.0;
+  size_t pos = offsets_[static_cast<size_t>(u)] +
+               static_cast<size_t>(it - nbrs.begin());
+  return directed_weight_[pos];
+}
+
+std::vector<Edge> Graph::UndirectedEdges() const {
+  std::vector<Edge> out;
+  out.reserve(num_edges());
+  for (NodeId u = 0; static_cast<size_t>(u) < num_nodes_; ++u) {
+    auto nbrs = Neighbors(u);
+    auto ws = NeighborWeights(u);
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      if (nbrs[i] > u) out.push_back({u, nbrs[i], ws[i]});
+    }
+  }
+  return out;
+}
+
+int Graph::num_classes() const {
+  int max_label = -1;
+  for (int l : labels_) max_label = std::max(max_label, l);
+  return max_label + 1;
+}
+
+std::string Graph::DebugString() const {
+  std::ostringstream os;
+  os << "Graph(n=" << num_nodes_ << ", m=" << num_edges();
+  if (has_features()) os << ", f=" << feature_dim();
+  if (has_labels()) os << ", classes=" << num_classes();
+  if (graph_label_ >= 0) os << ", graph_label=" << graph_label_;
+  os << ")";
+  return os.str();
+}
+
+}  // namespace adamgnn::graph

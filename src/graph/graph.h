@@ -1,0 +1,82 @@
+// Immutable undirected attributed graph in CSR form: the substrate every
+// model in this library consumes. Construct through graph::GraphBuilder.
+
+#ifndef ADAMGNN_GRAPH_GRAPH_H_
+#define ADAMGNN_GRAPH_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace adamgnn::graph {
+
+using NodeId = int64_t;
+
+/// One endpoint pair with a weight; graphs are undirected so (u,v) and (v,u)
+/// denote the same edge.
+struct Edge {
+  NodeId src = 0;
+  NodeId dst = 0;
+  double weight = 1.0;
+};
+
+/// Undirected attributed graph G = (V, E, X) with optional node labels.
+///
+/// Adjacency is CSR over both edge directions, sorted by neighbor id within
+/// each row, no self-loops, no parallel edges. Instances are immutable after
+/// construction, so views returned by Neighbors() stay valid for the graph's
+/// lifetime.
+class Graph {
+ public:
+  Graph() = default;
+
+  size_t num_nodes() const { return num_nodes_; }
+  /// Number of undirected edges (each counted once).
+  size_t num_edges() const { return directed_dst_.size() / 2; }
+
+  /// Neighbor ids of `v`, sorted ascending.
+  std::span<const NodeId> Neighbors(NodeId v) const;
+  /// Weights aligned with Neighbors(v).
+  std::span<const double> NeighborWeights(NodeId v) const;
+  size_t Degree(NodeId v) const;
+  bool HasEdge(NodeId u, NodeId v) const;
+  /// Weight of edge (u,v), or 0 when absent.
+  double EdgeWeight(NodeId u, NodeId v) const;
+
+  /// Unique undirected edges with src < dst.
+  std::vector<Edge> UndirectedEdges() const;
+
+  bool has_features() const { return features_.rows() == num_nodes_; }
+  const tensor::Matrix& features() const { return features_; }
+  size_t feature_dim() const { return features_.cols(); }
+
+  bool has_labels() const { return labels_.size() == num_nodes_; }
+  const std::vector<int>& labels() const { return labels_; }
+  int label(NodeId v) const { return labels_[static_cast<size_t>(v)]; }
+  /// Number of distinct labels (max label + 1); 0 when unlabeled.
+  int num_classes() const;
+
+  /// Graph-level class for graph-classification datasets (-1 when unset).
+  int graph_label() const { return graph_label_; }
+
+  std::string DebugString() const;
+
+ private:
+  friend class GraphBuilder;
+
+  size_t num_nodes_ = 0;
+  // CSR over directed copies of each undirected edge.
+  std::vector<size_t> offsets_;     // size num_nodes_ + 1
+  std::vector<NodeId> directed_dst_;
+  std::vector<double> directed_weight_;
+  tensor::Matrix features_;
+  std::vector<int> labels_;
+  int graph_label_ = -1;
+};
+
+}  // namespace adamgnn::graph
+
+#endif  // ADAMGNN_GRAPH_GRAPH_H_

@@ -1,0 +1,208 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "graph/builder.h"
+
+namespace adamgnn::graph {
+
+namespace {
+
+bool IsSkippable(const std::string& line) {
+  for (char c : line) {
+    if (c == '#') return true;
+    if (!std::isspace(static_cast<unsigned char>(c))) return false;
+  }
+  return true;  // blank
+}
+
+std::string LineError(const std::string& path, size_t line_no,
+                      const std::string& what) {
+  return path + ":" + std::to_string(line_no) + ": " + what;
+}
+
+}  // namespace
+
+util::Result<Graph> ReadEdgeList(const std::string& path, size_t num_nodes) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::NotFound("cannot open: " + path);
+  }
+  struct RawEdge {
+    NodeId u, v;
+    double w;
+  };
+  std::vector<RawEdge> edges;
+  NodeId max_id = -1;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsSkippable(line)) continue;
+    std::istringstream ss(line);
+    int64_t u = 0, v = 0;
+    double w = 1.0;
+    if (!(ss >> u >> v)) {
+      return util::Status::InvalidArgument(
+          LineError(path, line_no, "expected 'u v [weight]'"));
+    }
+    ss >> w;  // optional
+    if (u < 0 || v < 0) {
+      return util::Status::InvalidArgument(
+          LineError(path, line_no, "negative node id"));
+    }
+    edges.push_back({u, v, w});
+    max_id = std::max({max_id, u, v});
+  }
+  const size_t n =
+      num_nodes > 0 ? num_nodes : static_cast<size_t>(max_id + 1);
+  GraphBuilder builder(n);
+  for (const RawEdge& e : edges) {
+    ADAMGNN_RETURN_NOT_OK(builder.AddEdge(e.u, e.v, e.w));
+  }
+  return std::move(builder).Build();
+}
+
+util::Status WriteEdgeList(const Graph& g, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out << "# " << g.num_nodes() << " nodes, " << g.num_edges()
+      << " undirected edges\n";
+  out.precision(17);
+  for (const Edge& e : g.UndirectedEdges()) {
+    out << e.src << " " << e.dst << " " << e.weight << "\n";
+  }
+  if (!out) {
+    return util::Status::Internal("write failed: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Result<tensor::Matrix> ReadDenseMatrix(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::NotFound("cannot open: " + path);
+  }
+  std::vector<double> values;
+  size_t cols = 0, rows = 0;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsSkippable(line)) continue;
+    std::istringstream ss(line);
+    size_t row_cols = 0;
+    double x = 0;
+    while (ss >> x) {
+      values.push_back(x);
+      ++row_cols;
+    }
+    if (!ss.eof()) {
+      return util::Status::InvalidArgument(
+          LineError(path, line_no, "non-numeric token"));
+    }
+    if (row_cols == 0) continue;
+    if (cols == 0) {
+      cols = row_cols;
+    } else if (row_cols != cols) {
+      return util::Status::InvalidArgument(LineError(
+          path, line_no,
+          "row has " + std::to_string(row_cols) + " columns, expected " +
+              std::to_string(cols)));
+    }
+    ++rows;
+  }
+  if (rows == 0) {
+    return util::Status::InvalidArgument("empty matrix file: " + path);
+  }
+  return tensor::Matrix(rows, cols, std::move(values));
+}
+
+util::Status WriteDenseMatrix(const tensor::Matrix& m,
+                              const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  out.precision(17);
+  for (size_t r = 0; r < m.rows(); ++r) {
+    for (size_t c = 0; c < m.cols(); ++c) {
+      if (c > 0) out << ' ';
+      out << m(r, c);
+    }
+    out << '\n';
+  }
+  if (!out) {
+    return util::Status::Internal("write failed: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Result<std::vector<int>> ReadLabels(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return util::Status::NotFound("cannot open: " + path);
+  }
+  std::vector<int> labels;
+  std::string line;
+  size_t line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (IsSkippable(line)) continue;
+    std::istringstream ss(line);
+    int label = 0;
+    if (!(ss >> label) || label < 0) {
+      return util::Status::InvalidArgument(
+          LineError(path, line_no, "expected a non-negative label"));
+    }
+    labels.push_back(label);
+  }
+  if (labels.empty()) {
+    return util::Status::InvalidArgument("empty label file: " + path);
+  }
+  return labels;
+}
+
+util::Status WriteLabels(const std::vector<int>& labels,
+                         const std::string& path) {
+  std::ofstream out(path);
+  if (!out) {
+    return util::Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  for (int l : labels) out << l << '\n';
+  if (!out) {
+    return util::Status::Internal("write failed: " + path);
+  }
+  return util::Status::OK();
+}
+
+util::Result<Graph> ReadGraph(const std::string& edge_path,
+                              const std::string& feature_path,
+                              const std::string& label_path,
+                              size_t num_nodes) {
+  ADAMGNN_ASSIGN_OR_RETURN(Graph structural,
+                           ReadEdgeList(edge_path, num_nodes));
+  if (feature_path.empty() && label_path.empty()) return structural;
+
+  GraphBuilder builder(structural.num_nodes());
+  for (const Edge& e : structural.UndirectedEdges()) {
+    ADAMGNN_RETURN_NOT_OK(builder.AddEdge(e.src, e.dst, e.weight));
+  }
+  if (!feature_path.empty()) {
+    ADAMGNN_ASSIGN_OR_RETURN(tensor::Matrix features,
+                             ReadDenseMatrix(feature_path));
+    ADAMGNN_RETURN_NOT_OK(builder.SetFeatures(std::move(features)));
+  }
+  if (!label_path.empty()) {
+    ADAMGNN_ASSIGN_OR_RETURN(std::vector<int> labels, ReadLabels(label_path));
+    ADAMGNN_RETURN_NOT_OK(builder.SetLabels(std::move(labels)));
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace adamgnn::graph

@@ -1,0 +1,50 @@
+// Plain-text graph I/O so users can bring their own datasets: whitespace
+// edge lists (SNAP style, optional weights, '#' comments), dense feature
+// matrices, and label files. Readers validate aggressively and report line
+// numbers on failure.
+
+#ifndef ADAMGNN_GRAPH_IO_H_
+#define ADAMGNN_GRAPH_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace adamgnn::graph {
+
+/// Reads "u v [weight]" lines (0-based node ids). Lines starting with '#'
+/// and blank lines are skipped. `num_nodes` = 0 infers max id + 1.
+util::Result<Graph> ReadEdgeList(const std::string& path,
+                                 size_t num_nodes = 0);
+
+/// Writes each undirected edge once as "u v weight".
+util::Status WriteEdgeList(const Graph& g, const std::string& path);
+
+/// Reads a dense whitespace-separated matrix; every row must have the same
+/// number of columns.
+util::Result<tensor::Matrix> ReadDenseMatrix(const std::string& path);
+
+/// Writes a matrix row per line, space separated, full double precision.
+util::Status WriteDenseMatrix(const tensor::Matrix& m,
+                              const std::string& path);
+
+/// Reads one non-negative integer label per line.
+util::Result<std::vector<int>> ReadLabels(const std::string& path);
+
+/// Writes one label per line.
+util::Status WriteLabels(const std::vector<int>& labels,
+                         const std::string& path);
+
+/// Convenience: assembles a Graph from the three files (features/labels
+/// paths may be empty to skip them).
+util::Result<Graph> ReadGraph(const std::string& edge_path,
+                              const std::string& feature_path,
+                              const std::string& label_path,
+                              size_t num_nodes = 0);
+
+}  // namespace adamgnn::graph
+
+#endif  // ADAMGNN_GRAPH_IO_H_

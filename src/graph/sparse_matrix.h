@@ -1,0 +1,88 @@
+// General sparse matrix in CSR form. This carries the GCN propagation
+// operator Â = D^{-1/2}(A+I)D^{-1/2}, the AdamGNN assignment matrices S_k,
+// and the pooled adjacencies A_k = S_kᵀ Â_{k-1} S_k.
+
+#ifndef ADAMGNN_GRAPH_SPARSE_MATRIX_H_
+#define ADAMGNN_GRAPH_SPARSE_MATRIX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+#include "tensor/matrix.h"
+
+namespace adamgnn::graph {
+
+/// One nonzero entry (used for construction from triplets).
+struct Triplet {
+  size_t row = 0;
+  size_t col = 0;
+  double value = 0.0;
+};
+
+/// Immutable sparse rows x cols matrix, CSR, column-sorted within each row,
+/// duplicate triplets coalesced by summation.
+class SparseMatrix {
+ public:
+  SparseMatrix() = default;
+
+  /// Builds from (row, col, value) triplets; duplicates are summed, exact
+  /// zeros after coalescing are dropped. Out-of-range indices abort.
+  static SparseMatrix FromTriplets(size_t rows, size_t cols,
+                                   std::vector<Triplet> triplets);
+
+  /// Identity of size n.
+  static SparseMatrix Identity(size_t n);
+
+  /// Adjacency (with edge weights) of g as an n x n sparse matrix.
+  static SparseMatrix Adjacency(const Graph& g);
+
+  /// Symmetric GCN normalization D̂^{-1/2}(A+I)D̂^{-1/2} over g's weighted
+  /// adjacency (Kipf & Welling 2017, Eq. 1 of the paper).
+  static SparseMatrix NormalizedAdjacency(const Graph& g);
+
+  /// Symmetric GCN normalization of *this* matrix (adds identity, then
+  /// normalizes by row sums). Requires square shape and non-negative values.
+  SparseMatrix Normalized() const;
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t nnz() const { return col_indices_.size(); }
+
+  const std::vector<size_t>& row_offsets() const { return row_offsets_; }
+  const std::vector<size_t>& col_indices() const { return col_indices_; }
+  const std::vector<double>& values() const { return values_; }
+  std::vector<double>& mutable_values() { return values_; }
+
+  /// Value at (r, c); 0 when the position is structurally empty.
+  double At(size_t r, size_t c) const;
+
+  /// this * dense. Shapes (r,c)(c,d) -> (r,d).
+  tensor::Matrix MultiplyDense(const tensor::Matrix& x) const;
+  /// thisᵀ * dense without materializing the transpose.
+  tensor::Matrix TransposeMultiplyDense(const tensor::Matrix& x) const;
+
+  /// Sparse-sparse product this * other.
+  SparseMatrix Multiply(const SparseMatrix& other) const;
+  SparseMatrix Transposed() const;
+
+  /// Scales each row to sum to 1 (rows with zero sum are left untouched).
+  SparseMatrix RowNormalized() const;
+
+  /// Dense copy (for tests and tiny matrices only).
+  tensor::Matrix ToDense() const;
+
+  std::string DebugString() const;
+
+ private:
+  size_t rows_ = 0;
+  size_t cols_ = 0;
+  std::vector<size_t> row_offsets_;  // size rows_ + 1
+  std::vector<size_t> col_indices_;
+  std::vector<double> values_;
+};
+
+}  // namespace adamgnn::graph
+
+#endif  // ADAMGNN_GRAPH_SPARSE_MATRIX_H_

@@ -1,0 +1,103 @@
+#include "graph/traversal.h"
+
+#include <deque>
+
+#include "util/logging.h"
+
+namespace adamgnn::graph {
+
+namespace {
+// BFS out to `lambda` hops using a caller-provided visited buffer (entries
+// must equal `unvisited` on entry; restored before returning).
+void BoundedBfs(const Graph& g, NodeId ego, int lambda,
+                std::vector<int>* visited, std::vector<NodeId>* out) {
+  out->clear();
+  std::deque<std::pair<NodeId, int>> queue;
+  queue.emplace_back(ego, 0);
+  (*visited)[static_cast<size_t>(ego)] = 1;
+  std::vector<NodeId> seen = {ego};
+  while (!queue.empty()) {
+    auto [v, depth] = queue.front();
+    queue.pop_front();
+    if (depth == lambda) continue;
+    for (NodeId w : g.Neighbors(v)) {
+      if ((*visited)[static_cast<size_t>(w)]) continue;
+      (*visited)[static_cast<size_t>(w)] = 1;
+      seen.push_back(w);
+      out->push_back(w);
+      queue.emplace_back(w, depth + 1);
+    }
+  }
+  for (NodeId v : seen) (*visited)[static_cast<size_t>(v)] = 0;
+}
+}  // namespace
+
+std::vector<NodeId> EgoNetwork(const Graph& g, NodeId ego, int lambda) {
+  ADAMGNN_CHECK_GE(ego, 0);
+  ADAMGNN_CHECK_LT(static_cast<size_t>(ego), g.num_nodes());
+  ADAMGNN_CHECK_GE(lambda, 1);
+  std::vector<int> visited(g.num_nodes(), 0);
+  std::vector<NodeId> out;
+  BoundedBfs(g, ego, lambda, &visited, &out);
+  return out;
+}
+
+std::vector<std::vector<NodeId>> AllEgoNetworks(const Graph& g, int lambda) {
+  ADAMGNN_CHECK_GE(lambda, 1);
+  std::vector<std::vector<NodeId>> out(g.num_nodes());
+  std::vector<int> visited(g.num_nodes(), 0);
+  for (NodeId v = 0; static_cast<size_t>(v) < g.num_nodes(); ++v) {
+    BoundedBfs(g, v, lambda, &visited, &out[static_cast<size_t>(v)]);
+  }
+  return out;
+}
+
+std::vector<int> BfsDistances(const Graph& g, NodeId src) {
+  ADAMGNN_CHECK_GE(src, 0);
+  ADAMGNN_CHECK_LT(static_cast<size_t>(src), g.num_nodes());
+  std::vector<int> dist(g.num_nodes(), -1);
+  std::deque<NodeId> queue = {src};
+  dist[static_cast<size_t>(src)] = 0;
+  while (!queue.empty()) {
+    NodeId v = queue.front();
+    queue.pop_front();
+    for (NodeId w : g.Neighbors(v)) {
+      if (dist[static_cast<size_t>(w)] >= 0) continue;
+      dist[static_cast<size_t>(w)] = dist[static_cast<size_t>(v)] + 1;
+      queue.push_back(w);
+    }
+  }
+  return dist;
+}
+
+std::vector<int> ConnectedComponents(const Graph& g) {
+  std::vector<int> comp(g.num_nodes(), -1);
+  int next = 0;
+  std::deque<NodeId> queue;
+  for (NodeId s = 0; static_cast<size_t>(s) < g.num_nodes(); ++s) {
+    if (comp[static_cast<size_t>(s)] >= 0) continue;
+    comp[static_cast<size_t>(s)] = next;
+    queue.push_back(s);
+    while (!queue.empty()) {
+      NodeId v = queue.front();
+      queue.pop_front();
+      for (NodeId w : g.Neighbors(v)) {
+        if (comp[static_cast<size_t>(w)] >= 0) continue;
+        comp[static_cast<size_t>(w)] = next;
+        queue.push_back(w);
+      }
+    }
+    ++next;
+  }
+  return comp;
+}
+
+int NumConnectedComponents(const Graph& g) {
+  if (g.num_nodes() == 0) return 0;
+  auto comp = ConnectedComponents(g);
+  int max_id = 0;
+  for (int c : comp) max_id = std::max(max_id, c);
+  return max_id + 1;
+}
+
+}  // namespace adamgnn::graph

@@ -1,0 +1,32 @@
+// Graph traversal: λ-hop ego-networks (the unit AdamGNN pools over),
+// BFS distances, and connected components.
+
+#ifndef ADAMGNN_GRAPH_TRAVERSAL_H_
+#define ADAMGNN_GRAPH_TRAVERSAL_H_
+
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace adamgnn::graph {
+
+/// Nodes within `lambda` hops of `ego` (the ego itself excluded), in BFS
+/// order. λ = 1 returns the direct neighbors.
+std::vector<NodeId> EgoNetwork(const Graph& g, NodeId ego, int lambda);
+
+/// λ-hop neighborhoods for every node. Equivalent to calling EgoNetwork for
+/// each node but shares the visited-marks buffer across calls.
+std::vector<std::vector<NodeId>> AllEgoNetworks(const Graph& g, int lambda);
+
+/// BFS hop distance from src to every node; -1 where unreachable.
+std::vector<int> BfsDistances(const Graph& g, NodeId src);
+
+/// Component id per node, ids dense in [0, num_components).
+std::vector<int> ConnectedComponents(const Graph& g);
+
+/// Number of connected components.
+int NumConnectedComponents(const Graph& g);
+
+}  // namespace adamgnn::graph
+
+#endif  // ADAMGNN_GRAPH_TRAVERSAL_H_

@@ -1,0 +1,24 @@
+#include "nn/dropout.h"
+
+#include "autograd/ops.h"
+#include "util/logging.h"
+
+namespace adamgnn::nn {
+
+Dropout::Dropout(double p) : p_(p) {
+  ADAMGNN_CHECK_GE(p, 0.0);
+  ADAMGNN_CHECK_LT(p, 1.0);
+}
+
+autograd::Variable Dropout::Apply(const autograd::Variable& x, util::Rng* rng,
+                                  bool training) const {
+  if (!training || p_ == 0.0) return x;
+  tensor::Matrix mask(x.rows(), x.cols());
+  const double keep_scale = 1.0 / (1.0 - p_);
+  for (size_t i = 0; i < mask.size(); ++i) {
+    mask.data()[i] = rng->NextBernoulli(p_) ? 0.0 : keep_scale;
+  }
+  return autograd::CwiseMul(x, autograd::Variable::Constant(std::move(mask)));
+}
+
+}  // namespace adamgnn::nn

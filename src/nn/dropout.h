@@ -1,0 +1,29 @@
+// Inverted dropout: zeroes entries with probability p at training time and
+// rescales survivors by 1/(1-p); identity at evaluation time.
+
+#ifndef ADAMGNN_NN_DROPOUT_H_
+#define ADAMGNN_NN_DROPOUT_H_
+
+#include "autograd/variable.h"
+#include "util/random.h"
+
+namespace adamgnn::nn {
+
+class Dropout {
+ public:
+  /// p in [0, 1): the drop probability.
+  explicit Dropout(double p);
+
+  /// Applies dropout when `training`; identity otherwise.
+  autograd::Variable Apply(const autograd::Variable& x, util::Rng* rng,
+                           bool training) const;
+
+  double p() const { return p_; }
+
+ private:
+  double p_;
+};
+
+}  // namespace adamgnn::nn
+
+#endif  // ADAMGNN_NN_DROPOUT_H_

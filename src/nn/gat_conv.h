@@ -1,0 +1,50 @@
+// Graph Attention Network layer, single head (Velickovic et al. 2018):
+//   e_uv = LeakyReLU(aᵀ [W h_u ‖ W h_v]),  α_uv = softmax_u(e_uv),
+//   h'_v = Σ_u α_uv W h_u   (self-loops included).
+
+#ifndef ADAMGNN_NN_GAT_CONV_H_
+#define ADAMGNN_NN_GAT_CONV_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "graph/graph.h"
+#include "nn/module.h"
+#include "util/random.h"
+
+namespace adamgnn::nn {
+
+/// Directed edge endpoints (self-loops appended) shared by attention layers;
+/// build once per graph with GatConv::BuildEdgeIndex.
+struct EdgeIndex {
+  std::vector<size_t> src;
+  std::vector<size_t> dst;
+  size_t num_nodes = 0;
+
+  size_t num_edges() const { return src.size(); }
+};
+
+class GatConv : public Module {
+ public:
+  GatConv(size_t in_dim, size_t out_dim, util::Rng* rng);
+
+  /// Both directions of every edge plus one self-loop per node.
+  static std::shared_ptr<const EdgeIndex> BuildEdgeIndex(
+      const graph::Graph& g);
+
+  autograd::Variable Forward(const std::shared_ptr<const EdgeIndex>& edges,
+                             const autograd::Variable& x) const;
+
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  autograd::Variable weight_;  // (in, out)
+  autograd::Variable a_src_;   // (out, 1): source half of the attention vec
+  autograd::Variable a_dst_;   // (out, 1): destination half
+  autograd::Variable bias_;    // (1, out)
+};
+
+}  // namespace adamgnn::nn
+
+#endif  // ADAMGNN_NN_GAT_CONV_H_

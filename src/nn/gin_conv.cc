@@ -1,0 +1,43 @@
+#include "nn/gin_conv.h"
+
+#include "autograd/ops.h"
+#include "autograd/sparse_ops.h"
+
+namespace adamgnn::nn {
+
+GinConv::GinConv(size_t in_dim, size_t hidden_dim, size_t out_dim,
+                 util::Rng* rng)
+    : mlp1_(in_dim, hidden_dim, /*use_bias=*/true, rng),
+      mlp2_(hidden_dim, out_dim, /*use_bias=*/true, rng),
+      epsilon_(autograd::Variable::Parameter(tensor::Matrix(1, 1, 0.0))) {}
+
+std::shared_ptr<const graph::SparseMatrix> GinConv::SumOperator(
+    const graph::Graph& g) {
+  return std::make_shared<const graph::SparseMatrix>(
+      graph::SparseMatrix::Adjacency(g));
+}
+
+autograd::Variable GinConv::Forward(
+    const std::shared_ptr<const graph::SparseMatrix>& adj,
+    const autograd::Variable& x) const {
+  // (1 + ε) x: broadcast the scalar parameter to a per-row multiplier.
+  autograd::Variable ones =
+      autograd::Variable::Constant(tensor::Matrix::Ones(x.rows(), 1));
+  autograd::Variable one_plus_eps = autograd::MatMul(
+      ones, autograd::Add(epsilon_,
+                          autograd::Variable::Constant(
+                              tensor::Matrix(1, 1, 1.0))));
+  autograd::Variable self_part = autograd::MulColBroadcast(x, one_plus_eps);
+  autograd::Variable nbr_sum = autograd::SpMM(adj, x);
+  autograd::Variable agg = autograd::Add(self_part, nbr_sum);
+  return mlp2_.Forward(autograd::Relu(mlp1_.Forward(agg)));
+}
+
+std::vector<autograd::Variable> GinConv::Parameters() const {
+  std::vector<autograd::Variable> out = mlp1_.Parameters();
+  for (auto& p : mlp2_.Parameters()) out.push_back(p);
+  out.push_back(epsilon_);
+  return out;
+}
+
+}  // namespace adamgnn::nn

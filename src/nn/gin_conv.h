@@ -1,0 +1,42 @@
+// Graph Isomorphism Network layer (Xu et al. 2019):
+//   h'_v = MLP((1 + ε) h_v + Σ_{u in N(v)} h_u),  ε trainable.
+
+#ifndef ADAMGNN_NN_GIN_CONV_H_
+#define ADAMGNN_NN_GIN_CONV_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "graph/graph.h"
+#include "graph/sparse_matrix.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "util/random.h"
+
+namespace adamgnn::nn {
+
+class GinConv : public Module {
+ public:
+  /// Two-layer MLP: in -> hidden -> out with ReLU in between.
+  GinConv(size_t in_dim, size_t hidden_dim, size_t out_dim, util::Rng* rng);
+
+  /// Unweighted-sum neighbor operator for g (the raw adjacency).
+  static std::shared_ptr<const graph::SparseMatrix> SumOperator(
+      const graph::Graph& g);
+
+  autograd::Variable Forward(
+      const std::shared_ptr<const graph::SparseMatrix>& adj,
+      const autograd::Variable& x) const;
+
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  Linear mlp1_;
+  Linear mlp2_;
+  autograd::Variable epsilon_;  // (1,1)
+};
+
+}  // namespace adamgnn::nn
+
+#endif  // ADAMGNN_NN_GIN_CONV_H_

@@ -1,0 +1,20 @@
+#include "nn/module.h"
+
+namespace adamgnn::nn {
+
+size_t Module::NumParameterScalars() const {
+  size_t total = 0;
+  for (const auto& p : Parameters()) total += p.value().size();
+  return total;
+}
+
+std::vector<autograd::Variable> CollectParameters(
+    const std::vector<const Module*>& modules) {
+  std::vector<autograd::Variable> out;
+  for (const Module* m : modules) {
+    for (auto& p : m->Parameters()) out.push_back(p);
+  }
+  return out;
+}
+
+}  // namespace adamgnn::nn

@@ -1,0 +1,34 @@
+// Base class for trainable components: a uniform way to enumerate parameters
+// for optimizers, parameter counting, and gradient clipping.
+
+#ifndef ADAMGNN_NN_MODULE_H_
+#define ADAMGNN_NN_MODULE_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+
+namespace adamgnn::nn {
+
+/// A trainable component owning autograd Parameters. Forward signatures vary
+/// by layer (some take a graph, some a sparse operator), so Module only
+/// standardizes parameter access.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Handles to every trainable parameter (shared with the module, so
+  /// optimizer updates are visible to subsequent forwards).
+  virtual std::vector<autograd::Variable> Parameters() const = 0;
+
+  /// Total number of trainable scalars.
+  size_t NumParameterScalars() const;
+};
+
+/// Concatenates the parameter lists of several modules.
+std::vector<autograd::Variable> CollectParameters(
+    const std::vector<const Module*>& modules);
+
+}  // namespace adamgnn::nn
+
+#endif  // ADAMGNN_NN_MODULE_H_

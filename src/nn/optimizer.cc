@@ -1,0 +1,91 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace adamgnn::nn {
+
+Optimizer::Optimizer(std::vector<autograd::Variable> params)
+    : params_(std::move(params)) {
+  for (const auto& p : params_) {
+    ADAMGNN_CHECK(p.defined());
+    ADAMGNN_CHECK(p.requires_grad());
+  }
+}
+
+Sgd::Sgd(std::vector<autograd::Variable> params, double lr, double momentum)
+    : Optimizer(std::move(params)), lr_(lr), momentum_(momentum) {
+  velocity_.reserve(params_.size());
+  for (const auto& p : params_) {
+    velocity_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Sgd::Step() {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    const tensor::Matrix& g = p.grad();
+    tensor::Matrix& value = p.mutable_value();
+    tensor::Matrix& vel = velocity_[i];
+    for (size_t k = 0; k < value.size(); ++k) {
+      vel.data()[k] = momentum_ * vel.data()[k] + g.data()[k];
+      value.data()[k] -= lr_ * vel.data()[k];
+    }
+  }
+}
+
+Adam::Adam(std::vector<autograd::Variable> params, double lr, double beta1,
+           double beta2, double epsilon, double weight_decay)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      beta1_(beta1),
+      beta2_(beta2),
+      epsilon_(epsilon),
+      weight_decay_(weight_decay) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const auto& p : params_) {
+    m_.emplace_back(p.value().rows(), p.value().cols());
+    v_.emplace_back(p.value().rows(), p.value().cols());
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t i = 0; i < params_.size(); ++i) {
+    auto& p = params_[i];
+    const tensor::Matrix& g = p.grad();
+    tensor::Matrix& value = p.mutable_value();
+    for (size_t k = 0; k < value.size(); ++k) {
+      double gk = g.data()[k] + weight_decay_ * value.data()[k];
+      m_[i].data()[k] = beta1_ * m_[i].data()[k] + (1.0 - beta1_) * gk;
+      v_[i].data()[k] = beta2_ * v_[i].data()[k] + (1.0 - beta2_) * gk * gk;
+      const double m_hat = m_[i].data()[k] / bc1;
+      const double v_hat = v_[i].data()[k] / bc2;
+      value.data()[k] -= lr_ * m_hat / (std::sqrt(v_hat) + epsilon_);
+    }
+  }
+}
+
+double ClipGradNorm(const std::vector<autograd::Variable>& params,
+                    double max_norm) {
+  ADAMGNN_CHECK_GT(max_norm, 0.0);
+  double sq = 0.0;
+  for (const auto& p : params) {
+    const tensor::Matrix& g = p.grad();
+    for (size_t k = 0; k < g.size(); ++k) sq += g.data()[k] * g.data()[k];
+  }
+  const double norm = std::sqrt(sq);
+  if (norm > max_norm) {
+    const double scale = max_norm / norm;
+    for (const auto& p : params) {
+      p.node()->grad *= scale;
+    }
+  }
+  return norm;
+}
+
+}  // namespace adamgnn::nn

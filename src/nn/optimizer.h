@@ -1,0 +1,70 @@
+// Gradient-descent optimizers over autograd parameters.
+
+#ifndef ADAMGNN_NN_OPTIMIZER_H_
+#define ADAMGNN_NN_OPTIMIZER_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/matrix.h"
+
+namespace adamgnn::nn {
+
+/// Base optimizer: owns handles to the parameters it updates. Call
+/// autograd::Backward(loss) first, then Step().
+class Optimizer {
+ public:
+  explicit Optimizer(std::vector<autograd::Variable> params);
+  virtual ~Optimizer() = default;
+
+  /// Applies one update using each parameter's current grad().
+  virtual void Step() = 0;
+
+  const std::vector<autograd::Variable>& params() const { return params_; }
+
+ protected:
+  std::vector<autograd::Variable> params_;
+};
+
+/// Plain SGD with optional momentum.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<autograd::Variable> params, double lr,
+      double momentum = 0.0);
+
+  void Step() override;
+
+ private:
+  double lr_;
+  double momentum_;
+  std::vector<tensor::Matrix> velocity_;
+};
+
+/// Adam (Kingma & Ba 2015) with decoupled-style L2 applied to gradients.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<autograd::Variable> params, double lr,
+       double beta1 = 0.9, double beta2 = 0.999, double epsilon = 1e-8,
+       double weight_decay = 0.0);
+
+  void Step() override;
+
+ private:
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double epsilon_;
+  double weight_decay_;
+  int64_t t_ = 0;
+  std::vector<tensor::Matrix> m_;
+  std::vector<tensor::Matrix> v_;
+};
+
+/// Scales gradients in place so their global L2 norm is at most `max_norm`.
+/// Returns the pre-clip norm.
+double ClipGradNorm(const std::vector<autograd::Variable>& params,
+                    double max_norm);
+
+}  // namespace adamgnn::nn
+
+#endif  // ADAMGNN_NN_OPTIMIZER_H_

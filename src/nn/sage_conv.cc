@@ -1,0 +1,34 @@
+#include "nn/sage_conv.h"
+
+#include "autograd/ops.h"
+#include "autograd/sparse_ops.h"
+#include "nn/init.h"
+
+namespace adamgnn::nn {
+
+SageConv::SageConv(size_t in_dim, size_t out_dim, util::Rng* rng) {
+  w_self_ = autograd::Variable::Parameter(GlorotUniform(in_dim, out_dim, rng));
+  w_nbr_ = autograd::Variable::Parameter(GlorotUniform(in_dim, out_dim, rng));
+  bias_ = autograd::Variable::Parameter(tensor::Matrix(1, out_dim));
+}
+
+std::shared_ptr<const graph::SparseMatrix> SageConv::MeanOperator(
+    const graph::Graph& g) {
+  return std::make_shared<const graph::SparseMatrix>(
+      graph::SparseMatrix::Adjacency(g).RowNormalized());
+}
+
+autograd::Variable SageConv::Forward(
+    const std::shared_ptr<const graph::SparseMatrix>& mean_adj,
+    const autograd::Variable& x) const {
+  autograd::Variable self_part = autograd::MatMul(x, w_self_);
+  autograd::Variable nbr_mean = autograd::SpMM(mean_adj, x);
+  autograd::Variable nbr_part = autograd::MatMul(nbr_mean, w_nbr_);
+  return autograd::AddBias(autograd::Add(self_part, nbr_part), bias_);
+}
+
+std::vector<autograd::Variable> SageConv::Parameters() const {
+  return {w_self_, w_nbr_, bias_};
+}
+
+}  // namespace adamgnn::nn

@@ -1,0 +1,41 @@
+// GraphSAGE layer with mean aggregation (Hamilton et al. 2017):
+//   h'_v = W_self h_v + W_nbr mean_{u in N(v)} h_u + b.
+
+#ifndef ADAMGNN_NN_SAGE_CONV_H_
+#define ADAMGNN_NN_SAGE_CONV_H_
+
+#include <memory>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "graph/graph.h"
+#include "graph/sparse_matrix.h"
+#include "nn/module.h"
+#include "util/random.h"
+
+namespace adamgnn::nn {
+
+class SageConv : public Module {
+ public:
+  SageConv(size_t in_dim, size_t out_dim, util::Rng* rng);
+
+  /// Builds the row-normalized (mean) neighbor operator for g. Precompute
+  /// once per graph and reuse across layers/epochs.
+  static std::shared_ptr<const graph::SparseMatrix> MeanOperator(
+      const graph::Graph& g);
+
+  autograd::Variable Forward(
+      const std::shared_ptr<const graph::SparseMatrix>& mean_adj,
+      const autograd::Variable& x) const;
+
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  autograd::Variable w_self_;
+  autograd::Variable w_nbr_;
+  autograd::Variable bias_;
+};
+
+}  // namespace adamgnn::nn
+
+#endif  // ADAMGNN_NN_SAGE_CONV_H_

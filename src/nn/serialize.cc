@@ -1,0 +1,122 @@
+#include "nn/serialize.h"
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+
+namespace adamgnn::nn {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x41444d47;  // "ADMG"
+constexpr uint32_t kVersion = 1;
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+bool WriteU64(std::FILE* f, uint64_t v) {
+  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+}
+bool ReadU64(std::FILE* f, uint64_t* v) {
+  return std::fread(v, sizeof(*v), 1, f) == 1;
+}
+
+}  // namespace
+
+util::Status SaveParameters(const std::vector<autograd::Variable>& params,
+                            const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (f == nullptr) {
+    return util::Status::InvalidArgument("cannot open for writing: " + path);
+  }
+  uint32_t header[2] = {kMagic, kVersion};
+  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) {
+    return util::Status::Internal("write failed: " + path);
+  }
+  if (!WriteU64(f.get(), params.size())) {
+    return util::Status::Internal("write failed: " + path);
+  }
+  for (const auto& p : params) {
+    if (!p.defined()) {
+      return util::Status::InvalidArgument("undefined parameter in list");
+    }
+    const tensor::Matrix& m = p.value();
+    if (!WriteU64(f.get(), m.rows()) || !WriteU64(f.get(), m.cols()) ||
+        std::fwrite(m.data(), sizeof(double), m.size(), f.get()) !=
+            m.size()) {
+      return util::Status::Internal("write failed: " + path);
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Status LoadParameters(const std::string& path,
+                            std::vector<autograd::Variable>* params) {
+  if (params == nullptr) {
+    return util::Status::InvalidArgument("null params");
+  }
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return util::Status::NotFound("cannot open: " + path);
+  }
+  uint32_t header[2] = {0, 0};
+  if (std::fread(header, sizeof(header), 1, f.get()) != 1 ||
+      header[0] != kMagic) {
+    return util::Status::InvalidArgument(
+        "not a parameter checkpoint: " + path);
+  }
+  if (header[1] != kVersion) {
+    return util::Status::InvalidArgument(
+        "unsupported checkpoint version in " + path);
+  }
+  uint64_t count = 0;
+  if (!ReadU64(f.get(), &count)) {
+    return util::Status::InvalidArgument("truncated checkpoint: " + path);
+  }
+  if (count != params->size()) {
+    return util::Status::InvalidArgument(
+        "checkpoint has " + std::to_string(count) + " tensors, module has " +
+        std::to_string(params->size()));
+  }
+  for (auto& p : (*params)) {
+    uint64_t rows = 0, cols = 0;
+    if (!ReadU64(f.get(), &rows) || !ReadU64(f.get(), &cols)) {
+      return util::Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+    if (rows != p.value().rows() || cols != p.value().cols()) {
+      return util::Status::InvalidArgument(
+          "shape mismatch: checkpoint " + std::to_string(rows) + "x" +
+          std::to_string(cols) + " vs module " +
+          std::to_string(p.value().rows()) + "x" +
+          std::to_string(p.value().cols()));
+    }
+    tensor::Matrix& m = p.mutable_value();
+    if (std::fread(m.data(), sizeof(double), m.size(), f.get()) != m.size()) {
+      return util::Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+  }
+  return util::Status::OK();
+}
+
+ParameterSnapshot::ParameterSnapshot(std::vector<autograd::Variable> params)
+    : params_(std::move(params)) {
+  Capture();
+}
+
+void ParameterSnapshot::Capture() {
+  values_.clear();
+  values_.reserve(params_.size());
+  for (const auto& p : params_) values_.push_back(p.value());
+}
+
+void ParameterSnapshot::Restore() const {
+  for (size_t i = 0; i < params_.size(); ++i) {
+    const_cast<autograd::Variable&>(params_[i]).mutable_value() = values_[i];
+  }
+}
+
+}  // namespace adamgnn::nn

@@ -1,0 +1,51 @@
+// Parameter (de)serialization: checkpointing trained models to disk and
+// restoring them, e.g. to keep the best-validation weights or to ship a
+// trained AdamGNN. The format is a versioned little-endian binary stream of
+// shape-tagged tensors; loading validates shapes against the receiving
+// module, so architecture mismatches fail loudly instead of corrupting.
+
+#ifndef ADAMGNN_NN_SERIALIZE_H_
+#define ADAMGNN_NN_SERIALIZE_H_
+
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace adamgnn::nn {
+
+/// Writes every parameter tensor to `path`. Parameters are identified by
+/// position, so save/load pairs must come from identically constructed
+/// modules (the same Parameters() order).
+util::Status SaveParameters(const std::vector<autograd::Variable>& params,
+                            const std::string& path);
+
+/// Restores tensors saved by SaveParameters into `params` (in place).
+/// Fails with InvalidArgument if the count or any shape differs, or the
+/// file is not a parameter checkpoint.
+util::Status LoadParameters(const std::string& path,
+                            std::vector<autograd::Variable>* params);
+
+/// In-memory snapshot of parameter values — the cheap way to keep the
+/// best-validation weights during training and roll back at the end.
+class ParameterSnapshot {
+ public:
+  /// Captures current values of `params` (handles are retained).
+  explicit ParameterSnapshot(std::vector<autograd::Variable> params);
+
+  /// Re-captures current values.
+  void Capture();
+
+  /// Writes the captured values back into the parameters.
+  void Restore() const;
+
+ private:
+  std::vector<autograd::Variable> params_;
+  std::vector<tensor::Matrix> values_;
+};
+
+}  // namespace adamgnn::nn
+
+#endif  // ADAMGNN_NN_SERIALIZE_H_

@@ -1,0 +1,88 @@
+#include "pool/common.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace adamgnn::pool {
+
+MemberGraph ExtractMember(const graph::GraphBatch& batch, size_t index) {
+  ADAMGNN_CHECK_LT(index, batch.num_graphs());
+  const size_t off = batch.offsets[index];
+  const size_t n = batch.offsets[index + 1] - off;
+  MemberGraph member;
+  member.num_nodes = n;
+
+  const tensor::Matrix& all = batch.merged.features();
+  member.features = tensor::Matrix(n, all.cols());
+  for (size_t i = 0; i < n; ++i) {
+    std::copy(all.row(off + i), all.row(off + i) + all.cols(),
+              member.features.row(i));
+  }
+
+  std::vector<graph::Triplet> triplets;
+  for (size_t i = 0; i < n; ++i) {
+    const auto v = static_cast<graph::NodeId>(off + i);
+    auto nbrs = batch.merged.Neighbors(v);
+    auto ws = batch.merged.NeighborWeights(v);
+    for (size_t k = 0; k < nbrs.size(); ++k) {
+      // Batch members are blocks: every neighbor stays inside the block.
+      triplets.push_back(
+          {i, static_cast<size_t>(nbrs[k]) - off, ws[k]});
+    }
+  }
+  member.adjacency =
+      graph::SparseMatrix::FromTriplets(n, n, std::move(triplets));
+  return member;
+}
+
+graph::SparseMatrix SparseSubmatrix(const graph::SparseMatrix& a,
+                                    const std::vector<size_t>& idx) {
+  ADAMGNN_CHECK_EQ(a.rows(), a.cols());
+  std::vector<int64_t> position(a.rows(), -1);
+  for (size_t i = 0; i < idx.size(); ++i) {
+    ADAMGNN_CHECK_LT(idx[i], a.rows());
+    position[idx[i]] = static_cast<int64_t>(i);
+  }
+  std::vector<graph::Triplet> triplets;
+  for (size_t i = 0; i < idx.size(); ++i) {
+    const size_t r = idx[i];
+    for (size_t k = a.row_offsets()[r]; k < a.row_offsets()[r + 1]; ++k) {
+      const int64_t c = position[a.col_indices()[k]];
+      if (c >= 0) {
+        triplets.push_back({i, static_cast<size_t>(c), a.values()[k]});
+      }
+    }
+  }
+  return graph::SparseMatrix::FromTriplets(idx.size(), idx.size(),
+                                           std::move(triplets));
+}
+
+std::vector<size_t> TopKIndices(const tensor::Matrix& scores, double ratio) {
+  ADAMGNN_CHECK_EQ(scores.cols(), 1u);
+  ADAMGNN_CHECK_GT(scores.rows(), 0u);
+  ADAMGNN_CHECK_GT(ratio, 0.0);
+  const size_t n = scores.rows();
+  size_t k = static_cast<size_t>(
+      std::ceil(ratio * static_cast<double>(n)));
+  k = std::clamp<size_t>(k, 1, n);
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&scores](size_t a, size_t b) {
+    if (scores(a, 0) != scores(b, 0)) return scores(a, 0) > scores(b, 0);
+    return a < b;
+  });
+  order.resize(k);
+  return order;
+}
+
+autograd::Variable ReadoutMeanMax(const autograd::Variable& h) {
+  std::vector<size_t> one_segment(h.rows(), 0);
+  autograd::Variable mean = autograd::SegmentMean(h, one_segment, 1);
+  autograd::Variable max = autograd::SegmentMax(h, one_segment, 1);
+  return autograd::ConcatCols(mean, max);
+}
+
+}  // namespace adamgnn::pool

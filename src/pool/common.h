@@ -1,0 +1,43 @@
+// Shared helpers for the pooling baselines, which process each member graph
+// of a batch independently (hierarchical pooling does not commute with
+// block-diagonal batching for methods that need per-graph Top-k / dense
+// assignments).
+
+#ifndef ADAMGNN_POOL_COMMON_H_
+#define ADAMGNN_POOL_COMMON_H_
+
+#include <vector>
+
+#include "autograd/ops.h"
+#include "autograd/segment_ops.h"
+#include "graph/batch.h"
+#include "graph/sparse_matrix.h"
+#include "tensor/matrix.h"
+
+namespace adamgnn::pool {
+
+/// One member graph's view extracted from a batch.
+struct MemberGraph {
+  size_t num_nodes = 0;
+  tensor::Matrix features;        // (n x f)
+  graph::SparseMatrix adjacency;  // (n x n), weighted, no self-loops
+};
+
+/// Extracts batch member `index` (features copied, adjacency rebuilt with
+/// member-local node ids).
+MemberGraph ExtractMember(const graph::GraphBatch& batch, size_t index);
+
+/// Principal submatrix a[idx][idx] with rows/cols renumbered to 0..k-1.
+graph::SparseMatrix SparseSubmatrix(const graph::SparseMatrix& a,
+                                    const std::vector<size_t>& idx);
+
+/// Indices of the top ⌈ratio·n⌉ rows of scores (n x 1), descending, ties by
+/// smaller index. Always returns at least one index.
+std::vector<size_t> TopKIndices(const tensor::Matrix& scores, double ratio);
+
+/// [mean ‖ max] readout of h over all rows, as a (1 x 2d) variable.
+autograd::Variable ReadoutMeanMax(const autograd::Variable& h);
+
+}  // namespace adamgnn::pool
+
+#endif  // ADAMGNN_POOL_COMMON_H_

@@ -1,0 +1,87 @@
+#include "pool/diff_pool.h"
+
+#include "util/logging.h"
+
+namespace adamgnn::pool {
+
+DensePoolGraphModel::DensePoolGraphModel(const DensePoolConfig& config,
+                                         util::Rng* rng)
+    : config_(config),
+      head_(2 * config.hidden_dim, static_cast<size_t>(config.num_classes),
+            /*use_bias=*/true, rng),
+      dropout_(config.dropout) {
+  ADAMGNN_CHECK_GT(config.in_dim, 0u);
+  ADAMGNN_CHECK(!config.cluster_sizes.empty());
+  for (size_t l = 0; l < config.cluster_sizes.size(); ++l) {
+    const size_t in = l == 0 ? config.in_dim : config.hidden_dim;
+    embed_.push_back(std::make_unique<nn::Linear>(in, config.hidden_dim,
+                                                  /*use_bias=*/true, rng));
+    assign_.push_back(std::make_unique<nn::Linear>(
+        in, config.cluster_sizes[l], /*use_bias=*/true, rng));
+  }
+}
+
+train::GraphModel::Out DensePoolGraphModel::Forward(
+    const graph::GraphBatch& batch, bool training, util::Rng* rng) {
+  autograd::Variable all_logits;
+  for (size_t gi = 0; gi < batch.num_graphs(); ++gi) {
+    MemberGraph member = ExtractMember(batch, gi);
+    // Dense normalized adjacency — the O(n²) footprint that makes these
+    // methods "not easily scalable" (Table 4's point).
+    autograd::Variable a = autograd::Variable::Constant(
+        member.adjacency.Normalized().ToDense());
+    autograd::Variable x =
+        autograd::Variable::Constant(std::move(member.features));
+
+    for (size_t l = 0; l < config_.cluster_sizes.size(); ++l) {
+      // Z = ReLU(Â X W_e), assignment logits L = Â X W_a.
+      autograd::Variable z = autograd::Relu(
+          autograd::MatMul(a, embed_[l]->Forward(x)));
+      z = dropout_.Apply(z, rng, training);
+      autograd::Variable logits_s =
+          autograd::MatMul(a, assign_[l]->Forward(x));
+      // StructPool refinement: mean-field iterations coupling neighbors'
+      // assignments through the adjacency.
+      autograd::Variable s = autograd::SoftmaxRows(logits_s);
+      for (int it = 0; it < config_.crf_iterations; ++it) {
+        autograd::Variable pairwise = autograd::Scale(
+            autograd::MatMul(a, s), config_.crf_weight);
+        s = autograd::SoftmaxRows(autograd::Add(logits_s, pairwise));
+      }
+      autograd::Variable st = autograd::Transpose(s);
+      x = autograd::MatMul(st, z);                       // X' = SᵀZ
+      a = autograd::MatMul(autograd::MatMul(st, a), s);  // A' = SᵀÂS
+    }
+
+    autograd::Variable logits = head_.Forward(ReadoutMeanMax(x));
+    all_logits = all_logits.defined()
+                     ? autograd::ConcatRows(all_logits, logits)
+                     : logits;
+  }
+  return {all_logits, autograd::Variable()};
+}
+
+std::vector<autograd::Variable> DensePoolGraphModel::Parameters() const {
+  std::vector<autograd::Variable> params;
+  for (const auto& m : embed_) {
+    for (auto& p : m->Parameters()) params.push_back(p);
+  }
+  for (const auto& m : assign_) {
+    for (auto& p : m->Parameters()) params.push_back(p);
+  }
+  for (auto& p : head_.Parameters()) params.push_back(p);
+  return params;
+}
+
+std::unique_ptr<DensePoolGraphModel> MakeDiffPoolModel(size_t in_dim,
+                                                       size_t hidden_dim,
+                                                       int num_classes,
+                                                       util::Rng* rng) {
+  DensePoolConfig config;
+  config.in_dim = in_dim;
+  config.hidden_dim = hidden_dim;
+  config.num_classes = num_classes;
+  return std::make_unique<DensePoolGraphModel>(config, rng);
+}
+
+}  // namespace adamgnn::pool

@@ -1,0 +1,61 @@
+// DiffPool (Ying et al. 2018): differentiable dense cluster-assignment
+// pooling, S = softmax(GNN_pool(Â, X)), X' = SᵀZ, A' = SᵀÂS. Also hosts the
+// StructPool approximation (Yuan & Ji 2020): the same dense assignment
+// refined by mean-field CRF iterations that couple neighboring nodes'
+// assignments (see DESIGN.md for the substitution note).
+// Both are deliberately dense — that is the cost profile Table 4 contrasts
+// against the sparse methods.
+
+#ifndef ADAMGNN_POOL_DIFF_POOL_H_
+#define ADAMGNN_POOL_DIFF_POOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "pool/common.h"
+#include "train/interfaces.h"
+#include "util/random.h"
+
+namespace adamgnn::pool {
+
+struct DensePoolConfig {
+  size_t in_dim = 0;
+  size_t hidden_dim = 64;
+  int num_classes = 2;
+  /// Hyper-node counts per level.
+  std::vector<size_t> cluster_sizes = {12, 4};
+  /// > 0 enables StructPool's CRF refinement of the assignment.
+  int crf_iterations = 0;
+  double crf_weight = 0.5;
+  double dropout = 0.1;
+};
+
+class DensePoolGraphModel final : public train::GraphModel {
+ public:
+  DensePoolGraphModel(const DensePoolConfig& config, util::Rng* rng);
+
+  Out Forward(const graph::GraphBatch& batch, bool training,
+              util::Rng* rng) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  DensePoolConfig config_;
+  // Per level: embedding GNN weights and assignment GNN weights (dense GCN:
+  // H' = Â H W + b realized with Linear then premultiplying by Â).
+  std::vector<std::unique_ptr<nn::Linear>> embed_;
+  std::vector<std::unique_ptr<nn::Linear>> assign_;
+  nn::Linear head_;
+  nn::Dropout dropout_;
+};
+
+/// DiffPool as reported in Tables 1 and 4.
+std::unique_ptr<DensePoolGraphModel> MakeDiffPoolModel(size_t in_dim,
+                                                       size_t hidden_dim,
+                                                       int num_classes,
+                                                       util::Rng* rng);
+
+}  // namespace adamgnn::pool
+
+#endif  // ADAMGNN_POOL_DIFF_POOL_H_

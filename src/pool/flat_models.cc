@@ -1,0 +1,187 @@
+#include "pool/flat_models.h"
+
+#include "autograd/ops.h"
+#include "autograd/segment_ops.h"
+#include "util/logging.h"
+
+namespace adamgnn::pool {
+
+const char* FlatGnnKindName(FlatGnnKind kind) {
+  switch (kind) {
+    case FlatGnnKind::kGcn:
+      return "GCN";
+    case FlatGnnKind::kSage:
+      return "GraphSAGE";
+    case FlatGnnKind::kGat:
+      return "GAT";
+    case FlatGnnKind::kGin:
+      return "GIN";
+  }
+  return "?";
+}
+
+FlatGnnBackbone::FlatGnnBackbone(const FlatGnnConfig& config, util::Rng* rng)
+    : config_(config), dropout_(config.dropout) {
+  ADAMGNN_CHECK_GT(config.in_dim, 0u);
+  ADAMGNN_CHECK_GE(config.num_layers, 1);
+  for (int l = 0; l < config.num_layers; ++l) {
+    const size_t in = l == 0 ? config.in_dim : config.hidden_dim;
+    switch (config.kind) {
+      case FlatGnnKind::kGcn:
+        gcn_layers_.push_back(
+            std::make_unique<nn::GcnConv>(in, config.hidden_dim, rng));
+        break;
+      case FlatGnnKind::kSage:
+        sage_layers_.push_back(
+            std::make_unique<nn::SageConv>(in, config.hidden_dim, rng));
+        break;
+      case FlatGnnKind::kGat:
+        gat_layers_.push_back(
+            std::make_unique<nn::GatConv>(in, config.hidden_dim, rng));
+        break;
+      case FlatGnnKind::kGin:
+        gin_layers_.push_back(std::make_unique<nn::GinConv>(
+            in, config.hidden_dim, config.hidden_dim, rng));
+        break;
+    }
+  }
+  if (config.num_classes > 0) {
+    head_ = std::make_unique<nn::Linear>(config.hidden_dim,
+                                         config.num_classes,
+                                         /*use_bias=*/true, rng);
+  }
+}
+
+FlatGnnBackbone::Out FlatGnnBackbone::Run(const graph::Graph& g,
+                                          bool training, util::Rng* rng) {
+  // Operators are rebuilt per call: cheap (O(m log m)) next to a training
+  // step, and caching by graph address would be unsound for the temporary
+  // batched graphs used in graph classification.
+  std::shared_ptr<const graph::SparseMatrix> op;
+  std::shared_ptr<const nn::EdgeIndex> edges;
+  switch (config_.kind) {
+    case FlatGnnKind::kGcn:
+      op = std::make_shared<const graph::SparseMatrix>(
+          graph::SparseMatrix::NormalizedAdjacency(g));
+      break;
+    case FlatGnnKind::kSage:
+      op = nn::SageConv::MeanOperator(g);
+      break;
+    case FlatGnnKind::kGat:
+      edges = nn::GatConv::BuildEdgeIndex(g);
+      break;
+    case FlatGnnKind::kGin:
+      op = nn::GinConv::SumOperator(g);
+      break;
+  }
+
+  autograd::Variable h = autograd::Variable::Constant(g.features());
+  const int L = config_.num_layers;
+  for (int l = 0; l < L; ++l) {
+    switch (config_.kind) {
+      case FlatGnnKind::kGcn:
+        h = gcn_layers_[static_cast<size_t>(l)]->Forward(op, h);
+        break;
+      case FlatGnnKind::kSage:
+        h = sage_layers_[static_cast<size_t>(l)]->Forward(op, h);
+        break;
+      case FlatGnnKind::kGat:
+        h = gat_layers_[static_cast<size_t>(l)]->Forward(edges, h);
+        break;
+      case FlatGnnKind::kGin:
+        h = gin_layers_[static_cast<size_t>(l)]->Forward(op, h);
+        break;
+    }
+    // ReLU between layers; the last layer stays linear for embeddings.
+    if (l + 1 < L) {
+      h = autograd::Relu(h);
+      h = dropout_.Apply(h, rng, training);
+    }
+  }
+
+  Out out;
+  out.embeddings = h;
+  if (head_ != nullptr) {
+    out.logits = head_->Forward(
+        dropout_.Apply(autograd::Relu(h), rng, training));
+  }
+  return out;
+}
+
+std::vector<autograd::Variable> FlatGnnBackbone::Parameters() const {
+  std::vector<autograd::Variable> params;
+  auto append = [&params](const std::vector<autograd::Variable>& more) {
+    params.insert(params.end(), more.begin(), more.end());
+  };
+  for (const auto& l : gcn_layers_) append(l->Parameters());
+  for (const auto& l : sage_layers_) append(l->Parameters());
+  for (const auto& l : gat_layers_) append(l->Parameters());
+  for (const auto& l : gin_layers_) append(l->Parameters());
+  if (head_ != nullptr) append(head_->Parameters());
+  return params;
+}
+
+FlatNodeModel::FlatNodeModel(const FlatGnnConfig& config, util::Rng* rng)
+    : backbone_(config, rng) {
+  ADAMGNN_CHECK_GT(config.num_classes, 0u);
+}
+
+train::NodeModel::Out FlatNodeModel::Forward(const graph::Graph& g,
+                                             bool training, util::Rng* rng) {
+  FlatGnnBackbone::Out b = backbone_.Run(g, training, rng);
+  return {b.logits, autograd::Variable()};
+}
+
+std::vector<autograd::Variable> FlatNodeModel::Parameters() const {
+  return backbone_.Parameters();
+}
+
+FlatEmbeddingModel::FlatEmbeddingModel(const FlatGnnConfig& config,
+                                       util::Rng* rng)
+    : backbone_(config, rng) {}
+
+train::EmbeddingModel::Out FlatEmbeddingModel::Forward(const graph::Graph& g,
+                                                       bool training,
+                                                       util::Rng* rng) {
+  FlatGnnBackbone::Out b = backbone_.Run(g, training, rng);
+  return {b.embeddings, autograd::Variable()};
+}
+
+std::vector<autograd::Variable> FlatEmbeddingModel::Parameters() const {
+  return backbone_.Parameters();
+}
+
+FlatGraphModel::FlatGraphModel(const FlatGnnConfig& config,
+                               int num_graph_classes, util::Rng* rng)
+    : backbone_([&config] {
+        FlatGnnConfig c = config;
+        c.num_classes = 0;  // readout head replaces the node head
+        return c;
+      }(), rng),
+      readout_head_(2 * config.hidden_dim,
+                    static_cast<size_t>(num_graph_classes),
+                    /*use_bias=*/true, rng) {
+  ADAMGNN_CHECK_GT(num_graph_classes, 0);
+}
+
+train::GraphModel::Out FlatGraphModel::Forward(const graph::GraphBatch& batch,
+                                               bool training,
+                                               util::Rng* rng) {
+  FlatGnnBackbone::Out b = backbone_.Run(batch.merged, training, rng);
+  autograd::Variable h = autograd::Relu(b.embeddings);
+  autograd::Variable mean_read =
+      autograd::SegmentMean(h, batch.node_to_graph, batch.num_graphs());
+  autograd::Variable max_read =
+      autograd::SegmentMax(h, batch.node_to_graph, batch.num_graphs());
+  autograd::Variable logits =
+      readout_head_.Forward(autograd::ConcatCols(mean_read, max_read));
+  return {logits, autograd::Variable()};
+}
+
+std::vector<autograd::Variable> FlatGraphModel::Parameters() const {
+  std::vector<autograd::Variable> params = backbone_.Parameters();
+  for (auto& p : readout_head_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace adamgnn::pool

@@ -1,0 +1,98 @@
+// Flat message-passing baselines (GCN, GraphSAGE, GAT, GIN) packaged as
+// node-classification, link-prediction and graph-classification models —
+// the "flat GNN" rows of the paper's Tables 1 and 2.
+
+#ifndef ADAMGNN_POOL_FLAT_MODELS_H_
+#define ADAMGNN_POOL_FLAT_MODELS_H_
+
+#include <memory>
+#include <vector>
+
+#include "graph/graph.h"
+#include "nn/dropout.h"
+#include "nn/gat_conv.h"
+#include "nn/gcn_conv.h"
+#include "nn/gin_conv.h"
+#include "nn/linear.h"
+#include "nn/sage_conv.h"
+#include "train/interfaces.h"
+#include "util/random.h"
+
+namespace adamgnn::pool {
+
+enum class FlatGnnKind { kGcn, kSage, kGat, kGin };
+
+const char* FlatGnnKindName(FlatGnnKind kind);
+
+struct FlatGnnConfig {
+  FlatGnnKind kind = FlatGnnKind::kGcn;
+  size_t in_dim = 0;
+  size_t hidden_dim = 64;
+  /// 0 = no classification head (embedding mode).
+  size_t num_classes = 0;
+  int num_layers = 2;
+  double dropout = 0.1;
+};
+
+/// Stacked flat GNN producing embeddings and (optionally) node logits.
+class FlatGnnBackbone {
+ public:
+  FlatGnnBackbone(const FlatGnnConfig& config, util::Rng* rng);
+
+  struct Out {
+    autograd::Variable embeddings;  // (n x hidden)
+    autograd::Variable logits;      // (n x classes) when a head exists
+  };
+  Out Run(const graph::Graph& g, bool training, util::Rng* rng);
+
+  std::vector<autograd::Variable> Parameters() const;
+
+ private:
+  FlatGnnConfig config_;
+  std::vector<std::unique_ptr<nn::GcnConv>> gcn_layers_;
+  std::vector<std::unique_ptr<nn::SageConv>> sage_layers_;
+  std::vector<std::unique_ptr<nn::GatConv>> gat_layers_;
+  std::vector<std::unique_ptr<nn::GinConv>> gin_layers_;
+  std::unique_ptr<nn::Linear> head_;
+  nn::Dropout dropout_;
+};
+
+/// Adapters to the task interfaces.
+class FlatNodeModel final : public train::NodeModel {
+ public:
+  FlatNodeModel(const FlatGnnConfig& config, util::Rng* rng);
+  Out Forward(const graph::Graph& g, bool training, util::Rng* rng) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  FlatGnnBackbone backbone_;
+};
+
+class FlatEmbeddingModel final : public train::EmbeddingModel {
+ public:
+  FlatEmbeddingModel(const FlatGnnConfig& config, util::Rng* rng);
+  Out Forward(const graph::Graph& g, bool training, util::Rng* rng) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  FlatGnnBackbone backbone_;
+};
+
+/// Flat graph classifier: backbone + [mean ‖ max] readout + linear head.
+/// With kind = kGin this is the paper's GIN baseline.
+class FlatGraphModel final : public train::GraphModel {
+ public:
+  FlatGraphModel(const FlatGnnConfig& config, int num_graph_classes,
+                 util::Rng* rng);
+  Out Forward(const graph::GraphBatch& batch, bool training,
+              util::Rng* rng) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  FlatGnnBackbone backbone_;
+  nn::Linear readout_head_;
+};
+
+}  // namespace adamgnn::pool
+
+#endif  // ADAMGNN_POOL_FLAT_MODELS_H_

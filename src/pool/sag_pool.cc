@@ -1,0 +1,19 @@
+#include "pool/sag_pool.h"
+
+namespace adamgnn::pool {
+
+std::unique_ptr<TopKGraphModel> MakeSagPoolModel(size_t in_dim,
+                                                 size_t hidden_dim,
+                                                 int num_classes,
+                                                 double ratio,
+                                                 util::Rng* rng) {
+  TopKGraphConfig config;
+  config.scorer = TopKScorerKind::kGcn;
+  config.in_dim = in_dim;
+  config.hidden_dim = hidden_dim;
+  config.num_classes = num_classes;
+  config.ratio = ratio;
+  return std::make_unique<TopKGraphModel>(config, rng);
+}
+
+}  // namespace adamgnn::pool

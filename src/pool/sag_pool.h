@@ -1,0 +1,24 @@
+// SAGPool (Lee, Lee & Kang 2019): Top-k pooling whose node scores come from
+// a self-attention GCN over the graph. Thin configuration of the shared
+// top-k skeleton in pool/topk_pool.h.
+
+#ifndef ADAMGNN_POOL_SAG_POOL_H_
+#define ADAMGNN_POOL_SAG_POOL_H_
+
+#include <memory>
+
+#include "pool/topk_pool.h"
+
+namespace adamgnn::pool {
+
+/// Builds a SAGPool graph classifier (GCN scorer, otherwise the Top-k
+/// hierarchy with the given ratio).
+std::unique_ptr<TopKGraphModel> MakeSagPoolModel(size_t in_dim,
+                                                 size_t hidden_dim,
+                                                 int num_classes,
+                                                 double ratio,
+                                                 util::Rng* rng);
+
+}  // namespace adamgnn::pool
+
+#endif  // ADAMGNN_POOL_SAG_POOL_H_

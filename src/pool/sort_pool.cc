@@ -1,0 +1,82 @@
+#include "pool/sort_pool.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/logging.h"
+
+namespace adamgnn::pool {
+
+SortPoolGraphModel::SortPoolGraphModel(const SortPoolConfig& config,
+                                       util::Rng* rng)
+    : config_(config),
+      hidden_head_(config.k * config.hidden_dim, config.hidden_dim,
+                   /*use_bias=*/true, rng),
+      out_head_(config.hidden_dim, static_cast<size_t>(config.num_classes),
+                /*use_bias=*/true, rng),
+      dropout_(config.dropout) {
+  ADAMGNN_CHECK_GT(config.in_dim, 0u);
+  ADAMGNN_CHECK_GE(config.num_layers, 1);
+  ADAMGNN_CHECK_GT(config.k, 0u);
+  for (int l = 0; l < config.num_layers; ++l) {
+    const size_t in = l == 0 ? config.in_dim : config.hidden_dim;
+    convs_.push_back(
+        std::make_unique<nn::GcnConv>(in, config.hidden_dim, rng));
+  }
+}
+
+train::GraphModel::Out SortPoolGraphModel::Forward(
+    const graph::GraphBatch& batch, bool training, util::Rng* rng) {
+  autograd::Variable all_logits;
+  for (size_t gi = 0; gi < batch.num_graphs(); ++gi) {
+    MemberGraph member = ExtractMember(batch, gi);
+    auto norm = std::make_shared<const graph::SparseMatrix>(
+        member.adjacency.Normalized());
+    autograd::Variable h =
+        autograd::Variable::Constant(std::move(member.features));
+    for (size_t l = 0; l < convs_.size(); ++l) {
+      h = autograd::Tanh(convs_[l]->Forward(norm, h));
+    }
+
+    // Sort by the last channel (descending), keep at most k.
+    const size_t n = h.rows();
+    const size_t last = h.cols() - 1;
+    std::vector<size_t> order(n);
+    std::iota(order.begin(), order.end(), 0);
+    const tensor::Matrix& hv = h.value();
+    std::sort(order.begin(), order.end(), [&hv, last](size_t a, size_t b) {
+      if (hv(a, last) != hv(b, last)) return hv(a, last) > hv(b, last);
+      return a < b;
+    });
+    const size_t kept = std::min(config_.k, n);
+    order.resize(kept);
+    autograd::Variable top = autograd::GatherRows(h, order);
+    if (kept < config_.k) {
+      // Zero-pad shorter graphs to the fixed k rows.
+      std::vector<size_t> positions(kept);
+      std::iota(positions.begin(), positions.end(), 0);
+      top = autograd::ScatterRows(top, positions, config_.k);
+    }
+    autograd::Variable flat =
+        autograd::Reshape(top, 1, config_.k * config_.hidden_dim);
+    autograd::Variable hidden = autograd::Relu(hidden_head_.Forward(flat));
+    hidden = dropout_.Apply(hidden, rng, training);
+    autograd::Variable logits = out_head_.Forward(hidden);
+    all_logits = all_logits.defined()
+                     ? autograd::ConcatRows(all_logits, logits)
+                     : logits;
+  }
+  return {all_logits, autograd::Variable()};
+}
+
+std::vector<autograd::Variable> SortPoolGraphModel::Parameters() const {
+  std::vector<autograd::Variable> params;
+  for (const auto& c : convs_) {
+    for (auto& p : c->Parameters()) params.push_back(p);
+  }
+  for (auto& p : hidden_head_.Parameters()) params.push_back(p);
+  for (auto& p : out_head_.Parameters()) params.push_back(p);
+  return params;
+}
+
+}  // namespace adamgnn::pool

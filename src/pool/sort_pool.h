@@ -1,0 +1,48 @@
+// SortPool / DGCNN (Zhang et al. 2018): GCN layers, nodes sorted by their
+// last feature channel, the top-k rows flattened into a fixed-size vector
+// fed to a dense classifier head.
+
+#ifndef ADAMGNN_POOL_SORT_POOL_H_
+#define ADAMGNN_POOL_SORT_POOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/dropout.h"
+#include "nn/gcn_conv.h"
+#include "nn/linear.h"
+#include "pool/common.h"
+#include "train/interfaces.h"
+#include "util/random.h"
+
+namespace adamgnn::pool {
+
+struct SortPoolConfig {
+  size_t in_dim = 0;
+  size_t hidden_dim = 32;
+  int num_classes = 2;
+  int num_layers = 2;
+  /// Nodes kept after sorting (graphs with fewer nodes are zero-padded).
+  size_t k = 16;
+  double dropout = 0.1;
+};
+
+class SortPoolGraphModel final : public train::GraphModel {
+ public:
+  SortPoolGraphModel(const SortPoolConfig& config, util::Rng* rng);
+
+  Out Forward(const graph::GraphBatch& batch, bool training,
+              util::Rng* rng) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  SortPoolConfig config_;
+  std::vector<std::unique_ptr<nn::GcnConv>> convs_;
+  nn::Linear hidden_head_;
+  nn::Linear out_head_;
+  nn::Dropout dropout_;
+};
+
+}  // namespace adamgnn::pool
+
+#endif  // ADAMGNN_POOL_SORT_POOL_H_

@@ -1,0 +1,18 @@
+#include "pool/struct_pool.h"
+
+namespace adamgnn::pool {
+
+std::unique_ptr<DensePoolGraphModel> MakeStructPoolModel(size_t in_dim,
+                                                         size_t hidden_dim,
+                                                         int num_classes,
+                                                         util::Rng* rng) {
+  DensePoolConfig config;
+  config.in_dim = in_dim;
+  config.hidden_dim = hidden_dim;
+  config.num_classes = num_classes;
+  config.crf_iterations = 2;
+  config.crf_weight = 0.5;
+  return std::make_unique<DensePoolGraphModel>(config, rng);
+}
+
+}  // namespace adamgnn::pool

@@ -1,0 +1,21 @@
+// StructPool approximation (Yuan & Ji 2020): dense cluster assignment with
+// conditional-random-field refinement. Reuses the dense pooling skeleton of
+// pool/diff_pool.h with CRF mean-field iterations enabled.
+
+#ifndef ADAMGNN_POOL_STRUCT_POOL_H_
+#define ADAMGNN_POOL_STRUCT_POOL_H_
+
+#include <memory>
+
+#include "pool/diff_pool.h"
+
+namespace adamgnn::pool {
+
+std::unique_ptr<DensePoolGraphModel> MakeStructPoolModel(size_t in_dim,
+                                                         size_t hidden_dim,
+                                                         int num_classes,
+                                                         util::Rng* rng);
+
+}  // namespace adamgnn::pool
+
+#endif  // ADAMGNN_POOL_STRUCT_POOL_H_

@@ -1,0 +1,203 @@
+#include "pool/topk_pool.h"
+
+#include <cmath>
+
+#include "nn/init.h"
+#include "util/logging.h"
+
+namespace adamgnn::pool {
+
+namespace {
+
+// Projection score s = X p / ‖p‖ (the norm is treated as a constant per
+// step, as in common Graph U-Net implementations: the tanh gate downstream
+// makes the scale immaterial to selection).
+autograd::Variable ProjectionScore(const autograd::Variable& h,
+                                   const autograd::Variable& p) {
+  const double norm = std::max(p.value().Norm(), 1e-12);
+  return autograd::Scale(autograd::MatMul(h, p), 1.0 / norm);
+}
+
+}  // namespace
+
+TopKGraphModel::TopKGraphModel(const TopKGraphConfig& config, util::Rng* rng)
+    : config_(config),
+      head_(2 * config.hidden_dim, static_cast<size_t>(config.num_classes),
+            /*use_bias=*/true, rng),
+      dropout_(config.dropout) {
+  ADAMGNN_CHECK_GT(config.in_dim, 0u);
+  ADAMGNN_CHECK_GE(config.num_levels, 1);
+  ADAMGNN_CHECK_GT(config.ratio, 0.0);
+  ADAMGNN_CHECK_LE(config.ratio, 1.0);
+  for (int l = 0; l < config.num_levels; ++l) {
+    const size_t in = l == 0 ? config.in_dim : config.hidden_dim;
+    convs_.push_back(std::make_unique<nn::GcnConv>(in, config.hidden_dim,
+                                                   rng));
+    if (config.scorer == TopKScorerKind::kProjection) {
+      projections_.push_back(autograd::Variable::Parameter(
+          nn::GlorotUniform(config.hidden_dim, 1, rng)));
+    } else {
+      score_convs_.push_back(
+          std::make_unique<nn::GcnConv>(config.hidden_dim, 1, rng));
+    }
+  }
+}
+
+train::GraphModel::Out TopKGraphModel::Forward(const graph::GraphBatch& batch,
+                                               bool training,
+                                               util::Rng* rng) {
+  last_coverage_.clear();
+  autograd::Variable all_logits;
+  for (size_t gi = 0; gi < batch.num_graphs(); ++gi) {
+    MemberGraph member = ExtractMember(batch, gi);
+    autograd::Variable h =
+        autograd::Variable::Constant(std::move(member.features));
+    graph::SparseMatrix adj = std::move(member.adjacency);
+    const size_t original_n = member.num_nodes;
+    size_t surviving = original_n;
+
+    autograd::Variable readout_sum;
+    for (int l = 0; l < config_.num_levels; ++l) {
+      auto norm =
+          std::make_shared<const graph::SparseMatrix>(adj.Normalized());
+      h = autograd::Relu(
+          convs_[static_cast<size_t>(l)]->Forward(norm, h));
+      h = dropout_.Apply(h, rng, training);
+
+      autograd::Variable score =
+          config_.scorer == TopKScorerKind::kProjection
+              ? ProjectionScore(h, projections_[static_cast<size_t>(l)])
+              : score_convs_[static_cast<size_t>(l)]->Forward(norm, h);
+
+      std::vector<size_t> idx = TopKIndices(score.value(), config_.ratio);
+      surviving = idx.size();
+      autograd::Variable gate =
+          autograd::Tanh(autograd::GatherRows(score, idx));
+      h = autograd::MulColBroadcast(autograd::GatherRows(h, idx), gate);
+      adj = SparseSubmatrix(adj, idx);
+
+      autograd::Variable readout = ReadoutMeanMax(h);
+      readout_sum = readout_sum.defined()
+                        ? autograd::Add(readout_sum, readout)
+                        : readout;
+      if (idx.size() < 2) break;
+    }
+    last_coverage_.push_back(static_cast<double>(surviving) /
+                             static_cast<double>(original_n));
+
+    autograd::Variable logits = head_.Forward(readout_sum);
+    all_logits = all_logits.defined()
+                     ? autograd::ConcatRows(all_logits, logits)
+                     : logits;
+  }
+  return {all_logits, autograd::Variable()};
+}
+
+std::vector<autograd::Variable> TopKGraphModel::Parameters() const {
+  std::vector<autograd::Variable> params;
+  for (const auto& c : convs_) {
+    for (auto& p : c->Parameters()) params.push_back(p);
+  }
+  for (const auto& p : projections_) params.push_back(p);
+  for (const auto& c : score_convs_) {
+    for (auto& p : c->Parameters()) params.push_back(p);
+  }
+  for (auto& p : head_.Parameters()) params.push_back(p);
+  return params;
+}
+
+GraphUNetBackbone::GraphUNetBackbone(const GraphUNetConfig& config,
+                                     util::Rng* rng)
+    : config_(config),
+      conv_in_(config.in_dim, config.hidden_dim, rng),
+      conv_mid_(config.hidden_dim, config.hidden_dim, rng),
+      conv_out_(config.hidden_dim, config.hidden_dim, rng),
+      projection_(autograd::Variable::Parameter(
+          nn::GlorotUniform(config.hidden_dim, 1, rng))),
+      dropout_(config.dropout) {
+  ADAMGNN_CHECK_GT(config.in_dim, 0u);
+  if (config.num_classes > 0) {
+    head_ = std::make_unique<nn::Linear>(config.hidden_dim,
+                                         config.num_classes,
+                                         /*use_bias=*/true, rng);
+  }
+}
+
+GraphUNetBackbone::Out GraphUNetBackbone::Run(const graph::Graph& g,
+                                              bool training, util::Rng* rng) {
+  graph::SparseMatrix adj = graph::SparseMatrix::Adjacency(g);
+  auto norm = std::make_shared<const graph::SparseMatrix>(adj.Normalized());
+
+  autograd::Variable h = autograd::Relu(
+      conv_in_.Forward(norm, autograd::Variable::Constant(g.features())));
+  h = dropout_.Apply(h, rng, training);
+
+  // Down: pool to the top-ratio nodes.
+  autograd::Variable score = ProjectionScore(h, projection_);
+  std::vector<size_t> idx = TopKIndices(score.value(), config_.ratio);
+  autograd::Variable gate = autograd::Tanh(autograd::GatherRows(score, idx));
+  autograd::Variable h_pool =
+      autograd::MulColBroadcast(autograd::GatherRows(h, idx), gate);
+  auto norm_pool = std::make_shared<const graph::SparseMatrix>(
+      SparseSubmatrix(adj, idx).Normalized());
+  autograd::Variable h_mid =
+      autograd::Relu(conv_mid_.Forward(norm_pool, h_pool));
+  h_mid = dropout_.Apply(h_mid, rng, training);
+
+  // Up: scatter back to all nodes plus skip connection, then smooth.
+  autograd::Variable h_up =
+      autograd::Add(h, autograd::ScatterRows(h_mid, idx, g.num_nodes()));
+  autograd::Variable embeddings = conv_out_.Forward(norm, h_up);
+
+  Out out;
+  out.embeddings = embeddings;
+  if (head_ != nullptr) {
+    out.logits = head_->Forward(
+        dropout_.Apply(autograd::Relu(embeddings), rng, training));
+  }
+  return out;
+}
+
+std::vector<autograd::Variable> GraphUNetBackbone::Parameters() const {
+  std::vector<autograd::Variable> params = conv_in_.Parameters();
+  for (auto& p : conv_mid_.Parameters()) params.push_back(p);
+  for (auto& p : conv_out_.Parameters()) params.push_back(p);
+  params.push_back(projection_);
+  if (head_ != nullptr) {
+    for (auto& p : head_->Parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+GraphUNetNodeModel::GraphUNetNodeModel(const GraphUNetConfig& config,
+                                       util::Rng* rng)
+    : backbone_(config, rng) {
+  ADAMGNN_CHECK_GT(config.num_classes, 0u);
+}
+
+train::NodeModel::Out GraphUNetNodeModel::Forward(const graph::Graph& g,
+                                                  bool training,
+                                                  util::Rng* rng) {
+  GraphUNetBackbone::Out b = backbone_.Run(g, training, rng);
+  return {b.logits, autograd::Variable()};
+}
+
+std::vector<autograd::Variable> GraphUNetNodeModel::Parameters() const {
+  return backbone_.Parameters();
+}
+
+GraphUNetEmbeddingModel::GraphUNetEmbeddingModel(
+    const GraphUNetConfig& config, util::Rng* rng)
+    : backbone_(config, rng) {}
+
+train::EmbeddingModel::Out GraphUNetEmbeddingModel::Forward(
+    const graph::Graph& g, bool training, util::Rng* rng) {
+  GraphUNetBackbone::Out b = backbone_.Run(g, training, rng);
+  return {b.embeddings, autograd::Variable()};
+}
+
+std::vector<autograd::Variable> GraphUNetEmbeddingModel::Parameters() const {
+  return backbone_.Parameters();
+}
+
+}  // namespace adamgnn::pool

@@ -1,0 +1,119 @@
+// Top-k selection pooling (Gao & Ji 2019, "Graph U-Nets") and its
+// self-attention variant SAGPool (Lee et al. 2019). Both share the skeleton
+//   score -> keep top ⌈ratio·n⌉ nodes -> gate kept features by tanh(score);
+// they differ only in the scorer: a learnable projection (TopKPool) vs. a
+// GCN over the graph (SAGPool). These are the paper's Top-k baselines whose
+// fixed ratio AdamGNN's adaptive selection removes.
+
+#ifndef ADAMGNN_POOL_TOPK_POOL_H_
+#define ADAMGNN_POOL_TOPK_POOL_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/dropout.h"
+#include "nn/gcn_conv.h"
+#include "nn/linear.h"
+#include "pool/common.h"
+#include "train/interfaces.h"
+#include "util/random.h"
+
+namespace adamgnn::pool {
+
+enum class TopKScorerKind {
+  kProjection,  // TopKPool: s = X p / ‖p‖
+  kGcn,         // SAGPool: s = GCN(Â, X)
+};
+
+struct TopKGraphConfig {
+  TopKScorerKind scorer = TopKScorerKind::kProjection;
+  size_t in_dim = 0;
+  size_t hidden_dim = 64;
+  int num_classes = 2;
+  int num_levels = 2;
+  /// The pooling-ratio hyper-parameter k (see paper Appendix A.1 /
+  /// Figure 3 for its coverage implications).
+  double ratio = 0.5;
+  double dropout = 0.1;
+};
+
+/// Hierarchical graph classifier: per level GCN -> top-k pool, readouts of
+/// all levels summed, linear head.
+class TopKGraphModel final : public train::GraphModel {
+ public:
+  TopKGraphModel(const TopKGraphConfig& config, util::Rng* rng);
+
+  Out Forward(const graph::GraphBatch& batch, bool training,
+              util::Rng* rng) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+  /// Fraction of each input graph's nodes that survive all pooling levels
+  /// during the most recent Forward call (for the Figure 3 experiment).
+  const std::vector<double>& last_coverage() const { return last_coverage_; }
+
+ private:
+  TopKGraphConfig config_;
+  std::vector<std::unique_ptr<nn::GcnConv>> convs_;
+  std::vector<autograd::Variable> projections_;        // per level (d x 1)
+  std::vector<std::unique_ptr<nn::GcnConv>> score_convs_;  // SAGPool scorer
+  nn::Linear head_;
+  nn::Dropout dropout_;
+  std::vector<double> last_coverage_;
+};
+
+struct GraphUNetConfig {
+  size_t in_dim = 0;
+  size_t hidden_dim = 64;
+  /// 0 = embedding mode (link prediction).
+  size_t num_classes = 0;
+  double ratio = 0.5;
+  double dropout = 0.1;
+};
+
+/// Graph U-Net for node-level tasks (the TOPKPOOL rows of Table 2):
+/// GCN -> top-k pool -> GCN -> unpool (scatter + skip) -> GCN.
+class GraphUNetBackbone {
+ public:
+  GraphUNetBackbone(const GraphUNetConfig& config, util::Rng* rng);
+
+  struct Out {
+    autograd::Variable embeddings;
+    autograd::Variable logits;  // defined when num_classes > 0
+  };
+  Out Run(const graph::Graph& g, bool training, util::Rng* rng);
+
+  std::vector<autograd::Variable> Parameters() const;
+
+ private:
+  GraphUNetConfig config_;
+  nn::GcnConv conv_in_;
+  nn::GcnConv conv_mid_;
+  nn::GcnConv conv_out_;
+  autograd::Variable projection_;  // (hidden x 1)
+  std::unique_ptr<nn::Linear> head_;
+  nn::Dropout dropout_;
+};
+
+class GraphUNetNodeModel final : public train::NodeModel {
+ public:
+  GraphUNetNodeModel(const GraphUNetConfig& config, util::Rng* rng);
+  Out Forward(const graph::Graph& g, bool training, util::Rng* rng) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  GraphUNetBackbone backbone_;
+};
+
+class GraphUNetEmbeddingModel final : public train::EmbeddingModel {
+ public:
+  GraphUNetEmbeddingModel(const GraphUNetConfig& config, util::Rng* rng);
+  Out Forward(const graph::Graph& g, bool training, util::Rng* rng) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  GraphUNetBackbone backbone_;
+};
+
+}  // namespace adamgnn::pool
+
+#endif  // ADAMGNN_POOL_TOPK_POOL_H_

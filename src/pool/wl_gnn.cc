@@ -1,0 +1,68 @@
+#include "pool/wl_gnn.h"
+
+#include "tensor/kernels.h"
+#include "util/logging.h"
+
+namespace adamgnn::pool {
+
+WlGnnGraphModel::WlGnnGraphModel(const WlGnnConfig& config, util::Rng* rng)
+    : config_(config),
+      head_(2 * config.hidden_dim, static_cast<size_t>(config.num_classes),
+            /*use_bias=*/true, rng),
+      dropout_(config.dropout) {
+  ADAMGNN_CHECK_GT(config.in_dim, 0u);
+  ADAMGNN_CHECK_GE(config.num_layers, 1);
+  for (int l = 0; l < config.num_layers; ++l) {
+    const size_t in = l == 0 ? config.in_dim : config.hidden_dim;
+    w_self_.push_back(std::make_unique<nn::Linear>(in, config.hidden_dim,
+                                                   /*use_bias=*/true, rng));
+    w_hop1_.push_back(std::make_unique<nn::Linear>(in, config.hidden_dim,
+                                                   /*use_bias=*/false, rng));
+    w_hop2_.push_back(std::make_unique<nn::Linear>(in, config.hidden_dim,
+                                                   /*use_bias=*/false, rng));
+  }
+}
+
+train::GraphModel::Out WlGnnGraphModel::Forward(
+    const graph::GraphBatch& batch, bool training, util::Rng* rng) {
+  autograd::Variable all_logits;
+  for (size_t gi = 0; gi < batch.num_graphs(); ++gi) {
+    MemberGraph member = ExtractMember(batch, gi);
+    // Dense Â and Â² — the quadratic footprint of higher-order methods.
+    tensor::Matrix a_dense = member.adjacency.Normalized().ToDense();
+    autograd::Variable a = autograd::Variable::Constant(a_dense);
+    autograd::Variable a2 = autograd::Variable::Constant(
+        tensor::MatMul(a_dense, a_dense));
+    autograd::Variable h =
+        autograd::Variable::Constant(std::move(member.features));
+
+    for (size_t l = 0; l < w_self_.size(); ++l) {
+      autograd::Variable mixed = autograd::Add(
+          autograd::Add(w_self_[l]->Forward(h),
+                        autograd::MatMul(a, w_hop1_[l]->Forward(h))),
+          autograd::MatMul(a2, w_hop2_[l]->Forward(h)));
+      h = autograd::Relu(mixed);
+      h = dropout_.Apply(h, rng, training);
+    }
+
+    autograd::Variable logits = head_.Forward(ReadoutMeanMax(h));
+    all_logits = all_logits.defined()
+                     ? autograd::ConcatRows(all_logits, logits)
+                     : logits;
+  }
+  return {all_logits, autograd::Variable()};
+}
+
+std::vector<autograd::Variable> WlGnnGraphModel::Parameters() const {
+  std::vector<autograd::Variable> params;
+  auto append = [&params](const std::vector<autograd::Variable>& more) {
+    params.insert(params.end(), more.begin(), more.end());
+  };
+  for (const auto& m : w_self_) append(m->Parameters());
+  for (const auto& m : w_hop1_) append(m->Parameters());
+  for (const auto& m : w_hop2_) append(m->Parameters());
+  append(head_.Parameters());
+  return params;
+}
+
+}  // namespace adamgnn::pool

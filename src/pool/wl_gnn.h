@@ -1,0 +1,49 @@
+// 3WL-GNN approximation (Maron et al. 2019, "Provably Powerful Graph
+// Networks"). The full method operates on n² tensors; we implement a dense
+// higher-order layer of matching cost profile that mixes 1- and 2-hop
+// structure, H' = ReLU(H W₁ + ÂH W₂ + Â²H W₃), which captures the
+// second-order interactions the comparison in Table 1 exercises. Flagged as
+// an approximation in DESIGN.md / EXPERIMENTS.md.
+
+#ifndef ADAMGNN_POOL_WL_GNN_H_
+#define ADAMGNN_POOL_WL_GNN_H_
+
+#include <memory>
+#include <vector>
+
+#include "nn/dropout.h"
+#include "nn/linear.h"
+#include "pool/common.h"
+#include "train/interfaces.h"
+#include "util/random.h"
+
+namespace adamgnn::pool {
+
+struct WlGnnConfig {
+  size_t in_dim = 0;
+  size_t hidden_dim = 64;
+  int num_classes = 2;
+  int num_layers = 2;
+  double dropout = 0.1;
+};
+
+class WlGnnGraphModel final : public train::GraphModel {
+ public:
+  WlGnnGraphModel(const WlGnnConfig& config, util::Rng* rng);
+
+  Out Forward(const graph::GraphBatch& batch, bool training,
+              util::Rng* rng) override;
+  std::vector<autograd::Variable> Parameters() const override;
+
+ private:
+  WlGnnConfig config_;
+  std::vector<std::unique_ptr<nn::Linear>> w_self_;
+  std::vector<std::unique_ptr<nn::Linear>> w_hop1_;
+  std::vector<std::unique_ptr<nn::Linear>> w_hop2_;
+  nn::Linear head_;
+  nn::Dropout dropout_;
+};
+
+}  // namespace adamgnn::pool
+
+#endif  // ADAMGNN_POOL_WL_GNN_H_

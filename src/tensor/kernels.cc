@@ -1,0 +1,249 @@
+#include "tensor/kernels.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace adamgnn::tensor {
+
+Matrix MatMul(const Matrix& a, const Matrix& b) {
+  ADAMGNN_CHECK_EQ(a.cols(), b.rows());
+  Matrix c(a.rows(), b.cols());
+  const size_t m = a.rows(), k = a.cols(), n = b.cols();
+  // i-k-j loop order: streams through b and c rows contiguously.
+  for (size_t i = 0; i < m; ++i) {
+    double* ci = c.row(i);
+    const double* ai = a.row(i);
+    for (size_t p = 0; p < k; ++p) {
+      const double aip = ai[p];
+      if (aip == 0.0) continue;
+      const double* bp = b.row(p);
+      for (size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
+  ADAMGNN_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.cols(), b.cols());
+  const size_t k = a.rows(), m = a.cols(), n = b.cols();
+  for (size_t p = 0; p < k; ++p) {
+    const double* ap = a.row(p);
+    const double* bp = b.row(p);
+    for (size_t i = 0; i < m; ++i) {
+      const double api = ap[i];
+      if (api == 0.0) continue;
+      double* ci = c.row(i);
+      for (size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
+    }
+  }
+  return c;
+}
+
+Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
+  ADAMGNN_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows(), b.rows());
+  const size_t m = a.rows(), k = a.cols(), n = b.rows();
+  for (size_t i = 0; i < m; ++i) {
+    const double* ai = a.row(i);
+    double* ci = c.row(i);
+    for (size_t j = 0; j < n; ++j) {
+      const double* bj = b.row(j);
+      double s = 0.0;
+      for (size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+      ci[j] = s;
+    }
+  }
+  return c;
+}
+
+Matrix Add(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c += b;
+  return c;
+}
+
+Matrix Sub(const Matrix& a, const Matrix& b) {
+  Matrix c = a;
+  c -= b;
+  return c;
+}
+
+Matrix CwiseMul(const Matrix& a, const Matrix& b) {
+  ADAMGNN_CHECK(a.SameShape(b));
+  Matrix c = a;
+  for (size_t i = 0; i < c.size(); ++i) c.data()[i] *= b.data()[i];
+  return c;
+}
+
+Matrix Scale(const Matrix& a, double scalar) {
+  Matrix c = a;
+  c *= scalar;
+  return c;
+}
+
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
+  ADAMGNN_CHECK_EQ(row.rows(), 1u);
+  ADAMGNN_CHECK_EQ(row.cols(), a.cols());
+  Matrix c = a;
+  for (size_t r = 0; r < c.rows(); ++r) {
+    double* cr = c.row(r);
+    for (size_t j = 0; j < c.cols(); ++j) cr[j] += row.data()[j];
+  }
+  return c;
+}
+
+Matrix MulColBroadcast(const Matrix& a, const Matrix& col) {
+  ADAMGNN_CHECK_EQ(col.cols(), 1u);
+  ADAMGNN_CHECK_EQ(col.rows(), a.rows());
+  Matrix c = a;
+  for (size_t r = 0; r < c.rows(); ++r) {
+    const double s = col(r, 0);
+    double* cr = c.row(r);
+    for (size_t j = 0; j < c.cols(); ++j) cr[j] *= s;
+  }
+  return c;
+}
+
+Matrix ConcatCols(const Matrix& a, const Matrix& b) {
+  ADAMGNN_CHECK_EQ(a.rows(), b.rows());
+  Matrix c(a.rows(), a.cols() + b.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    std::copy(a.row(r), a.row(r) + a.cols(), c.row(r));
+    std::copy(b.row(r), b.row(r) + b.cols(), c.row(r) + a.cols());
+  }
+  return c;
+}
+
+Matrix ConcatRows(const Matrix& a, const Matrix& b) {
+  ADAMGNN_CHECK_EQ(a.cols(), b.cols());
+  Matrix c(a.rows() + b.rows(), a.cols());
+  std::copy(a.data(), a.data() + a.size(), c.data());
+  std::copy(b.data(), b.data() + b.size(), c.data() + a.size());
+  return c;
+}
+
+Matrix ColSum(const Matrix& a) {
+  Matrix c(1, a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* ar = a.row(r);
+    for (size_t j = 0; j < a.cols(); ++j) c.data()[j] += ar[j];
+  }
+  return c;
+}
+
+Matrix RowSum(const Matrix& a) {
+  Matrix c(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* ar = a.row(r);
+    double s = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) s += ar[j];
+    c(r, 0) = s;
+  }
+  return c;
+}
+
+Matrix RowMean(const Matrix& a) {
+  ADAMGNN_CHECK_GT(a.cols(), 0u);
+  Matrix c = RowSum(a);
+  c *= 1.0 / static_cast<double>(a.cols());
+  return c;
+}
+
+Matrix RowMax(const Matrix& a) {
+  ADAMGNN_CHECK_GT(a.cols(), 0u);
+  Matrix c(a.rows(), 1);
+  for (size_t r = 0; r < a.rows(); ++r) {
+    const double* ar = a.row(r);
+    double m = ar[0];
+    for (size_t j = 1; j < a.cols(); ++j) m = std::max(m, ar[j]);
+    c(r, 0) = m;
+  }
+  return c;
+}
+
+Matrix SoftmaxRows(const Matrix& a) {
+  Matrix c = a;
+  for (size_t r = 0; r < c.rows(); ++r) {
+    double* cr = c.row(r);
+    double m = cr[0];
+    for (size_t j = 1; j < c.cols(); ++j) m = std::max(m, cr[j]);
+    double z = 0.0;
+    for (size_t j = 0; j < c.cols(); ++j) {
+      cr[j] = std::exp(cr[j] - m);
+      z += cr[j];
+    }
+    for (size_t j = 0; j < c.cols(); ++j) cr[j] /= z;
+  }
+  return c;
+}
+
+Matrix Relu(const Matrix& a) {
+  Matrix c = a;
+  c.Apply([](double x) { return x > 0.0 ? x : 0.0; });
+  return c;
+}
+
+Matrix LeakyRelu(const Matrix& a, double slope) {
+  Matrix c = a;
+  c.Apply([slope](double x) { return x > 0.0 ? x : slope * x; });
+  return c;
+}
+
+Matrix Sigmoid(const Matrix& a) {
+  Matrix c = a;
+  c.Apply([](double x) {
+    // Split on sign for numeric stability at large |x|.
+    if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
+    double e = std::exp(x);
+    return e / (1.0 + e);
+  });
+  return c;
+}
+
+Matrix Tanh(const Matrix& a) {
+  Matrix c = a;
+  c.Apply([](double x) { return std::tanh(x); });
+  return c;
+}
+
+Matrix Exp(const Matrix& a) {
+  Matrix c = a;
+  c.Apply([](double x) { return std::exp(x); });
+  return c;
+}
+
+Matrix Log(const Matrix& a) {
+  Matrix c = a;
+  c.Apply([](double x) { return std::log(x); });
+  return c;
+}
+
+Matrix SegmentSum(const Matrix& a, const std::vector<size_t>& segments,
+                  size_t num_segments) {
+  ADAMGNN_CHECK_EQ(segments.size(), a.rows());
+  Matrix c(num_segments, a.cols());
+  for (size_t r = 0; r < a.rows(); ++r) {
+    ADAMGNN_CHECK_LT(segments[r], num_segments);
+    double* cs = c.row(segments[r]);
+    const double* ar = a.row(r);
+    for (size_t j = 0; j < a.cols(); ++j) cs[j] += ar[j];
+  }
+  return c;
+}
+
+Matrix SegmentMean(const Matrix& a, const std::vector<size_t>& segments,
+                   size_t num_segments) {
+  Matrix c = SegmentSum(a, segments, num_segments);
+  std::vector<double> counts(num_segments, 0.0);
+  for (size_t s : segments) counts[s] += 1.0;
+  for (size_t s = 0; s < num_segments; ++s) {
+    if (counts[s] == 0.0) continue;
+    double inv = 1.0 / counts[s];
+    double* cs = c.row(s);
+    for (size_t j = 0; j < c.cols(); ++j) cs[j] *= inv;
+  }
+  return c;
+}
+
+}  // namespace adamgnn::tensor

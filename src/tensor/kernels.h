@@ -1,0 +1,69 @@
+// Dense linear-algebra kernels over Matrix. These are the non-differentiable
+// primitives; the autograd layer composes them into differentiable ops.
+
+#ifndef ADAMGNN_TENSOR_KERNELS_H_
+#define ADAMGNN_TENSOR_KERNELS_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace adamgnn::tensor {
+
+/// C = A * B. Shapes: (m,k) x (k,n) -> (m,n).
+Matrix MatMul(const Matrix& a, const Matrix& b);
+/// C = A^T * B. Shapes: (k,m) x (k,n) -> (m,n). Avoids materializing A^T.
+Matrix MatMulTransA(const Matrix& a, const Matrix& b);
+/// C = A * B^T. Shapes: (m,k) x (n,k) -> (m,n). Avoids materializing B^T.
+Matrix MatMulTransB(const Matrix& a, const Matrix& b);
+
+/// Elementwise sum / difference / product (shapes must match).
+Matrix Add(const Matrix& a, const Matrix& b);
+Matrix Sub(const Matrix& a, const Matrix& b);
+Matrix CwiseMul(const Matrix& a, const Matrix& b);
+
+/// a * scalar.
+Matrix Scale(const Matrix& a, double scalar);
+
+/// Adds a 1 x cols row vector to every row of a.
+Matrix AddRowBroadcast(const Matrix& a, const Matrix& row);
+/// Multiplies row r of a by col(r, 0); col is rows x 1.
+Matrix MulColBroadcast(const Matrix& a, const Matrix& col);
+
+/// Horizontal concatenation [a | b]; row counts must match.
+Matrix ConcatCols(const Matrix& a, const Matrix& b);
+/// Vertical concatenation [a ; b]; column counts must match.
+Matrix ConcatRows(const Matrix& a, const Matrix& b);
+
+/// Column sums as a 1 x cols matrix.
+Matrix ColSum(const Matrix& a);
+/// Row sums as a rows x 1 matrix.
+Matrix RowSum(const Matrix& a);
+/// Row means as a rows x 1 matrix.
+Matrix RowMean(const Matrix& a);
+/// Per-row maximum as rows x 1.
+Matrix RowMax(const Matrix& a);
+
+/// Numerically stable row-wise softmax.
+Matrix SoftmaxRows(const Matrix& a);
+
+/// Elementwise maps.
+Matrix Relu(const Matrix& a);
+Matrix LeakyRelu(const Matrix& a, double slope);
+Matrix Sigmoid(const Matrix& a);
+Matrix Tanh(const Matrix& a);
+Matrix Exp(const Matrix& a);
+Matrix Log(const Matrix& a);  // caller guarantees positivity
+
+/// Sum over segments: out(seg[i], :) += a(i, :). out has num_segments rows.
+/// Every segment id must be < num_segments.
+Matrix SegmentSum(const Matrix& a, const std::vector<size_t>& segments,
+                  size_t num_segments);
+
+/// Mean over segments; empty segments yield zero rows.
+Matrix SegmentMean(const Matrix& a, const std::vector<size_t>& segments,
+                   size_t num_segments);
+
+}  // namespace adamgnn::tensor
+
+#endif  // ADAMGNN_TENSOR_KERNELS_H_

@@ -1,0 +1,152 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+namespace adamgnn::tensor {
+
+Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
+    : rows_(rows), cols_(cols), data_(std::move(data)) {
+  ADAMGNN_CHECK_EQ(data_.size(), rows * cols);
+}
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::Uniform(size_t rows, size_t cols, double lo, double hi,
+                       util::Rng* rng) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = rng->NextUniform(lo, hi);
+  return m;
+}
+
+Matrix Matrix::Gaussian(size_t rows, size_t cols, double stddev,
+                        util::Rng* rng) {
+  Matrix m(rows, cols);
+  for (auto& x : m.data_) x = stddev * rng->NextGaussian();
+  return m;
+}
+
+Matrix Matrix::RowVector(const std::vector<double>& values) {
+  return Matrix(1, values.size(), values);
+}
+
+Matrix Matrix::ColVector(const std::vector<double>& values) {
+  return Matrix(values.size(), 1, values);
+}
+
+Matrix& Matrix::operator+=(const Matrix& other) {
+  ADAMGNN_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator-=(const Matrix& other) {
+  ADAMGNN_CHECK(SameShape(other));
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] -= other.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double scalar) {
+  for (auto& x : data_) x *= scalar;
+  return *this;
+}
+
+void Matrix::Fill(double value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+void Matrix::Apply(const std::function<double(double)>& f) {
+  for (auto& x : data_) x = f(x);
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double x : data_) s += x;
+  return s;
+}
+
+double Matrix::AbsMax() const {
+  double m = 0.0;
+  for (double x : data_) m = std::max(m, std::fabs(x));
+  return m;
+}
+
+double Matrix::Norm() const {
+  double s = 0.0;
+  for (double x : data_) s += x * x;
+  return std::sqrt(s);
+}
+
+Matrix Matrix::Row(size_t r) const {
+  ADAMGNN_CHECK_LT(r, rows_);
+  Matrix out(1, cols_);
+  std::copy(row(r), row(r) + cols_, out.data());
+  return out;
+}
+
+Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
+  Matrix out(indices.size(), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    ADAMGNN_CHECK_LT(indices[i], rows_);
+    std::copy(row(indices[i]), row(indices[i]) + cols_, out.row(i));
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
+  }
+  return out;
+}
+
+bool Matrix::AllFinite() const {
+  for (double x : data_) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
+}
+
+std::string Matrix::ToString(int max_rows, int max_cols) const {
+  std::ostringstream os;
+  os << "Matrix(" << rows_ << "x" << cols_ << ")[";
+  size_t show_r = std::min<size_t>(rows_, static_cast<size_t>(max_rows));
+  size_t show_c = std::min<size_t>(cols_, static_cast<size_t>(max_cols));
+  for (size_t r = 0; r < show_r; ++r) {
+    os << (r == 0 ? "[" : " [");
+    for (size_t c = 0; c < show_c; ++c) {
+      if (c > 0) os << ", ";
+      os << (*this)(r, c);
+    }
+    if (show_c < cols_) os << ", ...";
+    os << "]";
+    if (r + 1 < show_r) os << "\n";
+  }
+  if (show_r < rows_) os << "\n ...";
+  os << "]";
+  return os.str();
+}
+
+bool operator==(const Matrix& a, const Matrix& b) {
+  if (!a.SameShape(b)) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a.data()[i] != b.data()[i]) return false;
+  }
+  return true;
+}
+
+bool AllClose(const Matrix& a, const Matrix& b, double tol) {
+  if (!a.SameShape(b)) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::fabs(a.data()[i] - b.data()[i]) > tol) return false;
+  }
+  return true;
+}
+
+}  // namespace adamgnn::tensor

@@ -1,0 +1,122 @@
+// Dense row-major matrix of doubles: the numeric workhorse underneath the
+// autograd engine and all models. Double precision is chosen deliberately —
+// the test suite verifies every gradient against central finite differences,
+// which needs ~1e-7 relative accuracy.
+
+#ifndef ADAMGNN_TENSOR_MATRIX_H_
+#define ADAMGNN_TENSOR_MATRIX_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace adamgnn::tensor {
+
+/// A dense rows x cols matrix stored row-major. Copyable and movable; copies
+/// are deep. A 1 x n or n x 1 matrix doubles as a vector.
+class Matrix {
+ public:
+  /// An empty 0 x 0 matrix.
+  Matrix() : rows_(0), cols_(0) {}
+
+  /// A rows x cols matrix filled with `fill`.
+  Matrix(size_t rows, size_t cols, double fill = 0.0)
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  /// Adopts `data` (row-major, size must equal rows*cols).
+  Matrix(size_t rows, size_t cols, std::vector<double> data);
+
+  static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+  static Matrix Ones(size_t rows, size_t cols) {
+    return Matrix(rows, cols, 1.0);
+  }
+  /// Identity matrix of size n.
+  static Matrix Identity(size_t n);
+  /// Entries iid Uniform[lo, hi).
+  static Matrix Uniform(size_t rows, size_t cols, double lo, double hi,
+                        util::Rng* rng);
+  /// Entries iid Normal(0, stddev^2).
+  static Matrix Gaussian(size_t rows, size_t cols, double stddev,
+                         util::Rng* rng);
+  /// 1 x values.size() row vector.
+  static Matrix RowVector(const std::vector<double>& values);
+  /// values.size() x 1 column vector.
+  static Matrix ColVector(const std::vector<double>& values);
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& operator()(size_t r, size_t c) {
+    ADAMGNN_CHECK_LT(r, rows_);
+    ADAMGNN_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+  double operator()(size_t r, size_t c) const {
+    ADAMGNN_CHECK_LT(r, rows_);
+    ADAMGNN_CHECK_LT(c, cols_);
+    return data_[r * cols_ + c];
+  }
+
+  /// Raw row-major storage.
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  /// Pointer to the start of row r.
+  double* row(size_t r) { return data_.data() + r * cols_; }
+  const double* row(size_t r) const { return data_.data() + r * cols_; }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  // In-place arithmetic (shapes must match for the matrix overloads).
+  Matrix& operator+=(const Matrix& other);
+  Matrix& operator-=(const Matrix& other);
+  Matrix& operator*=(double scalar);
+
+  /// Sets every entry to `value`.
+  void Fill(double value);
+  /// Sets every entry to f(entry).
+  void Apply(const std::function<double(double)>& f);
+
+  /// Sum of all entries.
+  double Sum() const;
+  /// Max-magnitude entry; 0 for an empty matrix.
+  double AbsMax() const;
+  /// Frobenius norm.
+  double Norm() const;
+
+  /// Extracts row r as a 1 x cols matrix.
+  Matrix Row(size_t r) const;
+  /// New matrix with rows selected by `indices` (repeats allowed).
+  Matrix GatherRows(const std::vector<size_t>& indices) const;
+  /// Transposed copy.
+  Matrix Transposed() const;
+
+  /// True if all entries are finite (no NaN/inf). Used by training sanity
+  /// checks and failure-injection tests.
+  bool AllFinite() const;
+
+  /// Human-readable preview for debugging (caps output for large matrices).
+  std::string ToString(int max_rows = 8, int max_cols = 8) const;
+
+ private:
+  size_t rows_;
+  size_t cols_;
+  std::vector<double> data_;
+};
+
+/// Exact shape and entry-wise equality.
+bool operator==(const Matrix& a, const Matrix& b);
+
+/// True when shapes match and entries differ by at most `tol`.
+bool AllClose(const Matrix& a, const Matrix& b, double tol = 1e-9);
+
+}  // namespace adamgnn::tensor
+
+#endif  // ADAMGNN_TENSOR_MATRIX_H_

@@ -1,0 +1,176 @@
+#include "train/clustering.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "util/logging.h"
+
+namespace adamgnn::train {
+
+namespace {
+
+double SquaredDistance(const double* a, const double* b, size_t dim) {
+  double s = 0.0;
+  for (size_t j = 0; j < dim; ++j) {
+    const double d = a[j] - b[j];
+    s += d * d;
+  }
+  return s;
+}
+
+}  // namespace
+
+util::Result<KMeansResult> KMeans(const tensor::Matrix& points, int k,
+                                  util::Rng* rng, int max_iterations) {
+  const size_t n = points.rows();
+  const size_t dim = points.cols();
+  if (k < 1 || static_cast<size_t>(k) > n) {
+    return util::Status::InvalidArgument("k must be in [1, n]");
+  }
+  if (max_iterations < 1) {
+    return util::Status::InvalidArgument("max_iterations must be >= 1");
+  }
+
+  // k-means++ seeding.
+  tensor::Matrix centroids(static_cast<size_t>(k), dim);
+  std::vector<double> min_dist(n, 0.0);
+  {
+    const size_t first = rng->NextUint64(n);
+    std::copy(points.row(first), points.row(first) + dim, centroids.row(0));
+    for (size_t i = 0; i < n; ++i) {
+      min_dist[i] = SquaredDistance(points.row(i), centroids.row(0), dim);
+    }
+    for (int c = 1; c < k; ++c) {
+      double total = 0.0;
+      for (double d : min_dist) total += d;
+      size_t chosen = 0;
+      if (total > 0.0) {
+        double x = rng->NextDouble() * total;
+        for (size_t i = 0; i < n; ++i) {
+          x -= min_dist[i];
+          if (x <= 0.0) {
+            chosen = i;
+            break;
+          }
+        }
+      } else {
+        chosen = rng->NextUint64(n);  // all points identical
+      }
+      std::copy(points.row(chosen), points.row(chosen) + dim,
+                centroids.row(static_cast<size_t>(c)));
+      for (size_t i = 0; i < n; ++i) {
+        min_dist[i] = std::min(
+            min_dist[i],
+            SquaredDistance(points.row(i),
+                            centroids.row(static_cast<size_t>(c)), dim));
+      }
+    }
+  }
+
+  KMeansResult result;
+  result.assignments.assign(n, -1);
+  result.centroids = std::move(centroids);
+
+  for (int iter = 0; iter < max_iterations; ++iter) {
+    result.iterations_run = iter + 1;
+    // Assignment step.
+    bool changed = false;
+    result.inertia = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = SquaredDistance(points.row(i),
+                                      result.centroids.row(0), dim);
+      for (int c = 1; c < k; ++c) {
+        const double d = SquaredDistance(
+            points.row(i), result.centroids.row(static_cast<size_t>(c)),
+            dim);
+        if (d < best_d) {
+          best_d = d;
+          best = c;
+        }
+      }
+      result.inertia += best_d;
+      if (result.assignments[i] != best) {
+        result.assignments[i] = best;
+        changed = true;
+      }
+    }
+    if (!changed) break;
+    // Update step; empty clusters keep their previous centroid.
+    tensor::Matrix sums(static_cast<size_t>(k), dim);
+    std::vector<size_t> counts(static_cast<size_t>(k), 0);
+    for (size_t i = 0; i < n; ++i) {
+      const auto c = static_cast<size_t>(result.assignments[i]);
+      ++counts[c];
+      double* s = sums.row(c);
+      const double* p = points.row(i);
+      for (size_t j = 0; j < dim; ++j) s[j] += p[j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[static_cast<size_t>(c)] == 0) continue;
+      const double inv = 1.0 / static_cast<double>(
+                                   counts[static_cast<size_t>(c)]);
+      double* ct = result.centroids.row(static_cast<size_t>(c));
+      const double* s = sums.row(static_cast<size_t>(c));
+      for (size_t j = 0; j < dim; ++j) ct[j] = s[j] * inv;
+    }
+  }
+  return result;
+}
+
+double NormalizedMutualInformation(const std::vector<int>& a,
+                                   const std::vector<int>& b) {
+  ADAMGNN_CHECK_EQ(a.size(), b.size());
+  ADAMGNN_CHECK(!a.empty());
+  const double n = static_cast<double>(a.size());
+
+  std::map<int, double> pa, pb;
+  std::map<std::pair<int, int>, double> pab;
+  for (size_t i = 0; i < a.size(); ++i) {
+    pa[a[i]] += 1.0;
+    pb[b[i]] += 1.0;
+    pab[{a[i], b[i]}] += 1.0;
+  }
+  double mi = 0.0;
+  for (const auto& [key, count] : pab) {
+    const double pxy = count / n;
+    const double px = pa[key.first] / n;
+    const double py = pb[key.second] / n;
+    mi += pxy * std::log(pxy / (px * py));
+  }
+  auto entropy = [n](const std::map<int, double>& p) {
+    double h = 0.0;
+    for (const auto& [label, count] : p) {
+      const double q = count / n;
+      h -= q * std::log(q);
+    }
+    return h;
+  };
+  const double ha = entropy(pa);
+  const double hb = entropy(pb);
+  if (ha == 0.0 && hb == 0.0) return 1.0;  // both constant labelings agree
+  const double denom = 0.5 * (ha + hb);
+  if (denom == 0.0) return 0.0;
+  return std::max(0.0, mi / denom);
+}
+
+double ClusterPurity(const std::vector<int>& clusters,
+                     const std::vector<int>& classes) {
+  ADAMGNN_CHECK_EQ(clusters.size(), classes.size());
+  ADAMGNN_CHECK(!clusters.empty());
+  std::map<int, std::map<int, size_t>> histogram;
+  for (size_t i = 0; i < clusters.size(); ++i) {
+    ++histogram[clusters[i]][classes[i]];
+  }
+  size_t majority_total = 0;
+  for (const auto& [cluster, counts] : histogram) {
+    size_t best = 0;
+    for (const auto& [cls, count] : counts) best = std::max(best, count);
+    majority_total += best;
+  }
+  return static_cast<double>(majority_total) /
+         static_cast<double>(clusters.size());
+}
+
+}  // namespace adamgnn::train

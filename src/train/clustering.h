@@ -1,0 +1,43 @@
+// Node clustering — the third node-level task the paper's introduction
+// motivates (Zhang et al. 2019; Bo et al. 2020). Embeddings are clustered
+// with k-means++ and judged against ground-truth classes with normalized
+// mutual information (NMI) and purity.
+
+#ifndef ADAMGNN_TRAIN_CLUSTERING_H_
+#define ADAMGNN_TRAIN_CLUSTERING_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace adamgnn::train {
+
+struct KMeansResult {
+  /// Cluster id per input row.
+  std::vector<int> assignments;
+  /// (k x dim) centroids.
+  tensor::Matrix centroids;
+  /// Final within-cluster sum of squared distances.
+  double inertia = 0.0;
+  int iterations_run = 0;
+};
+
+/// Lloyd's algorithm with k-means++ seeding. `points` is (n x dim), k >= 1,
+/// k <= n. Deterministic given the RNG state.
+util::Result<KMeansResult> KMeans(const tensor::Matrix& points, int k,
+                                  util::Rng* rng, int max_iterations = 100);
+
+/// Normalized mutual information between two labelings (arithmetic-mean
+/// normalization), in [0, 1]. Sizes must match and be non-empty.
+double NormalizedMutualInformation(const std::vector<int>& a,
+                                   const std::vector<int>& b);
+
+/// Fraction of points whose cluster's majority class matches their class.
+double ClusterPurity(const std::vector<int>& clusters,
+                     const std::vector<int>& classes);
+
+}  // namespace adamgnn::train
+
+#endif  // ADAMGNN_TRAIN_CLUSTERING_H_

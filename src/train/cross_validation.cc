@@ -1,0 +1,52 @@
+#include "train/cross_validation.h"
+
+#include <cmath>
+#include <numeric>
+
+namespace adamgnn::train {
+
+util::Result<std::vector<Fold>> KFold(size_t n, int k, util::Rng* rng) {
+  if (k < 2 || static_cast<size_t>(k) > n) {
+    return util::Status::InvalidArgument("k must be in [2, n]");
+  }
+  std::vector<size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  rng->Shuffle(&order);
+
+  std::vector<Fold> folds(static_cast<size_t>(k));
+  for (size_t i = 0; i < n; ++i) {
+    folds[i % static_cast<size_t>(k)].test.push_back(order[i]);
+  }
+  for (int f = 0; f < k; ++f) {
+    for (int other = 0; other < k; ++other) {
+      if (other == f) continue;
+      const auto& src = folds[static_cast<size_t>(other)].test;
+      auto& train = folds[static_cast<size_t>(f)].train;
+      train.insert(train.end(), src.begin(), src.end());
+    }
+  }
+  return folds;
+}
+
+RunStatistics RepeatRuns(int num_runs,
+                         const std::function<double(uint64_t)>& experiment) {
+  RunStatistics stats;
+  for (int run = 1; run <= num_runs; ++run) {
+    stats.values.push_back(experiment(static_cast<uint64_t>(run)));
+  }
+  if (stats.values.empty()) return stats;
+  double sum = 0.0;
+  for (double v : stats.values) sum += v;
+  stats.mean = sum / static_cast<double>(stats.values.size());
+  if (stats.values.size() > 1) {
+    double sq = 0.0;
+    for (double v : stats.values) {
+      sq += (v - stats.mean) * (v - stats.mean);
+    }
+    stats.stddev =
+        std::sqrt(sq / static_cast<double>(stats.values.size() - 1));
+  }
+  return stats;
+}
+
+}  // namespace adamgnn::train

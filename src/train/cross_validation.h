@@ -1,0 +1,39 @@
+// Repeated-evaluation utilities: k-fold index generation and mean/stddev
+// aggregation. The paper reports "average performance of 10 experiments
+// with random seeds" — RunStatistics packages that protocol.
+
+#ifndef ADAMGNN_TRAIN_CROSS_VALIDATION_H_
+#define ADAMGNN_TRAIN_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+
+namespace adamgnn::train {
+
+/// One fold: indices held out for testing; the remainder trains.
+struct Fold {
+  std::vector<size_t> train;
+  std::vector<size_t> test;
+};
+
+/// Shuffled k-fold partition of n items. Requires 2 <= k <= n. Fold sizes
+/// differ by at most one; every item appears in exactly one test set.
+util::Result<std::vector<Fold>> KFold(size_t n, int k, util::Rng* rng);
+
+/// Mean and sample standard deviation of repeated runs.
+struct RunStatistics {
+  double mean = 0.0;
+  double stddev = 0.0;
+  std::vector<double> values;
+};
+
+/// Runs `experiment(seed)` for seeds 1..num_runs and aggregates.
+RunStatistics RepeatRuns(int num_runs,
+                         const std::function<double(uint64_t)>& experiment);
+
+}  // namespace adamgnn::train
+
+#endif  // ADAMGNN_TRAIN_CROSS_VALIDATION_H_

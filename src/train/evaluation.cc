@@ -1,0 +1,105 @@
+#include "train/evaluation.h"
+
+#include <sstream>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace adamgnn::train {
+
+util::Result<ConfusionMatrix> ConfusionMatrix::FromPredictions(
+    const std::vector<int>& predicted, const std::vector<int>& truth,
+    int num_classes) {
+  if (predicted.size() != truth.size()) {
+    return util::Status::InvalidArgument("size mismatch");
+  }
+  if (predicted.empty()) {
+    return util::Status::InvalidArgument("empty predictions");
+  }
+  if (num_classes < 1) {
+    return util::Status::InvalidArgument("num_classes must be >= 1");
+  }
+  ConfusionMatrix m(num_classes);
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] < 0 || predicted[i] >= num_classes || truth[i] < 0 ||
+        truth[i] >= num_classes) {
+      return util::Status::InvalidArgument("label out of range at item " +
+                                           std::to_string(i));
+    }
+    ++m.counts_[static_cast<size_t>(truth[i]) *
+                    static_cast<size_t>(num_classes) +
+                static_cast<size_t>(predicted[i])];
+    ++m.total_;
+  }
+  return m;
+}
+
+size_t ConfusionMatrix::count(int truth, int predicted) const {
+  ADAMGNN_CHECK_GE(truth, 0);
+  ADAMGNN_CHECK_LT(truth, num_classes_);
+  ADAMGNN_CHECK_GE(predicted, 0);
+  ADAMGNN_CHECK_LT(predicted, num_classes_);
+  return counts_[static_cast<size_t>(truth) *
+                     static_cast<size_t>(num_classes_) +
+                 static_cast<size_t>(predicted)];
+}
+
+double ConfusionMatrix::Accuracy() const {
+  size_t correct = 0;
+  for (int c = 0; c < num_classes_; ++c) correct += count(c, c);
+  return static_cast<double>(correct) / static_cast<double>(total_);
+}
+
+double ConfusionMatrix::Precision(int cls) const {
+  size_t tp = count(cls, cls);
+  size_t predicted_cls = 0;
+  for (int t = 0; t < num_classes_; ++t) predicted_cls += count(t, cls);
+  return predicted_cls == 0 ? 0.0
+                            : static_cast<double>(tp) /
+                                  static_cast<double>(predicted_cls);
+}
+
+double ConfusionMatrix::Recall(int cls) const {
+  size_t tp = count(cls, cls);
+  size_t actual_cls = 0;
+  for (int p = 0; p < num_classes_; ++p) actual_cls += count(cls, p);
+  return actual_cls == 0
+             ? 0.0
+             : static_cast<double>(tp) / static_cast<double>(actual_cls);
+}
+
+double ConfusionMatrix::F1(int cls) const {
+  const double p = Precision(cls);
+  const double r = Recall(cls);
+  return p + r == 0.0 ? 0.0 : 2.0 * p * r / (p + r);
+}
+
+double ConfusionMatrix::MacroF1() const {
+  double sum = 0.0;
+  for (int c = 0; c < num_classes_; ++c) sum += F1(c);
+  return sum / static_cast<double>(num_classes_);
+}
+
+double ConfusionMatrix::MicroF1() const {
+  // Single-label multi-class: micro precision == micro recall == accuracy.
+  return Accuracy();
+}
+
+std::string ConfusionMatrix::ToString() const {
+  std::ostringstream os;
+  os << util::PadRight("t\\p", 6);
+  for (int p = 0; p < num_classes_; ++p) {
+    os << util::PadLeft(std::to_string(p), 7);
+  }
+  os << "\n";
+  for (int t = 0; t < num_classes_; ++t) {
+    os << util::PadRight(std::to_string(t), 6);
+    for (int p = 0; p < num_classes_; ++p) {
+      os << util::PadLeft(std::to_string(count(t, p)), 7);
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace adamgnn::train

@@ -1,0 +1,53 @@
+// Classification evaluation beyond plain accuracy: confusion matrices and
+// per-class precision / recall / F1 with macro and micro averages.
+
+#ifndef ADAMGNN_TRAIN_EVALUATION_H_
+#define ADAMGNN_TRAIN_EVALUATION_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace adamgnn::train {
+
+/// Row = true class, column = predicted class.
+class ConfusionMatrix {
+ public:
+  /// Builds from aligned prediction/truth vectors; labels must lie in
+  /// [0, num_classes).
+  static util::Result<ConfusionMatrix> FromPredictions(
+      const std::vector<int>& predicted, const std::vector<int>& truth,
+      int num_classes);
+
+  int num_classes() const { return num_classes_; }
+  size_t count(int truth, int predicted) const;
+  size_t total() const { return total_; }
+
+  double Accuracy() const;
+  /// Precision/recall/F1 of one class (0 when the denominator is 0).
+  double Precision(int cls) const;
+  double Recall(int cls) const;
+  double F1(int cls) const;
+  /// Unweighted mean of per-class F1.
+  double MacroF1() const;
+  /// Global F1 over pooled counts; equals accuracy for single-label tasks.
+  double MicroF1() const;
+
+  /// Aligned text table for logs.
+  std::string ToString() const;
+
+ private:
+  ConfusionMatrix(int num_classes)
+      : num_classes_(num_classes),
+        counts_(static_cast<size_t>(num_classes) *
+                static_cast<size_t>(num_classes)) {}
+
+  int num_classes_;
+  size_t total_ = 0;
+  std::vector<size_t> counts_;
+};
+
+}  // namespace adamgnn::train
+
+#endif  // ADAMGNN_TRAIN_EVALUATION_H_

@@ -1,0 +1,116 @@
+#include "train/graph_trainer.h"
+
+#include <algorithm>
+
+#include "autograd/loss_ops.h"
+#include "autograd/ops.h"
+#include "nn/optimizer.h"
+#include "train/metrics.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace adamgnn::train {
+
+namespace {
+
+// Evaluation accuracy over the graphs listed by `indices`.
+util::Result<double> EvalAccuracy(GraphModel* model,
+                                  const data::GraphDataset& dataset,
+                                  const std::vector<size_t>& indices,
+                                  size_t batch_size, util::Rng* rng) {
+  size_t correct = 0;
+  for (size_t start = 0; start < indices.size(); start += batch_size) {
+    std::vector<const graph::Graph*> members;
+    for (size_t i = start; i < std::min(start + batch_size, indices.size());
+         ++i) {
+      members.push_back(&dataset.graphs[indices[i]]);
+    }
+    ADAMGNN_ASSIGN_OR_RETURN(graph::GraphBatch batch,
+                             graph::MakeBatch(members));
+    GraphModel::Out out = model->Forward(batch, /*training=*/false, rng);
+    std::vector<int> pred = autograd::ArgmaxRows(out.logits.value());
+    for (size_t i = 0; i < batch.num_graphs(); ++i) {
+      if (pred[i] == batch.graph_labels[i]) ++correct;
+    }
+  }
+  return static_cast<double>(correct) /
+         static_cast<double>(indices.size());
+}
+
+}  // namespace
+
+util::Result<GraphTaskResult> TrainGraphClassifier(
+    GraphModel* model, const data::GraphDataset& dataset,
+    const data::IndexSplit& split, const TrainConfig& config,
+    size_t batch_size) {
+  if (model == nullptr) {
+    return util::Status::InvalidArgument("null model");
+  }
+  if (split.train.empty() || split.val.empty() || split.test.empty()) {
+    return util::Status::InvalidArgument("empty split");
+  }
+  if (batch_size == 0) {
+    return util::Status::InvalidArgument("batch_size must be positive");
+  }
+
+  util::Rng rng(config.seed);
+  nn::Adam optimizer(model->Parameters(), config.learning_rate, 0.9, 0.999,
+                     1e-8, config.weight_decay);
+
+  GraphTaskResult result;
+  double best_val = -1.0;
+  int stale = 0;
+  double total_epoch_time = 0.0;
+  std::vector<size_t> train_order = split.train;
+
+  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+    util::Stopwatch watch;
+    rng.Shuffle(&train_order);
+    for (size_t start = 0; start < train_order.size(); start += batch_size) {
+      std::vector<const graph::Graph*> members;
+      for (size_t i = start;
+           i < std::min(start + batch_size, train_order.size()); ++i) {
+        members.push_back(&dataset.graphs[train_order[i]]);
+      }
+      ADAMGNN_ASSIGN_OR_RETURN(graph::GraphBatch batch,
+                               graph::MakeBatch(members));
+      GraphModel::Out out = model->Forward(batch, /*training=*/true, &rng);
+      std::vector<size_t> all_rows(batch.num_graphs());
+      for (size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
+      autograd::Variable loss = autograd::SoftmaxCrossEntropy(
+          out.logits, batch.graph_labels, all_rows);
+      if (out.aux_loss.defined()) loss = autograd::Add(loss, out.aux_loss);
+      autograd::Backward(loss);
+      nn::ClipGradNorm(optimizer.params(), config.clip_norm);
+      optimizer.Step();
+    }
+    total_epoch_time += watch.ElapsedSeconds();
+    result.epochs_run = epoch + 1;
+
+    ADAMGNN_ASSIGN_OR_RETURN(
+        double val_acc,
+        EvalAccuracy(model, dataset, split.val, batch_size, &rng));
+    if (config.verbose) {
+      ADAMGNN_LOG(Info) << "epoch " << epoch << " val " << val_acc;
+    }
+    if (val_acc > best_val) {
+      best_val = val_acc;
+      result.best_epoch = epoch;
+      result.val_accuracy = val_acc;
+      ADAMGNN_ASSIGN_OR_RETURN(
+          result.train_accuracy,
+          EvalAccuracy(model, dataset, split.train, batch_size, &rng));
+      ADAMGNN_ASSIGN_OR_RETURN(
+          result.test_accuracy,
+          EvalAccuracy(model, dataset, split.test, batch_size, &rng));
+      stale = 0;
+    } else if (++stale >= config.patience) {
+      break;
+    }
+  }
+  result.avg_epoch_seconds =
+      total_epoch_time / static_cast<double>(result.epochs_run);
+  return result;
+}
+
+}  // namespace adamgnn::train

@@ -1,0 +1,32 @@
+// Graph-classification training loop: mini-batches of graphs merged into
+// block-diagonal batches (80/10/10 split over graphs, as in the paper).
+
+#ifndef ADAMGNN_TRAIN_GRAPH_TRAINER_H_
+#define ADAMGNN_TRAIN_GRAPH_TRAINER_H_
+
+#include "data/graph_datasets.h"
+#include "data/splits.h"
+#include "train/interfaces.h"
+#include "train/node_trainer.h"
+#include "util/status.h"
+
+namespace adamgnn::train {
+
+struct GraphTaskResult {
+  double train_accuracy = 0;
+  double val_accuracy = 0;
+  double test_accuracy = 0;
+  int best_epoch = 0;
+  int epochs_run = 0;
+  double avg_epoch_seconds = 0;
+};
+
+/// Trains `model` on dataset.graphs indexed by `split`.
+util::Result<GraphTaskResult> TrainGraphClassifier(
+    GraphModel* model, const data::GraphDataset& dataset,
+    const data::IndexSplit& split, const TrainConfig& config,
+    size_t batch_size = 32);
+
+}  // namespace adamgnn::train
+
+#endif  // ADAMGNN_TRAIN_GRAPH_TRAINER_H_

@@ -1,0 +1,62 @@
+// Task-facing model interfaces. Every architecture in this library (the flat
+// GNN baselines, the pooling baselines, and AdamGNN) adapts to one or more of
+// these, so the trainers and benches can treat them uniformly.
+
+#ifndef ADAMGNN_TRAIN_INTERFACES_H_
+#define ADAMGNN_TRAIN_INTERFACES_H_
+
+#include <vector>
+
+#include "autograd/variable.h"
+#include "graph/batch.h"
+#include "graph/graph.h"
+#include "util/random.h"
+
+namespace adamgnn::train {
+
+/// A model that scores nodes of a single graph (node classification).
+class NodeModel {
+ public:
+  virtual ~NodeModel() = default;
+
+  struct Out {
+    autograd::Variable logits;    // (n x num_classes)
+    autograd::Variable aux_loss;  // optional extra loss term (1x1)
+  };
+  virtual Out Forward(const graph::Graph& g, bool training,
+                      util::Rng* rng) = 0;
+  virtual std::vector<autograd::Variable> Parameters() const = 0;
+};
+
+/// A model that embeds nodes of a single graph (link prediction scores are
+/// dot products of embeddings).
+class EmbeddingModel {
+ public:
+  virtual ~EmbeddingModel() = default;
+
+  struct Out {
+    autograd::Variable embeddings;  // (n x d)
+    autograd::Variable aux_loss;    // optional (1x1)
+  };
+  virtual Out Forward(const graph::Graph& g, bool training,
+                      util::Rng* rng) = 0;
+  virtual std::vector<autograd::Variable> Parameters() const = 0;
+};
+
+/// A model that classifies whole graphs from a batched block-diagonal graph.
+class GraphModel {
+ public:
+  virtual ~GraphModel() = default;
+
+  struct Out {
+    autograd::Variable logits;    // (num_graphs x num_classes)
+    autograd::Variable aux_loss;  // optional (1x1)
+  };
+  virtual Out Forward(const graph::GraphBatch& batch, bool training,
+                      util::Rng* rng) = 0;
+  virtual std::vector<autograd::Variable> Parameters() const = 0;
+};
+
+}  // namespace adamgnn::train
+
+#endif  // ADAMGNN_TRAIN_INTERFACES_H_

@@ -1,0 +1,79 @@
+#include "train/metrics.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "autograd/loss_ops.h"
+#include "util/logging.h"
+
+namespace adamgnn::train {
+
+double Accuracy(const tensor::Matrix& logits, const std::vector<int>& labels,
+                const std::vector<size_t>& rows) {
+  ADAMGNN_CHECK(!rows.empty());
+  ADAMGNN_CHECK_EQ(labels.size(), logits.rows());
+  size_t correct = 0;
+  for (size_t r : rows) {
+    const double* x = logits.row(r);
+    size_t best = 0;
+    for (size_t c = 1; c < logits.cols(); ++c) {
+      if (x[c] > x[best]) best = c;
+    }
+    if (static_cast<int>(best) == labels[r]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(rows.size());
+}
+
+double AccuracyFromPredictions(const std::vector<int>& predicted,
+                               const std::vector<int>& truth) {
+  ADAMGNN_CHECK_EQ(predicted.size(), truth.size());
+  ADAMGNN_CHECK(!predicted.empty());
+  size_t correct = 0;
+  for (size_t i = 0; i < predicted.size(); ++i) {
+    if (predicted[i] == truth[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(predicted.size());
+}
+
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels) {
+  ADAMGNN_CHECK_EQ(scores.size(), labels.size());
+  size_t num_pos = 0, num_neg = 0;
+  for (int l : labels) {
+    if (l == 1) {
+      ++num_pos;
+    } else {
+      ++num_neg;
+    }
+  }
+  ADAMGNN_CHECK_GT(num_pos, 0u);
+  ADAMGNN_CHECK_GT(num_neg, 0u);
+
+  // Midrank-based Mann–Whitney U.
+  std::vector<size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&scores](size_t a, size_t b) { return scores[a] < scores[b]; });
+  std::vector<double> rank(scores.size());
+  size_t i = 0;
+  while (i < order.size()) {
+    size_t j = i;
+    while (j + 1 < order.size() &&
+           scores[order[j + 1]] == scores[order[i]]) {
+      ++j;
+    }
+    const double mid = 0.5 * static_cast<double>(i + j) + 1.0;  // 1-based
+    for (size_t k = i; k <= j; ++k) rank[order[k]] = mid;
+    i = j + 1;
+  }
+  double pos_rank_sum = 0.0;
+  for (size_t k = 0; k < labels.size(); ++k) {
+    if (labels[k] == 1) pos_rank_sum += rank[k];
+  }
+  const double u = pos_rank_sum - static_cast<double>(num_pos) *
+                                      (static_cast<double>(num_pos) + 1.0) /
+                                      2.0;
+  return u / (static_cast<double>(num_pos) * static_cast<double>(num_neg));
+}
+
+}  // namespace adamgnn::train

@@ -1,0 +1,29 @@
+// Evaluation metrics used across the paper's tables: classification accuracy
+// and ROC-AUC (link prediction).
+
+#ifndef ADAMGNN_TRAIN_METRICS_H_
+#define ADAMGNN_TRAIN_METRICS_H_
+
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace adamgnn::train {
+
+/// Fraction of rows in `rows` whose argmax(logits) equals labels[row].
+double Accuracy(const tensor::Matrix& logits, const std::vector<int>& labels,
+                const std::vector<size_t>& rows);
+
+/// Accuracy over predicted vs. true label vectors of equal length.
+double AccuracyFromPredictions(const std::vector<int>& predicted,
+                               const std::vector<int>& truth);
+
+/// Area under the ROC curve for binary labels (1 = positive). Ties receive
+/// the midrank, the standard Mann–Whitney estimator. Requires at least one
+/// positive and one negative.
+double RocAuc(const std::vector<double>& scores,
+              const std::vector<int>& labels);
+
+}  // namespace adamgnn::train
+
+#endif  // ADAMGNN_TRAIN_METRICS_H_

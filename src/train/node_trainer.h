@@ -1,0 +1,44 @@
+// Full-batch node-classification training loop with validation-based early
+// stopping, following the paper's protocol (80/10/10 labelled nodes).
+
+#ifndef ADAMGNN_TRAIN_NODE_TRAINER_H_
+#define ADAMGNN_TRAIN_NODE_TRAINER_H_
+
+#include "data/splits.h"
+#include "graph/graph.h"
+#include "train/interfaces.h"
+#include "util/status.h"
+
+namespace adamgnn::train {
+
+struct TrainConfig {
+  int max_epochs = 200;
+  double learning_rate = 0.01;
+  double weight_decay = 5e-4;
+  /// Stop after this many epochs without validation improvement.
+  int patience = 30;
+  double clip_norm = 5.0;
+  uint64_t seed = 1;
+  bool verbose = false;
+};
+
+struct NodeTaskResult {
+  double train_accuracy = 0;
+  double val_accuracy = 0;
+  /// Test accuracy at the best-validation epoch.
+  double test_accuracy = 0;
+  int best_epoch = 0;
+  int epochs_run = 0;
+  /// Mean wall time of one training epoch (seconds) — Table 4's metric.
+  double avg_epoch_seconds = 0;
+};
+
+/// Trains `model` on g's labels. The graph must carry labels and features.
+util::Result<NodeTaskResult> TrainNodeClassifier(NodeModel* model,
+                                                 const graph::Graph& g,
+                                                 const data::IndexSplit& split,
+                                                 const TrainConfig& config);
+
+}  // namespace adamgnn::train
+
+#endif  // ADAMGNN_TRAIN_NODE_TRAINER_H_

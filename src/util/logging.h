@@ -1,0 +1,76 @@
+// Minimal leveled logging plus CHECK macros, in the spirit of glog as used by
+// Arrow and RocksDB. Logging goes to stderr; the level is process-global.
+
+#ifndef ADAMGNN_UTIL_LOGGING_H_
+#define ADAMGNN_UTIL_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace adamgnn::util {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+/// Sets the minimum level that will be emitted. Default: kInfo.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Accumulates one log line and emits it on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Like LogMessage but aborts the process after emitting.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+
+  FatalLogMessage(const FatalLogMessage&) = delete;
+  FatalLogMessage& operator=(const FatalLogMessage&) = delete;
+
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+
+#define ADAMGNN_LOG(level)                                             \
+  ::adamgnn::util::internal::LogMessage(                               \
+      ::adamgnn::util::LogLevel::k##level, __FILE__, __LINE__)         \
+      .stream()
+
+/// Aborts with a message when `condition` is false. Active in all builds:
+/// invariant violations in a numeric library silently corrupt results
+/// otherwise.
+#define ADAMGNN_CHECK(condition)                                       \
+  if (!(condition))                                                    \
+  ::adamgnn::util::internal::FatalLogMessage(__FILE__, __LINE__,       \
+                                             #condition)               \
+      .stream()
+
+#define ADAMGNN_CHECK_EQ(a, b) ADAMGNN_CHECK((a) == (b))
+#define ADAMGNN_CHECK_NE(a, b) ADAMGNN_CHECK((a) != (b))
+#define ADAMGNN_CHECK_LT(a, b) ADAMGNN_CHECK((a) < (b))
+#define ADAMGNN_CHECK_LE(a, b) ADAMGNN_CHECK((a) <= (b))
+#define ADAMGNN_CHECK_GT(a, b) ADAMGNN_CHECK((a) > (b))
+#define ADAMGNN_CHECK_GE(a, b) ADAMGNN_CHECK((a) >= (b))
+
+}  // namespace adamgnn::util
+
+#endif  // ADAMGNN_UTIL_LOGGING_H_

@@ -1,0 +1,162 @@
+// Arrow/RocksDB-style error handling: Status for fallible void operations and
+// Result<T> for fallible value-returning operations. The library does not
+// throw exceptions across its public API.
+
+#ifndef ADAMGNN_UTIL_STATUS_H_
+#define ADAMGNN_UTIL_STATUS_H_
+
+#include <cstdlib>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace adamgnn::util {
+
+/// Machine-readable category of a failure.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfRange,
+  kNotFound,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kNotImplemented,
+  kInternal,
+};
+
+/// Returns a stable human-readable name for a status code ("InvalidArgument").
+const char* StatusCodeToString(StatusCode code);
+
+/// Outcome of a fallible operation: a code plus a contextual message.
+///
+/// A default-constructed Status is OK. Statuses are cheap to copy (the
+/// message is only allocated on failure paths).
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status NotImplemented(std::string msg) {
+    return Status(StatusCode::kNotImplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<Code>: <message>".
+  std::string ToString() const;
+
+  /// Aborts the process with a diagnostic if this status is not OK.
+  /// Use only in contexts where failure is a programming error.
+  void CheckOK() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+/// Either a value of type T or a failure Status (never both, never neither).
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value: `return some_t;`.
+  Result(T value) : payload_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error: `return Status::InvalidArgument(...)`.
+  Result(Status status)  // NOLINT(runtime/explicit)
+      : payload_(std::move(status)) {
+    if (std::get<Status>(payload_).ok()) {
+      // An OK status carries no value; normalize to an Internal error so the
+      // invariant "holds value XOR holds failure" cannot be violated.
+      payload_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return std::holds_alternative<T>(payload_); }
+
+  /// The failure status, or OK when a value is held.
+  Status status() const {
+    if (ok()) return Status::OK();
+    return std::get<Status>(payload_);
+  }
+
+  /// The held value. Aborts if this Result holds an error.
+  const T& ValueOrDie() const& {
+    EnsureOk();
+    return std::get<T>(payload_);
+  }
+  T& ValueOrDie() & {
+    EnsureOk();
+    return std::get<T>(payload_);
+  }
+  T&& ValueOrDie() && {
+    EnsureOk();
+    return std::get<T>(std::move(payload_));
+  }
+
+  /// The held value, or `fallback` when this holds an error.
+  T ValueOr(T fallback) const {
+    if (ok()) return std::get<T>(payload_);
+    return fallback;
+  }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      status().CheckOK();  // aborts with the error message
+      std::abort();        // unreachable; silences no-return warnings
+    }
+  }
+
+  std::variant<T, Status> payload_;
+};
+
+/// Propagates a non-OK Status out of the current function.
+#define ADAMGNN_RETURN_NOT_OK(expr)            \
+  do {                                         \
+    ::adamgnn::util::Status _st = (expr);      \
+    if (!_st.ok()) return _st;                 \
+  } while (false)
+
+#define ADAMGNN_INTERNAL_CONCAT2(a, b) a##b
+#define ADAMGNN_INTERNAL_CONCAT(a, b) ADAMGNN_INTERNAL_CONCAT2(a, b)
+
+/// Evaluates a Result expression; assigns the value or propagates the error.
+#define ADAMGNN_ASSIGN_OR_RETURN(lhs, expr)                              \
+  ADAMGNN_ASSIGN_OR_RETURN_IMPL(                                         \
+      ADAMGNN_INTERNAL_CONCAT(_adamgnn_result_, __LINE__), lhs, expr)
+
+#define ADAMGNN_ASSIGN_OR_RETURN_IMPL(tmp, lhs, expr) \
+  auto tmp = (expr);                                  \
+  if (!tmp.ok()) return tmp.status();                 \
+  lhs = std::move(tmp).ValueOrDie();
+
+}  // namespace adamgnn::util
+
+#endif  // ADAMGNN_UTIL_STATUS_H_

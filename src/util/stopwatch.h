@@ -1,0 +1,29 @@
+// Wall-clock timing for the running-time experiments (Table 4) and benches.
+
+#ifndef ADAMGNN_UTIL_STOPWATCH_H_
+#define ADAMGNN_UTIL_STOPWATCH_H_
+
+#include <chrono>
+
+namespace adamgnn::util {
+
+/// Measures elapsed wall time. Starts running on construction.
+class Stopwatch {
+ public:
+  Stopwatch() { Restart(); }
+
+  void Restart();
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const;
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const;
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace adamgnn::util
+
+#endif  // ADAMGNN_UTIL_STOPWATCH_H_

@@ -1,0 +1,27 @@
+// Small string helpers used by logging, dataset names, and bench tables.
+
+#ifndef ADAMGNN_UTIL_STRING_UTIL_H_
+#define ADAMGNN_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace adamgnn::util {
+
+/// Joins `parts` with `sep` ("a", "b" -> "a,b").
+std::string Join(const std::vector<std::string>& parts,
+                 const std::string& sep);
+
+/// Splits on a single-character separator; keeps empty fields.
+std::vector<std::string> Split(const std::string& s, char sep);
+
+/// Fixed-precision float formatting ("0.9876" style) for result tables.
+std::string FormatFloat(double value, int precision);
+
+/// Pads or truncates to `width` for aligned console tables.
+std::string PadRight(const std::string& s, size_t width);
+std::string PadLeft(const std::string& s, size_t width);
+
+}  // namespace adamgnn::util
+
+#endif  // ADAMGNN_UTIL_STRING_UTIL_H_

@@ -1,0 +1,183 @@
+// Property tests for AdamGNN's structural invariants across random graphs
+// and seeds — the guarantees the paper's construction relies on.
+
+#include <set>
+
+#include "core/adamgnn_model.h"
+#include "core/adapters.h"
+#include "data/graph_datasets.h"
+#include "graph/batch.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace adamgnn::core {
+namespace {
+
+graph::Graph RandomConnected(size_t n, uint64_t seed) {
+  util::Rng rng(seed);
+  graph::GraphBuilder builder(n);
+  // Random tree + extra edges: connected by construction.
+  for (size_t v = 1; v < n; ++v) {
+    builder
+        .AddEdge(static_cast<graph::NodeId>(rng.NextUint64(v)),
+                 static_cast<graph::NodeId>(v))
+        .CheckOK();
+  }
+  for (size_t e = 0; e < n; ++e) {
+    const auto u = static_cast<graph::NodeId>(rng.NextUint64(n));
+    const auto v = static_cast<graph::NodeId>(rng.NextUint64(n));
+    if (u != v) builder.AddEdge(u, v).CheckOK();
+  }
+  builder.SetFeatures(tensor::Matrix::Gaussian(n, 6, 1.0, &rng)).CheckOK();
+  std::vector<int> labels(n);
+  for (size_t v = 0; v < n; ++v) labels[v] = static_cast<int>(v % 3);
+  builder.SetLabels(labels).CheckOK();
+  return std::move(builder).Build().ValueOrDie();
+}
+
+class InvariantSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(InvariantSweep, EveryLevelCompressesAndPartitions) {
+  graph::Graph g = RandomConnected(40, GetParam());
+  util::Rng rng(GetParam() + 100);
+  AdamGnnConfig c;
+  c.in_dim = 6;
+  c.hidden_dim = 8;
+  c.num_classes = 3;
+  c.num_levels = 4;
+  c.dropout = 0.0;
+  AdamGnn model(c, &rng);
+  util::Rng frng(GetParam() + 200);
+  AdamGnn::Output out = model.Forward(g, false, &frng);
+
+  ASSERT_FALSE(out.levels.empty());
+  size_t prev = g.num_nodes();
+  for (const LevelInfo& info : out.levels) {
+    EXPECT_EQ(info.num_prev_nodes, prev);
+    EXPECT_LT(info.num_hyper_nodes, info.num_prev_nodes);
+    EXPECT_GT(info.num_selected_egos, 0u);  // Proposition 1
+    EXPECT_EQ(info.num_hyper_nodes,
+              info.num_selected_egos + info.num_retained);
+    EXPECT_EQ(info.num_covered + info.num_retained, info.num_prev_nodes);
+    prev = info.num_hyper_nodes;
+  }
+}
+
+TEST_P(InvariantSweep, EgoOwnershipConsistentWithSelection) {
+  graph::Graph g = RandomConnected(35, GetParam() * 3 + 1);
+  util::Rng rng(GetParam() + 300);
+  AdamGnnConfig c;
+  c.in_dim = 6;
+  c.hidden_dim = 8;
+  c.num_classes = 3;
+  c.num_levels = 2;
+  c.dropout = 0.0;
+  AdamGnn model(c, &rng);
+  util::Rng frng(GetParam() + 400);
+  AdamGnn::Output out = model.Forward(g, false, &frng);
+
+  std::set<size_t> egos(out.level1_egos.begin(), out.level1_egos.end());
+  size_t owned = 0;
+  for (size_t v = 0; v < g.num_nodes(); ++v) {
+    const int64_t owner = out.level1_ego_of_node[v];
+    if (owner >= 0) {
+      ++owned;
+      // The owner must be a selected ego.
+      EXPECT_EQ(egos.count(static_cast<size_t>(owner)), 1u);
+    }
+  }
+  EXPECT_EQ(owned, out.levels[0].num_covered);
+}
+
+TEST_P(InvariantSweep, FlybackRowsAreDistributions) {
+  graph::Graph g = RandomConnected(30, GetParam() * 7 + 2);
+  util::Rng rng(GetParam() + 500);
+  AdamGnnConfig c;
+  c.in_dim = 6;
+  c.hidden_dim = 8;
+  c.num_classes = 3;
+  c.num_levels = 3;
+  c.dropout = 0.0;
+  AdamGnn model(c, &rng);
+  util::Rng frng(GetParam() + 600);
+  AdamGnn::Output out = model.Forward(g, false, &frng);
+  const tensor::Matrix& att = out.flyback_attention;
+  for (size_t v = 0; v < att.rows(); ++v) {
+    double sum = 0;
+    for (size_t k = 0; k < att.cols(); ++k) {
+      EXPECT_GE(att(v, k), 0.0);
+      sum += att(v, k);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST_P(InvariantSweep, DeterministicForwardGivenSeeds) {
+  graph::Graph g = RandomConnected(25, GetParam() * 11 + 3);
+  AdamGnnConfig c;
+  c.in_dim = 6;
+  c.hidden_dim = 8;
+  c.num_classes = 3;
+  c.num_levels = 2;
+  c.dropout = 0.0;
+  util::Rng r1(9), r2(9);
+  AdamGnn m1(c, &r1), m2(c, &r2);
+  util::Rng f1(5), f2(5);
+  tensor::Matrix a = m1.Forward(g, false, &f1).embeddings.value();
+  tensor::Matrix b = m2.Forward(g, false, &f2).embeddings.value();
+  EXPECT_TRUE(tensor::AllClose(a, b, 0.0));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, InvariantSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+TEST(BatchIndependenceTest, BlockDiagonalPoolingNeverMixesGraphs) {
+  // AdamGNN on a block-diagonal batch must keep every ego-network inside
+  // one member graph: the level-1 owner of a node lies in the same block.
+  data::GraphDataset d =
+      data::MakeGraphDataset(data::GraphDatasetId::kMutag, 3, 0.5)
+          .ValueOrDie();
+  std::vector<const graph::Graph*> members;
+  for (size_t i = 0; i < 6; ++i) members.push_back(&d.graphs[i]);
+  graph::GraphBatch batch = graph::MakeBatch(members).ValueOrDie();
+
+  util::Rng rng(4);
+  AdamGnnConfig c;
+  c.in_dim = d.feature_dim;
+  c.hidden_dim = 8;
+  c.num_levels = 2;
+  c.dropout = 0.0;
+  AdamGnn model(c, &rng);
+  util::Rng frng(5);
+  AdamGnn::Output out = model.Forward(batch.merged, false, &frng);
+
+  for (size_t v = 0; v < batch.merged.num_nodes(); ++v) {
+    const int64_t owner = out.level1_ego_of_node[v];
+    if (owner < 0) continue;
+    EXPECT_EQ(batch.node_to_graph[v],
+              batch.node_to_graph[static_cast<size_t>(owner)])
+        << "ego-network crossed batch-member boundary at node " << v;
+  }
+}
+
+TEST(NumLevelsTest, ReportedLevelsNeverExceedConfig) {
+  for (int requested = 1; requested <= 6; ++requested) {
+    graph::Graph g = RandomConnected(30, 77);
+    util::Rng rng(6);
+    AdamGnnConfig c;
+    c.in_dim = 6;
+    c.hidden_dim = 8;
+    c.num_classes = 3;
+    c.num_levels = requested;
+    c.dropout = 0.0;
+    AdamGnn model(c, &rng);
+    util::Rng frng(7);
+    AdamGnn::Output out = model.Forward(g, false, &frng);
+    EXPECT_LE(out.levels.size(), static_cast<size_t>(requested));
+    EXPECT_EQ(out.flyback_attention.cols(), out.levels.size());
+  }
+}
+
+}  // namespace
+}  // namespace adamgnn::core

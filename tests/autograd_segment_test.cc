@@ -1,0 +1,149 @@
+#include "autograd/segment_ops.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace adamgnn::autograd {
+namespace {
+
+using adamgnn::testing::ExpectGradientsMatch;
+using tensor::Matrix;
+
+Variable WeightedSum(const Variable& x, uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix w = Matrix::Gaussian(x.rows(), x.cols(), 1.0, &rng);
+  return Sum(CwiseMul(x, Variable::Constant(w)));
+}
+
+TEST(SegmentSumTest, ForwardValues) {
+  Variable x = Variable::Constant(
+      Matrix(4, 2, std::vector<double>{1, 1, 2, 2, 3, 3, 4, 4}));
+  Variable y = SegmentSum(x, {0, 0, 2, 2}, 3);
+  EXPECT_DOUBLE_EQ(y.value()(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(y.value()(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y.value()(2, 1), 7.0);
+}
+
+TEST(SegmentSumTest, Gradient) {
+  util::Rng rng(1);
+  Variable x = Variable::Parameter(Matrix::Gaussian(5, 3, 1.0, &rng));
+  std::vector<size_t> seg = {1, 0, 1, 2, 0};
+  ExpectGradientsMatch(x,
+                       [&] { return WeightedSum(SegmentSum(x, seg, 3), 2); });
+}
+
+TEST(SegmentMeanTest, ForwardAveragesAndEmptySegmentsZero) {
+  Variable x = Variable::Constant(
+      Matrix(3, 1, std::vector<double>{2, 4, 10}));
+  Variable y = SegmentMean(x, {0, 0, 2}, 3);
+  EXPECT_DOUBLE_EQ(y.value()(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(y.value()(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y.value()(2, 0), 10.0);
+}
+
+TEST(SegmentMeanTest, Gradient) {
+  util::Rng rng(2);
+  Variable x = Variable::Parameter(Matrix::Gaussian(6, 2, 1.0, &rng));
+  std::vector<size_t> seg = {0, 0, 0, 1, 1, 3};
+  ExpectGradientsMatch(x,
+                       [&] { return WeightedSum(SegmentMean(x, seg, 4), 3); });
+}
+
+TEST(SegmentMaxTest, ForwardPicksMaxPerColumn) {
+  Variable x = Variable::Constant(
+      Matrix(3, 2, std::vector<double>{1, 9, 5, 2, -1, -2}));
+  Variable y = SegmentMax(x, {0, 0, 1}, 2);
+  EXPECT_DOUBLE_EQ(y.value()(0, 0), 5.0);
+  EXPECT_DOUBLE_EQ(y.value()(0, 1), 9.0);
+  EXPECT_DOUBLE_EQ(y.value()(1, 0), -1.0);
+}
+
+TEST(SegmentMaxTest, GradientRoutesToArgmax) {
+  util::Rng rng(3);
+  // Distinct values so the argmax is stable under the probe perturbation.
+  Matrix base(4, 2);
+  for (size_t i = 0; i < base.size(); ++i) {
+    base.data()[i] = static_cast<double>(i) * 0.37 +
+                     (i % 2 == 0 ? 0.0 : 3.0);
+  }
+  Variable x = Variable::Parameter(base);
+  std::vector<size_t> seg = {0, 1, 0, 1};
+  ExpectGradientsMatch(x,
+                       [&] { return WeightedSum(SegmentMax(x, seg, 2), 4); });
+}
+
+TEST(SegmentSoftmaxTest, NormalizesWithinSegments) {
+  Variable s = Variable::Constant(
+      Matrix(5, 1, std::vector<double>{1, 2, 3, -1, -1}));
+  Variable p = SegmentSoftmax(s, {0, 0, 0, 1, 1}, 2);
+  double seg0 = p.value()(0, 0) + p.value()(1, 0) + p.value()(2, 0);
+  double seg1 = p.value()(3, 0) + p.value()(4, 0);
+  EXPECT_NEAR(seg0, 1.0, 1e-12);
+  EXPECT_NEAR(seg1, 1.0, 1e-12);
+  EXPECT_NEAR(p.value()(3, 0), 0.5, 1e-12);
+  EXPECT_GT(p.value()(2, 0), p.value()(1, 0));
+}
+
+TEST(SegmentSoftmaxTest, SingletonSegmentIsOne) {
+  Variable s = Variable::Constant(Matrix(1, 1, std::vector<double>{-40.0}));
+  Variable p = SegmentSoftmax(s, {0}, 1);
+  EXPECT_DOUBLE_EQ(p.value()(0, 0), 1.0);
+}
+
+TEST(SegmentSoftmaxTest, StableForLargeLogits) {
+  Variable s = Variable::Constant(
+      Matrix(2, 1, std::vector<double>{1000.0, 1000.0}));
+  Variable p = SegmentSoftmax(s, {0, 0}, 1);
+  EXPECT_TRUE(p.value().AllFinite());
+  EXPECT_NEAR(p.value()(0, 0), 0.5, 1e-12);
+}
+
+TEST(SegmentSoftmaxTest, Gradient) {
+  util::Rng rng(4);
+  Variable s = Variable::Parameter(Matrix::Gaussian(6, 1, 1.0, &rng));
+  std::vector<size_t> seg = {0, 0, 1, 1, 1, 2};
+  ExpectGradientsMatch(
+      s, [&] { return WeightedSum(SegmentSoftmax(s, seg, 3), 5); });
+}
+
+class SegmentSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SegmentSweep, SumOfSegmentSumsEqualsTotalSum) {
+  util::Rng rng(GetParam());
+  const size_t n = 12, num_segments = 4;
+  Variable x = Variable::Parameter(Matrix::Gaussian(n, 3, 1.0, &rng));
+  std::vector<size_t> seg(n);
+  for (auto& s : seg) s = rng.NextUint64(num_segments);
+  Variable y = SegmentSum(x, seg, num_segments);
+  EXPECT_NEAR(Sum(y).value()(0, 0), Sum(x).value()(0, 0), 1e-10);
+}
+
+TEST_P(SegmentSweep, SegmentSoftmaxAlwaysNormalized) {
+  util::Rng rng(GetParam() * 7 + 3);
+  const size_t n = 15, num_segments = 5;
+  Variable s = Variable::Parameter(Matrix::Gaussian(n, 1, 2.0, &rng));
+  std::vector<size_t> seg(n);
+  for (auto& v : seg) v = rng.NextUint64(num_segments);
+  Variable p = SegmentSoftmax(s, seg, num_segments);
+  std::vector<double> sums(num_segments, 0.0);
+  std::vector<bool> present(num_segments, false);
+  for (size_t i = 0; i < n; ++i) {
+    sums[seg[i]] += p.value()(i, 0);
+    present[seg[i]] = true;
+  }
+  for (size_t k = 0; k < num_segments; ++k) {
+    if (present[k]) {
+      EXPECT_NEAR(sums[k], 1.0, 1e-10);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SegmentSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+}  // namespace
+}  // namespace adamgnn::autograd

@@ -1,0 +1,158 @@
+#include "autograd/sparse_ops.h"
+
+#include <memory>
+
+#include "autograd/ops.h"
+#include "gtest/gtest.h"
+#include "tensor/kernels.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace adamgnn::autograd {
+namespace {
+
+using adamgnn::testing::ExpectGradientsMatch;
+using graph::SparseMatrix;
+using graph::Triplet;
+using tensor::Matrix;
+
+Variable WeightedSum(const Variable& x, uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix w = Matrix::Gaussian(x.rows(), x.cols(), 1.0, &rng);
+  return Sum(CwiseMul(x, Variable::Constant(w)));
+}
+
+std::shared_ptr<const SparseMatrix> SmallSparse() {
+  return std::make_shared<const SparseMatrix>(SparseMatrix::FromTriplets(
+      3, 4, {{0, 1, 2.0}, {1, 0, -1.0}, {1, 3, 0.5}, {2, 2, 3.0}}));
+}
+
+TEST(SpMMTest, ForwardMatchesDense) {
+  auto s = SmallSparse();
+  util::Rng rng(1);
+  Matrix x = Matrix::Gaussian(4, 3, 1.0, &rng);
+  Variable y = SpMM(s, Variable::Constant(x));
+  EXPECT_TRUE(tensor::AllClose(y.value(),
+                               tensor::MatMul(s->ToDense(), x), 1e-12));
+}
+
+TEST(SpMMTest, GradientMatchesFiniteDifference) {
+  auto s = SmallSparse();
+  util::Rng rng(2);
+  Variable x = Variable::Parameter(Matrix::Gaussian(4, 3, 1.0, &rng));
+  ExpectGradientsMatch(x, [&] { return WeightedSum(SpMM(s, x), 3); });
+}
+
+TEST(SpMMTransposeTest, ForwardMatchesDense) {
+  auto s = SmallSparse();
+  util::Rng rng(3);
+  Matrix x = Matrix::Gaussian(3, 2, 1.0, &rng);
+  Variable y = SpMMTranspose(s, Variable::Constant(x));
+  EXPECT_TRUE(tensor::AllClose(
+      y.value(), tensor::MatMul(s->ToDense().Transposed(), x), 1e-12));
+}
+
+TEST(SpMMTransposeTest, GradientMatchesFiniteDifference) {
+  auto s = SmallSparse();
+  util::Rng rng(4);
+  Variable x = Variable::Parameter(Matrix::Gaussian(3, 2, 1.0, &rng));
+  ExpectGradientsMatch(x, [&] { return WeightedSum(SpMMTranspose(s, x), 5); });
+}
+
+std::shared_ptr<const SparsePattern> SmallPattern() {
+  auto p = std::make_shared<SparsePattern>();
+  p->rows = 3;
+  p->cols = 4;
+  p->row_indices = {0, 1, 1, 2};
+  p->col_indices = {1, 0, 3, 2};
+  return p;
+}
+
+TEST(SpMMValuesTest, ForwardMatchesMaterialized) {
+  auto pattern = SmallPattern();
+  util::Rng rng(5);
+  Matrix vals = Matrix::Gaussian(4, 1, 1.0, &rng);
+  Matrix x = Matrix::Gaussian(4, 3, 1.0, &rng);
+  Variable y = SpMMValues(pattern, Variable::Constant(vals),
+                          Variable::Constant(x));
+  SparseMatrix s = pattern->WithValues(
+      std::vector<double>(vals.data(), vals.data() + vals.size()));
+  EXPECT_TRUE(tensor::AllClose(y.value(), s.MultiplyDense(x), 1e-12));
+}
+
+TEST(SpMMValuesTest, GradientWrtValues) {
+  auto pattern = SmallPattern();
+  util::Rng rng(6);
+  Variable vals = Variable::Parameter(Matrix::Gaussian(4, 1, 1.0, &rng));
+  Variable x = Variable::Constant(Matrix::Gaussian(4, 3, 1.0, &rng));
+  ExpectGradientsMatch(
+      vals, [&] { return WeightedSum(SpMMValues(pattern, vals, x), 7); });
+}
+
+TEST(SpMMValuesTest, GradientWrtDense) {
+  auto pattern = SmallPattern();
+  util::Rng rng(7);
+  Variable vals = Variable::Constant(Matrix::Gaussian(4, 1, 1.0, &rng));
+  Variable x = Variable::Parameter(Matrix::Gaussian(4, 3, 1.0, &rng));
+  ExpectGradientsMatch(
+      x, [&] { return WeightedSum(SpMMValues(pattern, vals, x), 8); });
+}
+
+TEST(SpMMValuesTest, GradientWrtBothSimultaneously) {
+  auto pattern = SmallPattern();
+  util::Rng rng(8);
+  Variable vals = Variable::Parameter(Matrix::Gaussian(4, 1, 1.0, &rng));
+  Variable x = Variable::Parameter(Matrix::Gaussian(4, 3, 1.0, &rng));
+  auto loss = [&] { return WeightedSum(SpMMValues(pattern, vals, x), 9); };
+  ExpectGradientsMatch(vals, loss);
+  ExpectGradientsMatch(x, loss);
+}
+
+TEST(SpMMValuesTest, DuplicateCoordinatesAccumulate) {
+  auto p = std::make_shared<SparsePattern>();
+  p->rows = 2;
+  p->cols = 2;
+  p->row_indices = {0, 0};
+  p->col_indices = {1, 1};  // two entries at the same position
+  Variable vals =
+      Variable::Constant(Matrix(2, 1, std::vector<double>{2.0, 3.0}));
+  Variable x = Variable::Constant(Matrix::Identity(2));
+  Variable y = SpMMValues(p, vals, x);
+  EXPECT_DOUBLE_EQ(y.value()(0, 1), 5.0);
+}
+
+TEST(SparsePatternTest, WithValuesRoundTrip) {
+  auto pattern = SmallPattern();
+  SparseMatrix s = pattern->WithValues({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.At(0, 1), 1.0);
+  EXPECT_DOUBLE_EQ(s.At(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(s.At(1, 3), 3.0);
+  EXPECT_DOUBLE_EQ(s.At(2, 2), 4.0);
+}
+
+TEST(SpMMTest, ChainedUnpoolingGradient) {
+  // Two-level S chain, as in AdamGNN's unpooling: S1 (4x3), S2 (3x2).
+  auto p1 = std::make_shared<SparsePattern>();
+  p1->rows = 4;
+  p1->cols = 3;
+  p1->row_indices = {0, 1, 2, 3};
+  p1->col_indices = {0, 0, 1, 2};
+  auto p2 = std::make_shared<SparsePattern>();
+  p2->rows = 3;
+  p2->cols = 2;
+  p2->row_indices = {0, 1, 2};
+  p2->col_indices = {0, 1, 1};
+  util::Rng rng(10);
+  Variable v1 = Variable::Parameter(Matrix::Uniform(4, 1, 0.2, 1.0, &rng));
+  Variable v2 = Variable::Parameter(Matrix::Uniform(3, 1, 0.2, 1.0, &rng));
+  Variable h = Variable::Parameter(Matrix::Gaussian(2, 3, 1.0, &rng));
+  auto loss = [&] {
+    return WeightedSum(SpMMValues(p1, v1, SpMMValues(p2, v2, h)), 11);
+  };
+  ExpectGradientsMatch(v1, loss);
+  ExpectGradientsMatch(v2, loss);
+  ExpectGradientsMatch(h, loss);
+}
+
+}  // namespace
+}  // namespace adamgnn::autograd

@@ -1,0 +1,99 @@
+#include "graph/batch.h"
+
+#include "graph/builder.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace adamgnn::graph {
+namespace {
+
+Graph SmallLabeled(size_t n, int label, uint64_t seed) {
+  GraphBuilder b(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1)).CheckOK();
+  }
+  util::Rng rng(seed);
+  b.SetFeatures(tensor::Matrix::Gaussian(n, 3, 1.0, &rng)).CheckOK();
+  b.SetGraphLabel(label);
+  return std::move(b).Build().ValueOrDie();
+}
+
+TEST(BatchTest, MergesNodeAndEdgeCounts) {
+  Graph g1 = SmallLabeled(3, 0, 1);
+  Graph g2 = SmallLabeled(4, 1, 2);
+  GraphBatch batch = MakeBatch({&g1, &g2}).ValueOrDie();
+  EXPECT_EQ(batch.num_graphs(), 2u);
+  EXPECT_EQ(batch.merged.num_nodes(), 7u);
+  EXPECT_EQ(batch.merged.num_edges(), 5u);
+  EXPECT_EQ(batch.offsets, (std::vector<size_t>{0, 3, 7}));
+  EXPECT_EQ(batch.graph_labels, (std::vector<int>{0, 1}));
+}
+
+TEST(BatchTest, NodeToGraphSegments) {
+  Graph g1 = SmallLabeled(2, 0, 3);
+  Graph g2 = SmallLabeled(3, 1, 4);
+  GraphBatch batch = MakeBatch({&g1, &g2}).ValueOrDie();
+  EXPECT_EQ(batch.node_to_graph, (std::vector<size_t>{0, 0, 1, 1, 1}));
+}
+
+TEST(BatchTest, NoCrossMemberEdges) {
+  Graph g1 = SmallLabeled(3, 0, 5);
+  Graph g2 = SmallLabeled(3, 1, 6);
+  GraphBatch batch = MakeBatch({&g1, &g2}).ValueOrDie();
+  for (NodeId v = 0; v < 3; ++v) {
+    for (NodeId u : batch.merged.Neighbors(v)) EXPECT_LT(u, 3);
+  }
+  for (NodeId v = 3; v < 6; ++v) {
+    for (NodeId u : batch.merged.Neighbors(v)) EXPECT_GE(u, 3);
+  }
+}
+
+TEST(BatchTest, FeaturesCopiedBlockwise) {
+  Graph g1 = SmallLabeled(2, 0, 7);
+  Graph g2 = SmallLabeled(2, 1, 8);
+  GraphBatch batch = MakeBatch({&g1, &g2}).ValueOrDie();
+  for (size_t j = 0; j < 3; ++j) {
+    EXPECT_DOUBLE_EQ(batch.merged.features()(0, j), g1.features()(0, j));
+    EXPECT_DOUBLE_EQ(batch.merged.features()(2, j), g2.features()(0, j));
+  }
+}
+
+TEST(BatchTest, RejectsEmptyBatch) {
+  EXPECT_FALSE(MakeBatch({}).ok());
+}
+
+TEST(BatchTest, RejectsNullMember) {
+  Graph g1 = SmallLabeled(2, 0, 9);
+  EXPECT_FALSE(MakeBatch({&g1, nullptr}).ok());
+}
+
+TEST(BatchTest, RejectsMissingLabel) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  util::Rng rng(10);
+  b.SetFeatures(tensor::Matrix::Gaussian(2, 3, 1.0, &rng)).CheckOK();
+  Graph unlabeled = std::move(b).Build().ValueOrDie();
+  EXPECT_FALSE(MakeBatch({&unlabeled}).ok());
+}
+
+TEST(BatchTest, RejectsFeatureDimMismatch) {
+  Graph g1 = SmallLabeled(2, 0, 11);
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  util::Rng rng(12);
+  b.SetFeatures(tensor::Matrix::Gaussian(2, 5, 1.0, &rng)).CheckOK();
+  b.SetGraphLabel(0);
+  Graph g2 = std::move(b).Build().ValueOrDie();
+  EXPECT_FALSE(MakeBatch({&g1, &g2}).ok());
+}
+
+TEST(BatchTest, SingletonBatch) {
+  Graph g1 = SmallLabeled(4, 1, 13);
+  GraphBatch batch = MakeBatch({&g1}).ValueOrDie();
+  EXPECT_EQ(batch.num_graphs(), 1u);
+  EXPECT_EQ(batch.merged.num_nodes(), 4u);
+  EXPECT_EQ(batch.node_to_graph.size(), 4u);
+}
+
+}  // namespace
+}  // namespace adamgnn::graph

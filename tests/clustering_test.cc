@@ -1,0 +1,119 @@
+#include "train/clustering.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace adamgnn::train {
+namespace {
+
+using tensor::Matrix;
+
+// Three well-separated Gaussian blobs.
+Matrix Blobs(size_t per_blob, util::Rng* rng, std::vector<int>* truth) {
+  Matrix points(per_blob * 3, 2);
+  truth->clear();
+  const double centers[3][2] = {{0, 0}, {10, 0}, {0, 10}};
+  for (size_t b = 0; b < 3; ++b) {
+    for (size_t i = 0; i < per_blob; ++i) {
+      const size_t row = b * per_blob + i;
+      points(row, 0) = centers[b][0] + 0.5 * rng->NextGaussian();
+      points(row, 1) = centers[b][1] + 0.5 * rng->NextGaussian();
+      truth->push_back(static_cast<int>(b));
+    }
+  }
+  return points;
+}
+
+TEST(KMeansTest, RecoversSeparatedBlobs) {
+  util::Rng rng(1);
+  std::vector<int> truth;
+  Matrix points = Blobs(30, &rng, &truth);
+  KMeansResult result = KMeans(points, 3, &rng).ValueOrDie();
+  EXPECT_EQ(result.assignments.size(), 90u);
+  EXPECT_GT(NormalizedMutualInformation(result.assignments, truth), 0.95);
+  EXPECT_GT(ClusterPurity(result.assignments, truth), 0.95);
+}
+
+TEST(KMeansTest, InertiaDecreasesWithMoreClusters) {
+  util::Rng rng(2);
+  std::vector<int> truth;
+  Matrix points = Blobs(20, &rng, &truth);
+  util::Rng r1(3), r2(3);
+  const double inertia2 = KMeans(points, 2, &r1).ValueOrDie().inertia;
+  const double inertia6 = KMeans(points, 6, &r2).ValueOrDie().inertia;
+  EXPECT_LT(inertia6, inertia2);
+}
+
+TEST(KMeansTest, KEqualsNGivesZeroInertia) {
+  util::Rng rng(4);
+  Matrix points = Matrix::Gaussian(5, 3, 1.0, &rng);
+  KMeansResult r = KMeans(points, 5, &rng).ValueOrDie();
+  EXPECT_NEAR(r.inertia, 0.0, 1e-18);
+}
+
+TEST(KMeansTest, RejectsBadK) {
+  util::Rng rng(5);
+  Matrix points = Matrix::Gaussian(4, 2, 1.0, &rng);
+  EXPECT_FALSE(KMeans(points, 0, &rng).ok());
+  EXPECT_FALSE(KMeans(points, 5, &rng).ok());
+}
+
+TEST(KMeansTest, IdenticalPointsHandled) {
+  Matrix points(6, 2, 3.0);
+  util::Rng rng(6);
+  KMeansResult r = KMeans(points, 2, &rng).ValueOrDie();
+  EXPECT_NEAR(r.inertia, 0.0, 1e-18);
+}
+
+TEST(KMeansTest, DeterministicGivenRngState) {
+  util::Rng data_rng(7);
+  std::vector<int> truth;
+  Matrix points = Blobs(15, &data_rng, &truth);
+  util::Rng r1(8), r2(8);
+  KMeansResult a = KMeans(points, 3, &r1).ValueOrDie();
+  KMeansResult b = KMeans(points, 3, &r2).ValueOrDie();
+  EXPECT_EQ(a.assignments, b.assignments);
+}
+
+TEST(NmiTest, IdenticalLabelingsGiveOne) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(a, a), 1.0);
+}
+
+TEST(NmiTest, PermutedLabelsStillOne) {
+  std::vector<int> a = {0, 0, 1, 1, 2, 2};
+  std::vector<int> b = {5, 5, 9, 9, 7, 7};
+  EXPECT_NEAR(NormalizedMutualInformation(a, b), 1.0, 1e-12);
+}
+
+TEST(NmiTest, IndependentLabelingsNearZero) {
+  util::Rng rng(9);
+  std::vector<int> a, b;
+  for (int i = 0; i < 5000; ++i) {
+    a.push_back(static_cast<int>(rng.NextUint64(4)));
+    b.push_back(static_cast<int>(rng.NextUint64(4)));
+  }
+  EXPECT_LT(NormalizedMutualInformation(a, b), 0.01);
+}
+
+TEST(NmiTest, SymmetricInArguments) {
+  std::vector<int> a = {0, 1, 0, 2, 1, 2, 0};
+  std::vector<int> b = {1, 1, 0, 0, 2, 2, 1};
+  EXPECT_DOUBLE_EQ(NormalizedMutualInformation(a, b),
+                   NormalizedMutualInformation(b, a));
+}
+
+TEST(PurityTest, PerfectAndMixedClusters) {
+  EXPECT_DOUBLE_EQ(ClusterPurity({0, 0, 1, 1}, {5, 5, 6, 6}), 1.0);
+  // Cluster 0: classes {0,0,1} majority 2/3; cluster 1: {1} majority 1/1.
+  EXPECT_DOUBLE_EQ(ClusterPurity({0, 0, 0, 1}, {0, 0, 1, 1}), 0.75);
+}
+
+TEST(PurityTest, SingleClusterEqualsLargestClassFraction) {
+  EXPECT_DOUBLE_EQ(ClusterPurity({0, 0, 0, 0}, {1, 1, 2, 3}), 0.5);
+}
+
+}  // namespace
+}  // namespace adamgnn::train

@@ -1,0 +1,101 @@
+#include "core/losses.h"
+
+#include <cmath>
+
+#include "autograd/ops.h"
+#include "autograd/variable.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace adamgnn::core {
+namespace {
+
+using autograd::Variable;
+using tensor::Matrix;
+
+TEST(ReconstructionLossTest, PenalizesAntiCorrelatedEmbeddings) {
+  graph::Graph g = adamgnn::testing::TwoTriangles();
+  // "Good" embeddings: same-triangle nodes aligned, cross-triangle opposed.
+  Matrix good(6, 2);
+  for (size_t v = 0; v < 6; ++v) {
+    good(v, 0) = v < 3 ? 2.0 : -2.0;
+    good(v, 1) = v < 3 ? 2.0 : -2.0;
+  }
+  // "Bad" embeddings: the exact opposite assignment for one triangle's
+  // interior, making linked nodes anti-correlated.
+  Matrix bad = good;
+  bad(1, 0) = -2.0;
+  bad(1, 1) = -2.0;
+  util::Rng r1(1), r2(1);
+  const double good_loss =
+      ReconstructionLoss(Variable::Constant(good), g, &r1).value()(0, 0);
+  const double bad_loss =
+      ReconstructionLoss(Variable::Constant(bad), g, &r2).value()(0, 0);
+  EXPECT_LT(good_loss, bad_loss);
+}
+
+TEST(ReconstructionLossTest, MoreNegativesChangesEstimate) {
+  graph::Graph g = adamgnn::testing::Ring(20, 4);
+  util::Rng rng(2);
+  Variable h = Variable::Constant(Matrix::Gaussian(20, 4, 1.0, &rng));
+  util::Rng r1(3), r2(3);
+  Variable loss1 = ReconstructionLoss(h, g, &r1, /*neg_per_pos=*/1);
+  Variable loss4 = ReconstructionLoss(h, g, &r2, /*neg_per_pos=*/4);
+  EXPECT_TRUE(loss1.value().AllFinite());
+  EXPECT_TRUE(loss4.value().AllFinite());
+  EXPECT_GT(loss1.value()(0, 0), 0.0);
+  EXPECT_GT(loss4.value()(0, 0), 0.0);
+}
+
+TEST(ReconstructionLossTest, GradientDescentImprovesReconstruction) {
+  graph::Graph g = adamgnn::testing::TwoTriangles();
+  util::Rng rng(4);
+  Variable h = Variable::Parameter(Matrix::Gaussian(6, 4, 0.5, &rng));
+  util::Rng loss_rng(5);
+  const double initial =
+      ReconstructionLoss(h, g, &loss_rng).value()(0, 0);
+  for (int step = 0; step < 60; ++step) {
+    util::Rng step_rng(6);  // fixed negatives: a deterministic objective
+    Variable loss = ReconstructionLoss(h, g, &step_rng);
+    autograd::Backward(loss);
+    Matrix& v = h.mutable_value();
+    for (size_t i = 0; i < v.size(); ++i) {
+      v.data()[i] -= 0.5 * h.grad().data()[i];
+    }
+  }
+  util::Rng final_rng(6);
+  const double final_loss =
+      ReconstructionLoss(h, g, &final_rng).value()(0, 0);
+  EXPECT_LT(final_loss, initial);
+}
+
+TEST(ReconstructionLossOnEdgesTest, PerfectScoresGiveSmallLoss) {
+  Matrix h(4, 2);
+  h(0, 0) = 5;
+  h(1, 0) = 5;  // 0-1 positive, dot = 25
+  h(2, 1) = 5;
+  h(3, 1) = -5;  // 2-3 negative, dot = -25
+  Variable loss = ReconstructionLossOnEdges(
+      Variable::Constant(h), {{0, 1}}, {{2, 3}});
+  EXPECT_NEAR(loss.value()(0, 0), 0.0, 1e-9);
+}
+
+TEST(ReconstructionLossOnEdgesTest, UniformEmbeddingsGiveLog2AtZero) {
+  Matrix h(4, 2);  // all-zero embeddings: every logit 0
+  Variable loss = ReconstructionLossOnEdges(
+      Variable::Constant(h), {{0, 1}, {1, 2}}, {{0, 2}, {0, 3}});
+  EXPECT_NEAR(loss.value()(0, 0), std::log(2.0), 1e-12);
+}
+
+TEST(KlSelfOptimisationWrapperTest, MatchesUnderlyingOp) {
+  util::Rng rng(7);
+  Variable h = Variable::Constant(Matrix::Gaussian(8, 3, 1.0, &rng));
+  std::vector<size_t> egos = {1, 5};
+  Variable a = KlSelfOptimisationLoss(h, egos);
+  EXPECT_TRUE(a.value().AllFinite());
+  EXPECT_GE(a.value()(0, 0), -1e-9);
+}
+
+}  // namespace
+}  // namespace adamgnn::core

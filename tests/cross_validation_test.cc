@@ -1,0 +1,71 @@
+#include "train/cross_validation.h"
+
+#include <algorithm>
+#include <set>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace adamgnn::train {
+namespace {
+
+TEST(KFoldTest, EveryItemInExactlyOneTestSet) {
+  util::Rng rng(1);
+  auto folds = KFold(23, 5, &rng).ValueOrDie();
+  ASSERT_EQ(folds.size(), 5u);
+  std::set<size_t> seen;
+  for (const Fold& f : folds) {
+    for (size_t i : f.test) {
+      EXPECT_TRUE(seen.insert(i).second) << "duplicate test item " << i;
+    }
+  }
+  EXPECT_EQ(seen.size(), 23u);
+}
+
+TEST(KFoldTest, TrainAndTestPartitionEachFold) {
+  util::Rng rng(2);
+  auto folds = KFold(20, 4, &rng).ValueOrDie();
+  for (const Fold& f : folds) {
+    EXPECT_EQ(f.train.size() + f.test.size(), 20u);
+    std::set<size_t> train(f.train.begin(), f.train.end());
+    for (size_t i : f.test) EXPECT_EQ(train.count(i), 0u);
+  }
+}
+
+TEST(KFoldTest, FoldSizesBalanced) {
+  util::Rng rng(3);
+  auto folds = KFold(10, 3, &rng).ValueOrDie();
+  size_t min_size = 100, max_size = 0;
+  for (const Fold& f : folds) {
+    min_size = std::min(min_size, f.test.size());
+    max_size = std::max(max_size, f.test.size());
+  }
+  EXPECT_LE(max_size - min_size, 1u);
+}
+
+TEST(KFoldTest, RejectsBadK) {
+  util::Rng rng(4);
+  EXPECT_FALSE(KFold(5, 1, &rng).ok());
+  EXPECT_FALSE(KFold(5, 6, &rng).ok());
+}
+
+TEST(RepeatRunsTest, ComputesMeanAndStddev) {
+  int calls = 0;
+  RunStatistics stats = RepeatRuns(4, [&calls](uint64_t seed) {
+    ++calls;
+    return static_cast<double>(seed);  // 1, 2, 3, 4
+  });
+  EXPECT_EQ(calls, 4);
+  EXPECT_DOUBLE_EQ(stats.mean, 2.5);
+  EXPECT_NEAR(stats.stddev, 1.2909944, 1e-6);
+  EXPECT_EQ(stats.values.size(), 4u);
+}
+
+TEST(RepeatRunsTest, SingleRunHasZeroStddev) {
+  RunStatistics stats = RepeatRuns(1, [](uint64_t) { return 7.0; });
+  EXPECT_DOUBLE_EQ(stats.mean, 7.0);
+  EXPECT_DOUBLE_EQ(stats.stddev, 0.0);
+}
+
+}  // namespace
+}  // namespace adamgnn::train

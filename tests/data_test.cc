@@ -1,0 +1,291 @@
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "data/features.h"
+#include "data/graph_datasets.h"
+#include "data/node_datasets.h"
+#include "data/sbm.h"
+#include "graph/traversal.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace adamgnn::data {
+namespace {
+
+TEST(SbmTest, RejectsInvalidConfigs) {
+  util::Rng rng(1);
+  SbmConfig c;
+  c.num_nodes = 2;
+  EXPECT_FALSE(SampleSbm(c, &rng).ok());
+  c.num_nodes = 100;
+  c.num_classes = 0;
+  EXPECT_FALSE(SampleSbm(c, &rng).ok());
+  c.num_classes = 2;
+  c.frac_within_community = 0.8;
+  c.frac_within_class = 0.4;  // sums over 1
+  EXPECT_FALSE(SampleSbm(c, &rng).ok());
+}
+
+TEST(SbmTest, ProducesRequestedScale) {
+  util::Rng rng(2);
+  SbmConfig c;
+  c.num_nodes = 300;
+  c.num_classes = 3;
+  c.communities_per_class = 4;
+  c.target_edges = 900;
+  SbmSample s = SampleSbm(c, &rng).ValueOrDie();
+  EXPECT_EQ(s.classes.size(), 300u);
+  EXPECT_EQ(s.communities.size(), 300u);
+  EXPECT_NEAR(static_cast<double>(s.edges.size()), 900.0, 120.0);
+}
+
+TEST(SbmTest, ClassesConsistentWithCommunities) {
+  util::Rng rng(3);
+  SbmConfig c;
+  c.num_nodes = 200;
+  c.num_classes = 4;
+  c.communities_per_class = 3;
+  c.target_edges = 600;
+  SbmSample s = SampleSbm(c, &rng).ValueOrDie();
+  for (size_t i = 0; i < 200; ++i) {
+    EXPECT_EQ(s.classes[i], s.communities[i] / 3);
+    EXPECT_GE(s.communities[i], 0);
+    EXPECT_LT(s.communities[i], 12);
+  }
+}
+
+TEST(SbmTest, IntraCommunityEdgesDominate) {
+  util::Rng rng(4);
+  SbmConfig c;
+  c.num_nodes = 400;
+  c.num_classes = 4;
+  c.communities_per_class = 4;
+  c.target_edges = 2000;
+  SbmSample s = SampleSbm(c, &rng).ValueOrDie();
+  size_t same_comm = 0, same_class = 0;
+  for (const auto& [u, v] : s.edges) {
+    same_comm += s.communities[static_cast<size_t>(u)] ==
+                         s.communities[static_cast<size_t>(v)]
+                     ? 1
+                     : 0;
+    same_class +=
+        s.classes[static_cast<size_t>(u)] == s.classes[static_cast<size_t>(v)]
+            ? 1
+            : 0;
+  }
+  EXPECT_GT(static_cast<double>(same_comm), 0.35 * s.edges.size());
+  EXPECT_GT(same_class, same_comm);
+}
+
+TEST(SbmTest, DeterministicInSeed) {
+  SbmConfig c;
+  c.num_nodes = 100;
+  c.target_edges = 300;
+  util::Rng r1(7), r2(7);
+  SbmSample a = SampleSbm(c, &r1).ValueOrDie();
+  SbmSample b = SampleSbm(c, &r2).ValueOrDie();
+  EXPECT_EQ(a.edges, b.edges);
+  EXPECT_EQ(a.classes, b.classes);
+}
+
+TEST(FeaturesTest, BagOfWordsClassSignalExists) {
+  util::Rng rng(5);
+  std::vector<int> classes(200);
+  for (size_t i = 0; i < 200; ++i) classes[i] = static_cast<int>(i % 2);
+  BagOfWordsConfig c;
+  c.feature_dim = 64;
+  c.row_normalize = false;
+  tensor::Matrix x = ClassBagOfWords(classes, c, &rng);
+  // Same-class mean feature vectors should be more similar than cross-class.
+  tensor::Matrix mean0(1, 64), mean1(1, 64);
+  for (size_t i = 0; i < 200; ++i) {
+    for (size_t j = 0; j < 64; ++j) {
+      (classes[i] == 0 ? mean0 : mean1)(0, j) += x(i, j);
+    }
+  }
+  double dot = 0, n0 = 0, n1 = 0;
+  for (size_t j = 0; j < 64; ++j) {
+    dot += mean0(0, j) * mean1(0, j);
+    n0 += mean0(0, j) * mean0(0, j);
+    n1 += mean1(0, j) * mean1(0, j);
+  }
+  const double cosine = dot / std::sqrt(n0 * n1);
+  EXPECT_LT(cosine, 0.9);  // class topics are distinguishable
+}
+
+TEST(FeaturesTest, BagOfWordsRowNormalized) {
+  util::Rng rng(6);
+  std::vector<int> classes = {0, 1, 0, 1};
+  BagOfWordsConfig c;
+  c.feature_dim = 32;
+  tensor::Matrix x = ClassBagOfWords(classes, c, &rng);
+  for (size_t i = 0; i < 4; ++i) {
+    double sum = 0;
+    for (size_t j = 0; j < 32; ++j) sum += x(i, j);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(FeaturesTest, OneHotTypes) {
+  tensor::Matrix x = OneHotTypes({2, 0, 1}, 3);
+  EXPECT_DOUBLE_EQ(x(0, 2), 1.0);
+  EXPECT_DOUBLE_EQ(x(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(x(2, 1), 1.0);
+  EXPECT_DOUBLE_EQ(x.Sum(), 3.0);
+}
+
+TEST(NodeDatasetTest, SpecsMatchPaperTable6Scale) {
+  NodeDatasetSpec acm = GetNodeDatasetSpec(NodeDatasetId::kAcm);
+  EXPECT_EQ(acm.num_nodes, 3025u);
+  EXPECT_EQ(acm.num_edges, 13128u);
+  EXPECT_EQ(acm.num_classes, 3);
+  NodeDatasetSpec emails = GetNodeDatasetSpec(NodeDatasetId::kEmails);
+  EXPECT_EQ(emails.num_nodes, 799u);
+  EXPECT_EQ(emails.feature_dim, 0u);  // featureless in the paper
+  EXPECT_EQ(emails.num_classes, 18);
+}
+
+TEST(NodeDatasetTest, GeneratesScaledDataset) {
+  NodeDataset d =
+      MakeNodeDataset(NodeDatasetId::kCora, 1, /*scale=*/0.1).ValueOrDie();
+  EXPECT_EQ(d.name, "Cora");
+  EXPECT_NEAR(static_cast<double>(d.graph.num_nodes()), 271.0, 30.0);
+  EXPECT_TRUE(d.graph.has_features());
+  EXPECT_TRUE(d.graph.has_labels());
+  EXPECT_EQ(d.graph.num_classes(), 7);
+  EXPECT_EQ(d.communities.size(), d.graph.num_nodes());
+}
+
+TEST(NodeDatasetTest, GeneratedGraphIsConnected) {
+  NodeDataset d =
+      MakeNodeDataset(NodeDatasetId::kCiteseer, 2, 0.1).ValueOrDie();
+  EXPECT_EQ(graph::NumConnectedComponents(d.graph), 1);
+}
+
+TEST(NodeDatasetTest, FeaturelessDatasetGetsDegreeFeatures) {
+  NodeDataset d =
+      MakeNodeDataset(NodeDatasetId::kEmails, 3, 0.25).ValueOrDie();
+  EXPECT_TRUE(d.graph.has_features());
+  EXPECT_EQ(d.graph.feature_dim(), 64u);
+}
+
+TEST(NodeDatasetTest, DeterministicInSeed) {
+  NodeDataset a = MakeNodeDataset(NodeDatasetId::kDblp, 9, 0.1).ValueOrDie();
+  NodeDataset b = MakeNodeDataset(NodeDatasetId::kDblp, 9, 0.1).ValueOrDie();
+  EXPECT_EQ(a.graph.num_edges(), b.graph.num_edges());
+  EXPECT_TRUE(a.graph.features() == b.graph.features());
+}
+
+TEST(NodeDatasetTest, RejectsBadScale) {
+  EXPECT_FALSE(MakeNodeDataset(NodeDatasetId::kAcm, 1, 0.0).ok());
+  EXPECT_FALSE(MakeNodeDataset(NodeDatasetId::kAcm, 1, 1.5).ok());
+}
+
+TEST(GraphDatasetTest, SpecsMatchPaperTable7Scale) {
+  GraphDatasetSpec nci1 = GetGraphDatasetSpec(GraphDatasetId::kNci1);
+  EXPECT_EQ(nci1.num_graphs, 4110u);
+  EXPECT_NEAR(nci1.avg_nodes, 29.87, 1e-9);
+  EXPECT_EQ(nci1.feature_dim, 37u);
+  GraphDatasetSpec dd = GetGraphDatasetSpec(GraphDatasetId::kDd);
+  EXPECT_NEAR(dd.avg_nodes, 284.32, 1e-9);
+}
+
+TEST(GraphDatasetTest, GeneratesBalancedLabeledGraphs) {
+  GraphDataset d =
+      MakeGraphDataset(GraphDatasetId::kMutag, 1, 1.0).ValueOrDie();
+  EXPECT_EQ(d.graphs.size(), 188u);
+  size_t pos = 0;
+  for (const auto& g : d.graphs) {
+    EXPECT_TRUE(g.has_features());
+    EXPECT_EQ(g.feature_dim(), 7u);
+    EXPECT_GE(g.graph_label(), 0);
+    EXPECT_LE(g.graph_label(), 1);
+    pos += g.graph_label() == 1 ? 1u : 0u;
+    EXPECT_GE(g.num_nodes(), 8u);
+  }
+  EXPECT_EQ(pos, 94u);
+}
+
+TEST(GraphDatasetTest, AverageSizesTrackSpec) {
+  GraphDataset d =
+      MakeGraphDataset(GraphDatasetId::kNci1, 2, 0.05).ValueOrDie();
+  double node_sum = 0;
+  for (const auto& g : d.graphs) node_sum += static_cast<double>(g.num_nodes());
+  const double avg = node_sum / static_cast<double>(d.graphs.size());
+  EXPECT_NEAR(avg, 29.87, 5.0);
+}
+
+TEST(GraphDatasetTest, ClassOneHasMoreTriangles) {
+  // The planted structural signal: ring-closure motifs in class 1.
+  GraphDataset d =
+      MakeGraphDataset(GraphDatasetId::kMutagenicity, 3, 0.02).ValueOrDie();
+  auto triangle_rate = [](const graph::Graph& g) {
+    size_t tri = 0;
+    for (graph::NodeId u = 0; static_cast<size_t>(u) < g.num_nodes(); ++u) {
+      auto nbrs = g.Neighbors(u);
+      for (size_t i = 0; i < nbrs.size(); ++i) {
+        for (size_t j = i + 1; j < nbrs.size(); ++j) {
+          if (g.HasEdge(nbrs[i], nbrs[j])) ++tri;
+        }
+      }
+    }
+    return static_cast<double>(tri) / static_cast<double>(g.num_nodes());
+  };
+  double rate0 = 0, rate1 = 0;
+  size_t n0 = 0, n1 = 0;
+  for (const auto& g : d.graphs) {
+    if (g.graph_label() == 0) {
+      rate0 += triangle_rate(g);
+      ++n0;
+    } else {
+      rate1 += triangle_rate(g);
+      ++n1;
+    }
+  }
+  EXPECT_GT(rate1 / static_cast<double>(n1),
+            rate0 / static_cast<double>(n0));
+}
+
+TEST(GraphDatasetTest, DeterministicInSeed) {
+  GraphDataset a = MakeGraphDataset(GraphDatasetId::kMutag, 5, 0.5).ValueOrDie();
+  GraphDataset b = MakeGraphDataset(GraphDatasetId::kMutag, 5, 0.5).ValueOrDie();
+  ASSERT_EQ(a.graphs.size(), b.graphs.size());
+  for (size_t i = 0; i < a.graphs.size(); ++i) {
+    EXPECT_EQ(a.graphs[i].num_edges(), b.graphs[i].num_edges());
+  }
+}
+
+class AllNodeDatasetsSweep
+    : public ::testing::TestWithParam<NodeDatasetId> {};
+
+TEST_P(AllNodeDatasetsSweep, GeneratesValidGraphAtSmallScale) {
+  NodeDataset d = MakeNodeDataset(GetParam(), 11, 0.08).ValueOrDie();
+  EXPECT_GT(d.graph.num_nodes(), 0u);
+  EXPECT_GT(d.graph.num_edges(), 0u);
+  EXPECT_TRUE(d.graph.has_features());
+  EXPECT_TRUE(d.graph.has_labels());
+  EXPECT_EQ(d.graph.num_classes(),
+            GetNodeDatasetSpec(GetParam()).num_classes);
+  EXPECT_TRUE(d.graph.features().AllFinite());
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AllNodeDatasetsSweep,
+                         ::testing::ValuesIn(AllNodeDatasets()));
+
+class AllGraphDatasetsSweep
+    : public ::testing::TestWithParam<GraphDatasetId> {};
+
+TEST_P(AllGraphDatasetsSweep, GeneratesValidSetAtSmallScale) {
+  GraphDataset d = MakeGraphDataset(GetParam(), 13, 0.01).ValueOrDie();
+  EXPECT_GE(d.graphs.size(), 40u);
+  for (const auto& g : d.graphs) {
+    EXPECT_EQ(graph::NumConnectedComponents(g), 1) << d.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(All, AllGraphDatasetsSweep,
+                         ::testing::ValuesIn(AllGraphDatasets()));
+
+}  // namespace
+}  // namespace adamgnn::data

@@ -1,0 +1,76 @@
+#include "train/evaluation.h"
+
+#include "gtest/gtest.h"
+
+namespace adamgnn::train {
+namespace {
+
+TEST(ConfusionMatrixTest, CountsPlacedCorrectly) {
+  auto m = ConfusionMatrix::FromPredictions({0, 1, 1, 2}, {0, 1, 2, 2}, 3)
+               .ValueOrDie();
+  EXPECT_EQ(m.count(0, 0), 1u);
+  EXPECT_EQ(m.count(1, 1), 1u);
+  EXPECT_EQ(m.count(2, 1), 1u);
+  EXPECT_EQ(m.count(2, 2), 1u);
+  EXPECT_EQ(m.count(0, 2), 0u);
+  EXPECT_EQ(m.total(), 4u);
+}
+
+TEST(ConfusionMatrixTest, AccuracyMatches) {
+  auto m = ConfusionMatrix::FromPredictions({0, 1, 1, 2}, {0, 1, 2, 2}, 3)
+               .ValueOrDie();
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 0.75);
+  EXPECT_DOUBLE_EQ(m.MicroF1(), 0.75);
+}
+
+TEST(ConfusionMatrixTest, PerfectPredictions) {
+  auto m =
+      ConfusionMatrix::FromPredictions({0, 1, 2}, {0, 1, 2}, 3).ValueOrDie();
+  EXPECT_DOUBLE_EQ(m.Accuracy(), 1.0);
+  EXPECT_DOUBLE_EQ(m.MacroF1(), 1.0);
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_DOUBLE_EQ(m.Precision(c), 1.0);
+    EXPECT_DOUBLE_EQ(m.Recall(c), 1.0);
+  }
+}
+
+TEST(ConfusionMatrixTest, PrecisionRecallHandComputed) {
+  // truth:      0 0 0 1 1
+  // predicted:  0 1 0 1 0
+  auto m = ConfusionMatrix::FromPredictions({0, 1, 0, 1, 0}, {0, 0, 0, 1, 1},
+                                            2)
+               .ValueOrDie();
+  EXPECT_DOUBLE_EQ(m.Precision(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.Recall(0), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(m.Precision(1), 0.5);
+  EXPECT_DOUBLE_EQ(m.Recall(1), 0.5);
+  EXPECT_NEAR(m.MacroF1(), (2.0 / 3.0 + 0.5) / 2.0, 1e-12);
+}
+
+TEST(ConfusionMatrixTest, AbsentClassGetsZeroF1) {
+  // Class 2 never appears in truth or predictions.
+  auto m =
+      ConfusionMatrix::FromPredictions({0, 1}, {0, 1}, 3).ValueOrDie();
+  EXPECT_DOUBLE_EQ(m.F1(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.Precision(2), 0.0);
+  EXPECT_DOUBLE_EQ(m.Recall(2), 0.0);
+}
+
+TEST(ConfusionMatrixTest, RejectsBadInput) {
+  EXPECT_FALSE(
+      ConfusionMatrix::FromPredictions({0, 1}, {0}, 2).ok());
+  EXPECT_FALSE(ConfusionMatrix::FromPredictions({}, {}, 2).ok());
+  EXPECT_FALSE(ConfusionMatrix::FromPredictions({0, 5}, {0, 1}, 2).ok());
+  EXPECT_FALSE(ConfusionMatrix::FromPredictions({0, 1}, {0, 1}, 0).ok());
+}
+
+TEST(ConfusionMatrixTest, ToStringContainsCounts) {
+  auto m = ConfusionMatrix::FromPredictions({0, 0, 1}, {0, 1, 1}, 2)
+               .ValueOrDie();
+  std::string s = m.ToString();
+  EXPECT_NE(s.find("t\\p"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adamgnn::train

@@ -1,0 +1,110 @@
+#include "core/explain.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace adamgnn::core {
+namespace {
+
+AdamGnn::Output RunSmallModel() {
+  graph::Graph g = adamgnn::testing::Ring(20, 4, 3);
+  util::Rng rng(1);
+  AdamGnnConfig c;
+  c.in_dim = 4;
+  c.hidden_dim = 8;
+  c.num_classes = 2;
+  c.num_levels = 2;
+  c.dropout = 0.0;
+  AdamGnn model(c, &rng);
+  util::Rng frng(2);
+  return model.Forward(g, false, &frng);
+}
+
+TEST(ExplainTest, OneExplanationPerNode) {
+  AdamGnn::Output out = RunSmallModel();
+  auto explanations = ExplainNodes(out);
+  ASSERT_EQ(explanations.size(), 20u);
+  for (size_t v = 0; v < 20; ++v) {
+    EXPECT_EQ(explanations[v].node, v);
+  }
+}
+
+TEST(ExplainTest, AttentionConsistentWithOutput) {
+  AdamGnn::Output out = RunSmallModel();
+  ASSERT_GT(out.flyback_attention.cols(), 0u);
+  auto explanations = ExplainNodes(out);
+  for (const auto& e : explanations) {
+    ASSERT_EQ(e.level_attention.size(), out.flyback_attention.cols());
+    double sum = 0;
+    for (double b : e.level_attention) sum += b;
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+    ASSERT_GE(e.dominant_level, 1);
+    const auto k = static_cast<size_t>(e.dominant_level - 1);
+    for (double b : e.level_attention) {
+      EXPECT_LE(b, e.level_attention[k] + 1e-12);
+    }
+  }
+}
+
+TEST(ExplainTest, EgoOwnershipMatchesModelOutput) {
+  AdamGnn::Output out = RunSmallModel();
+  auto explanations = ExplainNodes(out);
+  ASSERT_EQ(out.level1_ego_of_node.size(), 20u);
+  for (size_t v = 0; v < 20; ++v) {
+    EXPECT_EQ(explanations[v].level1_ego, out.level1_ego_of_node[v]);
+  }
+  // Selected egos own themselves.
+  for (size_t ego : out.level1_egos) {
+    EXPECT_EQ(out.level1_ego_of_node[ego], static_cast<int64_t>(ego));
+  }
+}
+
+TEST(ExplainTest, ClassLevelAttentionRowsNormalized) {
+  graph::Graph g = adamgnn::testing::Ring(24, 4, 5);
+  util::Rng rng(6);
+  AdamGnnConfig c;
+  c.in_dim = 4;
+  c.hidden_dim = 8;
+  c.num_classes = 2;
+  c.num_levels = 3;
+  c.dropout = 0.0;
+  AdamGnn model(c, &rng);
+  util::Rng frng(7);
+  AdamGnn::Output out = model.Forward(g, false, &frng);
+  tensor::Matrix mean = ClassLevelAttention(out, g.labels(), 2);
+  EXPECT_EQ(mean.rows(), 2u);
+  EXPECT_EQ(mean.cols(), out.flyback_attention.cols());
+  for (size_t cls = 0; cls < 2; ++cls) {
+    double sum = 0;
+    for (size_t k = 0; k < mean.cols(); ++k) sum += mean(cls, k);
+    EXPECT_NEAR(sum, 1.0, 1e-9);
+  }
+}
+
+TEST(ExplainTest, FormatMentionsLevelAndEgo) {
+  NodeExplanation e;
+  e.node = 17;
+  e.level_attention = {0.2, 0.61, 0.19};
+  e.dominant_level = 2;
+  e.level1_ego = 4;
+  std::string s = FormatExplanation(e);
+  EXPECT_NE(s.find("node 17"), std::string::npos);
+  EXPECT_NE(s.find("level 2"), std::string::npos);
+  EXPECT_NE(s.find("0.61"), std::string::npos);
+  EXPECT_NE(s.find("ego 4"), std::string::npos);
+}
+
+TEST(ExplainTest, FormatRetainedNode) {
+  NodeExplanation e;
+  e.node = 3;
+  e.level1_ego = -1;
+  std::string s = FormatExplanation(e);
+  EXPECT_NE(s.find("retained"), std::string::npos);
+  EXPECT_NE(s.find("primary"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adamgnn::core

@@ -1,0 +1,120 @@
+#include "graph/generators.h"
+
+#include "graph/traversal.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace adamgnn::graph {
+namespace {
+
+TEST(GeneratorsTest, ErdosRenyiExtremes) {
+  util::Rng rng(1);
+  Graph empty = ErdosRenyi(10, 0.0, &rng).ValueOrDie();
+  EXPECT_EQ(empty.num_edges(), 0u);
+  Graph full = ErdosRenyi(10, 1.0, &rng).ValueOrDie();
+  EXPECT_EQ(full.num_edges(), 45u);
+}
+
+TEST(GeneratorsTest, ErdosRenyiDensityNearP) {
+  util::Rng rng(2);
+  Graph g = ErdosRenyi(60, 0.3, &rng).ValueOrDie();
+  const double pairs = 60.0 * 59.0 / 2.0;
+  EXPECT_NEAR(static_cast<double>(g.num_edges()) / pairs, 0.3, 0.05);
+}
+
+TEST(GeneratorsTest, ErdosRenyiRejectsBadP) {
+  util::Rng rng(3);
+  EXPECT_FALSE(ErdosRenyi(10, -0.1, &rng).ok());
+  EXPECT_FALSE(ErdosRenyi(10, 1.1, &rng).ok());
+}
+
+TEST(GeneratorsTest, BarabasiAlbertConnectedAndSkewed) {
+  util::Rng rng(4);
+  Graph g = BarabasiAlbert(100, 2, &rng).ValueOrDie();
+  EXPECT_EQ(NumConnectedComponents(g), 1);
+  // Preferential attachment produces hubs: the max degree should exceed
+  // several times the attachment parameter.
+  size_t max_degree = 0;
+  for (NodeId v = 0; static_cast<size_t>(v) < 100; ++v) {
+    max_degree = std::max(max_degree, g.Degree(v));
+  }
+  EXPECT_GE(max_degree, 8u);
+}
+
+TEST(GeneratorsTest, BarabasiAlbertRejectsBadArgs) {
+  util::Rng rng(5);
+  EXPECT_FALSE(BarabasiAlbert(3, 3, &rng).ok());
+  EXPECT_FALSE(BarabasiAlbert(5, 0, &rng).ok());
+}
+
+TEST(GeneratorsTest, WattsStrogatzZeroBetaIsRingLattice) {
+  util::Rng rng(6);
+  Graph g = WattsStrogatz(12, 4, 0.0, &rng).ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 12u * 2u);
+  for (NodeId v = 0; v < 12; ++v) EXPECT_EQ(g.Degree(v), 4u);
+}
+
+TEST(GeneratorsTest, WattsStrogatzRejectsOddK) {
+  util::Rng rng(7);
+  EXPECT_FALSE(WattsStrogatz(12, 3, 0.1, &rng).ok());
+  EXPECT_FALSE(WattsStrogatz(4, 4, 0.1, &rng).ok());
+  EXPECT_FALSE(WattsStrogatz(12, 4, 1.5, &rng).ok());
+}
+
+TEST(GeneratorsTest, WattsStrogatzRewiringKeepsEdgeBudgetClose) {
+  util::Rng rng(8);
+  Graph g = WattsStrogatz(40, 4, 0.3, &rng).ValueOrDie();
+  // Rewired edges can collide and coalesce, so <= lattice count but close.
+  EXPECT_LE(g.num_edges(), 80u);
+  EXPECT_GE(g.num_edges(), 70u);
+}
+
+TEST(GeneratorsTest, PathCycleStarCompleteGrid) {
+  Graph path = Path(5).ValueOrDie();
+  EXPECT_EQ(path.num_edges(), 4u);
+  EXPECT_EQ(path.Degree(0), 1u);
+  EXPECT_EQ(path.Degree(2), 2u);
+
+  Graph cycle = Cycle(6).ValueOrDie();
+  EXPECT_EQ(cycle.num_edges(), 6u);
+  for (NodeId v = 0; v < 6; ++v) EXPECT_EQ(cycle.Degree(v), 2u);
+
+  Graph star = Star(7).ValueOrDie();
+  EXPECT_EQ(star.num_edges(), 6u);
+  EXPECT_EQ(star.Degree(0), 6u);
+  EXPECT_EQ(star.Degree(3), 1u);
+
+  Graph complete = Complete(5).ValueOrDie();
+  EXPECT_EQ(complete.num_edges(), 10u);
+
+  Graph grid = Grid(3, 4).ValueOrDie();
+  EXPECT_EQ(grid.num_nodes(), 12u);
+  EXPECT_EQ(grid.num_edges(), 3u * 3u + 2u * 4u);  // horizontal + vertical
+  EXPECT_EQ(grid.Degree(0), 2u);   // corner
+  EXPECT_EQ(grid.Degree(5), 4u);   // interior
+}
+
+TEST(GeneratorsTest, DegenerateSizesRejected) {
+  EXPECT_FALSE(Cycle(2).ok());
+  EXPECT_FALSE(Star(1).ok());
+  EXPECT_FALSE(Complete(1).ok());
+  EXPECT_FALSE(Grid(0, 3).ok());
+}
+
+class GeneratorSeedSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GeneratorSeedSweep, AllGeneratorsDeterministic) {
+  util::Rng r1(GetParam()), r2(GetParam());
+  Graph a = ErdosRenyi(30, 0.2, &r1).ValueOrDie();
+  Graph b = ErdosRenyi(30, 0.2, &r2).ValueOrDie();
+  EXPECT_EQ(a.num_edges(), b.num_edges());
+  Graph c = BarabasiAlbert(30, 2, &r1).ValueOrDie();
+  Graph d = BarabasiAlbert(30, 2, &r2).ValueOrDie();
+  EXPECT_EQ(c.num_edges(), d.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GeneratorSeedSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace adamgnn::graph

@@ -1,0 +1,139 @@
+#include "graph/io.h"
+
+#include <fstream>
+#include <string>
+
+#include "graph/builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace adamgnn::graph {
+namespace {
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void WriteFile(const std::string& path, const std::string& content) {
+  std::ofstream out(path);
+  out << content;
+}
+
+TEST(GraphIoTest, EdgeListRoundTrip) {
+  Graph g = adamgnn::testing::TwoTriangles();
+  const std::string path = TempPath("edges.txt");
+  ASSERT_TRUE(WriteEdgeList(g, path).ok());
+  Graph back = ReadEdgeList(path).ValueOrDie();
+  EXPECT_EQ(back.num_nodes(), g.num_nodes());
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  for (const Edge& e : g.UndirectedEdges()) {
+    EXPECT_TRUE(back.HasEdge(e.src, e.dst));
+    EXPECT_DOUBLE_EQ(back.EdgeWeight(e.src, e.dst), e.weight);
+  }
+}
+
+TEST(GraphIoTest, ReadEdgeListSkipsCommentsAndBlanks) {
+  const std::string path = TempPath("commented.txt");
+  WriteFile(path, "# header\n\n0 1\n  \n1 2 2.5\n# trailing\n");
+  Graph g = ReadEdgeList(path).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 2u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 2), 2.5);
+}
+
+TEST(GraphIoTest, ExplicitNodeCountAllowsIsolated) {
+  const std::string path = TempPath("isolated.txt");
+  WriteFile(path, "0 1\n");
+  Graph g = ReadEdgeList(path, 5).ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 5u);
+  EXPECT_EQ(g.Degree(4), 0u);
+}
+
+TEST(GraphIoTest, MalformedLineReportsLineNumber) {
+  const std::string path = TempPath("bad.txt");
+  WriteFile(path, "0 1\nnot numbers\n");
+  util::Status s = ReadEdgeList(path).status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(":2:"), std::string::npos);
+}
+
+TEST(GraphIoTest, NegativeIdsRejected) {
+  const std::string path = TempPath("negative.txt");
+  WriteFile(path, "0 -1\n");
+  EXPECT_FALSE(ReadEdgeList(path).ok());
+}
+
+TEST(GraphIoTest, MissingFileIsNotFound) {
+  EXPECT_EQ(ReadEdgeList(TempPath("missing.txt")).status().code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(GraphIoTest, DenseMatrixRoundTrip) {
+  util::Rng rng(1);
+  tensor::Matrix m = tensor::Matrix::Gaussian(5, 3, 1.0, &rng);
+  const std::string path = TempPath("matrix.txt");
+  ASSERT_TRUE(WriteDenseMatrix(m, path).ok());
+  tensor::Matrix back = ReadDenseMatrix(path).ValueOrDie();
+  EXPECT_TRUE(tensor::AllClose(m, back, 1e-15));
+}
+
+TEST(GraphIoTest, RaggedMatrixRejected) {
+  const std::string path = TempPath("ragged.txt");
+  WriteFile(path, "1 2 3\n4 5\n");
+  util::Status s = ReadDenseMatrix(path).status();
+  EXPECT_FALSE(s.ok());
+  EXPECT_NE(s.message().find(":2:"), std::string::npos);
+}
+
+TEST(GraphIoTest, NonNumericMatrixRejected) {
+  const std::string path = TempPath("nonnum.txt");
+  WriteFile(path, "1 2 x\n");
+  EXPECT_FALSE(ReadDenseMatrix(path).ok());
+}
+
+TEST(GraphIoTest, EmptyMatrixRejected) {
+  const std::string path = TempPath("empty.txt");
+  WriteFile(path, "# only comments\n");
+  EXPECT_FALSE(ReadDenseMatrix(path).ok());
+}
+
+TEST(GraphIoTest, LabelsRoundTrip) {
+  const std::string path = TempPath("labels.txt");
+  ASSERT_TRUE(WriteLabels({0, 2, 1, 2}, path).ok());
+  EXPECT_EQ(ReadLabels(path).ValueOrDie(), (std::vector<int>{0, 2, 1, 2}));
+}
+
+TEST(GraphIoTest, NegativeLabelRejected) {
+  const std::string path = TempPath("neglabel.txt");
+  WriteFile(path, "0\n-3\n");
+  EXPECT_FALSE(ReadLabels(path).ok());
+}
+
+TEST(GraphIoTest, ReadGraphAssemblesAllParts) {
+  Graph g = adamgnn::testing::TwoTriangles();
+  const std::string edges = TempPath("g_edges.txt");
+  const std::string feats = TempPath("g_feats.txt");
+  const std::string labels = TempPath("g_labels.txt");
+  ASSERT_TRUE(WriteEdgeList(g, edges).ok());
+  ASSERT_TRUE(WriteDenseMatrix(g.features(), feats).ok());
+  ASSERT_TRUE(WriteLabels(g.labels(), labels).ok());
+
+  Graph back = ReadGraph(edges, feats, labels, g.num_nodes()).ValueOrDie();
+  EXPECT_EQ(back.num_edges(), g.num_edges());
+  EXPECT_TRUE(back.has_features());
+  EXPECT_TRUE(tensor::AllClose(back.features(), g.features(), 1e-15));
+  EXPECT_EQ(back.labels(), g.labels());
+}
+
+TEST(GraphIoTest, ReadGraphStructureOnly) {
+  Graph g = adamgnn::testing::Ring(8, 3);
+  const std::string edges = TempPath("ring_edges.txt");
+  ASSERT_TRUE(WriteEdgeList(g, edges).ok());
+  Graph back = ReadGraph(edges, "", "").ValueOrDie();
+  EXPECT_EQ(back.num_edges(), 8u);
+  EXPECT_FALSE(back.has_features());
+}
+
+}  // namespace
+}  // namespace adamgnn::graph

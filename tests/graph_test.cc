@@ -1,0 +1,145 @@
+#include "graph/graph.h"
+
+#include "graph/builder.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace adamgnn::graph {
+namespace {
+
+TEST(GraphBuilderTest, RejectsOutOfRangeEndpoints) {
+  GraphBuilder b(3);
+  EXPECT_FALSE(b.AddEdge(0, 3).ok());
+  EXPECT_FALSE(b.AddEdge(-1, 1).ok());
+}
+
+TEST(GraphBuilderTest, RejectsSelfLoops) {
+  GraphBuilder b(3);
+  EXPECT_FALSE(b.AddEdge(1, 1).ok());
+}
+
+TEST(GraphBuilderTest, RejectsNonPositiveWeights) {
+  GraphBuilder b(3);
+  EXPECT_FALSE(b.AddEdge(0, 1, 0.0).ok());
+  EXPECT_FALSE(b.AddEdge(0, 1, -2.0).ok());
+}
+
+TEST(GraphBuilderTest, RejectsWrongFeatureRows) {
+  GraphBuilder b(3);
+  EXPECT_FALSE(b.SetFeatures(tensor::Matrix(2, 4)).ok());
+}
+
+TEST(GraphBuilderTest, RejectsWrongLabelCountOrNegative) {
+  GraphBuilder b(3);
+  EXPECT_FALSE(b.SetLabels({0, 1}).ok());
+  EXPECT_FALSE(b.SetLabels({0, -1, 1}).ok());
+}
+
+TEST(GraphTest, DuplicateEdgesCoalesceKeepingMaxWeight) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 1.0).CheckOK();
+  b.AddEdge(1, 0, 5.0).CheckOK();
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_EQ(g.num_edges(), 1u);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(g.EdgeWeight(1, 0), 5.0);
+}
+
+TEST(GraphTest, NeighborsSortedAndSymmetric) {
+  GraphBuilder b(5);
+  b.AddEdge(2, 4).CheckOK();
+  b.AddEdge(2, 0).CheckOK();
+  b.AddEdge(2, 3).CheckOK();
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto nbrs = g.Neighbors(2);
+  ASSERT_EQ(nbrs.size(), 3u);
+  EXPECT_EQ(nbrs[0], 0);
+  EXPECT_EQ(nbrs[1], 3);
+  EXPECT_EQ(nbrs[2], 4);
+  EXPECT_TRUE(g.HasEdge(4, 2));
+  EXPECT_FALSE(g.HasEdge(0, 4));
+  EXPECT_EQ(g.Degree(2), 3u);
+  EXPECT_EQ(g.Degree(1), 0u);
+}
+
+TEST(GraphTest, UndirectedEdgesCanonical) {
+  GraphBuilder b(4);
+  b.AddEdge(3, 1).CheckOK();
+  b.AddEdge(0, 2).CheckOK();
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto edges = g.UndirectedEdges();
+  ASSERT_EQ(edges.size(), 2u);
+  for (const Edge& e : edges) EXPECT_LT(e.src, e.dst);
+}
+
+TEST(GraphTest, LabelsAndClasses) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1).CheckOK();
+  b.SetLabels({0, 2, 1, 2}).CheckOK();
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_TRUE(g.has_labels());
+  EXPECT_EQ(g.num_classes(), 3);
+  EXPECT_EQ(g.label(1), 2);
+}
+
+TEST(GraphTest, GraphLabelCarriesThrough) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  b.SetGraphLabel(1);
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_EQ(g.graph_label(), 1);
+}
+
+TEST(GraphTest, EmptyGraphIsValid) {
+  GraphBuilder b(3);
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_EQ(g.num_nodes(), 3u);
+  EXPECT_EQ(g.num_edges(), 0u);
+  EXPECT_TRUE(g.Neighbors(0).empty());
+}
+
+TEST(GraphTest, FeaturesAccessible) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  tensor::Matrix f(2, 3);
+  f(1, 2) = 9.0;
+  b.SetFeatures(f).CheckOK();
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_TRUE(g.has_features());
+  EXPECT_EQ(g.feature_dim(), 3u);
+  EXPECT_DOUBLE_EQ(g.features()(1, 2), 9.0);
+}
+
+TEST(GraphTest, DebugStringMentionsCounts) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  Graph g = std::move(b).Build().ValueOrDie();
+  std::string s = g.DebugString();
+  EXPECT_NE(s.find("n=2"), std::string::npos);
+  EXPECT_NE(s.find("m=1"), std::string::npos);
+}
+
+class RandomGraphProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(RandomGraphProperty, DegreeSumEqualsTwiceEdges) {
+  util::Rng rng(GetParam());
+  const size_t n = 30;
+  GraphBuilder b(n);
+  for (int i = 0; i < 60; ++i) {
+    auto u = static_cast<NodeId>(rng.NextUint64(n));
+    auto v = static_cast<NodeId>(rng.NextUint64(n));
+    if (u != v) b.AddEdge(u, v).CheckOK();
+  }
+  Graph g = std::move(b).Build().ValueOrDie();
+  size_t degree_sum = 0;
+  for (NodeId v = 0; static_cast<size_t>(v) < n; ++v) {
+    degree_sum += g.Degree(v);
+  }
+  EXPECT_EQ(degree_sum, 2 * g.num_edges());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGraphProperty,
+                         ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace adamgnn::graph

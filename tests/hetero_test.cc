@@ -1,0 +1,123 @@
+#include "core/hetero.h"
+
+#include "data/hetero.h"
+#include "data/splits.h"
+#include "gtest/gtest.h"
+#include "train/node_trainer.h"
+#include "util/random.h"
+
+namespace adamgnn::core {
+namespace {
+
+TEST(HeteroDatasetTest, GeneratesTypedGraph) {
+  data::HeteroDataset d =
+      data::MakeHeteroAcademicDataset(1, 0.1).ValueOrDie();
+  EXPECT_EQ(d.node_types.size(), d.graph.num_nodes());
+  EXPECT_TRUE(d.graph.has_features());
+  EXPECT_TRUE(d.graph.has_labels());
+  EXPECT_EQ(d.graph.feature_dim(), 96u);
+  size_t authors = 0, papers = 0;
+  for (int t : d.node_types) {
+    ASSERT_GE(t, 0);
+    ASSERT_LE(t, 1);
+    (t == 0 ? authors : papers) += 1;
+  }
+  EXPECT_GT(authors, 0u);
+  EXPECT_GT(papers, 0u);
+}
+
+TEST(HeteroDatasetTest, TypesUseDisjointFeatureRegions) {
+  data::HeteroDataset d =
+      data::MakeHeteroAcademicDataset(2, 0.1).ValueOrDie();
+  // Authors (type 0) should have most topical mass below dim 48; papers
+  // (type 1) above. The noise words blur but not invert this.
+  double author_low = 0, author_high = 0, paper_low = 0, paper_high = 0;
+  for (size_t v = 0; v < d.graph.num_nodes(); ++v) {
+    for (size_t j = 0; j < 96; ++j) {
+      const double x = d.graph.features()(v, j);
+      if (d.node_types[v] == 0) {
+        (j < 48 ? author_low : author_high) += x;
+      } else {
+        (j < 48 ? paper_low : paper_high) += x;
+      }
+    }
+  }
+  EXPECT_GT(author_low, author_high);
+  EXPECT_GT(paper_high, paper_low);
+}
+
+TEST(HeteroDatasetTest, RejectsBadScale) {
+  EXPECT_FALSE(data::MakeHeteroAcademicDataset(1, 0.0).ok());
+  EXPECT_FALSE(data::MakeHeteroAcademicDataset(1, 2.0).ok());
+}
+
+HeteroAdamGnnConfig SmallConfig(int num_classes) {
+  HeteroAdamGnnConfig c;
+  c.raw_dim = 96;
+  c.projected_dim = 16;
+  c.num_types = 2;
+  c.base.hidden_dim = 16;
+  c.base.num_classes = static_cast<size_t>(num_classes);
+  c.base.num_levels = 2;
+  c.base.dropout = 0.0;
+  return c;
+}
+
+TEST(HeteroAdamGnnTest, ForwardShapes) {
+  data::HeteroDataset d =
+      data::MakeHeteroAcademicDataset(3, 0.08).ValueOrDie();
+  util::Rng rng(4);
+  HeteroAdamGnn model(SmallConfig(d.graph.num_classes()), &rng);
+  util::Rng frng(5);
+  AdamGnn::Output out = model.Forward(d.graph, d.node_types, false, &frng);
+  EXPECT_EQ(out.embeddings.rows(), d.graph.num_nodes());
+  EXPECT_EQ(out.logits.cols(),
+            static_cast<size_t>(d.graph.num_classes()));
+  EXPECT_TRUE(out.embeddings.value().AllFinite());
+  EXPECT_FALSE(out.levels.empty());
+}
+
+TEST(HeteroAdamGnnTest, ParametersIncludePerTypeProjections) {
+  util::Rng rng(6);
+  HeteroAdamGnn model(SmallConfig(4), &rng);
+  util::Rng rng2(6);
+  AdamGnnConfig base;
+  base.in_dim = 16;
+  base.hidden_dim = 16;
+  base.num_classes = 4;
+  base.num_levels = 2;
+  AdamGnn plain(base, &rng2);
+  // 2 projections x (W + b) = 4 extra tensors.
+  EXPECT_EQ(model.Parameters().size(), plain.Parameters().size() + 4);
+}
+
+TEST(HeteroAdamGnnTest, LearnsOnHeteroDataset) {
+  data::HeteroDataset d =
+      data::MakeHeteroAcademicDataset(7, 0.12).ValueOrDie();
+  util::Rng rng(8);
+  data::IndexSplit split =
+      data::SplitIndices(d.graph.num_nodes(), 0.8, 0.1, &rng).ValueOrDie();
+  HeteroAdamGnnNodeModel model(SmallConfig(d.graph.num_classes()),
+                               d.node_types, &rng);
+  train::TrainConfig tc;
+  tc.max_epochs = 30;
+  tc.patience = 30;
+  tc.learning_rate = 0.02;
+  tc.seed = 8;
+  train::NodeTaskResult r =
+      train::TrainNodeClassifier(&model, d.graph, split, tc).ValueOrDie();
+  EXPECT_GT(r.test_accuracy, 0.45);  // 4 classes, chance 0.25
+}
+
+TEST(HeteroAdamGnnTest, TypeVectorSizeValidated) {
+  data::HeteroDataset d =
+      data::MakeHeteroAcademicDataset(9, 0.08).ValueOrDie();
+  util::Rng rng(10);
+  HeteroAdamGnn model(SmallConfig(d.graph.num_classes()), &rng);
+  util::Rng frng(11);
+  std::vector<int> short_types(d.graph.num_nodes() - 1, 0);
+  EXPECT_DEATH(model.Forward(d.graph, short_types, false, &frng), "");
+}
+
+}  // namespace
+}  // namespace adamgnn::core

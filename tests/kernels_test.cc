@@ -1,0 +1,170 @@
+#include "tensor/kernels.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace adamgnn::tensor {
+namespace {
+
+Matrix M(size_t r, size_t c, std::vector<double> v) {
+  return Matrix(r, c, std::move(v));
+}
+
+TEST(KernelsTest, MatMulSmall) {
+  Matrix a = M(2, 3, {1, 2, 3, 4, 5, 6});
+  Matrix b = M(3, 2, {7, 8, 9, 10, 11, 12});
+  Matrix c = MatMul(a, b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154);
+}
+
+TEST(KernelsTest, MatMulIdentity) {
+  util::Rng rng(1);
+  Matrix a = Matrix::Gaussian(4, 4, 1.0, &rng);
+  EXPECT_TRUE(AllClose(MatMul(a, Matrix::Identity(4)), a, 1e-12));
+  EXPECT_TRUE(AllClose(MatMul(Matrix::Identity(4), a), a, 1e-12));
+}
+
+TEST(KernelsTest, MatMulTransAConsistent) {
+  util::Rng rng(2);
+  Matrix a = Matrix::Gaussian(5, 3, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(5, 4, 1.0, &rng);
+  EXPECT_TRUE(AllClose(MatMulTransA(a, b), MatMul(a.Transposed(), b), 1e-10));
+}
+
+TEST(KernelsTest, MatMulTransBConsistent) {
+  util::Rng rng(3);
+  Matrix a = Matrix::Gaussian(5, 3, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(4, 3, 1.0, &rng);
+  EXPECT_TRUE(AllClose(MatMulTransB(a, b), MatMul(a, b.Transposed()), 1e-10));
+}
+
+TEST(KernelsTest, AddSubCwiseScale) {
+  Matrix a = M(1, 3, {1, 2, 3});
+  Matrix b = M(1, 3, {4, 5, 6});
+  EXPECT_TRUE(AllClose(Add(a, b), M(1, 3, {5, 7, 9})));
+  EXPECT_TRUE(AllClose(Sub(b, a), M(1, 3, {3, 3, 3})));
+  EXPECT_TRUE(AllClose(CwiseMul(a, b), M(1, 3, {4, 10, 18})));
+  EXPECT_TRUE(AllClose(Scale(a, -2), M(1, 3, {-2, -4, -6})));
+}
+
+TEST(KernelsTest, Broadcasts) {
+  Matrix a = M(2, 2, {1, 2, 3, 4});
+  EXPECT_TRUE(
+      AllClose(AddRowBroadcast(a, M(1, 2, {10, 20})),
+               M(2, 2, {11, 22, 13, 24})));
+  EXPECT_TRUE(AllClose(MulColBroadcast(a, M(2, 1, {2, 3})),
+                       M(2, 2, {2, 4, 9, 12})));
+}
+
+TEST(KernelsTest, Concats) {
+  Matrix a = M(2, 1, {1, 2});
+  Matrix b = M(2, 2, {3, 4, 5, 6});
+  Matrix cc = ConcatCols(a, b);
+  EXPECT_EQ(cc.cols(), 3u);
+  EXPECT_DOUBLE_EQ(cc(1, 2), 6);
+  Matrix cr = ConcatRows(M(1, 2, {1, 2}), M(2, 2, {3, 4, 5, 6}));
+  EXPECT_EQ(cr.rows(), 3u);
+  EXPECT_DOUBLE_EQ(cr(2, 1), 6);
+}
+
+TEST(KernelsTest, Reductions) {
+  Matrix a = M(2, 3, {1, 2, 3, 4, 5, 6});
+  EXPECT_TRUE(AllClose(ColSum(a), M(1, 3, {5, 7, 9})));
+  EXPECT_TRUE(AllClose(RowSum(a), M(2, 1, {6, 15})));
+  EXPECT_TRUE(AllClose(RowMean(a), M(2, 1, {2, 5})));
+  EXPECT_TRUE(AllClose(RowMax(a), M(2, 1, {3, 6})));
+}
+
+TEST(KernelsTest, SoftmaxRowsSumsToOneAndOrders) {
+  Matrix s = SoftmaxRows(M(2, 3, {1, 2, 3, -1, -1, -1}));
+  for (size_t r = 0; r < 2; ++r) {
+    double sum = 0;
+    for (size_t c = 0; c < 3; ++c) sum += s(r, c);
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+  EXPECT_GT(s(0, 2), s(0, 1));
+  EXPECT_NEAR(s(1, 0), 1.0 / 3.0, 1e-12);
+}
+
+TEST(KernelsTest, SoftmaxRowsStableForLargeLogits) {
+  Matrix s = SoftmaxRows(M(1, 2, {1000.0, 1000.0}));
+  EXPECT_NEAR(s(0, 0), 0.5, 1e-12);
+  EXPECT_TRUE(s.AllFinite());
+}
+
+TEST(KernelsTest, Activations) {
+  Matrix x = M(1, 4, {-2, -0.5, 0.5, 2});
+  Matrix r = Relu(x);
+  EXPECT_DOUBLE_EQ(r(0, 0), 0);
+  EXPECT_DOUBLE_EQ(r(0, 3), 2);
+  Matrix lr = LeakyRelu(x, 0.1);
+  EXPECT_DOUBLE_EQ(lr(0, 0), -0.2);
+  EXPECT_DOUBLE_EQ(lr(0, 3), 2);
+  Matrix sg = Sigmoid(M(1, 2, {0, 100}));
+  EXPECT_NEAR(sg(0, 0), 0.5, 1e-12);
+  EXPECT_NEAR(sg(0, 1), 1.0, 1e-12);
+  EXPECT_NEAR(Tanh(M(1, 1, {0.0}))(0, 0), 0.0, 1e-12);
+}
+
+TEST(KernelsTest, SigmoidStableForLargeNegatives) {
+  Matrix s = Sigmoid(M(1, 1, {-800.0}));
+  EXPECT_TRUE(s.AllFinite());
+  EXPECT_NEAR(s(0, 0), 0.0, 1e-12);
+}
+
+TEST(KernelsTest, ExpLog) {
+  Matrix x = M(1, 2, {0.0, 1.0});
+  EXPECT_NEAR(Exp(x)(0, 1), std::exp(1.0), 1e-12);
+  EXPECT_NEAR(Log(Exp(x))(0, 1), 1.0, 1e-12);
+}
+
+TEST(KernelsTest, SegmentSumAndMean) {
+  Matrix x = M(4, 2, {1, 1, 2, 2, 3, 3, 4, 4});
+  std::vector<size_t> seg = {0, 0, 2, 2};
+  Matrix s = SegmentSum(x, seg, 3);
+  EXPECT_TRUE(AllClose(s, M(3, 2, {3, 3, 0, 0, 7, 7})));
+  Matrix m = SegmentMean(x, seg, 3);
+  EXPECT_TRUE(AllClose(m, M(3, 2, {1.5, 1.5, 0, 0, 3.5, 3.5})));
+}
+
+TEST(KernelsTest, MatMulAssociativityProperty) {
+  util::Rng rng(8);
+  Matrix a = Matrix::Gaussian(3, 4, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(4, 5, 1.0, &rng);
+  Matrix c = Matrix::Gaussian(5, 2, 1.0, &rng);
+  EXPECT_TRUE(
+      AllClose(MatMul(MatMul(a, b), c), MatMul(a, MatMul(b, c)), 1e-9));
+}
+
+class KernelShapeSweep : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(KernelShapeSweep, TransposeOfTransposeIsIdentityMap) {
+  util::Rng rng(GetParam());
+  Matrix a = Matrix::Gaussian(GetParam() + 1, 2 * GetParam() + 1, 1.0, &rng);
+  EXPECT_TRUE(AllClose(a.Transposed().Transposed(), a, 0.0));
+}
+
+TEST_P(KernelShapeSweep, SoftmaxRowsAlwaysNormalized) {
+  util::Rng rng(GetParam() * 17 + 1);
+  Matrix a = Matrix::Gaussian(GetParam() + 1, GetParam() + 2, 3.0, &rng);
+  Matrix s = SoftmaxRows(a);
+  for (size_t r = 0; r < s.rows(); ++r) {
+    double sum = 0;
+    for (size_t c = 0; c < s.cols(); ++c) {
+      sum += s(r, c);
+      EXPECT_GE(s(r, c), 0.0);
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, KernelShapeSweep,
+                         ::testing::Values(1, 2, 3, 5, 8, 13));
+
+}  // namespace
+}  // namespace adamgnn::tensor

@@ -1,0 +1,144 @@
+#include "tensor/matrix.h"
+
+#include <cmath>
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace adamgnn::tensor {
+namespace {
+
+TEST(MatrixTest, DefaultIsEmpty) {
+  Matrix m;
+  EXPECT_EQ(m.rows(), 0u);
+  EXPECT_EQ(m.cols(), 0u);
+  EXPECT_TRUE(m.empty());
+}
+
+TEST(MatrixTest, FillConstructor) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(MatrixTest, DataConstructorRowMajor) {
+  Matrix m(2, 2, std::vector<double>{1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(m(0, 0), 1);
+  EXPECT_DOUBLE_EQ(m(0, 1), 2);
+  EXPECT_DOUBLE_EQ(m(1, 0), 3);
+  EXPECT_DOUBLE_EQ(m(1, 1), 4);
+}
+
+TEST(MatrixTest, Identity) {
+  Matrix id = Matrix::Identity(3);
+  for (size_t r = 0; r < 3; ++r) {
+    for (size_t c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(id(r, c), r == c ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(MatrixTest, RowAndColVector) {
+  Matrix row = Matrix::RowVector({1, 2, 3});
+  EXPECT_EQ(row.rows(), 1u);
+  EXPECT_EQ(row.cols(), 3u);
+  Matrix col = Matrix::ColVector({1, 2, 3});
+  EXPECT_EQ(col.rows(), 3u);
+  EXPECT_EQ(col.cols(), 1u);
+}
+
+TEST(MatrixTest, InPlaceArithmetic) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 2.0);
+  a += b;
+  EXPECT_DOUBLE_EQ(a(0, 0), 3.0);
+  a -= b;
+  EXPECT_DOUBLE_EQ(a(1, 1), 1.0);
+  a *= 4.0;
+  EXPECT_DOUBLE_EQ(a(0, 1), 4.0);
+}
+
+TEST(MatrixTest, SumNormAbsMax) {
+  Matrix m(1, 3, std::vector<double>{3, -4, 0});
+  EXPECT_DOUBLE_EQ(m.Sum(), -1.0);
+  EXPECT_DOUBLE_EQ(m.Norm(), 5.0);
+  EXPECT_DOUBLE_EQ(m.AbsMax(), 4.0);
+}
+
+TEST(MatrixTest, GatherRowsWithRepeats) {
+  Matrix m(3, 2, std::vector<double>{1, 2, 3, 4, 5, 6});
+  Matrix g = m.GatherRows({2, 0, 2});
+  EXPECT_EQ(g.rows(), 3u);
+  EXPECT_DOUBLE_EQ(g(0, 0), 5);
+  EXPECT_DOUBLE_EQ(g(1, 1), 2);
+  EXPECT_DOUBLE_EQ(g(2, 1), 6);
+}
+
+TEST(MatrixTest, Transposed) {
+  Matrix m(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
+  Matrix t = m.Transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  for (size_t r = 0; r < 2; ++r) {
+    for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), t(c, r));
+  }
+}
+
+TEST(MatrixTest, ApplyElementwise) {
+  Matrix m(2, 2, 2.0);
+  m.Apply([](double x) { return x * x + 1; });
+  EXPECT_DOUBLE_EQ(m(0, 0), 5.0);
+}
+
+TEST(MatrixTest, AllFiniteDetectsNanAndInf) {
+  Matrix m(2, 2, 1.0);
+  EXPECT_TRUE(m.AllFinite());
+  m(0, 1) = std::nan("");
+  EXPECT_FALSE(m.AllFinite());
+  m(0, 1) = INFINITY;
+  EXPECT_FALSE(m.AllFinite());
+}
+
+TEST(MatrixTest, EqualityAndAllClose) {
+  Matrix a(2, 2, 1.0);
+  Matrix b(2, 2, 1.0);
+  EXPECT_TRUE(a == b);
+  b(0, 0) += 1e-12;
+  EXPECT_FALSE(a == b);
+  EXPECT_TRUE(AllClose(a, b, 1e-9));
+  EXPECT_FALSE(AllClose(a, Matrix(2, 3)));
+}
+
+TEST(MatrixTest, UniformRespectsBounds) {
+  util::Rng rng(3);
+  Matrix m = Matrix::Uniform(10, 10, -2.0, 3.0, &rng);
+  for (size_t i = 0; i < m.size(); ++i) {
+    EXPECT_GE(m.data()[i], -2.0);
+    EXPECT_LT(m.data()[i], 3.0);
+  }
+}
+
+TEST(MatrixTest, GaussianHasRequestedSpread) {
+  util::Rng rng(4);
+  Matrix m = Matrix::Gaussian(50, 50, 2.0, &rng);
+  double sq = 0;
+  for (size_t i = 0; i < m.size(); ++i) sq += m.data()[i] * m.data()[i];
+  EXPECT_NEAR(std::sqrt(sq / static_cast<double>(m.size())), 2.0, 0.1);
+}
+
+TEST(MatrixTest, RowAccessorsAreViews) {
+  Matrix m(2, 3, 0.0);
+  m.row(1)[2] = 7.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 7.0);
+}
+
+TEST(MatrixTest, ToStringMentionsShape) {
+  Matrix m(3, 5, 0.0);
+  EXPECT_NE(m.ToString().find("3x5"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace adamgnn::tensor

@@ -1,0 +1,71 @@
+#include "train/metrics.h"
+
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace adamgnn::train {
+namespace {
+
+using tensor::Matrix;
+
+TEST(AccuracyTest, PerfectAndZero) {
+  Matrix logits(3, 2, std::vector<double>{2, 1, 0, 3, 5, 4});
+  std::vector<int> labels = {0, 1, 0};
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {0, 1, 2}), 1.0);
+  std::vector<int> wrong = {1, 0, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(logits, wrong, {0, 1, 2}), 0.0);
+}
+
+TEST(AccuracyTest, SubsetRows) {
+  Matrix logits(4, 2, std::vector<double>{2, 1, 1, 2, 2, 1, 1, 2});
+  std::vector<int> labels = {0, 0, 0, 1};
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {0, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {1}), 0.0);
+  EXPECT_DOUBLE_EQ(Accuracy(logits, labels, {0, 1}), 0.5);
+}
+
+TEST(AccuracyFromPredictionsTest, Basic) {
+  EXPECT_DOUBLE_EQ(AccuracyFromPredictions({1, 2, 3}, {1, 2, 3}), 1.0);
+  EXPECT_DOUBLE_EQ(AccuracyFromPredictions({1, 0, 3}, {1, 2, 3}), 2.0 / 3.0);
+}
+
+TEST(RocAucTest, PerfectSeparation) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.9, 0.8, 0.2, 0.1}, {1, 1, 0, 0}), 1.0);
+}
+
+TEST(RocAucTest, PerfectlyWrong) {
+  EXPECT_DOUBLE_EQ(RocAuc({0.1, 0.2, 0.8, 0.9}, {1, 1, 0, 0}), 0.0);
+}
+
+TEST(RocAucTest, RandomScoresNearHalf) {
+  util::Rng rng(1);
+  std::vector<double> scores;
+  std::vector<int> labels;
+  for (int i = 0; i < 4000; ++i) {
+    scores.push_back(rng.NextDouble());
+    labels.push_back(static_cast<int>(rng.NextUint64(2)));
+  }
+  EXPECT_NEAR(RocAuc(scores, labels), 0.5, 0.03);
+}
+
+TEST(RocAucTest, TiesGetMidrank) {
+  // All scores equal: AUC must be exactly 0.5 with midranks.
+  EXPECT_DOUBLE_EQ(RocAuc({1.0, 1.0, 1.0, 1.0}, {1, 0, 1, 0}), 0.5);
+}
+
+TEST(RocAucTest, InvariantToMonotoneTransform) {
+  std::vector<double> scores = {0.1, 0.4, 0.35, 0.8, 0.7};
+  std::vector<int> labels = {0, 0, 1, 1, 1};
+  std::vector<double> scaled;
+  for (double s : scores) scaled.push_back(100.0 * s - 3.0);
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels), RocAuc(scaled, labels));
+}
+
+TEST(RocAucTest, KnownHandComputedValue) {
+  // pos scores {3, 1}, neg scores {2, 0}: pairs (3>2),(3>0),(1<2),(1>0)
+  // -> 3/4 correct.
+  EXPECT_DOUBLE_EQ(RocAuc({3, 2, 1, 0}, {1, 0, 1, 0}), 0.75);
+}
+
+}  // namespace
+}  // namespace adamgnn::train

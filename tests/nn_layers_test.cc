@@ -1,0 +1,226 @@
+#include <memory>
+
+#include "autograd/ops.h"
+#include "graph/sparse_matrix.h"
+#include "gtest/gtest.h"
+#include "nn/dropout.h"
+#include "nn/gat_conv.h"
+#include "nn/gcn_conv.h"
+#include "nn/gin_conv.h"
+#include "nn/init.h"
+#include "nn/linear.h"
+#include "nn/module.h"
+#include "nn/sage_conv.h"
+#include "tensor/kernels.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace adamgnn::nn {
+namespace {
+
+using adamgnn::testing::ExpectGradientsMatch;
+using adamgnn::testing::TwoTriangles;
+using autograd::Variable;
+using tensor::Matrix;
+
+Variable WeightedSum(const Variable& x, uint64_t seed) {
+  util::Rng rng(seed);
+  Matrix w = Matrix::Gaussian(x.rows(), x.cols(), 1.0, &rng);
+  return autograd::Sum(autograd::CwiseMul(x, Variable::Constant(w)));
+}
+
+TEST(InitTest, GlorotBoundsAndShape) {
+  util::Rng rng(1);
+  Matrix w = GlorotUniform(30, 20, &rng);
+  EXPECT_EQ(w.rows(), 30u);
+  EXPECT_EQ(w.cols(), 20u);
+  const double bound = std::sqrt(6.0 / 50.0);
+  for (size_t i = 0; i < w.size(); ++i) {
+    EXPECT_LE(std::fabs(w.data()[i]), bound);
+  }
+}
+
+TEST(InitTest, HeNormalSpread) {
+  util::Rng rng(2);
+  Matrix w = HeNormal(200, 100, &rng);
+  double sq = 0;
+  for (size_t i = 0; i < w.size(); ++i) sq += w.data()[i] * w.data()[i];
+  EXPECT_NEAR(sq / static_cast<double>(w.size()), 2.0 / 200.0, 0.002);
+}
+
+TEST(LinearTest, ShapesAndBias) {
+  util::Rng rng(3);
+  Linear layer(4, 3, /*use_bias=*/true, &rng);
+  Variable x = Variable::Constant(Matrix::Gaussian(5, 4, 1.0, &rng));
+  Variable y = layer.Forward(x);
+  EXPECT_EQ(y.rows(), 5u);
+  EXPECT_EQ(y.cols(), 3u);
+  EXPECT_EQ(layer.Parameters().size(), 2u);
+  EXPECT_EQ(layer.NumParameterScalars(), 4u * 3u + 3u);
+}
+
+TEST(LinearTest, NoBiasVariant) {
+  util::Rng rng(4);
+  Linear layer(4, 3, /*use_bias=*/false, &rng);
+  EXPECT_EQ(layer.Parameters().size(), 1u);
+}
+
+TEST(LinearTest, GradientsFlowToParams) {
+  util::Rng rng(5);
+  Linear layer(3, 2, /*use_bias=*/true, &rng);
+  Variable x = Variable::Constant(Matrix::Gaussian(4, 3, 1.0, &rng));
+  for (auto& p : layer.Parameters()) {
+    ExpectGradientsMatch(p, [&] { return WeightedSum(layer.Forward(x), 6); });
+  }
+}
+
+TEST(GcnConvTest, ForwardMatchesManualComputation) {
+  graph::Graph g = TwoTriangles();
+  auto norm = std::make_shared<const graph::SparseMatrix>(
+      graph::SparseMatrix::NormalizedAdjacency(g));
+  util::Rng rng(7);
+  GcnConv conv(4, 2, &rng);
+  Variable x = Variable::Constant(g.features());
+  Variable y = conv.Forward(norm, x);
+  EXPECT_EQ(y.rows(), 6u);
+  EXPECT_EQ(y.cols(), 2u);
+  // Â X W + b computed by hand from the layer's own parameters.
+  Matrix w = conv.Parameters()[0].value();
+  Matrix b = conv.Parameters()[1].value();
+  Matrix expect = tensor::AddRowBroadcast(
+      norm->MultiplyDense(tensor::MatMul(g.features(), w)), b);
+  EXPECT_TRUE(tensor::AllClose(y.value(), expect, 1e-10));
+}
+
+TEST(GcnConvTest, ParameterGradients) {
+  graph::Graph g = TwoTriangles();
+  auto norm = std::make_shared<const graph::SparseMatrix>(
+      graph::SparseMatrix::NormalizedAdjacency(g));
+  util::Rng rng(8);
+  GcnConv conv(4, 3, &rng);
+  Variable x = Variable::Constant(g.features());
+  for (auto& p : conv.Parameters()) {
+    ExpectGradientsMatch(
+        p, [&] { return WeightedSum(conv.Forward(norm, x), 9); });
+  }
+}
+
+TEST(SageConvTest, MeanOperatorRowsSumToOne) {
+  graph::Graph g = TwoTriangles();
+  auto mean = SageConv::MeanOperator(g);
+  for (size_t r = 0; r < mean->rows(); ++r) {
+    double sum = 0;
+    for (size_t k = mean->row_offsets()[r]; k < mean->row_offsets()[r + 1];
+         ++k) {
+      sum += mean->values()[k];
+    }
+    EXPECT_NEAR(sum, 1.0, 1e-12);
+  }
+}
+
+TEST(SageConvTest, ParameterGradients) {
+  graph::Graph g = TwoTriangles();
+  auto mean = SageConv::MeanOperator(g);
+  util::Rng rng(10);
+  SageConv conv(4, 3, &rng);
+  Variable x = Variable::Constant(g.features());
+  for (auto& p : conv.Parameters()) {
+    ExpectGradientsMatch(
+        p, [&] { return WeightedSum(conv.Forward(mean, x), 11); });
+  }
+}
+
+TEST(GatConvTest, EdgeIndexIncludesSelfLoops) {
+  graph::Graph g = TwoTriangles();
+  auto idx = GatConv::BuildEdgeIndex(g);
+  EXPECT_EQ(idx->num_edges(), 2 * g.num_edges() + g.num_nodes());
+  size_t self_loops = 0;
+  for (size_t e = 0; e < idx->num_edges(); ++e) {
+    if (idx->src[e] == idx->dst[e]) ++self_loops;
+  }
+  EXPECT_EQ(self_loops, g.num_nodes());
+}
+
+TEST(GatConvTest, ParameterGradients) {
+  graph::Graph g = TwoTriangles();
+  auto idx = GatConv::BuildEdgeIndex(g);
+  util::Rng rng(12);
+  GatConv conv(4, 3, &rng);
+  Variable x = Variable::Constant(g.features());
+  for (auto& p : conv.Parameters()) {
+    ExpectGradientsMatch(
+        p, [&] { return WeightedSum(conv.Forward(idx, x), 13); },
+        1e-5, 5e-6);
+  }
+}
+
+TEST(GinConvTest, EpsilonAffectsOutput) {
+  graph::Graph g = TwoTriangles();
+  auto adj = GinConv::SumOperator(g);
+  util::Rng rng(14);
+  GinConv conv(4, 8, 3, &rng);
+  Variable x = Variable::Constant(g.features());
+  Matrix before = conv.Forward(adj, x).value();
+  // Bump epsilon (last parameter) and expect the output to move.
+  auto params = conv.Parameters();
+  params.back().mutable_value()(0, 0) = 2.0;
+  Matrix after = conv.Forward(adj, x).value();
+  EXPECT_FALSE(tensor::AllClose(before, after, 1e-9));
+}
+
+TEST(GinConvTest, ParameterGradients) {
+  graph::Graph g = TwoTriangles();
+  auto adj = GinConv::SumOperator(g);
+  util::Rng rng(15);
+  GinConv conv(4, 5, 3, &rng);
+  Variable x = Variable::Constant(g.features());
+  for (auto& p : conv.Parameters()) {
+    ExpectGradientsMatch(
+        p, [&] { return WeightedSum(conv.Forward(adj, x), 16); },
+        1e-5, 5e-6);
+  }
+}
+
+TEST(DropoutTest, IdentityAtEval) {
+  util::Rng rng(17);
+  Dropout drop(0.5);
+  Variable x = Variable::Constant(Matrix::Gaussian(4, 4, 1.0, &rng));
+  Variable y = drop.Apply(x, &rng, /*training=*/false);
+  EXPECT_TRUE(tensor::AllClose(y.value(), x.value(), 0.0));
+}
+
+TEST(DropoutTest, ZeroRateIsIdentityInTraining) {
+  util::Rng rng(18);
+  Dropout drop(0.0);
+  Variable x = Variable::Constant(Matrix::Gaussian(4, 4, 1.0, &rng));
+  Variable y = drop.Apply(x, &rng, /*training=*/true);
+  EXPECT_TRUE(tensor::AllClose(y.value(), x.value(), 0.0));
+}
+
+TEST(DropoutTest, DropsRoughlyPFractionAndRescales) {
+  util::Rng rng(19);
+  Dropout drop(0.3);
+  Variable x = Variable::Constant(Matrix::Ones(100, 100));
+  Variable y = drop.Apply(x, &rng, /*training=*/true);
+  size_t zeros = 0;
+  for (size_t i = 0; i < y.value().size(); ++i) {
+    const double v = y.value().data()[i];
+    if (v == 0.0) {
+      ++zeros;
+    } else {
+      EXPECT_NEAR(v, 1.0 / 0.7, 1e-12);
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(zeros) / 10000.0, 0.3, 0.03);
+}
+
+TEST(ModuleTest, CollectParameters) {
+  util::Rng rng(20);
+  Linear a(2, 3, true, &rng);
+  Linear b(3, 4, false, &rng);
+  auto all = CollectParameters({&a, &b});
+  EXPECT_EQ(all.size(), 3u);
+}
+
+}  // namespace
+}  // namespace adamgnn::nn

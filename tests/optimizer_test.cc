@@ -1,0 +1,124 @@
+#include "nn/optimizer.h"
+
+#include <cmath>
+
+#include "autograd/loss_ops.h"
+#include "autograd/ops.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace adamgnn::nn {
+namespace {
+
+using autograd::Variable;
+using tensor::Matrix;
+
+// L(p) = mean((p - t)^2) for a fixed target t: any reasonable optimizer must
+// drive p toward t.
+double QuadraticLoss(Variable p, const Matrix& t) {
+  Variable loss = autograd::MeanSquaredError(p, t);
+  autograd::Backward(loss);
+  return loss.value()(0, 0);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  Variable p = Variable::Parameter(Matrix(2, 2, 5.0));
+  Matrix target(2, 2, 1.0);
+  Sgd opt({p}, /*lr=*/0.2);
+  double loss = 0;
+  for (int i = 0; i < 100; ++i) {
+    loss = QuadraticLoss(p, target);
+    opt.Step();
+  }
+  EXPECT_LT(loss, 1e-6);
+  EXPECT_NEAR(p.value()(0, 0), 1.0, 1e-3);
+}
+
+TEST(SgdTest, MomentumAcceleratesDescent) {
+  Variable slow = Variable::Parameter(Matrix(1, 1, 10.0));
+  Variable fast = Variable::Parameter(Matrix(1, 1, 10.0));
+  Matrix target(1, 1, 0.0);
+  Sgd plain({slow}, 0.01);
+  Sgd momentum({fast}, 0.01, 0.9);
+  for (int i = 0; i < 50; ++i) {
+    QuadraticLoss(slow, target);
+    plain.Step();
+    QuadraticLoss(fast, target);
+    momentum.Step();
+  }
+  EXPECT_LT(std::fabs(fast.value()(0, 0)), std::fabs(slow.value()(0, 0)));
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  Variable p = Variable::Parameter(Matrix(3, 1, -4.0));
+  Matrix target(3, 1, 2.0);
+  Adam opt({p}, /*lr=*/0.1);
+  for (int i = 0; i < 300; ++i) {
+    QuadraticLoss(p, target);
+    opt.Step();
+  }
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(p.value()(i, 0), 2.0, 1e-2);
+}
+
+TEST(AdamTest, WeightDecayShrinksParameters) {
+  // With zero task gradient, weight decay alone should shrink the params.
+  Variable p = Variable::Parameter(Matrix(1, 1, 4.0));
+  Matrix target(1, 1, 4.0);  // gradient 0 at start
+  Adam opt({p}, 0.05, 0.9, 0.999, 1e-8, /*weight_decay=*/0.1);
+  for (int i = 0; i < 50; ++i) {
+    QuadraticLoss(p, target);
+    opt.Step();
+  }
+  EXPECT_LT(p.value()(0, 0), 4.0);
+}
+
+TEST(AdamTest, HandlesMultipleParamsIndependently) {
+  Variable a = Variable::Parameter(Matrix(1, 1, 3.0));
+  Variable b = Variable::Parameter(Matrix(1, 1, -3.0));
+  Adam opt({a, b}, 0.1);
+  for (int i = 0; i < 200; ++i) {
+    Variable loss = autograd::Add(
+        autograd::MeanSquaredError(a, Matrix(1, 1, 1.0)),
+        autograd::MeanSquaredError(b, Matrix(1, 1, -1.0)));
+    autograd::Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(a.value()(0, 0), 1.0, 1e-2);
+  EXPECT_NEAR(b.value()(0, 0), -1.0, 1e-2);
+}
+
+TEST(ClipGradNormTest, LeavesSmallGradientsAlone) {
+  Variable p = Variable::Parameter(Matrix(1, 2, 0.0));
+  Variable loss = autograd::Sum(autograd::CwiseMul(
+      p, Variable::Constant(Matrix(1, 2, std::vector<double>{0.3, 0.4}))));
+  autograd::Backward(loss);
+  const double norm = ClipGradNorm({p}, 10.0);
+  EXPECT_NEAR(norm, 0.5, 1e-12);
+  EXPECT_DOUBLE_EQ(p.grad()(0, 0), 0.3);
+}
+
+TEST(ClipGradNormTest, RescalesLargeGradients) {
+  Variable p = Variable::Parameter(Matrix(1, 2, 0.0));
+  Variable loss = autograd::Sum(autograd::CwiseMul(
+      p, Variable::Constant(Matrix(1, 2, std::vector<double>{30, 40}))));
+  autograd::Backward(loss);
+  const double norm = ClipGradNorm({p}, 5.0);
+  EXPECT_NEAR(norm, 50.0, 1e-9);
+  EXPECT_NEAR(p.grad()(0, 0), 3.0, 1e-9);
+  EXPECT_NEAR(p.grad()(0, 1), 4.0, 1e-9);
+}
+
+TEST(OptimizerTest, StepUsesFreshGradients) {
+  Variable p = Variable::Parameter(Matrix(1, 1, 0.0));
+  Sgd opt({p}, 1.0);
+  // First loss pushes +1, second pushes -1; after both steps p ≈ 0.
+  autograd::Backward(autograd::Scale(p, 1.0));
+  opt.Step();
+  EXPECT_DOUBLE_EQ(p.value()(0, 0), -1.0);
+  autograd::Backward(autograd::Scale(p, -1.0));
+  opt.Step();
+  EXPECT_DOUBLE_EQ(p.value()(0, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace adamgnn::nn

@@ -1,0 +1,281 @@
+#include <memory>
+
+#include "data/graph_datasets.h"
+#include "graph/batch.h"
+#include "gtest/gtest.h"
+#include "pool/common.h"
+#include "pool/diff_pool.h"
+#include "pool/flat_models.h"
+#include "pool/sag_pool.h"
+#include "pool/sort_pool.h"
+#include "pool/struct_pool.h"
+#include "pool/topk_pool.h"
+#include "pool/wl_gnn.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace adamgnn::pool {
+namespace {
+
+using adamgnn::testing::Ring;
+using adamgnn::testing::TwoTriangles;
+using tensor::Matrix;
+
+graph::GraphBatch SmallBatch(util::Rng* rng, size_t feature_dim = 5) {
+  static std::vector<graph::Graph> storage;
+  storage.clear();
+  for (int i = 0; i < 3; ++i) {
+    graph::GraphBuilder b(4 + static_cast<size_t>(i));
+    for (size_t v = 0; v + 1 < 4 + static_cast<size_t>(i); ++v) {
+      b.AddEdge(static_cast<graph::NodeId>(v),
+                static_cast<graph::NodeId>(v + 1))
+          .CheckOK();
+    }
+    b.AddEdge(0, static_cast<graph::NodeId>(3 + i)).CheckOK();  // a cycle
+    b.SetFeatures(Matrix::Gaussian(4 + static_cast<size_t>(i), feature_dim,
+                                   1.0, rng))
+        .CheckOK();
+    b.SetGraphLabel(i % 2);
+    storage.push_back(std::move(b).Build().ValueOrDie());
+  }
+  std::vector<const graph::Graph*> ptrs;
+  for (auto& g : storage) ptrs.push_back(&g);
+  return graph::MakeBatch(ptrs).ValueOrDie();
+}
+
+TEST(CommonTest, ExtractMemberRoundTrip) {
+  util::Rng rng(1);
+  graph::GraphBatch batch = SmallBatch(&rng);
+  for (size_t i = 0; i < batch.num_graphs(); ++i) {
+    MemberGraph m = ExtractMember(batch, i);
+    EXPECT_EQ(m.num_nodes, batch.offsets[i + 1] - batch.offsets[i]);
+    EXPECT_EQ(m.features.rows(), m.num_nodes);
+    EXPECT_EQ(m.adjacency.rows(), m.num_nodes);
+    // Symmetric adjacency.
+    Matrix d = m.adjacency.ToDense();
+    for (size_t r = 0; r < d.rows(); ++r) {
+      for (size_t c = 0; c < d.cols(); ++c) {
+        EXPECT_DOUBLE_EQ(d(r, c), d(c, r));
+      }
+    }
+  }
+}
+
+TEST(CommonTest, SparseSubmatrixSelects) {
+  graph::SparseMatrix a = graph::SparseMatrix::FromTriplets(
+      4, 4, {{0, 1, 1.0}, {1, 0, 1.0}, {1, 2, 2.0}, {2, 1, 2.0},
+             {2, 3, 3.0}, {3, 2, 3.0}});
+  graph::SparseMatrix sub = SparseSubmatrix(a, {1, 2});
+  EXPECT_EQ(sub.rows(), 2u);
+  EXPECT_DOUBLE_EQ(sub.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(sub.At(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(sub.At(0, 0), 0.0);
+}
+
+TEST(CommonTest, TopKIndicesOrderAndSize) {
+  Matrix s(5, 1, std::vector<double>{0.1, 0.9, 0.5, 0.9, 0.2});
+  auto idx = TopKIndices(s, 0.4);
+  ASSERT_EQ(idx.size(), 2u);
+  EXPECT_EQ(idx[0], 1u);  // tie with 3 broken by smaller id
+  EXPECT_EQ(idx[1], 3u);
+  EXPECT_EQ(TopKIndices(s, 1.0).size(), 5u);
+  EXPECT_EQ(TopKIndices(s, 0.01).size(), 1u);
+}
+
+TEST(FlatModelsTest, AllKindsProduceLogits) {
+  graph::Graph g = TwoTriangles();
+  for (FlatGnnKind kind : {FlatGnnKind::kGcn, FlatGnnKind::kSage,
+                           FlatGnnKind::kGat, FlatGnnKind::kGin}) {
+    util::Rng rng(2);
+    FlatGnnConfig c;
+    c.kind = kind;
+    c.in_dim = 4;
+    c.hidden_dim = 8;
+    c.num_classes = 2;
+    c.dropout = 0.0;
+    FlatNodeModel model(c, &rng);
+    util::Rng frng(3);
+    auto out = model.Forward(g, false, &frng);
+    EXPECT_EQ(out.logits.rows(), 6u) << FlatGnnKindName(kind);
+    EXPECT_EQ(out.logits.cols(), 2u);
+    EXPECT_TRUE(out.logits.value().AllFinite());
+    EXPECT_FALSE(model.Parameters().empty());
+  }
+}
+
+TEST(FlatModelsTest, EmbeddingModelShape) {
+  graph::Graph g = Ring(12, 4);
+  util::Rng rng(4);
+  FlatGnnConfig c;
+  c.in_dim = 4;
+  c.hidden_dim = 6;
+  c.dropout = 0.0;
+  FlatEmbeddingModel model(c, &rng);
+  util::Rng frng(5);
+  auto out = model.Forward(g, false, &frng);
+  EXPECT_EQ(out.embeddings.rows(), 12u);
+  EXPECT_EQ(out.embeddings.cols(), 6u);
+}
+
+TEST(FlatModelsTest, GraphModelClassifiesBatch) {
+  util::Rng rng(6);
+  graph::GraphBatch batch = SmallBatch(&rng);
+  FlatGnnConfig c;
+  c.kind = FlatGnnKind::kGin;
+  c.in_dim = 5;
+  c.hidden_dim = 8;
+  c.dropout = 0.0;
+  FlatGraphModel model(c, 2, &rng);
+  util::Rng frng(7);
+  auto out = model.Forward(batch, false, &frng);
+  EXPECT_EQ(out.logits.rows(), 3u);
+  EXPECT_EQ(out.logits.cols(), 2u);
+}
+
+TEST(TopKGraphModelTest, ForwardAndCoverage) {
+  util::Rng rng(8);
+  graph::GraphBatch batch = SmallBatch(&rng);
+  TopKGraphConfig c;
+  c.in_dim = 5;
+  c.hidden_dim = 8;
+  c.num_classes = 2;
+  c.ratio = 0.5;
+  c.dropout = 0.0;
+  TopKGraphModel model(c, &rng);
+  util::Rng frng(9);
+  auto out = model.Forward(batch, false, &frng);
+  EXPECT_EQ(out.logits.rows(), 3u);
+  ASSERT_EQ(model.last_coverage().size(), 3u);
+  for (double cov : model.last_coverage()) {
+    EXPECT_GT(cov, 0.0);
+    EXPECT_LE(cov, 0.5 * 0.5 + 0.3);  // two levels of 0.5 pooling (+ceil)
+  }
+}
+
+TEST(TopKGraphModelTest, RatioControlsCoverage) {
+  util::Rng rng(10);
+  graph::GraphBatch batch = SmallBatch(&rng);
+  auto coverage_at = [&](double ratio) {
+    util::Rng mrng(11);
+    TopKGraphConfig c;
+    c.in_dim = 5;
+    c.hidden_dim = 8;
+    c.num_classes = 2;
+    c.ratio = ratio;
+    c.num_levels = 1;
+    c.dropout = 0.0;
+    TopKGraphModel model(c, &mrng);
+    util::Rng frng(12);
+    model.Forward(batch, false, &frng);
+    double sum = 0;
+    for (double cov : model.last_coverage()) sum += cov;
+    return sum / 3.0;
+  };
+  EXPECT_LT(coverage_at(0.2), coverage_at(0.8));
+}
+
+TEST(SagPoolTest, FactoryBuildsWorkingModel) {
+  util::Rng rng(13);
+  graph::GraphBatch batch = SmallBatch(&rng);
+  auto model = MakeSagPoolModel(5, 8, 2, 0.5, &rng);
+  util::Rng frng(14);
+  auto out = model->Forward(batch, false, &frng);
+  EXPECT_EQ(out.logits.rows(), 3u);
+  EXPECT_TRUE(out.logits.value().AllFinite());
+}
+
+TEST(GraphUNetTest, NodeAndEmbeddingVariants) {
+  graph::Graph g = Ring(16, 4);
+  util::Rng rng(15);
+  GraphUNetConfig c;
+  c.in_dim = 4;
+  c.hidden_dim = 8;
+  c.num_classes = 2;
+  c.dropout = 0.0;
+  GraphUNetNodeModel node_model(c, &rng);
+  util::Rng frng(16);
+  auto out = node_model.Forward(g, false, &frng);
+  EXPECT_EQ(out.logits.rows(), 16u);
+  EXPECT_EQ(out.logits.cols(), 2u);
+
+  GraphUNetConfig ce = c;
+  ce.num_classes = 0;
+  GraphUNetEmbeddingModel emb_model(ce, &rng);
+  auto out2 = emb_model.Forward(g, false, &frng);
+  EXPECT_EQ(out2.embeddings.rows(), 16u);
+  EXPECT_EQ(out2.embeddings.cols(), 8u);
+}
+
+TEST(DiffPoolTest, ForwardShapes) {
+  util::Rng rng(17);
+  graph::GraphBatch batch = SmallBatch(&rng);
+  auto model = MakeDiffPoolModel(5, 8, 2, &rng);
+  util::Rng frng(18);
+  auto out = model->Forward(batch, false, &frng);
+  EXPECT_EQ(out.logits.rows(), 3u);
+  EXPECT_EQ(out.logits.cols(), 2u);
+  EXPECT_TRUE(out.logits.value().AllFinite());
+}
+
+TEST(StructPoolTest, CrfRefinementChangesOutput) {
+  util::Rng rng(19);
+  graph::GraphBatch batch = SmallBatch(&rng);
+  util::Rng r1(20), r2(20);
+  auto diff = MakeDiffPoolModel(5, 8, 2, &r1);
+  auto strukt = MakeStructPoolModel(5, 8, 2, &r2);
+  util::Rng f1(21), f2(21);
+  Matrix a = diff->Forward(batch, false, &f1).logits.value();
+  Matrix b = strukt->Forward(batch, false, &f2).logits.value();
+  // Same seeds, same skeleton — only the CRF iterations differ.
+  EXPECT_FALSE(tensor::AllClose(a, b, 1e-12));
+}
+
+TEST(SortPoolTest, HandlesGraphsSmallerThanK) {
+  util::Rng rng(22);
+  graph::GraphBatch batch = SmallBatch(&rng);
+  SortPoolConfig c;
+  c.in_dim = 5;
+  c.hidden_dim = 6;
+  c.num_classes = 2;
+  c.k = 32;  // larger than any member graph
+  c.dropout = 0.0;
+  SortPoolGraphModel model(c, &rng);
+  util::Rng frng(23);
+  auto out = model.Forward(batch, false, &frng);
+  EXPECT_EQ(out.logits.rows(), 3u);
+  EXPECT_TRUE(out.logits.value().AllFinite());
+}
+
+TEST(WlGnnTest, ForwardShapes) {
+  util::Rng rng(24);
+  graph::GraphBatch batch = SmallBatch(&rng);
+  WlGnnConfig c;
+  c.in_dim = 5;
+  c.hidden_dim = 8;
+  c.num_classes = 2;
+  c.dropout = 0.0;
+  WlGnnGraphModel model(c, &rng);
+  util::Rng frng(25);
+  auto out = model.Forward(batch, false, &frng);
+  EXPECT_EQ(out.logits.rows(), 3u);
+  EXPECT_TRUE(out.logits.value().AllFinite());
+}
+
+TEST(BaselinesTest, AllGraphModelsHaveParameters) {
+  util::Rng rng(26);
+  TopKGraphConfig tc;
+  tc.in_dim = 5;
+  tc.num_classes = 2;
+  EXPECT_FALSE(TopKGraphModel(tc, &rng).Parameters().empty());
+  EXPECT_FALSE(MakeDiffPoolModel(5, 8, 2, &rng)->Parameters().empty());
+  EXPECT_FALSE(MakeStructPoolModel(5, 8, 2, &rng)->Parameters().empty());
+  SortPoolConfig sc;
+  sc.in_dim = 5;
+  EXPECT_FALSE(SortPoolGraphModel(sc, &rng).Parameters().empty());
+  WlGnnConfig wc;
+  wc.in_dim = 5;
+  EXPECT_FALSE(WlGnnGraphModel(wc, &rng).Parameters().empty());
+}
+
+}  // namespace
+}  // namespace adamgnn::pool

@@ -1,0 +1,133 @@
+#include "core/ego_selection.h"
+
+#include <algorithm>
+
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace adamgnn::core {
+namespace {
+
+using tensor::Matrix;
+
+std::vector<std::vector<size_t>> PathAdj(size_t n) {
+  std::vector<std::vector<size_t>> adj(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    adj[i].push_back(i + 1);
+    adj[i + 1].push_back(i);
+  }
+  return adj;
+}
+
+TEST(SelectionTest, LocalMaximaSelected) {
+  auto adj = PathAdj(5);
+  EgoPairs pairs = EgoPairs::Build(adj, 1);
+  Matrix phi(5, 1, std::vector<double>{0.1, 0.9, 0.2, 0.8, 0.3});
+  Selection sel = SelectEgoNetworks(phi, adj, pairs);
+  EXPECT_EQ(sel.selected_egos, (std::vector<size_t>{1, 3}));
+}
+
+TEST(SelectionTest, ProposesAtLeastOneEgoOnConnectedGraph) {
+  // Proposition 1: with a strict tie-break there is always a selection.
+  auto adj = PathAdj(6);
+  EgoPairs pairs = EgoPairs::Build(adj, 1);
+  Matrix phi(6, 1, 0.5);  // all equal — tie-break by id must still select
+  Selection sel = SelectEgoNetworks(phi, adj, pairs);
+  EXPECT_FALSE(sel.selected_egos.empty());
+}
+
+TEST(SelectionTest, AdjacentEgosNeverBothSelected) {
+  util::Rng rng(1);
+  auto adj = PathAdj(20);
+  EgoPairs pairs = EgoPairs::Build(adj, 1);
+  Matrix phi(20, 1);
+  for (size_t i = 0; i < 20; ++i) phi(i, 0) = rng.NextDouble();
+  Selection sel = SelectEgoNetworks(phi, adj, pairs);
+  for (size_t a : sel.selected_egos) {
+    for (size_t b : sel.selected_egos) {
+      if (a == b) continue;
+      EXPECT_EQ(std::count(adj[a].begin(), adj[a].end(), b), 0);
+    }
+  }
+}
+
+TEST(SelectionTest, CoverageIncludesEgoAndMembers) {
+  auto adj = PathAdj(5);
+  EgoPairs pairs = EgoPairs::Build(adj, 1);
+  Matrix phi(5, 1, std::vector<double>{0.1, 0.9, 0.2, 0.1, 0.05});
+  Selection sel = SelectEgoNetworks(phi, adj, pairs);
+  ASSERT_EQ(sel.selected_egos, (std::vector<size_t>{1}));
+  EXPECT_TRUE(sel.covered[0]);
+  EXPECT_TRUE(sel.covered[1]);
+  EXPECT_TRUE(sel.covered[2]);
+  EXPECT_FALSE(sel.covered[3]);
+  EXPECT_FALSE(sel.covered[4]);
+  EXPECT_EQ(sel.retained_nodes, (std::vector<size_t>{3, 4}));
+  EXPECT_EQ(sel.num_hyper_nodes(), 3u);
+}
+
+TEST(SelectionTest, IsolatedNodesNeverSelectedButRetained) {
+  std::vector<std::vector<size_t>> adj(3);
+  adj[0].push_back(1);
+  adj[1].push_back(0);
+  // node 2 isolated
+  EgoPairs pairs = EgoPairs::Build(adj, 1);
+  Matrix phi(3, 1, std::vector<double>{0.9, 0.1, 1.0});
+  Selection sel = SelectEgoNetworks(phi, adj, pairs);
+  EXPECT_EQ(sel.selected_egos, (std::vector<size_t>{0}));
+  EXPECT_EQ(sel.retained_nodes, (std::vector<size_t>{2}));
+}
+
+TEST(SelectionTest, PoolingAlwaysCompresses) {
+  // Selected egos absorb at least one neighbor, so the hyper graph is
+  // strictly smaller on any graph with an edge.
+  util::Rng rng(2);
+  for (uint64_t seed = 0; seed < 10; ++seed) {
+    graph::Graph g = adamgnn::testing::Ring(15, 3, seed);
+    auto adj = AdjacencyLists(g);
+    EgoPairs pairs = EgoPairs::Build(adj, 1);
+    Matrix phi(15, 1);
+    for (size_t i = 0; i < 15; ++i) phi(i, 0) = rng.NextDouble();
+    Selection sel = SelectEgoNetworks(phi, adj, pairs);
+    EXPECT_LT(sel.num_hyper_nodes(), 15u);
+    EXPECT_FALSE(sel.selected_egos.empty());
+  }
+}
+
+TEST(SelectionTest, LambdaTwoCoversMore) {
+  auto adj = PathAdj(7);
+  Matrix phi(7, 1, std::vector<double>{0.0, 0.0, 0.0, 1.0, 0.0, 0.0, 0.0});
+  EgoPairs pairs1 = EgoPairs::Build(adj, 1);
+  EgoPairs pairs2 = EgoPairs::Build(adj, 2);
+  Selection sel1 = SelectEgoNetworks(phi, adj, pairs1);
+  Selection sel2 = SelectEgoNetworks(phi, adj, pairs2);
+  size_t cov1 = 0, cov2 = 0;
+  for (bool c : sel1.covered) cov1 += c ? 1 : 0;
+  for (bool c : sel2.covered) cov2 += c ? 1 : 0;
+  EXPECT_GT(cov2, cov1);
+}
+
+class SelectionPropertySweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SelectionPropertySweep, PartitionInvariant) {
+  // covered ∪ retained = all nodes; covered ∩ retained = ∅.
+  util::Rng rng(GetParam());
+  graph::Graph g = adamgnn::testing::Ring(24, 3, GetParam());
+  auto adj = AdjacencyLists(g);
+  EgoPairs pairs = EgoPairs::Build(adj, 1);
+  Matrix phi(24, 1);
+  for (size_t i = 0; i < 24; ++i) phi(i, 0) = rng.NextDouble();
+  Selection sel = SelectEgoNetworks(phi, adj, pairs);
+  std::vector<bool> retained(24, false);
+  for (size_t r : sel.retained_nodes) retained[r] = true;
+  for (size_t v = 0; v < 24; ++v) {
+    EXPECT_NE(sel.covered[v], retained[v]) << "node " << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SelectionPropertySweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7));
+
+}  // namespace
+}  // namespace adamgnn::core

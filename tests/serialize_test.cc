@@ -1,0 +1,141 @@
+#include "nn/serialize.h"
+
+#include <cstdio>
+#include <string>
+
+#include "core/adamgnn_model.h"
+#include "gtest/gtest.h"
+#include "nn/linear.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace adamgnn::nn {
+namespace {
+
+using autograd::Variable;
+using tensor::Matrix;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(SerializeTest, RoundTripPreservesValues) {
+  util::Rng rng(1);
+  Linear a(4, 3, true, &rng);
+  const std::string path = TempPath("roundtrip.ckpt");
+  ASSERT_TRUE(SaveParameters(a.Parameters(), path).ok());
+
+  util::Rng rng2(99);  // different init
+  Linear b(4, 3, true, &rng2);
+  auto params_b = b.Parameters();
+  EXPECT_FALSE(tensor::AllClose(a.Parameters()[0].value(),
+                                params_b[0].value(), 1e-12));
+  ASSERT_TRUE(LoadParameters(path, &params_b).ok());
+  for (size_t i = 0; i < params_b.size(); ++i) {
+    EXPECT_TRUE(tensor::AllClose(a.Parameters()[i].value(),
+                                 params_b[i].value(), 0.0));
+  }
+}
+
+TEST(SerializeTest, LoadedModelProducesIdenticalOutputs) {
+  graph::Graph g = adamgnn::testing::TwoTriangles();
+  core::AdamGnnConfig c;
+  c.in_dim = 4;
+  c.hidden_dim = 8;
+  c.num_classes = 2;
+  c.num_levels = 2;
+  c.dropout = 0.0;
+  util::Rng r1(7), r2(8);
+  core::AdamGnn trained(c, &r1);
+  core::AdamGnn restored(c, &r2);
+
+  const std::string path = TempPath("model.ckpt");
+  ASSERT_TRUE(SaveParameters(trained.Parameters(), path).ok());
+  auto params = restored.Parameters();
+  ASSERT_TRUE(LoadParameters(path, &params).ok());
+
+  util::Rng f1(1), f2(1);
+  Matrix a = trained.Forward(g, false, &f1).logits.value();
+  Matrix b = restored.Forward(g, false, &f2).logits.value();
+  EXPECT_TRUE(tensor::AllClose(a, b, 1e-12));
+}
+
+TEST(SerializeTest, RejectsCountMismatch) {
+  util::Rng rng(2);
+  Linear a(4, 3, true, &rng);   // 2 tensors
+  Linear b(4, 3, false, &rng);  // 1 tensor
+  const std::string path = TempPath("count.ckpt");
+  ASSERT_TRUE(SaveParameters(a.Parameters(), path).ok());
+  auto params = b.Parameters();
+  util::Status s = LoadParameters(path, &params);
+  EXPECT_EQ(s.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(SerializeTest, RejectsShapeMismatch) {
+  util::Rng rng(3);
+  Linear a(4, 3, false, &rng);
+  Linear b(3, 4, false, &rng);
+  const std::string path = TempPath("shape.ckpt");
+  ASSERT_TRUE(SaveParameters(a.Parameters(), path).ok());
+  auto params = b.Parameters();
+  util::Status s = LoadParameters(path, &params);
+  EXPECT_EQ(s.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(s.message().find("shape mismatch"), std::string::npos);
+}
+
+TEST(SerializeTest, RejectsGarbageFile) {
+  const std::string path = TempPath("garbage.ckpt");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a checkpoint", f);
+  std::fclose(f);
+  util::Rng rng(4);
+  Linear a(2, 2, false, &rng);
+  auto params = a.Parameters();
+  EXPECT_FALSE(LoadParameters(path, &params).ok());
+}
+
+TEST(SerializeTest, MissingFileIsNotFound) {
+  util::Rng rng(5);
+  Linear a(2, 2, false, &rng);
+  auto params = a.Parameters();
+  EXPECT_EQ(LoadParameters(TempPath("nope.ckpt"), &params).code(),
+            util::StatusCode::kNotFound);
+}
+
+TEST(SerializeTest, TruncatedFileRejected) {
+  util::Rng rng(6);
+  Linear a(8, 8, true, &rng);
+  const std::string path = TempPath("trunc.ckpt");
+  ASSERT_TRUE(SaveParameters(a.Parameters(), path).ok());
+  // Chop the file in half.
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  std::fseek(f, 0, SEEK_END);
+  const long size = std::ftell(f);
+  std::fclose(f);
+  ASSERT_EQ(truncate(path.c_str(), size / 2), 0);
+  auto params = a.Parameters();
+  EXPECT_FALSE(LoadParameters(path, &params).ok());
+}
+
+TEST(ParameterSnapshotTest, RestoreRollsBack) {
+  Variable p = Variable::Parameter(Matrix(2, 2, 1.0));
+  ParameterSnapshot snapshot({p});
+  p.mutable_value().Fill(9.0);
+  snapshot.Restore();
+  EXPECT_DOUBLE_EQ(p.value()(0, 0), 1.0);
+}
+
+TEST(ParameterSnapshotTest, CaptureUpdates) {
+  Variable p = Variable::Parameter(Matrix(2, 2, 1.0));
+  ParameterSnapshot snapshot({p});
+  p.mutable_value().Fill(5.0);
+  snapshot.Capture();
+  p.mutable_value().Fill(7.0);
+  snapshot.Restore();
+  EXPECT_DOUBLE_EQ(p.value()(1, 1), 5.0);
+}
+
+}  // namespace
+}  // namespace adamgnn::nn

@@ -1,0 +1,179 @@
+#include "graph/sparse_matrix.h"
+
+#include <cmath>
+
+#include "graph/builder.h"
+#include "tensor/kernels.h"
+#include "gtest/gtest.h"
+#include "util/random.h"
+
+namespace adamgnn::graph {
+namespace {
+
+using tensor::AllClose;
+using tensor::Matrix;
+
+SparseMatrix Small() {
+  // [[0,2,0],[1,0,0],[0,0,3]]
+  return SparseMatrix::FromTriplets(
+      3, 3, {{0, 1, 2.0}, {1, 0, 1.0}, {2, 2, 3.0}});
+}
+
+TEST(SparseMatrixTest, FromTripletsCoalescesDuplicates) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 2, {{0, 0, 1.0}, {0, 0, 2.0}, {1, 1, -1.0}, {1, 1, 1.0}});
+  EXPECT_EQ(m.nnz(), 1u);  // the (1,1) pair cancels to exact zero
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 3.0);
+  EXPECT_DOUBLE_EQ(m.At(1, 1), 0.0);
+}
+
+TEST(SparseMatrixTest, AtReadsStructuralZeros) {
+  SparseMatrix m = Small();
+  EXPECT_DOUBLE_EQ(m.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(m.At(0, 0), 0.0);
+  EXPECT_DOUBLE_EQ(m.At(2, 2), 3.0);
+}
+
+TEST(SparseMatrixTest, ToDenseRoundTrip) {
+  Matrix d = Small().ToDense();
+  EXPECT_DOUBLE_EQ(d(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(d(1, 0), 1.0);
+  EXPECT_DOUBLE_EQ(d(2, 2), 3.0);
+  EXPECT_DOUBLE_EQ(d(0, 0), 0.0);
+}
+
+TEST(SparseMatrixTest, MultiplyDenseMatchesDense) {
+  util::Rng rng(5);
+  Matrix x = Matrix::Gaussian(3, 4, 1.0, &rng);
+  Matrix expect = tensor::MatMul(Small().ToDense(), x);
+  EXPECT_TRUE(AllClose(Small().MultiplyDense(x), expect, 1e-12));
+}
+
+TEST(SparseMatrixTest, TransposeMultiplyDenseMatchesDense) {
+  util::Rng rng(6);
+  Matrix x = Matrix::Gaussian(3, 4, 1.0, &rng);
+  Matrix expect = tensor::MatMul(Small().ToDense().Transposed(), x);
+  EXPECT_TRUE(AllClose(Small().TransposeMultiplyDense(x), expect, 1e-12));
+}
+
+TEST(SparseMatrixTest, TransposedMatchesDense) {
+  EXPECT_TRUE(AllClose(Small().Transposed().ToDense(),
+                       Small().ToDense().Transposed(), 0.0));
+}
+
+TEST(SparseMatrixTest, SparseSparseMultiplyMatchesDense) {
+  util::Rng rng(7);
+  std::vector<Triplet> ta, tb;
+  for (int i = 0; i < 20; ++i) {
+    ta.push_back({rng.NextUint64(5), rng.NextUint64(6),
+                  rng.NextGaussian()});
+    tb.push_back({rng.NextUint64(6), rng.NextUint64(4),
+                  rng.NextGaussian()});
+  }
+  SparseMatrix a = SparseMatrix::FromTriplets(5, 6, ta);
+  SparseMatrix b = SparseMatrix::FromTriplets(6, 4, tb);
+  Matrix expect = tensor::MatMul(a.ToDense(), b.ToDense());
+  EXPECT_TRUE(AllClose(a.Multiply(b).ToDense(), expect, 1e-10));
+}
+
+TEST(SparseMatrixTest, IdentityBehaves) {
+  SparseMatrix id = SparseMatrix::Identity(3);
+  EXPECT_EQ(id.nnz(), 3u);
+  EXPECT_TRUE(AllClose(id.Multiply(Small()).ToDense(), Small().ToDense(),
+                       1e-12));
+}
+
+TEST(SparseMatrixTest, RowNormalizedRowsSumToOne) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0}, {0, 2, 3.0}, {1, 1, 5.0}});
+  SparseMatrix r = m.RowNormalized();
+  EXPECT_DOUBLE_EQ(r.At(0, 0), 0.25);
+  EXPECT_DOUBLE_EQ(r.At(0, 2), 0.75);
+  EXPECT_DOUBLE_EQ(r.At(1, 1), 1.0);
+}
+
+TEST(SparseMatrixTest, AdjacencyFromGraph) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1, 2.0).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  Graph g = std::move(b).Build().ValueOrDie();
+  SparseMatrix a = SparseMatrix::Adjacency(g);
+  EXPECT_EQ(a.nnz(), 4u);
+  EXPECT_DOUBLE_EQ(a.At(0, 1), 2.0);
+  EXPECT_DOUBLE_EQ(a.At(1, 0), 2.0);
+  EXPECT_DOUBLE_EQ(a.At(0, 2), 0.0);
+}
+
+TEST(SparseMatrixTest, NormalizedAdjacencyRowSumProperties) {
+  // For a path of 3 nodes: Â = D^{-1/2}(A+I)D^{-1/2}; symmetric with ones
+  // on the spectrum boundary. Spot-check symmetry and self-loop entries.
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(1, 2).CheckOK();
+  Graph g = std::move(b).Build().ValueOrDie();
+  SparseMatrix norm = SparseMatrix::NormalizedAdjacency(g);
+  Matrix d = norm.ToDense();
+  for (size_t i = 0; i < 3; ++i) {
+    for (size_t j = 0; j < 3; ++j) {
+      EXPECT_NEAR(d(i, j), d(j, i), 1e-12);
+    }
+  }
+  // deg+1: node0 -> 2, node1 -> 3.
+  EXPECT_NEAR(d(0, 0), 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(d(1, 1), 1.0 / 3.0, 1e-12);
+  EXPECT_NEAR(d(0, 1), 1.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(SparseMatrixTest, NormalizedMergesExistingDiagonal) {
+  SparseMatrix m =
+      SparseMatrix::FromTriplets(2, 2, {{0, 0, 1.0}, {0, 1, 1.0},
+                                        {1, 0, 1.0}});
+  SparseMatrix norm = m.Normalized();
+  // Row 0 of A+I: diag 2, off 1 -> degree 3; row 1: off 1, diag 1 -> 2.
+  EXPECT_NEAR(norm.At(0, 0), 2.0 / 3.0, 1e-12);
+  EXPECT_NEAR(norm.At(1, 1), 1.0 / 2.0, 1e-12);
+  EXPECT_NEAR(norm.At(0, 1), 1.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(SparseMatrixTest, EmptyMatrixOperations) {
+  SparseMatrix m = SparseMatrix::FromTriplets(3, 3, {});
+  EXPECT_EQ(m.nnz(), 0u);
+  Matrix x = Matrix::Ones(3, 2);
+  EXPECT_TRUE(AllClose(m.MultiplyDense(x), Matrix(3, 2), 0.0));
+}
+
+class SparseRandomSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(SparseRandomSweep, TransposeTwiceIsIdentity) {
+  util::Rng rng(GetParam());
+  std::vector<Triplet> t;
+  for (int i = 0; i < 30; ++i) {
+    t.push_back({rng.NextUint64(7), rng.NextUint64(9), rng.NextGaussian()});
+  }
+  SparseMatrix a = SparseMatrix::FromTriplets(7, 9, t);
+  EXPECT_TRUE(
+      AllClose(a.Transposed().Transposed().ToDense(), a.ToDense(), 0.0));
+}
+
+TEST_P(SparseRandomSweep, MultiplyAssociativity) {
+  util::Rng rng(GetParam() * 31 + 7);
+  auto random_sparse = [&rng](size_t r, size_t c) {
+    std::vector<Triplet> t;
+    for (int i = 0; i < 15; ++i) {
+      t.push_back({rng.NextUint64(r), rng.NextUint64(c),
+                   rng.NextGaussian()});
+    }
+    return SparseMatrix::FromTriplets(r, c, t);
+  };
+  SparseMatrix a = random_sparse(4, 5);
+  SparseMatrix b = random_sparse(5, 6);
+  SparseMatrix c = random_sparse(6, 3);
+  EXPECT_TRUE(AllClose(a.Multiply(b).Multiply(c).ToDense(),
+                       a.Multiply(b.Multiply(c)).ToDense(), 1e-9));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SparseRandomSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 6));
+
+}  // namespace
+}  // namespace adamgnn::graph

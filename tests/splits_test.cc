@@ -1,0 +1,124 @@
+#include "data/splits.h"
+
+#include <algorithm>
+#include <set>
+
+#include "data/node_datasets.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+#include "util/random.h"
+
+namespace adamgnn::data {
+namespace {
+
+TEST(SplitIndicesTest, PartitionsWithoutOverlap) {
+  util::Rng rng(1);
+  IndexSplit s = SplitIndices(100, 0.8, 0.1, &rng).ValueOrDie();
+  EXPECT_EQ(s.train.size() + s.val.size() + s.test.size(), 100u);
+  std::set<size_t> all;
+  for (auto v : s.train) all.insert(v);
+  for (auto v : s.val) all.insert(v);
+  for (auto v : s.test) all.insert(v);
+  EXPECT_EQ(all.size(), 100u);
+  EXPECT_EQ(s.train.size(), 80u);
+  EXPECT_EQ(s.val.size(), 10u);
+}
+
+TEST(SplitIndicesTest, RejectsDegenerateFractions) {
+  util::Rng rng(2);
+  EXPECT_FALSE(SplitIndices(10, 0.0, 0.1, &rng).ok());
+  EXPECT_FALSE(SplitIndices(10, 0.9, 0.2, &rng).ok());
+  EXPECT_FALSE(SplitIndices(0, 0.8, 0.1, &rng).ok());
+}
+
+TEST(SplitIndicesTest, SmallNStillHasAllThreeParts) {
+  util::Rng rng(3);
+  IndexSplit s = SplitIndices(5, 0.5, 0.2, &rng).ValueOrDie();
+  EXPECT_FALSE(s.train.empty());
+  EXPECT_FALSE(s.val.empty());
+  EXPECT_FALSE(s.test.empty());
+}
+
+TEST(SplitIndicesTest, DeterministicInRngState) {
+  util::Rng r1(9), r2(9);
+  IndexSplit a = SplitIndices(50, 0.8, 0.1, &r1).ValueOrDie();
+  IndexSplit b = SplitIndices(50, 0.8, 0.1, &r2).ValueOrDie();
+  EXPECT_EQ(a.train, b.train);
+  EXPECT_EQ(a.test, b.test);
+}
+
+TEST(LinkSplitTest, SplitsEdgesAndSamplesNegatives) {
+  graph::Graph g = testing::Ring(40, 4);
+  util::Rng rng(4);
+  LinkSplit split = MakeLinkSplit(g, 0.1, 0.1, &rng).ValueOrDie();
+  EXPECT_EQ(split.train_pos.size() + split.val_pos.size() +
+                split.test_pos.size(),
+            g.num_edges());
+  EXPECT_EQ(split.train_neg.size(), split.train_pos.size());
+  EXPECT_EQ(split.val_neg.size(), split.val_pos.size());
+  EXPECT_EQ(split.test_neg.size(), split.test_pos.size());
+}
+
+TEST(LinkSplitTest, TrainGraphExcludesHeldOutEdges) {
+  graph::Graph g = testing::Ring(40, 4);
+  util::Rng rng(5);
+  LinkSplit split = MakeLinkSplit(g, 0.15, 0.15, &rng).ValueOrDie();
+  EXPECT_EQ(split.train_graph.num_edges(), split.train_pos.size());
+  for (const auto& [u, v] : split.val_pos) {
+    EXPECT_FALSE(split.train_graph.HasEdge(static_cast<graph::NodeId>(u),
+                                           static_cast<graph::NodeId>(v)));
+    EXPECT_TRUE(g.HasEdge(static_cast<graph::NodeId>(u),
+                          static_cast<graph::NodeId>(v)));
+  }
+}
+
+TEST(LinkSplitTest, NegativesAreNonEdgesOfOriginal) {
+  graph::Graph g = testing::Ring(30, 4);
+  util::Rng rng(6);
+  LinkSplit split = MakeLinkSplit(g, 0.1, 0.1, &rng).ValueOrDie();
+  auto check = [&g](const std::vector<std::pair<size_t, size_t>>& pairs) {
+    for (const auto& [u, v] : pairs) {
+      EXPECT_FALSE(g.HasEdge(static_cast<graph::NodeId>(u),
+                             static_cast<graph::NodeId>(v)));
+      EXPECT_NE(u, v);
+    }
+  };
+  check(split.train_neg);
+  check(split.val_neg);
+  check(split.test_neg);
+}
+
+TEST(LinkSplitTest, NegativesDisjointAcrossSplits) {
+  graph::Graph g = testing::Ring(30, 4);
+  util::Rng rng(7);
+  LinkSplit split = MakeLinkSplit(g, 0.1, 0.1, &rng).ValueOrDie();
+  std::set<std::pair<size_t, size_t>> seen;
+  for (const auto& p : split.train_neg) EXPECT_TRUE(seen.insert(p).second);
+  for (const auto& p : split.val_neg) EXPECT_TRUE(seen.insert(p).second);
+  for (const auto& p : split.test_neg) EXPECT_TRUE(seen.insert(p).second);
+}
+
+TEST(LinkSplitTest, FeaturesAndLabelsCarryOver) {
+  NodeDataset d = MakeNodeDataset(NodeDatasetId::kCora, 1, 0.08).ValueOrDie();
+  util::Rng rng(8);
+  LinkSplit split = MakeLinkSplit(d.graph, 0.1, 0.1, &rng).ValueOrDie();
+  EXPECT_TRUE(split.train_graph.has_features());
+  EXPECT_TRUE(split.train_graph.has_labels());
+  EXPECT_EQ(split.train_graph.feature_dim(), d.graph.feature_dim());
+}
+
+TEST(LinkSplitTest, RejectsTinyGraphs) {
+  graph::Graph g = testing::Ring(5, 2);
+  util::Rng rng(9);
+  EXPECT_FALSE(MakeLinkSplit(g, 0.1, 0.1, &rng).ok());
+}
+
+TEST(LinkSplitTest, RejectsBadFractions) {
+  graph::Graph g = testing::Ring(30, 4);
+  util::Rng rng(10);
+  EXPECT_FALSE(MakeLinkSplit(g, 0.0, 0.1, &rng).ok());
+  EXPECT_FALSE(MakeLinkSplit(g, 0.6, 0.5, &rng).ok());
+}
+
+}  // namespace
+}  // namespace adamgnn::data

@@ -1,0 +1,94 @@
+#include "util/status.h"
+
+#include <string>
+
+#include "gtest/gtest.h"
+
+namespace adamgnn::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryConstructorsCarryCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad dim");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.message(), "bad dim");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad dim");
+}
+
+TEST(StatusTest, AllCodesHaveDistinctNames) {
+  const StatusCode codes[] = {
+      StatusCode::kOk,            StatusCode::kInvalidArgument,
+      StatusCode::kOutOfRange,    StatusCode::kNotFound,
+      StatusCode::kAlreadyExists, StatusCode::kFailedPrecondition,
+      StatusCode::kNotImplemented, StatusCode::kInternal,
+  };
+  for (size_t i = 0; i < std::size(codes); ++i) {
+    for (size_t j = i + 1; j < std::size(codes); ++j) {
+      EXPECT_STRNE(StatusCodeToString(codes[i]),
+                   StatusCodeToString(codes[j]));
+    }
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::NotFound("nope");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, ValueOrReturnsValueWhenOk) {
+  Result<std::string> r = std::string("x");
+  EXPECT_EQ(r.ValueOr("y"), "x");
+}
+
+TEST(ResultTest, OkStatusNormalizedToInternalError) {
+  Result<int> r = Status::OK();  // invalid use; must not become a value
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r = std::string("payload");
+  std::string v = std::move(r).ValueOrDie();
+  EXPECT_EQ(v, "payload");
+}
+
+Status FailsThenPropagates() {
+  ADAMGNN_RETURN_NOT_OK(Status::OutOfRange("deep"));
+  return Status::OK();
+}
+
+TEST(StatusMacrosTest, ReturnNotOkPropagates) {
+  Status s = FailsThenPropagates();
+  EXPECT_EQ(s.code(), StatusCode::kOutOfRange);
+}
+
+Result<int> AssignOrReturnUser(Result<int> in) {
+  ADAMGNN_ASSIGN_OR_RETURN(int v, in);
+  ADAMGNN_ASSIGN_OR_RETURN(int w, Result<int>(v + 1));
+  return w;
+}
+
+TEST(StatusMacrosTest, AssignOrReturnUnwrapsAndPropagates) {
+  EXPECT_EQ(AssignOrReturnUser(5).ValueOrDie(), 6);
+  EXPECT_EQ(AssignOrReturnUser(Status::Internal("x")).status().code(),
+            StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace adamgnn::util

@@ -1,0 +1,78 @@
+// Shared test helpers: finite-difference gradient checking and small graph
+// fixtures.
+
+#ifndef ADAMGNN_TESTS_TEST_UTIL_H_
+#define ADAMGNN_TESTS_TEST_UTIL_H_
+
+#include <cmath>
+#include <functional>
+
+#include "autograd/variable.h"
+#include "graph/builder.h"
+#include "graph/graph.h"
+#include "gtest/gtest.h"
+#include "tensor/matrix.h"
+#include "util/random.h"
+
+namespace adamgnn::testing {
+
+/// Verifies the analytic gradient of `loss_fn` (a scalar-valued forward pass
+/// that reads `param`'s current value) against central finite differences,
+/// entry by entry. `loss_fn` must rebuild its graph on every call.
+inline void ExpectGradientsMatch(
+    autograd::Variable param,
+    const std::function<autograd::Variable()>& loss_fn, double eps = 1e-5,
+    double tol = 1e-6) {
+  autograd::Variable loss = loss_fn();
+  autograd::Backward(loss);
+  tensor::Matrix analytic = param.grad();
+
+  tensor::Matrix& value = param.mutable_value();
+  for (size_t i = 0; i < value.size(); ++i) {
+    const double original = value.data()[i];
+    value.data()[i] = original + eps;
+    const double up = loss_fn().value()(0, 0);
+    value.data()[i] = original - eps;
+    const double down = loss_fn().value()(0, 0);
+    value.data()[i] = original;
+    const double numeric = (up - down) / (2.0 * eps);
+    EXPECT_NEAR(analytic.data()[i], numeric,
+                tol + 1e-4 * std::fabs(numeric))
+        << "gradient mismatch at flat index " << i;
+  }
+}
+
+/// A small fixed graph: two triangles bridged by one edge (6 nodes), with
+/// 4-dim features and binary labels by triangle.
+inline graph::Graph TwoTriangles() {
+  graph::GraphBuilder builder(6);
+  const std::pair<int, int> edges[] = {{0, 1}, {1, 2}, {0, 2},
+                                       {3, 4}, {4, 5}, {3, 5}, {2, 3}};
+  for (auto [u, v] : edges) builder.AddEdge(u, v).CheckOK();
+  util::Rng rng(7);
+  builder.SetFeatures(tensor::Matrix::Gaussian(6, 4, 1.0, &rng)).CheckOK();
+  builder.SetLabels({0, 0, 0, 1, 1, 1}).CheckOK();
+  return std::move(builder).Build().ValueOrDie();
+}
+
+/// A connected ring of n nodes with f-dim Gaussian features and alternating
+/// labels; handy for parameterized sweeps.
+inline graph::Graph Ring(size_t n, size_t f, uint64_t seed = 11) {
+  graph::GraphBuilder builder(n);
+  for (size_t i = 0; i < n; ++i) {
+    builder
+        .AddEdge(static_cast<graph::NodeId>(i),
+                 static_cast<graph::NodeId>((i + 1) % n))
+        .CheckOK();
+  }
+  util::Rng rng(seed);
+  builder.SetFeatures(tensor::Matrix::Gaussian(n, f, 1.0, &rng)).CheckOK();
+  std::vector<int> labels(n);
+  for (size_t i = 0; i < n; ++i) labels[i] = static_cast<int>(i % 2);
+  builder.SetLabels(labels).CheckOK();
+  return std::move(builder).Build().ValueOrDie();
+}
+
+}  // namespace adamgnn::testing
+
+#endif  // ADAMGNN_TESTS_TEST_UTIL_H_

@@ -1,0 +1,157 @@
+// Behavioral tests of the training loops themselves: early stopping,
+// best-epoch bookkeeping, and timing fields — independent of model quality.
+
+#include <memory>
+
+#include "data/node_datasets.h"
+#include "data/splits.h"
+#include "gtest/gtest.h"
+#include "pool/flat_models.h"
+#include "test_util.h"
+#include "train/link_trainer.h"
+#include "train/node_trainer.h"
+#include "util/random.h"
+
+namespace adamgnn::train {
+namespace {
+
+struct Fixture {
+  data::NodeDataset dataset;
+  data::IndexSplit split;
+  data::LinkSplit link_split;
+
+  Fixture()
+      : dataset(data::MakeNodeDataset(data::NodeDatasetId::kCora, 5, 0.06)
+                    .ValueOrDie()) {
+    util::Rng rng(1);
+    split = data::SplitIndices(dataset.graph.num_nodes(), 0.8, 0.1, &rng)
+                .ValueOrDie();
+    link_split =
+        data::MakeLinkSplit(dataset.graph, 0.1, 0.1, &rng).ValueOrDie();
+  }
+
+  pool::FlatGnnConfig ModelConfig() const {
+    pool::FlatGnnConfig c;
+    c.in_dim = dataset.graph.feature_dim();
+    c.hidden_dim = 8;
+    c.num_classes = static_cast<size_t>(dataset.graph.num_classes());
+    return c;
+  }
+};
+
+TEST(NodeTrainerTest, RunsExactlyMaxEpochsWithoutEarlyStop) {
+  Fixture f;
+  util::Rng rng(2);
+  pool::FlatNodeModel model(f.ModelConfig(), &rng);
+  TrainConfig tc;
+  tc.max_epochs = 7;
+  tc.patience = 1000;  // never triggers
+  tc.seed = 2;
+  NodeTaskResult r =
+      TrainNodeClassifier(&model, f.dataset.graph, f.split, tc).ValueOrDie();
+  EXPECT_EQ(r.epochs_run, 7);
+  EXPECT_GE(r.best_epoch, 0);
+  EXPECT_LT(r.best_epoch, 7);
+  EXPECT_GT(r.avg_epoch_seconds, 0.0);
+}
+
+TEST(NodeTrainerTest, PatienceStopsEarly) {
+  Fixture f;
+  util::Rng rng(3);
+  pool::FlatNodeModel model(f.ModelConfig(), &rng);
+  TrainConfig tc;
+  tc.max_epochs = 500;
+  tc.patience = 3;
+  tc.learning_rate = 0.0;  // frozen model: val never improves after epoch 0
+  tc.seed = 3;
+  NodeTaskResult r =
+      TrainNodeClassifier(&model, f.dataset.graph, f.split, tc).ValueOrDie();
+  EXPECT_EQ(r.best_epoch, 0);
+  EXPECT_EQ(r.epochs_run, 4);  // epoch 0 improves, then 3 stale epochs
+}
+
+TEST(NodeTrainerTest, MetricsAreValidProbabilities) {
+  Fixture f;
+  util::Rng rng(4);
+  pool::FlatNodeModel model(f.ModelConfig(), &rng);
+  TrainConfig tc;
+  tc.max_epochs = 10;
+  tc.seed = 4;
+  NodeTaskResult r =
+      TrainNodeClassifier(&model, f.dataset.graph, f.split, tc).ValueOrDie();
+  for (double v : {r.train_accuracy, r.val_accuracy, r.test_accuracy}) {
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+}
+
+TEST(NodeTrainerTest, RejectsGraphWithoutLabels) {
+  util::Rng rng(5);
+  graph::GraphBuilder b(4);
+  b.AddEdge(0, 1).CheckOK();
+  b.SetFeatures(tensor::Matrix::Gaussian(4, 3, 1.0, &rng)).CheckOK();
+  graph::Graph unlabeled = std::move(b).Build().ValueOrDie();
+  pool::FlatGnnConfig c;
+  c.in_dim = 3;
+  c.num_classes = 2;
+  pool::FlatNodeModel model(c, &rng);
+  data::IndexSplit split;
+  split.train = {0, 1};
+  split.val = {2};
+  split.test = {3};
+  EXPECT_FALSE(
+      TrainNodeClassifier(&model, unlabeled, split, TrainConfig()).ok());
+}
+
+TEST(LinkTrainerTest, EpochAccountingAndBounds) {
+  Fixture f;
+  util::Rng rng(6);
+  pool::FlatGnnConfig c = f.ModelConfig();
+  c.num_classes = 0;
+  pool::FlatEmbeddingModel model(c, &rng);
+  TrainConfig tc;
+  tc.max_epochs = 6;
+  tc.patience = 1000;
+  tc.seed = 6;
+  LinkTaskResult r =
+      TrainLinkPredictor(&model, f.link_split, tc).ValueOrDie();
+  EXPECT_EQ(r.epochs_run, 6);
+  EXPECT_GE(r.val_auc, 0.0);
+  EXPECT_LE(r.val_auc, 1.0);
+  EXPECT_GE(r.test_auc, 0.0);
+  EXPECT_LE(r.test_auc, 1.0);
+}
+
+TEST(LinkTrainerTest, RejectsNullModelAndEmptySplit) {
+  Fixture f;
+  EXPECT_FALSE(TrainLinkPredictor(nullptr, f.link_split, TrainConfig()).ok());
+  util::Rng rng(7);
+  pool::FlatGnnConfig c = f.ModelConfig();
+  c.num_classes = 0;
+  pool::FlatEmbeddingModel model(c, &rng);
+  data::LinkSplit empty;
+  EXPECT_FALSE(TrainLinkPredictor(&model, empty, TrainConfig()).ok());
+}
+
+TEST(NodeTrainerTest, TrainingImprovesOverFrozenBaseline) {
+  Fixture f;
+  util::Rng r1(8), r2(8);
+  pool::FlatNodeModel trained(f.ModelConfig(), &r1);
+  pool::FlatNodeModel frozen(f.ModelConfig(), &r2);
+  TrainConfig tc;
+  tc.max_epochs = 40;
+  tc.patience = 40;
+  tc.seed = 8;
+  TrainConfig frozen_tc = tc;
+  frozen_tc.learning_rate = 0.0;
+  NodeTaskResult trained_r =
+      TrainNodeClassifier(&trained, f.dataset.graph, f.split, tc)
+          .ValueOrDie();
+  NodeTaskResult frozen_r =
+      TrainNodeClassifier(&frozen, f.dataset.graph, f.split, frozen_tc)
+          .ValueOrDie();
+  EXPECT_GT(trained_r.test_accuracy, frozen_r.test_accuracy);
+}
+
+}  // namespace
+}  // namespace adamgnn::train

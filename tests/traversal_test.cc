@@ -1,0 +1,134 @@
+#include "graph/traversal.h"
+
+#include <algorithm>
+
+#include "graph/builder.h"
+#include "gtest/gtest.h"
+#include "test_util.h"
+
+namespace adamgnn::graph {
+namespace {
+
+Graph Path(size_t n) {
+  GraphBuilder b(n);
+  for (size_t i = 0; i + 1 < n; ++i) {
+    b.AddEdge(static_cast<NodeId>(i), static_cast<NodeId>(i + 1)).CheckOK();
+  }
+  return std::move(b).Build().ValueOrDie();
+}
+
+TEST(TraversalTest, EgoNetworkOneHopIsNeighbors) {
+  Graph g = Path(5);
+  auto ego = EgoNetwork(g, 2, 1);
+  std::sort(ego.begin(), ego.end());
+  EXPECT_EQ(ego, (std::vector<NodeId>{1, 3}));
+}
+
+TEST(TraversalTest, EgoNetworkTwoHop) {
+  Graph g = Path(6);
+  auto ego = EgoNetwork(g, 2, 2);
+  std::sort(ego.begin(), ego.end());
+  EXPECT_EQ(ego, (std::vector<NodeId>{0, 1, 3, 4}));
+}
+
+TEST(TraversalTest, EgoNetworkExcludesEgo) {
+  Graph g = Path(4);
+  for (NodeId v = 0; v < 4; ++v) {
+    auto ego = EgoNetwork(g, v, 2);
+    EXPECT_EQ(std::count(ego.begin(), ego.end(), v), 0);
+  }
+}
+
+TEST(TraversalTest, EgoNetworkIsolatedNodeEmpty) {
+  GraphBuilder b(3);
+  b.AddEdge(0, 1).CheckOK();
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_TRUE(EgoNetwork(g, 2, 3).empty());
+}
+
+TEST(TraversalTest, AllEgoNetworksMatchSingleCalls) {
+  Graph g = testing::TwoTriangles();
+  auto all = AllEgoNetworks(g, 2);
+  ASSERT_EQ(all.size(), g.num_nodes());
+  for (NodeId v = 0; static_cast<size_t>(v) < g.num_nodes(); ++v) {
+    auto single = EgoNetwork(g, v, 2);
+    auto batch = all[static_cast<size_t>(v)];
+    std::sort(single.begin(), single.end());
+    std::sort(batch.begin(), batch.end());
+    EXPECT_EQ(single, batch) << "node " << v;
+  }
+}
+
+TEST(TraversalTest, BfsDistancesOnPath) {
+  Graph g = Path(5);
+  auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(TraversalTest, BfsUnreachableIsMinusOne) {
+  GraphBuilder b(4);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(2, 3).CheckOK();
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto d = BfsDistances(g, 0);
+  EXPECT_EQ(d[1], 1);
+  EXPECT_EQ(d[2], -1);
+  EXPECT_EQ(d[3], -1);
+}
+
+TEST(TraversalTest, ConnectedComponentsTwoIslands) {
+  GraphBuilder b(5);
+  b.AddEdge(0, 1).CheckOK();
+  b.AddEdge(3, 4).CheckOK();
+  Graph g = std::move(b).Build().ValueOrDie();
+  auto comp = ConnectedComponents(g);
+  EXPECT_EQ(comp[0], comp[1]);
+  EXPECT_EQ(comp[3], comp[4]);
+  EXPECT_NE(comp[0], comp[3]);
+  EXPECT_NE(comp[2], comp[0]);
+  EXPECT_EQ(NumConnectedComponents(g), 3);
+}
+
+TEST(TraversalTest, ConnectedGraphHasOneComponent) {
+  EXPECT_EQ(NumConnectedComponents(testing::TwoTriangles()), 1);
+}
+
+TEST(TraversalTest, EmptyGraphHasZeroComponents) {
+  GraphBuilder b(0);
+  Graph g = std::move(b).Build().ValueOrDie();
+  EXPECT_EQ(NumConnectedComponents(g), 0);
+}
+
+class EgoRadiusSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EgoRadiusSweep, EgoNetworksGrowMonotonicallyWithLambda) {
+  Graph g = testing::Ring(12, 3);
+  const int lambda = GetParam();
+  for (NodeId v = 0; static_cast<size_t>(v) < g.num_nodes(); ++v) {
+    auto smaller = EgoNetwork(g, v, lambda);
+    auto larger = EgoNetwork(g, v, lambda + 1);
+    EXPECT_GE(larger.size(), smaller.size());
+    for (NodeId u : smaller) {
+      EXPECT_NE(std::find(larger.begin(), larger.end(), u), larger.end());
+    }
+  }
+}
+
+TEST_P(EgoRadiusSweep, EgoNetworkMatchesBfsDistances) {
+  Graph g = testing::Ring(10, 3, 99);
+  const int lambda = GetParam();
+  auto dist = BfsDistances(g, 4);
+  auto ego = EgoNetwork(g, 4, lambda);
+  for (NodeId v = 0; static_cast<size_t>(v) < g.num_nodes(); ++v) {
+    const bool in_ego =
+        std::find(ego.begin(), ego.end(), v) != ego.end();
+    const bool should = v != 4 && dist[static_cast<size_t>(v)] >= 0 &&
+                        dist[static_cast<size_t>(v)] <= lambda;
+    EXPECT_EQ(in_ego, should) << "node " << v << " lambda " << lambda;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Lambdas, EgoRadiusSweep, ::testing::Values(1, 2, 3));
+
+}  // namespace
+}  // namespace adamgnn::graph

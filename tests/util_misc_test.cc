@@ -1,0 +1,84 @@
+#include <thread>
+
+#include "gtest/gtest.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+#include "util/string_util.h"
+
+namespace adamgnn::util {
+namespace {
+
+TEST(StringUtilTest, JoinBasicsAndEmpty) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,b,c", ','),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split(",x,", ','), (std::vector<std::string>{"", "x", ""}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(StringUtilTest, SplitJoinRoundTrip) {
+  const std::string original = "alpha|beta||gamma";
+  EXPECT_EQ(Join(Split(original, '|'), "|"), original);
+}
+
+TEST(StringUtilTest, FormatFloatPrecision) {
+  EXPECT_EQ(FormatFloat(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatFloat(3.14159, 4), "3.1416");
+  EXPECT_EQ(FormatFloat(-0.5, 1), "-0.5");
+  EXPECT_EQ(FormatFloat(2.0, 0), "2");
+}
+
+TEST(StringUtilTest, Padding) {
+  EXPECT_EQ(PadRight("ab", 5), "ab   ");
+  EXPECT_EQ(PadLeft("ab", 5), "   ab");
+  EXPECT_EQ(PadRight("abcdef", 3), "abc");  // truncates
+  EXPECT_EQ(PadLeft("abcdef", 3), "abc");
+  EXPECT_EQ(PadRight("abc", 3), "abc");
+}
+
+TEST(StopwatchTest, MeasuresElapsedTime) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double elapsed = watch.ElapsedMillis();
+  EXPECT_GE(elapsed, 15.0);
+  EXPECT_LT(elapsed, 2000.0);
+  EXPECT_NEAR(watch.ElapsedSeconds() * 1000.0, watch.ElapsedMillis(), 5.0);
+}
+
+TEST(StopwatchTest, RestartResets) {
+  Stopwatch watch;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  watch.Restart();
+  EXPECT_LT(watch.ElapsedMillis(), 15.0);
+}
+
+TEST(LoggingTest, LevelFilterRoundTrip) {
+  const LogLevel original = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_EQ(GetLogLevel(), LogLevel::kError);
+  // Below-threshold logging must be a no-op (no crash, no output check
+  // needed — the call itself exercising the filter path is the point).
+  ADAMGNN_LOG(Debug) << "suppressed";
+  ADAMGNN_LOG(Info) << "suppressed";
+  SetLogLevel(original);
+}
+
+TEST(LoggingTest, CheckMacrosPassOnTrue) {
+  ADAMGNN_CHECK(true) << "never shown";
+  ADAMGNN_CHECK_EQ(2 + 2, 4);
+  ADAMGNN_CHECK_LT(1, 2);
+  ADAMGNN_CHECK_GE(2, 2);
+}
+
+TEST(LoggingDeathTest, CheckAbortsOnFalse) {
+  EXPECT_DEATH(ADAMGNN_CHECK(false) << "boom", "Check failed");
+  EXPECT_DEATH(ADAMGNN_CHECK_EQ(1, 2), "Check failed");
+}
+
+}  // namespace
+}  // namespace adamgnn::util
