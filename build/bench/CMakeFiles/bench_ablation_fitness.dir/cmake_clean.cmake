@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_fitness.dir/bench_ablation_fitness.cc.o"
+  "CMakeFiles/bench_ablation_fitness.dir/bench_ablation_fitness.cc.o.d"
+  "bench_ablation_fitness"
+  "bench_ablation_fitness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_fitness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heterogeneous_network.dir/heterogeneous_network.cpp.o"
+  "CMakeFiles/heterogeneous_network.dir/heterogeneous_network.cpp.o.d"
+  "heterogeneous_network"
+  "heterogeneous_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heterogeneous_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

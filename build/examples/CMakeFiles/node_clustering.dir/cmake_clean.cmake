@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/node_clustering.dir/node_clustering.cpp.o"
+  "CMakeFiles/node_clustering.dir/node_clustering.cpp.o.d"
+  "node_clustering"
+  "node_clustering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/node_clustering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

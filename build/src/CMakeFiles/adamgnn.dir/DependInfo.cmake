@@ -1,0 +1,80 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/autograd/loss_ops.cc" "src/CMakeFiles/adamgnn.dir/autograd/loss_ops.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/autograd/loss_ops.cc.o.d"
+  "/root/repo/src/autograd/ops.cc" "src/CMakeFiles/adamgnn.dir/autograd/ops.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/autograd/ops.cc.o.d"
+  "/root/repo/src/autograd/segment_ops.cc" "src/CMakeFiles/adamgnn.dir/autograd/segment_ops.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/autograd/segment_ops.cc.o.d"
+  "/root/repo/src/autograd/sparse_ops.cc" "src/CMakeFiles/adamgnn.dir/autograd/sparse_ops.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/autograd/sparse_ops.cc.o.d"
+  "/root/repo/src/autograd/tape.cc" "src/CMakeFiles/adamgnn.dir/autograd/tape.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/autograd/tape.cc.o.d"
+  "/root/repo/src/autograd/variable.cc" "src/CMakeFiles/adamgnn.dir/autograd/variable.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/autograd/variable.cc.o.d"
+  "/root/repo/src/core/adamgnn_model.cc" "src/CMakeFiles/adamgnn.dir/core/adamgnn_model.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/core/adamgnn_model.cc.o.d"
+  "/root/repo/src/core/adapters.cc" "src/CMakeFiles/adamgnn.dir/core/adapters.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/core/adapters.cc.o.d"
+  "/root/repo/src/core/assignment.cc" "src/CMakeFiles/adamgnn.dir/core/assignment.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/core/assignment.cc.o.d"
+  "/root/repo/src/core/ego_selection.cc" "src/CMakeFiles/adamgnn.dir/core/ego_selection.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/core/ego_selection.cc.o.d"
+  "/root/repo/src/core/explain.cc" "src/CMakeFiles/adamgnn.dir/core/explain.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/core/explain.cc.o.d"
+  "/root/repo/src/core/fitness.cc" "src/CMakeFiles/adamgnn.dir/core/fitness.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/core/fitness.cc.o.d"
+  "/root/repo/src/core/flyback.cc" "src/CMakeFiles/adamgnn.dir/core/flyback.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/core/flyback.cc.o.d"
+  "/root/repo/src/core/hetero.cc" "src/CMakeFiles/adamgnn.dir/core/hetero.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/core/hetero.cc.o.d"
+  "/root/repo/src/core/hyper_features.cc" "src/CMakeFiles/adamgnn.dir/core/hyper_features.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/core/hyper_features.cc.o.d"
+  "/root/repo/src/core/losses.cc" "src/CMakeFiles/adamgnn.dir/core/losses.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/core/losses.cc.o.d"
+  "/root/repo/src/core/unpooling.cc" "src/CMakeFiles/adamgnn.dir/core/unpooling.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/core/unpooling.cc.o.d"
+  "/root/repo/src/data/features.cc" "src/CMakeFiles/adamgnn.dir/data/features.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/data/features.cc.o.d"
+  "/root/repo/src/data/graph_datasets.cc" "src/CMakeFiles/adamgnn.dir/data/graph_datasets.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/data/graph_datasets.cc.o.d"
+  "/root/repo/src/data/hetero.cc" "src/CMakeFiles/adamgnn.dir/data/hetero.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/data/hetero.cc.o.d"
+  "/root/repo/src/data/node_datasets.cc" "src/CMakeFiles/adamgnn.dir/data/node_datasets.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/data/node_datasets.cc.o.d"
+  "/root/repo/src/data/sbm.cc" "src/CMakeFiles/adamgnn.dir/data/sbm.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/data/sbm.cc.o.d"
+  "/root/repo/src/data/splits.cc" "src/CMakeFiles/adamgnn.dir/data/splits.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/data/splits.cc.o.d"
+  "/root/repo/src/graph/batch.cc" "src/CMakeFiles/adamgnn.dir/graph/batch.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/graph/batch.cc.o.d"
+  "/root/repo/src/graph/builder.cc" "src/CMakeFiles/adamgnn.dir/graph/builder.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/graph/builder.cc.o.d"
+  "/root/repo/src/graph/generators.cc" "src/CMakeFiles/adamgnn.dir/graph/generators.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/graph/generators.cc.o.d"
+  "/root/repo/src/graph/graph.cc" "src/CMakeFiles/adamgnn.dir/graph/graph.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/graph/graph.cc.o.d"
+  "/root/repo/src/graph/io.cc" "src/CMakeFiles/adamgnn.dir/graph/io.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/graph/io.cc.o.d"
+  "/root/repo/src/graph/sparse_matrix.cc" "src/CMakeFiles/adamgnn.dir/graph/sparse_matrix.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/graph/sparse_matrix.cc.o.d"
+  "/root/repo/src/graph/traversal.cc" "src/CMakeFiles/adamgnn.dir/graph/traversal.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/graph/traversal.cc.o.d"
+  "/root/repo/src/nn/dropout.cc" "src/CMakeFiles/adamgnn.dir/nn/dropout.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/nn/dropout.cc.o.d"
+  "/root/repo/src/nn/gat_conv.cc" "src/CMakeFiles/adamgnn.dir/nn/gat_conv.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/nn/gat_conv.cc.o.d"
+  "/root/repo/src/nn/gcn_conv.cc" "src/CMakeFiles/adamgnn.dir/nn/gcn_conv.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/nn/gcn_conv.cc.o.d"
+  "/root/repo/src/nn/gin_conv.cc" "src/CMakeFiles/adamgnn.dir/nn/gin_conv.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/nn/gin_conv.cc.o.d"
+  "/root/repo/src/nn/init.cc" "src/CMakeFiles/adamgnn.dir/nn/init.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/nn/init.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/CMakeFiles/adamgnn.dir/nn/linear.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/nn/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/CMakeFiles/adamgnn.dir/nn/module.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/nn/module.cc.o.d"
+  "/root/repo/src/nn/optimizer.cc" "src/CMakeFiles/adamgnn.dir/nn/optimizer.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/nn/optimizer.cc.o.d"
+  "/root/repo/src/nn/sage_conv.cc" "src/CMakeFiles/adamgnn.dir/nn/sage_conv.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/nn/sage_conv.cc.o.d"
+  "/root/repo/src/nn/serialize.cc" "src/CMakeFiles/adamgnn.dir/nn/serialize.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/nn/serialize.cc.o.d"
+  "/root/repo/src/pool/common.cc" "src/CMakeFiles/adamgnn.dir/pool/common.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/pool/common.cc.o.d"
+  "/root/repo/src/pool/diff_pool.cc" "src/CMakeFiles/adamgnn.dir/pool/diff_pool.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/pool/diff_pool.cc.o.d"
+  "/root/repo/src/pool/flat_models.cc" "src/CMakeFiles/adamgnn.dir/pool/flat_models.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/pool/flat_models.cc.o.d"
+  "/root/repo/src/pool/sag_pool.cc" "src/CMakeFiles/adamgnn.dir/pool/sag_pool.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/pool/sag_pool.cc.o.d"
+  "/root/repo/src/pool/sort_pool.cc" "src/CMakeFiles/adamgnn.dir/pool/sort_pool.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/pool/sort_pool.cc.o.d"
+  "/root/repo/src/pool/struct_pool.cc" "src/CMakeFiles/adamgnn.dir/pool/struct_pool.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/pool/struct_pool.cc.o.d"
+  "/root/repo/src/pool/topk_pool.cc" "src/CMakeFiles/adamgnn.dir/pool/topk_pool.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/pool/topk_pool.cc.o.d"
+  "/root/repo/src/pool/wl_gnn.cc" "src/CMakeFiles/adamgnn.dir/pool/wl_gnn.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/pool/wl_gnn.cc.o.d"
+  "/root/repo/src/tensor/kernels.cc" "src/CMakeFiles/adamgnn.dir/tensor/kernels.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/tensor/kernels.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "src/CMakeFiles/adamgnn.dir/tensor/matrix.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/tensor/matrix.cc.o.d"
+  "/root/repo/src/train/clustering.cc" "src/CMakeFiles/adamgnn.dir/train/clustering.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/train/clustering.cc.o.d"
+  "/root/repo/src/train/cross_validation.cc" "src/CMakeFiles/adamgnn.dir/train/cross_validation.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/train/cross_validation.cc.o.d"
+  "/root/repo/src/train/evaluation.cc" "src/CMakeFiles/adamgnn.dir/train/evaluation.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/train/evaluation.cc.o.d"
+  "/root/repo/src/train/graph_trainer.cc" "src/CMakeFiles/adamgnn.dir/train/graph_trainer.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/train/graph_trainer.cc.o.d"
+  "/root/repo/src/train/link_trainer.cc" "src/CMakeFiles/adamgnn.dir/train/link_trainer.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/train/link_trainer.cc.o.d"
+  "/root/repo/src/train/metrics.cc" "src/CMakeFiles/adamgnn.dir/train/metrics.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/train/metrics.cc.o.d"
+  "/root/repo/src/train/node_trainer.cc" "src/CMakeFiles/adamgnn.dir/train/node_trainer.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/train/node_trainer.cc.o.d"
+  "/root/repo/src/util/logging.cc" "src/CMakeFiles/adamgnn.dir/util/logging.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/util/logging.cc.o.d"
+  "/root/repo/src/util/random.cc" "src/CMakeFiles/adamgnn.dir/util/random.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/util/random.cc.o.d"
+  "/root/repo/src/util/status.cc" "src/CMakeFiles/adamgnn.dir/util/status.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/util/status.cc.o.d"
+  "/root/repo/src/util/stopwatch.cc" "src/CMakeFiles/adamgnn.dir/util/stopwatch.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/util/stopwatch.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "src/CMakeFiles/adamgnn.dir/util/string_util.cc.o" "gcc" "src/CMakeFiles/adamgnn.dir/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

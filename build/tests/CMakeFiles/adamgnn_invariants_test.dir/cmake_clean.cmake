@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamgnn_invariants_test.dir/adamgnn_invariants_test.cc.o"
+  "CMakeFiles/adamgnn_invariants_test.dir/adamgnn_invariants_test.cc.o.d"
+  "adamgnn_invariants_test"
+  "adamgnn_invariants_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamgnn_invariants_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

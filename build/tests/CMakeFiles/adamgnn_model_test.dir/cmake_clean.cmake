@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamgnn_model_test.dir/adamgnn_model_test.cc.o"
+  "CMakeFiles/adamgnn_model_test.dir/adamgnn_model_test.cc.o.d"
+  "adamgnn_model_test"
+  "adamgnn_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamgnn_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_loss_test.dir/autograd_loss_test.cc.o"
+  "CMakeFiles/autograd_loss_test.dir/autograd_loss_test.cc.o.d"
+  "autograd_loss_test"
+  "autograd_loss_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_loss_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_ops_test.dir/autograd_ops_test.cc.o"
+  "CMakeFiles/autograd_ops_test.dir/autograd_ops_test.cc.o.d"
+  "autograd_ops_test"
+  "autograd_ops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_ops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/autograd_segment_test.dir/autograd_segment_test.cc.o"
+  "CMakeFiles/autograd_segment_test.dir/autograd_segment_test.cc.o.d"
+  "autograd_segment_test"
+  "autograd_segment_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/autograd_segment_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/core_losses_test.dir/core_losses_test.cc.o"
+  "CMakeFiles/core_losses_test.dir/core_losses_test.cc.o.d"
+  "core_losses_test"
+  "core_losses_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/core_losses_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

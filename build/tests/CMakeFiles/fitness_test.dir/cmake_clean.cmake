@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fitness_test.dir/fitness_test.cc.o"
+  "CMakeFiles/fitness_test.dir/fitness_test.cc.o.d"
+  "fitness_test"
+  "fitness_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fitness_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/adamgnn_train.dir/adamgnn_train.cc.o"
+  "CMakeFiles/adamgnn_train.dir/adamgnn_train.cc.o.d"
+  "adamgnn_train"
+  "adamgnn_train.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/adamgnn_train.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
