@@ -1,8 +1,22 @@
 // Micro-benchmarks (google-benchmark) for the kernels on AdamGNN's critical
 // path: dense GEMM, sparse SpMM, segment softmax, λ-hop ego-network
 // enumeration, and one full adaptive-pooling step.
+//
+// Before the google-benchmark suite runs, this binary times the parallel
+// kernel backend against naive single-threaded reference loops and writes
+// the results to BENCH_kernels.json (override with --json=PATH). The same
+// pass asserts that every parallel kernel is bitwise-identical to its
+// threads==1 result at each tested thread count.
 
 #include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
 
 #include "autograd/ops.h"
 #include "autograd/segment_ops.h"
@@ -13,6 +27,8 @@
 #include "data/node_datasets.h"
 #include "tensor/kernels.h"
 #include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
 
 namespace adamgnn {
 namespace {
@@ -103,7 +119,264 @@ void BM_AdaptivePoolingStep(benchmark::State& state) {
 }
 BENCHMARK(BM_AdaptivePoolingStep);
 
+// ---------------------------------------------------------------------------
+// Serial-vs-parallel comparison pass.
+//
+// "naive" is the straightforward single-threaded triple loop the library
+// shipped before the kernel backend was introduced; "serial" is the backend
+// pinned to one thread; "parallel" is the backend at four threads.
+// ---------------------------------------------------------------------------
+
+tensor::Matrix NaiveMatMul(const tensor::Matrix& a, const tensor::Matrix& b) {
+  tensor::Matrix c(a.rows(), b.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    for (size_t p = 0; p < a.cols(); ++p) {
+      const double av = a(i, p);
+      const double* br = b.row(p);
+      double* cr = c.row(i);
+      for (size_t j = 0; j < b.cols(); ++j) cr[j] += av * br[j];
+    }
+  }
+  return c;
+}
+
+tensor::Matrix NaiveMatMulTransA(const tensor::Matrix& a,
+                                 const tensor::Matrix& b) {
+  tensor::Matrix c(a.cols(), b.cols());
+  for (size_t p = 0; p < a.rows(); ++p) {
+    const double* ar = a.row(p);
+    const double* br = b.row(p);
+    for (size_t i = 0; i < a.cols(); ++i) {
+      double* cr = c.row(i);
+      const double av = ar[i];
+      for (size_t j = 0; j < b.cols(); ++j) cr[j] += av * br[j];
+    }
+  }
+  return c;
+}
+
+tensor::Matrix NaiveMatMulTransB(const tensor::Matrix& a,
+                                 const tensor::Matrix& b) {
+  tensor::Matrix c(a.rows(), b.rows());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    const double* ar = a.row(i);
+    for (size_t j = 0; j < b.rows(); ++j) {
+      const double* br = b.row(j);
+      double s = 0.0;
+      for (size_t p = 0; p < a.cols(); ++p) s += ar[p] * br[p];
+      c(i, j) = s;
+    }
+  }
+  return c;
+}
+
+tensor::Matrix NaiveSoftmaxRows(const tensor::Matrix& a) {
+  tensor::Matrix out(a.rows(), a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double m = a(i, 0);
+    for (size_t j = 1; j < a.cols(); ++j) m = std::max(m, a(i, j));
+    double z = 0.0;
+    for (size_t j = 0; j < a.cols(); ++j) {
+      out(i, j) = std::exp(a(i, j) - m);
+      z += out(i, j);
+    }
+    for (size_t j = 0; j < a.cols(); ++j) out(i, j) /= z;
+  }
+  return out;
+}
+
+tensor::Matrix NaiveSegmentSum(const tensor::Matrix& a,
+                               const std::vector<size_t>& seg,
+                               size_t num_segments) {
+  tensor::Matrix out(num_segments, a.cols());
+  for (size_t i = 0; i < a.rows(); ++i) {
+    double* orow = out.row(seg[i]);
+    const double* ar = a.row(i);
+    for (size_t j = 0; j < a.cols(); ++j) orow[j] += ar[j];
+  }
+  return out;
+}
+
+struct KernelReport {
+  std::string name;
+  std::string shape;
+  double naive_ms = 0.0;
+  double serial_ms = 0.0;
+  double parallel_ms = 0.0;
+  bool bitwise_identical = true;
+};
+
+constexpr int kParallelThreads = 4;
+constexpr int kTestedThreads[] = {1, 2, 4, 7};
+
+template <typename Fn>
+double BestOfMs(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int i = 0; i < reps; ++i) {
+    util::Stopwatch watch;
+    benchmark::DoNotOptimize(fn());
+    best = std::min(best, watch.ElapsedSeconds() * 1e3);
+  }
+  return best;
+}
+
+template <typename NaiveFn, typename BackendFn>
+KernelReport CompareKernel(const std::string& name, const std::string& shape,
+                           int reps, const NaiveFn& naive,
+                           const BackendFn& backend) {
+  KernelReport r;
+  r.name = name;
+  r.shape = shape;
+  r.naive_ms = BestOfMs(reps, naive);
+  util::SetNumThreads(1);
+  r.serial_ms = BestOfMs(reps, backend);
+  const tensor::Matrix reference = backend();
+  for (int t : kTestedThreads) {
+    util::SetNumThreads(t);
+    if (!(backend() == reference)) {
+      r.bitwise_identical = false;
+      std::fprintf(stderr, "FAIL %s: threads=%d differs from threads=1\n",
+                   name.c_str(), t);
+    }
+  }
+  util::SetNumThreads(kParallelThreads);
+  r.parallel_ms = BestOfMs(reps, backend);
+  util::SetNumThreads(0);  // restore the env/hardware default
+  return r;
+}
+
+std::vector<KernelReport> RunKernelComparison() {
+  std::vector<KernelReport> reports;
+  util::Rng rng(7);
+
+  {
+    // The acceptance shape: (2048,256) x (256,256).
+    tensor::Matrix a = tensor::Matrix::Gaussian(2048, 256, 1.0, &rng);
+    tensor::Matrix b = tensor::Matrix::Gaussian(256, 256, 1.0, &rng);
+    reports.push_back(CompareKernel(
+        "MatMul", "2048x256*256x256", 5,
+        [&] { return NaiveMatMul(a, b); },
+        [&] { return tensor::MatMul(a, b); }));
+  }
+  {
+    tensor::Matrix a = tensor::Matrix::Gaussian(256, 2048, 1.0, &rng);
+    tensor::Matrix b = tensor::Matrix::Gaussian(256, 256, 1.0, &rng);
+    reports.push_back(CompareKernel(
+        "MatMulTransA", "(256x2048)^T*256x256", 5,
+        [&] { return NaiveMatMulTransA(a, b); },
+        [&] { return tensor::MatMulTransA(a, b); }));
+  }
+  {
+    tensor::Matrix a = tensor::Matrix::Gaussian(2048, 256, 1.0, &rng);
+    tensor::Matrix b = tensor::Matrix::Gaussian(256, 256, 1.0, &rng);
+    reports.push_back(CompareKernel(
+        "MatMulTransB", "2048x256*(256x256)^T", 5,
+        [&] { return NaiveMatMulTransB(a, b); },
+        [&] { return tensor::MatMulTransB(a, b); }));
+  }
+  {
+    tensor::Matrix a = tensor::Matrix::Gaussian(20000, 128, 1.0, &rng);
+    reports.push_back(CompareKernel(
+        "SoftmaxRows", "20000x128", 5,
+        [&] { return NaiveSoftmaxRows(a); },
+        [&] { return tensor::SoftmaxRows(a); }));
+  }
+  {
+    tensor::Matrix a = tensor::Matrix::Gaussian(100000, 64, 1.0, &rng);
+    const size_t num_segments = 1000;
+    std::vector<size_t> seg(a.rows());
+    for (auto& s : seg) s = rng.NextUint64(num_segments);
+    reports.push_back(CompareKernel(
+        "SegmentSum", "100000x64->1000", 5,
+        [&] { return NaiveSegmentSum(a, seg, num_segments); },
+        [&] { return tensor::SegmentSum(a, seg, num_segments); }));
+  }
+  {
+    graph::SparseMatrix s = RandomSparse(20000, 8, &rng);
+    tensor::Matrix x = tensor::Matrix::Gaussian(20000, 64, 1.0, &rng);
+    // The naive O(n^2) reference is too slow at this size; reuse the
+    // backend pinned to one thread as the "naive" sparse baseline.
+    util::SetNumThreads(1);
+    reports.push_back(CompareKernel(
+        "SpMM", "20000x20000(nnz~160k)*20000x64", 5,
+        [&] { return s.MultiplyDense(x); },
+        [&] { return s.MultiplyDense(x); }));
+  }
+  {
+    graph::SparseMatrix s = RandomSparse(20000, 8, &rng);
+    tensor::Matrix x = tensor::Matrix::Gaussian(20000, 64, 1.0, &rng);
+    util::SetNumThreads(1);
+    reports.push_back(CompareKernel(
+        "SpMMTranspose", "(20000x20000)^T(nnz~160k)*20000x64", 5,
+        [&] { return s.TransposeMultiplyDense(x); },
+        [&] { return s.TransposeMultiplyDense(x); }));
+  }
+  return reports;
+}
+
+bool WriteKernelComparisonJson(const std::string& path) {
+  const std::vector<KernelReport> reports = RunKernelComparison();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n",
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"parallel_threads\": %d,\n", kParallelThreads);
+  std::fprintf(f, "  \"threads_tested\": [1, 2, 4, 7],\n");
+  std::fprintf(f, "  \"kernels\": [\n");
+  bool all_ok = true;
+  for (size_t i = 0; i < reports.size(); ++i) {
+    const KernelReport& r = reports[i];
+    const double vs_naive = r.naive_ms / std::max(r.parallel_ms, 1e-9);
+    const double vs_serial = r.serial_ms / std::max(r.parallel_ms, 1e-9);
+    all_ok = all_ok && r.bitwise_identical;
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"shape\": \"%s\", \"naive_ms\": %.3f, "
+        "\"serial_ms\": %.3f, \"parallel_ms\": %.3f, \"speedup\": %.2f, "
+        "\"speedup_vs_naive\": %.2f, \"speedup_backend_vs_serial\": %.2f, "
+        "\"bitwise_identical\": %s}%s\n",
+        r.name.c_str(), r.shape.c_str(), r.naive_ms, r.serial_ms,
+        r.parallel_ms, vs_naive, vs_naive, vs_serial,
+        r.bitwise_identical ? "true" : "false",
+        i + 1 < reports.size() ? "," : "");
+    std::printf(
+        "%-14s %-32s naive %8.3f ms  serial %8.3f ms  parallel@%d %8.3f ms "
+        " (%.2fx vs naive)  bitwise:%s\n",
+        r.name.c_str(), r.shape.c_str(), r.naive_ms, r.serial_ms,
+        kParallelThreads, r.parallel_ms, vs_naive,
+        r.bitwise_identical ? "ok" : "MISMATCH");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+  return all_ok;
+}
+
 }  // namespace
 }  // namespace adamgnn
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_kernels.json";
+  std::vector<char*> bench_argv;
+  for (int i = 0; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    } else {
+      bench_argv.push_back(argv[i]);
+    }
+  }
+  if (!adamgnn::WriteKernelComparisonJson(json_path)) return 1;
+
+  int bench_argc = static_cast<int>(bench_argv.size());
+  benchmark::Initialize(&bench_argc, bench_argv.data());
+  if (benchmark::ReportUnrecognizedArguments(bench_argc, bench_argv.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

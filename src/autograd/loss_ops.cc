@@ -14,6 +14,15 @@ using internal::NewOpNode;
 using internal::Node;
 using tensor::Matrix;
 
+namespace {
+// Shared numeric floors for the loss kernels. kLogEps keeps log() arguments
+// strictly positive (log(1e-300) is finite); kNormEps keeps soft-assignment
+// normalizers away from zero when a degenerate embedding collapses every
+// kernel weight to 0.
+constexpr double kLogEps = 1e-300;
+constexpr double kNormEps = 1e-12;
+}  // namespace
+
 Variable SoftmaxCrossEntropy(const Variable& logits,
                              const std::vector<int>& labels,
                              const std::vector<size_t>& rows) {
@@ -40,7 +49,7 @@ Variable SoftmaxCrossEntropy(const Variable& logits,
       z += probs(i, c);
     }
     for (size_t c = 0; c < num_classes; ++c) probs(i, c) /= z;
-    loss -= std::log(std::max(probs(i, static_cast<size_t>(label)), 1e-300));
+    loss -= std::log(std::max(probs(i, static_cast<size_t>(label)), kLogEps));
   }
   loss /= static_cast<double>(rows.size());
 
@@ -189,7 +198,9 @@ Variable SelfOptimisationLoss(const Variable& h,
       q(j, i) = s;
       z += s;
     }
-    for (size_t i = 0; i < K; ++i) q(j, i) /= z;
+    // z can collapse to 0 when every distance overflows to inf (all kernel
+    // weights underflow); the floor keeps q finite instead of 0/0 = NaN.
+    for (size_t i = 0; i < K; ++i) q(j, i) /= std::max(z, kNormEps);
   }
 
   // Target distribution P: sharpen Q and normalize by soft cluster
@@ -203,10 +214,10 @@ Variable SelfOptimisationLoss(const Variable& h,
   for (size_t j = 0; j < n; ++j) {
     double z = 0.0;
     for (size_t i = 0; i < K; ++i) {
-      p(j, i) = q(j, i) * q(j, i) / std::max(freq[i], 1e-12);
+      p(j, i) = q(j, i) * q(j, i) / std::max(freq[i], kNormEps);
       z += p(j, i);
     }
-    for (size_t i = 0; i < K; ++i) p(j, i) /= std::max(z, 1e-12);
+    for (size_t i = 0; i < K; ++i) p(j, i) /= std::max(z, kNormEps);
   }
 
   // L = (1/n) Σ_j KL(P_j ‖ Q_j).
@@ -214,7 +225,7 @@ Variable SelfOptimisationLoss(const Variable& h,
   for (size_t j = 0; j < n; ++j) {
     for (size_t i = 0; i < K; ++i) {
       if (p(j, i) <= 0.0) continue;
-      loss += p(j, i) * std::log(p(j, i) / std::max(q(j, i), 1e-300));
+      loss += p(j, i) * std::log(p(j, i) / std::max(q(j, i), kLogEps));
     }
   }
   loss /= static_cast<double>(n);

@@ -196,9 +196,14 @@ Variable Log(const Variable& a) {
   auto pa = a.node();
   return Variable::FromNode(
       NewOpNode(tensor::Log(a.value()), {pa}, [pa](Node& self) {
+        // Match the forward clamp (tensor::Log floors its input at 1e-300):
+        // d log(max(x, eps))/dx is 1/x above the floor and 0 below it, so a
+        // degenerate zero/negative input gets a finite zero gradient instead
+        // of inf/NaN.
         Matrix d = self.grad;
         for (size_t i = 0; i < d.size(); ++i) {
-          d.data()[i] /= pa->value.data()[i];
+          const double x = pa->value.data()[i];
+          d.data()[i] = x > 1e-300 ? d.data()[i] / x : 0.0;
         }
         AccumulateGrad(pa.get(), d);
       }));

@@ -1,7 +1,10 @@
 #include "autograd/sparse_ops.h"
 
+#include <algorithm>
+
 #include "autograd/ops.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace adamgnn::autograd {
 
@@ -9,6 +12,56 @@ using internal::AccumulateGrad;
 using internal::NewOpNode;
 using internal::Node;
 using tensor::Matrix;
+
+namespace {
+
+// Same fan-out gate and chunk cap as the CSR kernels in graph/sparse_matrix.cc.
+// Decompositions are pure functions of the shapes so SpMMValues stays
+// bitwise-deterministic at every thread count.
+constexpr size_t kMinParallelWork = size_t{1} << 20;  // nnz * dense cols
+constexpr size_t kEntryGrain = size_t{1} << 12;
+constexpr size_t kMaxScatterChunks = 8;
+
+size_t GatherGrain(size_t entries, size_t work) {
+  if (work < kMinParallelWork) return entries == 0 ? 1 : entries;
+  return kEntryGrain;
+}
+
+size_t ScatterGrain(size_t entries, size_t work) {
+  if (work < kMinParallelWork) return entries == 0 ? 1 : entries;
+  return std::max<size_t>(
+      kEntryGrain, (entries + kMaxScatterChunks - 1) / kMaxScatterChunks);
+}
+
+// out(row_indices[k], :) += weight(k) * x(col_indices[k], :) for k in
+// [0, nnz), scattered through per-chunk partials merged in chunk order.
+template <typename WeightFn>
+void ScatterRows(const SparsePattern& pattern,
+                 const std::vector<size_t>& out_rows,
+                 const std::vector<size_t>& in_rows, WeightFn weight,
+                 const Matrix& x, Matrix* out) {
+  const size_t nnz = pattern.nnz();
+  const size_t d = x.cols();
+  if (nnz == 0) return;
+  const std::vector<util::ChunkRange> chunks =
+      util::SplitRange(0, nnz, ScatterGrain(nnz, nnz * d));
+  std::vector<Matrix> partials;
+  for (size_t ci = 1; ci < chunks.size(); ++ci) {
+    partials.emplace_back(out->rows(), d);
+  }
+  util::ParallelForChunks(chunks.size(), [&](size_t ci) {
+    Matrix& dst = ci == 0 ? *out : partials[ci - 1];
+    for (size_t k = chunks[ci].begin; k < chunks[ci].end; ++k) {
+      const double v = weight(k);
+      const double* xr = x.row(in_rows[k]);
+      double* orow = dst.row(out_rows[k]);
+      for (size_t j = 0; j < d; ++j) orow[j] += v * xr[j];
+    }
+  });
+  for (const Matrix& partial : partials) *out += partial;
+}
+
+}  // namespace
 
 graph::SparseMatrix SparsePattern::WithValues(
     const std::vector<double>& values) const {
@@ -55,35 +108,36 @@ Variable SpMMValues(std::shared_ptr<const SparsePattern> pattern,
   auto px = x.node();
 
   Matrix out(pattern->rows, x.cols());
-  for (size_t k = 0; k < pattern->nnz(); ++k) {
-    const double v = values.value()(k, 0);
-    const double* xr = x.value().row(pattern->col_indices[k]);
-    double* orow = out.row(pattern->row_indices[k]);
-    for (size_t j = 0; j < x.cols(); ++j) orow[j] += v * xr[j];
-  }
+  const Matrix& vals = values.value();
+  ScatterRows(*pattern, pattern->row_indices, pattern->col_indices,
+              [&vals](size_t k) { return vals(k, 0); }, x.value(), &out);
 
   return Variable::FromNode(NewOpNode(
       std::move(out), {pv, px}, [pattern, pv, px](Node& self) {
         const size_t d = px->value.cols();
+        const size_t nnz = pattern->nnz();
         if (pv->requires_grad) {
-          Matrix dvals(pattern->nnz(), 1);
-          for (size_t k = 0; k < pattern->nnz(); ++k) {
-            const double* g = self.grad.row(pattern->row_indices[k]);
-            const double* xr = px->value.row(pattern->col_indices[k]);
-            double s = 0.0;
-            for (size_t j = 0; j < d; ++j) s += g[j] * xr[j];
-            dvals(k, 0) = s;
-          }
+          // Gather: dvals(k) is owned by exactly one chunk.
+          Matrix dvals(nnz, 1);
+          util::ParallelFor(
+              0, nnz, GatherGrain(nnz, nnz * d), [&](size_t b, size_t e) {
+                for (size_t k = b; k < e; ++k) {
+                  const double* g = self.grad.row(pattern->row_indices[k]);
+                  const double* xr = px->value.row(pattern->col_indices[k]);
+                  double s = 0.0;
+                  for (size_t j = 0; j < d; ++j) s += g[j] * xr[j];
+                  dvals(k, 0) = s;
+                }
+              });
           AccumulateGrad(pv.get(), dvals);
         }
         if (px->requires_grad) {
+          // Scatter into dx rows through the transposed pattern.
           Matrix dx(px->value.rows(), d);
-          for (size_t k = 0; k < pattern->nnz(); ++k) {
-            const double v = pv->value(k, 0);
-            const double* g = self.grad.row(pattern->row_indices[k]);
-            double* dr = dx.row(pattern->col_indices[k]);
-            for (size_t j = 0; j < d; ++j) dr[j] += v * g[j];
-          }
+          const Matrix& vals = pv->value;
+          ScatterRows(*pattern, pattern->col_indices, pattern->row_indices,
+                      [&vals](size_t k) { return vals(k, 0); }, self.grad,
+                      &dx);
           AccumulateGrad(px.get(), dx);
         }
       }));

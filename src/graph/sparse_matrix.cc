@@ -5,8 +5,31 @@
 #include <sstream>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace adamgnn::graph {
+
+namespace {
+
+// Gate and grains for the parallel SpMM paths. Pure functions of the operand
+// shapes, so decompositions — and therefore results — are bitwise-identical
+// at every thread count (see util/thread_pool.h).
+constexpr size_t kMinParallelWork = size_t{1} << 20;  // nnz * dense cols
+constexpr size_t kSpmmRowGrain = 256;
+constexpr size_t kMaxScatterChunks = 8;
+
+size_t GatherGrain(size_t rows, size_t work) {
+  if (work < kMinParallelWork) return rows == 0 ? 1 : rows;
+  return kSpmmRowGrain;
+}
+
+size_t ScatterGrain(size_t rows, size_t work) {
+  if (work < kMinParallelWork) return rows == 0 ? 1 : rows;
+  return std::max<size_t>(kSpmmRowGrain,
+                          (rows + kMaxScatterChunks - 1) / kMaxScatterChunks);
+}
+
+}  // namespace
 
 SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
                                         std::vector<Triplet> triplets) {
@@ -120,14 +143,20 @@ double SparseMatrix::At(size_t r, size_t c) const {
 tensor::Matrix SparseMatrix::MultiplyDense(const tensor::Matrix& x) const {
   ADAMGNN_CHECK_EQ(cols_, x.rows());
   tensor::Matrix out(rows_, x.cols());
-  for (size_t r = 0; r < rows_; ++r) {
-    double* or_ = out.row(r);
-    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
-      const double v = values_[k];
-      const double* xr = x.row(col_indices_[k]);
-      for (size_t j = 0; j < x.cols(); ++j) or_[j] += v * xr[j];
-    }
-  }
+  // Gather: each output row is owned by exactly one chunk, so row
+  // partitioning is race-free and bitwise-deterministic.
+  util::ParallelFor(
+      0, rows_, GatherGrain(rows_, nnz() * x.cols()),
+      [&](size_t r0, size_t r1) {
+        for (size_t r = r0; r < r1; ++r) {
+          double* or_ = out.row(r);
+          for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+            const double v = values_[k];
+            const double* xr = x.row(col_indices_[k]);
+            for (size_t j = 0; j < x.cols(); ++j) or_[j] += v * xr[j];
+          }
+        }
+      });
   return out;
 }
 
@@ -135,14 +164,30 @@ tensor::Matrix SparseMatrix::TransposeMultiplyDense(
     const tensor::Matrix& x) const {
   ADAMGNN_CHECK_EQ(rows_, x.rows());
   tensor::Matrix out(cols_, x.cols());
-  for (size_t r = 0; r < rows_; ++r) {
-    const double* xr = x.row(r);
-    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
-      const double v = values_[k];
-      double* oc = out.row(col_indices_[k]);
-      for (size_t j = 0; j < x.cols(); ++j) oc[j] += v * xr[j];
-    }
+  if (rows_ == 0) return out;
+  // Scatter: a column index can appear in many rows, so chunks accumulate
+  // into private partials that are merged in ascending chunk order. The
+  // chunk decomposition depends only on the shapes, which keeps the merge —
+  // and the result — bitwise-identical at every thread count. A single
+  // chunk writes straight into `out`, matching the plain serial loop.
+  const std::vector<util::ChunkRange> chunks =
+      util::SplitRange(0, rows_, ScatterGrain(rows_, nnz() * x.cols()));
+  std::vector<tensor::Matrix> partials;
+  for (size_t ci = 1; ci < chunks.size(); ++ci) {
+    partials.emplace_back(cols_, x.cols());
   }
+  util::ParallelForChunks(chunks.size(), [&](size_t ci) {
+    tensor::Matrix& dst = ci == 0 ? out : partials[ci - 1];
+    for (size_t r = chunks[ci].begin; r < chunks[ci].end; ++r) {
+      const double* xr = x.row(r);
+      for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+        const double v = values_[k];
+        double* oc = dst.row(col_indices_[k]);
+        for (size_t j = 0; j < x.cols(); ++j) oc[j] += v * xr[j];
+      }
+    }
+  });
+  for (const tensor::Matrix& partial : partials) out += partial;
   return out;
 }
 

@@ -2,8 +2,20 @@
 
 #include "autograd/ops.h"
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace adamgnn::nn {
+
+namespace {
+// Masks at or above this size are filled in parallel from per-row derived
+// streams; smaller masks draw sequentially from the caller's generator.
+// Which path runs is a pure function of the mask shape — never of the
+// thread count — so for a fixed seed and model the output is identical at
+// every ADAMGNN_NUM_THREADS setting. The small-mask path also preserves the
+// library's historical draw sequence exactly.
+constexpr size_t kMinParallelMaskElems = size_t{1} << 15;
+constexpr size_t kMaskRowGrain = 64;
+}  // namespace
 
 Dropout::Dropout(double p) : p_(p) {
   ADAMGNN_CHECK_GE(p, 0.0);
@@ -15,8 +27,28 @@ autograd::Variable Dropout::Apply(const autograd::Variable& x, util::Rng* rng,
   if (!training || p_ == 0.0) return x;
   tensor::Matrix mask(x.rows(), x.cols());
   const double keep_scale = 1.0 / (1.0 - p_);
-  for (size_t i = 0; i < mask.size(); ++i) {
-    mask.data()[i] = rng->NextBernoulli(p_) ? 0.0 : keep_scale;
+  if (mask.size() < kMinParallelMaskElems) {
+    for (size_t i = 0; i < mask.size(); ++i) {
+      mask.data()[i] = rng->NextBernoulli(p_) ? 0.0 : keep_scale;
+    }
+  } else {
+    // The caller's generator advances exactly once; row r's mask then comes
+    // from the derived stream (salt, r). No util::Rng is shared mutably
+    // across pool workers, and the draws depend only on (seed, shape), so
+    // the mask is bitwise-identical at every thread count.
+    util::Rng salt = rng->Fork();
+    const size_t cols = x.cols();
+    util::ParallelFor(0, x.rows(), kMaskRowGrain,
+                      [&, keep_scale, cols](size_t r0, size_t r1) {
+                        for (size_t r = r0; r < r1; ++r) {
+                          util::Rng row_rng = salt.ForkStream(r);
+                          double* mr = mask.row(r);
+                          for (size_t j = 0; j < cols; ++j) {
+                            mr[j] =
+                                row_rng.NextBernoulli(p_) ? 0.0 : keep_scale;
+                          }
+                        }
+                      });
   }
   return autograd::CwiseMul(x, autograd::Variable::Constant(std::move(mask)));
 }

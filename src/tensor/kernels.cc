@@ -3,23 +3,262 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/thread_pool.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
 namespace adamgnn::tensor {
+
+namespace {
+
+// Parallelization thresholds and grains. Every decomposition below is a pure
+// function of the operand shapes — never of the thread count — so results
+// are bitwise-identical at any ADAMGNN_NUM_THREADS (see util/thread_pool.h).
+constexpr size_t kMinParallelFlops = size_t{1} << 20;  // matmul fan-out gate
+constexpr size_t kMatMulRowGrain = 32;                 // C rows per chunk
+constexpr size_t kMinParallelElems = size_t{1} << 15;  // elementwise gate
+constexpr size_t kElemGrain = size_t{1} << 14;         // elements per chunk
+constexpr size_t kMinScatterRows = size_t{1} << 12;    // segment-scatter gate
+constexpr size_t kMaxScatterChunks = 8;  // bounds partial-accumulator memory
+
+// Inputs at or below kLogTiny (including zero and negatives from degenerate
+// cluster assignments) are clamped before std::log so downstream training
+// never sees NaN/-inf. log(1e-300) ~= -690.8.
+constexpr double kLogTiny = 1e-300;
+
+size_t MatMulGrain(size_t m, size_t k, size_t n) {
+  // Serial (single chunk) below the fan-out gate: pool dispatch costs more
+  // than the multiply itself for the small matrices that dominate autograd.
+  if (m * k * n < kMinParallelFlops) return m;
+  return kMatMulRowGrain;
+}
+
+size_t ElemGrain(size_t total) {
+  return total < kMinParallelElems ? (total == 0 ? 1 : total) : kElemGrain;
+}
+
+size_t RowGrain(size_t rows, size_t cols) {
+  const size_t total = rows * cols;
+  if (total < kMinParallelElems) return rows == 0 ? 1 : rows;
+  const size_t per_chunk = kElemGrain / (cols == 0 ? 1 : cols);
+  return per_chunk < 1 ? 1 : per_chunk;
+}
+
+// Grain for scatter-style kernels that merge per-chunk partial accumulators:
+// capped at kMaxScatterChunks chunks so partial memory stays bounded.
+size_t ScatterGrain(size_t rows) {
+  const size_t by_cap = (rows + kMaxScatterChunks - 1) / kMaxScatterChunks;
+  return std::max(kMinScatterRows, by_cap);
+}
+
+template <typename F>
+void ParallelApplyInPlace(Matrix* m, F f) {
+  double* d = m->data();
+  util::ParallelFor(0, m->size(), ElemGrain(m->size()),
+                    [d, f](size_t b, size_t e) {
+                      for (size_t i = b; i < e; ++i) d[i] = f(d[i]);
+                    });
+}
+
+template <typename F>
+void ParallelCombineInPlace(Matrix* m, const Matrix& other, F f) {
+  double* d = m->data();
+  const double* o = other.data();
+  util::ParallelFor(0, m->size(), ElemGrain(m->size()),
+                    [d, o, f](size_t b, size_t e) {
+                      for (size_t i = b; i < e; ++i) d[i] = f(d[i], o[i]);
+                    });
+}
+
+// ---------------------------------------------------------------------------
+// Register-blocked GEMM micro-kernels.
+//
+// Every variant computes each output element with a single accumulator over
+// ascending p, so all code paths (vector panel, scalar tails, any chunk
+// boundary) agree bitwise for the same inputs.
+// ---------------------------------------------------------------------------
+
+// Packs b's 8-column panels into panel-major layout: panel j/8 occupies
+// k * 8 consecutive doubles, row p at offset p * 8. Leftover columns
+// (n % 8) are read from b directly by the scalar tail.
+std::vector<double> PackPanels(const Matrix& b) {
+  const size_t k = b.rows(), n = b.cols();
+  const size_t num_panels = n / 8;
+  std::vector<double> packed(num_panels * k * 8);
+  // Serial: packing is O(k*n) against the multiply's O(m*k*n).
+  for (size_t panel = 0; panel < num_panels; ++panel) {
+    double* dst = packed.data() + panel * k * 8;
+    const size_t j = panel * 8;
+    for (size_t p = 0; p < k; ++p) {
+      const double* bp = b.row(p) + j;
+      for (int u = 0; u < 8; ++u) dst[p * 8 + u] = bp[u];
+    }
+  }
+  return packed;
+}
+
+#if defined(__SSE2__)
+// 4 rows x 8 columns: 16 SSE accumulators against one packed k x 8 panel.
+inline void MicroKernel4x8(const double* a0, const double* a1,
+                           const double* a2, const double* a3, size_t a_stride,
+                           const double* panel, size_t k, double* c0,
+                           double* c1, double* c2, double* c3) {
+  __m128d s00 = _mm_setzero_pd(), s01 = _mm_setzero_pd(),
+          s02 = _mm_setzero_pd(), s03 = _mm_setzero_pd();
+  __m128d s10 = _mm_setzero_pd(), s11 = _mm_setzero_pd(),
+          s12 = _mm_setzero_pd(), s13 = _mm_setzero_pd();
+  __m128d s20 = _mm_setzero_pd(), s21 = _mm_setzero_pd(),
+          s22 = _mm_setzero_pd(), s23 = _mm_setzero_pd();
+  __m128d s30 = _mm_setzero_pd(), s31 = _mm_setzero_pd(),
+          s32 = _mm_setzero_pd(), s33 = _mm_setzero_pd();
+  for (size_t p = 0; p < k; ++p) {
+    const double* bp = panel + p * 8;
+    const __m128d b0 = _mm_loadu_pd(bp);
+    const __m128d b1 = _mm_loadu_pd(bp + 2);
+    const __m128d b2 = _mm_loadu_pd(bp + 4);
+    const __m128d b3 = _mm_loadu_pd(bp + 6);
+    __m128d x = _mm_set1_pd(a0[p * a_stride]);
+    s00 = _mm_add_pd(s00, _mm_mul_pd(x, b0));
+    s01 = _mm_add_pd(s01, _mm_mul_pd(x, b1));
+    s02 = _mm_add_pd(s02, _mm_mul_pd(x, b2));
+    s03 = _mm_add_pd(s03, _mm_mul_pd(x, b3));
+    x = _mm_set1_pd(a1[p * a_stride]);
+    s10 = _mm_add_pd(s10, _mm_mul_pd(x, b0));
+    s11 = _mm_add_pd(s11, _mm_mul_pd(x, b1));
+    s12 = _mm_add_pd(s12, _mm_mul_pd(x, b2));
+    s13 = _mm_add_pd(s13, _mm_mul_pd(x, b3));
+    x = _mm_set1_pd(a2[p * a_stride]);
+    s20 = _mm_add_pd(s20, _mm_mul_pd(x, b0));
+    s21 = _mm_add_pd(s21, _mm_mul_pd(x, b1));
+    s22 = _mm_add_pd(s22, _mm_mul_pd(x, b2));
+    s23 = _mm_add_pd(s23, _mm_mul_pd(x, b3));
+    x = _mm_set1_pd(a3[p * a_stride]);
+    s30 = _mm_add_pd(s30, _mm_mul_pd(x, b0));
+    s31 = _mm_add_pd(s31, _mm_mul_pd(x, b1));
+    s32 = _mm_add_pd(s32, _mm_mul_pd(x, b2));
+    s33 = _mm_add_pd(s33, _mm_mul_pd(x, b3));
+  }
+  _mm_storeu_pd(c0, s00);
+  _mm_storeu_pd(c0 + 2, s01);
+  _mm_storeu_pd(c0 + 4, s02);
+  _mm_storeu_pd(c0 + 6, s03);
+  _mm_storeu_pd(c1, s10);
+  _mm_storeu_pd(c1 + 2, s11);
+  _mm_storeu_pd(c1 + 4, s12);
+  _mm_storeu_pd(c1 + 6, s13);
+  _mm_storeu_pd(c2, s20);
+  _mm_storeu_pd(c2 + 2, s21);
+  _mm_storeu_pd(c2 + 4, s22);
+  _mm_storeu_pd(c2 + 6, s23);
+  _mm_storeu_pd(c3, s30);
+  _mm_storeu_pd(c3 + 2, s31);
+  _mm_storeu_pd(c3 + 4, s32);
+  _mm_storeu_pd(c3 + 6, s33);
+}
+#else
+// Portable fallback with the same accumulation order.
+inline void MicroKernel4x8(const double* a0, const double* a1,
+                           const double* a2, const double* a3, size_t a_stride,
+                           const double* panel, size_t k, double* c0,
+                           double* c1, double* c2, double* c3) {
+  double s0[8] = {0}, s1[8] = {0}, s2[8] = {0}, s3[8] = {0};
+  for (size_t p = 0; p < k; ++p) {
+    const double* bp = panel + p * 8;
+    const double x0 = a0[p * a_stride], x1 = a1[p * a_stride];
+    const double x2 = a2[p * a_stride], x3 = a3[p * a_stride];
+    for (int u = 0; u < 8; ++u) {
+      s0[u] += x0 * bp[u];
+      s1[u] += x1 * bp[u];
+      s2[u] += x2 * bp[u];
+      s3[u] += x3 * bp[u];
+    }
+  }
+  for (int u = 0; u < 8; ++u) {
+    c0[u] = s0[u];
+    c1[u] = s1[u];
+    c2[u] = s2[u];
+    c3[u] = s3[u];
+  }
+}
+#endif
+
+// One row x one packed 8-column panel.
+inline void MicroKernel1x8(const double* a0, size_t a_stride,
+                           const double* panel, size_t k, double* c0) {
+  double s[8] = {0};
+  for (size_t p = 0; p < k; ++p) {
+    const double* bp = panel + p * 8;
+    const double x = a0[p * a_stride];
+    for (int u = 0; u < 8; ++u) s[u] += x * bp[u];
+  }
+  for (int u = 0; u < 8; ++u) c0[u] = s[u];
+}
+
+// Computes C rows [i0, i1) of A(m,k) * B(k,n) against panel-packed B.
+// a_row(i) must return a pointer whose p-th element (stride a_stride) is
+// A(i, p) — this lets MatMulTransA reuse the kernel with A stored (k, m).
+template <typename ARow>
+void MatMulRowRange(ARow a_row, size_t a_stride, const Matrix& b,
+                    const std::vector<double>& packed, Matrix* c, size_t i0,
+                    size_t i1) {
+  const size_t k = b.rows(), n = b.cols();
+  const size_t num_panels = n / 8;
+  size_t i = i0;
+  for (; i + 4 <= i1; i += 4) {
+    const double* a0 = a_row(i);
+    const double* a1 = a_row(i + 1);
+    const double* a2 = a_row(i + 2);
+    const double* a3 = a_row(i + 3);
+    for (size_t panel = 0; panel < num_panels; ++panel) {
+      const double* pk = packed.data() + panel * k * 8;
+      const size_t j = panel * 8;
+      MicroKernel4x8(a0, a1, a2, a3, a_stride, pk, k, c->row(i) + j,
+                     c->row(i + 1) + j, c->row(i + 2) + j, c->row(i + 3) + j);
+    }
+    for (size_t j = num_panels * 8; j < n; ++j) {
+      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+      for (size_t p = 0; p < k; ++p) {
+        const double bpj = b.row(p)[j];
+        s0 += a0[p * a_stride] * bpj;
+        s1 += a1[p * a_stride] * bpj;
+        s2 += a2[p * a_stride] * bpj;
+        s3 += a3[p * a_stride] * bpj;
+      }
+      (*c)(i, j) = s0;
+      (*c)(i + 1, j) = s1;
+      (*c)(i + 2, j) = s2;
+      (*c)(i + 3, j) = s3;
+    }
+  }
+  for (; i < i1; ++i) {
+    const double* a0 = a_row(i);
+    for (size_t panel = 0; panel < num_panels; ++panel) {
+      MicroKernel1x8(a0, a_stride, packed.data() + panel * k * 8, k,
+                     c->row(i) + panel * 8);
+    }
+    for (size_t j = num_panels * 8; j < n; ++j) {
+      double s = 0.0;
+      for (size_t p = 0; p < k; ++p) s += a0[p * a_stride] * b.row(p)[j];
+      (*c)(i, j) = s;
+    }
+  }
+}
+
+}  // namespace
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   ADAMGNN_CHECK_EQ(a.cols(), b.rows());
   Matrix c(a.rows(), b.cols());
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
-  // i-k-j loop order: streams through b and c rows contiguously.
-  for (size_t i = 0; i < m; ++i) {
-    double* ci = c.row(i);
-    const double* ai = a.row(i);
-    for (size_t p = 0; p < k; ++p) {
-      const double aip = ai[p];
-      if (aip == 0.0) continue;
-      const double* bp = b.row(p);
-      for (size_t j = 0; j < n; ++j) ci[j] += aip * bp[j];
-    }
-  }
+  if (m == 0 || n == 0) return c;
+  const std::vector<double> packed = PackPanels(b);
+  util::ParallelFor(0, m, MatMulGrain(m, k, n), [&](size_t i0, size_t i1) {
+    // A(i, p) lives at a.row(i)[p]: stride 1 along p.
+    MatMulRowRange([&a](size_t i) { return a.row(i); }, 1, b, packed, &c, i0,
+                   i1);
+  });
   return c;
 }
 
@@ -27,16 +266,14 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   ADAMGNN_CHECK_EQ(a.rows(), b.rows());
   Matrix c(a.cols(), b.cols());
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
-  for (size_t p = 0; p < k; ++p) {
-    const double* ap = a.row(p);
-    const double* bp = b.row(p);
-    for (size_t i = 0; i < m; ++i) {
-      const double api = ap[i];
-      if (api == 0.0) continue;
-      double* ci = c.row(i);
-      for (size_t j = 0; j < n; ++j) ci[j] += api * bp[j];
-    }
-  }
+  if (m == 0 || n == 0) return c;
+  const std::vector<double> packed = PackPanels(b);
+  util::ParallelFor(0, m, MatMulGrain(m, k, n), [&](size_t i0, size_t i1) {
+    // (A^T)(i, p) = A(p, i) lives at a.data()[p * m + i]: stride m along p.
+    const double* base = a.data();
+    MatMulRowRange([base](size_t i) { return base + i; }, m, b, packed, &c,
+                   i0, i1);
+  });
   return c;
 }
 
@@ -44,41 +281,67 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   ADAMGNN_CHECK_EQ(a.cols(), b.cols());
   Matrix c(a.rows(), b.rows());
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
-  for (size_t i = 0; i < m; ++i) {
-    const double* ai = a.row(i);
-    double* ci = c.row(i);
-    for (size_t j = 0; j < n; ++j) {
-      const double* bj = b.row(j);
-      double s = 0.0;
-      for (size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
-      ci[j] = s;
+  if (m == 0 || n == 0) return c;
+  util::ParallelFor(0, m, MatMulGrain(m, k, n), [&](size_t i0, size_t i1) {
+    // Row-row dot products; 1x4 register tile reuses each a load 4 times.
+    size_t i = i0;
+    for (; i < i1; ++i) {
+      const double* ai = a.row(i);
+      double* ci = c.row(i);
+      size_t j = 0;
+      for (; j + 4 <= n; j += 4) {
+        const double* b0 = b.row(j);
+        const double* b1 = b.row(j + 1);
+        const double* b2 = b.row(j + 2);
+        const double* b3 = b.row(j + 3);
+        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+        for (size_t p = 0; p < k; ++p) {
+          const double x = ai[p];
+          s0 += x * b0[p];
+          s1 += x * b1[p];
+          s2 += x * b2[p];
+          s3 += x * b3[p];
+        }
+        ci[j] = s0;
+        ci[j + 1] = s1;
+        ci[j + 2] = s2;
+        ci[j + 3] = s3;
+      }
+      for (; j < n; ++j) {
+        const double* bj = b.row(j);
+        double s = 0.0;
+        for (size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
+        ci[j] = s;
+      }
     }
-  }
+  });
   return c;
 }
 
 Matrix Add(const Matrix& a, const Matrix& b) {
+  ADAMGNN_CHECK(a.SameShape(b));
   Matrix c = a;
-  c += b;
+  ParallelCombineInPlace(&c, b, [](double x, double y) { return x + y; });
   return c;
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
+  ADAMGNN_CHECK(a.SameShape(b));
   Matrix c = a;
-  c -= b;
+  ParallelCombineInPlace(&c, b, [](double x, double y) { return x - y; });
   return c;
 }
 
 Matrix CwiseMul(const Matrix& a, const Matrix& b) {
   ADAMGNN_CHECK(a.SameShape(b));
   Matrix c = a;
-  for (size_t i = 0; i < c.size(); ++i) c.data()[i] *= b.data()[i];
+  ParallelCombineInPlace(&c, b, [](double x, double y) { return x * y; });
   return c;
 }
 
 Matrix Scale(const Matrix& a, double scalar) {
   Matrix c = a;
-  c *= scalar;
+  ParallelApplyInPlace(&c, [scalar](double x) { return x * scalar; });
   return c;
 }
 
@@ -86,10 +349,14 @@ Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
   ADAMGNN_CHECK_EQ(row.rows(), 1u);
   ADAMGNN_CHECK_EQ(row.cols(), a.cols());
   Matrix c = a;
-  for (size_t r = 0; r < c.rows(); ++r) {
-    double* cr = c.row(r);
-    for (size_t j = 0; j < c.cols(); ++j) cr[j] += row.data()[j];
-  }
+  const double* rv = row.data();
+  util::ParallelFor(0, c.rows(), RowGrain(c.rows(), c.cols()),
+                    [&](size_t r0, size_t r1) {
+                      for (size_t r = r0; r < r1; ++r) {
+                        double* cr = c.row(r);
+                        for (size_t j = 0; j < c.cols(); ++j) cr[j] += rv[j];
+                      }
+                    });
   return c;
 }
 
@@ -97,11 +364,14 @@ Matrix MulColBroadcast(const Matrix& a, const Matrix& col) {
   ADAMGNN_CHECK_EQ(col.cols(), 1u);
   ADAMGNN_CHECK_EQ(col.rows(), a.rows());
   Matrix c = a;
-  for (size_t r = 0; r < c.rows(); ++r) {
-    const double s = col(r, 0);
-    double* cr = c.row(r);
-    for (size_t j = 0; j < c.cols(); ++j) cr[j] *= s;
-  }
+  util::ParallelFor(0, c.rows(), RowGrain(c.rows(), c.cols()),
+                    [&](size_t r0, size_t r1) {
+                      for (size_t r = r0; r < r1; ++r) {
+                        const double s = col(r, 0);
+                        double* cr = c.row(r);
+                        for (size_t j = 0; j < c.cols(); ++j) cr[j] *= s;
+                      }
+                    });
   return c;
 }
 
@@ -163,36 +433,43 @@ Matrix RowMax(const Matrix& a) {
 }
 
 Matrix SoftmaxRows(const Matrix& a) {
+  ADAMGNN_CHECK_GT(a.cols(), 0u);
   Matrix c = a;
-  for (size_t r = 0; r < c.rows(); ++r) {
-    double* cr = c.row(r);
-    double m = cr[0];
-    for (size_t j = 1; j < c.cols(); ++j) m = std::max(m, cr[j]);
-    double z = 0.0;
-    for (size_t j = 0; j < c.cols(); ++j) {
-      cr[j] = std::exp(cr[j] - m);
-      z += cr[j];
-    }
-    for (size_t j = 0; j < c.cols(); ++j) cr[j] /= z;
-  }
+  util::ParallelFor(0, c.rows(), RowGrain(c.rows(), c.cols()),
+                    [&](size_t r0, size_t r1) {
+                      for (size_t r = r0; r < r1; ++r) {
+                        double* cr = c.row(r);
+                        double m = cr[0];
+                        for (size_t j = 1; j < c.cols(); ++j) {
+                          m = std::max(m, cr[j]);
+                        }
+                        double z = 0.0;
+                        for (size_t j = 0; j < c.cols(); ++j) {
+                          cr[j] = std::exp(cr[j] - m);
+                          z += cr[j];
+                        }
+                        for (size_t j = 0; j < c.cols(); ++j) cr[j] /= z;
+                      }
+                    });
   return c;
 }
 
 Matrix Relu(const Matrix& a) {
   Matrix c = a;
-  c.Apply([](double x) { return x > 0.0 ? x : 0.0; });
+  ParallelApplyInPlace(&c, [](double x) { return x > 0.0 ? x : 0.0; });
   return c;
 }
 
 Matrix LeakyRelu(const Matrix& a, double slope) {
   Matrix c = a;
-  c.Apply([slope](double x) { return x > 0.0 ? x : slope * x; });
+  ParallelApplyInPlace(&c,
+                       [slope](double x) { return x > 0.0 ? x : slope * x; });
   return c;
 }
 
 Matrix Sigmoid(const Matrix& a) {
   Matrix c = a;
-  c.Apply([](double x) {
+  ParallelApplyInPlace(&c, [](double x) {
     // Split on sign for numeric stability at large |x|.
     if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
     double e = std::exp(x);
@@ -203,19 +480,20 @@ Matrix Sigmoid(const Matrix& a) {
 
 Matrix Tanh(const Matrix& a) {
   Matrix c = a;
-  c.Apply([](double x) { return std::tanh(x); });
+  ParallelApplyInPlace(&c, [](double x) { return std::tanh(x); });
   return c;
 }
 
 Matrix Exp(const Matrix& a) {
   Matrix c = a;
-  c.Apply([](double x) { return std::exp(x); });
+  ParallelApplyInPlace(&c, [](double x) { return std::exp(x); });
   return c;
 }
 
 Matrix Log(const Matrix& a) {
   Matrix c = a;
-  c.Apply([](double x) { return std::log(x); });
+  ParallelApplyInPlace(
+      &c, [](double x) { return std::log(std::max(x, kLogTiny)); });
   return c;
 }
 
@@ -223,12 +501,29 @@ Matrix SegmentSum(const Matrix& a, const std::vector<size_t>& segments,
                   size_t num_segments) {
   ADAMGNN_CHECK_EQ(segments.size(), a.rows());
   Matrix c(num_segments, a.cols());
-  for (size_t r = 0; r < a.rows(); ++r) {
-    ADAMGNN_CHECK_LT(segments[r], num_segments);
-    double* cs = c.row(segments[r]);
-    const double* ar = a.row(r);
-    for (size_t j = 0; j < a.cols(); ++j) cs[j] += ar[j];
+  const size_t rows = a.rows(), cols = a.cols();
+  if (rows == 0) return c;
+  // Scatter with per-chunk partial accumulators, merged in ascending chunk
+  // order. The decomposition depends only on `rows`, so the merged result is
+  // bitwise-identical at every thread count; a single chunk (the common
+  // small case) accumulates straight into c exactly like the serial loop.
+  const std::vector<util::ChunkRange> chunks =
+      util::SplitRange(0, rows, ScatterGrain(rows));
+  std::vector<Matrix> partials;
+  partials.reserve(chunks.size() > 0 ? chunks.size() - 1 : 0);
+  for (size_t ci = 1; ci < chunks.size(); ++ci) {
+    partials.emplace_back(num_segments, cols);
   }
+  util::ParallelForChunks(chunks.size(), [&](size_t ci) {
+    Matrix& dst = ci == 0 ? c : partials[ci - 1];
+    for (size_t r = chunks[ci].begin; r < chunks[ci].end; ++r) {
+      ADAMGNN_CHECK_LT(segments[r], num_segments);
+      double* cs = dst.row(segments[r]);
+      const double* ar = a.row(r);
+      for (size_t j = 0; j < cols; ++j) cs[j] += ar[j];
+    }
+  });
+  for (const Matrix& partial : partials) c += partial;
   return c;
 }
 

@@ -1,5 +1,11 @@
 // Dense linear-algebra kernels over Matrix. These are the non-differentiable
 // primitives; the autograd layer composes them into differentiable ops.
+//
+// Threading: the MatMul variants, elementwise maps, SoftmaxRows, and the
+// segment reductions run on the shared pool in util/thread_pool.h. All of
+// them use deterministic static partitioning, so results are
+// bitwise-identical at every thread count (ADAMGNN_NUM_THREADS /
+// util::SetNumThreads), including the serial threads == 1 fallback.
 
 #ifndef ADAMGNN_TENSOR_KERNELS_H_
 #define ADAMGNN_TENSOR_KERNELS_H_
@@ -44,7 +50,8 @@ Matrix RowMean(const Matrix& a);
 /// Per-row maximum as rows x 1.
 Matrix RowMax(const Matrix& a);
 
-/// Numerically stable row-wise softmax.
+/// Numerically stable row-wise softmax. Requires cols > 0 (same contract as
+/// RowMax; a row-wise reduction over zero columns is undefined).
 Matrix SoftmaxRows(const Matrix& a);
 
 /// Elementwise maps.
@@ -53,7 +60,10 @@ Matrix LeakyRelu(const Matrix& a, double slope);
 Matrix Sigmoid(const Matrix& a);
 Matrix Tanh(const Matrix& a);
 Matrix Exp(const Matrix& a);
-Matrix Log(const Matrix& a);  // caller guarantees positivity
+/// Elementwise natural log. Inputs are clamped to >= 1e-300 first, so zeros
+/// and negatives from degenerate inputs yield a large-but-finite negative
+/// value instead of -inf/NaN that would silently poison training.
+Matrix Log(const Matrix& a);
 
 /// Sum over segments: out(seg[i], :) += a(i, :). out has num_segments rows.
 /// Every segment id must be < num_segments.

@@ -96,4 +96,12 @@ size_t Rng::NextCategorical(const std::vector<double>& weights) {
 
 Rng Rng::Fork() { return Rng(Next()); }
 
+Rng Rng::ForkStream(uint64_t stream) const {
+  // Mix the current state with the stream id; the Rng constructor then runs
+  // the result through SplitMix64, which decorrelates adjacent stream ids.
+  const uint64_t seed = state_[0] ^ Rotl(state_[2], 29) ^
+                        (stream * 0x9e3779b97f4a7c15ULL + 0x2545f4914f6cdd1dULL);
+  return Rng(seed);
+}
+
 }  // namespace adamgnn::util

@@ -58,6 +58,14 @@ class Rng {
   /// model component its own stream without coupling their consumption.
   Rng Fork();
 
+  /// Derives an independent child generator for `stream` without advancing
+  /// this generator. Distinct stream ids yield decorrelated sequences, so a
+  /// parallel region can hand stream i to work item i (e.g. one stream per
+  /// matrix row) and produce output that is independent of the thread count
+  /// and of chunk scheduling. Typical use: salt = rng->Fork() once, then
+  /// salt.ForkStream(i) per item.
+  Rng ForkStream(uint64_t stream) const;
+
  private:
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;

@@ -1,0 +1,158 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <cstdlib>
+
+#include "util/logging.h"
+
+namespace adamgnn::util {
+
+namespace {
+
+// Set while a pool worker is executing chunks, so nested ParallelFor calls
+// from inside a kernel degrade to inline execution instead of deadlocking on
+// the pool.
+thread_local bool tls_in_pool_worker = false;
+
+// 0 = no override; resolved from env/hardware in NumThreads().
+std::atomic<int> g_thread_override{0};
+
+int DefaultNumThreads() {
+  static const int resolved = [] {
+    if (const char* env = std::getenv("ADAMGNN_NUM_THREADS")) {
+      const int v = std::atoi(env);
+      if (v >= 1) return v;
+      if (*env != '\0') {
+        ADAMGNN_LOG(Warning) << "ignoring invalid ADAMGNN_NUM_THREADS=\""
+                             << env << "\"";
+      }
+    }
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+  }();
+  return resolved;
+}
+
+}  // namespace
+
+int NumThreads() {
+  const int override_threads = g_thread_override.load(std::memory_order_relaxed);
+  if (override_threads > 0) return override_threads;
+  return DefaultNumThreads();
+}
+
+void SetNumThreads(int n) {
+  g_thread_override.store(n < 0 ? 0 : n, std::memory_order_relaxed);
+}
+
+std::vector<ChunkRange> SplitRange(size_t begin, size_t end, size_t grain) {
+  std::vector<ChunkRange> chunks;
+  if (end <= begin) return chunks;
+  const size_t g = grain < 1 ? 1 : grain;
+  chunks.reserve((end - begin + g - 1) / g);
+  for (size_t b = begin; b < end; b += g) {
+    chunks.push_back({b, b + g < end ? b + g : end});
+  }
+  return chunks;
+}
+
+void ParallelForChunks(size_t num_chunks,
+                       const std::function<void(size_t)>& fn) {
+  ThreadPool::Global().Run(num_chunks, static_cast<size_t>(NumThreads()), fn);
+}
+
+void ParallelFor(size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (end <= begin) return;
+  const size_t g = grain < 1 ? 1 : grain;
+  const size_t num_chunks = (end - begin + g - 1) / g;
+  ParallelForChunks(num_chunks, [begin, end, g, &fn](size_t c) {
+    const size_t b = begin + c * g;
+    fn(b, b + g < end ? b + g : end);
+  });
+}
+
+ThreadPool& ThreadPool::Global() {
+  // Function-local static: constructed on first parallel use, destroyed at
+  // process exit, where the destructor joins all workers.
+  static ThreadPool pool;
+  return pool;
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+size_t ThreadPool::num_workers() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return workers_.size();
+}
+
+void ThreadPool::EnsureWorkersLocked(size_t count) {
+  while (workers_.size() < count) {
+    const size_t index = workers_.size();
+    workers_.emplace_back([this, index] { WorkerLoop(index); });
+  }
+}
+
+void ThreadPool::WorkerLoop(size_t worker_index) {
+  tls_in_pool_worker = true;
+  uint64_t seen_epoch = 0;
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock,
+                  [&] { return shutdown_ || epoch_ != seen_epoch; });
+    if (shutdown_) return;
+    seen_epoch = epoch_;
+    // Participant id p runs chunks p, p + T, p + 2T, ... — a static
+    // assignment, so no chunk is ever claimed by two participants.
+    const size_t p = worker_index + 1;
+    if (p < job_participants_) {
+      const std::function<void(size_t)>* fn = job_fn_;
+      const size_t chunks = job_chunks_;
+      const size_t stride = job_participants_;
+      lock.unlock();
+      for (size_t c = p; c < chunks; c += stride) (*fn)(c);
+      lock.lock();
+      if (--active_ == 0) done_cv_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::Run(size_t num_chunks, size_t participants,
+                     const std::function<void(size_t)>& fn) {
+  if (num_chunks == 0) return;
+  if (participants > num_chunks) participants = num_chunks;
+  if (participants <= 1 || tls_in_pool_worker) {
+    for (size_t c = 0; c < num_chunks; ++c) fn(c);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    EnsureWorkersLocked(participants - 1);
+    job_fn_ = &fn;
+    job_chunks_ = num_chunks;
+    job_participants_ = participants;
+    active_ = participants;
+    ++epoch_;
+  }
+  work_cv_.notify_all();
+  // The caller is participant 0. Mark it as in-pool for the duration so a
+  // nested ParallelFor reached from its own chunks runs inline instead of
+  // clobbering the single in-flight job (Run is only entered with the flag
+  // clear, so restoring it to false afterwards is correct).
+  tls_in_pool_worker = true;
+  for (size_t c = 0; c < num_chunks; c += participants) fn(c);
+  tls_in_pool_worker = false;
+  std::unique_lock<std::mutex> lock(mu_);
+  if (--active_ != 0) {
+    done_cv_.wait(lock, [&] { return active_ == 0; });
+  }
+}
+
+}  // namespace adamgnn::util

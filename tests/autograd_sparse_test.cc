@@ -7,6 +7,7 @@
 #include "tensor/kernels.h"
 #include "test_util.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace adamgnn::autograd {
 namespace {
@@ -152,6 +153,122 @@ TEST(SpMMTest, ChainedUnpoolingGradient) {
   ExpectGradientsMatch(v1, loss);
   ExpectGradientsMatch(v2, loss);
   ExpectGradientsMatch(h, loss);
+}
+
+// ---------------------------------------------------------------------------
+// Threading determinism: the CSR SpMM forward/backward paths must produce
+// bitwise-identical values and gradients at thread counts {1, 2, 7}. Sizes
+// are chosen above the nnz * cols parallelization gate.
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<const SparseMatrix> LargeSparse(size_t rows, size_t cols,
+                                                size_t nnz, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Triplet> t;
+  t.reserve(nnz);
+  for (size_t k = 0; k < nnz; ++k) {
+    t.push_back({rng.NextUint64(rows), rng.NextUint64(cols),
+                 rng.NextUniform(0.1, 1.0)});
+  }
+  return std::make_shared<const SparseMatrix>(
+      SparseMatrix::FromTriplets(rows, cols, std::move(t)));
+}
+
+std::shared_ptr<SparsePattern> LargePattern(size_t rows, size_t cols,
+                                            size_t nnz, uint64_t seed) {
+  util::Rng rng(seed);
+  auto p = std::make_shared<SparsePattern>();
+  p->rows = rows;
+  p->cols = cols;
+  for (size_t k = 0; k < nnz; ++k) {
+    p->row_indices.push_back(rng.NextUint64(rows));
+    p->col_indices.push_back(rng.NextUint64(cols));
+  }
+  return p;
+}
+
+template <typename Fn>
+void ExpectBitwiseIdenticalAcrossThreadCounts(const Fn& fn) {
+  util::SetNumThreads(1);
+  const std::vector<Matrix> reference = fn();
+  for (int t : {2, 7}) {
+    util::SetNumThreads(t);
+    const std::vector<Matrix> got = fn();
+    ASSERT_EQ(got.size(), reference.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      EXPECT_TRUE(got[i] == reference[i])
+          << "output " << i << " differs at threads=" << t;
+    }
+  }
+  util::SetNumThreads(0);
+}
+
+TEST(SpMMThreadingTest, ForwardAndBackwardBitwiseAcrossThreadCounts) {
+  auto s = LargeSparse(2000, 1500, 30000, 31);
+  util::Rng rng(32);
+  const Matrix x0 = Matrix::Gaussian(1500, 64, 1.0, &rng);
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] {
+    Variable x = Variable::Parameter(x0);
+    Variable y = SpMM(s, x);
+    Backward(WeightedSum(y, 33));
+    return std::vector<Matrix>{y.value(), x.grad()};
+  });
+}
+
+TEST(SpMMThreadingTest, TransposeForwardAndBackwardBitwiseAcrossThreadCounts) {
+  auto s = LargeSparse(2000, 1500, 30000, 34);
+  util::Rng rng(35);
+  const Matrix x0 = Matrix::Gaussian(2000, 64, 1.0, &rng);
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] {
+    Variable x = Variable::Parameter(x0);
+    Variable y = SpMMTranspose(s, x);
+    Backward(WeightedSum(y, 36));
+    return std::vector<Matrix>{y.value(), x.grad()};
+  });
+}
+
+TEST(SpMMValuesThreadingTest, ForwardAndBackwardBitwiseAcrossThreadCounts) {
+  auto p = LargePattern(2000, 1500, 30000, 37);
+  util::Rng rng(38);
+  const Matrix v0 = Matrix::Uniform(p->nnz(), 1, 0.2, 1.0, &rng);
+  const Matrix x0 = Matrix::Gaussian(1500, 64, 1.0, &rng);
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] {
+    Variable v = Variable::Parameter(v0);
+    Variable x = Variable::Parameter(x0);
+    Variable y = SpMMValues(p, v, x);
+    Backward(WeightedSum(y, 39));
+    return std::vector<Matrix>{y.value(), v.grad(), x.grad()};
+  });
+}
+
+// ---------------------------------------------------------------------------
+// Edge cases: empty pattern / empty operand shapes.
+// ---------------------------------------------------------------------------
+
+TEST(SpMMValuesEdgeTest, EmptyPatternYieldsZeroOutputAndGradients) {
+  auto p = std::make_shared<SparsePattern>();
+  p->rows = 3;
+  p->cols = 2;
+  util::Rng rng(40);
+  Variable v = Variable::Parameter(Matrix(0, 1));
+  Variable x = Variable::Parameter(Matrix::Gaussian(2, 4, 1.0, &rng));
+  Variable y = SpMMValues(p, v, x);
+  EXPECT_TRUE(tensor::AllClose(y.value(), Matrix(3, 4), 0.0));
+  Backward(WeightedSum(y, 41));
+  EXPECT_TRUE(tensor::AllClose(x.grad(), Matrix(2, 4), 0.0));
+}
+
+TEST(SpMMEdgeTest, EmptySparseMatrixProducts) {
+  auto s = std::make_shared<const SparseMatrix>(
+      SparseMatrix::FromTriplets(0, 4, {}));
+  util::Rng rng(42);
+  Variable x = Variable::Constant(Matrix::Gaussian(4, 3, 1.0, &rng));
+  Variable y = SpMM(s, x);
+  EXPECT_EQ(y.rows(), 0u);
+  EXPECT_EQ(y.cols(), 3u);
+  // Transpose direction: (0x4)^T * (0x3) -> 4x3 zeros.
+  Variable z = SpMMTranspose(s, Variable::Constant(Matrix(0, 3)));
+  EXPECT_TRUE(tensor::AllClose(z.value(), Matrix(4, 3), 0.0));
 }
 
 }  // namespace

@@ -4,6 +4,7 @@
 
 #include "gtest/gtest.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace adamgnn::tensor {
 namespace {
@@ -165,6 +166,146 @@ TEST_P(KernelShapeSweep, SoftmaxRowsAlwaysNormalized) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, KernelShapeSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 13));
+
+// ---------------------------------------------------------------------------
+// Threading determinism: every parallelized kernel must be bitwise-identical
+// at thread counts {1, 2, 7}. Shapes are chosen above the parallelization
+// gates so the pool actually engages, including odd sizes that exercise the
+// blocked GEMM's scalar row/column tails.
+// ---------------------------------------------------------------------------
+
+template <typename Fn>
+void ExpectBitwiseIdenticalAcrossThreadCounts(const Fn& fn) {
+  util::SetNumThreads(1);
+  const Matrix reference = fn();
+  for (int t : {2, 7}) {
+    util::SetNumThreads(t);
+    EXPECT_TRUE(fn() == reference) << "result differs at threads=" << t;
+  }
+  util::SetNumThreads(0);
+}
+
+TEST(KernelsThreadingTest, MatMulBitwiseAcrossThreadCounts) {
+  util::Rng rng(21);
+  Matrix a = Matrix::Gaussian(256, 128, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(128, 64, 1.0, &rng);
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return MatMul(a, b); });
+  // Odd sizes: every tail path of the register-blocked kernel.
+  Matrix c = Matrix::Gaussian(211, 97, 1.0, &rng);
+  Matrix d = Matrix::Gaussian(97, 53, 1.0, &rng);
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return MatMul(c, d); });
+}
+
+TEST(KernelsThreadingTest, MatMulTransABitwiseAcrossThreadCounts) {
+  util::Rng rng(22);
+  Matrix a = Matrix::Gaussian(128, 256, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(128, 64, 1.0, &rng);
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return MatMulTransA(a, b); });
+  Matrix c = Matrix::Gaussian(97, 211, 1.0, &rng);
+  Matrix d = Matrix::Gaussian(97, 53, 1.0, &rng);
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return MatMulTransA(c, d); });
+}
+
+TEST(KernelsThreadingTest, MatMulTransBBitwiseAcrossThreadCounts) {
+  util::Rng rng(23);
+  Matrix a = Matrix::Gaussian(256, 128, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(64, 128, 1.0, &rng);
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return MatMulTransB(a, b); });
+  Matrix c = Matrix::Gaussian(211, 97, 1.0, &rng);
+  Matrix d = Matrix::Gaussian(53, 97, 1.0, &rng);
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return MatMulTransB(c, d); });
+}
+
+TEST(KernelsThreadingTest, ElementwiseBitwiseAcrossThreadCounts) {
+  util::Rng rng(24);
+  Matrix a = Matrix::Gaussian(200, 200, 1.0, &rng);
+  Matrix b = Matrix::Gaussian(200, 200, 1.0, &rng);
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return Add(a, b); });
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return Sub(a, b); });
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return CwiseMul(a, b); });
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return Scale(a, 1.7); });
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return Relu(a); });
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return LeakyRelu(a, 0.1); });
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return Sigmoid(a); });
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return Tanh(a); });
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return Exp(a); });
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return Log(a); });
+}
+
+TEST(KernelsThreadingTest, RowKernelsBitwiseAcrossThreadCounts) {
+  util::Rng rng(25);
+  Matrix a = Matrix::Gaussian(600, 60, 1.0, &rng);
+  Matrix row = Matrix::Gaussian(1, 60, 1.0, &rng);
+  Matrix col = Matrix::Gaussian(600, 1, 1.0, &rng);
+  ExpectBitwiseIdenticalAcrossThreadCounts([&] { return SoftmaxRows(a); });
+  ExpectBitwiseIdenticalAcrossThreadCounts(
+      [&] { return AddRowBroadcast(a, row); });
+  ExpectBitwiseIdenticalAcrossThreadCounts(
+      [&] { return MulColBroadcast(a, col); });
+}
+
+TEST(KernelsThreadingTest, SegmentKernelsBitwiseAcrossThreadCounts) {
+  util::Rng rng(26);
+  Matrix a = Matrix::Gaussian(10000, 8, 1.0, &rng);
+  const size_t num_segments = 100;
+  std::vector<size_t> seg(a.rows());
+  for (auto& s : seg) s = rng.NextUint64(num_segments);
+  ExpectBitwiseIdenticalAcrossThreadCounts(
+      [&] { return SegmentSum(a, seg, num_segments); });
+  ExpectBitwiseIdenticalAcrossThreadCounts(
+      [&] { return SegmentMean(a, seg, num_segments); });
+}
+
+// ---------------------------------------------------------------------------
+// Edge shapes: zero-row, zero-column, 1xN, Nx1, and empty-segment inputs.
+// ---------------------------------------------------------------------------
+
+TEST(KernelsEdgeShapeTest, MatMulDegenerateShapes) {
+  util::Rng rng(27);
+  // 0-row result.
+  Matrix a0(0, 5);
+  Matrix b = Matrix::Gaussian(5, 3, 1.0, &rng);
+  Matrix c = MatMul(a0, b);
+  EXPECT_EQ(c.rows(), 0u);
+  EXPECT_EQ(c.cols(), 3u);
+  // Inner dimension 0: a well-defined all-zeros product.
+  Matrix z = MatMul(Matrix(3, 0), Matrix(0, 4));
+  EXPECT_TRUE(AllClose(z, Matrix(3, 4), 0.0));
+  // 1xN times Nx1 and the transposed variants.
+  Matrix u = Matrix::Gaussian(1, 64, 1.0, &rng);
+  Matrix v = Matrix::Gaussian(64, 1, 1.0, &rng);
+  EXPECT_TRUE(AllClose(MatMul(u, v), MatMulTransB(u, v.Transposed()), 1e-12));
+  EXPECT_TRUE(AllClose(MatMul(u, v), MatMulTransA(u.Transposed(), v), 1e-12));
+}
+
+TEST(KernelsEdgeShapeTest, RowKernelsOnZeroRows) {
+  Matrix empty(0, 5);
+  EXPECT_EQ(SoftmaxRows(empty).rows(), 0u);
+  EXPECT_EQ(RowMean(empty).rows(), 0u);
+  EXPECT_EQ(AddRowBroadcast(empty, Matrix(1, 5)).rows(), 0u);
+  EXPECT_EQ(Relu(empty).rows(), 0u);
+}
+
+TEST(KernelsEdgeShapeTest, SoftmaxRowsRejectsZeroColumns) {
+  EXPECT_DEATH(SoftmaxRows(Matrix(3, 0)), "Check failed");
+}
+
+TEST(KernelsEdgeShapeTest, RowMeanRejectsZeroColumns) {
+  EXPECT_DEATH(RowMean(Matrix(3, 0)), "Check failed");
+}
+
+TEST(KernelsEdgeShapeTest, SegmentSumEmptyInputs) {
+  // No rows at all: every segment is empty.
+  Matrix none(0, 4);
+  Matrix s = SegmentSum(none, {}, 3);
+  EXPECT_TRUE(AllClose(s, Matrix(3, 4), 0.0));
+  Matrix m = SegmentMean(none, {}, 3);
+  EXPECT_TRUE(AllClose(m, Matrix(3, 4), 0.0));
+  // Some segments never referenced: their rows stay zero.
+  Matrix x = M(2, 1, {5, 7});
+  Matrix sum = SegmentSum(x, {2, 2}, 4);
+  EXPECT_TRUE(AllClose(sum, M(4, 1, {0, 0, 12, 0}), 0.0));
+}
 
 }  // namespace
 }  // namespace adamgnn::tensor

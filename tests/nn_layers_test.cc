@@ -14,6 +14,7 @@
 #include "tensor/kernels.h"
 #include "test_util.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace adamgnn::nn {
 namespace {
@@ -220,6 +221,24 @@ TEST(ModuleTest, CollectParameters) {
   Linear b(3, 4, false, &rng);
   auto all = CollectParameters({&a, &b});
   EXPECT_EQ(all.size(), 3u);
+}
+
+TEST(DropoutTest, MaskIndependentOfThreadCount) {
+  // Large enough to take the parallel per-row-stream path; the mask (and
+  // therefore any model output) must be bitwise-identical at every thread
+  // count for a fixed seed.
+  Dropout drop(0.4);
+  auto mask_at = [&](int threads) {
+    util::SetNumThreads(threads);
+    util::Rng rng(17);
+    autograd::Variable ones =
+        autograd::Variable::Constant(tensor::Matrix::Ones(700, 50));
+    return drop.Apply(ones, &rng, /*training=*/true).value();
+  };
+  const tensor::Matrix reference = mask_at(1);
+  EXPECT_TRUE(mask_at(2) == reference);
+  EXPECT_TRUE(mask_at(7) == reference);
+  util::SetNumThreads(0);
 }
 
 }  // namespace

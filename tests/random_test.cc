@@ -124,5 +124,29 @@ TEST(RngTest, ForkProducesIndependentStream) {
   EXPECT_LT(same, 3);
 }
 
+TEST(RngTest, ForkStreamDoesNotAdvanceParent) {
+  Rng a(7);
+  Rng b(7);
+  (void)a.ForkStream(0);
+  (void)a.ForkStream(123456);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, ForkStreamIsDeterministicPerStreamId) {
+  Rng a(7);
+  Rng s1 = a.ForkStream(5);
+  Rng s2 = a.ForkStream(5);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(s1.Next(), s2.Next());
+}
+
+TEST(RngTest, ForkStreamDecorrelatesAdjacentStreams) {
+  Rng a(7);
+  Rng s0 = a.ForkStream(0);
+  Rng s1 = a.ForkStream(1);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += s0.Next() == s1.Next() ? 1 : 0;
+  EXPECT_LT(same, 3);
+}
+
 }  // namespace
 }  // namespace adamgnn::util

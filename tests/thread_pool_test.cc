@@ -1,0 +1,151 @@
+#include "util/thread_pool.h"
+
+#include <atomic>
+#include <numeric>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace adamgnn::util {
+namespace {
+
+TEST(SplitRangeTest, CoversRangeExactlyOnceInOrder) {
+  for (size_t begin : {size_t{0}, size_t{3}}) {
+    for (size_t end : {begin, begin + 1, begin + 7, begin + 100}) {
+      for (size_t grain : {size_t{1}, size_t{3}, size_t{64}}) {
+        std::vector<ChunkRange> chunks = SplitRange(begin, end, grain);
+        size_t cursor = begin;
+        for (const ChunkRange& c : chunks) {
+          EXPECT_EQ(c.begin, cursor);
+          EXPECT_LT(c.begin, c.end);
+          EXPECT_LE(c.end - c.begin, grain);
+          cursor = c.end;
+        }
+        EXPECT_EQ(cursor, end);
+      }
+    }
+  }
+}
+
+TEST(SplitRangeTest, EmptyRangeYieldsNoChunks) {
+  EXPECT_TRUE(SplitRange(5, 5, 4).empty());
+  EXPECT_TRUE(SplitRange(0, 0, 1).empty());
+}
+
+TEST(SplitRangeTest, DecompositionIndependentOfThreadCount) {
+  // The chunk layout is a pure function of (begin, end, grain); the thread
+  // count must never leak into it.
+  std::vector<ChunkRange> before = SplitRange(0, 1000, 37);
+  for (int t : {1, 2, 7}) {
+    SetNumThreads(t);
+    std::vector<ChunkRange> now = SplitRange(0, 1000, 37);
+    ASSERT_EQ(now.size(), before.size());
+    for (size_t i = 0; i < now.size(); ++i) {
+      EXPECT_EQ(now[i].begin, before[i].begin);
+      EXPECT_EQ(now[i].end, before[i].end);
+    }
+  }
+  SetNumThreads(0);
+}
+
+TEST(ThreadConfigTest, SetNumThreadsOverridesAndRestores) {
+  const int initial = NumThreads();
+  EXPECT_GE(initial, 1);
+  SetNumThreads(3);
+  EXPECT_EQ(NumThreads(), 3);
+  SetNumThreads(1);
+  EXPECT_EQ(NumThreads(), 1);
+  SetNumThreads(0);  // back to the env/hardware default
+  EXPECT_EQ(NumThreads(), initial);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexExactlyOnce) {
+  for (int t : {1, 2, 7}) {
+    SetNumThreads(t);
+    const size_t n = 10007;
+    std::vector<std::atomic<int>> visits(n);
+    for (auto& v : visits) v = 0;
+    ParallelFor(0, n, 64, [&](size_t b, size_t e) {
+      for (size_t i = b; i < e; ++i) visits[i]++;
+    });
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(visits[i].load(), 1) << "index " << i << " threads " << t;
+    }
+  }
+  SetNumThreads(0);
+}
+
+TEST(ParallelForTest, EmptyAndSingleElementRanges) {
+  SetNumThreads(7);
+  int calls = 0;
+  ParallelFor(0, 0, 8, [&](size_t, size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> hits{0};
+  ParallelFor(41, 42, 8, [&](size_t b, size_t e) {
+    EXPECT_EQ(b, 41u);
+    EXPECT_EQ(e, 42u);
+    hits++;
+  });
+  EXPECT_EQ(hits.load(), 1);
+  SetNumThreads(0);
+}
+
+TEST(ParallelForTest, NestedCallsRunInline) {
+  // A ParallelFor inside a pool worker must degrade to inline execution
+  // instead of deadlocking on the shared pool.
+  SetNumThreads(4);
+  std::atomic<long> total{0};
+  ParallelFor(0, 64, 1, [&](size_t b, size_t e) {
+    for (size_t i = b; i < e; ++i) {
+      ParallelFor(0, 100, 10, [&](size_t ib, size_t ie) {
+        total += static_cast<long>(ie - ib);
+      });
+    }
+  });
+  EXPECT_EQ(total.load(), 64 * 100);
+  SetNumThreads(0);
+}
+
+TEST(ParallelForTest, ChunkResultsIndependentOfThreadCount) {
+  // Per-chunk partial sums, merged in chunk order, must not depend on the
+  // thread count — the pattern every scatter kernel relies on.
+  auto run = [] {
+    const size_t n = 5000;
+    std::vector<double> data(n);
+    for (size_t i = 0; i < n; ++i) {
+      data[i] = 1.0 / static_cast<double>(i + 1);
+    }
+    std::vector<ChunkRange> chunks = SplitRange(0, n, 617);
+    std::vector<double> partial(chunks.size(), 0.0);
+    ParallelForChunks(chunks.size(), [&](size_t ci) {
+      for (size_t i = chunks[ci].begin; i < chunks[ci].end; ++i) {
+        partial[ci] += data[i];
+      }
+    });
+    double sum = 0.0;
+    for (double p : partial) sum += p;
+    return sum;
+  };
+  SetNumThreads(1);
+  const double reference = run();
+  for (int t : {2, 7}) {
+    SetNumThreads(t);
+    const double got = run();
+    EXPECT_EQ(got, reference) << "threads=" << t;  // bitwise, not approximate
+  }
+  SetNumThreads(0);
+}
+
+TEST(ThreadPoolTest, GlobalPoolGrowsToRequestedWorkers) {
+  SetNumThreads(5);
+  std::atomic<int> chunks_run{0};
+  ParallelFor(0, 50, 1, [&](size_t, size_t) { chunks_run++; });
+  EXPECT_EQ(chunks_run.load(), 50);
+  // Participants are capped by the configured thread count: the caller plus
+  // at most NumThreads()-1 pool workers.
+  EXPECT_GE(ThreadPool::Global().num_workers(), 4u);
+  SetNumThreads(0);
+}
+
+}  // namespace
+}  // namespace adamgnn::util

@@ -3,7 +3,7 @@
 // Usage:
 //   adamgnn_train --task=nc --edges=g.txt --features=x.txt --labels=y.txt
 //                 [--levels=3] [--hidden=64] [--epochs=200] [--lr=0.01]
-//                 [--seed=1] [--save=model.ckpt]
+//                 [--seed=1] [--threads=N] [--save=model.ckpt]
 //   adamgnn_train --task=lp --edges=g.txt --features=x.txt [...]
 //   adamgnn_train --task=nc --synthetic=cora [--scale=0.2] [...]
 //
@@ -27,6 +27,7 @@
 #include "train/node_trainer.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace {
 
@@ -162,9 +163,23 @@ int main(int argc, char** argv) {
         "usage: adamgnn_train --task=nc|lp (--edges=F [--features=F] "
         "[--labels=F] | --synthetic=acm|citeseer|cora|emails|dblp|wiki "
         "[--scale=S]) [--levels=K] [--hidden=D] [--epochs=N] [--lr=R] "
-        "[--seed=S] [--save=PATH]\n");
+        "[--seed=S] [--threads=N] [--save=PATH]\n"
+        "  --threads=N  kernel worker threads (default: ADAMGNN_NUM_THREADS\n"
+        "               env or hardware concurrency). Results are\n"
+        "               bitwise-identical at every thread count.\n");
     return 0;
   }
+  const std::string threads = FlagOr(flags, "threads", "");
+  if (!threads.empty()) {
+    const int n = std::atoi(threads.c_str());
+    if (n < 1) {
+      std::fprintf(stderr, "--threads must be >= 1, got %s\n",
+                   threads.c_str());
+      return 2;
+    }
+    util::SetNumThreads(n);
+  }
+  std::printf("kernel threads: %d\n", util::NumThreads());
   const std::string task = FlagOr(flags, "task", "nc");
 
   auto graph_result = LoadInput(flags);

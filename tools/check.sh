@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Tier-1 verification: configure, build, and run the full test suite — once
+# normally and once under ThreadSanitizer with the kernel pool forced to four
+# threads — then smoke-test the trainer CLI with --threads=4.
+#
+# Usage: tools/check.sh [jobs]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+JOBS="${1:-$(nproc)}"
+
+echo "==> normal build + ctest"
+cmake -B build -S . >/dev/null
+cmake --build build -j "${JOBS}"
+ctest --test-dir build --output-on-failure -j "${JOBS}"
+
+echo "==> TSan build + ctest (ADAMGNN_NUM_THREADS=4)"
+cmake -B build-tsan -S . -DADAMGNN_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j "${JOBS}"
+ADAMGNN_NUM_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
+    -j "${JOBS}"
+
+echo "==> trainer smoke test (--threads=4)"
+./build/tools/adamgnn_train --task=nc --synthetic=cora --scale=0.1 \
+    --epochs=5 --threads=4
+
+echo "==> all checks passed"
