@@ -70,6 +70,36 @@ void Adam::Step() {
   }
 }
 
+Adam::State Adam::GetState() const {
+  State state;
+  state.t = t_;
+  state.m = m_;
+  state.v = v_;
+  return state;
+}
+
+util::Status Adam::SetState(const State& state) {
+  if (state.m.size() != params_.size() || state.v.size() != params_.size()) {
+    return util::Status::InvalidArgument(
+        "Adam state holds " + std::to_string(state.m.size()) + "/" +
+        std::to_string(state.v.size()) + " moment tensors, optimizer has " +
+        std::to_string(params_.size()) + " parameters");
+  }
+  for (size_t i = 0; i < params_.size(); ++i) {
+    if (!state.m[i].SameShape(m_[i]) || !state.v[i].SameShape(v_[i])) {
+      return util::Status::InvalidArgument(
+          "Adam state moment shape mismatch at tensor " + std::to_string(i));
+    }
+  }
+  if (state.t < 0) {
+    return util::Status::InvalidArgument("Adam state has negative step count");
+  }
+  t_ = state.t;
+  m_ = state.m;
+  v_ = state.v;
+  return util::Status::OK();
+}
+
 double ClipGradNorm(const std::vector<autograd::Variable>& params,
                     double max_norm) {
   ADAMGNN_CHECK_GT(max_norm, 0.0);

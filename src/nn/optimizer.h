@@ -7,6 +7,7 @@
 
 #include "autograd/variable.h"
 #include "tensor/matrix.h"
+#include "util/status.h"
 
 namespace adamgnn::nn {
 
@@ -48,6 +49,25 @@ class Adam : public Optimizer {
        double weight_decay = 0.0);
 
   void Step() override;
+
+  /// Current learning rate. Mutable at runtime so a divergence guard can
+  /// back off after a rollback (hyper-parameters beta/eps/decay are fixed).
+  double learning_rate() const { return lr_; }
+  void set_learning_rate(double lr) { lr_ = lr; }
+
+  /// Complete internal state — step counter plus first/second moment
+  /// estimates, in Parameters() order. Checkpointing this alongside the
+  /// parameters makes a resumed run bitwise-identical to an uninterrupted
+  /// one (a fresh Adam would re-warm the moments and diverge).
+  struct State {
+    int64_t t = 0;
+    std::vector<tensor::Matrix> m;
+    std::vector<tensor::Matrix> v;
+  };
+  State GetState() const;
+  /// Installs a GetState()-shaped snapshot. Fails with InvalidArgument if
+  /// the tensor counts or shapes do not match this optimizer's parameters.
+  util::Status SetState(const State& state);
 
  private:
   double lr_;

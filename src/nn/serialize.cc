@@ -2,14 +2,31 @@
 
 #include <cstdint>
 #include <cstdio>
+#include <cstring>
+#include <map>
 #include <memory>
+
+#include "util/crc32.h"
+#include "util/fallible_io.h"
 
 namespace adamgnn::nn {
 
 namespace {
 
 constexpr uint32_t kMagic = 0x41444d47;  // "ADMG"
-constexpr uint32_t kVersion = 1;
+constexpr uint32_t kVersionLegacy = 1;
+constexpr uint32_t kVersion = 2;
+
+constexpr uint32_t kSectionParams = 1;
+constexpr uint32_t kSectionAdam = 2;
+constexpr uint32_t kSectionTrainState = 3;
+
+// Largest tensor a checkpoint may declare: caps a hostile header's
+// allocation at ~1 GiB before the (cheaper) file-size cross-check runs.
+constexpr uint64_t kMaxTensorElems = uint64_t{1} << 27;
+// Sanity caps for variable-length training-state fields.
+constexpr uint64_t kMaxRngWords = 64;
+constexpr uint64_t kMaxRecoveryEvents = 1u << 20;
 
 struct FileCloser {
   void operator()(std::FILE* f) const {
@@ -18,63 +35,111 @@ struct FileCloser {
 };
 using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
 
-bool WriteU64(std::FILE* f, uint64_t v) {
-  return std::fwrite(&v, sizeof(v), 1, f) == 1;
+// ---- little-endian buffer building -----------------------------------
+
+void AppendRaw(std::string* buf, const void* data, size_t bytes) {
+  buf->append(static_cast<const char*>(data), bytes);
 }
-bool ReadU64(std::FILE* f, uint64_t* v) {
-  return std::fread(v, sizeof(*v), 1, f) == 1;
+void AppendU32(std::string* buf, uint32_t v) { AppendRaw(buf, &v, sizeof(v)); }
+void AppendU64(std::string* buf, uint64_t v) { AppendRaw(buf, &v, sizeof(v)); }
+void AppendI64(std::string* buf, int64_t v) { AppendRaw(buf, &v, sizeof(v)); }
+void AppendF64(std::string* buf, double v) { AppendRaw(buf, &v, sizeof(v)); }
+
+void AppendMatrix(std::string* buf, const tensor::Matrix& m) {
+  AppendU64(buf, m.rows());
+  AppendU64(buf, m.cols());
+  AppendRaw(buf, m.data(), m.size() * sizeof(double));
 }
 
-}  // namespace
+// ---- bounds-checked payload parsing ----------------------------------
 
-util::Status SaveParameters(const std::vector<autograd::Variable>& params,
-                            const std::string& path) {
-  FilePtr f(std::fopen(path.c_str(), "wb"));
-  if (f == nullptr) {
-    return util::Status::InvalidArgument("cannot open for writing: " + path);
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  bool Raw(void* out, size_t bytes) {
+    if (bytes > size_ - off_) return false;
+    std::memcpy(out, data_ + off_, bytes);
+    off_ += bytes;
+    return true;
   }
-  uint32_t header[2] = {kMagic, kVersion};
-  if (std::fwrite(header, sizeof(header), 1, f.get()) != 1) {
-    return util::Status::Internal("write failed: " + path);
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool I64(int64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+
+  size_t remaining() const { return size_ - off_; }
+  bool exhausted() const { return off_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t off_ = 0;
+};
+
+// Validates a declared shape before anything is allocated: per-dimension
+// bound, multiplication overflow, element cap, and enough bytes actually
+// present in the section to back the data.
+util::Status CheckDeclaredShape(uint64_t rows, uint64_t cols,
+                                size_t bytes_available,
+                                const std::string& path) {
+  if (rows > kMaxTensorElems || cols > kMaxTensorElems ||
+      (rows != 0 && cols > kMaxTensorElems / rows)) {
+    return util::Status::InvalidArgument(
+        "implausible tensor shape " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " in " + path);
   }
-  if (!WriteU64(f.get(), params.size())) {
-    return util::Status::Internal("write failed: " + path);
-  }
-  for (const auto& p : params) {
-    if (!p.defined()) {
-      return util::Status::InvalidArgument("undefined parameter in list");
-    }
-    const tensor::Matrix& m = p.value();
-    if (!WriteU64(f.get(), m.rows()) || !WriteU64(f.get(), m.cols()) ||
-        std::fwrite(m.data(), sizeof(double), m.size(), f.get()) !=
-            m.size()) {
-      return util::Status::Internal("write failed: " + path);
-    }
+  const uint64_t elems = rows * cols;
+  if (elems > bytes_available / sizeof(double)) {
+    return util::Status::InvalidArgument(
+        "truncated checkpoint: tensor " + std::to_string(rows) + "x" +
+        std::to_string(cols) + " exceeds remaining bytes in " + path);
   }
   return util::Status::OK();
 }
 
-util::Status LoadParameters(const std::string& path,
-                            std::vector<autograd::Variable>* params) {
-  if (params == nullptr) {
-    return util::Status::InvalidArgument("null params");
+// Reads one shape-tagged tensor into `m`, which must already have the
+// expected shape (the module defines the architecture, the file must agree).
+util::Status ReadMatrixInto(Reader* r, tensor::Matrix* m, size_t index,
+                            const std::string& path) {
+  uint64_t rows = 0, cols = 0;
+  if (!r->U64(&rows) || !r->U64(&cols)) {
+    return util::Status::InvalidArgument("truncated checkpoint: " + path);
   }
-  FilePtr f(std::fopen(path.c_str(), "rb"));
-  if (f == nullptr) {
-    return util::Status::NotFound("cannot open: " + path);
-  }
-  uint32_t header[2] = {0, 0};
-  if (std::fread(header, sizeof(header), 1, f.get()) != 1 ||
-      header[0] != kMagic) {
+  ADAMGNN_RETURN_NOT_OK(CheckDeclaredShape(rows, cols, r->remaining(), path));
+  if (rows != m->rows() || cols != m->cols()) {
     return util::Status::InvalidArgument(
-        "not a parameter checkpoint: " + path);
+        "shape mismatch at tensor " + std::to_string(index) + ": checkpoint " +
+        std::to_string(rows) + "x" + std::to_string(cols) + " vs module " +
+        std::to_string(m->rows()) + "x" + std::to_string(m->cols()));
   }
-  if (header[1] != kVersion) {
-    return util::Status::InvalidArgument(
-        "unsupported checkpoint version in " + path);
+  if (!r->Raw(m->data(), m->size() * sizeof(double))) {
+    return util::Status::InvalidArgument("truncated checkpoint: " + path);
   }
+  return util::Status::OK();
+}
+
+// ---- section payloads -------------------------------------------------
+
+util::Result<std::string> BuildParamsSection(
+    const std::vector<autograd::Variable>& params) {
+  std::string buf;
+  AppendU64(&buf, params.size());
+  for (const auto& p : params) {
+    if (!p.defined()) {
+      return util::Status::InvalidArgument("undefined parameter in list");
+    }
+    AppendMatrix(&buf, p.value());
+  }
+  return buf;
+}
+
+util::Status ParseParamsSection(const std::string& payload,
+                                std::vector<autograd::Variable>* params,
+                                const std::string& path) {
+  Reader r(payload.data(), payload.size());
   uint64_t count = 0;
-  if (!ReadU64(f.get(), &count)) {
+  if (!r.U64(&count)) {
     return util::Status::InvalidArgument("truncated checkpoint: " + path);
   }
   if (count != params->size()) {
@@ -82,24 +147,313 @@ util::Status LoadParameters(const std::string& path,
         "checkpoint has " + std::to_string(count) + " tensors, module has " +
         std::to_string(params->size()));
   }
-  for (auto& p : (*params)) {
-    uint64_t rows = 0, cols = 0;
-    if (!ReadU64(f.get(), &rows) || !ReadU64(f.get(), &cols)) {
-      return util::Status::InvalidArgument("truncated checkpoint: " + path);
+  for (size_t i = 0; i < params->size(); ++i) {
+    ADAMGNN_RETURN_NOT_OK(
+        ReadMatrixInto(&r, &(*params)[i].mutable_value(), i, path));
+  }
+  if (!r.exhausted()) {
+    return util::Status::InvalidArgument(
+        "trailing bytes after the last tensor in " + path);
+  }
+  return util::Status::OK();
+}
+
+std::string BuildAdamSection(const Adam::State& state) {
+  std::string buf;
+  AppendI64(&buf, state.t);
+  AppendU64(&buf, state.m.size());
+  for (size_t i = 0; i < state.m.size(); ++i) {
+    AppendMatrix(&buf, state.m[i]);
+    AppendMatrix(&buf, state.v[i]);
+  }
+  return buf;
+}
+
+util::Status ParseAdamSection(const std::string& payload, Adam* optimizer,
+                              const std::string& path) {
+  Reader r(payload.data(), payload.size());
+  Adam::State state;
+  uint64_t count = 0;
+  if (!r.I64(&state.t) || !r.U64(&count)) {
+    return util::Status::InvalidArgument("truncated checkpoint: " + path);
+  }
+  const auto& params = optimizer->params();
+  if (count != params.size()) {
+    return util::Status::InvalidArgument(
+        "checkpoint optimizer state has " + std::to_string(count) +
+        " moment pairs, optimizer has " + std::to_string(params.size()) +
+        " parameters");
+  }
+  state.m.reserve(count);
+  state.v.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    for (auto* moments : {&state.m, &state.v}) {
+      moments->emplace_back(params[i].value().rows(), params[i].value().cols());
+      ADAMGNN_RETURN_NOT_OK(ReadMatrixInto(&r, &moments->back(), i, path));
     }
-    if (rows != p.value().rows() || cols != p.value().cols()) {
-      return util::Status::InvalidArgument(
-          "shape mismatch: checkpoint " + std::to_string(rows) + "x" +
-          std::to_string(cols) + " vs module " +
-          std::to_string(p.value().rows()) + "x" +
-          std::to_string(p.value().cols()));
-    }
-    tensor::Matrix& m = p.mutable_value();
-    if (std::fread(m.data(), sizeof(double), m.size(), f.get()) != m.size()) {
+  }
+  if (!r.exhausted()) {
+    return util::Status::InvalidArgument(
+        "trailing bytes after optimizer state in " + path);
+  }
+  return optimizer->SetState(state);
+}
+
+std::string BuildTrainStateSection(const TrainingState& state) {
+  std::string buf;
+  AppendI64(&buf, state.next_epoch);
+  AppendI64(&buf, state.best_epoch);
+  AppendI64(&buf, state.stale_epochs);
+  AppendI64(&buf, state.lr_retries);
+  AppendF64(&buf, state.best_val);
+  AppendF64(&buf, state.best_train_metric);
+  AppendF64(&buf, state.best_val_metric);
+  AppendF64(&buf, state.best_test_metric);
+  AppendF64(&buf, state.learning_rate);
+  AppendF64(&buf, state.total_epoch_seconds);
+  AppendU64(&buf, state.rng_state.size());
+  for (uint64_t w : state.rng_state) AppendU64(&buf, w);
+  AppendU64(&buf, state.recovery_events.size());
+  for (const RecoveryEvent& e : state.recovery_events) {
+    AppendI64(&buf, e.epoch);
+    AppendU32(&buf, static_cast<uint32_t>(e.kind));
+    AppendF64(&buf, e.lr_before);
+    AppendF64(&buf, e.lr_after);
+  }
+  return buf;
+}
+
+util::Result<TrainingState> ParseTrainStateSection(const std::string& payload,
+                                                   const std::string& path) {
+  Reader r(payload.data(), payload.size());
+  TrainingState s;
+  uint64_t rng_words = 0, num_events = 0;
+  const bool fixed_ok =
+      r.I64(&s.next_epoch) && r.I64(&s.best_epoch) && r.I64(&s.stale_epochs) &&
+      r.I64(&s.lr_retries) && r.F64(&s.best_val) &&
+      r.F64(&s.best_train_metric) && r.F64(&s.best_val_metric) &&
+      r.F64(&s.best_test_metric) && r.F64(&s.learning_rate) &&
+      r.F64(&s.total_epoch_seconds) && r.U64(&rng_words);
+  if (!fixed_ok || rng_words > kMaxRngWords ||
+      rng_words > r.remaining() / sizeof(uint64_t)) {
+    return util::Status::InvalidArgument("truncated checkpoint: " + path);
+  }
+  s.rng_state.resize(rng_words);
+  for (uint64_t i = 0; i < rng_words; ++i) {
+    if (!r.U64(&s.rng_state[i])) {
       return util::Status::InvalidArgument("truncated checkpoint: " + path);
     }
   }
-  return util::Status::OK();
+  if (!r.U64(&num_events) || num_events > kMaxRecoveryEvents) {
+    return util::Status::InvalidArgument("truncated checkpoint: " + path);
+  }
+  s.recovery_events.resize(num_events);
+  for (RecoveryEvent& e : s.recovery_events) {
+    uint32_t kind = 0;
+    if (!r.I64(&e.epoch) || !r.U32(&kind) || !r.F64(&e.lr_before) ||
+        !r.F64(&e.lr_after)) {
+      return util::Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+    if (kind > static_cast<uint32_t>(RecoveryEvent::Kind::kNonFiniteGrad)) {
+      return util::Status::InvalidArgument(
+          "unknown recovery-event kind in " + path);
+    }
+    e.kind = static_cast<RecoveryEvent::Kind>(kind);
+  }
+  if (!r.exhausted()) {
+    return util::Status::InvalidArgument(
+        "trailing bytes after training state in " + path);
+  }
+  return s;
+}
+
+// ---- v2 container I/O -------------------------------------------------
+
+// Crash-safe writer: everything goes to `path + ".tmp"` first, is fsynced,
+// and only then renamed over `path`. Any failure (real or injected) leaves
+// the previous checkpoint at `path` untouched.
+util::Status WriteContainer(
+    const std::vector<std::pair<uint32_t, std::string>>& sections,
+    const std::string& path) {
+  const std::string tmp = path + ".tmp";
+  {
+    FilePtr f(std::fopen(tmp.c_str(), "wb"));
+    if (f == nullptr) {
+      return util::Status::InvalidArgument("cannot open for writing: " + tmp);
+    }
+    util::Status st;
+    std::string buf;
+    AppendU32(&buf, kMagic);
+    AppendU32(&buf, kVersion);
+    st = util::FallibleWrite(f.get(), buf.data(), buf.size(), tmp);
+    for (const auto& [tag, payload] : sections) {
+      if (!st.ok()) break;
+      buf.clear();
+      AppendU32(&buf, tag);
+      AppendU64(&buf, payload.size());
+      AppendRaw(&buf, payload.data(), payload.size());
+      AppendU32(&buf, util::Crc32(payload.data(), payload.size()));
+      st = util::FallibleWrite(f.get(), buf.data(), buf.size(), tmp);
+    }
+    if (st.ok()) st = util::FallibleFsync(f.get(), tmp);
+    if (!st.ok()) {
+      f.reset();
+      std::remove(tmp.c_str());
+      return st;
+    }
+  }
+  util::Status st = util::FallibleRename(tmp, path);
+  if (!st.ok()) std::remove(tmp.c_str());
+  return st;
+}
+
+struct Container {
+  uint32_t version = 0;
+  std::map<uint32_t, std::string> sections;  // v2 only
+  std::string legacy_body;                   // v1 only: bytes after header
+};
+
+util::Result<Container> ReadContainer(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (f == nullptr) {
+    return util::Status::NotFound("cannot open: " + path);
+  }
+  if (std::fseek(f.get(), 0, SEEK_END) != 0) {
+    return util::Status::Internal("seek failed: " + path);
+  }
+  const long end = std::ftell(f.get());
+  if (end < 0) return util::Status::Internal("tell failed: " + path);
+  std::rewind(f.get());
+  std::string raw(static_cast<size_t>(end), '\0');
+  if (!raw.empty() &&
+      std::fread(raw.data(), 1, raw.size(), f.get()) != raw.size()) {
+    return util::Status::Internal("read failed: " + path);
+  }
+
+  Reader r(raw.data(), raw.size());
+  uint32_t magic = 0;
+  Container c;
+  if (!r.U32(&magic) || !r.U32(&c.version) || magic != kMagic) {
+    return util::Status::InvalidArgument("not a parameter checkpoint: " +
+                                         path);
+  }
+  if (c.version == kVersionLegacy) {
+    c.legacy_body.assign(raw, 8, raw.size() - 8);
+    return c;
+  }
+  if (c.version != kVersion) {
+    return util::Status::InvalidArgument("unsupported checkpoint version " +
+                                         std::to_string(c.version) + " in " +
+                                         path);
+  }
+  while (!r.exhausted()) {
+    uint32_t tag = 0;
+    uint64_t len = 0;
+    if (!r.U32(&tag) || !r.U64(&len) || r.remaining() < 4 ||
+        len > r.remaining() - 4) {
+      return util::Status::InvalidArgument(
+          "truncated or trailing bytes in checkpoint: " + path);
+    }
+    std::string payload(len, '\0');
+    uint32_t crc = 0;
+    if (!r.Raw(payload.data(), len) || !r.U32(&crc)) {
+      return util::Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+    if (util::Crc32(payload.data(), payload.size()) != crc) {
+      return util::Status::InvalidArgument(
+          "checksum mismatch in section " + std::to_string(tag) + " of " +
+          path + " (corrupt checkpoint)");
+    }
+    if (!c.sections.emplace(tag, std::move(payload)).second) {
+      return util::Status::InvalidArgument(
+          "duplicate section " + std::to_string(tag) + " in " + path);
+    }
+  }
+  return c;
+}
+
+// v1 layout: u64 count, then per tensor u64 rows, u64 cols, doubles. No
+// checksums — only structural validation is possible.
+util::Status ParseLegacyParams(const std::string& body,
+                               std::vector<autograd::Variable>* params,
+                               const std::string& path) {
+  return ParseParamsSection(body, params, path);
+}
+
+}  // namespace
+
+const char* RecoveryKindToString(RecoveryEvent::Kind kind) {
+  switch (kind) {
+    case RecoveryEvent::Kind::kNonFiniteLoss:
+      return "non-finite-loss";
+    case RecoveryEvent::Kind::kNonFiniteGrad:
+      return "non-finite-grad";
+  }
+  return "unknown";
+}
+
+util::Status SaveParameters(const std::vector<autograd::Variable>& params,
+                            const std::string& path) {
+  ADAMGNN_ASSIGN_OR_RETURN(std::string payload, BuildParamsSection(params));
+  return WriteContainer({{kSectionParams, std::move(payload)}}, path);
+}
+
+util::Status LoadParameters(const std::string& path,
+                            std::vector<autograd::Variable>* params) {
+  if (params == nullptr) {
+    return util::Status::InvalidArgument("null params");
+  }
+  ADAMGNN_ASSIGN_OR_RETURN(Container c, ReadContainer(path));
+  if (c.version == kVersionLegacy) {
+    return ParseLegacyParams(c.legacy_body, params, path);
+  }
+  auto it = c.sections.find(kSectionParams);
+  if (it == c.sections.end()) {
+    return util::Status::InvalidArgument("checkpoint has no parameter section: " +
+                                         path);
+  }
+  return ParseParamsSection(it->second, params, path);
+}
+
+util::Status SaveTrainingCheckpoint(
+    const std::vector<autograd::Variable>& params, const Adam& optimizer,
+    const TrainingState& state, const std::string& path) {
+  ADAMGNN_ASSIGN_OR_RETURN(std::string param_payload,
+                           BuildParamsSection(params));
+  std::vector<std::pair<uint32_t, std::string>> sections;
+  sections.emplace_back(kSectionParams, std::move(param_payload));
+  sections.emplace_back(kSectionAdam, BuildAdamSection(optimizer.GetState()));
+  sections.emplace_back(kSectionTrainState, BuildTrainStateSection(state));
+  return WriteContainer(sections, path);
+}
+
+util::Result<TrainingState> LoadTrainingCheckpoint(
+    const std::string& path, std::vector<autograd::Variable>* params,
+    Adam* optimizer) {
+  if (params == nullptr || optimizer == nullptr) {
+    return util::Status::InvalidArgument("null params or optimizer");
+  }
+  ADAMGNN_ASSIGN_OR_RETURN(Container c, ReadContainer(path));
+  if (c.version == kVersionLegacy) {
+    return util::Status::FailedPrecondition(
+        "not a training checkpoint (v1 parameters-only file): " + path);
+  }
+  const auto params_it = c.sections.find(kSectionParams);
+  const auto adam_it = c.sections.find(kSectionAdam);
+  const auto state_it = c.sections.find(kSectionTrainState);
+  if (params_it == c.sections.end() || adam_it == c.sections.end() ||
+      state_it == c.sections.end()) {
+    return util::Status::FailedPrecondition(
+        "not a training checkpoint (missing optimizer/state sections): " +
+        path);
+  }
+  // Parse the training state first: it has no side effects, so a corrupt
+  // state section cannot leave params/optimizer half-restored.
+  ADAMGNN_ASSIGN_OR_RETURN(TrainingState state,
+                           ParseTrainStateSection(state_it->second, path));
+  ADAMGNN_RETURN_NOT_OK(ParseParamsSection(params_it->second, params, path));
+  ADAMGNN_RETURN_NOT_OK(ParseAdamSection(adam_it->second, optimizer, path));
+  return state;
 }
 
 ParameterSnapshot::ParameterSnapshot(std::vector<autograd::Variable> params)
@@ -113,9 +467,9 @@ void ParameterSnapshot::Capture() {
   for (const auto& p : params_) values_.push_back(p.value());
 }
 
-void ParameterSnapshot::Restore() const {
+void ParameterSnapshot::Restore() {
   for (size_t i = 0; i < params_.size(); ++i) {
-    const_cast<autograd::Variable&>(params_[i]).mutable_value() = values_[i];
+    params_[i].mutable_value() = values_[i];
   }
 }
 

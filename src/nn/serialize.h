@@ -1,32 +1,104 @@
-// Parameter (de)serialization: checkpointing trained models to disk and
-// restoring them, e.g. to keep the best-validation weights or to ship a
-// trained AdamGNN. The format is a versioned little-endian binary stream of
-// shape-tagged tensors; loading validates shapes against the receiving
-// module, so architecture mismatches fail loudly instead of corrupting.
+// Parameter and training-checkpoint (de)serialization.
+//
+// Format v2 is a sectioned little-endian container:
+//
+//   header:   u32 magic "ADMG" | u32 version (2)
+//   sections: u32 tag | u64 payload_len | payload | u32 crc32(payload)
+//
+// Section tags: 1 = parameters (u64 count, then per tensor u64 rows,
+// u64 cols, row-major doubles), 2 = Adam optimizer state (i64 step count,
+// u64 count, then per parameter rows/cols and the m and v moment tensors),
+// 3 = training state (epoch/best-val bookkeeping, learning rate, RNG words,
+// recovery events). Unknown sections are ignored on load (their CRC is
+// still verified), so the format is forward-extensible.
+//
+// Every save goes through a crash-safe protocol: write to `path + ".tmp"`,
+// fsync, then atomically rename over `path`. A crash at any point leaves
+// the previous checkpoint intact — tests prove this by injecting a failure
+// into every individual write/fsync/rename step (util/fault_injection.h).
+//
+// Loading validates CRCs, bounds every tensor shape against overflow and a
+// sanity cap before allocating, and rejects trailing bytes, so a torn or
+// hostile file fails loudly instead of corrupting a model. Legacy v1 files
+// (unsectioned, parameters only, no checksums) are still loadable via
+// LoadParameters.
 
 #ifndef ADAMGNN_NN_SERIALIZE_H_
 #define ADAMGNN_NN_SERIALIZE_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include "autograd/variable.h"
+#include "nn/optimizer.h"
 #include "tensor/matrix.h"
 #include "util/status.h"
 
 namespace adamgnn::nn {
 
-/// Writes every parameter tensor to `path`. Parameters are identified by
-/// position, so save/load pairs must come from identically constructed
-/// modules (the same Parameters() order).
+/// One divergence-recovery incident: at `epoch` the loss or gradient norm
+/// went non-finite, the trainer rolled parameters back to the last good
+/// snapshot and backed the learning rate off from lr_before to lr_after.
+/// Part of the checkpoint schema so a resumed run keeps its history.
+struct RecoveryEvent {
+  enum class Kind : uint32_t { kNonFiniteLoss = 0, kNonFiniteGrad = 1 };
+  int64_t epoch = 0;
+  Kind kind = Kind::kNonFiniteLoss;
+  double lr_before = 0.0;
+  double lr_after = 0.0;
+};
+
+/// Human-readable tag for a recovery kind ("non-finite-loss").
+const char* RecoveryKindToString(RecoveryEvent::Kind kind);
+
+/// Everything a training loop needs beyond parameters and optimizer moments
+/// to continue bitwise-identically after a crash: position, early-stopping
+/// bookkeeping, the (possibly backed-off) learning rate, and the exact RNG
+/// state at the epoch boundary.
+struct TrainingState {
+  int64_t next_epoch = 0;  ///< first epoch the resumed loop should run
+  int64_t best_epoch = 0;
+  int64_t stale_epochs = 0;  ///< epochs since the last val improvement
+  int64_t lr_retries = 0;    ///< divergence recoveries consumed so far
+  double best_val = -1.0;
+  /// Metrics recorded at the best-validation epoch. Task-specific meaning:
+  /// train/val/test accuracy for classification, val/test AUC for link
+  /// prediction (best_train_metric unused there).
+  double best_train_metric = 0.0;
+  double best_val_metric = 0.0;
+  double best_test_metric = 0.0;
+  double learning_rate = 0.0;
+  double total_epoch_seconds = 0.0;
+  std::vector<uint64_t> rng_state;  ///< util::Rng::SaveState() words
+  std::vector<RecoveryEvent> recovery_events;
+};
+
+/// Writes every parameter tensor to `path` (v2 container, atomic replace).
+/// Parameters are identified by position, so save/load pairs must come from
+/// identically constructed modules (the same Parameters() order).
 util::Status SaveParameters(const std::vector<autograd::Variable>& params,
                             const std::string& path);
 
-/// Restores tensors saved by SaveParameters into `params` (in place).
-/// Fails with InvalidArgument if the count or any shape differs, or the
-/// file is not a parameter checkpoint.
+/// Restores tensors saved by SaveParameters — or the parameter section of a
+/// full training checkpoint — into `params` (in place). Accepts both v1 and
+/// v2 files. Fails with InvalidArgument if the count or any shape differs,
+/// a checksum does not match, or the file is not a parameter checkpoint.
 util::Status LoadParameters(const std::string& path,
                             std::vector<autograd::Variable>* params);
+
+/// Writes a full resumable checkpoint: parameters + Adam moments + training
+/// state, each section CRC-checksummed, atomically replacing `path`.
+util::Status SaveTrainingCheckpoint(
+    const std::vector<autograd::Variable>& params, const Adam& optimizer,
+    const TrainingState& state, const std::string& path);
+
+/// Restores a SaveTrainingCheckpoint file into params/optimizer (in place)
+/// and returns the training state. Fails with FailedPrecondition on a
+/// parameters-only file (v1 or v2 without optimizer/state sections).
+util::Result<TrainingState> LoadTrainingCheckpoint(
+    const std::string& path, std::vector<autograd::Variable>* params,
+    Adam* optimizer);
 
 /// In-memory snapshot of parameter values — the cheap way to keep the
 /// best-validation weights during training and roll back at the end.
@@ -39,7 +111,7 @@ class ParameterSnapshot {
   void Capture();
 
   /// Writes the captured values back into the parameters.
-  void Restore() const;
+  void Restore();
 
  private:
   std::vector<autograd::Variable> params_;

@@ -6,6 +6,7 @@
 #include "autograd/ops.h"
 #include "nn/optimizer.h"
 #include "train/metrics.h"
+#include "train/resilience.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -56,16 +57,24 @@ util::Result<GraphTaskResult> TrainGraphClassifier(
   util::Rng rng(config.seed);
   nn::Adam optimizer(model->Parameters(), config.learning_rate, 0.9, 0.999,
                      1e-8, config.weight_decay);
+  TrainingResilience resilience(config, &optimizer, &rng);
+  ADAMGNN_ASSIGN_OR_RETURN(int start_epoch, resilience.Initialize());
+  nn::TrainingState& st = resilience.state();
 
   GraphTaskResult result;
-  double best_val = -1.0;
-  int stale = 0;
-  double total_epoch_time = 0.0;
-  std::vector<size_t> train_order = split.train;
+  result.epochs_run = start_epoch;
 
-  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config.max_epochs; ++epoch) {
     util::Stopwatch watch;
+    // The epoch's batch order is a pure function of the split and the RNG
+    // state at the epoch boundary (not of the previous epoch's order), so
+    // a resumed run shuffles identically to an uninterrupted one.
+    std::vector<size_t> train_order = split.train;
     rng.Shuffle(&train_order);
+    // A non-finite loss or gradient in any mini-batch abandons the whole
+    // epoch: parameters and moments roll back to the last finite epoch
+    // boundary, undoing the batches that already stepped.
+    bool recovered = false;
     for (size_t start = 0; start < train_order.size(); start += batch_size) {
       std::vector<const graph::Graph*> members;
       for (size_t i = start;
@@ -80,12 +89,22 @@ util::Result<GraphTaskResult> TrainGraphClassifier(
       autograd::Variable loss = autograd::SoftmaxCrossEntropy(
           out.logits, batch.graph_labels, all_rows);
       if (out.aux_loss.defined()) loss = autograd::Add(loss, out.aux_loss);
+
+      double loss_value = loss.value()(0, 0);
+      ADAMGNN_ASSIGN_OR_RETURN(recovered,
+                               resilience.GuardLoss(epoch, &loss_value));
+      if (recovered) break;
       autograd::Backward(loss);
-      nn::ClipGradNorm(optimizer.params(), config.clip_norm);
+      const double grad_norm =
+          nn::ClipGradNorm(optimizer.params(), config.clip_norm);
+      ADAMGNN_ASSIGN_OR_RETURN(recovered,
+                               resilience.GuardGradNorm(epoch, grad_norm));
+      if (recovered) break;
       optimizer.Step();
     }
-    total_epoch_time += watch.ElapsedSeconds();
+    st.total_epoch_seconds += watch.ElapsedSeconds();
     result.epochs_run = epoch + 1;
+    if (recovered) continue;
 
     ADAMGNN_ASSIGN_OR_RETURN(
         double val_acc,
@@ -93,23 +112,35 @@ util::Result<GraphTaskResult> TrainGraphClassifier(
     if (config.verbose) {
       ADAMGNN_LOG(Info) << "epoch " << epoch << " val " << val_acc;
     }
-    if (val_acc > best_val) {
-      best_val = val_acc;
-      result.best_epoch = epoch;
-      result.val_accuracy = val_acc;
+    if (val_acc > st.best_val) {
+      st.best_val = val_acc;
+      st.best_epoch = epoch;
+      st.best_val_metric = val_acc;
       ADAMGNN_ASSIGN_OR_RETURN(
-          result.train_accuracy,
+          st.best_train_metric,
           EvalAccuracy(model, dataset, split.train, batch_size, &rng));
       ADAMGNN_ASSIGN_OR_RETURN(
-          result.test_accuracy,
+          st.best_test_metric,
           EvalAccuracy(model, dataset, split.test, batch_size, &rng));
-      stale = 0;
-    } else if (++stale >= config.patience) {
-      break;
+      st.stale_epochs = 0;
+    } else {
+      ++st.stale_epochs;
     }
+    ADAMGNN_RETURN_NOT_OK(resilience.CompleteEpoch(epoch));
+    if (st.stale_epochs >= config.patience) break;
   }
+  ADAMGNN_RETURN_NOT_OK(resilience.Finalize(result.epochs_run));
+
+  result.best_epoch = static_cast<int>(st.best_epoch);
+  result.val_accuracy = st.best_val_metric;
+  result.train_accuracy = st.best_train_metric;
+  result.test_accuracy = st.best_test_metric;
+  result.resumed_from_epoch = resilience.resumed_from_epoch();
+  result.recovery_events = resilience.recovery_events();
   result.avg_epoch_seconds =
-      total_epoch_time / static_cast<double>(result.epochs_run);
+      result.epochs_run > 0
+          ? st.total_epoch_seconds / static_cast<double>(result.epochs_run)
+          : 0.0;
   return result;
 }
 

@@ -4,8 +4,11 @@
 #ifndef ADAMGNN_TRAIN_GRAPH_TRAINER_H_
 #define ADAMGNN_TRAIN_GRAPH_TRAINER_H_
 
+#include <vector>
+
 #include "data/graph_datasets.h"
 #include "data/splits.h"
+#include "nn/serialize.h"
 #include "train/interfaces.h"
 #include "train/node_trainer.h"
 #include "util/status.h"
@@ -19,6 +22,10 @@ struct GraphTaskResult {
   int best_epoch = 0;
   int epochs_run = 0;
   double avg_epoch_seconds = 0;
+  /// Absolute epoch the run resumed from, or -1 on a cold start.
+  int resumed_from_epoch = -1;
+  /// Divergence rollbacks performed during (or before, if resumed) the run.
+  std::vector<nn::RecoveryEvent> recovery_events;
 };
 
 /// Trains `model` on dataset.graphs indexed by `split`.

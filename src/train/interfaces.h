@@ -1,10 +1,13 @@
-// Task-facing model interfaces. Every architecture in this library (the flat
-// GNN baselines, the pooling baselines, and AdamGNN) adapts to one or more of
-// these, so the trainers and benches can treat them uniformly.
+// Task-facing model interfaces and the shared training configuration. Every
+// architecture in this library (the flat GNN baselines, the pooling
+// baselines, and AdamGNN) adapts to one or more of these, so the trainers
+// and benches can treat them uniformly.
 
 #ifndef ADAMGNN_TRAIN_INTERFACES_H_
 #define ADAMGNN_TRAIN_INTERFACES_H_
 
+#include <cstdint>
+#include <string>
 #include <vector>
 
 #include "autograd/variable.h"
@@ -13,6 +16,39 @@
 #include "util/random.h"
 
 namespace adamgnn::train {
+
+/// Configuration shared by all three task trainers (node, link, graph).
+struct TrainConfig {
+  int max_epochs = 200;
+  double learning_rate = 0.01;
+  double weight_decay = 5e-4;
+  /// Stop after this many epochs without validation improvement.
+  int patience = 30;
+  double clip_norm = 5.0;
+  uint64_t seed = 1;
+  bool verbose = false;
+
+  // --- crash safety ----------------------------------------------------
+  /// Resumable checkpoint file (parameters + Adam moments + RNG + epoch
+  /// bookkeeping, crash-safe atomic writes). Empty disables checkpointing.
+  std::string checkpoint_path;
+  /// Additionally save every N completed epochs (0 = only at the end of
+  /// the run). Only meaningful with a checkpoint_path.
+  int checkpoint_every = 0;
+  /// Resume from checkpoint_path when the file exists; a missing file is a
+  /// normal cold start. Resuming reproduces the uninterrupted run bitwise
+  /// at the same seed and thread count.
+  bool resume = false;
+
+  // --- divergence recovery ---------------------------------------------
+  /// When the loss or gradient norm goes non-finite, roll parameters and
+  /// optimizer moments back to the last finite epoch, scale the learning
+  /// rate by lr_backoff, and continue (the incident is recorded in the
+  /// task result). After max_lr_retries rollbacks the run fails instead.
+  bool divergence_guard = true;
+  double lr_backoff = 0.5;
+  int max_lr_retries = 3;
+};
 
 /// A model that scores nodes of a single graph (node classification).
 class NodeModel {

@@ -6,6 +6,7 @@
 #include "autograd/ops.h"
 #include "nn/optimizer.h"
 #include "train/metrics.h"
+#include "train/resilience.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -53,6 +54,9 @@ util::Result<LinkTaskResult> TrainLinkPredictor(EmbeddingModel* model,
   util::Rng rng(config.seed);
   nn::Adam optimizer(model->Parameters(), config.learning_rate, 0.9, 0.999,
                      1e-8, config.weight_decay);
+  TrainingResilience resilience(config, &optimizer, &rng);
+  ADAMGNN_ASSIGN_OR_RETURN(int start_epoch, resilience.Initialize());
+  nn::TrainingState& st = resilience.state();
 
   // Training targets: positives then negatives.
   std::vector<std::pair<size_t, size_t>> train_pairs = split.train_pos;
@@ -62,11 +66,9 @@ util::Result<LinkTaskResult> TrainLinkPredictor(EmbeddingModel* model,
   targets.resize(train_pairs.size(), 0.0);
 
   LinkTaskResult result;
-  double best_val = -1.0;
-  int stale = 0;
-  double total_epoch_time = 0.0;
+  result.epochs_run = start_epoch;
 
-  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config.max_epochs; ++epoch) {
     util::Stopwatch watch;
     EmbeddingModel::Out out =
         model->Forward(split.train_graph, /*training=*/true, &rng);
@@ -75,10 +77,24 @@ util::Result<LinkTaskResult> TrainLinkPredictor(EmbeddingModel* model,
     autograd::Variable loss =
         autograd::BinaryCrossEntropyWithLogits(logits, targets);
     if (out.aux_loss.defined()) loss = autograd::Add(loss, out.aux_loss);
-    autograd::Backward(loss);
-    nn::ClipGradNorm(optimizer.params(), config.clip_norm);
+
+    double loss_value = loss.value()(0, 0);
+    ADAMGNN_ASSIGN_OR_RETURN(bool recovered,
+                             resilience.GuardLoss(epoch, &loss_value));
+    if (!recovered) {
+      autograd::Backward(loss);
+      const double grad_norm =
+          nn::ClipGradNorm(optimizer.params(), config.clip_norm);
+      ADAMGNN_ASSIGN_OR_RETURN(recovered,
+                               resilience.GuardGradNorm(epoch, grad_norm));
+    }
+    if (recovered) {
+      st.total_epoch_seconds += watch.ElapsedSeconds();
+      result.epochs_run = epoch + 1;
+      continue;
+    }
     optimizer.Step();
-    total_epoch_time += watch.ElapsedSeconds();
+    st.total_epoch_seconds += watch.ElapsedSeconds();
     result.epochs_run = epoch + 1;
 
     EmbeddingModel::Out eval =
@@ -86,22 +102,33 @@ util::Result<LinkTaskResult> TrainLinkPredictor(EmbeddingModel* model,
     const double val_auc =
         PairAuc(eval.embeddings.value(), split.val_pos, split.val_neg);
     if (config.verbose) {
-      ADAMGNN_LOG(Info) << "epoch " << epoch << " loss "
-                        << loss.value()(0, 0) << " val AUC " << val_auc;
+      ADAMGNN_LOG(Info) << "epoch " << epoch << " loss " << loss_value
+                        << " val AUC " << val_auc;
     }
-    if (val_auc > best_val) {
-      best_val = val_auc;
-      result.best_epoch = epoch;
-      result.val_auc = val_auc;
-      result.test_auc =
+    if (val_auc > st.best_val) {
+      st.best_val = val_auc;
+      st.best_epoch = epoch;
+      st.best_val_metric = val_auc;
+      st.best_test_metric =
           PairAuc(eval.embeddings.value(), split.test_pos, split.test_neg);
-      stale = 0;
-    } else if (++stale >= config.patience) {
-      break;
+      st.stale_epochs = 0;
+    } else {
+      ++st.stale_epochs;
     }
+    ADAMGNN_RETURN_NOT_OK(resilience.CompleteEpoch(epoch));
+    if (st.stale_epochs >= config.patience) break;
   }
+  ADAMGNN_RETURN_NOT_OK(resilience.Finalize(result.epochs_run));
+
+  result.best_epoch = static_cast<int>(st.best_epoch);
+  result.val_auc = st.best_val_metric;
+  result.test_auc = st.best_test_metric;
+  result.resumed_from_epoch = resilience.resumed_from_epoch();
+  result.recovery_events = resilience.recovery_events();
   result.avg_epoch_seconds =
-      total_epoch_time / static_cast<double>(result.epochs_run);
+      result.epochs_run > 0
+          ? st.total_epoch_seconds / static_cast<double>(result.epochs_run)
+          : 0.0;
   return result;
 }
 

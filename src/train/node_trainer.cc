@@ -4,6 +4,7 @@
 #include "autograd/ops.h"
 #include "nn/optimizer.h"
 #include "train/metrics.h"
+#include "train/resilience.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -26,22 +27,37 @@ util::Result<NodeTaskResult> TrainNodeClassifier(
   util::Rng rng(config.seed);
   nn::Adam optimizer(model->Parameters(), config.learning_rate, 0.9, 0.999,
                      1e-8, config.weight_decay);
+  TrainingResilience resilience(config, &optimizer, &rng);
+  ADAMGNN_ASSIGN_OR_RETURN(int start_epoch, resilience.Initialize());
+  nn::TrainingState& st = resilience.state();
 
   NodeTaskResult result;
-  double best_val = -1.0;
-  int stale = 0;
-  double total_epoch_time = 0.0;
+  result.epochs_run = start_epoch;
 
-  for (int epoch = 0; epoch < config.max_epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config.max_epochs; ++epoch) {
     util::Stopwatch watch;
     NodeModel::Out out = model->Forward(g, /*training=*/true, &rng);
     autograd::Variable loss =
         autograd::SoftmaxCrossEntropy(out.logits, g.labels(), split.train);
     if (out.aux_loss.defined()) loss = autograd::Add(loss, out.aux_loss);
-    autograd::Backward(loss);
-    nn::ClipGradNorm(optimizer.params(), config.clip_norm);
+
+    double loss_value = loss.value()(0, 0);
+    ADAMGNN_ASSIGN_OR_RETURN(bool recovered,
+                             resilience.GuardLoss(epoch, &loss_value));
+    if (!recovered) {
+      autograd::Backward(loss);
+      const double grad_norm =
+          nn::ClipGradNorm(optimizer.params(), config.clip_norm);
+      ADAMGNN_ASSIGN_OR_RETURN(recovered,
+                               resilience.GuardGradNorm(epoch, grad_norm));
+    }
+    if (recovered) {
+      st.total_epoch_seconds += watch.ElapsedSeconds();
+      result.epochs_run = epoch + 1;
+      continue;  // parameters were rolled back; nothing new to evaluate
+    }
     optimizer.Step();
-    total_epoch_time += watch.ElapsedSeconds();
+    st.total_epoch_seconds += watch.ElapsedSeconds();
     result.epochs_run = epoch + 1;
 
     // Evaluation pass without dropout.
@@ -49,24 +65,36 @@ util::Result<NodeTaskResult> TrainNodeClassifier(
     const double val_acc = Accuracy(eval.logits.value(), g.labels(),
                                     split.val);
     if (config.verbose) {
-      ADAMGNN_LOG(Info) << "epoch " << epoch << " loss "
-                        << loss.value()(0, 0) << " val " << val_acc;
+      ADAMGNN_LOG(Info) << "epoch " << epoch << " loss " << loss_value
+                        << " val " << val_acc;
     }
-    if (val_acc > best_val) {
-      best_val = val_acc;
-      result.best_epoch = epoch;
-      result.val_accuracy = val_acc;
-      result.train_accuracy =
+    if (val_acc > st.best_val) {
+      st.best_val = val_acc;
+      st.best_epoch = epoch;
+      st.best_val_metric = val_acc;
+      st.best_train_metric =
           Accuracy(eval.logits.value(), g.labels(), split.train);
-      result.test_accuracy =
+      st.best_test_metric =
           Accuracy(eval.logits.value(), g.labels(), split.test);
-      stale = 0;
-    } else if (++stale >= config.patience) {
-      break;
+      st.stale_epochs = 0;
+    } else {
+      ++st.stale_epochs;
     }
+    ADAMGNN_RETURN_NOT_OK(resilience.CompleteEpoch(epoch));
+    if (st.stale_epochs >= config.patience) break;
   }
+  ADAMGNN_RETURN_NOT_OK(resilience.Finalize(result.epochs_run));
+
+  result.best_epoch = static_cast<int>(st.best_epoch);
+  result.val_accuracy = st.best_val_metric;
+  result.train_accuracy = st.best_train_metric;
+  result.test_accuracy = st.best_test_metric;
+  result.resumed_from_epoch = resilience.resumed_from_epoch();
+  result.recovery_events = resilience.recovery_events();
   result.avg_epoch_seconds =
-      total_epoch_time / static_cast<double>(result.epochs_run);
+      result.epochs_run > 0
+          ? st.total_epoch_seconds / static_cast<double>(result.epochs_run)
+          : 0.0;
   return result;
 }
 

@@ -4,23 +4,17 @@
 #ifndef ADAMGNN_TRAIN_NODE_TRAINER_H_
 #define ADAMGNN_TRAIN_NODE_TRAINER_H_
 
+#include <vector>
+
 #include "data/splits.h"
 #include "graph/graph.h"
+#include "nn/serialize.h"
 #include "train/interfaces.h"
 #include "util/status.h"
 
 namespace adamgnn::train {
 
-struct TrainConfig {
-  int max_epochs = 200;
-  double learning_rate = 0.01;
-  double weight_decay = 5e-4;
-  /// Stop after this many epochs without validation improvement.
-  int patience = 30;
-  double clip_norm = 5.0;
-  uint64_t seed = 1;
-  bool verbose = false;
-};
+// TrainConfig (shared by all task trainers) lives in train/interfaces.h.
 
 struct NodeTaskResult {
   double train_accuracy = 0;
@@ -31,6 +25,10 @@ struct NodeTaskResult {
   int epochs_run = 0;
   /// Mean wall time of one training epoch (seconds) — Table 4's metric.
   double avg_epoch_seconds = 0;
+  /// Absolute epoch the run resumed from, or -1 on a cold start.
+  int resumed_from_epoch = -1;
+  /// Divergence rollbacks performed during (or before, if resumed) the run.
+  std::vector<nn::RecoveryEvent> recovery_events;
 };
 
 /// Trains `model` on g's labels. The graph must carry labels and features.

@@ -1,0 +1,119 @@
+#include "train/resilience.h"
+
+#include <cmath>
+
+#include "util/fault_injection.h"
+#include "util/logging.h"
+
+namespace adamgnn::train {
+
+TrainingResilience::TrainingResilience(const TrainConfig& config,
+                                       nn::Adam* optimizer, util::Rng* rng)
+    : config_(config),
+      optimizer_(optimizer),
+      rng_(rng),
+      last_good_params_(optimizer->params()),
+      last_good_moments_(optimizer->GetState()) {
+  ADAMGNN_CHECK(optimizer != nullptr);
+  ADAMGNN_CHECK(rng != nullptr);
+}
+
+util::Result<int> TrainingResilience::Initialize() {
+  if (!config_.resume || config_.checkpoint_path.empty()) return 0;
+  std::vector<autograd::Variable> params = optimizer_->params();
+  util::Result<nn::TrainingState> loaded =
+      nn::LoadTrainingCheckpoint(config_.checkpoint_path, &params, optimizer_);
+  if (!loaded.ok()) {
+    if (loaded.status().code() == util::StatusCode::kNotFound) {
+      return 0;  // nothing saved yet: cold start
+    }
+    return loaded.status();
+  }
+  state_ = std::move(loaded).ValueOrDie();
+  if (!rng_->RestoreState(state_.rng_state)) {
+    return util::Status::InvalidArgument(
+        "checkpoint RNG state is malformed: " + config_.checkpoint_path);
+  }
+  if (state_.learning_rate > 0.0) {
+    optimizer_->set_learning_rate(state_.learning_rate);
+  }
+  resumed_from_ = static_cast<int>(state_.next_epoch);
+  CaptureLastGood();
+  return resumed_from_;
+}
+
+void TrainingResilience::CaptureLastGood() {
+  last_good_params_.Capture();
+  last_good_moments_ = optimizer_->GetState();
+}
+
+util::Result<bool> TrainingResilience::Recover(int epoch,
+                                               nn::RecoveryEvent::Kind kind) {
+  if (state_.lr_retries >= config_.max_lr_retries) {
+    return util::Status::Internal(
+        "training diverged (" + std::string(nn::RecoveryKindToString(kind)) +
+        " at epoch " + std::to_string(epoch) + ") after " +
+        std::to_string(state_.lr_retries) +
+        " rollbacks; giving up (max_lr_retries)");
+  }
+  const double lr_before = optimizer_->learning_rate();
+  const double lr_after = lr_before * config_.lr_backoff;
+  last_good_params_.Restore();
+  optimizer_->SetState(last_good_moments_).CheckOK();
+  optimizer_->set_learning_rate(lr_after);
+  ++state_.lr_retries;
+
+  nn::RecoveryEvent event;
+  event.epoch = epoch;
+  event.kind = kind;
+  event.lr_before = lr_before;
+  event.lr_after = lr_after;
+  state_.recovery_events.push_back(event);
+  if (config_.verbose) {
+    ADAMGNN_LOG(Warning) << "epoch " << epoch << ": "
+                         << nn::RecoveryKindToString(kind)
+                         << ", rolled back to last finite epoch, lr "
+                         << lr_before << " -> " << lr_after;
+  }
+  return true;
+}
+
+util::Result<bool> TrainingResilience::GuardLoss(int epoch,
+                                                 double* loss_value) {
+  if (util::FaultInjector::Instance().ShouldPoisonLoss(epoch)) {
+    *loss_value = std::nan("");
+  }
+  if (!config_.divergence_guard || std::isfinite(*loss_value)) return false;
+  return Recover(epoch, nn::RecoveryEvent::Kind::kNonFiniteLoss);
+}
+
+util::Result<bool> TrainingResilience::GuardGradNorm(int epoch,
+                                                     double grad_norm) {
+  if (!config_.divergence_guard || std::isfinite(grad_norm)) return false;
+  return Recover(epoch, nn::RecoveryEvent::Kind::kNonFiniteGrad);
+}
+
+util::Status TrainingResilience::SaveCheckpoint() {
+  state_.learning_rate = optimizer_->learning_rate();
+  state_.rng_state = rng_->SaveState();
+  return nn::SaveTrainingCheckpoint(optimizer_->params(), *optimizer_, state_,
+                                    config_.checkpoint_path);
+}
+
+util::Status TrainingResilience::CompleteEpoch(int epoch) {
+  CaptureLastGood();
+  state_.next_epoch = epoch + 1;
+  if (config_.checkpoint_path.empty() || config_.checkpoint_every <= 0 ||
+      (epoch + 1) % config_.checkpoint_every != 0) {
+    return util::Status::OK();
+  }
+  return SaveCheckpoint();
+}
+
+util::Status TrainingResilience::Finalize(int epochs_run) {
+  if (config_.checkpoint_path.empty()) return util::Status::OK();
+  state_.next_epoch = epochs_run;
+  return SaveCheckpoint();
+}
+
+}  // namespace adamgnn::train

@@ -1,0 +1,90 @@
+// Shared crash/divergence resilience for the three training loops. One
+// TrainingResilience object per run owns:
+//
+//  - resume: restoring parameters, Adam moments, RNG state, and
+//    early-stopping bookkeeping from a v2 checkpoint so a resumed run is
+//    bitwise-identical to an uninterrupted one,
+//  - periodic crash-safe checkpointing at epoch boundaries,
+//  - the non-finite guard: when the loss or the gradient norm stops being
+//    finite, parameters and moments roll back to the last finite epoch,
+//    the learning rate is scaled down, and the incident is recorded —
+//    bounded by max_lr_retries, after which the run fails loudly.
+//
+// The guard also hosts the loss-poisoning hook of the deterministic fault
+// injector (util/fault_injection.h), so divergence handling is provable in
+// tests instead of hoped-for in production.
+
+#ifndef ADAMGNN_TRAIN_RESILIENCE_H_
+#define ADAMGNN_TRAIN_RESILIENCE_H_
+
+#include <string>
+#include <vector>
+
+#include "nn/optimizer.h"
+#include "nn/serialize.h"
+#include "train/interfaces.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace adamgnn::train {
+
+class TrainingResilience {
+ public:
+  /// `optimizer` and `rng` must outlive this object; the guarded
+  /// parameters are the optimizer's own parameter handles.
+  TrainingResilience(const TrainConfig& config, nn::Adam* optimizer,
+                     util::Rng* rng);
+
+  /// Performs the resume handshake. Returns the absolute epoch index the
+  /// loop should start from: 0 on a cold start (no checkpoint configured,
+  /// or config.resume unset, or the file does not exist yet), the saved
+  /// next_epoch when a checkpoint was restored. Corrupt or mismatched
+  /// checkpoints are errors, not silent cold starts.
+  util::Result<int> Initialize();
+
+  /// Bookkeeping shared with the loop (best-val metrics, stale counter).
+  /// The loop reads and writes this directly; checkpoints persist it.
+  nn::TrainingState& state() { return state_; }
+
+  /// Epoch the run resumed from, or -1 on a cold start.
+  int resumed_from_epoch() const { return resumed_from_; }
+
+  /// Recovery incidents so far (restored ones included).
+  const std::vector<nn::RecoveryEvent>& recovery_events() const {
+    return state_.recovery_events;
+  }
+
+  /// Pre-backward check. Applies injected loss poisoning, then tests
+  /// `*loss_value` for finiteness. Returns false when the epoch may
+  /// proceed; true when a recovery was performed and the loop should skip
+  /// straight to the next epoch; an error when retries are exhausted.
+  util::Result<bool> GuardLoss(int epoch, double* loss_value);
+
+  /// Post-backward check on the (pre-clip) gradient norm; same contract.
+  util::Result<bool> GuardGradNorm(int epoch, double grad_norm);
+
+  /// Marks `epoch` complete: refreshes the rollback snapshot and writes a
+  /// periodic checkpoint when one is due.
+  util::Status CompleteEpoch(int epoch);
+
+  /// Final checkpoint after the loop (so --resume on a finished run is a
+  /// cheap no-op instead of retraining). No-op without a checkpoint path.
+  util::Status Finalize(int epochs_run);
+
+ private:
+  util::Result<bool> Recover(int epoch, nn::RecoveryEvent::Kind kind);
+  util::Status SaveCheckpoint();
+  void CaptureLastGood();
+
+  TrainConfig config_;
+  nn::Adam* optimizer_;
+  util::Rng* rng_;
+  nn::TrainingState state_;
+  int resumed_from_ = -1;
+  nn::ParameterSnapshot last_good_params_;
+  nn::Adam::State last_good_moments_;
+};
+
+}  // namespace adamgnn::train
+
+#endif  // ADAMGNN_TRAIN_RESILIENCE_H_

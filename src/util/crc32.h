@@ -1,0 +1,20 @@
+// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) for checkpoint integrity.
+// Every section of the v2 checkpoint format carries a CRC of its payload so
+// torn writes and bit rot are detected at load time instead of silently
+// corrupting a model.
+
+#ifndef ADAMGNN_UTIL_CRC32_H_
+#define ADAMGNN_UTIL_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace adamgnn::util {
+
+/// CRC-32 of `len` bytes. Chain calls by passing the previous result as
+/// `seed` (the default 0 starts a fresh checksum).
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace adamgnn::util
+
+#endif  // ADAMGNN_UTIL_CRC32_H_

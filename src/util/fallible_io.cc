@@ -1,0 +1,49 @@
+#include "util/fallible_io.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include <unistd.h>
+
+#include "util/fault_injection.h"
+
+namespace adamgnn::util {
+
+Status FallibleWrite(std::FILE* f, const void* data, size_t bytes,
+                     const std::string& path) {
+  if (FaultInjector::Instance().ShouldFail(FaultOp::kWrite)) {
+    return Status::Internal("injected write failure: " + path);
+  }
+  if (bytes == 0) return Status::OK();
+  if (std::fwrite(data, 1, bytes, f) != bytes) {
+    return Status::Internal("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status FallibleFsync(std::FILE* f, const std::string& path) {
+  if (FaultInjector::Instance().ShouldFail(FaultOp::kFsync)) {
+    return Status::Internal("injected fsync failure: " + path);
+  }
+  if (std::fflush(f) != 0) {
+    return Status::Internal("flush failed: " + path);
+  }
+  if (::fsync(::fileno(f)) != 0) {
+    return Status::Internal(std::string("fsync failed: ") + path + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Status FallibleRename(const std::string& from, const std::string& to) {
+  if (FaultInjector::Instance().ShouldFail(FaultOp::kRename)) {
+    return Status::Internal("injected rename failure: " + from + " -> " + to);
+  }
+  if (std::rename(from.c_str(), to.c_str()) != 0) {
+    return Status::Internal("rename failed: " + from + " -> " + to + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace adamgnn::util

@@ -1,0 +1,34 @@
+// Thin fallible-I/O shim between checkpoint writers and the OS. Every
+// operation consults the process-wide FaultInjector before touching the
+// real syscall, which lets tests kill a save at any individual write,
+// fsync, or rename and prove the on-disk invariants hold. Real I/O errors
+// and injected ones surface identically, so callers cannot accidentally
+// handle only the simulated kind.
+
+#ifndef ADAMGNN_UTIL_FALLIBLE_IO_H_
+#define ADAMGNN_UTIL_FALLIBLE_IO_H_
+
+#include <cstdio>
+#include <string>
+
+#include "util/status.h"
+
+namespace adamgnn::util {
+
+/// fwrite(data, 1, bytes, f) that can be made to fail by the injector.
+/// Counts as one FaultOp::kWrite regardless of size.
+Status FallibleWrite(std::FILE* f, const void* data, size_t bytes,
+                     const std::string& path);
+
+/// Flushes stdio buffers and fsyncs the underlying descriptor so the bytes
+/// survive a crash/power-cut before any subsequent rename.
+Status FallibleFsync(std::FILE* f, const std::string& path);
+
+/// Atomically replaces `to` with `from` via rename(2). On same-filesystem
+/// POSIX rename this is all-or-nothing: a crash leaves either the old or
+/// the new file at `to`, never a torn mix.
+Status FallibleRename(const std::string& from, const std::string& to);
+
+}  // namespace adamgnn::util
+
+#endif  // ADAMGNN_UTIL_FALLIBLE_IO_H_

@@ -1,0 +1,87 @@
+// Deterministic fault injection for resilience testing. A process-wide
+// injector can be armed with a plan that fails the Nth occurrence of a
+// counted I/O operation (write / fsync / rename) or poisons the training
+// loss at a chosen epoch. Everything is driven by the plan alone — no
+// randomness, no clocks — so an injected failure reproduces bitwise from
+// run to run. Production code pays one branch + mutex only on the I/O and
+// epoch boundaries it already crosses; with the injector disarmed every
+// query returns "no fault".
+//
+// Typical test shape:
+//   util::FaultInjector::Instance().Arm({.fail_fsync_at = 2});
+//   ... exercise a save path, expect it to fail cleanly ...
+//   util::FaultInjector::Instance().Disarm();
+// A dry run with the injector armed with an all-zero plan still counts
+// operations, so a sweep can first learn how many steps a save takes and
+// then fail each one in turn (see tests/checkpoint_test.cc).
+
+#ifndef ADAMGNN_UTIL_FAULT_INJECTION_H_
+#define ADAMGNN_UTIL_FAULT_INJECTION_H_
+
+#include <mutex>
+
+namespace adamgnn::util {
+
+/// Counted I/O operation classes the injector can fail.
+enum class FaultOp { kWrite = 0, kFsync = 1, kRename = 2 };
+
+/// What to break, expressed in deterministic "fail the Nth occurrence"
+/// terms (1-based; 0 = never fail that op class).
+struct FaultPlan {
+  int fail_write_at = 0;
+  int fail_fsync_at = 0;
+  int fail_rename_at = 0;
+  /// Replace the training loss with NaN when the trainer reaches this
+  /// epoch (0-based; -1 = never). Fires once per arming, so a recovered
+  /// run does not get re-poisoned on the rolled-back retry.
+  int poison_loss_epoch = -1;
+};
+
+/// Process-wide deterministic fault injector. Disarmed by default; every
+/// query is thread-safe.
+class FaultInjector {
+ public:
+  static FaultInjector& Instance();
+
+  /// Installs `plan` and resets all operation counters.
+  void Arm(const FaultPlan& plan);
+  /// Removes any plan; subsequent queries report no faults (counters keep
+  /// counting only while armed).
+  void Disarm();
+  bool armed() const;
+
+  /// Counts one occurrence of `op` and returns true when the plan says
+  /// this occurrence must fail. Disarmed: returns false without counting.
+  bool ShouldFail(FaultOp op);
+
+  /// True exactly once: when `epoch` equals the plan's poison epoch.
+  bool ShouldPoisonLoss(int epoch);
+
+  /// Occurrences of `op` observed since the last Arm().
+  int OpCount(FaultOp op) const;
+
+ private:
+  FaultInjector() = default;
+
+  mutable std::mutex mu_;
+  bool armed_ = false;
+  bool loss_poisoned_ = false;  // the one-shot latch for ShouldPoisonLoss
+  FaultPlan plan_;
+  int counts_[3] = {0, 0, 0};
+};
+
+/// RAII arming for tests: arms on construction, disarms on destruction so
+/// a failing ASSERT cannot leak an armed injector into later tests.
+class ScopedFaultPlan {
+ public:
+  explicit ScopedFaultPlan(const FaultPlan& plan) {
+    FaultInjector::Instance().Arm(plan);
+  }
+  ~ScopedFaultPlan() { FaultInjector::Instance().Disarm(); }
+  ScopedFaultPlan(const ScopedFaultPlan&) = delete;
+  ScopedFaultPlan& operator=(const ScopedFaultPlan&) = delete;
+};
+
+}  // namespace adamgnn::util
+
+#endif  // ADAMGNN_UTIL_FAULT_INJECTION_H_

@@ -1,6 +1,7 @@
 #include "util/random.h"
 
 #include <cmath>
+#include <cstring>
 
 #include "util/logging.h"
 
@@ -95,6 +96,23 @@ size_t Rng::NextCategorical(const std::vector<double>& weights) {
 }
 
 Rng Rng::Fork() { return Rng(Next()); }
+
+std::vector<uint64_t> Rng::SaveState() const {
+  std::vector<uint64_t> words(kStateWords, 0);
+  for (int i = 0; i < 4; ++i) words[i] = state_[i];
+  words[4] = has_cached_gaussian_ ? 1 : 0;
+  std::memcpy(&words[5], &cached_gaussian_, sizeof(uint64_t));
+  return words;
+}
+
+bool Rng::RestoreState(const std::vector<uint64_t>& words) {
+  if (words.size() != kStateWords) return false;
+  if (words[4] > 1) return false;
+  for (int i = 0; i < 4; ++i) state_[i] = words[i];
+  has_cached_gaussian_ = words[4] == 1;
+  std::memcpy(&cached_gaussian_, &words[5], sizeof(double));
+  return true;
+}
 
 Rng Rng::ForkStream(uint64_t stream) const {
   // Mix the current state with the stream id; the Rng constructor then runs

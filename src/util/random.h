@@ -66,6 +66,15 @@ class Rng {
   /// salt.ForkStream(i) per item.
   Rng ForkStream(uint64_t stream) const;
 
+  /// Exact generator state as kStateWords opaque words (xoshiro state plus
+  /// the Box–Muller cache), for checkpointing. RestoreState on any Rng
+  /// makes it continue the saved sequence bitwise.
+  static constexpr size_t kStateWords = 6;
+  std::vector<uint64_t> SaveState() const;
+  /// Restores a SaveState() snapshot. Returns false (leaving this Rng
+  /// untouched) if `words` is not a valid snapshot.
+  bool RestoreState(const std::vector<uint64_t>& words);
+
  private:
   uint64_t state_[4];
   bool has_cached_gaussian_ = false;

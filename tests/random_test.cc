@@ -148,5 +148,45 @@ TEST(RngTest, ForkStreamDecorrelatesAdjacentStreams) {
   EXPECT_LT(same, 3);
 }
 
+TEST(RngTest, SaveRestoreStateContinuesSequenceExactly) {
+  Rng a(42);
+  for (int i = 0; i < 5; ++i) a.Next();
+  std::vector<uint64_t> words = a.SaveState();
+  EXPECT_EQ(words.size(), Rng::kStateWords);
+
+  std::vector<uint64_t> expected;
+  for (int i = 0; i < 16; ++i) expected.push_back(a.Next());
+
+  Rng b(999);  // unrelated seed; the state transplant must fully override it
+  ASSERT_TRUE(b.RestoreState(words));
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(b.Next(), expected[i]);
+}
+
+TEST(RngTest, SaveRestorePreservesGaussianCache) {
+  // NextGaussian generates pairs (Box-Muller) and caches the second value;
+  // a mid-pair save must round-trip that cache or resumed gaussian draws
+  // would shift by one.
+  Rng a(43);
+  a.NextGaussian();  // leaves one cached gaussian behind
+  std::vector<uint64_t> words = a.SaveState();
+  std::vector<double> expected;
+  for (int i = 0; i < 9; ++i) expected.push_back(a.NextGaussian());
+
+  Rng b(999);
+  ASSERT_TRUE(b.RestoreState(words));
+  for (int i = 0; i < 9; ++i) EXPECT_EQ(b.NextGaussian(), expected[i]);
+}
+
+TEST(RngTest, RestoreRejectsMalformedStateWithoutSideEffects) {
+  Rng a(44);
+  const uint64_t before = Rng(44).Next();
+  EXPECT_FALSE(a.RestoreState({}));                          // wrong size
+  EXPECT_FALSE(a.RestoreState(std::vector<uint64_t>(5, 1)));  // wrong size
+  std::vector<uint64_t> bad(Rng::kStateWords, 1);
+  bad[4] = 2;  // gaussian-cache flag must be 0 or 1
+  EXPECT_FALSE(a.RestoreState(bad));
+  EXPECT_EQ(a.Next(), before);  // failed restores did not touch the state
+}
+
 }  // namespace
 }  // namespace adamgnn::util

@@ -1,0 +1,388 @@
+// End-to-end resilience tests of the training loops: bitwise-identical
+// resume from a mid-run checkpoint, divergence rollback with learning-rate
+// backoff (driven by the deterministic fault injector), and loud failure
+// once the retry budget is exhausted.
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "data/graph_datasets.h"
+#include "data/node_datasets.h"
+#include "data/splits.h"
+#include "gtest/gtest.h"
+#include "nn/serialize.h"
+#include "pool/flat_models.h"
+#include "train/graph_trainer.h"
+#include "train/link_trainer.h"
+#include "train/node_trainer.h"
+#include "util/fault_injection.h"
+#include "util/random.h"
+
+namespace adamgnn::train {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+struct NodeFixture {
+  data::NodeDataset dataset;
+  data::IndexSplit split;
+  data::LinkSplit link_split;
+
+  NodeFixture()
+      : dataset(data::MakeNodeDataset(data::NodeDatasetId::kCora, 5, 0.06)
+                    .ValueOrDie()) {
+    util::Rng rng(1);
+    split = data::SplitIndices(dataset.graph.num_nodes(), 0.8, 0.1, &rng)
+                .ValueOrDie();
+    link_split =
+        data::MakeLinkSplit(dataset.graph, 0.1, 0.1, &rng).ValueOrDie();
+  }
+
+  pool::FlatGnnConfig ModelConfig() const {
+    pool::FlatGnnConfig c;
+    c.in_dim = dataset.graph.feature_dim();
+    c.hidden_dim = 8;
+    c.num_classes = static_cast<size_t>(dataset.graph.num_classes());
+    return c;
+  }
+};
+
+TrainConfig BaseConfig(int max_epochs, uint64_t seed) {
+  TrainConfig tc;
+  tc.max_epochs = max_epochs;
+  tc.patience = 1000;
+  tc.seed = seed;
+  return tc;
+}
+
+// Loads the parameter tensors of a checkpoint into a fresh model and
+// returns them for bitwise comparison.
+std::vector<tensor::Matrix> CheckpointParams(const NodeFixture& f,
+                                             const std::string& path) {
+  util::Rng rng(777);
+  pool::FlatNodeModel model(f.ModelConfig(), &rng);
+  auto params = model.Parameters();
+  nn::LoadParameters(path, &params).CheckOK();
+  std::vector<tensor::Matrix> out;
+  for (const auto& p : params) out.push_back(p.value());
+  return out;
+}
+
+TEST(ResumeTest, NodeResumeReproducesUninterruptedRunBitwise) {
+  NodeFixture f;
+  const std::string full_path = TempPath("node_full.ckpt");
+  const std::string half_path = TempPath("node_half.ckpt");
+
+  // Run A: 8 uninterrupted epochs, checkpoint written at the end.
+  util::Rng rng_a(2);
+  pool::FlatNodeModel model_a(f.ModelConfig(), &rng_a);
+  TrainConfig tc_a = BaseConfig(8, 2);
+  tc_a.checkpoint_path = full_path;
+  tc_a.checkpoint_every = 0;  // only the final save
+  NodeTaskResult a =
+      TrainNodeClassifier(&model_a, f.dataset.graph, f.split, tc_a)
+          .ValueOrDie();
+  EXPECT_EQ(a.resumed_from_epoch, -1);
+
+  // Run B: the same run "killed" after 4 epochs (max_epochs acts as the
+  // kill switch), leaving a mid-run checkpoint behind.
+  util::Rng rng_b(2);
+  pool::FlatNodeModel model_b(f.ModelConfig(), &rng_b);
+  TrainConfig tc_b = BaseConfig(4, 2);
+  tc_b.checkpoint_path = half_path;
+  tc_b.checkpoint_every = 2;
+  TrainNodeClassifier(&model_b, f.dataset.graph, f.split, tc_b)
+      .ValueOrDie();
+
+  // Run C: resume from the mid-run checkpoint and finish to epoch 8. The
+  // model starts from a *different* init — everything must come from the
+  // checkpoint.
+  util::Rng rng_c(999);
+  pool::FlatNodeModel model_c(f.ModelConfig(), &rng_c);
+  TrainConfig tc_c = BaseConfig(8, 2);
+  tc_c.checkpoint_path = half_path;
+  tc_c.checkpoint_every = 2;
+  tc_c.resume = true;
+  NodeTaskResult c =
+      TrainNodeClassifier(&model_c, f.dataset.graph, f.split, tc_c)
+          .ValueOrDie();
+
+  EXPECT_EQ(c.resumed_from_epoch, 4);
+  EXPECT_EQ(c.epochs_run, a.epochs_run);
+  EXPECT_EQ(c.best_epoch, a.best_epoch);
+  // Bitwise, not approximate: identical trajectories produce identical
+  // doubles.
+  EXPECT_EQ(c.val_accuracy, a.val_accuracy);
+  EXPECT_EQ(c.test_accuracy, a.test_accuracy);
+  EXPECT_EQ(c.train_accuracy, a.train_accuracy);
+
+  // The final parameters are bitwise-identical too.
+  std::vector<tensor::Matrix> pa = CheckpointParams(f, full_path);
+  std::vector<tensor::Matrix> pc = CheckpointParams(f, half_path);
+  ASSERT_EQ(pa.size(), pc.size());
+  for (size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_TRUE(pa[i] == pc[i]) << "tensor " << i;
+  }
+}
+
+TEST(ResumeTest, ResumingAFinishedRunIsANoOp) {
+  NodeFixture f;
+  const std::string path = TempPath("node_done.ckpt");
+  util::Rng rng_a(3);
+  pool::FlatNodeModel model_a(f.ModelConfig(), &rng_a);
+  TrainConfig tc = BaseConfig(5, 3);
+  tc.checkpoint_path = path;
+  NodeTaskResult a =
+      TrainNodeClassifier(&model_a, f.dataset.graph, f.split, tc)
+          .ValueOrDie();
+
+  util::Rng rng_b(999);
+  pool::FlatNodeModel model_b(f.ModelConfig(), &rng_b);
+  TrainConfig tc_b = tc;
+  tc_b.resume = true;
+  NodeTaskResult b =
+      TrainNodeClassifier(&model_b, f.dataset.graph, f.split, tc_b)
+          .ValueOrDie();
+  EXPECT_EQ(b.resumed_from_epoch, 5);
+  EXPECT_EQ(b.epochs_run, 5);  // no additional epochs ran
+  EXPECT_EQ(b.val_accuracy, a.val_accuracy);
+  EXPECT_EQ(b.test_accuracy, a.test_accuracy);
+}
+
+TEST(ResumeTest, MissingCheckpointIsAColdStartNotAnError) {
+  NodeFixture f;
+  util::Rng rng(4);
+  pool::FlatNodeModel model(f.ModelConfig(), &rng);
+  TrainConfig tc = BaseConfig(2, 4);
+  tc.checkpoint_path = TempPath("never_written.ckpt");
+  tc.resume = true;
+  NodeTaskResult r =
+      TrainNodeClassifier(&model, f.dataset.graph, f.split, tc).ValueOrDie();
+  EXPECT_EQ(r.resumed_from_epoch, -1);
+  EXPECT_EQ(r.epochs_run, 2);
+  std::remove(tc.checkpoint_path.c_str());
+}
+
+TEST(ResumeTest, LinkResumeReproducesUninterruptedRunBitwise) {
+  NodeFixture f;
+  const std::string path = TempPath("link_half.ckpt");
+  pool::FlatGnnConfig mc = f.ModelConfig();
+  mc.num_classes = 0;
+
+  util::Rng rng_a(6);
+  pool::FlatEmbeddingModel model_a(mc, &rng_a);
+  LinkTaskResult a =
+      TrainLinkPredictor(&model_a, f.link_split, BaseConfig(6, 6))
+          .ValueOrDie();
+
+  util::Rng rng_b(6);
+  pool::FlatEmbeddingModel model_b(mc, &rng_b);
+  TrainConfig tc_b = BaseConfig(3, 6);
+  tc_b.checkpoint_path = path;
+  tc_b.checkpoint_every = 3;
+  TrainLinkPredictor(&model_b, f.link_split, tc_b).ValueOrDie();
+
+  util::Rng rng_c(999);
+  pool::FlatEmbeddingModel model_c(mc, &rng_c);
+  TrainConfig tc_c = BaseConfig(6, 6);
+  tc_c.checkpoint_path = path;
+  tc_c.resume = true;
+  LinkTaskResult c =
+      TrainLinkPredictor(&model_c, f.link_split, tc_c).ValueOrDie();
+
+  EXPECT_EQ(c.resumed_from_epoch, 3);
+  EXPECT_EQ(c.val_auc, a.val_auc);
+  EXPECT_EQ(c.test_auc, a.test_auc);
+  EXPECT_EQ(c.best_epoch, a.best_epoch);
+}
+
+TEST(ResumeTest, GraphResumeReproducesUninterruptedRunBitwise) {
+  data::GraphDataset dataset =
+      data::MakeGraphDataset(data::GraphDatasetId::kMutag, 3, 0.2)
+          .ValueOrDie();
+  util::Rng split_rng(1);
+  data::IndexSplit split =
+      data::SplitIndices(dataset.graphs.size(), 0.8, 0.1, &split_rng)
+          .ValueOrDie();
+  pool::FlatGnnConfig mc;
+  mc.in_dim = dataset.feature_dim;
+  mc.hidden_dim = 8;
+  const std::string path = TempPath("graph_half.ckpt");
+
+  util::Rng rng_a(7);
+  pool::FlatGraphModel model_a(mc, dataset.num_classes, &rng_a);
+  GraphTaskResult a = TrainGraphClassifier(&model_a, dataset, split,
+                                           BaseConfig(6, 7), /*batch_size=*/8)
+                          .ValueOrDie();
+
+  // The per-epoch mini-batch shuffle makes this the trainer most likely to
+  // drift on resume; it must still match bitwise.
+  util::Rng rng_b(7);
+  pool::FlatGraphModel model_b(mc, dataset.num_classes, &rng_b);
+  TrainConfig tc_b = BaseConfig(3, 7);
+  tc_b.checkpoint_path = path;
+  tc_b.checkpoint_every = 3;
+  TrainGraphClassifier(&model_b, dataset, split, tc_b, 8).ValueOrDie();
+
+  util::Rng rng_c(999);
+  pool::FlatGraphModel model_c(mc, dataset.num_classes, &rng_c);
+  TrainConfig tc_c = BaseConfig(6, 7);
+  tc_c.checkpoint_path = path;
+  tc_c.resume = true;
+  GraphTaskResult c =
+      TrainGraphClassifier(&model_c, dataset, split, tc_c, 8).ValueOrDie();
+
+  EXPECT_EQ(c.resumed_from_epoch, 3);
+  EXPECT_EQ(c.val_accuracy, a.val_accuracy);
+  EXPECT_EQ(c.test_accuracy, a.test_accuracy);
+  EXPECT_EQ(c.best_epoch, a.best_epoch);
+}
+
+// ---- divergence recovery ----------------------------------------------
+
+TEST(DivergenceTest, PoisonedLossRollsBackHalvesLrAndRecordsEvent) {
+  NodeFixture f;
+  util::Rng rng(8);
+  pool::FlatNodeModel model(f.ModelConfig(), &rng);
+  TrainConfig tc = BaseConfig(8, 8);
+
+  util::FaultPlan plan;
+  plan.poison_loss_epoch = 3;
+  util::ScopedFaultPlan scoped(plan);
+  NodeTaskResult r =
+      TrainNodeClassifier(&model, f.dataset.graph, f.split, tc).ValueOrDie();
+
+  EXPECT_EQ(r.epochs_run, 8);  // the run completed despite the NaN
+  for (double v : {r.train_accuracy, r.val_accuracy, r.test_accuracy}) {
+    EXPECT_TRUE(std::isfinite(v));
+    EXPECT_GE(v, 0.0);
+    EXPECT_LE(v, 1.0);
+  }
+  ASSERT_EQ(r.recovery_events.size(), 1u);
+  const nn::RecoveryEvent& e = r.recovery_events[0];
+  EXPECT_EQ(e.epoch, 3);
+  EXPECT_EQ(e.kind, nn::RecoveryEvent::Kind::kNonFiniteLoss);
+  EXPECT_DOUBLE_EQ(e.lr_before, tc.learning_rate);
+  EXPECT_DOUBLE_EQ(e.lr_after, tc.learning_rate * tc.lr_backoff);
+}
+
+TEST(DivergenceTest, GraphTrainerRecoversFromPoisonedBatch) {
+  data::GraphDataset dataset =
+      data::MakeGraphDataset(data::GraphDatasetId::kMutag, 3, 0.2)
+          .ValueOrDie();
+  util::Rng split_rng(1);
+  data::IndexSplit split =
+      data::SplitIndices(dataset.graphs.size(), 0.8, 0.1, &split_rng)
+          .ValueOrDie();
+  pool::FlatGnnConfig mc;
+  mc.in_dim = dataset.feature_dim;
+  mc.hidden_dim = 8;
+  util::Rng rng(9);
+  pool::FlatGraphModel model(mc, dataset.num_classes, &rng);
+
+  util::FaultPlan plan;
+  plan.poison_loss_epoch = 1;
+  util::ScopedFaultPlan scoped(plan);
+  GraphTaskResult r =
+      TrainGraphClassifier(&model, dataset, split, BaseConfig(4, 9), 8)
+          .ValueOrDie();
+  EXPECT_EQ(r.epochs_run, 4);
+  EXPECT_TRUE(std::isfinite(r.test_accuracy));
+  ASSERT_EQ(r.recovery_events.size(), 1u);
+  EXPECT_EQ(r.recovery_events[0].epoch, 1);
+}
+
+TEST(DivergenceTest, RecoveryEventsSurviveCheckpointAndResume) {
+  NodeFixture f;
+  const std::string path = TempPath("node_poisoned.ckpt");
+  util::Rng rng_a(10);
+  pool::FlatNodeModel model_a(f.ModelConfig(), &rng_a);
+  TrainConfig tc_a = BaseConfig(3, 10);
+  tc_a.checkpoint_path = path;
+  {
+    util::FaultPlan plan;
+    plan.poison_loss_epoch = 1;
+    util::ScopedFaultPlan scoped(plan);
+    NodeTaskResult a =
+        TrainNodeClassifier(&model_a, f.dataset.graph, f.split, tc_a)
+            .ValueOrDie();
+    ASSERT_EQ(a.recovery_events.size(), 1u);
+  }
+
+  // Resume with no injector armed: the restored run still reports the
+  // incident from before the crash.
+  util::Rng rng_b(999);
+  pool::FlatNodeModel model_b(f.ModelConfig(), &rng_b);
+  TrainConfig tc_b = BaseConfig(6, 10);
+  tc_b.checkpoint_path = path;
+  tc_b.resume = true;
+  NodeTaskResult b =
+      TrainNodeClassifier(&model_b, f.dataset.graph, f.split, tc_b)
+          .ValueOrDie();
+  EXPECT_EQ(b.resumed_from_epoch, 3);
+  ASSERT_EQ(b.recovery_events.size(), 1u);
+  EXPECT_EQ(b.recovery_events[0].epoch, 1);
+  EXPECT_EQ(b.recovery_events[0].kind,
+            nn::RecoveryEvent::Kind::kNonFiniteLoss);
+}
+
+TEST(DivergenceTest, ExhaustedRetriesFailLoudly) {
+  NodeFixture f;
+  util::Rng rng(11);
+  pool::FlatNodeModel model(f.ModelConfig(), &rng);
+  TrainConfig tc = BaseConfig(6, 11);
+  tc.max_lr_retries = 0;  // no rollback budget at all
+
+  util::FaultPlan plan;
+  plan.poison_loss_epoch = 2;
+  util::ScopedFaultPlan scoped(plan);
+  auto r = TrainNodeClassifier(&model, f.dataset.graph, f.split, tc);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("diverged"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST(DivergenceTest, GuardCanBeDisabled) {
+  NodeFixture f;
+  util::Rng rng(12);
+  pool::FlatNodeModel model(f.ModelConfig(), &rng);
+  TrainConfig tc = BaseConfig(4, 12);
+  tc.divergence_guard = false;
+
+  util::FaultPlan plan;
+  plan.poison_loss_epoch = 1;
+  util::ScopedFaultPlan scoped(plan);
+  NodeTaskResult r =
+      TrainNodeClassifier(&model, f.dataset.graph, f.split, tc).ValueOrDie();
+  // No rollback happened; the NaN just propagated, as requested.
+  EXPECT_TRUE(r.recovery_events.empty());
+  EXPECT_EQ(r.epochs_run, 4);
+}
+
+// Periodic checkpointing must not perturb training: a run that checkpoints
+// every epoch matches a run that never checkpoints, bitwise.
+TEST(ResumeTest, CheckpointingIsObservationallyFree) {
+  NodeFixture f;
+  util::Rng rng_a(13), rng_b(13);
+  pool::FlatNodeModel model_a(f.ModelConfig(), &rng_a);
+  pool::FlatNodeModel model_b(f.ModelConfig(), &rng_b);
+  TrainConfig plain = BaseConfig(5, 13);
+  TrainConfig chk = plain;
+  chk.checkpoint_path = TempPath("node_everyepoch.ckpt");
+  chk.checkpoint_every = 1;
+  NodeTaskResult a =
+      TrainNodeClassifier(&model_a, f.dataset.graph, f.split, plain)
+          .ValueOrDie();
+  NodeTaskResult b =
+      TrainNodeClassifier(&model_b, f.dataset.graph, f.split, chk)
+          .ValueOrDie();
+  EXPECT_EQ(a.val_accuracy, b.val_accuracy);
+  EXPECT_EQ(a.test_accuracy, b.test_accuracy);
+  EXPECT_EQ(a.best_epoch, b.best_epoch);
+}
+
+}  // namespace
+}  // namespace adamgnn::train

@@ -4,16 +4,21 @@
 //   adamgnn_train --task=nc --edges=g.txt --features=x.txt --labels=y.txt
 //                 [--levels=3] [--hidden=64] [--epochs=200] [--lr=0.01]
 //                 [--seed=1] [--threads=N] [--save=model.ckpt]
+//                 [--checkpoint=run.ckpt] [--checkpoint-every=10] [--resume]
 //   adamgnn_train --task=lp --edges=g.txt --features=x.txt [...]
 //   adamgnn_train --task=nc --synthetic=cora [--scale=0.2] [...]
 //
 // Node classification reports test accuracy, macro-F1 and the confusion
 // matrix; link prediction reports ROC-AUC. `--save` writes a checkpoint
-// loadable with nn::LoadParameters.
+// loadable with nn::LoadParameters. `--checkpoint` makes the run crash-safe:
+// a resumable checkpoint (parameters + optimizer + RNG + bookkeeping) is
+// written atomically every --checkpoint-every epochs and at the end;
+// `--resume` continues an interrupted run bitwise-identically.
 
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <set>
 #include <string>
 
 #include "autograd/loss_ops.h"
@@ -33,6 +38,19 @@ namespace {
 
 using namespace adamgnn;  // CLI tool; library code never does this
 
+// Every flag the tool understands. Anything else — including a typo like
+// --epoch=5 — is rejected instead of silently ignored.
+const std::set<std::string>& KnownFlags() {
+  static const std::set<std::string>* kKnown = new std::set<std::string>{
+      "help",       "task",    "edges",   "features",
+      "labels",     "synthetic", "scale", "levels",
+      "hidden",     "epochs",  "lr",      "seed",
+      "threads",    "save",    "checkpoint", "checkpoint-every",
+      "resume",
+  };
+  return *kKnown;
+}
+
 std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
   std::map<std::string, std::string> flags;
   for (int i = 1; i < argc; ++i) {
@@ -43,13 +61,33 @@ std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
     }
     arg = arg.substr(2);
     const size_t eq = arg.find('=');
+    std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
+    if (KnownFlags().count(name) == 0) {
+      std::fprintf(stderr,
+                   "unknown flag: --%s (run with --help for the flag list)\n",
+                   name.c_str());
+      std::exit(2);
+    }
     if (eq == std::string::npos) {
-      flags[arg] = "true";
+      flags[std::move(name)] = "true";
     } else {
-      flags[arg.substr(0, eq)] = arg.substr(eq + 1);
+      flags[std::move(name)] = arg.substr(eq + 1);
     }
   }
   return flags;
+}
+
+// Prints resume provenance and any divergence recoveries for a finished run.
+void ReportResilience(int resumed_from_epoch,
+                      const std::vector<nn::RecoveryEvent>& events) {
+  if (resumed_from_epoch >= 0) {
+    std::printf("resumed from epoch %d\n", resumed_from_epoch);
+  }
+  for (const nn::RecoveryEvent& e : events) {
+    std::printf("recovery: epoch %lld %s, rolled back, lr %.6g -> %.6g\n",
+                static_cast<long long>(e.epoch),
+                nn::RecoveryKindToString(e.kind), e.lr_before, e.lr_after);
+  }
 }
 
 std::string FlagOr(const std::map<std::string, std::string>& flags,
@@ -106,8 +144,13 @@ int RunNodeClassification(const graph::Graph& g,
 
   data::IndexSplit split =
       data::SplitIndices(g.num_nodes(), 0.8, 0.1, rng).ValueOrDie();
-  train::NodeTaskResult result =
-      train::TrainNodeClassifier(&model, g, split, tc).ValueOrDie();
+  auto train_result = train::TrainNodeClassifier(&model, g, split, tc);
+  if (!train_result.ok()) {
+    std::fprintf(stderr, "%s\n", train_result.status().ToString().c_str());
+    return 1;
+  }
+  train::NodeTaskResult result = std::move(train_result).ValueOrDie();
+  ReportResilience(result.resumed_from_epoch, result.recovery_events);
   std::printf("val accuracy  %.4f\ntest accuracy %.4f (epoch %d of %d)\n",
               result.val_accuracy, result.test_accuracy, result.best_epoch,
               result.epochs_run);
@@ -141,8 +184,13 @@ int RunLinkPrediction(const graph::Graph& g,
                       const train::TrainConfig& tc, util::Rng* rng) {
   data::LinkSplit split = data::MakeLinkSplit(g, 0.1, 0.1, rng).ValueOrDie();
   core::AdamGnnEmbeddingModel model(config, rng);
-  train::LinkTaskResult result =
-      train::TrainLinkPredictor(&model, split, tc).ValueOrDie();
+  auto train_result = train::TrainLinkPredictor(&model, split, tc);
+  if (!train_result.ok()) {
+    std::fprintf(stderr, "%s\n", train_result.status().ToString().c_str());
+    return 1;
+  }
+  train::LinkTaskResult result = std::move(train_result).ValueOrDie();
+  ReportResilience(result.resumed_from_epoch, result.recovery_events);
   std::printf("val ROC-AUC  %.4f\ntest ROC-AUC %.4f (epoch %d of %d)\n",
               result.val_auc, result.test_auc, result.best_epoch,
               result.epochs_run);
@@ -163,10 +211,19 @@ int main(int argc, char** argv) {
         "usage: adamgnn_train --task=nc|lp (--edges=F [--features=F] "
         "[--labels=F] | --synthetic=acm|citeseer|cora|emails|dblp|wiki "
         "[--scale=S]) [--levels=K] [--hidden=D] [--epochs=N] [--lr=R] "
-        "[--seed=S] [--threads=N] [--save=PATH]\n"
+        "[--seed=S] [--threads=N] [--save=PATH] [--checkpoint=PATH] "
+        "[--checkpoint-every=N] [--resume]\n"
         "  --threads=N  kernel worker threads (default: ADAMGNN_NUM_THREADS\n"
         "               env or hardware concurrency). Results are\n"
-        "               bitwise-identical at every thread count.\n");
+        "               bitwise-identical at every thread count.\n"
+        "  --checkpoint=PATH        crash-safe resumable checkpoint file\n"
+        "                           (parameters + Adam moments + RNG +\n"
+        "                           epoch bookkeeping, atomic writes)\n"
+        "  --checkpoint-every=N     also save every N epochs (default 10;\n"
+        "                           the end of the run always saves)\n"
+        "  --resume                 continue from --checkpoint if it exists;\n"
+        "                           reproduces the uninterrupted run\n"
+        "                           bitwise at the same seed and threads\n");
     return 0;
   }
   const std::string threads = FlagOr(flags, "threads", "");
@@ -206,6 +263,18 @@ int main(int argc, char** argv) {
   tc.learning_rate = std::atof(FlagOr(flags, "lr", "0.01").c_str());
   tc.seed =
       static_cast<uint64_t>(std::atoll(FlagOr(flags, "seed", "1").c_str()));
+  tc.checkpoint_path = FlagOr(flags, "checkpoint", "");
+  tc.checkpoint_every =
+      std::atoi(FlagOr(flags, "checkpoint-every", "10").c_str());
+  tc.resume = flags.count("resume") > 0;
+  if (tc.resume && tc.checkpoint_path.empty()) {
+    std::fprintf(stderr, "--resume requires --checkpoint=PATH\n");
+    return 2;
+  }
+  if (tc.checkpoint_every < 0) {
+    std::fprintf(stderr, "--checkpoint-every must be >= 0\n");
+    return 2;
+  }
 
   util::Rng rng(tc.seed);
   if (task == "nc") {

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Tier-1 verification: configure, build, and run the full test suite — once
-# normally and once under ThreadSanitizer with the kernel pool forced to four
-# threads — then smoke-test the trainer CLI with --threads=4.
+# normally, once under ThreadSanitizer with the kernel pool forced to four
+# threads, and once under AddressSanitizer — then smoke-test the trainer
+# CLI with --threads=4 including a checkpoint/resume round trip.
 #
 # Usage: tools/check.sh [jobs]
 set -euo pipefail
@@ -20,8 +21,23 @@ cmake --build build-tsan -j "${JOBS}"
 ADAMGNN_NUM_THREADS=4 ctest --test-dir build-tsan --output-on-failure \
     -j "${JOBS}"
 
+echo "==> ASan build + ctest"
+cmake -B build-asan -S . -DADAMGNN_SANITIZE=address >/dev/null
+cmake --build build-asan -j "${JOBS}"
+ctest --test-dir build-asan --output-on-failure -j "${JOBS}"
+
 echo "==> trainer smoke test (--threads=4)"
 ./build/tools/adamgnn_train --task=nc --synthetic=cora --scale=0.1 \
     --epochs=5 --threads=4
+
+echo "==> trainer checkpoint/resume smoke test"
+CKPT="$(mktemp -u /tmp/adamgnn_smoke.XXXXXX.ckpt)"
+./build/tools/adamgnn_train --task=nc --synthetic=cora --scale=0.1 \
+    --epochs=3 --threads=4 --checkpoint="${CKPT}" --checkpoint-every=1
+RESUME_OUT="$(./build/tools/adamgnn_train --task=nc --synthetic=cora \
+    --scale=0.1 --epochs=6 --threads=4 --checkpoint="${CKPT}" --resume)"
+echo "${RESUME_OUT}"
+grep -q "resumed from epoch 3" <<<"${RESUME_OUT}"
+rm -f "${CKPT}"
 
 echo "==> all checks passed"
