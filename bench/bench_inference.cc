@@ -1,0 +1,137 @@
+// Serving-latency benchmark for the GraphPlan + InferenceSession split.
+//
+// Compares, on a synthetic Cora graph:
+//   naive_forward      — the pre-split serving cost: a full eval-mode
+//                        Forward per query (autograd tape + a throwaway
+//                        GraphPlan rebuilt every call),
+//   cold_plan          — first query against a new graph: plan build plus
+//                        one tape-free session run,
+//   warm_plan_uncached — repeated queries with the plan amortized but the
+//                        result cache dropped (the pure tape-free compute),
+//   warm_plan          — repeated queries against the cached plan (the
+//                        steady-state serving path).
+//
+// Writes BENCH_inference.json (override with --json=PATH) and exits
+// non-zero unless the warm-plan repeated-query path is at least 3x faster
+// than the naive per-call forward.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "core/adamgnn_model.h"
+#include "core/graph_plan.h"
+#include "core/inference_session.h"
+#include "data/node_datasets.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+
+namespace adamgnn {
+namespace {
+
+constexpr double kScale = 0.3;
+constexpr int kNaiveRepeats = 5;
+constexpr int kColdRepeats = 5;
+constexpr int kUncachedRepeats = 10;
+constexpr int kWarmRepeats = 200;
+
+int RunInferenceBench(const std::string& json_path) {
+  data::NodeDataset dataset =
+      data::MakeNodeDataset(data::NodeDatasetId::kCora, /*seed=*/1, kScale)
+          .ValueOrDie();
+  const graph::Graph& g = dataset.graph;
+
+  core::AdamGnnConfig config;
+  config.in_dim = g.feature_dim();
+  config.num_classes = static_cast<size_t>(g.num_classes());
+  util::Rng rng(7);
+  core::AdamGnn model(config, &rng);
+
+  // Naive serving: tape + throwaway plan on every query (the monolithic
+  // pre-split path). RNG consumption (recon-loss negatives) is part of the
+  // cost it pays.
+  util::Stopwatch watch;
+  for (int i = 0; i < kNaiveRepeats; ++i) {
+    model.Forward(g, /*training=*/false, &rng);
+  }
+  const double naive_ms = watch.ElapsedSeconds() * 1e3 / kNaiveRepeats;
+
+  core::InferenceSession session(model);
+
+  // Cold: plan construction plus the first tape-free run.
+  watch.Restart();
+  std::shared_ptr<const core::GraphPlan> plan;
+  for (int i = 0; i < kColdRepeats; ++i) {
+    session.RefreshWeights(model);  // drop the result cache between rounds
+    plan = core::GraphPlan::Build(g, config.lambda);
+    session.Run(plan);
+  }
+  const double cold_ms = watch.ElapsedSeconds() * 1e3 / kColdRepeats;
+
+  // Warm plan, cold results: the pure tape-free compute phase.
+  watch.Restart();
+  for (int i = 0; i < kUncachedRepeats; ++i) {
+    session.RefreshWeights(model);
+    session.Run(plan);
+  }
+  const double uncached_ms = watch.ElapsedSeconds() * 1e3 / kUncachedRepeats;
+
+  // Steady state: repeated queries against the cached plan.
+  watch.Restart();
+  for (int i = 0; i < kWarmRepeats; ++i) {
+    session.Run(plan);
+  }
+  const double warm_ms = watch.ElapsedSeconds() * 1e3 / kWarmRepeats;
+
+  const double speedup_warm = naive_ms / (warm_ms > 1e-9 ? warm_ms : 1e-9);
+  const double speedup_uncached =
+      naive_ms / (uncached_ms > 1e-9 ? uncached_ms : 1e-9);
+
+  std::FILE* f = std::fopen(json_path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(f,
+               "{\n"
+               "  \"dataset\": \"cora\",\n"
+               "  \"scale\": %.2f,\n"
+               "  \"nodes\": %zu,\n"
+               "  \"naive_forward_ms\": %.3f,\n"
+               "  \"cold_plan_ms\": %.3f,\n"
+               "  \"warm_plan_uncached_ms\": %.3f,\n"
+               "  \"warm_plan_ms\": %.4f,\n"
+               "  \"speedup_warm_vs_naive\": %.2f,\n"
+               "  \"speedup_uncached_vs_naive\": %.2f\n"
+               "}\n",
+               kScale, g.num_nodes(), naive_ms, cold_ms, uncached_ms, warm_ms,
+               speedup_warm, speedup_uncached);
+  std::fclose(f);
+
+  std::printf("naive forward      %8.3f ms/query\n", naive_ms);
+  std::printf("cold plan          %8.3f ms/query\n", cold_ms);
+  std::printf("warm plan uncached %8.3f ms/query (%.2fx vs naive)\n",
+              uncached_ms, speedup_uncached);
+  std::printf("warm plan          %8.4f ms/query (%.2fx vs naive)\n", warm_ms,
+              speedup_warm);
+  std::printf("wrote %s\n", json_path.c_str());
+
+  if (speedup_warm < 3.0) {
+    std::fprintf(stderr,
+                 "FAIL: warm-plan speedup %.2fx < 3x over naive forward\n",
+                 speedup_warm);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace adamgnn
+
+int main(int argc, char** argv) {
+  std::string json_path = "BENCH_inference.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--json=", 7) == 0) json_path = argv[i] + 7;
+  }
+  return adamgnn::RunInferenceBench(json_path);
+}

@@ -5,6 +5,7 @@
 #include <utility>
 
 #include "autograd/ops.h"
+#include "tensor/kernels.h"
 #include "util/logging.h"
 
 namespace adamgnn::autograd {
@@ -142,16 +143,7 @@ Variable EdgeDotProduct(const Variable& h,
   ADAMGNN_CHECK(!pairs.empty());
   auto ph = h.node();
   const size_t d = h.cols();
-  Matrix out(pairs.size(), 1);
-  for (size_t e = 0; e < pairs.size(); ++e) {
-    ADAMGNN_CHECK_LT(pairs[e].first, h.rows());
-    ADAMGNN_CHECK_LT(pairs[e].second, h.rows());
-    const double* hu = h.value().row(pairs[e].first);
-    const double* hv = h.value().row(pairs[e].second);
-    double s = 0.0;
-    for (size_t j = 0; j < d; ++j) s += hu[j] * hv[j];
-    out(e, 0) = s;
-  }
+  Matrix out = tensor::EdgeDots(h.value(), pairs);
   return Variable::FromNode(NewOpNode(
       std::move(out), {ph}, [ph, pairs = std::move(pairs), d](Node& self) {
         Matrix dh(ph->value.rows(), d);

@@ -26,6 +26,10 @@ std::shared_ptr<Node> NewOpNode(Matrix value,
     ADAMGNN_CHECK(p != nullptr);
     needs = needs || p->requires_grad;
   }
+  // Under a NoGradGuard the node is built as a constant: the forward value
+  // is identical, but no parent edges or pullback are retained, so eval
+  // passes allocate no tape.
+  needs = needs && GradEnabled();
   node->requires_grad = needs;
   if (needs) {
     node->parents = std::move(parents);

@@ -64,21 +64,9 @@ Variable SegmentMax(const Variable& x, std::vector<size_t> segments,
   ADAMGNN_CHECK_EQ(segments.size(), x.rows());
   auto px = x.node();
   const size_t d = x.cols();
-  Matrix out(num_segments, d);
   // argmax[s * d + j] = input row that owns the max of column j in segment s.
-  std::vector<int64_t> argmax(num_segments * d, -1);
-  for (size_t i = 0; i < segments.size(); ++i) {
-    const size_t s = segments[i];
-    ADAMGNN_CHECK_LT(s, num_segments);
-    const double* xr = x.value().row(i);
-    for (size_t j = 0; j < d; ++j) {
-      int64_t& am = argmax[s * d + j];
-      if (am < 0 || xr[j] > out(s, j)) {
-        out(s, j) = xr[j];
-        am = static_cast<int64_t>(i);
-      }
-    }
-  }
+  std::vector<int64_t> argmax;
+  Matrix out = tensor::SegmentMax(x.value(), segments, num_segments, &argmax);
   return Variable::FromNode(NewOpNode(
       std::move(out), {px},
       [px, argmax = std::move(argmax), d](Node& self) {
@@ -99,23 +87,7 @@ Variable SegmentSoftmax(const Variable& scores, std::vector<size_t> segments,
   ADAMGNN_CHECK_EQ(scores.cols(), 1u);
   ADAMGNN_CHECK_EQ(segments.size(), scores.rows());
   auto ps = scores.node();
-
-  const size_t m = scores.rows();
-  std::vector<double> seg_max(num_segments,
-                              -std::numeric_limits<double>::infinity());
-  for (size_t i = 0; i < m; ++i) {
-    ADAMGNN_CHECK_LT(segments[i], num_segments);
-    seg_max[segments[i]] =
-        std::max(seg_max[segments[i]], scores.value()(i, 0));
-  }
-  std::vector<double> seg_z(num_segments, 0.0);
-  Matrix out(m, 1);
-  for (size_t i = 0; i < m; ++i) {
-    out(i, 0) = std::exp(scores.value()(i, 0) - seg_max[segments[i]]);
-    seg_z[segments[i]] += out(i, 0);
-  }
-  for (size_t i = 0; i < m; ++i) out(i, 0) /= seg_z[segments[i]];
-
+  Matrix out = tensor::SegmentSoftmax(scores.value(), segments, num_segments);
   return Variable::FromNode(NewOpNode(
       std::move(out), {ps},
       [ps, seg = std::move(segments), num_segments](Node& self) {

@@ -62,4 +62,14 @@ Variable Variable::FromNode(std::shared_ptr<internal::Node> node) {
   return v;
 }
 
+namespace {
+thread_local bool g_grad_enabled = true;
+}  // namespace
+
+bool GradEnabled() { return g_grad_enabled; }
+
+NoGradGuard::NoGradGuard() : prev_(g_grad_enabled) { g_grad_enabled = false; }
+
+NoGradGuard::~NoGradGuard() { g_grad_enabled = prev_; }
+
 }  // namespace adamgnn::autograd

@@ -74,6 +74,26 @@ class Variable {
 /// between steps).
 void Backward(const Variable& loss);
 
+/// True unless a NoGradGuard is alive on this thread. Ops consult this when
+/// building the DAG: while disabled, no node retains parents or a pullback,
+/// so forward values are computed but the tape is never recorded.
+bool GradEnabled();
+
+/// RAII scope that disables gradient recording on the current thread.
+/// Nestable; the previous state is restored on destruction. Forward values
+/// are bitwise-identical with and without the guard — only the bookkeeping
+/// (parent edges, backward closures) is skipped.
+class NoGradGuard {
+ public:
+  NoGradGuard();
+  ~NoGradGuard();
+  NoGradGuard(const NoGradGuard&) = delete;
+  NoGradGuard& operator=(const NoGradGuard&) = delete;
+
+ private:
+  bool prev_;
+};
+
 }  // namespace adamgnn::autograd
 
 #endif  // ADAMGNN_AUTOGRAD_VARIABLE_H_

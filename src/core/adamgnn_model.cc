@@ -41,40 +41,59 @@ AdamGnn::AdamGnn(const AdamGnnConfig& config, util::Rng* rng)
 
 AdamGnn::Output AdamGnn::Forward(const graph::Graph& g, bool training,
                                  util::Rng* rng) const {
+  return Forward(g, *GraphPlan::Build(g, config_.lambda), training, rng);
+}
+
+AdamGnn::Output AdamGnn::Forward(const graph::Graph& g, const GraphPlan& plan,
+                                 bool training, util::Rng* rng) const {
   ADAMGNN_CHECK_EQ(g.feature_dim(), config_.in_dim);
-  return ForwardFromFeatures(g, autograd::Variable::Constant(g.features()),
-                             training, rng);
+  ADAMGNN_CHECK(plan.feature_constant().defined());
+  return ForwardFromFeatures(g, plan, plan.feature_constant(), training, rng);
 }
 
 AdamGnn::Output AdamGnn::ForwardFromFeatures(const graph::Graph& g,
                                              const autograd::Variable& x,
                                              bool training,
                                              util::Rng* rng) const {
+  return ForwardFromFeatures(g, *GraphPlan::Build(g, config_.lambda), x,
+                             training, rng);
+}
+
+AdamGnn::Output AdamGnn::ForwardFromFeatures(const graph::Graph& g,
+                                             const GraphPlan& plan,
+                                             const autograd::Variable& x,
+                                             bool training,
+                                             util::Rng* rng) const {
   ADAMGNN_CHECK_EQ(x.rows(), g.num_nodes());
   ADAMGNN_CHECK_EQ(x.cols(), config_.in_dim);
+  ADAMGNN_CHECK_EQ(plan.num_nodes(), g.num_nodes());
+  ADAMGNN_CHECK_EQ(plan.lambda(), config_.lambda);
   Output out;
 
   // Primary node representation (Eq. 1, one GCN layer as in the paper).
-  auto norm_adj = std::make_shared<const graph::SparseMatrix>(
-      graph::SparseMatrix::NormalizedAdjacency(g));
-  autograd::Variable h0 = autograd::Relu(input_conv_->Forward(norm_adj, x));
+  autograd::Variable h0 =
+      autograd::Relu(input_conv_->Forward(plan.norm_adj(), x));
   h0 = dropout_.Apply(h0, rng, training);
 
-  // Multi-grained structure construction, level by level.
-  graph::SparseMatrix cur_adj = graph::SparseMatrix::Adjacency(g);
-  std::vector<std::vector<size_t>> cur_lists = AdjacencyLists(g);
+  // Multi-grained structure construction, level by level. Level 0's
+  // topology comes precomputed from the plan; deeper levels depend on the
+  // weight-dependent selections below them, so they are derived on the fly.
+  const graph::SparseMatrix* cur_adj = &plan.adjacency();
+  const LevelTopology* cur_topo = &plan.level0();
+  graph::SparseMatrix owned_adj;
+  LevelTopology owned_topo;
   autograd::Variable h_prev = h0;
   std::vector<Assignment> assignments;
   std::vector<autograd::Variable> messages;
 
   for (int k = 0; k < config_.num_levels; ++k) {
-    EgoPairs pairs = EgoPairs::Build(cur_lists, config_.lambda);
+    const EgoPairs& pairs = cur_topo->pairs;
     if (pairs.num_pairs() == 0) break;  // no edges left to pool over
 
     FitnessScorer::Scores scores = fitness_[static_cast<size_t>(k)]->Score(
-        pairs, h_prev);
+        *cur_topo, h_prev);
     Selection sel =
-        SelectEgoNetworks(scores.ego_phi.value(), cur_lists, pairs);
+        SelectEgoNetworks(scores.ego_phi.value(), cur_topo->adjacency, pairs);
     if (sel.selected_egos.empty()) break;
     if (sel.num_hyper_nodes() >= pairs.num_nodes) break;  // no compression
 
@@ -82,7 +101,7 @@ AdamGnn::Output AdamGnn::ForwardFromFeatures(const graph::Graph& g,
     autograd::Variable x_k = hyper_init_[static_cast<size_t>(k)]->Initialise(
         pairs, sel, asg, scores, h_prev);
 
-    graph::SparseMatrix next_adj = NextAdjacency(cur_adj, asg);
+    graph::SparseMatrix next_adj = NextAdjacency(*cur_adj, asg);
     auto norm_next =
         std::make_shared<const graph::SparseMatrix>(next_adj.Normalized());
     autograd::Variable h_k = autograd::Relu(
@@ -121,8 +140,11 @@ AdamGnn::Output AdamGnn::ForwardFromFeatures(const graph::Graph& g,
     messages.push_back(Unpool(assignments, assignments.size(), h_k));
 
     if (sel.num_hyper_nodes() < 4) break;  // pooled to (near) a point
-    cur_adj = std::move(next_adj);
-    cur_lists = AdjacencyListsFromSparse(cur_adj);
+    owned_adj = std::move(next_adj);
+    cur_adj = &owned_adj;
+    owned_topo = LevelTopology::FromAdjacency(
+        AdjacencyListsFromSparse(owned_adj), config_.lambda);
+    cur_topo = &owned_topo;
     h_prev = h_k;
   }
 

@@ -16,6 +16,7 @@
 #include "core/ego_selection.h"
 #include "core/fitness.h"
 #include "core/flyback.h"
+#include "core/graph_plan.h"
 #include "core/hyper_features.h"
 #include "graph/graph.h"
 #include "nn/dropout.h"
@@ -87,8 +88,17 @@ class AdamGnn : public nn::Module {
   };
 
   /// Runs the full pipeline on g. `training` controls dropout; `rng` drives
-  /// dropout masks and negative sampling for L_R.
+  /// dropout masks and negative sampling for L_R. Builds a throwaway
+  /// GraphPlan internally — amortizing callers should build a plan once and
+  /// use the plan-based overload.
   Output Forward(const graph::Graph& g, bool training, util::Rng* rng) const;
+
+  /// Plan-based forward: all topology-only structure (Â, level-0 ego
+  /// enumeration, local-max neighborhoods, feature constant) comes
+  /// precomputed from `plan`, which must have been built from `g` with this
+  /// config's λ. `g` is still consulted for the reconstruction loss edges.
+  Output Forward(const graph::Graph& g, const GraphPlan& plan, bool training,
+                 util::Rng* rng) const;
 
   /// Same pipeline, but over externally supplied node features (n x in_dim)
   /// instead of g's — the hook the heterogeneous extension (core/hetero.h)
@@ -97,6 +107,11 @@ class AdamGnn : public nn::Module {
   Output ForwardFromFeatures(const graph::Graph& g,
                              const autograd::Variable& features,
                              bool training, util::Rng* rng) const;
+
+  /// Plan-based variant of ForwardFromFeatures.
+  Output ForwardFromFeatures(const graph::Graph& g, const GraphPlan& plan,
+                             const autograd::Variable& features, bool training,
+                             util::Rng* rng) const;
 
   /// Graph-classification logits from a forward output over a batched graph:
   /// readout = [mean ‖ max] of embeddings per member graph, then a linear
@@ -108,6 +123,17 @@ class AdamGnn : public nn::Module {
   std::vector<autograd::Variable> Parameters() const override;
 
   const AdamGnnConfig& config() const { return config_; }
+
+  // Submodule accessors, used by the tape-free InferenceSession to snapshot
+  // frozen weights.
+  const nn::GcnConv& input_conv() const { return *input_conv_; }
+  const FitnessScorer& fitness(size_t k) const { return *fitness_[k]; }
+  const HyperFeatureInit& hyper_init(size_t k) const { return *hyper_init_[k]; }
+  const nn::GcnConv& level_conv(size_t k) const { return *level_convs_[k]; }
+  const FlybackAggregator& flyback() const { return *flyback_; }
+  /// May be null (link-prediction mode has no classification heads).
+  const nn::Linear* node_head() const { return node_head_.get(); }
+  const nn::Linear* graph_head() const { return graph_head_.get(); }
 
  private:
   AdamGnnConfig config_;

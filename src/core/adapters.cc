@@ -4,19 +4,41 @@
 
 namespace adamgnn::core {
 
+const std::shared_ptr<const GraphPlan>& PlanCache::For(const graph::Graph& g) {
+  const uint64_t fp = GraphPlan::Fingerprint(g);
+  if (plan_ == nullptr || plan_->fingerprint() != fp) {
+    plan_ = GraphPlan::Build(g, lambda_);
+  }
+  return plan_;
+}
+
 AdamGnnNodeModel::AdamGnnNodeModel(const AdamGnnConfig& config,
                                    util::Rng* rng)
-    : model_(config, rng) {
+    : model_(config, rng), plans_(config.lambda) {
   ADAMGNN_CHECK_GT(config.num_classes, 0u);
 }
 
 train::NodeModel::Out AdamGnnNodeModel::Forward(const graph::Graph& g,
                                                 bool training,
                                                 util::Rng* rng) {
-  AdamGnn::Output out = model_.Forward(g, training, rng);
+  AdamGnn::Output out = model_.Forward(g, *plans_.For(g), training, rng);
   last_attention_ = out.flyback_attention;
   last_levels_ = out.levels;
   return {out.logits, out.aux_loss};
+}
+
+train::NodeModel::Out AdamGnnNodeModel::Evaluate(const graph::Graph& g,
+                                                 util::Rng* rng) {
+  (void)rng;  // the session consumes no randomness
+  if (session_ == nullptr) {
+    session_ = std::make_unique<InferenceSession>(model_);
+  } else {
+    session_->RefreshWeights(model_);
+  }
+  const InferenceSession::Result& r = session_->Run(plans_.For(g));
+  last_attention_ = r.flyback_attention;
+  last_levels_ = r.levels;
+  return {autograd::Variable::Constant(r.logits), autograd::Variable()};
 }
 
 std::vector<autograd::Variable> AdamGnnNodeModel::Parameters() const {
@@ -26,15 +48,31 @@ std::vector<autograd::Variable> AdamGnnNodeModel::Parameters() const {
 AdamGnnEmbeddingModel::AdamGnnEmbeddingModel(const AdamGnnConfig& config,
                                              util::Rng* rng)
     : model_(config, rng),
+      plans_(config.lambda),
       projection_(config.hidden_dim, config.hidden_dim, /*use_bias=*/false,
                   rng) {}
 
 train::EmbeddingModel::Out AdamGnnEmbeddingModel::Forward(
     const graph::Graph& g, bool training, util::Rng* rng) {
-  AdamGnn::Output out = model_.Forward(g, training, rng);
+  AdamGnn::Output out = model_.Forward(g, *plans_.For(g), training, rng);
   // For link prediction L_task = L_R (the trainer's BCE on edges), so the
   // aux term carries γ·L_KL + δ·L_R as configured.
   return {projection_.Forward(out.embeddings), out.aux_loss};
+}
+
+train::EmbeddingModel::Out AdamGnnEmbeddingModel::Evaluate(
+    const graph::Graph& g, util::Rng* rng) {
+  (void)rng;
+  if (session_ == nullptr) {
+    session_ = std::make_unique<InferenceSession>(model_);
+  } else {
+    session_->RefreshWeights(model_);
+  }
+  const InferenceSession::Result& r = session_->Run(plans_.For(g));
+  tensor::Matrix projected = nn::Linear::ForwardValues(
+      r.embeddings, projection_.weight().value(), tensor::Matrix());
+  return {autograd::Variable::Constant(std::move(projected)),
+          autograd::Variable()};
 }
 
 std::vector<autograd::Variable> AdamGnnEmbeddingModel::Parameters() const {
@@ -59,6 +97,21 @@ train::GraphModel::Out AdamGnnGraphModel::Forward(
   autograd::Variable logits =
       model_.GraphLogits(out, batch.node_to_graph, batch.num_graphs());
   return {logits, out.aux_loss};
+}
+
+train::GraphModel::Out AdamGnnGraphModel::Evaluate(
+    const graph::GraphBatch& batch, util::Rng* rng) {
+  (void)rng;
+  if (session_ == nullptr) {
+    session_ = std::make_unique<InferenceSession>(model_);
+  } else {
+    session_->RefreshWeights(model_);
+  }
+  auto plan = GraphPlan::Build(batch.merged, model_.config().lambda);
+  tensor::Matrix logits =
+      session_->GraphLogits(plan, batch.node_to_graph, batch.num_graphs());
+  return {autograd::Variable::Constant(std::move(logits)),
+          autograd::Variable()};
 }
 
 std::vector<autograd::Variable> AdamGnnGraphModel::Parameters() const {

@@ -4,19 +4,39 @@
 #ifndef ADAMGNN_CORE_ADAPTERS_H_
 #define ADAMGNN_CORE_ADAPTERS_H_
 
+#include <memory>
 #include <vector>
 
 #include "core/adamgnn_model.h"
+#include "core/graph_plan.h"
+#include "core/inference_session.h"
 #include "nn/linear.h"
 #include "train/interfaces.h"
 
 namespace adamgnn::core {
+
+/// Fingerprint-keyed single-plan cache shared by the single-graph adapters:
+/// trainers call Forward/Evaluate with the same graph every epoch, so the
+/// plan (and its λ-hop ego enumeration) is built exactly once per graph.
+class PlanCache {
+ public:
+  explicit PlanCache(int lambda) : lambda_(lambda) {}
+  const std::shared_ptr<const GraphPlan>& For(const graph::Graph& g);
+
+ private:
+  int lambda_;
+  std::shared_ptr<const GraphPlan> plan_;
+};
 
 class AdamGnnNodeModel final : public train::NodeModel {
  public:
   AdamGnnNodeModel(const AdamGnnConfig& config, util::Rng* rng);
 
   Out Forward(const graph::Graph& g, bool training, util::Rng* rng) override;
+  /// Tape-free eval through a frozen-weight InferenceSession; bitwise
+  /// identical logits to Forward(training=false), no autograd allocation,
+  /// and no RNG consumption (eval stops drawing recon-loss negatives).
+  Out Evaluate(const graph::Graph& g, util::Rng* rng) override;
   std::vector<autograd::Variable> Parameters() const override;
 
   /// The most recent forward's flyback attention (for Figure 2).
@@ -26,6 +46,8 @@ class AdamGnnNodeModel final : public train::NodeModel {
 
  private:
   AdamGnn model_;
+  PlanCache plans_;
+  std::unique_ptr<InferenceSession> session_;
   tensor::Matrix last_attention_;
   std::vector<LevelInfo> last_levels_;
 };
@@ -35,10 +57,15 @@ class AdamGnnEmbeddingModel final : public train::EmbeddingModel {
   AdamGnnEmbeddingModel(const AdamGnnConfig& config, util::Rng* rng);
 
   Out Forward(const graph::Graph& g, bool training, util::Rng* rng) override;
+  /// Tape-free eval (see AdamGnnNodeModel::Evaluate); the projection is
+  /// applied on raw matrices through nn::Linear::ForwardValues.
+  Out Evaluate(const graph::Graph& g, util::Rng* rng) override;
   std::vector<autograd::Variable> Parameters() const override;
 
  private:
   AdamGnn model_;
+  PlanCache plans_;
+  std::unique_ptr<InferenceSession> session_;
   // Linear decoder projection: AdamGNN's H is elementwise non-negative
   // (ReLU outputs mixed through non-negative assignment weights), which a
   // dot-product decoder cannot rank well; the projection restores a full
@@ -54,10 +81,14 @@ class AdamGnnGraphModel final : public train::GraphModel {
 
   Out Forward(const graph::GraphBatch& batch, bool training,
               util::Rng* rng) override;
+  /// Tape-free eval over a batched graph. Batches are ephemeral, so each
+  /// call builds a throwaway plan (no fingerprint cache).
+  Out Evaluate(const graph::GraphBatch& batch, util::Rng* rng) override;
   std::vector<autograd::Variable> Parameters() const override;
 
  private:
   AdamGnn model_;
+  std::unique_ptr<InferenceSession> session_;
 };
 
 }  // namespace adamgnn::core

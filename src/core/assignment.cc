@@ -1,24 +1,27 @@
 #include "core/assignment.h"
 
+#include <utility>
+
 #include "autograd/ops.h"
+#include "tensor/kernels.h"
 #include "util/logging.h"
 
 namespace adamgnn::core {
 
-Assignment BuildAssignment(const EgoPairs& pairs, const Selection& selection,
-                           const FitnessScorer::Scores& scores) {
+AssignmentStructure BuildAssignmentStructure(const EgoPairs& pairs,
+                                             const Selection& selection) {
   const size_t n_prev = pairs.num_nodes;
   const size_t n_hyper = selection.num_hyper_nodes();
   ADAMGNN_CHECK_GT(n_hyper, 0u);
 
-  Assignment asg;
-  asg.num_ego_columns = selection.selected_egos.size();
+  AssignmentStructure s;
+  s.num_ego_columns = selection.selected_egos.size();
 
   // Column index per selected ego.
   std::vector<int64_t> ego_column(n_prev, -1);
   for (size_t c = 0; c < selection.selected_egos.size(); ++c) {
     ego_column[selection.selected_egos[c]] = static_cast<int64_t>(c);
-    asg.hyper_to_prev.push_back(selection.selected_egos[c]);
+    s.hyper_to_prev.push_back(selection.selected_egos[c]);
   }
 
   auto pattern = std::make_shared<autograd::SparsePattern>();
@@ -31,9 +34,12 @@ Assignment BuildAssignment(const EgoPairs& pairs, const Selection& selection,
     if (col < 0) continue;
     pattern->row_indices.push_back(pairs.member[p]);
     pattern->col_indices.push_back(static_cast<size_t>(col));
-    asg.kept_pair_indices.push_back(p);
+    s.kept_pair_indices.push_back(p);
+    s.member_rows.push_back(pairs.member[p]);
+    s.ego_rows.push_back(pairs.ego[p]);
+    s.init_segments.push_back(static_cast<size_t>(col));
   }
-  const size_t num_phi_entries = asg.kept_pair_indices.size();
+  const size_t num_phi_entries = s.kept_pair_indices.size();
 
   // Constant entries: egos own their column; retained nodes map identically.
   for (size_t c = 0; c < selection.selected_egos.size(); ++c) {
@@ -44,30 +50,49 @@ Assignment BuildAssignment(const EgoPairs& pairs, const Selection& selection,
     const size_t col = selection.selected_egos.size() + r;
     pattern->row_indices.push_back(selection.retained_nodes[r]);
     pattern->col_indices.push_back(col);
-    asg.hyper_to_prev.push_back(selection.retained_nodes[r]);
+    s.hyper_to_prev.push_back(selection.retained_nodes[r]);
   }
+  s.num_const_entries = pattern->nnz() - num_phi_entries;
+  s.pattern = std::move(pattern);
+  return s;
+}
 
-  const size_t num_const_entries = pattern->nnz() - num_phi_entries;
+Assignment BuildAssignment(AssignmentStructure structure,
+                           const FitnessScorer::Scores& scores) {
+  Assignment asg;
+  static_cast<AssignmentStructure&>(asg) = std::move(structure);
+
   autograd::Variable ones = autograd::Variable::Constant(
-      tensor::Matrix::Ones(num_const_entries, 1));
-  if (num_phi_entries == 0) {
+      tensor::Matrix::Ones(asg.num_const_entries, 1));
+  if (asg.kept_pair_indices.empty()) {
     asg.values = ones;
   } else {
     autograd::Variable phi =
         autograd::GatherRows(scores.pair_phi, asg.kept_pair_indices);
     asg.values = autograd::ConcatRows(phi, ones);
   }
-  asg.pattern = std::move(pattern);
   return asg;
 }
 
+Assignment BuildAssignment(const EgoPairs& pairs, const Selection& selection,
+                           const FitnessScorer::Scores& scores) {
+  return BuildAssignment(BuildAssignmentStructure(pairs, selection), scores);
+}
+
+tensor::Matrix AssignmentValues(const AssignmentStructure& structure,
+                                const tensor::Matrix& pair_phi) {
+  tensor::Matrix ones = tensor::Matrix::Ones(structure.num_const_entries, 1);
+  if (structure.kept_pair_indices.empty()) return ones;
+  return tensor::ConcatRows(pair_phi.GatherRows(structure.kept_pair_indices),
+                            ones);
+}
+
 graph::SparseMatrix NextAdjacency(const graph::SparseMatrix& prev_adjacency,
-                                  const Assignment& assignment) {
-  ADAMGNN_CHECK_EQ(prev_adjacency.rows(), assignment.pattern->rows);
-  graph::SparseMatrix s = assignment.pattern->WithValues(
-      std::vector<double>(assignment.values.value().data(),
-                          assignment.values.value().data() +
-                              assignment.values.value().size()));
+                                  const autograd::SparsePattern& pattern,
+                                  const tensor::Matrix& values) {
+  ADAMGNN_CHECK_EQ(prev_adjacency.rows(), pattern.rows);
+  graph::SparseMatrix s = pattern.WithValues(
+      std::vector<double>(values.data(), values.data() + values.size()));
   // Â_{k-1} = A_{k-1} + I.
   std::vector<graph::Triplet> hat;
   hat.reserve(prev_adjacency.nnz() + prev_adjacency.rows());
@@ -82,6 +107,12 @@ graph::SparseMatrix NextAdjacency(const graph::SparseMatrix& prev_adjacency,
   graph::SparseMatrix a_hat = graph::SparseMatrix::FromTriplets(
       prev_adjacency.rows(), prev_adjacency.cols(), std::move(hat));
   return s.Transposed().Multiply(a_hat).Multiply(s);
+}
+
+graph::SparseMatrix NextAdjacency(const graph::SparseMatrix& prev_adjacency,
+                                  const Assignment& assignment) {
+  return NextAdjacency(prev_adjacency, *assignment.pattern,
+                       assignment.values.value());
 }
 
 std::vector<std::vector<size_t>> AdjacencyListsFromSparse(

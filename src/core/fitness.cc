@@ -6,7 +6,9 @@
 #include "autograd/loss_ops.h"
 #include "autograd/ops.h"
 #include "autograd/segment_ops.h"
+#include "core/graph_plan.h"
 #include "nn/init.h"
+#include "tensor/kernels.h"
 #include "util/logging.h"
 
 namespace adamgnn::core {
@@ -61,31 +63,34 @@ FitnessScorer::FitnessScorer(size_t dim, util::Rng* rng, FitnessMode mode)
       autograd::Variable::Parameter(nn::GlorotUniform(2 * dim, 1, rng));
 }
 
-FitnessScorer::Scores FitnessScorer::Score(const EgoPairs& pairs,
-                                           const autograd::Variable& h) const {
+namespace {
+
+// Shared body of the two Score overloads: `dot_pairs` is the (member, ego)
+// gather list aligned with `pairs`.
+FitnessScorer::Scores ScoreImpl(
+    const EgoPairs& pairs,
+    std::vector<std::pair<size_t, size_t>> dot_pairs,
+    const autograd::Variable& h, const autograd::Variable& weight,
+    const autograd::Variable& attention, FitnessMode mode) {
   ADAMGNN_CHECK_GT(pairs.num_pairs(), 0u);
-  autograd::Variable wh = autograd::MatMul(h, weight_);
+  autograd::Variable wh = autograd::MatMul(h, weight);
   autograd::Variable wh_member = autograd::GatherRows(wh, pairs.member);
   autograd::Variable wh_ego = autograd::GatherRows(wh, pairs.ego);
 
   // f^s: attention logits normalized within each ego-network.
   autograd::Variable logits = autograd::LeakyRelu(
-      autograd::MatMul(autograd::ConcatCols(wh_member, wh_ego), attention_),
+      autograd::MatMul(autograd::ConcatCols(wh_member, wh_ego), attention),
       0.2);
   std::vector<size_t> segments = pairs.ego;
   autograd::Variable f_s = autograd::SegmentSoftmax(
       logits, std::move(segments), pairs.num_nodes);
 
   // f^c: linearity between member and ego representations.
-  std::vector<std::pair<size_t, size_t>> dot_pairs(pairs.num_pairs());
-  for (size_t p = 0; p < pairs.num_pairs(); ++p) {
-    dot_pairs[p] = {pairs.member[p], pairs.ego[p]};
-  }
   autograd::Variable f_c = autograd::Sigmoid(
       autograd::EdgeDotProduct(h, std::move(dot_pairs)));
 
-  Scores scores;
-  switch (mode_) {
+  FitnessScorer::Scores scores;
+  switch (mode) {
     case FitnessMode::kBoth:
       scores.pair_phi = autograd::CwiseMul(f_s, f_c);
       break;
@@ -98,6 +103,56 @@ FitnessScorer::Scores FitnessScorer::Score(const EgoPairs& pairs,
   }
   scores.ego_phi = autograd::SegmentMean(scores.pair_phi, pairs.ego,
                                          pairs.num_nodes);
+  return scores;
+}
+
+}  // namespace
+
+FitnessScorer::Scores FitnessScorer::Score(const EgoPairs& pairs,
+                                           const autograd::Variable& h) const {
+  std::vector<std::pair<size_t, size_t>> dot_pairs(pairs.num_pairs());
+  for (size_t p = 0; p < pairs.num_pairs(); ++p) {
+    dot_pairs[p] = {pairs.member[p], pairs.ego[p]};
+  }
+  return ScoreImpl(pairs, std::move(dot_pairs), h, weight_, attention_, mode_);
+}
+
+FitnessScorer::Scores FitnessScorer::Score(const LevelTopology& topo,
+                                           const autograd::Variable& h) const {
+  return ScoreImpl(topo.pairs, topo.dot_pairs, h, weight_, attention_, mode_);
+}
+
+FitnessScorer::ValueScores FitnessScorer::ScoreValues(
+    const LevelTopology& topo, const tensor::Matrix& h,
+    const tensor::Matrix& weight, const tensor::Matrix& attention,
+    FitnessMode mode) {
+  const EgoPairs& pairs = topo.pairs;
+  ADAMGNN_CHECK_GT(pairs.num_pairs(), 0u);
+  tensor::Matrix wh = tensor::MatMul(h, weight);
+  tensor::Matrix wh_member = wh.GatherRows(pairs.member);
+  tensor::Matrix wh_ego = wh.GatherRows(pairs.ego);
+
+  tensor::Matrix logits = tensor::LeakyRelu(
+      tensor::MatMul(tensor::ConcatCols(wh_member, wh_ego), attention), 0.2);
+  tensor::Matrix f_s =
+      tensor::SegmentSoftmax(logits, pairs.ego, pairs.num_nodes);
+  tensor::Matrix f_c =
+      tensor::Sigmoid(tensor::EdgeDots(h, topo.dot_pairs));
+
+  ValueScores scores;
+  switch (mode) {
+    case FitnessMode::kBoth:
+      scores.pair_phi = tensor::CwiseMul(f_s, f_c);
+      break;
+    case FitnessMode::kAttentionOnly:
+      scores.pair_phi = std::move(f_s);
+      break;
+    case FitnessMode::kSigmoidOnly:
+      scores.pair_phi = std::move(f_c);
+      break;
+  }
+  scores.ego_phi =
+      tensor::SegmentMean(scores.pair_phi, pairs.ego, pairs.num_nodes);
   return scores;
 }
 

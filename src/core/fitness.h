@@ -40,6 +40,8 @@ std::vector<std::vector<size_t>> AdjacencyLists(const graph::Graph& g);
 /// two modes exist for the ablation bench.
 enum class FitnessMode { kBoth, kAttentionOnly, kSigmoidOnly };
 
+struct LevelTopology;  // core/graph_plan.h
+
 class FitnessScorer : public nn::Module {
  public:
   FitnessScorer(size_t dim, util::Rng* rng,
@@ -55,7 +57,28 @@ class FitnessScorer : public nn::Module {
   /// h: (num_nodes x dim) current-level representations.
   Scores Score(const EgoPairs& pairs, const autograd::Variable& h) const;
 
+  /// Same scores over a precomputed level topology (reuses its dot-pair
+  /// gather list instead of rebuilding it per call).
+  Scores Score(const LevelTopology& topo, const autograd::Variable& h) const;
+
+  /// Raw-matrix forwards of Score for the tape-free inference path; runs
+  /// the identical tensor kernels in the identical order, so outputs are
+  /// bitwise-equal to Score(topo, h).value() at the same weights.
+  struct ValueScores {
+    tensor::Matrix pair_phi;
+    tensor::Matrix ego_phi;
+  };
+  static ValueScores ScoreValues(const LevelTopology& topo,
+                                 const tensor::Matrix& h,
+                                 const tensor::Matrix& weight,
+                                 const tensor::Matrix& attention,
+                                 FitnessMode mode);
+
   std::vector<autograd::Variable> Parameters() const override;
+
+  FitnessMode mode() const { return mode_; }
+  const autograd::Variable& weight() const { return weight_; }
+  const autograd::Variable& attention() const { return attention_; }
 
  private:
   FitnessMode mode_;

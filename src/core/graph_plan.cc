@@ -1,0 +1,71 @@
+#include "core/graph_plan.h"
+
+#include <cstring>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace adamgnn::core {
+
+LevelTopology LevelTopology::FromAdjacency(
+    std::vector<std::vector<size_t>> adjacency, int lambda) {
+  LevelTopology topo;
+  topo.pairs = EgoPairs::Build(adjacency, lambda);
+  topo.adjacency = std::move(adjacency);
+  topo.dot_pairs.resize(topo.pairs.num_pairs());
+  for (size_t p = 0; p < topo.pairs.num_pairs(); ++p) {
+    topo.dot_pairs[p] = {topo.pairs.member[p], topo.pairs.ego[p]};
+  }
+  return topo;
+}
+
+std::shared_ptr<const GraphPlan> GraphPlan::Build(const graph::Graph& g,
+                                                  int lambda) {
+  ADAMGNN_CHECK_GE(lambda, 1);
+  auto plan = std::shared_ptr<GraphPlan>(new GraphPlan());
+  plan->num_nodes_ = g.num_nodes();
+  plan->lambda_ = lambda;
+  plan->fingerprint_ = Fingerprint(g);
+  plan->norm_adj_ = std::make_shared<const graph::SparseMatrix>(
+      graph::SparseMatrix::NormalizedAdjacency(g));
+  plan->adjacency_ = graph::SparseMatrix::Adjacency(g);
+  plan->level0_ = LevelTopology::FromAdjacency(AdjacencyLists(g), lambda);
+  if (g.has_features()) {
+    plan->feature_constant_ = autograd::Variable::Constant(g.features());
+  }
+  return plan;
+}
+
+uint64_t GraphPlan::Fingerprint(const graph::Graph& g) {
+  // FNV-1a over the node count, the CSR neighbor stream (rows in order,
+  // neighbors sorted by construction), and the raw feature bytes. The
+  // feature matrix is folded in because plans hoist a copy of it: a plan
+  // must be dropped when either the topology or the features change.
+  constexpr uint64_t kOffset = 14695981039346656037ull;
+  constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t h = kOffset;
+  auto mix = [&h](uint64_t v) {
+    for (int b = 0; b < 8; ++b) {
+      h ^= (v >> (8 * b)) & 0xffu;
+      h *= kPrime;
+    }
+  };
+  mix(g.num_nodes());
+  for (graph::NodeId v = 0; static_cast<size_t>(v) < g.num_nodes(); ++v) {
+    const auto neighbors = g.Neighbors(v);
+    mix(neighbors.size());
+    for (graph::NodeId u : neighbors) mix(static_cast<uint64_t>(u));
+  }
+  if (g.has_features()) {
+    const tensor::Matrix& x = g.features();
+    mix(x.cols());
+    for (size_t i = 0; i < x.size(); ++i) {
+      uint64_t bits;
+      std::memcpy(&bits, &x.data()[i], sizeof(bits));
+      mix(bits);
+    }
+  }
+  return h;
+}
+
+}  // namespace adamgnn::core

@@ -3,6 +3,7 @@
 #include "autograd/ops.h"
 #include "autograd/segment_ops.h"
 #include "nn/init.h"
+#include "tensor/kernels.h"
 #include "util/logging.h"
 
 namespace adamgnn::core {
@@ -17,6 +18,7 @@ autograd::Variable HyperFeatureInit::Initialise(
     const EgoPairs& pairs, const Selection& selection,
     const Assignment& assignment, const FitnessScorer::Scores& scores,
     const autograd::Variable& h_prev) const {
+  (void)pairs;  // index sets now come precomputed on the assignment
   const size_t num_egos = selection.selected_egos.size();
 
   // Ego base features H_{k-1}(i).
@@ -27,26 +29,12 @@ autograd::Variable HyperFeatureInit::Initialise(
 
   if (num_egos > 0 && !assignment.kept_pair_indices.empty()) {
     // Member contributions, attention-weighted per selected ego-network.
-    const auto& kept = assignment.kept_pair_indices;
-    std::vector<size_t> member_rows(kept.size());
-    std::vector<size_t> ego_rows(kept.size());
-    // Segment = position of the ego among selected columns.
-    std::vector<size_t> segments(kept.size());
-    std::vector<int64_t> ego_column(pairs.num_nodes, -1);
-    for (size_t c = 0; c < num_egos; ++c) {
-      ego_column[selection.selected_egos[c]] = static_cast<int64_t>(c);
-    }
-    for (size_t i = 0; i < kept.size(); ++i) {
-      const size_t p = kept[i];
-      member_rows[i] = pairs.member[p];
-      ego_rows[i] = pairs.ego[p];
-      segments[i] = static_cast<size_t>(ego_column[pairs.ego[p]]);
-    }
-
-    autograd::Variable h_member = autograd::GatherRows(h_prev, member_rows);
-    autograd::Variable h_ego = autograd::GatherRows(h_prev, ego_rows);
+    autograd::Variable h_member =
+        autograd::GatherRows(h_prev, assignment.member_rows);
+    autograd::Variable h_ego =
+        autograd::GatherRows(h_prev, assignment.ego_rows);
     autograd::Variable phi =
-        autograd::GatherRows(scores.pair_phi, kept);
+        autograd::GatherRows(scores.pair_phi, assignment.kept_pair_indices);
 
     // aᵀ LeakyReLU(W(φ_ij · h_j) ‖ h_i)
     autograd::Variable scaled_member =
@@ -58,10 +46,10 @@ autograd::Variable HyperFeatureInit::Initialise(
             attention_),
         0.2);
     autograd::Variable alpha =
-        autograd::SegmentSoftmax(logits, segments, num_egos);
+        autograd::SegmentSoftmax(logits, assignment.init_segments, num_egos);
     autograd::Variable weighted = autograd::MulColBroadcast(h_member, alpha);
     autograd::Variable member_sum =
-        autograd::SegmentSum(weighted, segments, num_egos);
+        autograd::SegmentSum(weighted, assignment.init_segments, num_egos);
     ego_feats = autograd::Add(ego_feats, member_sum);
   }
 
@@ -73,6 +61,48 @@ autograd::Variable HyperFeatureInit::Initialise(
       autograd::GatherRows(h_prev, selection.retained_nodes);
   if (num_egos == 0) return retained_feats;
   return autograd::ConcatRows(ego_feats, retained_feats);
+}
+
+tensor::Matrix HyperFeatureInit::InitialiseValues(
+    const AssignmentStructure& structure, const tensor::Matrix& pair_phi,
+    const tensor::Matrix& h_prev, const tensor::Matrix& weight,
+    const tensor::Matrix& attention) {
+  const size_t num_egos = structure.num_ego_columns;
+  const std::vector<size_t> egos(structure.hyper_to_prev.begin(),
+                                 structure.hyper_to_prev.begin() + num_egos);
+  const std::vector<size_t> retained(
+      structure.hyper_to_prev.begin() + num_egos,
+      structure.hyper_to_prev.end());
+
+  tensor::Matrix ego_feats;
+  if (num_egos > 0) ego_feats = h_prev.GatherRows(egos);
+
+  if (num_egos > 0 && !structure.kept_pair_indices.empty()) {
+    tensor::Matrix h_member = h_prev.GatherRows(structure.member_rows);
+    tensor::Matrix h_ego = h_prev.GatherRows(structure.ego_rows);
+    tensor::Matrix phi = pair_phi.GatherRows(structure.kept_pair_indices);
+
+    tensor::Matrix scaled_member = tensor::MulColBroadcast(h_member, phi);
+    tensor::Matrix logits = tensor::LeakyRelu(
+        tensor::MatMul(
+            tensor::ConcatCols(tensor::MatMul(scaled_member, weight), h_ego),
+            attention),
+        0.2);
+    tensor::Matrix alpha =
+        tensor::SegmentSoftmax(logits, structure.init_segments, num_egos);
+    tensor::Matrix weighted = tensor::MulColBroadcast(h_member, alpha);
+    tensor::Matrix member_sum =
+        tensor::SegmentSum(weighted, structure.init_segments, num_egos);
+    ego_feats = tensor::Add(ego_feats, member_sum);
+  }
+
+  if (retained.empty()) {
+    ADAMGNN_CHECK_GT(num_egos, 0u);
+    return ego_feats;
+  }
+  tensor::Matrix retained_feats = h_prev.GatherRows(retained);
+  if (num_egos == 0) return retained_feats;
+  return tensor::ConcatRows(ego_feats, retained_feats);
 }
 
 std::vector<autograd::Variable> HyperFeatureInit::Parameters() const {

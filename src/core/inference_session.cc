@@ -1,0 +1,232 @@
+#include "core/inference_session.h"
+
+#include <algorithm>
+
+#include "autograd/sparse_ops.h"
+#include "tensor/kernels.h"
+#include "util/logging.h"
+
+namespace adamgnn::core {
+
+InferenceSession::InferenceSession(const AdamGnn& model) { Snapshot(model); }
+
+void InferenceSession::Snapshot(const AdamGnn& model) {
+  config_ = model.config();
+  input_weight_ = model.input_conv().weight().value();
+  input_bias_ = model.input_conv().bias().value();
+  level_weights_.clear();
+  for (int k = 0; k < config_.num_levels; ++k) {
+    LevelWeights lw;
+    lw.fitness_weight = model.fitness(k).weight().value();
+    lw.fitness_attention = model.fitness(k).attention().value();
+    lw.init_weight = model.hyper_init(k).weight().value();
+    lw.init_attention = model.hyper_init(k).attention().value();
+    lw.conv_weight = model.level_conv(k).weight().value();
+    lw.conv_bias = model.level_conv(k).bias().value();
+    level_weights_.push_back(std::move(lw));
+  }
+  flyback_weight_ = model.flyback().weight().value();
+  flyback_attention_ = model.flyback().attention().value();
+  if (model.node_head() != nullptr) {
+    node_head_weight_ = model.node_head()->weight().value();
+    node_head_bias_ = model.node_head()->has_bias()
+                          ? model.node_head()->bias().value()
+                          : tensor::Matrix();
+  } else {
+    node_head_weight_ = tensor::Matrix();
+    node_head_bias_ = tensor::Matrix();
+  }
+  if (model.graph_head() != nullptr) {
+    graph_head_weight_ = model.graph_head()->weight().value();
+    graph_head_bias_ = model.graph_head()->has_bias()
+                           ? model.graph_head()->bias().value()
+                           : tensor::Matrix();
+  } else {
+    graph_head_weight_ = tensor::Matrix();
+    graph_head_bias_ = tensor::Matrix();
+  }
+}
+
+void InferenceSession::RefreshWeights(const AdamGnn& model) {
+  Snapshot(model);
+  cache_.clear();
+  order_.clear();
+}
+
+const InferenceSession::Result& InferenceSession::Run(
+    const std::shared_ptr<const GraphPlan>& plan) {
+  ADAMGNN_CHECK(plan != nullptr);
+  auto it = cache_.find(plan.get());
+  if (it != cache_.end()) return it->second;
+  if (order_.size() >= kMaxCachedPlans) {
+    cache_.erase(order_.front().get());
+    order_.erase(order_.begin());
+  }
+  Result result = RunUncached(*plan);
+  order_.push_back(plan);
+  return cache_.emplace(plan.get(), std::move(result)).first->second;
+}
+
+InferenceSession::Result InferenceSession::RunUncached(
+    const GraphPlan& plan) const {
+  ADAMGNN_CHECK(plan.feature_constant().defined());
+  ADAMGNN_CHECK_EQ(plan.lambda(), config_.lambda);
+  const tensor::Matrix& x = plan.feature_constant().value();
+  ADAMGNN_CHECK_EQ(x.cols(), config_.in_dim);
+  Result out;
+
+  // Primary node representation (Eq. 1); dropout is identity in eval.
+  tensor::Matrix h0 = tensor::Relu(
+      nn::GcnConv::ForwardValues(*plan.norm_adj(), x, input_weight_,
+                                 input_bias_));
+
+  // Pooling cascade — the same break conditions, selection rule, and kernel
+  // order as AdamGnn::ForwardFromFeatures in eval mode.
+  const graph::SparseMatrix* cur_adj = &plan.adjacency();
+  const LevelTopology* cur_topo = &plan.level0();
+  graph::SparseMatrix owned_adj;
+  LevelTopology owned_topo;
+  tensor::Matrix h_prev = h0;
+  // The S_k chain for unpooling: (pattern, values) per constructed level.
+  std::vector<std::shared_ptr<const autograd::SparsePattern>> chain_patterns;
+  std::vector<tensor::Matrix> chain_values;
+  std::vector<tensor::Matrix> messages;
+
+  for (int k = 0; k < config_.num_levels; ++k) {
+    const EgoPairs& pairs = cur_topo->pairs;
+    if (pairs.num_pairs() == 0) break;  // no edges left to pool over
+
+    const LevelWeights& lw = level_weights_[static_cast<size_t>(k)];
+    FitnessScorer::ValueScores scores = FitnessScorer::ScoreValues(
+        *cur_topo, h_prev, lw.fitness_weight, lw.fitness_attention,
+        config_.fitness_mode);
+    Selection sel =
+        SelectEgoNetworks(scores.ego_phi, cur_topo->adjacency, pairs);
+    if (sel.selected_egos.empty()) break;
+    if (sel.num_hyper_nodes() >= pairs.num_nodes) break;  // no compression
+
+    AssignmentStructure structure = BuildAssignmentStructure(pairs, sel);
+    tensor::Matrix values = AssignmentValues(structure, scores.pair_phi);
+    tensor::Matrix x_k = HyperFeatureInit::InitialiseValues(
+        structure, scores.pair_phi, h_prev, lw.init_weight,
+        lw.init_attention);
+
+    graph::SparseMatrix next_adj =
+        NextAdjacency(*cur_adj, *structure.pattern, values);
+    graph::SparseMatrix norm_next = next_adj.Normalized();
+    tensor::Matrix h_k = tensor::Relu(
+        nn::GcnConv::ForwardValues(norm_next, x_k, lw.conv_weight,
+                                   lw.conv_bias));
+
+    LevelInfo info;
+    info.num_prev_nodes = pairs.num_nodes;
+    info.num_hyper_nodes = sel.num_hyper_nodes();
+    info.num_selected_egos = sel.selected_egos.size();
+    info.num_retained = sel.retained_nodes.size();
+    info.num_covered = 0;
+    for (bool c : sel.covered) info.num_covered += c ? 1 : 0;
+    out.levels.push_back(info);
+    if (k == 0) {
+      out.level1_egos = sel.selected_egos;
+      out.level1_ego_of_node.assign(pairs.num_nodes, -1);
+      std::vector<double> best_phi(pairs.num_nodes, -1.0);
+      for (size_t e : sel.selected_egos) {
+        out.level1_ego_of_node[e] = static_cast<int64_t>(e);
+        best_phi[e] = 2.0;  // an ego always owns itself
+      }
+      for (size_t idx : structure.kept_pair_indices) {
+        const size_t member = pairs.member[idx];
+        const size_t ego = pairs.ego[idx];
+        const double phi = scores.pair_phi(idx, 0);
+        if (phi > best_phi[member]) {
+          best_phi[member] = phi;
+          out.level1_ego_of_node[member] = static_cast<int64_t>(ego);
+        }
+      }
+    }
+
+    chain_patterns.push_back(structure.pattern);
+    chain_values.push_back(std::move(values));
+    // Unpool: apply S_level … S_1 top-down, like core/unpooling.cc.
+    tensor::Matrix message = h_k;
+    for (size_t level = chain_patterns.size(); level >= 1; --level) {
+      message = autograd::SpMMValuesForward(*chain_patterns[level - 1],
+                                            chain_values[level - 1], message);
+    }
+    messages.push_back(std::move(message));
+
+    if (sel.num_hyper_nodes() < 4) break;  // pooled to (near) a point
+    owned_adj = std::move(next_adj);
+    cur_adj = &owned_adj;
+    owned_topo = LevelTopology::FromAdjacency(
+        AdjacencyListsFromSparse(owned_adj), config_.lambda);
+    cur_topo = &owned_topo;
+    h_prev = std::move(h_k);
+  }
+
+  // Flyback aggregation (Eq. 4).
+  if (config_.use_flyback) {
+    FlybackAggregator::ValueOutput fb = FlybackAggregator::AggregateValues(
+        h0, messages, flyback_weight_, flyback_attention_);
+    out.embeddings = std::move(fb.h);
+    out.flyback_attention = std::move(fb.attention);
+  } else {
+    out.flyback_attention = tensor::Matrix(h0.rows(), 0);
+    out.embeddings = std::move(h0);
+  }
+
+  if (node_head_weight_.size() > 0) {
+    out.logits = nn::Linear::ForwardValues(out.embeddings, node_head_weight_,
+                                           node_head_bias_);
+  }
+  return out;
+}
+
+std::vector<int> InferenceSession::PredictNodes(
+    const std::shared_ptr<const GraphPlan>& plan) {
+  const Result& r = Run(plan);
+  ADAMGNN_CHECK_GT(r.logits.size(), 0u);
+  std::vector<int> pred(r.logits.rows());
+  for (size_t i = 0; i < r.logits.rows(); ++i) {
+    const double* row = r.logits.row(i);
+    size_t best = 0;
+    for (size_t j = 1; j < r.logits.cols(); ++j) {
+      if (row[j] > row[best]) best = j;
+    }
+    pred[i] = static_cast<int>(best);
+  }
+  return pred;
+}
+
+std::vector<double> InferenceSession::ScoreLinks(
+    const std::shared_ptr<const GraphPlan>& plan,
+    const std::vector<std::pair<size_t, size_t>>& pairs) {
+  const Result& r = Run(plan);
+  std::vector<double> scores(pairs.size());
+  for (size_t e = 0; e < pairs.size(); ++e) {
+    ADAMGNN_CHECK_LT(pairs[e].first, r.embeddings.rows());
+    ADAMGNN_CHECK_LT(pairs[e].second, r.embeddings.rows());
+    const double* a = r.embeddings.row(pairs[e].first);
+    const double* b = r.embeddings.row(pairs[e].second);
+    double s = 0.0;
+    for (size_t j = 0; j < r.embeddings.cols(); ++j) s += a[j] * b[j];
+    scores[e] = s;
+  }
+  return scores;
+}
+
+tensor::Matrix InferenceSession::GraphLogits(
+    const std::shared_ptr<const GraphPlan>& plan,
+    const std::vector<size_t>& node_to_graph, size_t num_graphs) {
+  ADAMGNN_CHECK_GT(graph_head_weight_.size(), 0u);
+  const Result& r = Run(plan);
+  ADAMGNN_CHECK_EQ(node_to_graph.size(), r.embeddings.rows());
+  tensor::Matrix mean_read =
+      tensor::SegmentMean(r.embeddings, node_to_graph, num_graphs);
+  tensor::Matrix max_read =
+      tensor::SegmentMax(r.embeddings, node_to_graph, num_graphs);
+  return nn::Linear::ForwardValues(tensor::ConcatCols(mean_read, max_read),
+                                   graph_head_weight_, graph_head_bias_);
+}
+
+}  // namespace adamgnn::core

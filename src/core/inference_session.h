@@ -1,0 +1,102 @@
+// Tape-free serving path for a trained AdamGNN. An InferenceSession freezes
+// a model's parameters (deep matrix copies, decoupled from the optimizer)
+// and executes the compute phase on raw tensor::Matrix — no
+// autograd::Variable allocation, no gradient bookkeeping. Because every
+// autograd op's forward delegates to the same tensor:: kernels this session
+// calls, in the same order, session outputs are bitwise-identical to
+// Forward(training=false) at the same weights.
+//
+// Caching: results are memoized per GraphPlan, so repeated queries against
+// the same graph skip the pooling cascade entirely (the dominant serving
+// cost). Invalidation follows the two-axis rule documented in DESIGN.md:
+//   weights change  => RefreshWeights(model)  — drops the result cache,
+//   topology change => build a new GraphPlan  — a new cache key.
+
+#ifndef ADAMGNN_CORE_INFERENCE_SESSION_H_
+#define ADAMGNN_CORE_INFERENCE_SESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "core/adamgnn_model.h"
+#include "core/graph_plan.h"
+#include "tensor/matrix.h"
+
+namespace adamgnn::core {
+
+class InferenceSession {
+ public:
+  /// Snapshots the model's current parameters. Later optimizer steps on the
+  /// model do not affect the session until RefreshWeights.
+  explicit InferenceSession(const AdamGnn& model);
+
+  /// One graph's frozen-weight forward, all raw matrices.
+  struct Result {
+    tensor::Matrix embeddings;         // (n x hidden)
+    tensor::Matrix logits;             // (n x classes); empty without a head
+    tensor::Matrix flyback_attention;  // (n x K_effective)
+    std::vector<LevelInfo> levels;
+    std::vector<size_t> level1_egos;
+    std::vector<int64_t> level1_ego_of_node;
+  };
+
+  /// Runs (or returns the cached) forward for `plan`. The reference stays
+  /// valid until RefreshWeights or eviction of that entry (the cache holds
+  /// the most recent kMaxCachedPlans plans).
+  const Result& Run(const std::shared_ptr<const GraphPlan>& plan);
+
+  /// Argmax class per node. Requires a model with a node head.
+  std::vector<int> PredictNodes(const std::shared_ptr<const GraphPlan>& plan);
+
+  /// Dot-product link scores over the raw embeddings.
+  std::vector<double> ScoreLinks(
+      const std::shared_ptr<const GraphPlan>& plan,
+      const std::vector<std::pair<size_t, size_t>>& pairs);
+
+  /// Graph-classification logits ([mean ‖ max] readout through the graph
+  /// head). Requires a model with a graph head.
+  tensor::Matrix GraphLogits(const std::shared_ptr<const GraphPlan>& plan,
+                             const std::vector<size_t>& node_to_graph,
+                             size_t num_graphs);
+
+  /// Re-snapshots the model's parameters and drops every cached result
+  /// (weights change => selection cascade is stale).
+  void RefreshWeights(const AdamGnn& model);
+
+  const AdamGnnConfig& config() const { return config_; }
+
+  static constexpr size_t kMaxCachedPlans = 16;
+
+ private:
+  struct LevelWeights {
+    tensor::Matrix fitness_weight;
+    tensor::Matrix fitness_attention;
+    tensor::Matrix init_weight;
+    tensor::Matrix init_attention;
+    tensor::Matrix conv_weight;
+    tensor::Matrix conv_bias;
+  };
+
+  Result RunUncached(const GraphPlan& plan) const;
+  void Snapshot(const AdamGnn& model);
+
+  AdamGnnConfig config_;
+  tensor::Matrix input_weight_, input_bias_;
+  std::vector<LevelWeights> level_weights_;
+  tensor::Matrix flyback_weight_, flyback_attention_;
+  tensor::Matrix node_head_weight_, node_head_bias_;    // empty without head
+  tensor::Matrix graph_head_weight_, graph_head_bias_;  // empty without head
+
+  // Result cache keyed by plan identity; the shared_ptrs keep cached plans
+  // alive so a recycled address can never alias a stale entry. `order_`
+  // tracks insertion order for eviction.
+  std::unordered_map<const GraphPlan*, Result> cache_;
+  std::vector<std::shared_ptr<const GraphPlan>> order_;
+};
+
+}  // namespace adamgnn::core
+
+#endif  // ADAMGNN_CORE_INFERENCE_SESSION_H_

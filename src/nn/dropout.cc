@@ -24,7 +24,11 @@ Dropout::Dropout(double p) : p_(p) {
 
 autograd::Variable Dropout::Apply(const autograd::Variable& x, util::Rng* rng,
                                   bool training) const {
+  // Eval-mode contract: exact identity — no scaling, no RNG draw — so
+  // inference output can never depend on the RNG stream position. `rng` may
+  // be null when !training; it is only touched on the training path.
   if (!training || p_ == 0.0) return x;
+  ADAMGNN_CHECK(rng != nullptr);
   tensor::Matrix mask(x.rows(), x.cols());
   const double keep_scale = 1.0 / (1.0 - p_);
   if (mask.size() < kMinParallelMaskElems) {

@@ -20,10 +20,21 @@ class Linear : public Module {
   /// x: (n, in_dim) -> (n, out_dim).
   autograd::Variable Forward(const autograd::Variable& x) const;
 
+  /// Raw-matrix forward for the tape-free inference path; `bias` may be
+  /// empty (0x0) for a bias-free layer. Bitwise-equal to
+  /// Forward(...).value() at the same weights.
+  static tensor::Matrix ForwardValues(const tensor::Matrix& x,
+                                      const tensor::Matrix& weight,
+                                      const tensor::Matrix& bias);
+
   std::vector<autograd::Variable> Parameters() const override;
 
   size_t in_dim() const { return in_dim_; }
   size_t out_dim() const { return out_dim_; }
+  bool has_bias() const { return bias_.defined(); }
+  const autograd::Variable& weight() const { return weight_; }
+  /// Undefined (null Variable) when the layer has no bias.
+  const autograd::Variable& bias() const { return bias_; }
 
  private:
   size_t in_dim_;

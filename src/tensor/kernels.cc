@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "util/thread_pool.h"
 
@@ -539,6 +540,66 @@ Matrix SegmentMean(const Matrix& a, const std::vector<size_t>& segments,
     for (size_t j = 0; j < c.cols(); ++j) cs[j] *= inv;
   }
   return c;
+}
+
+Matrix SegmentMax(const Matrix& a, const std::vector<size_t>& segments,
+                  size_t num_segments, std::vector<int64_t>* argmax) {
+  ADAMGNN_CHECK_EQ(segments.size(), a.rows());
+  const size_t d = a.cols();
+  Matrix out(num_segments, d);
+  std::vector<int64_t> local;
+  std::vector<int64_t>& am = argmax != nullptr ? *argmax : local;
+  am.assign(num_segments * d, -1);
+  for (size_t i = 0; i < segments.size(); ++i) {
+    const size_t s = segments[i];
+    ADAMGNN_CHECK_LT(s, num_segments);
+    const double* ar = a.row(i);
+    for (size_t j = 0; j < d; ++j) {
+      int64_t& owner = am[s * d + j];
+      if (owner < 0 || ar[j] > out(s, j)) {
+        out(s, j) = ar[j];
+        owner = static_cast<int64_t>(i);
+      }
+    }
+  }
+  return out;
+}
+
+Matrix SegmentSoftmax(const Matrix& scores, const std::vector<size_t>& segments,
+                      size_t num_segments) {
+  ADAMGNN_CHECK_EQ(scores.cols(), 1u);
+  ADAMGNN_CHECK_EQ(segments.size(), scores.rows());
+  const size_t m = scores.rows();
+  std::vector<double> seg_max(num_segments,
+                              -std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < m; ++i) {
+    ADAMGNN_CHECK_LT(segments[i], num_segments);
+    seg_max[segments[i]] = std::max(seg_max[segments[i]], scores(i, 0));
+  }
+  std::vector<double> seg_z(num_segments, 0.0);
+  Matrix out(m, 1);
+  for (size_t i = 0; i < m; ++i) {
+    out(i, 0) = std::exp(scores(i, 0) - seg_max[segments[i]]);
+    seg_z[segments[i]] += out(i, 0);
+  }
+  for (size_t i = 0; i < m; ++i) out(i, 0) /= seg_z[segments[i]];
+  return out;
+}
+
+Matrix EdgeDots(const Matrix& h,
+                const std::vector<std::pair<size_t, size_t>>& pairs) {
+  const size_t d = h.cols();
+  Matrix out(pairs.size(), 1);
+  for (size_t e = 0; e < pairs.size(); ++e) {
+    ADAMGNN_CHECK_LT(pairs[e].first, h.rows());
+    ADAMGNN_CHECK_LT(pairs[e].second, h.rows());
+    const double* hu = h.row(pairs[e].first);
+    const double* hv = h.row(pairs[e].second);
+    double s = 0.0;
+    for (size_t j = 0; j < d; ++j) s += hu[j] * hv[j];
+    out(e, 0) = s;
+  }
+  return out;
 }
 
 }  // namespace adamgnn::tensor

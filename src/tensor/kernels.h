@@ -10,6 +10,8 @@
 #ifndef ADAMGNN_TENSOR_KERNELS_H_
 #define ADAMGNN_TENSOR_KERNELS_H_
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "tensor/matrix.h"
@@ -73,6 +75,24 @@ Matrix SegmentSum(const Matrix& a, const std::vector<size_t>& segments,
 /// Mean over segments; empty segments yield zero rows.
 Matrix SegmentMean(const Matrix& a, const std::vector<size_t>& segments,
                    size_t num_segments);
+
+/// Columnwise max over segments; empty segments yield zero rows. When
+/// `argmax` is non-null it is resized to num_segments * a.cols() and
+/// argmax[s * cols + j] records the input row owning the max of column j in
+/// segment s (-1 for empty segments). Ties keep the first-seen row.
+Matrix SegmentMax(const Matrix& a, const std::vector<size_t>& segments,
+                  size_t num_segments, std::vector<int64_t>* argmax = nullptr);
+
+/// Per-segment softmax over an (m x 1) score column: within each segment the
+/// entries are exponentiated (max-shifted for stability) and normalized to
+/// sum to one. Every segment id must be < num_segments.
+Matrix SegmentSoftmax(const Matrix& scores, const std::vector<size_t>& segments,
+                      size_t num_segments);
+
+/// Pairwise row dot products: out(e, 0) = h.row(pairs[e].first) ·
+/// h.row(pairs[e].second). Both endpoints must be < h.rows().
+Matrix EdgeDots(const Matrix& h,
+                const std::vector<std::pair<size_t, size_t>>& pairs);
 
 }  // namespace adamgnn::tensor
 

@@ -28,7 +28,7 @@ util::Result<double> EvalAccuracy(GraphModel* model,
     }
     ADAMGNN_ASSIGN_OR_RETURN(graph::GraphBatch batch,
                              graph::MakeBatch(members));
-    GraphModel::Out out = model->Forward(batch, /*training=*/false, rng);
+    GraphModel::Out out = model->Evaluate(batch, rng);
     std::vector<int> pred = autograd::ArgmaxRows(out.logits.value());
     for (size_t i = 0; i < batch.num_graphs(); ++i) {
       if (pred[i] == batch.graph_labels[i]) ++correct;

@@ -61,6 +61,17 @@ class NodeModel {
   };
   virtual Out Forward(const graph::Graph& g, bool training,
                       util::Rng* rng) = 0;
+
+  /// Eval-mode forward, used for every validation/test pass. The default
+  /// wraps Forward(training=false) in a NoGradGuard so no tape is recorded;
+  /// AdamGNN overrides it with a tape-free core::InferenceSession.
+  /// Evaluation only consumes logit values, so overrides may leave aux_loss
+  /// undefined and ignore `rng`.
+  virtual Out Evaluate(const graph::Graph& g, util::Rng* rng) {
+    autograd::NoGradGuard no_grad;
+    return Forward(g, /*training=*/false, rng);
+  }
+
   virtual std::vector<autograd::Variable> Parameters() const = 0;
 };
 
@@ -76,6 +87,13 @@ class EmbeddingModel {
   };
   virtual Out Forward(const graph::Graph& g, bool training,
                       util::Rng* rng) = 0;
+
+  /// Eval-mode forward; see NodeModel::Evaluate for the contract.
+  virtual Out Evaluate(const graph::Graph& g, util::Rng* rng) {
+    autograd::NoGradGuard no_grad;
+    return Forward(g, /*training=*/false, rng);
+  }
+
   virtual std::vector<autograd::Variable> Parameters() const = 0;
 };
 
@@ -90,6 +108,13 @@ class GraphModel {
   };
   virtual Out Forward(const graph::GraphBatch& batch, bool training,
                       util::Rng* rng) = 0;
+
+  /// Eval-mode forward; see NodeModel::Evaluate for the contract.
+  virtual Out Evaluate(const graph::GraphBatch& batch, util::Rng* rng) {
+    autograd::NoGradGuard no_grad;
+    return Forward(batch, /*training=*/false, rng);
+  }
+
   virtual std::vector<autograd::Variable> Parameters() const = 0;
 };
 

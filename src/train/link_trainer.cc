@@ -97,8 +97,7 @@ util::Result<LinkTaskResult> TrainLinkPredictor(EmbeddingModel* model,
     st.total_epoch_seconds += watch.ElapsedSeconds();
     result.epochs_run = epoch + 1;
 
-    EmbeddingModel::Out eval =
-        model->Forward(split.train_graph, /*training=*/false, &rng);
+    EmbeddingModel::Out eval = model->Evaluate(split.train_graph, &rng);
     const double val_auc =
         PairAuc(eval.embeddings.value(), split.val_pos, split.val_neg);
     if (config.verbose) {

@@ -60,8 +60,8 @@ util::Result<NodeTaskResult> TrainNodeClassifier(
     st.total_epoch_seconds += watch.ElapsedSeconds();
     result.epochs_run = epoch + 1;
 
-    // Evaluation pass without dropout.
-    NodeModel::Out eval = model->Forward(g, /*training=*/false, &rng);
+    // Evaluation pass without dropout, tape-free where the model supports it.
+    NodeModel::Out eval = model->Evaluate(g, &rng);
     const double val_acc = Accuracy(eval.logits.value(), g.labels(),
                                     split.val);
     if (config.verbose) {

@@ -1,0 +1,237 @@
+// Parity suite for the tape-free serving path: core::InferenceSession must
+// be bitwise identical to AdamGnn::Forward(training=false) at the same
+// weights — across tasks (node / link / graph), thread counts, and the
+// warm-vs-cold plan cache. Comparisons use Matrix::operator== (exact
+// doubles), not AllClose: the two paths call the same tensor:: kernels in
+// the same order, so any drift is a bug.
+
+#include "core/inference_session.h"
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "autograd/loss_ops.h"
+#include "core/adamgnn_model.h"
+#include "core/graph_plan.h"
+#include "graph/batch.h"
+#include "gtest/gtest.h"
+#include "nn/optimizer.h"
+#include "test_util.h"
+#include "util/random.h"
+#include "util/thread_pool.h"
+
+namespace adamgnn::core {
+namespace {
+
+using adamgnn::testing::Ring;
+using adamgnn::testing::TwoTriangles;
+using tensor::Matrix;
+
+AdamGnnConfig SmallConfig(size_t in_dim, size_t classes) {
+  AdamGnnConfig c;
+  c.in_dim = in_dim;
+  c.hidden_dim = 8;
+  c.num_classes = classes;
+  c.num_levels = 2;
+  c.dropout = 0.0;
+  return c;
+}
+
+// Bitwise comparison of one eval-mode Forward against the session run.
+void ExpectParity(const AdamGnn::Output& ref,
+                  const InferenceSession::Result& got) {
+  EXPECT_TRUE(ref.embeddings.value() == got.embeddings);
+  if (ref.logits.defined()) {
+    EXPECT_TRUE(ref.logits.value() == got.logits);
+  } else {
+    EXPECT_EQ(got.logits.size(), 0u);
+  }
+  EXPECT_TRUE(ref.flyback_attention == got.flyback_attention);
+  ASSERT_EQ(ref.levels.size(), got.levels.size());
+  for (size_t k = 0; k < ref.levels.size(); ++k) {
+    EXPECT_EQ(ref.levels[k].num_prev_nodes, got.levels[k].num_prev_nodes);
+    EXPECT_EQ(ref.levels[k].num_hyper_nodes, got.levels[k].num_hyper_nodes);
+    EXPECT_EQ(ref.levels[k].num_selected_egos,
+              got.levels[k].num_selected_egos);
+    EXPECT_EQ(ref.levels[k].num_retained, got.levels[k].num_retained);
+    EXPECT_EQ(ref.levels[k].num_covered, got.levels[k].num_covered);
+  }
+  EXPECT_EQ(ref.level1_egos, got.level1_egos);
+  EXPECT_EQ(ref.level1_ego_of_node, got.level1_ego_of_node);
+}
+
+TEST(InferenceSessionTest, NodeTaskBitwiseParity) {
+  graph::Graph g = Ring(40, 6, 101);
+  util::Rng rng(1);
+  AdamGnnConfig c = SmallConfig(6, 2);
+  c.num_levels = 3;
+  AdamGnn model(c, &rng);
+  util::Rng frng(2);
+  AdamGnn::Output ref = model.Forward(g, /*training=*/false, &frng);
+
+  InferenceSession session(model);
+  auto plan = GraphPlan::Build(g, c.lambda);
+  ExpectParity(ref, session.Run(plan));
+
+  // PredictNodes is plain argmax over the (identical) logits.
+  std::vector<int> pred = session.PredictNodes(plan);
+  ASSERT_EQ(pred.size(), g.num_nodes());
+  for (size_t i = 0; i < pred.size(); ++i) {
+    const Matrix& l = ref.logits.value();
+    size_t best = 0;
+    for (size_t j = 1; j < l.cols(); ++j) {
+      if (l(i, j) > l(i, best)) best = j;
+    }
+    EXPECT_EQ(pred[i], static_cast<int>(best));
+  }
+}
+
+TEST(InferenceSessionTest, LinkTaskBitwiseParity) {
+  graph::Graph g = TwoTriangles();
+  util::Rng rng(3);
+  AdamGnnConfig c = SmallConfig(4, /*classes=*/0);  // no node head
+  AdamGnn model(c, &rng);
+  util::Rng frng(4);
+  AdamGnn::Output ref = model.Forward(g, false, &frng);
+
+  InferenceSession session(model);
+  auto plan = GraphPlan::Build(g, c.lambda);
+  const InferenceSession::Result& got = session.Run(plan);
+  EXPECT_TRUE(ref.embeddings.value() == got.embeddings);
+  EXPECT_EQ(got.logits.size(), 0u);
+
+  // Link scores are exact dot products of the (identical) embeddings.
+  std::vector<std::pair<size_t, size_t>> pairs = {{0, 1}, {2, 3}, {5, 0}};
+  std::vector<double> scores = session.ScoreLinks(plan, pairs);
+  ASSERT_EQ(scores.size(), pairs.size());
+  const Matrix& h = ref.embeddings.value();
+  for (size_t e = 0; e < pairs.size(); ++e) {
+    double want = 0.0;
+    for (size_t j = 0; j < h.cols(); ++j) {
+      want += h(pairs[e].first, j) * h(pairs[e].second, j);
+    }
+    EXPECT_EQ(scores[e], want);
+  }
+}
+
+TEST(InferenceSessionTest, GraphTaskBitwiseParity) {
+  util::Rng rng(5);
+  graph::GraphBuilder b1(4), b2(5);
+  for (int i = 0; i + 1 < 4; ++i) b1.AddEdge(i, i + 1).CheckOK();
+  for (int i = 0; i + 1 < 5; ++i) b2.AddEdge(i, i + 1).CheckOK();
+  b1.SetFeatures(Matrix::Gaussian(4, 3, 1.0, &rng)).CheckOK();
+  b2.SetFeatures(Matrix::Gaussian(5, 3, 1.0, &rng)).CheckOK();
+  b1.SetGraphLabel(0);
+  b2.SetGraphLabel(1);
+  graph::Graph g1 = std::move(b1).Build().ValueOrDie();
+  graph::Graph g2 = std::move(b2).Build().ValueOrDie();
+  graph::GraphBatch batch = graph::MakeBatch({&g1, &g2}).ValueOrDie();
+
+  AdamGnnConfig c = SmallConfig(3, 2);  // classes > 0 => graph head exists
+  AdamGnn model(c, &rng);
+  util::Rng frng(6);
+  AdamGnn::Output ref = model.Forward(batch.merged, false, &frng);
+  autograd::Variable ref_logits =
+      model.GraphLogits(ref, batch.node_to_graph, batch.num_graphs());
+
+  InferenceSession session(model);
+  auto plan = GraphPlan::Build(batch.merged, c.lambda);
+  const InferenceSession::Result& got = session.Run(plan);
+  EXPECT_TRUE(ref.embeddings.value() == got.embeddings);
+  Matrix got_logits =
+      session.GraphLogits(plan, batch.node_to_graph, batch.num_graphs());
+  EXPECT_TRUE(ref_logits.value() == got_logits);
+}
+
+TEST(InferenceSessionTest, ThreadCountInvariance) {
+  graph::Graph g = Ring(36, 5, 77);
+  util::Rng rng(7);
+  AdamGnnConfig c = SmallConfig(5, 3);
+  AdamGnn model(c, &rng);
+
+  util::SetNumThreads(1);
+  InferenceSession s1(model);
+  auto plan1 = GraphPlan::Build(g, c.lambda);
+  InferenceSession::Result one = s1.Run(plan1);  // copy before switching
+
+  util::SetNumThreads(4);
+  InferenceSession s4(model);
+  auto plan4 = GraphPlan::Build(g, c.lambda);
+  const InferenceSession::Result& four = s4.Run(plan4);
+  util::SetNumThreads(0);  // back to the environment default
+
+  EXPECT_TRUE(one.embeddings == four.embeddings);
+  EXPECT_TRUE(one.logits == four.logits);
+  EXPECT_TRUE(one.flyback_attention == four.flyback_attention);
+}
+
+TEST(InferenceSessionTest, WarmCacheReturnsIdenticalCachedResult) {
+  graph::Graph g = TwoTriangles();
+  util::Rng rng(8);
+  AdamGnnConfig c = SmallConfig(4, 2);
+  AdamGnn model(c, &rng);
+  InferenceSession session(model);
+  auto plan = GraphPlan::Build(g, c.lambda);
+
+  const InferenceSession::Result& cold = session.Run(plan);
+  const InferenceSession::Result& warm = session.Run(plan);
+  // Warm hit: the very same cached entry, not a recomputation.
+  EXPECT_EQ(&cold, &warm);
+
+  // And a cold run in a fresh session is bitwise equal to the cached one.
+  InferenceSession fresh(model);
+  auto plan2 = GraphPlan::Build(g, c.lambda);
+  const InferenceSession::Result& other = fresh.Run(plan2);
+  EXPECT_TRUE(warm.embeddings == other.embeddings);
+  EXPECT_TRUE(warm.logits == other.logits);
+  EXPECT_TRUE(warm.flyback_attention == other.flyback_attention);
+  EXPECT_EQ(plan->fingerprint(), plan2->fingerprint());
+}
+
+TEST(InferenceSessionTest, RefreshWeightsTracksTrainingSteps) {
+  graph::Graph g = TwoTriangles();
+  util::Rng rng(9);
+  AdamGnnConfig c = SmallConfig(4, 2);
+  AdamGnn model(c, &rng);
+  InferenceSession session(model);
+  auto plan = GraphPlan::Build(g, c.lambda);
+  Matrix before = session.Run(plan).embeddings;  // copy: Refresh invalidates
+
+  // One training step changes the weights; the stale session must differ
+  // from the new model until RefreshWeights, then match it bitwise.
+  nn::Adam opt(model.Parameters(), 0.05);
+  util::Rng frng(10);
+  std::vector<size_t> rows = {0, 1, 2, 3, 4, 5};
+  AdamGnn::Output out = model.Forward(g, true, &frng);
+  autograd::Variable loss =
+      autograd::SoftmaxCrossEntropy(out.logits, g.labels(), rows);
+  autograd::Backward(loss);
+  opt.Step();
+
+  util::Rng erng(11);
+  AdamGnn::Output ref = model.Forward(g, false, &erng);
+  EXPECT_FALSE(ref.embeddings.value() == before);
+
+  session.RefreshWeights(model);
+  ExpectParity(ref, session.Run(plan));
+}
+
+TEST(InferenceSessionTest, PlanBasedForwardMatchesThrowawayPlan) {
+  // The training path's plan-based overload must be exactly the monolithic
+  // forward: same graph, same weights, same RNG seed → bitwise equal.
+  graph::Graph g = Ring(30, 4, 55);
+  util::Rng rng(12);
+  AdamGnnConfig c = SmallConfig(4, 2);
+  AdamGnn model(c, &rng);
+  auto plan = GraphPlan::Build(g, c.lambda);
+  util::Rng f1(13), f2(13);
+  AdamGnn::Output a = model.Forward(g, false, &f1);
+  AdamGnn::Output b = model.Forward(g, *plan, false, &f2);
+  EXPECT_TRUE(a.embeddings.value() == b.embeddings.value());
+  EXPECT_TRUE(a.logits.value() == b.logits.value());
+  EXPECT_TRUE(a.flyback_attention == b.flyback_attention);
+}
+
+}  // namespace
+}  // namespace adamgnn::core

@@ -77,6 +77,42 @@ TEST(MatrixTest, GatherRowsWithRepeats) {
   EXPECT_DOUBLE_EQ(g(2, 1), 6);
 }
 
+TEST(MatrixTest, GatherRowsEmptyIndexList) {
+  // The plan gather paths hit this when a level selects no pairs: the
+  // result must be a well-formed (0 x cols) matrix, not a crash.
+  Matrix m(3, 2, std::vector<double>{1, 2, 3, 4, 5, 6});
+  Matrix g = m.GatherRows({});
+  EXPECT_EQ(g.rows(), 0u);
+  EXPECT_EQ(g.cols(), 2u);
+  EXPECT_EQ(g.size(), 0u);
+}
+
+TEST(MatrixTest, GatherRowsSingleRow) {
+  Matrix m(3, 2, std::vector<double>{1, 2, 3, 4, 5, 6});
+  Matrix g = m.GatherRows({1});
+  EXPECT_EQ(g.rows(), 1u);
+  EXPECT_EQ(g.cols(), 2u);
+  EXPECT_DOUBLE_EQ(g(0, 0), 3);
+  EXPECT_DOUBLE_EQ(g(0, 1), 4);
+}
+
+TEST(MatrixTest, GatherRowsOutOfOrderDuplicates) {
+  // Ego-pair gathers visit rows out of order and repeat them; each output
+  // row must be an independent copy in index-list order.
+  Matrix m(4, 2, std::vector<double>{1, 2, 3, 4, 5, 6, 7, 8});
+  Matrix g = m.GatherRows({3, 1, 3, 0, 1});
+  ASSERT_EQ(g.rows(), 5u);
+  const size_t want[] = {3, 1, 3, 0, 1};
+  for (size_t r = 0; r < 5; ++r) {
+    EXPECT_DOUBLE_EQ(g(r, 0), m(want[r], 0));
+    EXPECT_DOUBLE_EQ(g(r, 1), m(want[r], 1));
+  }
+  // Writing to the gather must not alias the source or sibling rows.
+  g(0, 0) = -99.0;
+  EXPECT_DOUBLE_EQ(m(3, 0), 7);
+  EXPECT_DOUBLE_EQ(g(2, 0), 7);
+}
+
 TEST(MatrixTest, Transposed) {
   Matrix m(2, 3, std::vector<double>{1, 2, 3, 4, 5, 6});
   Matrix t = m.Transposed();
@@ -85,6 +121,23 @@ TEST(MatrixTest, Transposed) {
   for (size_t r = 0; r < 2; ++r) {
     for (size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), t(c, r));
   }
+}
+
+TEST(MatrixTest, TransposedEdgeShapes) {
+  // (0 x c) -> (c x 0), (1 x c) -> (c x 1): degenerate shapes that show up
+  // when a pooling level bottoms out.
+  Matrix empty(0, 3);
+  Matrix te = empty.Transposed();
+  EXPECT_EQ(te.rows(), 3u);
+  EXPECT_EQ(te.cols(), 0u);
+
+  Matrix row(1, 4, std::vector<double>{9, 8, 7, 6});
+  Matrix tr = row.Transposed();
+  EXPECT_EQ(tr.rows(), 4u);
+  EXPECT_EQ(tr.cols(), 1u);
+  for (size_t r = 0; r < 4; ++r) EXPECT_DOUBLE_EQ(tr(r, 0), row(0, r));
+  // Double transpose round-trips bitwise.
+  EXPECT_TRUE(tr.Transposed() == row);
 }
 
 TEST(MatrixTest, ApplyElementwise) {

@@ -190,6 +190,33 @@ TEST(DropoutTest, IdentityAtEval) {
   EXPECT_TRUE(tensor::AllClose(y.value(), x.value(), 0.0));
 }
 
+TEST(DropoutTest, EvalIsExactIdentityWithNullRng) {
+  // Serving contract: eval-mode Apply must not touch the RNG at all, so a
+  // tape-free inference path may pass nullptr.
+  util::Rng rng(21);
+  Dropout drop(0.5);
+  Variable x = Variable::Constant(Matrix::Gaussian(5, 3, 1.0, &rng));
+  Variable y = drop.Apply(x, /*rng=*/nullptr, /*training=*/false);
+  EXPECT_TRUE(y.value() == x.value());
+}
+
+TEST(DropoutTest, EvalLeavesRngStreamUntouched) {
+  // Eval results must not depend on RNG stream position — and must not
+  // advance it: the draw sequence after an eval Apply is identical to one
+  // where Apply never happened.
+  util::Rng rng(22);
+  Dropout drop(0.5);
+  Variable x = Variable::Constant(Matrix::Gaussian(6, 6, 1.0, &rng));
+  const std::vector<uint64_t> before = rng.SaveState();
+  (void)drop.Apply(x, &rng, /*training=*/false);
+  EXPECT_EQ(rng.SaveState(), before);
+  util::Rng replay(0);
+  ASSERT_TRUE(replay.RestoreState(before));
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(rng.NextUint64(1u << 30), replay.NextUint64(1u << 30));
+  }
+}
+
 TEST(DropoutTest, ZeroRateIsIdentityInTraining) {
   util::Rng rng(18);
   Dropout drop(0.0);

@@ -1,0 +1,266 @@
+// adamgnn_infer — serving CLI for trained AdamGNN checkpoints.
+//
+// Usage:
+//   adamgnn_infer --task=nc --load=model.ckpt --synthetic=cora [--scale=0.2]
+//                 [--seed=1] [--levels=3] [--hidden=64] [--threads=N]
+//                 [--output=pred.tsv] [--repeat=N]
+//   adamgnn_infer --task=lp --load=model.ckpt --edges=g.txt --features=x.txt
+//                 [...]
+//
+// Loads frozen weights written by `adamgnn_train --save`, builds one
+// core::GraphPlan for the input graph, and runs the tape-free
+// core::InferenceSession — no autograd tape, no gradient bookkeeping,
+// predictions bitwise-identical to the trainer's eval-mode forward at the
+// same checkpoint. --repeat measures the warm-plan path: repeated queries
+// against the same graph hit the session's per-plan result cache and skip
+// the pooling cascade entirely.
+//
+// Output (--output, default stdout): `node<TAB>class` lines for nc (the
+// same format as `adamgnn_train --dump-predictions`), `u<TAB>v<TAB>score`
+// lines over the graph's edges for lp.
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/adamgnn_model.h"
+#include "core/graph_plan.h"
+#include "core/inference_session.h"
+#include "data/node_datasets.h"
+#include "graph/io.h"
+#include "nn/linear.h"
+#include "nn/serialize.h"
+#include "util/logging.h"
+#include "util/random.h"
+#include "util/stopwatch.h"
+#include "util/thread_pool.h"
+
+namespace {
+
+using namespace adamgnn;  // CLI tool; library code never does this
+
+const std::set<std::string>& KnownFlags() {
+  static const std::set<std::string>* kKnown = new std::set<std::string>{
+      "help",    "task",  "load",   "edges",  "features", "labels",
+      "synthetic", "scale", "levels", "hidden", "classes",  "seed",
+      "threads", "output", "repeat",
+  };
+  return *kKnown;
+}
+
+std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
+  std::map<std::string, std::string> flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
+    if (KnownFlags().count(name) == 0) {
+      std::fprintf(stderr,
+                   "unknown flag: --%s (run with --help for the flag list)\n",
+                   name.c_str());
+      std::exit(2);
+    }
+    if (eq == std::string::npos) {
+      flags[std::move(name)] = "true";
+    } else {
+      flags[std::move(name)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+std::string FlagOr(const std::map<std::string, std::string>& flags,
+                   const std::string& key, const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+util::Result<graph::Graph> LoadInput(
+    const std::map<std::string, std::string>& flags) {
+  const std::string synthetic = FlagOr(flags, "synthetic", "");
+  if (!synthetic.empty()) {
+    const double scale = std::atof(FlagOr(flags, "scale", "0.2").c_str());
+    const std::map<std::string, data::NodeDatasetId> kByName = {
+        {"acm", data::NodeDatasetId::kAcm},
+        {"citeseer", data::NodeDatasetId::kCiteseer},
+        {"cora", data::NodeDatasetId::kCora},
+        {"emails", data::NodeDatasetId::kEmails},
+        {"dblp", data::NodeDatasetId::kDblp},
+        {"wiki", data::NodeDatasetId::kWiki},
+    };
+    auto it = kByName.find(synthetic);
+    if (it == kByName.end()) {
+      return util::Status::InvalidArgument("unknown synthetic dataset: " +
+                                           synthetic);
+    }
+    ADAMGNN_ASSIGN_OR_RETURN(
+        data::NodeDataset d,
+        data::MakeNodeDataset(it->second,
+                              std::atoll(FlagOr(flags, "seed", "1").c_str()),
+                              scale));
+    return std::move(d.graph);
+  }
+  const std::string edges = FlagOr(flags, "edges", "");
+  if (edges.empty()) {
+    return util::Status::InvalidArgument(
+        "either --edges or --synthetic is required");
+  }
+  return graph::ReadGraph(edges, FlagOr(flags, "features", ""),
+                          FlagOr(flags, "labels", ""));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  auto flags = ParseFlags(argc, argv);
+  if (flags.count("help") > 0) {
+    std::printf(
+        "usage: adamgnn_infer --task=nc|lp --load=CKPT (--edges=F "
+        "[--features=F] [--labels=F] | "
+        "--synthetic=acm|citeseer|cora|emails|dblp|wiki [--scale=S]) "
+        "[--levels=K] [--hidden=D] [--classes=C] [--seed=S] [--threads=N] "
+        "[--output=FILE] [--repeat=N]\n"
+        "  --load=CKPT   checkpoint from `adamgnn_train --save` (model\n"
+        "                shape flags --levels/--hidden/--classes must match\n"
+        "                the training run)\n"
+        "  --output=FILE predictions file (default: stdout).\n"
+        "                nc: node<TAB>class, lp: u<TAB>v<TAB>score\n"
+        "  --repeat=N    run N extra warm queries against the cached plan\n"
+        "                and report cold vs. warm latency\n");
+    return 0;
+  }
+  const std::string threads = FlagOr(flags, "threads", "");
+  if (!threads.empty()) {
+    const int n = std::atoi(threads.c_str());
+    if (n < 1) {
+      std::fprintf(stderr, "--threads must be >= 1, got %s\n",
+                   threads.c_str());
+      return 2;
+    }
+    util::SetNumThreads(n);
+  }
+
+  const std::string load = FlagOr(flags, "load", "");
+  if (load.empty()) {
+    std::fprintf(stderr, "--load=CKPT is required\n");
+    return 2;
+  }
+  const std::string task = FlagOr(flags, "task", "nc");
+  if (task != "nc" && task != "lp") {
+    std::fprintf(stderr, "unknown --task=%s (expected nc or lp)\n",
+                 task.c_str());
+    return 2;
+  }
+
+  auto graph_result = LoadInput(flags);
+  if (!graph_result.ok()) {
+    std::fprintf(stderr, "%s\n", graph_result.status().ToString().c_str());
+    return 2;
+  }
+  graph::Graph g = std::move(graph_result).ValueOrDie();
+  if (!g.has_features()) {
+    std::fprintf(stderr, "input graph has no node features\n");
+    return 2;
+  }
+  std::fprintf(stderr, "loaded %s\n", g.DebugString().c_str());
+
+  core::AdamGnnConfig config;
+  config.in_dim = g.feature_dim();
+  config.hidden_dim =
+      static_cast<size_t>(std::atoi(FlagOr(flags, "hidden", "64").c_str()));
+  config.num_levels = std::atoi(FlagOr(flags, "levels", "3").c_str());
+  if (task == "nc") {
+    const int classes = std::atoi(FlagOr(flags, "classes", "0").c_str());
+    if (classes > 0) {
+      config.num_classes = static_cast<size_t>(classes);
+    } else if (g.has_labels()) {
+      config.num_classes = static_cast<size_t>(g.num_classes());
+    } else {
+      std::fprintf(stderr, "--task=nc needs --classes or labeled input\n");
+      return 2;
+    }
+  }
+
+  // The init RNG only seeds weights that LoadParameters overwrites.
+  util::Rng rng(static_cast<uint64_t>(
+      std::atoll(FlagOr(flags, "seed", "1").c_str())));
+  core::AdamGnn model(config, &rng);
+  // Mirror the trainer's parameter order: link prediction checkpoints append
+  // the decoder projection after the core model's tensors.
+  nn::Linear projection(config.hidden_dim, config.hidden_dim,
+                        /*use_bias=*/false, &rng);
+  std::vector<autograd::Variable> params = model.Parameters();
+  if (task == "lp") {
+    for (auto& p : projection.Parameters()) params.push_back(p);
+  }
+  util::Status load_status = nn::LoadParameters(load, &params);
+  if (!load_status.ok()) {
+    std::fprintf(stderr, "%s\n", load_status.ToString().c_str());
+    return 1;
+  }
+
+  // Cold query: plan construction + the full pooling cascade.
+  util::Stopwatch cold_watch;
+  core::InferenceSession session(model);
+  std::shared_ptr<const core::GraphPlan> plan =
+      core::GraphPlan::Build(g, config.lambda);
+  const core::InferenceSession::Result& result = session.Run(plan);
+  const double cold_ms = cold_watch.ElapsedSeconds() * 1e3;
+
+  const int repeat = std::atoi(FlagOr(flags, "repeat", "0").c_str());
+  if (repeat > 0) {
+    util::Stopwatch warm_watch;
+    for (int i = 0; i < repeat; ++i) session.Run(plan);
+    const double warm_ms = warm_watch.ElapsedSeconds() * 1e3 / repeat;
+    std::fprintf(stderr, "cold query %.3f ms, warm query %.3f ms (x%d)\n",
+                 cold_ms, warm_ms, repeat);
+  } else {
+    std::fprintf(stderr, "cold query %.3f ms\n", cold_ms);
+  }
+
+  const std::string output = FlagOr(flags, "output", "");
+  std::FILE* out = stdout;
+  if (!output.empty()) {
+    out = std::fopen(output.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", output.c_str());
+      return 1;
+    }
+  }
+
+  if (task == "nc") {
+    std::vector<int> pred = session.PredictNodes(plan);
+    for (size_t i = 0; i < pred.size(); ++i) {
+      std::fprintf(out, "%zu\t%d\n", i, pred[i]);
+    }
+  } else {
+    // Decoder-space link scores for every edge of the input graph.
+    tensor::Matrix h = nn::Linear::ForwardValues(
+        result.embeddings, projection.weight().value(), tensor::Matrix());
+    for (graph::NodeId u = 0; static_cast<size_t>(u) < g.num_nodes(); ++u) {
+      for (graph::NodeId v : g.Neighbors(u)) {
+        if (v < u) continue;  // each undirected edge once
+        double s = 0.0;
+        const double* a = h.row(static_cast<size_t>(u));
+        const double* b = h.row(static_cast<size_t>(v));
+        for (size_t j = 0; j < h.cols(); ++j) s += a[j] * b[j];
+        std::fprintf(out, "%lld\t%lld\t%.17g\n", static_cast<long long>(u),
+                     static_cast<long long>(v), s);
+      }
+    }
+  }
+  if (out != stdout) {
+    std::fclose(out);
+    std::fprintf(stderr, "predictions written to %s\n", output.c_str());
+  }
+  return 0;
+}

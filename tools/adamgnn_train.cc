@@ -46,7 +46,7 @@ const std::set<std::string>& KnownFlags() {
       "labels",     "synthetic", "scale", "levels",
       "hidden",     "epochs",  "lr",      "seed",
       "threads",    "save",    "checkpoint", "checkpoint-every",
-      "resume",
+      "resume",     "dump-predictions",
   };
   return *kKnown;
 }
@@ -155,9 +155,10 @@ int RunNodeClassification(const graph::Graph& g,
               result.val_accuracy, result.test_accuracy, result.best_epoch,
               result.epochs_run);
 
-  // Detailed test-set report.
+  // Detailed test-set report, through the tape-free serving path (bitwise
+  // identical to the eval-mode training forward at these weights).
   util::Rng eval_rng(tc.seed);
-  auto out = model.Forward(g, /*training=*/false, &eval_rng);
+  auto out = model.Evaluate(g, &eval_rng);
   std::vector<int> predicted, truth;
   std::vector<int> all_pred = autograd::ArgmaxRows(out.logits.value());
   for (size_t r : split.test) {
@@ -169,6 +170,20 @@ int RunNodeClassification(const graph::Graph& g,
                        .ValueOrDie();
   std::printf("macro-F1      %.4f\nconfusion matrix (test):\n%s",
               confusion.MacroF1(), confusion.ToString().c_str());
+
+  const std::string dump = FlagOr(flags, "dump-predictions", "");
+  if (!dump.empty()) {
+    std::FILE* f = std::fopen(dump.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s for writing\n", dump.c_str());
+      return 1;
+    }
+    for (size_t i = 0; i < all_pred.size(); ++i) {
+      std::fprintf(f, "%zu\t%d\n", i, all_pred[i]);
+    }
+    std::fclose(f);
+    std::printf("predictions written to %s\n", dump.c_str());
+  }
 
   const std::string save = FlagOr(flags, "save", "");
   if (!save.empty()) {
@@ -211,8 +226,11 @@ int main(int argc, char** argv) {
         "usage: adamgnn_train --task=nc|lp (--edges=F [--features=F] "
         "[--labels=F] | --synthetic=acm|citeseer|cora|emails|dblp|wiki "
         "[--scale=S]) [--levels=K] [--hidden=D] [--epochs=N] [--lr=R] "
-        "[--seed=S] [--threads=N] [--save=PATH] [--checkpoint=PATH] "
-        "[--checkpoint-every=N] [--resume]\n"
+        "[--seed=S] [--threads=N] [--save=PATH] [--dump-predictions=PATH] "
+        "[--checkpoint=PATH] [--checkpoint-every=N] [--resume]\n"
+        "  --dump-predictions=PATH  (nc only) write every node's final\n"
+        "                           argmax class as `node<TAB>class` lines,\n"
+        "                           comparable with adamgnn_infer output\n"
         "  --threads=N  kernel worker threads (default: ADAMGNN_NUM_THREADS\n"
         "               env or hardware concurrency). Results are\n"
         "               bitwise-identical at every thread count.\n"

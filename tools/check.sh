@@ -40,4 +40,20 @@ echo "${RESUME_OUT}"
 grep -q "resumed from epoch 3" <<<"${RESUME_OUT}"
 rm -f "${CKPT}"
 
+echo "==> train -> checkpoint -> infer parity smoke test (ASan)"
+# Train, save frozen weights and the trainer's own eval predictions, then
+# serve the checkpoint through adamgnn_infer; the tape-free session must
+# reproduce the trainer's eval predictions byte for byte.
+MODEL="$(mktemp -u /tmp/adamgnn_smoke.XXXXXX.model)"
+TRAIN_PRED="$(mktemp -u /tmp/adamgnn_smoke.XXXXXX.train.tsv)"
+INFER_PRED="$(mktemp -u /tmp/adamgnn_smoke.XXXXXX.infer.tsv)"
+./build-asan/tools/adamgnn_train --task=nc --synthetic=cora --scale=0.1 \
+    --seed=1 --epochs=5 --threads=4 --save="${MODEL}" \
+    --dump-predictions="${TRAIN_PRED}"
+./build-asan/tools/adamgnn_infer --task=nc --synthetic=cora --scale=0.1 \
+    --seed=1 --threads=4 --load="${MODEL}" --output="${INFER_PRED}" \
+    --repeat=3
+diff "${TRAIN_PRED}" "${INFER_PRED}"
+rm -f "${MODEL}" "${TRAIN_PRED}" "${INFER_PRED}"
+
 echo "==> all checks passed"
