@@ -209,6 +209,32 @@ struct KernelReport {
 constexpr int kParallelThreads = 4;
 constexpr int kTestedThreads[] = {1, 2, 4, 7};
 
+// --smoke shrinks every shape so tools/check.sh can compile-and-run this
+// binary in seconds; the bitwise checks still execute on the small shapes.
+bool g_smoke = false;
+int kReps = 5;
+size_t kDenseRows = 2048;
+size_t kSpmmNodes = 20000;
+size_t kSoftmaxRows = 20000;
+size_t kSegmentRows = 100000;
+
+void ApplySmokeSizes() {
+  kReps = 2;
+  kDenseRows = 256;
+  kSpmmNodes = 2500;
+  kSoftmaxRows = 2000;
+  kSegmentRows = 10000;
+}
+
+std::string SpmmShape(const char* transpose_suffix) {
+  char buf[128];
+  std::snprintf(buf, sizeof(buf), "%s%zux%zu%s(nnz~%zuk)*%zux64",
+                *transpose_suffix != '\0' ? "(" : "", kSpmmNodes, kSpmmNodes,
+                *transpose_suffix != '\0' ? ")^T" : "", kSpmmNodes * 8 / 1000,
+                kSpmmNodes);
+  return buf;
+}
+
 template <typename Fn>
 double BestOfMs(int reps, const Fn& fn) {
   double best = 1e300;
@@ -249,67 +275,127 @@ std::vector<KernelReport> RunKernelComparison() {
   std::vector<KernelReport> reports;
   util::Rng rng(7);
 
+  auto dim2 = [](size_t a, size_t b) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%zux%zu", a, b);
+    return std::string(buf);
+  };
   {
     // The acceptance shape: (2048,256) x (256,256).
-    tensor::Matrix a = tensor::Matrix::Gaussian(2048, 256, 1.0, &rng);
+    tensor::Matrix a = tensor::Matrix::Gaussian(kDenseRows, 256, 1.0, &rng);
     tensor::Matrix b = tensor::Matrix::Gaussian(256, 256, 1.0, &rng);
     reports.push_back(CompareKernel(
-        "MatMul", "2048x256*256x256", 5,
+        "MatMul", dim2(kDenseRows, 256) + "*256x256", kReps,
         [&] { return NaiveMatMul(a, b); },
         [&] { return tensor::MatMul(a, b); }));
   }
   {
-    tensor::Matrix a = tensor::Matrix::Gaussian(256, 2048, 1.0, &rng);
+    tensor::Matrix a = tensor::Matrix::Gaussian(256, kDenseRows, 1.0, &rng);
     tensor::Matrix b = tensor::Matrix::Gaussian(256, 256, 1.0, &rng);
     reports.push_back(CompareKernel(
-        "MatMulTransA", "(256x2048)^T*256x256", 5,
+        "MatMulTransA", "(" + dim2(256, kDenseRows) + ")^T*256x256", kReps,
         [&] { return NaiveMatMulTransA(a, b); },
         [&] { return tensor::MatMulTransA(a, b); }));
   }
   {
-    tensor::Matrix a = tensor::Matrix::Gaussian(2048, 256, 1.0, &rng);
+    tensor::Matrix a = tensor::Matrix::Gaussian(kDenseRows, 256, 1.0, &rng);
     tensor::Matrix b = tensor::Matrix::Gaussian(256, 256, 1.0, &rng);
     reports.push_back(CompareKernel(
-        "MatMulTransB", "2048x256*(256x256)^T", 5,
+        "MatMulTransB", dim2(kDenseRows, 256) + "*(256x256)^T", kReps,
         [&] { return NaiveMatMulTransB(a, b); },
         [&] { return tensor::MatMulTransB(a, b); }));
   }
   {
-    tensor::Matrix a = tensor::Matrix::Gaussian(20000, 128, 1.0, &rng);
+    tensor::Matrix a = tensor::Matrix::Gaussian(kSoftmaxRows, 128, 1.0, &rng);
     reports.push_back(CompareKernel(
-        "SoftmaxRows", "20000x128", 5,
+        "SoftmaxRows", dim2(kSoftmaxRows, 128), kReps,
         [&] { return NaiveSoftmaxRows(a); },
         [&] { return tensor::SoftmaxRows(a); }));
   }
   {
-    tensor::Matrix a = tensor::Matrix::Gaussian(100000, 64, 1.0, &rng);
+    tensor::Matrix a = tensor::Matrix::Gaussian(kSegmentRows, 64, 1.0, &rng);
     const size_t num_segments = 1000;
     std::vector<size_t> seg(a.rows());
     for (auto& s : seg) s = rng.NextUint64(num_segments);
     reports.push_back(CompareKernel(
-        "SegmentSum", "100000x64->1000", 5,
+        "SegmentSum", dim2(kSegmentRows, 64) + "->1000", kReps,
         [&] { return NaiveSegmentSum(a, seg, num_segments); },
         [&] { return tensor::SegmentSum(a, seg, num_segments); }));
+    // Engine A/B at the same shape: the legacy scatter-with-partials kernel
+    // ("naive" column) against the grouped gather the engine runs, which
+    // must match it bit for bit at every tested thread count.
+    KernelReport engine_ab = CompareKernel(
+        "SegmentSumEngine", dim2(kSegmentRows, 64) + "->1000", kReps,
+        [&] {
+          graph::SetSparseEngine(graph::SparseEngine::kLegacyScatter);
+          tensor::Matrix out = tensor::SegmentSum(a, seg, num_segments);
+          graph::SetSparseEngine(graph::SparseEngine::kCachedGather);
+          return out;
+        },
+        [&] { return tensor::SegmentSum(a, seg, num_segments); });
+    util::SetNumThreads(1);
+    graph::SetSparseEngine(graph::SparseEngine::kLegacyScatter);
+    const tensor::Matrix scatter_ref =
+        tensor::SegmentSum(a, seg, num_segments);
+    graph::SetSparseEngine(graph::SparseEngine::kCachedGather);
+    for (int t : kTestedThreads) {
+      util::SetNumThreads(t);
+      if (!(tensor::SegmentSum(a, seg, num_segments) == scatter_ref)) {
+        engine_ab.bitwise_identical = false;
+        std::fprintf(stderr,
+                     "FAIL SegmentSumEngine: gather(threads=%d) differs "
+                     "from legacy scatter\n",
+                     t);
+      }
+    }
+    util::SetNumThreads(0);
+    reports.push_back(engine_ab);
   }
   {
-    graph::SparseMatrix s = RandomSparse(20000, 8, &rng);
-    tensor::Matrix x = tensor::Matrix::Gaussian(20000, 64, 1.0, &rng);
+    graph::SparseMatrix s = RandomSparse(kSpmmNodes, 8, &rng);
+    tensor::Matrix x = tensor::Matrix::Gaussian(kSpmmNodes, 64, 1.0, &rng);
     // The naive O(n^2) reference is too slow at this size; reuse the
     // backend pinned to one thread as the "naive" sparse baseline.
     util::SetNumThreads(1);
     reports.push_back(CompareKernel(
-        "SpMM", "20000x20000(nnz~160k)*20000x64", 5,
+        "SpMM", SpmmShape(""), kReps,
         [&] { return s.MultiplyDense(x); },
         [&] { return s.MultiplyDense(x); }));
   }
   {
-    graph::SparseMatrix s = RandomSparse(20000, 8, &rng);
-    tensor::Matrix x = tensor::Matrix::Gaussian(20000, 64, 1.0, &rng);
+    // The acceptance shape for the sparse engine: legacy scatter SpMMᵀ
+    // ("naive") against the cached-transpose gather engine, which must be
+    // bitwise-identical at every tested thread count.
+    graph::SparseMatrix s = RandomSparse(kSpmmNodes, 8, &rng);
+    tensor::Matrix x = tensor::Matrix::Gaussian(kSpmmNodes, 64, 1.0, &rng);
     util::SetNumThreads(1);
-    reports.push_back(CompareKernel(
-        "SpMMTranspose", "(20000x20000)^T(nnz~160k)*20000x64", 5,
-        [&] { return s.TransposeMultiplyDense(x); },
-        [&] { return s.TransposeMultiplyDense(x); }));
+    KernelReport r = CompareKernel(
+        "SpMMTranspose", SpmmShape("^T"), kReps,
+        [&] {
+          graph::SetSparseEngine(graph::SparseEngine::kLegacyScatter);
+          tensor::Matrix out = s.TransposeMultiplyDense(x);
+          graph::SetSparseEngine(graph::SparseEngine::kCachedGather);
+          return out;
+        },
+        [&] { return s.TransposeMultiplyDense(x); });
+    // Cross-engine check on top of CompareKernel's per-thread sweep: the
+    // gather result must equal the scatter result bit for bit everywhere.
+    util::SetNumThreads(1);
+    graph::SetSparseEngine(graph::SparseEngine::kLegacyScatter);
+    const tensor::Matrix scatter_ref = s.TransposeMultiplyDense(x);
+    graph::SetSparseEngine(graph::SparseEngine::kCachedGather);
+    for (int t : kTestedThreads) {
+      util::SetNumThreads(t);
+      if (!(s.TransposeMultiplyDense(x) == scatter_ref)) {
+        r.bitwise_identical = false;
+        std::fprintf(stderr,
+                     "FAIL SpMMTranspose: gather(threads=%d) differs from "
+                     "legacy scatter\n",
+                     t);
+      }
+    }
+    util::SetNumThreads(0);
+    reports.push_back(r);
   }
   return reports;
 }
@@ -322,10 +408,17 @@ bool WriteKernelComparisonJson(const std::string& path) {
     std::fprintf(stderr, "cannot open %s for writing\n", path.c_str());
     return false;
   }
+  // hardware_concurrency is the machine's real core count; the comparison
+  // pass pins its own counts (serial=1, parallel=kParallelThreads), and
+  // effective_num_threads is what ADAMGNN_NUM_THREADS/the default would give
+  // the rest of the process. Three different numbers — report all three
+  // instead of letting one masquerade as another.
   std::fprintf(f, "{\n  \"hardware_concurrency\": %u,\n",
                std::thread::hardware_concurrency());
+  std::fprintf(f, "  \"effective_num_threads\": %d,\n", util::NumThreads());
   std::fprintf(f, "  \"parallel_threads\": %d,\n", kParallelThreads);
   std::fprintf(f, "  \"threads_tested\": [1, 2, 4, 7],\n");
+  std::fprintf(f, "  \"smoke\": %s,\n", g_smoke ? "true" : "false");
   std::fprintf(f, "  \"kernels\": [\n");
   bool all_ok = true;
   for (size_t i = 0; i < reports.size(); ++i) {
@@ -365,11 +458,15 @@ int main(int argc, char** argv) {
   for (int i = 0; i < argc; ++i) {
     if (std::strncmp(argv[i], "--json=", 7) == 0) {
       json_path = argv[i] + 7;
+    } else if (std::strcmp(argv[i], "--smoke") == 0) {
+      adamgnn::g_smoke = true;
+      adamgnn::ApplySmokeSizes();
     } else {
       bench_argv.push_back(argv[i]);
     }
   }
   if (!adamgnn::WriteKernelComparisonJson(json_path)) return 1;
+  if (adamgnn::g_smoke) return 0;  // skip the google-benchmark suite
 
   int bench_argc = static_cast<int>(bench_argv.size());
   benchmark::Initialize(&bench_argc, bench_argv.data());

@@ -294,13 +294,8 @@ Variable GatherRows(const Variable& x, std::vector<size_t> indices) {
   Matrix out = x.value().GatherRows(indices);
   return Variable::FromNode(NewOpNode(
       std::move(out), {px}, [px, idx = std::move(indices)](Node& self) {
-        Matrix d(px->value.rows(), px->value.cols());
-        for (size_t i = 0; i < idx.size(); ++i) {
-          const double* g = self.grad.row(i);
-          double* dr = d.row(idx[i]);
-          for (size_t j = 0; j < d.cols(); ++j) dr[j] += g[j];
-        }
-        AccumulateGrad(px.get(), d);
+        AccumulateGrad(px.get(),
+                       tensor::IndexAddRows(self.grad, idx, px->value.rows()));
       }));
 }
 
@@ -308,13 +303,7 @@ Variable ScatterRows(const Variable& x, std::vector<size_t> indices,
                      size_t num_rows) {
   ADAMGNN_CHECK_EQ(indices.size(), x.rows());
   auto px = x.node();
-  Matrix out(num_rows, x.cols());
-  for (size_t i = 0; i < indices.size(); ++i) {
-    ADAMGNN_CHECK_LT(indices[i], num_rows);
-    const double* xr = x.value().row(i);
-    double* orow = out.row(indices[i]);
-    for (size_t j = 0; j < x.cols(); ++j) orow[j] += xr[j];
-  }
+  Matrix out = tensor::IndexAddRows(x.value(), indices, num_rows);
   return Variable::FromNode(NewOpNode(
       std::move(out), {px}, [px, idx = std::move(indices)](Node& self) {
         Matrix d(px->value.rows(), px->value.cols());

@@ -1,6 +1,7 @@
 #include "autograd/sparse_ops.h"
 
 #include <algorithm>
+#include <cstdint>
 
 #include "autograd/ops.h"
 #include "util/logging.h"
@@ -22,9 +23,20 @@ constexpr size_t kMinParallelWork = size_t{1} << 20;  // nnz * dense cols
 constexpr size_t kEntryGrain = size_t{1} << 12;
 constexpr size_t kMaxScatterChunks = 8;
 
+// Gather outputs are invariant to their decomposition (each output element
+// or row is produced by one sequential loop), so these grains only bound
+// dispatch overhead; mirrors kMaxGatherChunks in graph/sparse_matrix.cc.
+constexpr size_t kRowGrain = 256;
+constexpr size_t kMaxGatherChunks = 64;
+
 size_t GatherGrain(size_t entries, size_t work) {
   if (work < kMinParallelWork) return entries == 0 ? 1 : entries;
   return kEntryGrain;
+}
+
+size_t RowGatherGrain(size_t rows, size_t work) {
+  if (work < kMinParallelWork) return rows == 0 ? 1 : rows;
+  return std::max(kRowGrain, (rows + kMaxGatherChunks - 1) / kMaxGatherChunks);
 }
 
 size_t ScatterGrain(size_t entries, size_t work) {
@@ -61,7 +73,107 @@ void ScatterRows(const SparsePattern& pattern,
   for (const Matrix& partial : partials) *out += partial;
 }
 
+// Gather counterpart of ScatterRows: identical math and — by replaying the
+// legacy entry-chunk summation order — identical bits, without per-chunk
+// partial matrices. `groups` holds each output row's entry ids ascending;
+// the scatter kernel splits the entry range into chunks of `legacy_grain`
+// and merges partials in ascending chunk order, so flushing a per-row
+// accumulator into the (zero-initialized) output row whenever the entry id
+// crosses a legacy chunk boundary reproduces ((chunk0 + chunk1) + ...) term
+// for term. Chunks holding no entry for a row contribute +0.0 partials, and
+// x + (+0.0) is bitwise x for every x these sums can produce (a sum started
+// at +0.0 is never -0.0), so skipping them changes nothing. Each output row
+// is owned by one task: race-free at any thread count.
+template <typename WeightFn>
+void GatherRows(const SparsePattern::EntryGroups& groups,
+                const std::vector<size_t>& in_rows, WeightFn weight,
+                const Matrix& x, Matrix* out) {
+  const size_t nnz = groups.order.size();
+  const size_t d = x.cols();
+  if (nnz == 0) return;
+  const size_t legacy_grain = ScatterGrain(nnz, nnz * d);
+  const bool multi_chunk = legacy_grain < nnz;
+  util::ParallelFor(
+      0, out->rows(), RowGatherGrain(out->rows(), nnz * d),
+      [&](size_t r0, size_t r1) {
+        std::vector<double> acc;
+        if (multi_chunk) acc.assign(d, 0.0);
+        for (size_t r = r0; r < r1; ++r) {
+          double* orow = out->row(r);
+          const size_t begin = groups.offsets[r];
+          const size_t end = groups.offsets[r + 1];
+          if (!multi_chunk) {
+            for (size_t i = begin; i < end; ++i) {
+              const size_t k = groups.order[i];
+              const double v = weight(k);
+              const double* xr = x.row(in_rows[k]);
+              for (size_t j = 0; j < d; ++j) orow[j] += v * xr[j];
+            }
+            continue;
+          }
+          size_t current_chunk = SIZE_MAX;
+          for (size_t i = begin; i < end; ++i) {
+            const size_t k = groups.order[i];
+            const size_t chunk = k / legacy_grain;
+            if (chunk != current_chunk) {
+              if (current_chunk != SIZE_MAX) {
+                for (size_t j = 0; j < d; ++j) {
+                  orow[j] += acc[j];
+                  acc[j] = 0.0;
+                }
+              }
+              current_chunk = chunk;
+            }
+            const double v = weight(k);
+            const double* xr = x.row(in_rows[k]);
+            for (size_t j = 0; j < d; ++j) acc[j] += v * xr[j];
+          }
+          if (current_chunk != SIZE_MAX) {
+            for (size_t j = 0; j < d; ++j) {
+              orow[j] += acc[j];
+              acc[j] = 0.0;
+            }
+          }
+        }
+      });
+}
+
+// Counting sort of entry ids by `keys`, ids ascending within each group.
+std::shared_ptr<const SparsePattern::EntryGroups> BuildGroups(
+    const std::vector<size_t>& keys, size_t num_groups) {
+  auto g = std::make_shared<SparsePattern::EntryGroups>();
+  g->offsets.assign(num_groups + 1, 0);
+  for (size_t key : keys) ++g->offsets[key + 1];
+  for (size_t i = 1; i <= num_groups; ++i) g->offsets[i] += g->offsets[i - 1];
+  g->order.resize(keys.size());
+  std::vector<size_t> cursor(g->offsets.begin(), g->offsets.end() - 1);
+  for (size_t k = 0; k < keys.size(); ++k) g->order[cursor[keys[k]]++] = k;
+  return g;
+}
+
 }  // namespace
+
+std::shared_ptr<const SparsePattern::EntryGroups> SparsePattern::RowGroups()
+    const {
+  if (gcache_ == nullptr) {  // moved-from pattern being reused
+    gcache_ = std::make_shared<GroupCache>();
+  }
+  const std::shared_ptr<GroupCache> cache = gcache_;
+  std::lock_guard<std::mutex> lock(cache->mu);
+  if (cache->by_row == nullptr) cache->by_row = BuildGroups(row_indices, rows);
+  return cache->by_row;
+}
+
+std::shared_ptr<const SparsePattern::EntryGroups> SparsePattern::ColGroups()
+    const {
+  if (gcache_ == nullptr) {
+    gcache_ = std::make_shared<GroupCache>();
+  }
+  const std::shared_ptr<GroupCache> cache = gcache_;
+  std::lock_guard<std::mutex> lock(cache->mu);
+  if (cache->by_col == nullptr) cache->by_col = BuildGroups(col_indices, cols);
+  return cache->by_col;
+}
 
 graph::SparseMatrix SparsePattern::WithValues(
     const std::vector<double>& values) const {
@@ -104,8 +216,13 @@ Matrix SpMMValuesForward(const SparsePattern& pattern, const Matrix& values,
   ADAMGNN_CHECK_EQ(values.cols(), 1u);
   ADAMGNN_CHECK_EQ(pattern.cols, x.rows());
   Matrix out(pattern.rows, x.cols());
-  ScatterRows(pattern, pattern.row_indices, pattern.col_indices,
-              [&values](size_t k) { return values(k, 0); }, x, &out);
+  if (graph::GetSparseEngine() == graph::SparseEngine::kLegacyScatter) {
+    ScatterRows(pattern, pattern.row_indices, pattern.col_indices,
+                [&values](size_t k) { return values(k, 0); }, x, &out);
+  } else {
+    GatherRows(*pattern.RowGroups(), pattern.col_indices,
+               [&values](size_t k) { return values(k, 0); }, x, &out);
+  }
   return out;
 }
 
@@ -137,12 +254,20 @@ Variable SpMMValues(std::shared_ptr<const SparsePattern> pattern,
           AccumulateGrad(pv.get(), dvals);
         }
         if (px->requires_grad) {
-          // Scatter into dx rows through the transposed pattern.
+          // dx rows through the transposed pattern: gather per dx row via
+          // the cached column groups (legacy: scatter through partials).
           Matrix dx(px->value.rows(), d);
           const Matrix& vals = pv->value;
-          ScatterRows(*pattern, pattern->col_indices, pattern->row_indices,
-                      [&vals](size_t k) { return vals(k, 0); }, self.grad,
-                      &dx);
+          if (graph::GetSparseEngine() ==
+              graph::SparseEngine::kLegacyScatter) {
+            ScatterRows(*pattern, pattern->col_indices, pattern->row_indices,
+                        [&vals](size_t k) { return vals(k, 0); }, self.grad,
+                        &dx);
+          } else {
+            GatherRows(*pattern->ColGroups(), pattern->row_indices,
+                       [&vals](size_t k) { return vals(k, 0); }, self.grad,
+                       &dx);
+          }
           AccumulateGrad(px.get(), dx);
         }
       }));

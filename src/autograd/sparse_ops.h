@@ -7,6 +7,7 @@
 #define ADAMGNN_AUTOGRAD_SPARSE_OPS_H_
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "autograd/variable.h"
@@ -28,6 +29,31 @@ struct SparsePattern {
 
   /// Materializes a concrete sparse matrix with the given values.
   graph::SparseMatrix WithValues(const std::vector<double>& values) const;
+
+  /// Entries grouped by one coordinate, for gather-style SpMMValues kernels:
+  /// group g owns entry ids order[offsets[g] .. offsets[g+1]), ascending
+  /// within each group (= the serial scatter kernel's summation order).
+  struct EntryGroups {
+    std::vector<size_t> offsets;  // one per group, plus a trailing total
+    std::vector<size_t> order;    // permutation of [0, nnz)
+  };
+
+  /// Entries grouped by row_indices (offsets sized rows + 1). Lazily built,
+  /// cached, thread-safe once-init. Valid for the pattern's lifetime:
+  /// patterns are shared as `shared_ptr<const SparsePattern>` and their index
+  /// arrays are never mutated after construction.
+  std::shared_ptr<const EntryGroups> RowGroups() const;
+  /// Entries grouped by col_indices (offsets sized cols + 1).
+  std::shared_ptr<const EntryGroups> ColGroups() const;
+
+ private:
+  struct GroupCache {
+    std::mutex mu;
+    std::shared_ptr<const EntryGroups> by_row;
+    std::shared_ptr<const EntryGroups> by_col;
+  };
+  mutable std::shared_ptr<GroupCache> gcache_ =
+      std::make_shared<GroupCache>();
 };
 
 /// y = S * x for a constant sparse S. Gradient: dx = Sᵀ g.

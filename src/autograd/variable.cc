@@ -1,5 +1,7 @@
 #include "autograd/variable.h"
 
+#include <utility>
+
 #include "util/logging.h"
 
 namespace adamgnn::autograd {
@@ -9,8 +11,21 @@ namespace internal {
 void AccumulateGrad(Node* node, const tensor::Matrix& delta) {
   if (!node->requires_grad) return;
   if (!node->grad_ready) {
-    node->grad = tensor::Matrix(node->value.rows(), node->value.cols());
+    ADAMGNN_CHECK(delta.SameShape(node->value));
+    node->grad = delta;
     node->grad_ready = true;
+    return;
+  }
+  node->grad += delta;
+}
+
+void AccumulateGrad(Node* node, tensor::Matrix&& delta) {
+  if (!node->requires_grad) return;
+  if (!node->grad_ready) {
+    ADAMGNN_CHECK(delta.SameShape(node->value));
+    node->grad = std::move(delta);
+    node->grad_ready = true;
+    return;
   }
   node->grad += delta;
 }

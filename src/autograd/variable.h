@@ -32,8 +32,13 @@ struct Node {
   std::function<void(Node&)> backward_fn;
 };
 
-/// Adds `delta` into node->grad, allocating/zeroing the buffer on first use.
+/// Adds `delta` into node->grad. The first delta a node receives becomes its
+/// grad outright — copied for lvalues, moved for temporaries — instead of
+/// being added into a zero-filled buffer; later deltas accumulate with +=.
+/// (Backward walks touch every node's grad exactly once, so skipping the
+/// zero-fill-then-add round trip removes two full memory passes per node.)
 void AccumulateGrad(Node* node, const tensor::Matrix& delta);
+void AccumulateGrad(Node* node, tensor::Matrix&& delta);
 
 }  // namespace internal
 

@@ -104,6 +104,10 @@ AdamGnn::Output AdamGnn::ForwardFromFeatures(const graph::Graph& g,
     graph::SparseMatrix next_adj = NextAdjacency(*cur_adj, asg);
     auto norm_next =
         std::make_shared<const graph::SparseMatrix>(next_adj.Normalized());
+    // A_k's values are learned, so this operator is rebuilt every forward;
+    // prewarming moves its one transposed-view build off the backward pass
+    // (where the gather SpMMᵀ would otherwise build it lazily mid-gradient).
+    norm_next->PrewarmTranspose();
     autograd::Variable h_k = autograd::Relu(
         level_convs_[static_cast<size_t>(k)]->Forward(norm_next, x_k));
     h_k = dropout_.Apply(h_k, rng, training);

@@ -28,6 +28,10 @@ std::shared_ptr<const GraphPlan> GraphPlan::Build(const graph::Graph& g,
   plan->fingerprint_ = Fingerprint(g);
   plan->norm_adj_ = std::make_shared<const graph::SparseMatrix>(
       graph::SparseMatrix::NormalizedAdjacency(g));
+  // Every training epoch's backward pass multiplies by Âᵀ; building the
+  // transposed view here — once per plan, not once per epoch — keeps the
+  // gather SpMMᵀ kernel allocation-free on the hot path.
+  plan->norm_adj_->PrewarmTranspose();
   plan->adjacency_ = graph::SparseMatrix::Adjacency(g);
   plan->level0_ = LevelTopology::FromAdjacency(AdjacencyLists(g), lambda);
   if (g.has_features()) {

@@ -1,7 +1,9 @@
 #include "graph/sparse_matrix.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <cstdint>
 #include <sstream>
 
 #include "util/logging.h"
@@ -17,10 +19,16 @@ namespace {
 constexpr size_t kMinParallelWork = size_t{1} << 20;  // nnz * dense cols
 constexpr size_t kSpmmRowGrain = 256;
 constexpr size_t kMaxScatterChunks = 8;
+// Gather outputs are invariant to the row decomposition (each output row is
+// produced by one sequential loop), so the grain only controls dispatch
+// overhead. Capping the chunk count keeps pool dispatch cheap on large
+// matrices without starving wide thread pools.
+constexpr size_t kMaxGatherChunks = 64;
 
 size_t GatherGrain(size_t rows, size_t work) {
   if (work < kMinParallelWork) return rows == 0 ? 1 : rows;
-  return kSpmmRowGrain;
+  return std::max(kSpmmRowGrain,
+                  (rows + kMaxGatherChunks - 1) / kMaxGatherChunks);
 }
 
 size_t ScatterGrain(size_t rows, size_t work) {
@@ -142,7 +150,12 @@ double SparseMatrix::At(size_t r, size_t c) const {
 
 tensor::Matrix SparseMatrix::MultiplyDense(const tensor::Matrix& x) const {
   ADAMGNN_CHECK_EQ(cols_, x.rows());
-  tensor::Matrix out(rows_, x.cols());
+  // Uninitialized output: every row is either zeroed (no entries) or fully
+  // written below. The first entry is stored as `0.0 + v * x` — the exact
+  // value the zero-initialized accumulation produced (the explicit add
+  // keeps -0.0 products normalizing to +0.0, so results stay bitwise
+  // unchanged) — which lets the buffer skip its fill pass entirely.
+  tensor::Matrix out = tensor::Matrix::Uninit(rows_, x.cols());
   // Gather: each output row is owned by exactly one chunk, so row
   // partitioning is race-free and bitwise-deterministic.
   util::ParallelFor(
@@ -150,7 +163,17 @@ tensor::Matrix SparseMatrix::MultiplyDense(const tensor::Matrix& x) const {
       [&](size_t r0, size_t r1) {
         for (size_t r = r0; r < r1; ++r) {
           double* or_ = out.row(r);
-          for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+          const size_t kb = row_offsets_[r], ke = row_offsets_[r + 1];
+          if (kb == ke) {
+            std::fill(or_, or_ + x.cols(), 0.0);
+            continue;
+          }
+          {
+            const double v = values_[kb];
+            const double* xr = x.row(col_indices_[kb]);
+            for (size_t j = 0; j < x.cols(); ++j) or_[j] = 0.0 + v * xr[j];
+          }
+          for (size_t k = kb + 1; k < ke; ++k) {
             const double v = values_[k];
             const double* xr = x.row(col_indices_[k]);
             for (size_t j = 0; j < x.cols(); ++j) or_[j] += v * xr[j];
@@ -160,9 +183,138 @@ tensor::Matrix SparseMatrix::MultiplyDense(const tensor::Matrix& x) const {
   return out;
 }
 
+std::shared_ptr<const SparseMatrix::TransposeView>
+SparseMatrix::EnsureTransposeView() const {
+  if (tcache_ == nullptr) {  // moved-from object being reused
+    tcache_ = std::make_shared<TransposeCache>();
+  }
+  const std::shared_ptr<TransposeCache> cache = tcache_;
+  std::lock_guard<std::mutex> lock(cache->mu);
+  if (cache->view != nullptr) return cache->view;
+  // Counting sort into transposed-CSR. Walking the CSR rows in ascending
+  // order lands every view row's entries in ascending original-row order —
+  // exactly the order the serial scatter kernel sums them in.
+  auto view = std::make_shared<TransposeView>();
+  view->row_offsets.assign(cols_ + 1, 0);
+  for (size_t c : col_indices_) ++view->row_offsets[c + 1];
+  for (size_t i = 1; i <= cols_; ++i) {
+    view->row_offsets[i] += view->row_offsets[i - 1];
+  }
+  view->col_indices.resize(nnz());
+  view->values.resize(nnz());
+  std::vector<size_t> cursor(view->row_offsets.begin(),
+                             view->row_offsets.end() - 1);
+  for (size_t r = 0; r < rows_; ++r) {
+    for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+      const size_t pos = cursor[col_indices_[k]]++;
+      view->col_indices[pos] = r;
+      view->values[pos] = values_[k];
+    }
+  }
+  cache->view = std::move(view);
+  return cache->view;
+}
+
+void SparseMatrix::PrewarmTranspose() const { (void)EnsureTransposeView(); }
+
+bool SparseMatrix::transpose_view_built() const {
+  if (tcache_ == nullptr) return false;
+  std::lock_guard<std::mutex> lock(tcache_->mu);
+  return tcache_->view != nullptr;
+}
+
 tensor::Matrix SparseMatrix::TransposeMultiplyDense(
     const tensor::Matrix& x) const {
   ADAMGNN_CHECK_EQ(rows_, x.rows());
+  if (GetSparseEngine() == SparseEngine::kLegacyScatter) {
+    return TransposeMultiplyDenseScatter(x);
+  }
+  return TransposeMultiplyDenseGather(x);
+}
+
+tensor::Matrix SparseMatrix::TransposeMultiplyDenseGather(
+    const tensor::Matrix& x) const {
+  if (rows_ == 0 || nnz() == 0) return tensor::Matrix(cols_, x.cols());
+  // Uninitialized output, as in MultiplyDense: rows with no entries are
+  // zeroed explicitly, every other row's first contribution is stored
+  // rather than accumulated onto the (former) zero fill.
+  tensor::Matrix out = tensor::Matrix::Uninit(cols_, x.cols());
+  const std::shared_ptr<const TransposeView> view = EnsureTransposeView();
+  const size_t d = x.cols();
+  // The gather replays the scatter kernel's floating-point summation order
+  // exactly. The scatter splits the *source* rows into chunks of
+  // `legacy_grain` and merges per-chunk partials in ascending chunk order;
+  // within a chunk, a given output row's contributions arrive in ascending
+  // source-row order. The view stores each output row's entries in ascending
+  // source-row order, so flushing a per-row accumulator into the output row
+  // whenever the source row crosses a legacy chunk boundary reproduces
+  //   out = ((chunk0 + chunk1) + chunk2) + ...
+  // term for term. Chunks that hold no entry for a row contribute a +0.0
+  // partial, and x + (+0.0) is bitwise x for every x the kernel can produce
+  // (a sum that starts at +0.0 can never be -0.0), so skipping empty chunks
+  // changes nothing. Each output row is owned by exactly one task: no
+  // partial matrices, no merge, race-free at any thread count.
+  const size_t legacy_grain = ScatterGrain(rows_, nnz() * d);
+  const bool multi_chunk = legacy_grain < rows_;
+  util::ParallelFor(
+      0, cols_, GatherGrain(cols_, nnz() * d), [&](size_t c0, size_t c1) {
+        std::vector<double> acc;
+        if (multi_chunk) acc.assign(d, 0.0);
+        for (size_t c = c0; c < c1; ++c) {
+          double* orow = out.row(c);
+          const size_t begin = view->row_offsets[c];
+          const size_t end = view->row_offsets[c + 1];
+          if (begin == end) {
+            std::fill(orow, orow + d, 0.0);
+            continue;
+          }
+          if (!multi_chunk) {
+            {
+              const double v = view->values[begin];
+              const double* xr = x.row(view->col_indices[begin]);
+              // 0.0 + : the zero-initialized accumulation's exact value.
+              for (size_t j = 0; j < d; ++j) orow[j] = 0.0 + v * xr[j];
+            }
+            for (size_t k = begin + 1; k < end; ++k) {
+              const double v = view->values[k];
+              const double* xr = x.row(view->col_indices[k]);
+              for (size_t j = 0; j < d; ++j) orow[j] += v * xr[j];
+            }
+            continue;
+          }
+          // The first flush stores instead of accumulating; acc is a
+          // +0.0-rooted running sum, so it can never hold -0.0 and the
+          // stored value equals the legacy 0.0 + acc bitwise.
+          bool first_flush = true;
+          size_t current_chunk = SIZE_MAX;
+          for (size_t k = begin; k < end; ++k) {
+            const size_t r = view->col_indices[k];
+            const size_t chunk = r / legacy_grain;
+            if (chunk != current_chunk) {
+              if (current_chunk != SIZE_MAX) {
+                for (size_t j = 0; j < d; ++j) {
+                  orow[j] = first_flush ? acc[j] : orow[j] + acc[j];
+                  acc[j] = 0.0;
+                }
+                first_flush = false;
+              }
+              current_chunk = chunk;
+            }
+            const double v = view->values[k];
+            const double* xr = x.row(r);
+            for (size_t j = 0; j < d; ++j) acc[j] += v * xr[j];
+          }
+          for (size_t j = 0; j < d; ++j) {
+            orow[j] = first_flush ? acc[j] : orow[j] + acc[j];
+            acc[j] = 0.0;
+          }
+        }
+      });
+  return out;
+}
+
+tensor::Matrix SparseMatrix::TransposeMultiplyDenseScatter(
+    const tensor::Matrix& x) const {
   tensor::Matrix out(cols_, x.cols());
   if (rows_ == 0) return out;
   // Scatter: a column index can appear in many rows, so chunks accumulate
@@ -230,6 +382,9 @@ SparseMatrix SparseMatrix::Transposed() const {
 
 SparseMatrix SparseMatrix::RowNormalized() const {
   SparseMatrix m = *this;
+  // The copy shares this matrix's transpose-cache box; detach it before
+  // editing values so the cached view can never serve the unscaled values.
+  m.ResetTransposeCache();
   for (size_t r = 0; r < rows_; ++r) {
     double sum = 0.0;
     for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {

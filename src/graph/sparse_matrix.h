@@ -1,15 +1,27 @@
 // General sparse matrix in CSR form. This carries the GCN propagation
 // operator Â = D^{-1/2}(A+I)D^{-1/2}, the AdamGNN assignment matrices S_k,
 // and the pooled adjacencies A_k = S_kᵀ Â_{k-1} S_k.
+//
+// Training-path engine: TransposeMultiplyDense runs as a row-parallel
+// *gather* over a lazily built, cached transposed-CSR view (thread-safe
+// once-init), instead of the historical scatter-into-partials kernel. The
+// gather replays the scatter kernel's chunk-partial summation order exactly
+// (see the determinism note in the .cc), so results are bitwise-identical
+// to the legacy kernel at every shape and every thread count. The legacy
+// scatter path is retained behind SetSparseEngine(kLegacyScatter) as the
+// baseline for A/B benchmarks and bitwise-equality tests.
 
 #ifndef ADAMGNN_GRAPH_SPARSE_MATRIX_H_
 #define ADAMGNN_GRAPH_SPARSE_MATRIX_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "graph/graph.h"
+#include "tensor/engine.h"
 #include "tensor/matrix.h"
 
 namespace adamgnn::graph {
@@ -20,6 +32,13 @@ struct Triplet {
   size_t col = 0;
   double value = 0.0;
 };
+
+// The engine switch lives in tensor/engine.h (the segment reductions there
+// honor it too); these re-exports keep graph::SetSparseEngine the public
+// spelling.
+using tensor::GetSparseEngine;
+using tensor::SetSparseEngine;
+using tensor::SparseEngine;
 
 /// Immutable sparse rows x cols matrix, CSR, column-sorted within each row,
 /// duplicate triplets coalesced by summation.
@@ -53,15 +72,32 @@ class SparseMatrix {
   const std::vector<size_t>& row_offsets() const { return row_offsets_; }
   const std::vector<size_t>& col_indices() const { return col_indices_; }
   const std::vector<double>& values() const { return values_; }
-  std::vector<double>& mutable_values() { return values_; }
+  /// Mutable access to the values array. Invalidates the cached transposed
+  /// view (copy-on-write: copies sharing the cache keep their own, still
+  /// valid, snapshot), so a later TransposeMultiplyDense can never serve
+  /// stale values.
+  std::vector<double>& mutable_values() {
+    ResetTransposeCache();
+    return values_;
+  }
 
   /// Value at (r, c); 0 when the position is structurally empty.
   double At(size_t r, size_t c) const;
 
   /// this * dense. Shapes (r,c)(c,d) -> (r,d).
   tensor::Matrix MultiplyDense(const tensor::Matrix& x) const;
-  /// thisᵀ * dense without materializing the transpose.
+  /// thisᵀ * dense without materializing the transpose. Gather over the
+  /// cached transposed view (legacy scatter under kLegacyScatter); both
+  /// engines produce bitwise-identical results.
   tensor::Matrix TransposeMultiplyDense(const tensor::Matrix& x) const;
+
+  /// Builds the cached transposed-CSR view now (idempotent, thread-safe).
+  /// Amortizing callers — GraphPlan for Â, the model for per-level pooled
+  /// adjacencies — call this once at construction so no epoch pays the
+  /// O(nnz) build inside its backward pass.
+  void PrewarmTranspose() const;
+  /// True once the transposed view exists (for tests and diagnostics).
+  bool transpose_view_built() const;
 
   /// Sparse-sparse product this * other.
   SparseMatrix Multiply(const SparseMatrix& other) const;
@@ -76,11 +112,36 @@ class SparseMatrix {
   std::string DebugString() const;
 
  private:
+  /// Transposed-CSR (i.e. CSC) view: row r of the view is column r of the
+  /// matrix, entries sorted by original row ascending — exactly the
+  /// summation order of the serial scatter kernel.
+  struct TransposeView {
+    std::vector<size_t> row_offsets;  // size cols_ + 1
+    std::vector<size_t> col_indices;  // original row ids
+    std::vector<double> values;       // values permuted to view order
+  };
+  /// Shared once-init box. Copies of a SparseMatrix share the box (their
+  /// values are equal, so the view is valid for both); mutable_values()
+  /// detaches the mutating object onto a fresh box instead of clearing the
+  /// shared one.
+  struct TransposeCache {
+    std::mutex mu;
+    std::shared_ptr<const TransposeView> view;
+  };
+
+  std::shared_ptr<const TransposeView> EnsureTransposeView() const;
+  void ResetTransposeCache() { tcache_ = std::make_shared<TransposeCache>(); }
+
+  tensor::Matrix TransposeMultiplyDenseGather(const tensor::Matrix& x) const;
+  tensor::Matrix TransposeMultiplyDenseScatter(const tensor::Matrix& x) const;
+
   size_t rows_ = 0;
   size_t cols_ = 0;
   std::vector<size_t> row_offsets_;  // size rows_ + 1
   std::vector<size_t> col_indices_;
   std::vector<double> values_;
+  mutable std::shared_ptr<TransposeCache> tcache_ =
+      std::make_shared<TransposeCache>();
 };
 
 }  // namespace adamgnn::graph

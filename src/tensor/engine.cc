@@ -1,0 +1,19 @@
+#include "tensor/engine.h"
+
+#include <atomic>
+
+namespace adamgnn::tensor {
+
+namespace {
+std::atomic<SparseEngine> g_sparse_engine{SparseEngine::kCachedGather};
+}  // namespace
+
+void SetSparseEngine(SparseEngine engine) {
+  g_sparse_engine.store(engine, std::memory_order_relaxed);
+}
+
+SparseEngine GetSparseEngine() {
+  return g_sparse_engine.load(std::memory_order_relaxed);
+}
+
+}  // namespace adamgnn::tensor

@@ -1,0 +1,28 @@
+// Process-wide switch between the two sparse training-path engines. It lives
+// in the tensor layer so both the CSR kernels in graph/ (SpMM and friends)
+// and the segment reductions in tensor/kernels.cc can read it; graph/ re-
+// exports the names, so callers keep writing graph::SetSparseEngine.
+
+#ifndef ADAMGNN_TENSOR_ENGINE_H_
+#define ADAMGNN_TENSOR_ENGINE_H_
+
+namespace adamgnn::tensor {
+
+/// Which implementation the gather-able kernels run: SpMMᵀ over the cached
+/// transposed-CSR view and the grouped segment reductions (kCachedGather,
+/// the default), or the historical scatter-into-partials kernels
+/// (kLegacyScatter), retained so benchmarks and tests can reproduce the
+/// pre-engine behavior in the same binary. The two produce bitwise-identical
+/// results — flipping the switch changes speed, not math.
+enum class SparseEngine {
+  kCachedGather,
+  kLegacyScatter,
+};
+
+/// Sets/reads the process-wide sparse engine (atomic; default kCachedGather).
+void SetSparseEngine(SparseEngine engine);
+SparseEngine GetSparseEngine();
+
+}  // namespace adamgnn::tensor
+
+#endif  // ADAMGNN_TENSOR_ENGINE_H_

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "tensor/engine.h"
 #include "util/thread_pool.h"
 
 #if defined(__SSE2__)
@@ -54,22 +55,28 @@ size_t ScatterGrain(size_t rows) {
   return std::max(kMinScatterRows, by_cap);
 }
 
+// Writes c[i] = f(a[i]) into an uninitialized result: one read pass and one
+// write pass, versus copy-then-apply's two of each. Entry-wise, so the
+// parallel split cannot affect the values.
 template <typename F>
-void ParallelApplyInPlace(Matrix* m, F f) {
-  double* d = m->data();
-  util::ParallelFor(0, m->size(), ElemGrain(m->size()),
-                    [d, f](size_t b, size_t e) {
-                      for (size_t i = b; i < e; ++i) d[i] = f(d[i]);
+void ParallelApplyInto(const Matrix& a, Matrix* c, F f) {
+  const double* s = a.data();
+  double* d = c->data();
+  util::ParallelFor(0, a.size(), ElemGrain(a.size()),
+                    [s, d, f](size_t b, size_t e) {
+                      for (size_t i = b; i < e; ++i) d[i] = f(s[i]);
                     });
 }
 
+// Writes c[i] = f(a[i], b[i]) into an uninitialized result.
 template <typename F>
-void ParallelCombineInPlace(Matrix* m, const Matrix& other, F f) {
-  double* d = m->data();
-  const double* o = other.data();
-  util::ParallelFor(0, m->size(), ElemGrain(m->size()),
-                    [d, o, f](size_t b, size_t e) {
-                      for (size_t i = b; i < e; ++i) d[i] = f(d[i], o[i]);
+void ParallelCombineInto(const Matrix& a, const Matrix& b, Matrix* c, F f) {
+  const double* sa = a.data();
+  const double* sb = b.data();
+  double* d = c->data();
+  util::ParallelFor(0, a.size(), ElemGrain(a.size()),
+                    [sa, sb, d, f](size_t b2, size_t e) {
+                      for (size_t i = b2; i < e; ++i) d[i] = f(sa[i], sb[i]);
                     });
 }
 
@@ -251,7 +258,7 @@ void MatMulRowRange(ARow a_row, size_t a_stride, const Matrix& b,
 
 Matrix MatMul(const Matrix& a, const Matrix& b) {
   ADAMGNN_CHECK_EQ(a.cols(), b.rows());
-  Matrix c(a.rows(), b.cols());
+  Matrix c = Matrix::Uninit(a.rows(), b.cols());  // kernels store every entry
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   if (m == 0 || n == 0) return c;
   const std::vector<double> packed = PackPanels(b);
@@ -265,7 +272,7 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   ADAMGNN_CHECK_EQ(a.rows(), b.rows());
-  Matrix c(a.cols(), b.cols());
+  Matrix c = Matrix::Uninit(a.cols(), b.cols());  // kernels store every entry
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
   if (m == 0 || n == 0) return c;
   const std::vector<double> packed = PackPanels(b);
@@ -280,7 +287,7 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
 
 Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   ADAMGNN_CHECK_EQ(a.cols(), b.cols());
-  Matrix c(a.rows(), b.rows());
+  Matrix c = Matrix::Uninit(a.rows(), b.rows());  // kernels store every entry
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
   if (m == 0 || n == 0) return c;
   util::ParallelFor(0, m, MatMulGrain(m, k, n), [&](size_t i0, size_t i1) {
@@ -321,41 +328,44 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
 
 Matrix Add(const Matrix& a, const Matrix& b) {
   ADAMGNN_CHECK(a.SameShape(b));
-  Matrix c = a;
-  ParallelCombineInPlace(&c, b, [](double x, double y) { return x + y; });
+  Matrix c = Matrix::Uninit(a.rows(), a.cols());
+  ParallelCombineInto(a, b, &c, [](double x, double y) { return x + y; });
   return c;
 }
 
 Matrix Sub(const Matrix& a, const Matrix& b) {
   ADAMGNN_CHECK(a.SameShape(b));
-  Matrix c = a;
-  ParallelCombineInPlace(&c, b, [](double x, double y) { return x - y; });
+  Matrix c = Matrix::Uninit(a.rows(), a.cols());
+  ParallelCombineInto(a, b, &c, [](double x, double y) { return x - y; });
   return c;
 }
 
 Matrix CwiseMul(const Matrix& a, const Matrix& b) {
   ADAMGNN_CHECK(a.SameShape(b));
-  Matrix c = a;
-  ParallelCombineInPlace(&c, b, [](double x, double y) { return x * y; });
+  Matrix c = Matrix::Uninit(a.rows(), a.cols());
+  ParallelCombineInto(a, b, &c, [](double x, double y) { return x * y; });
   return c;
 }
 
 Matrix Scale(const Matrix& a, double scalar) {
-  Matrix c = a;
-  ParallelApplyInPlace(&c, [scalar](double x) { return x * scalar; });
+  Matrix c = Matrix::Uninit(a.rows(), a.cols());
+  ParallelApplyInto(a, &c, [scalar](double x) { return x * scalar; });
   return c;
 }
 
 Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
   ADAMGNN_CHECK_EQ(row.rows(), 1u);
   ADAMGNN_CHECK_EQ(row.cols(), a.cols());
-  Matrix c = a;
+  Matrix c = Matrix::Uninit(a.rows(), a.cols());
   const double* rv = row.data();
   util::ParallelFor(0, c.rows(), RowGrain(c.rows(), c.cols()),
                     [&](size_t r0, size_t r1) {
                       for (size_t r = r0; r < r1; ++r) {
+                        const double* ar = a.row(r);
                         double* cr = c.row(r);
-                        for (size_t j = 0; j < c.cols(); ++j) cr[j] += rv[j];
+                        for (size_t j = 0; j < c.cols(); ++j) {
+                          cr[j] = ar[j] + rv[j];
+                        }
                       }
                     });
   return c;
@@ -364,13 +374,16 @@ Matrix AddRowBroadcast(const Matrix& a, const Matrix& row) {
 Matrix MulColBroadcast(const Matrix& a, const Matrix& col) {
   ADAMGNN_CHECK_EQ(col.cols(), 1u);
   ADAMGNN_CHECK_EQ(col.rows(), a.rows());
-  Matrix c = a;
+  Matrix c = Matrix::Uninit(a.rows(), a.cols());
   util::ParallelFor(0, c.rows(), RowGrain(c.rows(), c.cols()),
                     [&](size_t r0, size_t r1) {
                       for (size_t r = r0; r < r1; ++r) {
                         const double s = col(r, 0);
+                        const double* ar = a.row(r);
                         double* cr = c.row(r);
-                        for (size_t j = 0; j < c.cols(); ++j) cr[j] *= s;
+                        for (size_t j = 0; j < c.cols(); ++j) {
+                          cr[j] = ar[j] * s;
+                        }
                       }
                     });
   return c;
@@ -378,7 +391,7 @@ Matrix MulColBroadcast(const Matrix& a, const Matrix& col) {
 
 Matrix ConcatCols(const Matrix& a, const Matrix& b) {
   ADAMGNN_CHECK_EQ(a.rows(), b.rows());
-  Matrix c(a.rows(), a.cols() + b.cols());
+  Matrix c = Matrix::Uninit(a.rows(), a.cols() + b.cols());
   for (size_t r = 0; r < a.rows(); ++r) {
     std::copy(a.row(r), a.row(r) + a.cols(), c.row(r));
     std::copy(b.row(r), b.row(r) + b.cols(), c.row(r) + a.cols());
@@ -388,7 +401,7 @@ Matrix ConcatCols(const Matrix& a, const Matrix& b) {
 
 Matrix ConcatRows(const Matrix& a, const Matrix& b) {
   ADAMGNN_CHECK_EQ(a.cols(), b.cols());
-  Matrix c(a.rows() + b.rows(), a.cols());
+  Matrix c = Matrix::Uninit(a.rows() + b.rows(), a.cols());
   std::copy(a.data(), a.data() + a.size(), c.data());
   std::copy(b.data(), b.data() + b.size(), c.data() + a.size());
   return c;
@@ -435,18 +448,19 @@ Matrix RowMax(const Matrix& a) {
 
 Matrix SoftmaxRows(const Matrix& a) {
   ADAMGNN_CHECK_GT(a.cols(), 0u);
-  Matrix c = a;
+  Matrix c = Matrix::Uninit(a.rows(), a.cols());
   util::ParallelFor(0, c.rows(), RowGrain(c.rows(), c.cols()),
                     [&](size_t r0, size_t r1) {
                       for (size_t r = r0; r < r1; ++r) {
+                        const double* ar = a.row(r);
                         double* cr = c.row(r);
-                        double m = cr[0];
+                        double m = ar[0];
                         for (size_t j = 1; j < c.cols(); ++j) {
-                          m = std::max(m, cr[j]);
+                          m = std::max(m, ar[j]);
                         }
                         double z = 0.0;
                         for (size_t j = 0; j < c.cols(); ++j) {
-                          cr[j] = std::exp(cr[j] - m);
+                          cr[j] = std::exp(ar[j] - m);
                           z += cr[j];
                         }
                         for (size_t j = 0; j < c.cols(); ++j) cr[j] /= z;
@@ -456,21 +470,21 @@ Matrix SoftmaxRows(const Matrix& a) {
 }
 
 Matrix Relu(const Matrix& a) {
-  Matrix c = a;
-  ParallelApplyInPlace(&c, [](double x) { return x > 0.0 ? x : 0.0; });
+  Matrix c = Matrix::Uninit(a.rows(), a.cols());
+  ParallelApplyInto(a, &c, [](double x) { return x > 0.0 ? x : 0.0; });
   return c;
 }
 
 Matrix LeakyRelu(const Matrix& a, double slope) {
-  Matrix c = a;
-  ParallelApplyInPlace(&c,
-                       [slope](double x) { return x > 0.0 ? x : slope * x; });
+  Matrix c = Matrix::Uninit(a.rows(), a.cols());
+  ParallelApplyInto(a, &c,
+                    [slope](double x) { return x > 0.0 ? x : slope * x; });
   return c;
 }
 
 Matrix Sigmoid(const Matrix& a) {
-  Matrix c = a;
-  ParallelApplyInPlace(&c, [](double x) {
+  Matrix c = Matrix::Uninit(a.rows(), a.cols());
+  ParallelApplyInto(a, &c, [](double x) {
     // Split on sign for numeric stability at large |x|.
     if (x >= 0.0) return 1.0 / (1.0 + std::exp(-x));
     double e = std::exp(x);
@@ -480,36 +494,126 @@ Matrix Sigmoid(const Matrix& a) {
 }
 
 Matrix Tanh(const Matrix& a) {
-  Matrix c = a;
-  ParallelApplyInPlace(&c, [](double x) { return std::tanh(x); });
+  Matrix c = Matrix::Uninit(a.rows(), a.cols());
+  ParallelApplyInto(a, &c, [](double x) { return std::tanh(x); });
   return c;
 }
 
 Matrix Exp(const Matrix& a) {
-  Matrix c = a;
-  ParallelApplyInPlace(&c, [](double x) { return std::exp(x); });
+  Matrix c = Matrix::Uninit(a.rows(), a.cols());
+  ParallelApplyInto(a, &c, [](double x) { return std::exp(x); });
   return c;
 }
 
 Matrix Log(const Matrix& a) {
-  Matrix c = a;
-  ParallelApplyInPlace(
-      &c, [](double x) { return std::log(std::max(x, kLogTiny)); });
+  Matrix c = Matrix::Uninit(a.rows(), a.cols());
+  ParallelApplyInto(
+      a, &c, [](double x) { return std::log(std::max(x, kLogTiny)); });
   return c;
 }
+
+namespace {
+
+/// Counting-sorts row indices by segment: `row_ids` ends up grouped by
+/// segment (CSR-style `offsets`), ascending within each group. Also bounds-
+/// checks every segment id. The two output vectors are plain allocations —
+/// index data must not churn the bound Workspace.
+void GroupRowsBySegment(const std::vector<size_t>& segments,
+                        size_t num_segments, std::vector<size_t>* offsets,
+                        std::vector<size_t>* row_ids) {
+  offsets->assign(num_segments + 1, 0);
+  for (size_t s : segments) {
+    ADAMGNN_CHECK_LT(s, num_segments);
+    ++(*offsets)[s + 1];
+  }
+  for (size_t s = 0; s < num_segments; ++s) (*offsets)[s + 1] += (*offsets)[s];
+  row_ids->resize(segments.size());
+  std::vector<size_t> cursor(offsets->begin(), offsets->end() - 1);
+  for (size_t r = 0; r < segments.size(); ++r) {
+    (*row_ids)[cursor[segments[r]]++] = r;
+  }
+}
+
+/// Row-parallel gather form of segment summation: each output row is
+/// produced by one sequential pass over its (ascending) source rows, so no
+/// partial accumulators are allocated, zeroed, or merged. `emulate_grain`
+/// sets the summation order replayed bitwise: rows are accumulated into a
+/// scratch register file that is flushed into the output row at every
+/// legacy chunk boundary (chunk = r / emulate_grain), which reproduces the
+/// scatter kernel's chunk-partial merge order exactly; a grain >= rows
+/// replays the plain serial loop. Flushes of empty chunks are skipped: they
+/// would add +0.0, and a +0.0-rooted running sum can never be -0.0, so
+/// x + (+0.0) is bitwise x.
+void SegmentGatherInto(const Matrix& a, const std::vector<size_t>& offsets,
+                       const std::vector<size_t>& row_ids,
+                       size_t emulate_grain, Matrix* c) {
+  const size_t num_segments = c->rows(), cols = c->cols();
+  const size_t seg_grain =
+      std::max<size_t>(256, (num_segments + kMaxScatterChunks * 8 - 1) /
+                                (kMaxScatterChunks * 8));
+  util::ParallelFor(0, num_segments, seg_grain, [&](size_t sb, size_t se) {
+    std::vector<double> scratch(cols);
+    for (size_t s = sb; s < se; ++s) {
+      const size_t begin = offsets[s], end = offsets[s + 1];
+      double* cs = c->row(s);
+      // `c` arrives uninitialized: rows with no sources are zeroed here,
+      // and the FIRST flush below stores instead of accumulating. The
+      // stored value equals the legacy 0.0 + scratch bitwise because the
+      // scratch sum is +0.0-rooted and so can never be -0.0.
+      if (begin == end) {
+        std::fill(cs, cs + cols, 0.0);
+        continue;
+      }
+      std::fill(scratch.begin(), scratch.end(), 0.0);
+      bool first_flush = true;
+      size_t chunk = row_ids[begin] / emulate_grain;
+      for (size_t i = begin; i < end; ++i) {
+        const size_t r = row_ids[i];
+        const size_t rc = r / emulate_grain;
+        if (rc != chunk) {
+          for (size_t j = 0; j < cols; ++j) {
+            cs[j] = first_flush ? scratch[j] : cs[j] + scratch[j];
+          }
+          first_flush = false;
+          std::fill(scratch.begin(), scratch.end(), 0.0);
+          chunk = rc;
+        }
+        const double* ar = a.row(r);
+        for (size_t j = 0; j < cols; ++j) scratch[j] += ar[j];
+      }
+      for (size_t j = 0; j < cols; ++j) {
+        cs[j] = first_flush ? scratch[j] : cs[j] + scratch[j];
+      }
+    }
+  });
+}
+
+}  // namespace
 
 Matrix SegmentSum(const Matrix& a, const std::vector<size_t>& segments,
                   size_t num_segments) {
   ADAMGNN_CHECK_EQ(segments.size(), a.rows());
-  Matrix c(num_segments, a.cols());
   const size_t rows = a.rows(), cols = a.cols();
-  if (rows == 0) return c;
+  if (rows == 0) return Matrix(num_segments, cols);
+  const size_t grain = ScatterGrain(rows);
+  if (rows > grain && GetSparseEngine() == SparseEngine::kCachedGather) {
+    Matrix c = Matrix::Uninit(num_segments, cols);  // gather writes all rows
+    // Gather engine: group rows by segment, then one pass per output row,
+    // replaying the scatter kernel's chunk merge order bitwise (see
+    // SegmentGatherInto). Skips the legacy path's up-to-7 partial matrices
+    // of num_segments x cols — the dominant cost on allocation-bound boxes.
+    std::vector<size_t> offsets, row_ids;
+    GroupRowsBySegment(segments, num_segments, &offsets, &row_ids);
+    SegmentGatherInto(a, offsets, row_ids, grain, &c);
+    return c;
+  }
+  Matrix c(num_segments, cols);
   // Scatter with per-chunk partial accumulators, merged in ascending chunk
   // order. The decomposition depends only on `rows`, so the merged result is
   // bitwise-identical at every thread count; a single chunk (the common
   // small case) accumulates straight into c exactly like the serial loop.
   const std::vector<util::ChunkRange> chunks =
-      util::SplitRange(0, rows, ScatterGrain(rows));
+      util::SplitRange(0, rows, grain);
   std::vector<Matrix> partials;
   partials.reserve(chunks.size() > 0 ? chunks.size() - 1 : 0);
   for (size_t ci = 1; ci < chunks.size(); ++ci) {
@@ -525,6 +629,33 @@ Matrix SegmentSum(const Matrix& a, const std::vector<size_t>& segments,
     }
   });
   for (const Matrix& partial : partials) c += partial;
+  return c;
+}
+
+Matrix IndexAddRows(const Matrix& a, const std::vector<size_t>& index,
+                    size_t num_rows) {
+  ADAMGNN_CHECK_EQ(index.size(), a.rows());
+  const size_t rows = a.rows(), cols = a.cols();
+  if (rows == 0) return Matrix(num_rows, cols);
+  // Historically a serial ascending-i scatter; the gather engine reproduces
+  // that exact summation order (emulate_grain >= rows means "one chunk" =
+  // the serial left-fold) while parallelizing across output rows. Worth the
+  // grouping pass only when the work is large enough to parallelize.
+  if (rows * cols >= kMinParallelElems &&
+      GetSparseEngine() == SparseEngine::kCachedGather) {
+    Matrix c = Matrix::Uninit(num_rows, cols);  // gather writes all rows
+    std::vector<size_t> offsets, row_ids;
+    GroupRowsBySegment(index, num_rows, &offsets, &row_ids);
+    SegmentGatherInto(a, offsets, row_ids, /*emulate_grain=*/rows, &c);
+    return c;
+  }
+  Matrix c(num_rows, cols);
+  for (size_t i = 0; i < rows; ++i) {
+    ADAMGNN_CHECK_LT(index[i], num_rows);
+    double* cs = c.row(index[i]);
+    const double* ar = a.row(i);
+    for (size_t j = 0; j < cols; ++j) cs[j] += ar[j];
+  }
   return c;
 }
 

@@ -76,6 +76,14 @@ Matrix SegmentSum(const Matrix& a, const std::vector<size_t>& segments,
 Matrix SegmentMean(const Matrix& a, const std::vector<size_t>& segments,
                    size_t num_segments);
 
+/// Indexed row accumulation: out(index[i], :) += a(i, :), out has num_rows
+/// rows. Bitwise-identical to the plain serial ascending-i loop at every
+/// thread count; under the gather engine large inputs run segment-grouped
+/// and row-parallel instead (the backward of a row gather, the forward of a
+/// row scatter). Every index must be < num_rows.
+Matrix IndexAddRows(const Matrix& a, const std::vector<size_t>& index,
+                    size_t num_rows);
+
 /// Columnwise max over segments; empty segments yield zero rows. When
 /// `argmax` is non-null it is resized to num_segments * a.cols() and
 /// argmax[s * cols + j] records the input row owning the max of column j in

@@ -11,6 +11,34 @@ Matrix::Matrix(size_t rows, size_t cols, std::vector<double> data)
   ADAMGNN_CHECK_EQ(data_.size(), rows * cols);
 }
 
+Matrix& Matrix::operator=(const Matrix& other) {
+  if (this != &other) {
+    if (data_.size() == other.data_.size()) {
+      std::copy(other.data_.begin(), other.data_.end(), data_.begin());
+    } else {
+      Workspace::Release(std::move(data_));
+      data_ = Workspace::AcquireCopy(other.data_);
+    }
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+  }
+  return *this;
+}
+
+Matrix& Matrix::operator=(Matrix&& other) noexcept {
+  if (this != &other) {
+    // Park the displaced buffer instead of letting vector move-assign free
+    // it — the whole point of the arena is that it comes back next epoch.
+    Workspace::Release(std::move(data_));
+    rows_ = other.rows_;
+    cols_ = other.cols_;
+    data_ = std::move(other.data_);
+    other.rows_ = 0;
+    other.cols_ = 0;
+  }
+  return *this;
+}
+
 Matrix Matrix::Identity(size_t n) {
   Matrix m(n, n);
   for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
@@ -90,7 +118,7 @@ Matrix Matrix::Row(size_t r) const {
 }
 
 Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
-  Matrix out(indices.size(), cols_);
+  Matrix out = Matrix::Uninit(indices.size(), cols_);  // every row copied below
   for (size_t i = 0; i < indices.size(); ++i) {
     ADAMGNN_CHECK_LT(indices[i], rows_);
     std::copy(row(indices[i]), row(indices[i]) + cols_, out.row(i));
@@ -99,7 +127,7 @@ Matrix Matrix::GatherRows(const std::vector<size_t>& indices) const {
 }
 
 Matrix Matrix::Transposed() const {
-  Matrix out(cols_, rows_);
+  Matrix out = Matrix::Uninit(cols_, rows_);  // every entry written below
   for (size_t r = 0; r < rows_; ++r) {
     for (size_t c = 0; c < cols_; ++c) out(c, r) = (*this)(r, c);
   }

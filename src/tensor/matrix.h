@@ -9,15 +9,20 @@
 #include <cstddef>
 #include <functional>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "tensor/workspace.h"
 #include "util/logging.h"
 #include "util/random.h"
 
 namespace adamgnn::tensor {
 
 /// A dense rows x cols matrix stored row-major. Copyable and movable; copies
-/// are deep. A 1 x n or n x 1 matrix doubles as a vector.
+/// are deep. A 1 x n or n x 1 matrix doubles as a vector. Storage is drawn
+/// from (and returned to) the thread's bound tensor::Workspace when one
+/// exists — a pure recycling layer that never changes contents (see
+/// tensor/workspace.h).
 class Matrix {
  public:
   /// An empty 0 x 0 matrix.
@@ -25,12 +30,34 @@ class Matrix {
 
   /// A rows x cols matrix filled with `fill`.
   Matrix(size_t rows, size_t cols, double fill = 0.0)
-      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+      : rows_(rows),
+        cols_(cols),
+        data_(Workspace::AcquireFilled(rows * cols, fill)) {}
 
   /// Adopts `data` (row-major, size must equal rows*cols).
   Matrix(size_t rows, size_t cols, std::vector<double> data);
 
+  Matrix(const Matrix& other)
+      : rows_(other.rows_),
+        cols_(other.cols_),
+        data_(Workspace::AcquireCopy(other.data_)) {}
+  Matrix& operator=(const Matrix& other);
+  Matrix(Matrix&& other) noexcept
+      : rows_(other.rows_), cols_(other.cols_), data_(std::move(other.data_)) {
+    other.rows_ = 0;
+    other.cols_ = 0;
+  }
+  Matrix& operator=(Matrix&& other) noexcept;
+  ~Matrix() { Workspace::Release(std::move(data_)); }
+
   static Matrix Zeros(size_t rows, size_t cols) { return Matrix(rows, cols); }
+  /// A rows x cols matrix whose entries are UNSPECIFIED: when a bound
+  /// Workspace recycles a buffer, the fill pass is skipped and the entries
+  /// hold stale data. Only for kernels that overwrite every entry before the
+  /// result escapes; anything else must use Zeros / the filling constructor.
+  static Matrix Uninit(size_t rows, size_t cols) {
+    return Matrix(rows, cols, Workspace::AcquireUninit(rows * cols));
+  }
   static Matrix Ones(size_t rows, size_t cols) {
     return Matrix(rows, cols, 1.0);
   }

@@ -5,6 +5,7 @@
 #include "autograd/loss_ops.h"
 #include "autograd/ops.h"
 #include "nn/optimizer.h"
+#include "tensor/workspace.h"
 #include "train/metrics.h"
 #include "train/resilience.h"
 #include "util/logging.h"
@@ -50,6 +51,11 @@ util::Result<LinkTaskResult> TrainLinkPredictor(EmbeddingModel* model,
       split.test_pos.empty()) {
     return util::Status::InvalidArgument("empty link split");
   }
+
+  // Epoch-storage arena (see node_trainer.cc); declared before the optimizer
+  // so the optimizer's buffers drain into it on scope exit.
+  tensor::Workspace workspace;
+  tensor::Workspace::Bind workspace_bind(&workspace);
 
   util::Rng rng(config.seed);
   nn::Adam optimizer(model->Parameters(), config.learning_rate, 0.9, 0.999,

@@ -3,6 +3,7 @@
 #include "autograd/loss_ops.h"
 #include "autograd/ops.h"
 #include "nn/optimizer.h"
+#include "tensor/workspace.h"
 #include "train/metrics.h"
 #include "train/resilience.h"
 #include "util/logging.h"
@@ -23,6 +24,12 @@ util::Result<NodeTaskResult> TrainNodeClassifier(
   if (split.train.empty() || split.val.empty() || split.test.empty()) {
     return util::Status::InvalidArgument("empty split");
   }
+
+  // Epochs churn through thousands of same-shaped matrices; the arena hands
+  // each epoch the previous epoch's storage back. Declared before the
+  // optimizer so the optimizer's buffers drain into it on scope exit.
+  tensor::Workspace workspace;
+  tensor::Workspace::Bind workspace_bind(&workspace);
 
   util::Rng rng(config.seed);
   nn::Adam optimizer(model->Parameters(), config.learning_rate, 0.9, 0.999,
@@ -52,12 +59,18 @@ util::Result<NodeTaskResult> TrainNodeClassifier(
                                resilience.GuardGradNorm(epoch, grad_norm));
     }
     if (recovered) {
-      st.total_epoch_seconds += watch.ElapsedSeconds();
+      const double epoch_secs = watch.ElapsedSeconds();
+      st.total_epoch_seconds += epoch_secs;
+      result.epoch_losses.push_back(loss_value);
+      result.epoch_seconds.push_back(epoch_secs);
       result.epochs_run = epoch + 1;
       continue;  // parameters were rolled back; nothing new to evaluate
     }
     optimizer.Step();
-    st.total_epoch_seconds += watch.ElapsedSeconds();
+    const double epoch_secs = watch.ElapsedSeconds();
+    st.total_epoch_seconds += epoch_secs;
+    result.epoch_losses.push_back(loss_value);
+    result.epoch_seconds.push_back(epoch_secs);
     result.epochs_run = epoch + 1;
 
     // Evaluation pass without dropout, tape-free where the model supports it.

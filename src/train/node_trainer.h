@@ -25,6 +25,11 @@ struct NodeTaskResult {
   int epochs_run = 0;
   /// Mean wall time of one training epoch (seconds) — Table 4's metric.
   double avg_epoch_seconds = 0;
+  /// Per-epoch training loss and wall seconds for the epochs this run
+  /// executed, in order. bench_epoch compares `epoch_losses` across sparse
+  /// engines bitwise to prove an optimization changed speed, not math.
+  std::vector<double> epoch_losses;
+  std::vector<double> epoch_seconds;
   /// Absolute epoch the run resumed from, or -1 on a cold start.
   int resumed_from_epoch = -1;
   /// Divergence rollbacks performed during (or before, if resumed) the run.

@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "autograd/ops.h"
+#include "graph/sparse_matrix.h"
 #include "gtest/gtest.h"
 #include "tensor/kernels.h"
 #include "test_util.h"
@@ -239,6 +240,56 @@ TEST(SpMMValuesThreadingTest, ForwardAndBackwardBitwiseAcrossThreadCounts) {
     Backward(WeightedSum(y, 39));
     return std::vector<Matrix>{y.value(), v.grad(), x.grad()};
   });
+}
+
+// ---------------------------------------------------------------------------
+// Engine A/B: the cached-gather engine must match the legacy scatter engine
+// bit for bit through every autograd sparse op, at a shape above the
+// parallel-work gate (where the kernels actually diverge in strategy).
+// ---------------------------------------------------------------------------
+
+TEST(SparseEngineABTest, GatherMatchesLegacyScatterBitwise) {
+  auto s = LargeSparse(2000, 1500, 30000, 50);
+  auto p = LargePattern(2000, 1500, 30000, 51);
+  util::Rng rng(52);
+  const Matrix xs0 = Matrix::Gaussian(1500, 64, 1.0, &rng);
+  const Matrix xt0 = Matrix::Gaussian(2000, 64, 1.0, &rng);
+  const Matrix v0 = Matrix::Uniform(p->nnz(), 1, 0.2, 1.0, &rng);
+  auto run = [&] {
+    std::vector<Matrix> out;
+    {
+      Variable x = Variable::Parameter(xs0);
+      Variable y = SpMM(s, x);
+      Backward(WeightedSum(y, 53));
+      out.push_back(y.value());
+      out.push_back(x.grad());
+    }
+    {
+      Variable x = Variable::Parameter(xt0);
+      Variable y = SpMMTranspose(s, x);
+      Backward(WeightedSum(y, 54));
+      out.push_back(y.value());
+      out.push_back(x.grad());
+    }
+    {
+      Variable v = Variable::Parameter(v0);
+      Variable x = Variable::Parameter(xs0);
+      Variable y = SpMMValues(p, v, x);
+      Backward(WeightedSum(y, 55));
+      out.push_back(y.value());
+      out.push_back(v.grad());
+      out.push_back(x.grad());
+    }
+    return out;
+  };
+  graph::SetSparseEngine(graph::SparseEngine::kLegacyScatter);
+  const std::vector<Matrix> legacy = run();
+  graph::SetSparseEngine(graph::SparseEngine::kCachedGather);
+  const std::vector<Matrix> gather = run();
+  ASSERT_EQ(legacy.size(), gather.size());
+  for (size_t i = 0; i < legacy.size(); ++i) {
+    EXPECT_TRUE(gather[i] == legacy[i]) << "output " << i << " differs";
+  }
 }
 
 // ---------------------------------------------------------------------------

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "gtest/gtest.h"
+#include "tensor/engine.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
 
@@ -254,6 +255,67 @@ TEST(KernelsThreadingTest, SegmentKernelsBitwiseAcrossThreadCounts) {
       [&] { return SegmentSum(a, seg, num_segments); });
   ExpectBitwiseIdenticalAcrossThreadCounts(
       [&] { return SegmentMean(a, seg, num_segments); });
+  ExpectBitwiseIdenticalAcrossThreadCounts(
+      [&] { return IndexAddRows(a, seg, num_segments); });
+}
+
+// ---------------------------------------------------------------------------
+// Engine A/B: the gather forms of the segment kernels must be bitwise equal
+// to the legacy scatter forms they replace, on shapes large enough to take
+// the grouped path (rows above the scatter gate), at several thread counts.
+// ---------------------------------------------------------------------------
+
+class EngineFlip {
+ public:
+  ~EngineFlip() { SetSparseEngine(SparseEngine::kCachedGather); }
+
+  template <typename Fn>
+  static Matrix Under(SparseEngine engine, const Fn& fn) {
+    SetSparseEngine(engine);
+    Matrix out = fn();
+    SetSparseEngine(SparseEngine::kCachedGather);
+    return out;
+  }
+};
+
+TEST(KernelsEngineTest, SegmentSumGatherMatchesLegacyScatterBitwise) {
+  EngineFlip guard;
+  util::Rng rng(28);
+  Matrix a = Matrix::Gaussian(20000, 24, 1.0, &rng);  // several chunks
+  const size_t num_segments = 700;
+  std::vector<size_t> seg(a.rows());
+  for (auto& s : seg) s = rng.NextUint64(num_segments);
+  for (int t : {1, 2, 7}) {
+    util::SetNumThreads(t);
+    Matrix scatter = EngineFlip::Under(
+        SparseEngine::kLegacyScatter,
+        [&] { return SegmentSum(a, seg, num_segments); });
+    Matrix gather = EngineFlip::Under(
+        SparseEngine::kCachedGather,
+        [&] { return SegmentSum(a, seg, num_segments); });
+    EXPECT_TRUE(gather == scatter) << "engines differ at threads=" << t;
+  }
+  util::SetNumThreads(0);
+}
+
+TEST(KernelsEngineTest, IndexAddRowsGatherMatchesSerialBitwise) {
+  EngineFlip guard;
+  util::Rng rng(29);
+  Matrix a = Matrix::Gaussian(12000, 16, 1.0, &rng);  // above the gather gate
+  const size_t num_rows = 900;
+  std::vector<size_t> idx(a.rows());
+  for (auto& s : idx) s = rng.NextUint64(num_rows);
+  Matrix serial = EngineFlip::Under(
+      SparseEngine::kLegacyScatter,
+      [&] { return IndexAddRows(a, idx, num_rows); });
+  for (int t : {1, 2, 7}) {
+    util::SetNumThreads(t);
+    Matrix gather = EngineFlip::Under(
+        SparseEngine::kCachedGather,
+        [&] { return IndexAddRows(a, idx, num_rows); });
+    EXPECT_TRUE(gather == serial) << "engines differ at threads=" << t;
+  }
+  util::SetNumThreads(0);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,11 +1,14 @@
 #include "graph/sparse_matrix.h"
 
+#include <atomic>
 #include <cmath>
+#include <thread>
 
 #include "graph/builder.h"
 #include "tensor/kernels.h"
 #include "gtest/gtest.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 
 namespace adamgnn::graph {
 namespace {
@@ -174,6 +177,162 @@ TEST_P(SparseRandomSweep, MultiplyAssociativity) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SparseRandomSweep,
                          ::testing::Values(1, 2, 3, 4, 5, 6));
+
+// ---------------------------------------------------------------------------
+// Sparse engine: the cached transposed view, the gather SpMMᵀ kernel, and
+// their bitwise equivalence with the legacy scatter kernel.
+// ---------------------------------------------------------------------------
+
+/// Restores the process default (gather) no matter how a test exits.
+struct EngineGuard {
+  ~EngineGuard() { SetSparseEngine(SparseEngine::kCachedGather); }
+};
+
+Matrix WithEngine(SparseEngine e, const SparseMatrix& m, const Matrix& x) {
+  EngineGuard guard;
+  SetSparseEngine(e);
+  return m.TransposeMultiplyDense(x);
+}
+
+SparseMatrix RandomSparse(size_t rows, size_t cols, size_t nnz,
+                          uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<Triplet> t;
+  t.reserve(nnz);
+  for (size_t k = 0; k < nnz; ++k) {
+    t.push_back({rng.NextUint64(rows), rng.NextUint64(cols),
+                 rng.NextUniform(0.1, 1.0)});
+  }
+  return SparseMatrix::FromTriplets(rows, cols, std::move(t));
+}
+
+TEST(SparseEngineTest, TransposeViewIsLazyAndPrewarmable) {
+  SparseMatrix m = Small();
+  EXPECT_FALSE(m.transpose_view_built());
+  m.PrewarmTranspose();
+  EXPECT_TRUE(m.transpose_view_built());
+  m.PrewarmTranspose();  // idempotent
+  util::Rng rng(20);
+  Matrix x = Matrix::Gaussian(3, 4, 1.0, &rng);
+  EXPECT_TRUE(AllClose(m.TransposeMultiplyDense(x),
+                       tensor::MatMul(m.ToDense().Transposed(), x), 1e-12));
+}
+
+TEST(SparseEngineTest, MutableValuesInvalidatesCachedView) {
+  // The staleness trap: mutate values after the view exists, then multiply.
+  // A stale view would reproduce the pre-mutation product.
+  SparseMatrix m = Small();
+  util::Rng rng(21);
+  Matrix x = Matrix::Gaussian(3, 2, 1.0, &rng);
+  Matrix before = m.TransposeMultiplyDense(x);  // builds the view
+  ASSERT_TRUE(m.transpose_view_built());
+  for (double& v : m.mutable_values()) v *= 2.0;
+  EXPECT_FALSE(m.transpose_view_built());
+  Matrix after = m.TransposeMultiplyDense(x);
+  EXPECT_TRUE(AllClose(after, tensor::MatMul(m.ToDense().Transposed(), x),
+                       1e-12));
+  EXPECT_FALSE(after == before);
+}
+
+TEST(SparseEngineTest, CopiesShareTheViewUntilOneMutates) {
+  SparseMatrix a = Small();
+  a.PrewarmTranspose();
+  SparseMatrix b = a;  // shares the cache box — and the built view
+  EXPECT_TRUE(b.transpose_view_built());
+
+  util::Rng rng(22);
+  Matrix x = Matrix::Gaussian(3, 2, 1.0, &rng);
+  // Mutating `a` detaches it onto a fresh box; `b`'s view stays valid for
+  // b's (unchanged) values.
+  for (double& v : a.mutable_values()) v += 1.0;
+  EXPECT_FALSE(a.transpose_view_built());
+  EXPECT_TRUE(b.transpose_view_built());
+  EXPECT_TRUE(AllClose(b.TransposeMultiplyDense(x),
+                       tensor::MatMul(b.ToDense().Transposed(), x), 1e-12));
+  EXPECT_TRUE(AllClose(a.TransposeMultiplyDense(x),
+                       tensor::MatMul(a.ToDense().Transposed(), x), 1e-12));
+}
+
+TEST(SparseEngineTest, RowNormalizedDoesNotInheritStaleView) {
+  SparseMatrix m = SparseMatrix::FromTriplets(
+      2, 3, {{0, 0, 1.0}, {0, 2, 3.0}, {1, 1, 5.0}});
+  m.PrewarmTranspose();
+  SparseMatrix r = m.RowNormalized();  // edits values on the copy
+  EXPECT_FALSE(r.transpose_view_built());
+  util::Rng rng(23);
+  Matrix x = Matrix::Gaussian(2, 2, 1.0, &rng);
+  EXPECT_TRUE(AllClose(r.TransposeMultiplyDense(x),
+                       tensor::MatMul(r.ToDense().Transposed(), x), 1e-12));
+}
+
+TEST(SparseEngineTest, GatherMatchesScatterBitwiseOnEdgeShapes) {
+  util::Rng rng(24);
+  std::vector<SparseMatrix> cases;
+  // Rows with no entries and columns no entry lands in (all-zero view rows).
+  cases.push_back(SparseMatrix::FromTriplets(
+      6, 5, {{0, 4, 1.5}, {5, 0, -2.0}, {5, 4, 0.25}}));
+  // Degenerate vector shapes.
+  cases.push_back(SparseMatrix::FromTriplets(1, 7, {{0, 2, 3.0},
+                                                    {0, 6, -1.0}}));
+  cases.push_back(SparseMatrix::FromTriplets(7, 1, {{1, 0, 2.0},
+                                                    {6, 0, 0.5}}));
+  // Duplicate triplets coalesced by summation (one pair cancels to zero).
+  cases.push_back(SparseMatrix::FromTriplets(
+      3, 3, {{0, 1, 1.0}, {0, 1, 2.0}, {2, 2, -4.0}, {2, 2, 4.0}}));
+  // Fully empty.
+  cases.push_back(SparseMatrix::FromTriplets(4, 3, {}));
+  for (const SparseMatrix& m : cases) {
+    Matrix x = Matrix::Gaussian(m.rows(), 3, 1.0, &rng);
+    Matrix gather = WithEngine(SparseEngine::kCachedGather, m, x);
+    Matrix scatter = WithEngine(SparseEngine::kLegacyScatter, m, x);
+    EXPECT_TRUE(gather == scatter) << m.DebugString();
+    EXPECT_TRUE(AllClose(gather, tensor::MatMul(m.ToDense().Transposed(), x),
+                         1e-12))
+        << m.DebugString();
+  }
+}
+
+TEST(SparseEngineTest, GatherMatchesScatterBitwiseAcrossThreadCounts) {
+  // Above the parallel-work gate (nnz * cols = 40000 * 64 > 2^20) with
+  // rows >> scatter grain, so the scatter runs its multi-chunk merge and the
+  // gather runs its chunk-boundary emulation — the pair the bitwise
+  // guarantee is about.
+  SparseMatrix m = RandomSparse(3000, 2500, 40000, 25);
+  util::Rng rng(26);
+  const Matrix x = Matrix::Gaussian(3000, 64, 1.0, &rng);
+  util::SetNumThreads(1);
+  const Matrix reference = WithEngine(SparseEngine::kLegacyScatter, m, x);
+  for (int t : {1, 2, 4, 7}) {
+    util::SetNumThreads(t);
+    EXPECT_TRUE(WithEngine(SparseEngine::kCachedGather, m, x) == reference)
+        << "gather differs from serial scatter at threads=" << t;
+    EXPECT_TRUE(WithEngine(SparseEngine::kLegacyScatter, m, x) == reference)
+        << "scatter not thread-invariant at threads=" << t;
+  }
+  util::SetNumThreads(0);
+}
+
+TEST(SparseEngineTest, ConcurrentFirstUseBuildsTheViewOnce) {
+  // Many threads race the lazy once-init; TSan (tools/check.sh) verifies the
+  // locking, this verifies they all see one coherent view.
+  SparseMatrix m = RandomSparse(500, 400, 3000, 27);
+  util::Rng rng(28);
+  const Matrix x = Matrix::Gaussian(500, 8, 1.0, &rng);
+  const Matrix expect = tensor::MatMul(m.ToDense().Transposed(), x);
+  std::vector<std::thread> threads;
+  std::atomic<int> mismatches{0};
+  for (int i = 0; i < 4; ++i) {
+    threads.emplace_back([&] {
+      m.PrewarmTranspose();
+      if (!AllClose(m.TransposeMultiplyDense(x), expect, 1e-12)) {
+        mismatches.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(mismatches.load(), 0);
+  EXPECT_TRUE(m.transpose_view_built());
+}
 
 }  // namespace
 }  // namespace adamgnn::graph
