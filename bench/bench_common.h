@@ -22,6 +22,7 @@
 #include "data/graph_datasets.h"
 #include "data/node_datasets.h"
 #include "data/splits.h"
+#include "obs/export.h"
 #include "pool/diff_pool.h"
 #include "pool/flat_models.h"
 #include "pool/sag_pool.h"
@@ -229,6 +230,22 @@ inline void PrintRow(const std::string& name,
   std::string line = util::PadRight(name, name_width);
   for (const auto& c : cells) line += " " + util::PadLeft(c, cell_width);
   std::printf("%s\n", line.c_str());
+}
+
+/// Dumps the run's accumulated metrics + trace spans as JSONL to the path in
+/// ADAMGNN_METRICS ("-" = stdout). Call once at the end of main; silently a
+/// no-op when the env var is unset, so benches stay usable as before.
+inline void DumpMetrics() {
+  const std::string path = obs::MetricsPathFromEnv();
+  if (path.empty()) return;
+  const util::Status st = obs::WriteMetricsJsonl(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    return;
+  }
+  if (path != "-") {
+    std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+  }
 }
 
 }  // namespace adamgnn::bench

@@ -41,6 +41,8 @@
 #include "data/splits.h"
 #include "graph/builder.h"
 #include "graph/sparse_matrix.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
 #include "tensor/workspace.h"
 #include "train/node_trainer.h"
 #include "util/random.h"
@@ -149,12 +151,17 @@ CostSummary Summarize(const std::vector<RunResult>& rounds) {
 
 // One full training run from a fresh, seed-identical model. `engine_on`
 // selects the gather engine + workspace arena; off reproduces main's
-// behavior (scatter kernel, plain allocation).
+// behavior (scatter kernel, plain allocation). `obs_on` toggles the
+// observability layer's runtime switch for the run (the overhead gate
+// compares engine runs with it on vs. off).
 RunResult RunOnce(const graph::Graph& g, const data::IndexSplit& split,
-                  const EpochBenchConfig& cfg, bool engine_on) {
+                  const EpochBenchConfig& cfg, bool engine_on,
+                  bool obs_on = true) {
   graph::SetSparseEngine(engine_on ? graph::SparseEngine::kCachedGather
                                    : graph::SparseEngine::kLegacyScatter);
   tensor::Workspace::SetEnabled(engine_on);
+  const bool obs_was_enabled = obs::Enabled();
+  obs::SetEnabled(obs_on);
 
   util::Rng model_rng(cfg.seed + 77);
   core::AdamGnnConfig mc;
@@ -175,6 +182,7 @@ RunResult RunOnce(const graph::Graph& g, const data::IndexSplit& split,
   // Restore process defaults so nothing downstream inherits bench state.
   graph::SetSparseEngine(graph::SparseEngine::kCachedGather);
   tensor::Workspace::SetEnabled(true);
+  obs::SetEnabled(obs_was_enabled);
 
   RunResult out;
   out.losses = r.epoch_losses;
@@ -182,11 +190,11 @@ RunResult RunOnce(const graph::Graph& g, const data::IndexSplit& split,
   return out;
 }
 
-/// True when every round — either configuration — produced the same
-/// bitwise loss trajectory.
-bool TrajectoriesIdentical(const std::vector<RunResult>& legacy,
-                           const std::vector<RunResult>& engine) {
-  const std::vector<double>& ref = legacy.front().losses;
+/// True when every round — any configuration, metrics on or off — produced
+/// the same bitwise loss trajectory.
+bool TrajectoriesIdentical(
+    const std::vector<const std::vector<RunResult>*>& round_sets) {
+  const std::vector<double>& ref = round_sets.front()->front().losses;
   auto same = [&ref](const RunResult& r) {
     if (r.losses.size() != ref.size()) return false;
     for (size_t i = 0; i < ref.size(); ++i) {
@@ -194,11 +202,10 @@ bool TrajectoriesIdentical(const std::vector<RunResult>& legacy,
     }
     return true;
   };
-  for (const RunResult& r : legacy) {
-    if (!same(r)) return false;
-  }
-  for (const RunResult& r : engine) {
-    if (!same(r)) return false;
+  for (const std::vector<RunResult>* rounds : round_sets) {
+    for (const RunResult& r : *rounds) {
+      if (!same(r)) return false;
+    }
   }
   return true;
 }
@@ -224,9 +231,12 @@ int Run(const EpochBenchConfig& cfg, const std::string& json_path,
   data::IndexSplit split =
       data::SplitIndices(g.num_nodes(), 0.8, 0.1, &split_rng).ValueOrDie();
 
-  // Interleave the two configurations so slow machine drift hits both
+  // Interleave the three configurations so slow machine drift hits all
   // equally; per-epoch mins across rounds then strip the remaining spikes.
-  std::vector<RunResult> legacy_rounds, engine_rounds;
+  // The obs-off engine rounds isolate the observability layer's overhead —
+  // the metrics/span instrumentation is required to cost < 2% per warm
+  // epoch and to leave the loss trajectory bitwise unchanged.
+  std::vector<RunResult> legacy_rounds, engine_rounds, noobs_rounds;
   for (int rep = 0; rep < cfg.repeats; ++rep) {
     std::printf("round %d/%d: legacy (scatter SpMMT, no workspace), "
                 "%d epochs...\n",
@@ -236,19 +246,33 @@ int Run(const EpochBenchConfig& cfg, const std::string& json_path,
                 "%d epochs...\n",
                 rep + 1, cfg.repeats, cfg.epochs);
     engine_rounds.push_back(RunOnce(g, split, cfg, /*engine_on=*/true));
+    std::printf("round %d/%d: engine with metrics disabled, %d epochs...\n",
+                rep + 1, cfg.repeats, cfg.epochs);
+    noobs_rounds.push_back(
+        RunOnce(g, split, cfg, /*engine_on=*/true, /*obs_on=*/false));
   }
   const CostSummary legacy = Summarize(legacy_rounds);
   const CostSummary engine = Summarize(engine_rounds);
-  std::printf("legacy: first epoch %8.1f ms, warm epochs %8.1f ms\n",
+  const CostSummary noobs = Summarize(noobs_rounds);
+  std::printf("legacy:          first epoch %8.1f ms, warm epochs %8.1f ms\n",
               legacy.first_epoch_ms, legacy.warm_epoch_ms);
-  std::printf("engine: first epoch %8.1f ms, warm epochs %8.1f ms\n",
+  std::printf("engine:          first epoch %8.1f ms, warm epochs %8.1f ms\n",
               engine.first_epoch_ms, engine.warm_epoch_ms);
+  std::printf("engine (no obs): first epoch %8.1f ms, warm epochs %8.1f ms\n",
+              noobs.first_epoch_ms, noobs.warm_epoch_ms);
 
-  const bool bitwise = TrajectoriesIdentical(legacy_rounds, engine_rounds);
+  const bool bitwise = TrajectoriesIdentical(
+      {&legacy_rounds, &engine_rounds, &noobs_rounds});
   const double speedup_warm =
       legacy.warm_epoch_ms / std::max(engine.warm_epoch_ms, 1e-9);
   const double speedup_total =
       legacy.total_seconds / std::max(engine.total_seconds, 1e-9);
+  const double obs_overhead_pct =
+      (engine.warm_epoch_ms - noobs.warm_epoch_ms) /
+      std::max(noobs.warm_epoch_ms, 1e-9) * 100.0;
+  // Smoke epochs are sub-millisecond, where one scheduler blip swamps the
+  // percentage; the gate only binds on the full-size workload.
+  const bool obs_gate_ok = smoke || obs_overhead_pct < 2.0;
 
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {
@@ -283,6 +307,15 @@ int Run(const EpochBenchConfig& cfg, const std::string& json_path,
                engine.warm_epoch_ms);
   std::fprintf(f, "  \"speedup_per_epoch\": %.2f,\n", speedup_warm);
   std::fprintf(f, "  \"speedup_total\": %.2f,\n", speedup_total);
+  std::fprintf(f, "  \"obs\": {\n");
+  std::fprintf(f, "    \"enabled_warm_epoch_ms\": %.1f,\n",
+               engine.warm_epoch_ms);
+  std::fprintf(f, "    \"disabled_warm_epoch_ms\": %.1f,\n",
+               noobs.warm_epoch_ms);
+  std::fprintf(f, "    \"overhead_pct\": %.2f,\n", obs_overhead_pct);
+  std::fprintf(f, "    \"gate\": \"overhead_pct < 2.0 (full-size runs)\",\n");
+  std::fprintf(f, "    \"gate_ok\": %s\n  },\n", obs_gate_ok ? "true"
+                                                             : "false");
   std::fprintf(f, "  \"loss_trajectory_bitwise_identical\": %s\n}\n",
                bitwise ? "true" : "false");
   std::fclose(f);
@@ -290,11 +323,20 @@ int Run(const EpochBenchConfig& cfg, const std::string& json_path,
   std::printf("per-epoch speedup %.2fx (total %.2fx), loss trajectory %s\n",
               speedup_warm, speedup_total,
               bitwise ? "bitwise-identical" : "MISMATCH");
+  std::printf("metrics overhead %+.2f%% per warm epoch (gate: < 2%%%s)\n",
+              obs_overhead_pct, smoke ? ", not binding in --smoke" : "");
   std::printf("wrote %s\n", json_path.c_str());
   if (!bitwise) {
     std::fprintf(stderr,
                  "FAIL: engine changed the loss trajectory — it must only "
                  "change speed\n");
+    return 1;
+  }
+  if (!obs_gate_ok) {
+    std::fprintf(stderr,
+                 "FAIL: metrics instrumentation costs %.2f%% per warm epoch "
+                 "(budget: 2%%)\n",
+                 obs_overhead_pct);
     return 1;
   }
   return 0;
@@ -335,5 +377,12 @@ int main(int argc, char** argv) {
       return 1;
     }
   }
-  return adamgnn::Run(cfg, json_path, smoke);
+  const int rc = adamgnn::Run(cfg, json_path, smoke);
+  // ADAMGNN_METRICS=FILE dumps the final rounds' accumulated telemetry
+  // (epoch/phase histograms, pool and workspace stats, spans) as JSONL.
+  const std::string metrics_path = adamgnn::obs::MetricsPathFromEnv();
+  if (!metrics_path.empty()) {
+    adamgnn::obs::WriteMetricsJsonl(metrics_path).CheckOK();
+  }
+  return rc;
 }

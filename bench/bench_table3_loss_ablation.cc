@@ -144,4 +144,8 @@ int Run() {
 }  // namespace
 }  // namespace adamgnn::bench
 
-int main() { return adamgnn::bench::Run(); }
+int main() {
+  const int rc = adamgnn::bench::Run();
+  adamgnn::bench::DumpMetrics();  // ADAMGNN_METRICS=FILE opt-in JSONL dump
+  return rc;
+}

@@ -3,10 +3,42 @@
 #include <algorithm>
 
 #include "autograd/sparse_ops.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "tensor/kernels.h"
 #include "util/logging.h"
+#include "util/stopwatch.h"
 
 namespace adamgnn::core {
+
+namespace {
+
+// Request telemetry: every Run() is one request; cache hits return the
+// memoized Result, misses pay for RunUncached. Evictions count plans pushed
+// out of the LRU-ish FIFO by kMaxCachedPlans.
+obs::Counter& InferRequests() {
+  static obs::Counter* c = new obs::Counter("infer.requests");
+  return *c;
+}
+obs::Counter& PlanCacheHits() {
+  static obs::Counter* c = new obs::Counter("infer.plan_cache.hits");
+  return *c;
+}
+obs::Counter& PlanCacheMisses() {
+  static obs::Counter* c = new obs::Counter("infer.plan_cache.misses");
+  return *c;
+}
+obs::Counter& PlanCacheEvictions() {
+  static obs::Counter* c = new obs::Counter("infer.plan_cache.evictions");
+  return *c;
+}
+obs::Histogram& RequestSeconds() {
+  static obs::Histogram* h =
+      new obs::Histogram("infer.request_seconds", obs::LatencyBucketBounds());
+  return *h;
+}
+
+}  // namespace
 
 InferenceSession::InferenceSession(const AdamGnn& model) { Snapshot(model); }
 
@@ -56,15 +88,29 @@ void InferenceSession::RefreshWeights(const AdamGnn& model) {
 const InferenceSession::Result& InferenceSession::Run(
     const std::shared_ptr<const GraphPlan>& plan) {
   ADAMGNN_CHECK(plan != nullptr);
+  InferRequests().Add();
+  obs::TraceSpan span("infer.request");
+  util::Stopwatch sw;
   auto it = cache_.find(plan.get());
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    PlanCacheHits().Add();
+    span.Note("cache_hit", 1.0);
+    RequestSeconds().Observe(sw.ElapsedSeconds());
+    return it->second;
+  }
+  PlanCacheMisses().Add();
+  span.Note("cache_hit", 0.0);
   if (order_.size() >= kMaxCachedPlans) {
+    PlanCacheEvictions().Add();
     cache_.erase(order_.front().get());
     order_.erase(order_.begin());
   }
   Result result = RunUncached(*plan);
   order_.push_back(plan);
-  return cache_.emplace(plan.get(), std::move(result)).first->second;
+  const Result& cached =
+      cache_.emplace(plan.get(), std::move(result)).first->second;
+  RequestSeconds().Observe(sw.ElapsedSeconds());
+  return cached;
 }
 
 InferenceSession::Result InferenceSession::RunUncached(

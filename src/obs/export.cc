@@ -1,0 +1,160 @@
+#include "obs/export.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace adamgnn::obs {
+
+namespace {
+
+/// JSON string escaping for metric names and attr keys (our own
+/// identifiers, but a hostile name must not corrupt the file).
+void AppendJsonString(std::string* out, const char* s) {
+  out->push_back('"');
+  for (; *s != '\0'; ++s) {
+    const unsigned char c = static_cast<unsigned char>(*s);
+    switch (c) {
+      case '"': *out += "\\\""; break;
+      case '\\': *out += "\\\\"; break;
+      case '\n': *out += "\\n"; break;
+      case '\t': *out += "\\t"; break;
+      case '\r': *out += "\\r"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(static_cast<char>(c));
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[64];
+  // %.17g round-trips doubles; JSON has no Infinity/NaN literals, so clamp
+  // those to null (they only appear if a caller observes a non-finite
+  // value, which the trainers never do).
+  if (v != v || v == 1.0 / 0.0 || v == -1.0 / 0.0) {
+    *out += "null";
+    return;
+  }
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  *out += buf;
+}
+
+void AppendUint(std::string* out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  *out += buf;
+}
+
+}  // namespace
+
+std::string MetricsToJsonl() {
+  std::string out;
+  out += "{\"type\":\"meta\",\"version\":1,\"compiled\":";
+  out += Compiled() ? "true" : "false";
+  out += ",\"enabled\":";
+  out += Enabled() ? "true" : "false";
+#if !defined(ADAMGNN_OBS_OFF)
+  out += ",\"dropped_spans\":";
+  AppendUint(&out, TraceBuffer::Global().dropped());
+#endif
+  out += "}\n";
+
+#if !defined(ADAMGNN_OBS_OFF)
+  const MetricsSnapshot snap = MetricsRegistry::Global().Collect();
+  for (const auto& [name, value] : snap.counters) {
+    out += "{\"type\":\"counter\",\"name\":";
+    AppendJsonString(&out, name.c_str());
+    out += ",\"value\":";
+    AppendUint(&out, value);
+    out += "}\n";
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    out += "{\"type\":\"gauge\",\"name\":";
+    AppendJsonString(&out, name.c_str());
+    out += ",\"value\":";
+    AppendDouble(&out, value);
+    out += "}\n";
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    out += "{\"type\":\"histogram\",\"name\":";
+    AppendJsonString(&out, name.c_str());
+    out += ",\"bounds\":[";
+    for (size_t i = 0; i < hist.bounds.size(); ++i) {
+      if (i > 0) out += ",";
+      AppendDouble(&out, hist.bounds[i]);
+    }
+    out += "],\"counts\":[";
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i > 0) out += ",";
+      AppendUint(&out, hist.counts[i]);
+    }
+    out += "],\"count\":";
+    AppendUint(&out, hist.count);
+    out += ",\"sum\":";
+    AppendDouble(&out, hist.sum);
+    out += ",\"min\":";
+    AppendDouble(&out, hist.min);
+    out += ",\"max\":";
+    AppendDouble(&out, hist.max);
+    out += "}\n";
+  }
+  for (const TraceEvent& e : TraceBuffer::Global().Snapshot()) {
+    out += "{\"type\":\"span\",\"name\":";
+    AppendJsonString(&out, e.name);
+    out += ",\"thread\":";
+    AppendUint(&out, e.thread);
+    out += ",\"depth\":";
+    AppendUint(&out, e.depth);
+    out += ",\"start_us\":";
+    AppendUint(&out, e.start_us);
+    out += ",\"dur_us\":";
+    AppendUint(&out, e.dur_us);
+    out += ",\"attrs\":{";
+    for (uint32_t a = 0; a < e.num_attrs; ++a) {
+      if (a > 0) out += ",";
+      AppendJsonString(&out, e.attrs[a].key);
+      out += ":";
+      AppendDouble(&out, e.attrs[a].value);
+    }
+    out += "}}\n";
+  }
+#endif  // !ADAMGNN_OBS_OFF
+  return out;
+}
+
+util::Status WriteMetricsJsonl(const std::string& path) {
+  const std::string payload = MetricsToJsonl();
+  if (path == "-") {
+    std::fwrite(payload.data(), 1, payload.size(), stdout);
+    return util::Status::OK();
+  }
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return util::Status::InvalidArgument("cannot open metrics output file: " +
+                                         path);
+  }
+  const size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
+  const bool close_ok = std::fclose(f) == 0;
+  if (written != payload.size() || !close_ok) {
+    return util::Status::Internal("short write to metrics output file: " +
+                                  path);
+  }
+  return util::Status::OK();
+}
+
+std::string MetricsPathFromEnv() {
+  const char* env = std::getenv("ADAMGNN_METRICS");
+  return env == nullptr ? std::string() : std::string(env);
+}
+
+}  // namespace adamgnn::obs

@@ -1,0 +1,39 @@
+// JSONL serialization of the observability state: one self-describing JSON
+// object per line, so the file streams, greps, and tails like a log while
+// staying machine-parseable (tools/check_metrics validates the schema).
+//
+// Line types:
+//   {"type":"meta","version":1,"compiled":true,"enabled":true,
+//    "dropped_spans":0}
+//   {"type":"counter","name":"infer.plan_cache.hits","value":12}
+//   {"type":"gauge","name":"workspace.retained_doubles","value":1048576}
+//   {"type":"histogram","name":"infer.request_seconds","bounds":[...],
+//    "counts":[...],"count":9,"sum":0.031,"min":...,"max":...}
+//   {"type":"span","name":"train.epoch","thread":0,"depth":0,
+//    "start_us":1200,"dur_us":8421,"attrs":{"epoch":3,"loss":0.71}}
+//
+// With -DADAMGNN_OBS=OFF only the meta line (compiled:false) is emitted, so
+// --metrics-out keeps working across build modes.
+
+#ifndef ADAMGNN_OBS_EXPORT_H_
+#define ADAMGNN_OBS_EXPORT_H_
+
+#include <string>
+
+#include "util/status.h"
+
+namespace adamgnn::obs {
+
+/// The full dump (meta + every metric + every buffered span) as JSONL.
+std::string MetricsToJsonl();
+
+/// Writes MetricsToJsonl() to `path` ("-" means stdout).
+util::Status WriteMetricsJsonl(const std::string& path);
+
+/// The ADAMGNN_METRICS environment variable, or "" when unset. CLIs treat
+/// --metrics-out as an override of this.
+std::string MetricsPathFromEnv();
+
+}  // namespace adamgnn::obs
+
+#endif  // ADAMGNN_OBS_EXPORT_H_

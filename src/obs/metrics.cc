@@ -1,0 +1,366 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <limits>
+#include <mutex>
+#include <unordered_map>
+
+#include "util/logging.h"
+
+namespace adamgnn::obs {
+
+namespace {
+
+bool InitialEnabled() {
+  const char* env = std::getenv("ADAMGNN_OBS");
+  if (env == nullptr) return true;
+  return !(std::strcmp(env, "off") == 0 || std::strcmp(env, "OFF") == 0 ||
+           std::strcmp(env, "0") == 0 || std::strcmp(env, "false") == 0);
+}
+
+std::atomic<bool> g_enabled{InitialEnabled()};
+
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+
+void SetEnabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+const std::vector<double>& LatencyBucketBounds() {
+  static const std::vector<double>* kBounds = new std::vector<double>{
+      1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2, 2.5e-2, 5e-2,
+      0.1,  0.25,   0.5,  1.0,  2.5,    5.0,  10.0, 30.0,   60.0};
+  return *kBounds;
+}
+
+#if !defined(ADAMGNN_OBS_OFF)
+
+bool Compiled() { return true; }
+
+namespace {
+
+constexpr size_t kMaxMetrics = MetricsRegistry::kMaxMetrics;
+constexpr size_t kMaxBuckets = MetricsRegistry::kMaxBuckets;
+
+enum class Kind { kCounter, kGauge, kHistogram };
+
+const char* KindName(Kind k) {
+  switch (k) {
+    case Kind::kCounter: return "counter";
+    case Kind::kGauge: return "gauge";
+    case Kind::kHistogram: return "histogram";
+  }
+  return "?";
+}
+
+/// Single-writer counter cell: only the shard's owning thread stores.
+struct CounterCell {
+  std::atomic<uint64_t> value{0};
+};
+
+/// Single-writer histogram cell. min/max are safe without CAS for the same
+/// reason: one writer, readers only load.
+struct HistCell {
+  std::atomic<uint64_t> count{0};
+  std::atomic<double> sum{0.0};
+  std::atomic<double> min{std::numeric_limits<double>::infinity()};
+  std::atomic<double> max{-std::numeric_limits<double>::infinity()};
+  std::atomic<uint64_t> buckets[kMaxBuckets] = {};
+};
+
+/// One thread's private slice of every metric. Cells are allocated lazily by
+/// the owning thread (release store) and located by readers with an acquire
+/// load, so the arrays themselves never move.
+struct Shard {
+  std::atomic<CounterCell*> counters[kMaxMetrics] = {};
+  std::atomic<HistCell*> hists[kMaxMetrics] = {};
+
+  ~Shard() {
+    for (size_t i = 0; i < kMaxMetrics; ++i) {
+      delete counters[i].load(std::memory_order_relaxed);
+      delete hists[i].load(std::memory_order_relaxed);
+    }
+  }
+};
+
+/// Plain (mutex-guarded) accumulation of shards whose threads have exited.
+struct HistTotals {
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  uint64_t buckets[kMaxBuckets] = {};
+};
+
+struct HistBounds {
+  size_t n = 0;
+  double bounds[kMaxBuckets - 1] = {};
+};
+
+/// All registry storage. A leaky file-scope singleton so the thread-exit
+/// retirement path works at any shutdown stage regardless of static
+/// destruction order.
+struct RegistryState {
+  std::mutex mu;
+  struct Def {
+    std::string name;
+    Kind kind;
+  };
+  std::vector<Def> defs;  // index == metric id
+  std::unordered_map<std::string, size_t> by_name;
+  std::vector<Shard*> shards;  // live thread shards
+  uint64_t retired_counters[kMaxMetrics] = {};
+  HistTotals retired_hists[kMaxMetrics];
+  std::atomic<double> gauges[kMaxMetrics] = {};
+  // Written once under mu at registration, read lock-free by Observe; the
+  // handle's constructor happens-before every Observe through it.
+  std::atomic<const HistBounds*> bounds[kMaxMetrics] = {};
+};
+
+RegistryState& State() {
+  static RegistryState* state = new RegistryState();
+  return *state;
+}
+
+void RetireShard(Shard* s) {
+  RegistryState& st = State();
+  std::lock_guard<std::mutex> lock(st.mu);
+  for (size_t id = 0; id < kMaxMetrics; ++id) {
+    if (const CounterCell* c =
+            s->counters[id].load(std::memory_order_acquire)) {
+      st.retired_counters[id] += c->value.load(std::memory_order_relaxed);
+    }
+    if (const HistCell* h = s->hists[id].load(std::memory_order_acquire)) {
+      HistTotals& t = st.retired_hists[id];
+      t.count += h->count.load(std::memory_order_relaxed);
+      t.sum += h->sum.load(std::memory_order_relaxed);
+      t.min = std::min(t.min, h->min.load(std::memory_order_relaxed));
+      t.max = std::max(t.max, h->max.load(std::memory_order_relaxed));
+      for (size_t b = 0; b < kMaxBuckets; ++b) {
+        t.buckets[b] += h->buckets[b].load(std::memory_order_relaxed);
+      }
+    }
+  }
+  st.shards.erase(std::find(st.shards.begin(), st.shards.end(), s));
+  delete s;
+}
+
+/// Shard lifecycle: created on a thread's first record operation, retired
+/// (merged into the registry's totals, then freed) when the thread exits.
+struct ShardTls {
+  Shard* shard = nullptr;
+  ~ShardTls() {
+    if (shard != nullptr) {
+      RetireShard(shard);
+      shard = nullptr;
+    }
+  }
+};
+
+thread_local ShardTls t_shard;
+
+Shard& LocalShard() {
+  if (t_shard.shard == nullptr) {
+    auto* s = new Shard();
+    RegistryState& st = State();
+    {
+      std::lock_guard<std::mutex> lock(st.mu);
+      st.shards.push_back(s);
+    }
+    t_shard.shard = s;
+  }
+  return *t_shard.shard;
+}
+
+size_t RegisterLocked(RegistryState& st, const std::string& name, Kind kind) {
+  auto it = st.by_name.find(name);
+  if (it != st.by_name.end()) {
+    ADAMGNN_CHECK(st.defs[it->second].kind == kind)
+        << "metric \"" << name << "\" re-registered as " << KindName(kind)
+        << " but is a " << KindName(st.defs[it->second].kind);
+    return it->second;
+  }
+  ADAMGNN_CHECK_LT(st.defs.size(), kMaxMetrics)
+      << "too many metrics (kMaxMetrics = " << kMaxMetrics << ")";
+  const size_t id = st.defs.size();
+  st.defs.push_back({name, kind});
+  st.by_name.emplace(name, id);
+  return id;
+}
+
+}  // namespace
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+size_t MetricsRegistry::RegisterCounter(const std::string& name) {
+  RegistryState& st = State();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return RegisterLocked(st, name, Kind::kCounter);
+}
+
+size_t MetricsRegistry::RegisterGauge(const std::string& name) {
+  RegistryState& st = State();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return RegisterLocked(st, name, Kind::kGauge);
+}
+
+size_t MetricsRegistry::RegisterHistogram(const std::string& name,
+                                          const std::vector<double>& bounds) {
+  ADAMGNN_CHECK(!bounds.empty());
+  ADAMGNN_CHECK_LE(bounds.size(), kMaxBuckets - 1);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    ADAMGNN_CHECK_LT(bounds[i - 1], bounds[i])
+        << "histogram bounds must be strictly increasing: " << name;
+  }
+  RegistryState& st = State();
+  std::lock_guard<std::mutex> lock(st.mu);
+  const size_t id = RegisterLocked(st, name, Kind::kHistogram);
+  const HistBounds* existing = st.bounds[id].load(std::memory_order_relaxed);
+  if (existing != nullptr) {
+    ADAMGNN_CHECK(existing->n == bounds.size() &&
+                  std::equal(bounds.begin(), bounds.end(), existing->bounds))
+        << "metric \"" << name << "\" re-registered with different buckets";
+    return id;
+  }
+  auto* hb = new HistBounds();
+  hb->n = bounds.size();
+  std::copy(bounds.begin(), bounds.end(), hb->bounds);
+  st.bounds[id].store(hb, std::memory_order_release);
+  return id;
+}
+
+void MetricsRegistry::Add(size_t id, uint64_t delta) {
+  Shard& s = LocalShard();
+  CounterCell* c = s.counters[id].load(std::memory_order_relaxed);
+  if (c == nullptr) {
+    c = new CounterCell();
+    s.counters[id].store(c, std::memory_order_release);
+  }
+  c->value.store(c->value.load(std::memory_order_relaxed) + delta,
+                 std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Set(size_t id, double value) {
+  State().gauges[id].store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Observe(size_t id, double value) {
+  const HistBounds* hb = State().bounds[id].load(std::memory_order_acquire);
+  ADAMGNN_CHECK(hb != nullptr);
+  Shard& s = LocalShard();
+  HistCell* h = s.hists[id].load(std::memory_order_relaxed);
+  if (h == nullptr) {
+    h = new HistCell();
+    s.hists[id].store(h, std::memory_order_release);
+  }
+  size_t b = 0;
+  while (b < hb->n && value > hb->bounds[b]) ++b;
+  h->buckets[b].store(h->buckets[b].load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+  h->count.store(h->count.load(std::memory_order_relaxed) + 1,
+                 std::memory_order_relaxed);
+  h->sum.store(h->sum.load(std::memory_order_relaxed) + value,
+               std::memory_order_relaxed);
+  if (value < h->min.load(std::memory_order_relaxed)) {
+    h->min.store(value, std::memory_order_relaxed);
+  }
+  if (value > h->max.load(std::memory_order_relaxed)) {
+    h->max.store(value, std::memory_order_relaxed);
+  }
+}
+
+MetricsSnapshot MetricsRegistry::Collect() {
+  RegistryState& st = State();
+  std::lock_guard<std::mutex> lock(st.mu);
+  MetricsSnapshot out;
+  for (size_t id = 0; id < st.defs.size(); ++id) {
+    const RegistryState::Def& def = st.defs[id];
+    switch (def.kind) {
+      case Kind::kCounter: {
+        uint64_t total = st.retired_counters[id];
+        for (const Shard* s : st.shards) {
+          if (const CounterCell* c =
+                  s->counters[id].load(std::memory_order_acquire)) {
+            total += c->value.load(std::memory_order_relaxed);
+          }
+        }
+        out.counters.emplace_back(def.name, total);
+        break;
+      }
+      case Kind::kGauge:
+        out.gauges.emplace_back(
+            def.name, st.gauges[id].load(std::memory_order_relaxed));
+        break;
+      case Kind::kHistogram: {
+        const HistBounds* hb = st.bounds[id].load(std::memory_order_relaxed);
+        HistogramSnapshot snap;
+        snap.bounds.assign(hb->bounds, hb->bounds + hb->n);
+        HistTotals t = st.retired_hists[id];
+        for (const Shard* s : st.shards) {
+          if (const HistCell* h =
+                  s->hists[id].load(std::memory_order_acquire)) {
+            t.count += h->count.load(std::memory_order_relaxed);
+            t.sum += h->sum.load(std::memory_order_relaxed);
+            t.min = std::min(t.min, h->min.load(std::memory_order_relaxed));
+            t.max = std::max(t.max, h->max.load(std::memory_order_relaxed));
+            for (size_t b = 0; b <= hb->n; ++b) {
+              t.buckets[b] += h->buckets[b].load(std::memory_order_relaxed);
+            }
+          }
+        }
+        snap.counts.assign(t.buckets, t.buckets + hb->n + 1);
+        snap.count = t.count;
+        snap.sum = t.sum;
+        snap.min = t.count > 0 ? t.min : 0.0;
+        snap.max = t.count > 0 ? t.max : 0.0;
+        out.histograms.emplace_back(def.name, std::move(snap));
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void MetricsRegistry::ResetForTest() {
+  RegistryState& st = State();
+  std::lock_guard<std::mutex> lock(st.mu);
+  for (size_t id = 0; id < kMaxMetrics; ++id) {
+    st.retired_counters[id] = 0;
+    st.retired_hists[id] = HistTotals();
+    st.gauges[id].store(0.0, std::memory_order_relaxed);
+  }
+  for (Shard* s : st.shards) {
+    for (size_t id = 0; id < kMaxMetrics; ++id) {
+      if (CounterCell* c = s->counters[id].load(std::memory_order_acquire)) {
+        c->value.store(0, std::memory_order_relaxed);
+      }
+      if (HistCell* h = s->hists[id].load(std::memory_order_acquire)) {
+        h->count.store(0, std::memory_order_relaxed);
+        h->sum.store(0.0, std::memory_order_relaxed);
+        h->min.store(std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+        h->max.store(-std::numeric_limits<double>::infinity(),
+                     std::memory_order_relaxed);
+        for (size_t b = 0; b < kMaxBuckets; ++b) {
+          h->buckets[b].store(0, std::memory_order_relaxed);
+        }
+      }
+    }
+  }
+}
+
+#else  // ADAMGNN_OBS_OFF
+
+bool Compiled() { return false; }
+
+#endif  // ADAMGNN_OBS_OFF
+
+}  // namespace adamgnn::obs

@@ -1,0 +1,180 @@
+// Process-wide metrics registry: counters, gauges, and fixed-bucket latency
+// histograms, in the spirit of the Prometheus client model but tuned for the
+// training hot loop.
+//
+// Fast path: every writing thread owns a private shard (thread_local) whose
+// cells only that thread mutates, so an increment is one relaxed atomic load
+// plus one relaxed atomic store — no locks, no contended cache lines, no
+// read-modify-write. Readers (Collect, the JSONL exporter) take the registry
+// mutex, walk the live shards plus the totals retired by exited threads, and
+// merge. The merged view is a consistent-enough snapshot: a concurrent
+// increment may or may not be included, which is the standard metrics
+// contract.
+//
+// Handles (Counter / Gauge / Histogram) register by name on construction and
+// are meant to live in function-local statics next to the instrumented code:
+//
+//   static obs::Counter hits("infer.plan_cache.hits");
+//   hits.Add(1);
+//
+// Two kill switches:
+//   - runtime: SetEnabled(false) (or ADAMGNN_OBS=off in the environment)
+//     turns every record operation into a single relaxed flag load;
+//   - compile time: building with -DADAMGNN_OBS=OFF (CMake option) compiles
+//     the handles down to empty inline bodies — the hot loop carries zero
+//     observability instructions.
+
+#ifndef ADAMGNN_OBS_METRICS_H_
+#define ADAMGNN_OBS_METRICS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace adamgnn::obs {
+
+/// False when the library was built with -DADAMGNN_OBS=OFF.
+bool Compiled();
+
+/// Runtime record switch. Defaults to on; the ADAMGNN_OBS environment
+/// variable set to "off", "0", or "false" starts the process disabled.
+bool Enabled();
+void SetEnabled(bool enabled);
+
+/// The shared seconds-scale bucket upper bounds (100 µs … 60 s, roughly
+/// 1-2.5-5 per decade) used by every latency histogram in the tree, so
+/// dashboards can overlay them.
+const std::vector<double>& LatencyBucketBounds();
+
+/// Merged view of one histogram. counts has bounds.size() + 1 entries: entry
+/// i counts observations with value <= bounds[i], the last entry counts the
+/// overflow (> bounds.back()).
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<uint64_t> counts;
+  uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;  // meaningful only when count > 0
+  double max = 0.0;
+};
+
+/// Everything the registry knows, merged across shards, in registration
+/// order. Registered-but-never-touched metrics appear with zero values.
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+};
+
+#if !defined(ADAMGNN_OBS_OFF)
+
+class MetricsRegistry {
+ public:
+  /// The process-wide registry. Never destroyed (leaky singleton), so
+  /// thread-exit shard retirement is safe at any shutdown stage.
+  static MetricsRegistry& Global();
+
+  /// Idempotent by name: re-registering returns the existing id. The kind
+  /// (and, for histograms, the bucket bounds) must match the first
+  /// registration — a mismatch is a programming error and aborts.
+  size_t RegisterCounter(const std::string& name);
+  size_t RegisterGauge(const std::string& name);
+  size_t RegisterHistogram(const std::string& name,
+                           const std::vector<double>& bounds);
+
+  // Record operations. Callers go through the typed handles below, which
+  // check Enabled() first.
+  void Add(size_t id, uint64_t delta);
+  void Set(size_t id, double value);
+  void Observe(size_t id, double value);
+
+  /// Merged snapshot across retired totals and every live thread shard.
+  MetricsSnapshot Collect();
+
+  /// Zeroes every value (counters, gauges, histogram contents) while
+  /// keeping registrations and handle ids valid. Test-only; must not race
+  /// concurrent writers.
+  void ResetForTest();
+
+  /// Hard caps, enforced with CHECKs at registration: the per-thread shards
+  /// are fixed-size pointer arrays so the write path never reallocates.
+  static constexpr size_t kMaxMetrics = 256;
+  static constexpr size_t kMaxBuckets = 32;
+
+ private:
+  MetricsRegistry() = default;
+  // All storage lives behind a file-scope singleton in metrics.cc so the
+  // thread-exit shard retirement path can reach it without touching this
+  // class's lifetime.
+};
+
+/// Monotonic event count. Add is single-writer per thread shard: one relaxed
+/// load + one relaxed store.
+class Counter {
+ public:
+  explicit Counter(const std::string& name)
+      : id_(MetricsRegistry::Global().RegisterCounter(name)) {}
+  void Add(uint64_t n = 1) {
+    if (Enabled()) MetricsRegistry::Global().Add(id_, n);
+  }
+
+ private:
+  size_t id_;
+};
+
+/// Last-write-wins instantaneous value (occupancy, retained bytes, last
+/// loss). Writes go to one shared atomic — gauges are set at epoch/request
+/// granularity, not in inner loops.
+class Gauge {
+ public:
+  explicit Gauge(const std::string& name)
+      : id_(MetricsRegistry::Global().RegisterGauge(name)) {}
+  void Set(double value) {
+    if (Enabled()) MetricsRegistry::Global().Set(id_, value);
+  }
+
+ private:
+  size_t id_;
+};
+
+/// Fixed-bucket histogram with per-shard sum/count/min/max. Observe walks
+/// the (small) bounds array and bumps one bucket — still lock-free.
+class Histogram {
+ public:
+  Histogram(const std::string& name, const std::vector<double>& bounds)
+      : id_(MetricsRegistry::Global().RegisterHistogram(name, bounds)) {}
+  void Observe(double value) {
+    if (Enabled()) MetricsRegistry::Global().Observe(id_, value);
+  }
+
+ private:
+  size_t id_;
+};
+
+#else  // ADAMGNN_OBS_OFF: every handle compiles to nothing.
+
+class Counter {
+ public:
+  explicit Counter(const std::string&) {}
+  void Add(uint64_t = 1) {}
+};
+
+class Gauge {
+ public:
+  explicit Gauge(const std::string&) {}
+  void Set(double) {}
+};
+
+class Histogram {
+ public:
+  Histogram(const std::string&, const std::vector<double>&) {}
+  void Observe(double) {}
+};
+
+#endif  // ADAMGNN_OBS_OFF
+
+}  // namespace adamgnn::obs
+
+#endif  // ADAMGNN_OBS_METRICS_H_

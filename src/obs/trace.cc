@@ -1,0 +1,129 @@
+#include "obs/trace.h"
+
+#if !defined(ADAMGNN_OBS_OFF)
+
+#include <atomic>
+#include <chrono>
+#include <mutex>
+
+namespace adamgnn::obs {
+
+namespace {
+
+/// Microseconds since the first obs timestamp taken in this process. The
+/// anchor is a function-local static, so the epoch is simply "first use".
+uint64_t NowMicros() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point kEpoch = Clock::now();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                            kEpoch)
+          .count());
+}
+
+uint32_t ThreadIndex() {
+  static std::atomic<uint32_t> next{0};
+  thread_local const uint32_t index = next.fetch_add(1);
+  return index;
+}
+
+thread_local uint32_t t_depth = 0;
+
+/// Ring storage behind TraceBuffer, leaky for shutdown-order safety.
+struct RingState {
+  mutable std::mutex mu;
+  std::vector<TraceEvent> ring;
+  size_t capacity = TraceBuffer::kDefaultCapacity;
+  uint64_t total = 0;  // events ever recorded
+};
+
+RingState& Ring() {
+  static RingState* state = new RingState();
+  return *state;
+}
+
+}  // namespace
+
+TraceBuffer& TraceBuffer::Global() {
+  static TraceBuffer* buffer = new TraceBuffer();
+  return *buffer;
+}
+
+void TraceBuffer::SetCapacity(size_t capacity) {
+  RingState& st = Ring();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.capacity = capacity;
+  st.ring.clear();
+  st.ring.shrink_to_fit();
+  st.total = 0;
+}
+
+void TraceBuffer::Record(const TraceEvent& event) {
+  RingState& st = Ring();
+  std::lock_guard<std::mutex> lock(st.mu);
+  if (st.capacity == 0) return;
+  if (st.ring.size() < st.capacity) {
+    st.ring.push_back(event);
+  } else {
+    st.ring[st.total % st.capacity] = event;
+  }
+  ++st.total;
+}
+
+std::vector<TraceEvent> TraceBuffer::Snapshot() const {
+  const RingState& st = Ring();
+  std::lock_guard<std::mutex> lock(st.mu);
+  std::vector<TraceEvent> out;
+  out.reserve(st.ring.size());
+  if (st.total <= st.ring.size()) {
+    out = st.ring;
+  } else {
+    // The ring wrapped: the oldest surviving event sits at total % capacity.
+    const size_t head = st.total % st.capacity;
+    for (size_t i = 0; i < st.ring.size(); ++i) {
+      out.push_back(st.ring[(head + i) % st.capacity]);
+    }
+  }
+  return out;
+}
+
+uint64_t TraceBuffer::dropped() const {
+  const RingState& st = Ring();
+  std::lock_guard<std::mutex> lock(st.mu);
+  return st.total > st.ring.size() ? st.total - st.ring.size() : 0;
+}
+
+void TraceBuffer::Reset() {
+  RingState& st = Ring();
+  std::lock_guard<std::mutex> lock(st.mu);
+  st.ring.clear();
+  st.total = 0;
+}
+
+TraceSpan::TraceSpan(const char* name) {
+  if (!Enabled()) return;
+  active_ = true;
+  event_.name = name;
+  event_.thread = ThreadIndex();
+  event_.depth = t_depth++;
+  start_us_ = NowMicros();
+}
+
+TraceSpan::~TraceSpan() {
+  if (!active_) return;
+  --t_depth;
+  event_.start_us = start_us_;
+  event_.dur_us = NowMicros() - start_us_;
+  TraceBuffer::Global().Record(event_);
+}
+
+void TraceSpan::Note(const char* key, double value) {
+  if (!active_ || event_.num_attrs >= TraceEvent::kMaxAttrs) return;
+  event_.attrs[event_.num_attrs].key = key;
+  event_.attrs[event_.num_attrs].value = value;
+  ++event_.num_attrs;
+}
+
+}  // namespace adamgnn::obs
+
+#endif  // !ADAMGNN_OBS_OFF

@@ -1,0 +1,130 @@
+// RAII trace spans over a bounded in-memory trace buffer — the "where did
+// this epoch / this request spend its time" half of the observability layer,
+// complementing the aggregate metrics in obs/metrics.h.
+//
+//   {
+//     obs::TraceSpan span("train.epoch");
+//     span.Note("epoch", epoch);
+//     ...work...
+//   }  // destructor stamps the duration and records the event
+//
+// Span names and attribute keys must be string literals (or otherwise
+// outlive the process): events store the pointers, never copies, so a span
+// costs two clock reads plus one short mutex-guarded ring-buffer write at
+// destruction. Spans nest; the per-thread depth is recorded so an exporter
+// can rebuild the tree. The buffer is a fixed-capacity ring: when full, the
+// oldest events are overwritten and counted in dropped().
+//
+// Compile-out: with -DADAMGNN_OBS=OFF, TraceSpan is an empty shell and the
+// buffer always reports empty. At runtime, obs::SetEnabled(false) makes
+// span construction a single flag load.
+
+#ifndef ADAMGNN_OBS_TRACE_H_
+#define ADAMGNN_OBS_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace adamgnn::obs {
+
+/// One completed span. Times are microseconds since the process's trace
+/// epoch (the first obs timestamp taken), monotonic.
+struct TraceEvent {
+  static constexpr size_t kMaxAttrs = 6;
+
+  struct Attr {
+    const char* key = nullptr;
+    double value = 0.0;
+  };
+
+  const char* name = nullptr;
+  uint64_t start_us = 0;
+  uint64_t dur_us = 0;
+  uint32_t thread = 0;  // small per-process thread index, not an OS id
+  uint32_t depth = 0;   // nesting depth on that thread at span start
+  uint32_t num_attrs = 0;
+  Attr attrs[kMaxAttrs];
+};
+
+#if !defined(ADAMGNN_OBS_OFF)
+
+/// Bounded global ring of completed spans. Never destroyed.
+class TraceBuffer {
+ public:
+  static TraceBuffer& Global();
+
+  /// Default ring capacity (events). ~6 spans/epoch and a span per request
+  /// means days of serving history; the cap bounds memory, not usefulness.
+  static constexpr size_t kDefaultCapacity = 65536;
+
+  /// Resizes the ring and drops its current contents.
+  void SetCapacity(size_t capacity);
+
+  void Record(const TraceEvent& event);
+
+  /// Buffered events, oldest first.
+  std::vector<TraceEvent> Snapshot() const;
+
+  /// Events overwritten because the ring was full.
+  uint64_t dropped() const;
+
+  /// Empties the ring and zeroes the drop counter (capacity kept).
+  void Reset();
+
+ private:
+  TraceBuffer() = default;
+};
+
+class TraceSpan {
+ public:
+  /// `name` must be a string literal (stored by pointer).
+  explicit TraceSpan(const char* name);
+  ~TraceSpan();
+
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+
+  /// Attaches a numeric attribute ("loss", 0.42). Up to
+  /// TraceEvent::kMaxAttrs notes are kept; extras are silently dropped.
+  /// `key` must be a string literal.
+  void Note(const char* key, double value);
+
+ private:
+  TraceEvent event_;
+  uint64_t start_us_ = 0;
+  bool active_ = false;
+};
+
+#else  // ADAMGNN_OBS_OFF
+
+class TraceBuffer {
+ public:
+  static TraceBuffer& Global() {
+    static TraceBuffer buffer;
+    return buffer;
+  }
+  static constexpr size_t kDefaultCapacity = 0;
+  void SetCapacity(size_t) {}
+  void Record(const TraceEvent&) {}
+  std::vector<TraceEvent> Snapshot() const { return {}; }
+  uint64_t dropped() const { return 0; }
+  void Reset() {}
+};
+
+class TraceSpan {
+ public:
+  explicit TraceSpan(const char*) {}
+  ~TraceSpan() {}
+  TraceSpan(const TraceSpan&) = delete;
+  TraceSpan& operator=(const TraceSpan&) = delete;
+  void Note(const char*, double) {}
+};
+
+#endif  // ADAMGNN_OBS_OFF
+
+}  // namespace adamgnn::obs
+
+#endif  // ADAMGNN_OBS_TRACE_H_

@@ -4,6 +4,8 @@
 #include <atomic>
 #include <bit>
 
+#include "util/logging.h"
+
 namespace adamgnn::tensor {
 
 namespace {
@@ -34,15 +36,19 @@ Workspace::Stats Workspace::stats() const {
   s.misses = misses_;
   s.evictions = evictions_;
   s.retained_doubles = retained_doubles_;
-  for (const auto& [cls, buffers] : free_) {
-    s.retained_buffers += buffers.size();
-  }
+  s.retained_buffers = retained_buffers_;
+#ifndef NDEBUG
+  size_t recount = 0;
+  for (const auto& [cls, buffers] : free_) recount += buffers.size();
+  ADAMGNN_DCHECK_EQ(recount, retained_buffers_);
+#endif
   return s;
 }
 
 void Workspace::Clear() {
   free_.clear();
   retained_doubles_ = 0;
+  retained_buffers_ = 0;
 }
 
 Workspace* Workspace::Current() { return t_current; }
@@ -69,32 +75,48 @@ std::vector<double> Workspace::TakeBuffer(size_t n) {
   std::vector<double> buf = std::move(it->second.back().buf);
   it->second.pop_back();
   if (it->second.empty()) free_.erase(it);
+  ADAMGNN_DCHECK_GE(retained_doubles_, buf.capacity());
+  ADAMGNN_DCHECK_GE(retained_buffers_, size_t{1});
   retained_doubles_ -= buf.capacity();
+  --retained_buffers_;
   buf.resize(n);  // capacity >= class >= n, so this never reallocates
   return buf;
 }
 
 void Workspace::Park(std::vector<double>&& buf) noexcept {
   retained_doubles_ += buf.capacity();
+  ++retained_buffers_;
   free_[ClassUnder(buf.capacity())].push_back(
       Parked{next_seq_++, std::move(buf)});
-  while (retained_doubles_ > retained_limit_) EvictOldest();
+  // EvictOldest returning false means the freelist is already empty; bail
+  // rather than spin (a mis-accounted retained_doubles_ could otherwise make
+  // this loop infinite with nothing left to free).
+  while (retained_doubles_ > retained_limit_) {
+    if (!EvictOldest()) break;
+  }
 }
 
-void Workspace::EvictOldest() noexcept {
+bool Workspace::EvictOldest() noexcept {
   auto oldest = free_.end();
   for (auto it = free_.begin(); it != free_.end(); ++it) {
+    // Empty buckets violate the freelist invariant (every pop erases the
+    // bucket it empties); tolerate them in release builds but flag in debug.
+    ADAMGNN_DCHECK(!it->second.empty());
     if (it->second.empty()) continue;
     if (oldest == free_.end() ||
         it->second.front().seq < oldest->second.front().seq) {
       oldest = it;
     }
   }
-  if (oldest == free_.end()) return;
+  if (oldest == free_.end()) return false;
+  ADAMGNN_DCHECK_GE(retained_doubles_, oldest->second.front().buf.capacity());
+  ADAMGNN_DCHECK_GE(retained_buffers_, size_t{1});
   retained_doubles_ -= oldest->second.front().buf.capacity();
+  --retained_buffers_;
   oldest->second.pop_front();
   if (oldest->second.empty()) free_.erase(oldest);
   ++evictions_;
+  return true;
 }
 
 std::vector<double> Workspace::AcquireFilled(size_t n, double fill) {

@@ -117,13 +117,19 @@ class Workspace {
   /// empty vector on miss. A non-empty result has size() == n.
   std::vector<double> TakeBuffer(size_t n);
   void Park(std::vector<double>&& buf) noexcept;
-  void EvictOldest() noexcept;
+  /// Frees the globally oldest parked buffer. Returns false when nothing is
+  /// parked, so Park's drain-to-cap loop terminates even if the retained
+  /// accounting were ever to disagree with the freelist contents.
+  bool EvictOldest() noexcept;
 
   // One FIFO deque per power-of-two class: take from the back (warmest),
   // evict from the front (oldest within the class; the globally oldest is
   // found by comparing front seqs across the few dozen live classes).
+  // Invariant: no deque in the map is ever empty — every pop erases the
+  // bucket when it empties it (debug-asserted in EvictOldest).
   std::unordered_map<size_t, std::deque<Parked>> free_;
   size_t retained_doubles_ = 0;
+  size_t retained_buffers_ = 0;  // incremental; == sum of free_ deque sizes
   size_t retained_limit_ = kDefaultRetainedLimit;
   uint64_t next_seq_ = 0;
   size_t hits_ = 0;

@@ -5,9 +5,11 @@
 #include "autograd/loss_ops.h"
 #include "autograd/ops.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 #include "tensor/workspace.h"
 #include "train/metrics.h"
 #include "train/resilience.h"
+#include "train/telemetry.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -72,6 +74,13 @@ util::Result<GraphTaskResult> TrainGraphClassifier(
 
   for (int epoch = start_epoch; epoch < config.max_epochs; ++epoch) {
     util::Stopwatch watch;
+    obs::TraceSpan epoch_span("train.epoch");
+    epoch_span.Note("epoch", static_cast<double>(epoch));
+    // Phase seconds accumulate across the epoch's mini-batches.
+    EpochPhases phases;
+    util::Stopwatch phase_watch;
+    double last_loss = 0.0;
+    double last_grad_norm = 0.0;
     // The epoch's batch order is a pure function of the split and the RNG
     // state at the epoch boundary (not of the previous epoch's order), so
     // a resumed run shuffles identically to an uninterrupted one.
@@ -89,29 +98,44 @@ util::Result<GraphTaskResult> TrainGraphClassifier(
       }
       ADAMGNN_ASSIGN_OR_RETURN(graph::GraphBatch batch,
                                graph::MakeBatch(members));
+      phase_watch.Restart();
       GraphModel::Out out = model->Forward(batch, /*training=*/true, &rng);
       std::vector<size_t> all_rows(batch.num_graphs());
       for (size_t i = 0; i < all_rows.size(); ++i) all_rows[i] = i;
       autograd::Variable loss = autograd::SoftmaxCrossEntropy(
           out.logits, batch.graph_labels, all_rows);
       if (out.aux_loss.defined()) loss = autograd::Add(loss, out.aux_loss);
+      phases.forward_secs += phase_watch.ElapsedSeconds();
 
       double loss_value = loss.value()(0, 0);
       ADAMGNN_ASSIGN_OR_RETURN(recovered,
                                resilience.GuardLoss(epoch, &loss_value));
+      last_loss = loss_value;
       if (recovered) break;
+      phase_watch.Restart();
       autograd::Backward(loss);
       const double grad_norm =
           nn::ClipGradNorm(optimizer.params(), config.clip_norm);
+      phases.backward_secs += phase_watch.ElapsedSeconds();
+      last_grad_norm = grad_norm;
       ADAMGNN_ASSIGN_OR_RETURN(recovered,
                                resilience.GuardGradNorm(epoch, grad_norm));
       if (recovered) break;
+      phase_watch.Restart();
       optimizer.Step();
+      phases.optimizer_secs += phase_watch.ElapsedSeconds();
     }
-    st.total_epoch_seconds += watch.ElapsedSeconds();
+    const double epoch_secs = watch.ElapsedSeconds();
+    st.total_epoch_seconds += epoch_secs;
     result.epochs_run = epoch + 1;
-    if (recovered) continue;
+    if (recovered) {
+      epoch_span.Note("recovered", 1.0);
+      RecordEpochMetrics(epoch_secs, last_loss, last_grad_norm, phases,
+                         &workspace);
+      continue;
+    }
 
+    phase_watch.Restart();
     ADAMGNN_ASSIGN_OR_RETURN(
         double val_acc,
         EvalAccuracy(model, dataset, split.val, batch_size, &rng));
@@ -132,6 +156,12 @@ util::Result<GraphTaskResult> TrainGraphClassifier(
     } else {
       ++st.stale_epochs;
     }
+    phases.eval_secs = phase_watch.ElapsedSeconds();
+    epoch_span.Note("loss", last_loss);
+    epoch_span.Note("grad_norm", last_grad_norm);
+    epoch_span.Note("val_metric", val_acc);
+    RecordEpochMetrics(epoch_secs, last_loss, last_grad_norm, phases,
+                       &workspace);
     ADAMGNN_RETURN_NOT_OK(resilience.CompleteEpoch(epoch));
     if (st.stale_epochs >= config.patience) break;
   }

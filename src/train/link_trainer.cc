@@ -5,9 +5,11 @@
 #include "autograd/loss_ops.h"
 #include "autograd/ops.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 #include "tensor/workspace.h"
 #include "train/metrics.h"
 #include "train/resilience.h"
+#include "train/telemetry.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -76,6 +78,10 @@ util::Result<LinkTaskResult> TrainLinkPredictor(EmbeddingModel* model,
 
   for (int epoch = start_epoch; epoch < config.max_epochs; ++epoch) {
     util::Stopwatch watch;
+    obs::TraceSpan epoch_span("train.epoch");
+    epoch_span.Note("epoch", static_cast<double>(epoch));
+    EpochPhases phases;
+    util::Stopwatch phase_watch;
     EmbeddingModel::Out out =
         model->Forward(split.train_graph, /*training=*/true, &rng);
     autograd::Variable logits =
@@ -83,26 +89,37 @@ util::Result<LinkTaskResult> TrainLinkPredictor(EmbeddingModel* model,
     autograd::Variable loss =
         autograd::BinaryCrossEntropyWithLogits(logits, targets);
     if (out.aux_loss.defined()) loss = autograd::Add(loss, out.aux_loss);
+    phases.forward_secs = phase_watch.ElapsedSeconds();
 
     double loss_value = loss.value()(0, 0);
+    double grad_norm = 0.0;
     ADAMGNN_ASSIGN_OR_RETURN(bool recovered,
                              resilience.GuardLoss(epoch, &loss_value));
     if (!recovered) {
+      phase_watch.Restart();
       autograd::Backward(loss);
-      const double grad_norm =
-          nn::ClipGradNorm(optimizer.params(), config.clip_norm);
+      grad_norm = nn::ClipGradNorm(optimizer.params(), config.clip_norm);
+      phases.backward_secs = phase_watch.ElapsedSeconds();
       ADAMGNN_ASSIGN_OR_RETURN(recovered,
                                resilience.GuardGradNorm(epoch, grad_norm));
     }
     if (recovered) {
-      st.total_epoch_seconds += watch.ElapsedSeconds();
+      const double epoch_secs = watch.ElapsedSeconds();
+      st.total_epoch_seconds += epoch_secs;
       result.epochs_run = epoch + 1;
+      epoch_span.Note("recovered", 1.0);
+      RecordEpochMetrics(epoch_secs, loss_value, grad_norm, phases,
+                         &workspace);
       continue;
     }
+    phase_watch.Restart();
     optimizer.Step();
-    st.total_epoch_seconds += watch.ElapsedSeconds();
+    phases.optimizer_secs = phase_watch.ElapsedSeconds();
+    const double epoch_secs = watch.ElapsedSeconds();
+    st.total_epoch_seconds += epoch_secs;
     result.epochs_run = epoch + 1;
 
+    phase_watch.Restart();
     EmbeddingModel::Out eval = model->Evaluate(split.train_graph, &rng);
     const double val_auc =
         PairAuc(eval.embeddings.value(), split.val_pos, split.val_neg);
@@ -120,6 +137,11 @@ util::Result<LinkTaskResult> TrainLinkPredictor(EmbeddingModel* model,
     } else {
       ++st.stale_epochs;
     }
+    phases.eval_secs = phase_watch.ElapsedSeconds();
+    epoch_span.Note("loss", loss_value);
+    epoch_span.Note("grad_norm", grad_norm);
+    epoch_span.Note("val_metric", val_auc);
+    RecordEpochMetrics(epoch_secs, loss_value, grad_norm, phases, &workspace);
     ADAMGNN_RETURN_NOT_OK(resilience.CompleteEpoch(epoch));
     if (st.stale_epochs >= config.patience) break;
   }

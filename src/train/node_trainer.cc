@@ -3,9 +3,11 @@
 #include "autograd/loss_ops.h"
 #include "autograd/ops.h"
 #include "nn/optimizer.h"
+#include "obs/trace.h"
 #include "tensor/workspace.h"
 #include "train/metrics.h"
 #include "train/resilience.h"
+#include "train/telemetry.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -43,18 +45,25 @@ util::Result<NodeTaskResult> TrainNodeClassifier(
 
   for (int epoch = start_epoch; epoch < config.max_epochs; ++epoch) {
     util::Stopwatch watch;
+    obs::TraceSpan epoch_span("train.epoch");
+    epoch_span.Note("epoch", static_cast<double>(epoch));
+    EpochPhases phases;
+    util::Stopwatch phase_watch;
     NodeModel::Out out = model->Forward(g, /*training=*/true, &rng);
     autograd::Variable loss =
         autograd::SoftmaxCrossEntropy(out.logits, g.labels(), split.train);
     if (out.aux_loss.defined()) loss = autograd::Add(loss, out.aux_loss);
+    phases.forward_secs = phase_watch.ElapsedSeconds();
 
     double loss_value = loss.value()(0, 0);
+    double grad_norm = 0.0;
     ADAMGNN_ASSIGN_OR_RETURN(bool recovered,
                              resilience.GuardLoss(epoch, &loss_value));
     if (!recovered) {
+      phase_watch.Restart();
       autograd::Backward(loss);
-      const double grad_norm =
-          nn::ClipGradNorm(optimizer.params(), config.clip_norm);
+      grad_norm = nn::ClipGradNorm(optimizer.params(), config.clip_norm);
+      phases.backward_secs = phase_watch.ElapsedSeconds();
       ADAMGNN_ASSIGN_OR_RETURN(recovered,
                                resilience.GuardGradNorm(epoch, grad_norm));
     }
@@ -64,9 +73,14 @@ util::Result<NodeTaskResult> TrainNodeClassifier(
       result.epoch_losses.push_back(loss_value);
       result.epoch_seconds.push_back(epoch_secs);
       result.epochs_run = epoch + 1;
+      epoch_span.Note("recovered", 1.0);
+      RecordEpochMetrics(epoch_secs, loss_value, grad_norm, phases,
+                         &workspace);
       continue;  // parameters were rolled back; nothing new to evaluate
     }
+    phase_watch.Restart();
     optimizer.Step();
+    phases.optimizer_secs = phase_watch.ElapsedSeconds();
     const double epoch_secs = watch.ElapsedSeconds();
     st.total_epoch_seconds += epoch_secs;
     result.epoch_losses.push_back(loss_value);
@@ -74,6 +88,7 @@ util::Result<NodeTaskResult> TrainNodeClassifier(
     result.epochs_run = epoch + 1;
 
     // Evaluation pass without dropout, tape-free where the model supports it.
+    phase_watch.Restart();
     NodeModel::Out eval = model->Evaluate(g, &rng);
     const double val_acc = Accuracy(eval.logits.value(), g.labels(),
                                     split.val);
@@ -93,6 +108,11 @@ util::Result<NodeTaskResult> TrainNodeClassifier(
     } else {
       ++st.stale_epochs;
     }
+    phases.eval_secs = phase_watch.ElapsedSeconds();
+    epoch_span.Note("loss", loss_value);
+    epoch_span.Note("grad_norm", grad_norm);
+    epoch_span.Note("val_metric", val_acc);
+    RecordEpochMetrics(epoch_secs, loss_value, grad_norm, phases, &workspace);
     ADAMGNN_RETURN_NOT_OK(resilience.CompleteEpoch(epoch));
     if (st.stale_epochs >= config.patience) break;
   }

@@ -2,10 +2,29 @@
 
 #include <cmath>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace adamgnn::train {
+
+namespace {
+
+obs::Counter& CheckpointSaves() {
+  static obs::Counter* c = new obs::Counter("resilience.checkpoints");
+  return *c;
+}
+obs::Counter& Resumes() {
+  static obs::Counter* c = new obs::Counter("resilience.resumes");
+  return *c;
+}
+obs::Counter& Recoveries() {
+  static obs::Counter* c = new obs::Counter("resilience.recoveries");
+  return *c;
+}
+
+}  // namespace
 
 TrainingResilience::TrainingResilience(const TrainConfig& config,
                                        nn::Adam* optimizer, util::Rng* rng)
@@ -38,6 +57,7 @@ util::Result<int> TrainingResilience::Initialize() {
     optimizer_->set_learning_rate(state_.learning_rate);
   }
   resumed_from_ = static_cast<int>(state_.next_epoch);
+  Resumes().Add();
   CaptureLastGood();
   return resumed_from_;
 }
@@ -69,6 +89,7 @@ util::Result<bool> TrainingResilience::Recover(int epoch,
   event.lr_before = lr_before;
   event.lr_after = lr_after;
   state_.recovery_events.push_back(event);
+  Recoveries().Add();
   if (config_.verbose) {
     ADAMGNN_LOG(Warning) << "epoch " << epoch << ": "
                          << nn::RecoveryKindToString(kind)
@@ -94,10 +115,14 @@ util::Result<bool> TrainingResilience::GuardGradNorm(int epoch,
 }
 
 util::Status TrainingResilience::SaveCheckpoint() {
+  obs::TraceSpan span("checkpoint.save");
   state_.learning_rate = optimizer_->learning_rate();
   state_.rng_state = rng_->SaveState();
-  return nn::SaveTrainingCheckpoint(optimizer_->params(), *optimizer_, state_,
-                                    config_.checkpoint_path);
+  util::Status st = nn::SaveTrainingCheckpoint(optimizer_->params(),
+                                               *optimizer_, state_,
+                                               config_.checkpoint_path);
+  if (st.ok()) CheckpointSaves().Add();
+  return st;
 }
 
 util::Status TrainingResilience::CompleteEpoch(int epoch) {

@@ -1,0 +1,77 @@
+// Shared training telemetry: the three task trainers (node, link, graph)
+// publish the same per-epoch metric set through RecordEpochMetrics so the
+// metric names cannot drift between tasks. Everything routes through
+// obs::MetricsRegistry handles; when the observability layer is disabled
+// (runtime) or compiled out (ADAMGNN_OBS=OFF) these calls are no-ops and the
+// trainers' math is untouched either way — instrumentation never reads or
+// writes RNG state, parameters, or activations, so loss trajectories stay
+// bitwise identical.
+
+#ifndef ADAMGNN_TRAIN_TELEMETRY_H_
+#define ADAMGNN_TRAIN_TELEMETRY_H_
+
+#include "obs/metrics.h"
+#include "tensor/workspace.h"
+
+namespace adamgnn::train {
+
+/// Wall-time breakdown of one training epoch, accumulated by the trainer
+/// (the graph trainer sums across mini-batches).
+struct EpochPhases {
+  double forward_secs = 0.0;    // model Forward + loss construction
+  double backward_secs = 0.0;   // Backward + gradient clipping
+  double optimizer_secs = 0.0;  // optimizer Step
+  double eval_secs = 0.0;       // validation/test evaluation passes
+};
+
+/// Publishes one finished epoch: epoch/phase latency histograms, loss and
+/// grad-norm gauges, the train.epochs counter, and — when `workspace` is
+/// non-null — the arena's hit/miss/eviction/retained gauges.
+inline void RecordEpochMetrics(double epoch_secs, double loss,
+                               double grad_norm, const EpochPhases& phases,
+                               const tensor::Workspace* workspace) {
+  // Leaky handles: registered once, process-lifetime, safe from any thread.
+  static obs::Counter* epochs = new obs::Counter("train.epochs");
+  static obs::Gauge* loss_gauge = new obs::Gauge("train.loss");
+  static obs::Gauge* grad_gauge = new obs::Gauge("train.grad_norm");
+  static obs::Histogram* epoch_hist = new obs::Histogram(
+      "train.epoch_seconds", obs::LatencyBucketBounds());
+  static obs::Histogram* forward_hist = new obs::Histogram(
+      "train.forward_seconds", obs::LatencyBucketBounds());
+  static obs::Histogram* backward_hist = new obs::Histogram(
+      "train.backward_seconds", obs::LatencyBucketBounds());
+  static obs::Histogram* optimizer_hist = new obs::Histogram(
+      "train.optimizer_seconds", obs::LatencyBucketBounds());
+  static obs::Histogram* eval_hist = new obs::Histogram(
+      "train.eval_seconds", obs::LatencyBucketBounds());
+  static obs::Gauge* ws_hits = new obs::Gauge("workspace.hits");
+  static obs::Gauge* ws_misses = new obs::Gauge("workspace.misses");
+  static obs::Gauge* ws_evictions = new obs::Gauge("workspace.evictions");
+  static obs::Gauge* ws_retained_buffers =
+      new obs::Gauge("workspace.retained_buffers");
+  static obs::Gauge* ws_retained_bytes =
+      new obs::Gauge("workspace.retained_bytes");
+
+  if (!obs::Enabled()) return;
+  epochs->Add();
+  loss_gauge->Set(loss);
+  grad_gauge->Set(grad_norm);
+  epoch_hist->Observe(epoch_secs);
+  forward_hist->Observe(phases.forward_secs);
+  backward_hist->Observe(phases.backward_secs);
+  optimizer_hist->Observe(phases.optimizer_secs);
+  eval_hist->Observe(phases.eval_secs);
+  if (workspace != nullptr) {
+    const tensor::Workspace::Stats ws = workspace->stats();
+    ws_hits->Set(static_cast<double>(ws.hits));
+    ws_misses->Set(static_cast<double>(ws.misses));
+    ws_evictions->Set(static_cast<double>(ws.evictions));
+    ws_retained_buffers->Set(static_cast<double>(ws.retained_buffers));
+    ws_retained_bytes->Set(
+        static_cast<double>(ws.retained_doubles * sizeof(double)));
+  }
+}
+
+}  // namespace adamgnn::train
+
+#endif  // ADAMGNN_TRAIN_TELEMETRY_H_

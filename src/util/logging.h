@@ -64,6 +64,19 @@ class FatalLogMessage {
                                              #condition)               \
       .stream()
 
+/// Debug-only invariant check for accounting that sits on hot paths (e.g.
+/// workspace retained-byte bookkeeping). Active unless NDEBUG is defined;
+/// the compiled-out form still parses its operands and stream arguments.
+#ifndef NDEBUG
+#define ADAMGNN_DCHECK(condition) ADAMGNN_CHECK(condition)
+#else
+#define ADAMGNN_DCHECK(condition) \
+  while (false) ADAMGNN_CHECK(condition)
+#endif
+
+#define ADAMGNN_DCHECK_GE(a, b) ADAMGNN_DCHECK((a) >= (b))
+#define ADAMGNN_DCHECK_EQ(a, b) ADAMGNN_DCHECK((a) == (b))
+
 #define ADAMGNN_CHECK_EQ(a, b) ADAMGNN_CHECK((a) == (b))
 #define ADAMGNN_CHECK_NE(a, b) ADAMGNN_CHECK((a) != (b))
 #define ADAMGNN_CHECK_LT(a, b) ADAMGNN_CHECK((a) < (b))

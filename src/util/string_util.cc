@@ -1,8 +1,60 @@
 #include "util/string_util.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdio>
+#include <cstdlib>
 
 namespace adamgnn::util {
+
+namespace {
+
+// strtoll/strtod silently skip leading whitespace and stop at the first bad
+// character; both behaviors hide typos, so reject them up front / after.
+bool HasLeadingSpace(const std::string& s) {
+  return !s.empty() && std::isspace(static_cast<unsigned char>(s[0])) != 0;
+}
+
+}  // namespace
+
+Result<int64_t> ParseInt(const std::string& s) {
+  if (s.empty()) {
+    return Status::InvalidArgument("expected an integer, got empty string");
+  }
+  if (HasLeadingSpace(s)) {
+    return Status::InvalidArgument("invalid integer \"" + s + "\"");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long long value = std::strtoll(s.c_str(), &end, 10);
+  if (end != s.c_str() + s.size() || end == s.c_str()) {
+    return Status::InvalidArgument("invalid integer \"" + s + "\"");
+  }
+  if (errno == ERANGE) {
+    return Status::OutOfRange("integer out of range \"" + s + "\"");
+  }
+  return static_cast<int64_t>(value);
+}
+
+Result<double> ParseDouble(const std::string& s) {
+  if (s.empty()) {
+    return Status::InvalidArgument("expected a number, got empty string");
+  }
+  if (HasLeadingSpace(s)) {
+    return Status::InvalidArgument("invalid number \"" + s + "\"");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(s.c_str(), &end);
+  if (end != s.c_str() + s.size() || end == s.c_str()) {
+    return Status::InvalidArgument("invalid number \"" + s + "\"");
+  }
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return Status::OutOfRange("number out of range \"" + s + "\"");
+  }
+  return value;
+}
 
 std::string Join(const std::vector<std::string>& parts,
                  const std::string& sep) {

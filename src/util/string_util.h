@@ -1,12 +1,27 @@
-// Small string helpers used by logging, dataset names, and bench tables.
+// Small string helpers used by logging, dataset names, bench tables, and
+// the CLIs' checked flag parsing.
 
 #ifndef ADAMGNN_UTIL_STRING_UTIL_H_
 #define ADAMGNN_UTIL_STRING_UTIL_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
+#include "util/status.h"
+
 namespace adamgnn::util {
+
+/// Strict base-10 integer parse of the ENTIRE string: no leading or
+/// trailing whitespace, no trailing junk ("12abc" is an error, not 12), no
+/// empty input. Overflow is OutOfRange. This is the checked replacement for
+/// std::atoi in flag/env parsing, where atoi's silent 0 turned a typo like
+/// --epochs=abc into a run that trains nothing.
+Result<int64_t> ParseInt(const std::string& s);
+
+/// Strict floating-point parse of the ENTIRE string, same whole-string
+/// contract as ParseInt. Values beyond double range are OutOfRange.
+Result<double> ParseDouble(const std::string& s);
 
 /// Joins `parts` with `sep` ("a", "b" -> "a,b").
 std::string Join(const std::vector<std::string>& parts,

@@ -3,7 +3,9 @@
 #include <atomic>
 #include <cstdlib>
 
+#include "obs/metrics.h"
 #include "util/logging.h"
+#include "util/string_util.h"
 
 namespace adamgnn::util {
 
@@ -20,17 +22,41 @@ std::atomic<int> g_thread_override{0};
 int DefaultNumThreads() {
   static const int resolved = [] {
     if (const char* env = std::getenv("ADAMGNN_NUM_THREADS")) {
-      const int v = std::atoi(env);
-      if (v >= 1) return v;
-      if (*env != '\0') {
-        ADAMGNN_LOG(Warning) << "ignoring invalid ADAMGNN_NUM_THREADS=\""
-                             << env << "\"";
+      // Checked parse: atoi("12abc") silently yields 12 and atoi("abc")
+      // silently yields 0; both must be warned about, not acted on.
+      const auto parsed = ParseInt(env);
+      if (parsed.ok() && parsed.ValueOrDie() >= 1 &&
+          parsed.ValueOrDie() <= 1 << 16) {
+        return static_cast<int>(parsed.ValueOrDie());
       }
+      ADAMGNN_LOG(Warning) << "ignoring invalid ADAMGNN_NUM_THREADS=\"" << env
+                           << "\" (want an integer in [1, 65536])";
     }
     const unsigned hc = std::thread::hardware_concurrency();
     return hc == 0 ? 1 : static_cast<int>(hc);
   }();
   return resolved;
+}
+
+// Pool telemetry. `jobs` counts Run() calls that fanned out to workers,
+// `inline_jobs` counts calls that degraded to the caller's thread (single
+// participant or nested-parallelism fallback), `chunks` is total chunks
+// dispatched either way.
+obs::Counter& PoolJobs() {
+  static obs::Counter* c = new obs::Counter("pool.jobs");
+  return *c;
+}
+obs::Counter& PoolInlineJobs() {
+  static obs::Counter* c = new obs::Counter("pool.inline_jobs");
+  return *c;
+}
+obs::Counter& PoolChunks() {
+  static obs::Counter* c = new obs::Counter("pool.chunks");
+  return *c;
+}
+obs::Gauge& PoolWorkersGauge() {
+  static obs::Gauge* g = new obs::Gauge("pool.workers");
+  return *g;
 }
 
 }  // namespace
@@ -129,12 +155,17 @@ void ThreadPool::Run(size_t num_chunks, size_t participants,
   if (num_chunks == 0) return;
   if (participants > num_chunks) participants = num_chunks;
   if (participants <= 1 || tls_in_pool_worker) {
+    PoolInlineJobs().Add();
+    PoolChunks().Add(num_chunks);
     for (size_t c = 0; c < num_chunks; ++c) fn(c);
     return;
   }
+  PoolJobs().Add();
+  PoolChunks().Add(num_chunks);
   {
     std::lock_guard<std::mutex> lock(mu_);
     EnsureWorkersLocked(participants - 1);
+    PoolWorkersGauge().Set(static_cast<double>(workers_.size()));
     job_fn_ = &fn;
     job_chunks_ = num_chunks;
     job_participants_ = participants;

@@ -1,0 +1,265 @@
+// Tests for the observability layer: metric registration and merging,
+// histogram bucket semantics, concurrent lock-free increments from the
+// kernel pool (the TSan leg of tools/check.sh races this hard), the bounded
+// trace ring, and the JSONL export round-trip.
+//
+// The registry is process-global, so every test names its metrics uniquely
+// and calls ResetForTest() to zero values; handle ids stay valid across
+// resets by design.
+
+#include <atomic>
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/thread_pool.h"
+
+namespace adamgnn::obs {
+namespace {
+
+uint64_t CounterValue(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.counters) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "counter " << name << " not in snapshot";
+  return 0;
+}
+
+double GaugeValue(const MetricsSnapshot& snap, const std::string& name) {
+  for (const auto& [n, v] : snap.gauges) {
+    if (n == name) return v;
+  }
+  ADD_FAILURE() << "gauge " << name << " not in snapshot";
+  return 0.0;
+}
+
+const HistogramSnapshot* FindHistogram(const MetricsSnapshot& snap,
+                                       const std::string& name) {
+  for (const auto& [n, h] : snap.histograms) {
+    if (n == name) return &h;
+  }
+  return nullptr;
+}
+
+TEST(MetricsTest, CounterAccumulatesAndResets) {
+  MetricsRegistry::Global().ResetForTest();
+  Counter c("test.counter.basic");
+  c.Add();
+  c.Add(41);
+  MetricsSnapshot snap = MetricsRegistry::Global().Collect();
+  EXPECT_EQ(CounterValue(snap, "test.counter.basic"), 42u);
+
+  MetricsRegistry::Global().ResetForTest();
+  snap = MetricsRegistry::Global().Collect();
+  EXPECT_EQ(CounterValue(snap, "test.counter.basic"), 0u);
+  c.Add(7);  // handle id survives the reset
+  snap = MetricsRegistry::Global().Collect();
+  EXPECT_EQ(CounterValue(snap, "test.counter.basic"), 7u);
+}
+
+TEST(MetricsTest, RegistrationIsIdempotentByName) {
+  MetricsRegistry::Global().ResetForTest();
+  Counter a("test.counter.shared");
+  Counter b("test.counter.shared");  // same name -> same underlying cell
+  a.Add(1);
+  b.Add(2);
+  MetricsSnapshot snap = MetricsRegistry::Global().Collect();
+  EXPECT_EQ(CounterValue(snap, "test.counter.shared"), 3u);
+  // Only one entry despite two handles.
+  size_t occurrences = 0;
+  for (const auto& [n, v] : snap.counters) {
+    if (n == "test.counter.shared") ++occurrences;
+  }
+  EXPECT_EQ(occurrences, 1u);
+}
+
+TEST(MetricsTest, GaugeIsLastWriteWins) {
+  MetricsRegistry::Global().ResetForTest();
+  Gauge g("test.gauge.basic");
+  g.Set(1.5);
+  g.Set(-3.25);
+  MetricsSnapshot snap = MetricsRegistry::Global().Collect();
+  EXPECT_EQ(GaugeValue(snap, "test.gauge.basic"), -3.25);
+}
+
+TEST(MetricsTest, HistogramBucketBoundaries) {
+  MetricsRegistry::Global().ResetForTest();
+  // Bucket i counts value <= bounds[i]; the extra last bucket is overflow.
+  Histogram h("test.hist.bounds", {1.0, 2.0, 4.0});
+  h.Observe(0.5);   // bucket 0
+  h.Observe(1.0);   // bucket 0: boundary values land in their own bucket
+  h.Observe(1.001); // bucket 1
+  h.Observe(2.0);   // bucket 1
+  h.Observe(4.0);   // bucket 2
+  h.Observe(4.001); // overflow
+  h.Observe(100.0); // overflow
+
+  MetricsSnapshot snap = MetricsRegistry::Global().Collect();
+  const HistogramSnapshot* hs = FindHistogram(snap, "test.hist.bounds");
+  ASSERT_NE(hs, nullptr);
+  ASSERT_EQ(hs->bounds.size(), 3u);
+  ASSERT_EQ(hs->counts.size(), 4u);
+  EXPECT_EQ(hs->counts[0], 2u);
+  EXPECT_EQ(hs->counts[1], 2u);
+  EXPECT_EQ(hs->counts[2], 1u);
+  EXPECT_EQ(hs->counts[3], 2u);
+  EXPECT_EQ(hs->count, 7u);
+  EXPECT_DOUBLE_EQ(hs->min, 0.5);
+  EXPECT_DOUBLE_EQ(hs->max, 100.0);
+  EXPECT_NEAR(hs->sum, 0.5 + 1.0 + 1.001 + 2.0 + 4.0 + 4.001 + 100.0, 1e-12);
+}
+
+TEST(MetricsTest, LatencyBucketBoundsAreAscending) {
+  const std::vector<double>& bounds = LatencyBucketBounds();
+  ASSERT_GE(bounds.size(), 2u);
+  ASSERT_LE(bounds.size() + 1, MetricsRegistry::kMaxBuckets);
+  for (size_t i = 1; i < bounds.size(); ++i) {
+    EXPECT_LT(bounds[i - 1], bounds[i]);
+  }
+}
+
+TEST(MetricsTest, ConcurrentIncrementsFromThreadPool) {
+  MetricsRegistry::Global().ResetForTest();
+  Counter c("test.counter.concurrent");
+  Histogram h("test.hist.concurrent", {0.5});
+  const int prev_threads = util::NumThreads();
+  util::SetNumThreads(4);
+  constexpr size_t kChunks = 256;
+  constexpr size_t kPerChunk = 100;
+  util::ParallelForChunks(kChunks, [&](size_t chunk) {
+    for (size_t i = 0; i < kPerChunk; ++i) {
+      c.Add();
+      h.Observe(chunk % 2 == 0 ? 0.25 : 1.0);
+    }
+  });
+  util::SetNumThreads(prev_threads);
+
+  MetricsSnapshot snap = MetricsRegistry::Global().Collect();
+  EXPECT_EQ(CounterValue(snap, "test.counter.concurrent"),
+            kChunks * kPerChunk);
+  const HistogramSnapshot* hs = FindHistogram(snap, "test.hist.concurrent");
+  ASSERT_NE(hs, nullptr);
+  EXPECT_EQ(hs->count, kChunks * kPerChunk);
+  EXPECT_EQ(hs->counts[0] + hs->counts[1], kChunks * kPerChunk);
+  EXPECT_EQ(hs->counts[0], kChunks / 2 * kPerChunk);
+}
+
+TEST(MetricsTest, CountsSurviveWriterThreadExit) {
+  MetricsRegistry::Global().ResetForTest();
+  Counter c("test.counter.thread_exit");
+  std::thread writer([&] { c.Add(13); });
+  writer.join();  // the shard retires into the registry's totals
+  MetricsSnapshot snap = MetricsRegistry::Global().Collect();
+  EXPECT_EQ(CounterValue(snap, "test.counter.thread_exit"), 13u);
+}
+
+TEST(MetricsTest, RuntimeDisableIsANoOp) {
+  MetricsRegistry::Global().ResetForTest();
+  Counter c("test.counter.disabled");
+  ASSERT_TRUE(Enabled());
+  SetEnabled(false);
+  c.Add(5);
+  SetEnabled(true);
+  c.Add(2);
+  MetricsSnapshot snap = MetricsRegistry::Global().Collect();
+  EXPECT_EQ(CounterValue(snap, "test.counter.disabled"), 2u);
+}
+
+TEST(TraceTest, SpanRecordsNameDepthAndAttrs) {
+  TraceBuffer::Global().Reset();
+  {
+    TraceSpan outer("test.span.outer");
+    outer.Note("alpha", 1.0);
+    {
+      TraceSpan inner("test.span.inner");
+      inner.Note("beta", 2.5);
+    }
+  }
+  std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 2u);
+  // Inner finishes first: events are completion-ordered.
+  EXPECT_STREQ(events[0].name, "test.span.inner");
+  EXPECT_EQ(events[0].depth, 1u);
+  ASSERT_EQ(events[0].num_attrs, 1u);
+  EXPECT_STREQ(events[0].attrs[0].key, "beta");
+  EXPECT_DOUBLE_EQ(events[0].attrs[0].value, 2.5);
+  EXPECT_STREQ(events[1].name, "test.span.outer");
+  EXPECT_EQ(events[1].depth, 0u);
+  EXPECT_LE(events[1].start_us, events[0].start_us);
+}
+
+TEST(TraceTest, RingIsBoundedAndCountsDrops) {
+  TraceBuffer::Global().SetCapacity(4);
+  for (int i = 0; i < 10; ++i) {
+    TraceSpan span("test.span.ring");
+    span.Note("i", static_cast<double>(i));
+  }
+  std::vector<TraceEvent> events = TraceBuffer::Global().Snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(TraceBuffer::Global().dropped(), 6u);
+  // Oldest-first snapshot of the surviving tail: i = 6, 7, 8, 9.
+  for (size_t k = 0; k < events.size(); ++k) {
+    ASSERT_EQ(events[k].num_attrs, 1u);
+    EXPECT_DOUBLE_EQ(events[k].attrs[0].value, 6.0 + static_cast<double>(k));
+  }
+  TraceBuffer::Global().SetCapacity(TraceBuffer::kDefaultCapacity);
+}
+
+TEST(ExportTest, JsonlRoundTripsThroughFile) {
+  MetricsRegistry::Global().ResetForTest();
+  TraceBuffer::Global().Reset();
+  Counter c("test.export.counter");
+  Gauge g("test.export.gauge");
+  Histogram h("test.export.hist", LatencyBucketBounds());
+  c.Add(3);
+  g.Set(0.125);
+  h.Observe(0.002);
+  { TraceSpan span("test.export.span"); }
+
+  const std::string path =
+      ::testing::TempDir() + "/obs_export_roundtrip.jsonl";
+  ASSERT_TRUE(WriteMetricsJsonl(path).ok());
+
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  ASSERT_NE(f, nullptr);
+  std::string contents;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    contents.append(buf, n);
+  }
+  std::fclose(f);
+
+  EXPECT_NE(contents.find("{\"type\":\"meta\",\"version\":1,"
+                          "\"compiled\":true,\"enabled\":true"),
+            std::string::npos);
+  EXPECT_NE(contents.find("{\"type\":\"counter\",\"name\":"
+                          "\"test.export.counter\",\"value\":3}"),
+            std::string::npos);
+  EXPECT_NE(contents.find("\"test.export.gauge\",\"value\":0.125}"),
+            std::string::npos);
+  EXPECT_NE(contents.find("\"test.export.hist\""), std::string::npos);
+  EXPECT_NE(contents.find("\"test.export.span\""), std::string::npos);
+  // One JSON object per line, every line closed.
+  EXPECT_EQ(contents.back(), '\n');
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, NonFiniteGaugeExportsAsNull) {
+  MetricsRegistry::Global().ResetForTest();
+  TraceBuffer::Global().Reset();
+  Gauge g("test.export.nan_gauge");
+  g.Set(std::nan(""));
+  const std::string jsonl = MetricsToJsonl();
+  EXPECT_NE(jsonl.find("\"test.export.nan_gauge\",\"value\":null}"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace adamgnn::obs

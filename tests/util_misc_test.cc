@@ -1,3 +1,4 @@
+#include <limits>
 #include <thread>
 
 #include "gtest/gtest.h"
@@ -78,6 +79,56 @@ TEST(LoggingTest, CheckMacrosPassOnTrue) {
 TEST(LoggingDeathTest, CheckAbortsOnFalse) {
   EXPECT_DEATH(ADAMGNN_CHECK(false) << "boom", "Check failed");
   EXPECT_DEATH(ADAMGNN_CHECK_EQ(1, 2), "Check failed");
+}
+
+TEST(ParseIntTest, AcceptsPlainIntegers) {
+  EXPECT_EQ(ParseInt("0").ValueOrDie(), 0);
+  EXPECT_EQ(ParseInt("42").ValueOrDie(), 42);
+  EXPECT_EQ(ParseInt("-17").ValueOrDie(), -17);
+  EXPECT_EQ(ParseInt("+5").ValueOrDie(), 5);
+  EXPECT_EQ(ParseInt("9223372036854775807").ValueOrDie(),
+            std::numeric_limits<int64_t>::max());
+}
+
+TEST(ParseIntTest, RejectsJunk) {
+  // The whole string must be consumed: std::atoi would silently accept
+  // every one of these, which is exactly the CLI bug this replaces.
+  EXPECT_FALSE(ParseInt("12abc").ok());
+  EXPECT_FALSE(ParseInt("abc").ok());
+  EXPECT_FALSE(ParseInt("").ok());
+  EXPECT_FALSE(ParseInt(" 5").ok());
+  EXPECT_FALSE(ParseInt("5 ").ok());
+  EXPECT_FALSE(ParseInt("1.5").ok());
+  EXPECT_FALSE(ParseInt("0x10").ok());
+  EXPECT_FALSE(ParseInt("-").ok());
+}
+
+TEST(ParseIntTest, OverflowIsOutOfRange) {
+  const auto over = ParseInt("9223372036854775808");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
+  EXPECT_FALSE(ParseInt("-99999999999999999999").ok());
+}
+
+TEST(ParseDoubleTest, AcceptsPlainNumbers) {
+  EXPECT_DOUBLE_EQ(ParseDouble("0.25").ValueOrDie(), 0.25);
+  EXPECT_DOUBLE_EQ(ParseDouble("-3").ValueOrDie(), -3.0);
+  EXPECT_DOUBLE_EQ(ParseDouble("1e-3").ValueOrDie(), 1e-3);
+  EXPECT_DOUBLE_EQ(ParseDouble(".5").ValueOrDie(), 0.5);
+}
+
+TEST(ParseDoubleTest, RejectsJunk) {
+  EXPECT_FALSE(ParseDouble("abc").ok());
+  EXPECT_FALSE(ParseDouble("").ok());
+  EXPECT_FALSE(ParseDouble("1.5x").ok());
+  EXPECT_FALSE(ParseDouble(" 1.5").ok());
+  EXPECT_FALSE(ParseDouble("1.5 ").ok());
+}
+
+TEST(ParseDoubleTest, OverflowIsOutOfRange) {
+  const auto over = ParseDouble("1e999");
+  ASSERT_FALSE(over.ok());
+  EXPECT_EQ(over.status().code(), StatusCode::kOutOfRange);
 }
 
 }  // namespace

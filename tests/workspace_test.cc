@@ -189,6 +189,39 @@ TEST(WorkspaceTest, ClearDropsParkedBuffers) {
   EXPECT_EQ(ws.stats().retained_doubles, 0u);
 }
 
+TEST(WorkspaceTest, EvictionAccountingStaysConsistentAcrossSizeClasses) {
+  Workspace ws;
+  Workspace::Bind bind(&ws);
+  ws.set_retained_limit(64 + 16 + 4);
+  { Matrix a(2, 2, 1.0); }  // class 4
+  { Matrix b(4, 4, 2.0); }  // class 16
+  { Matrix c(8, 8, 3.0); }  // class 64: exactly at the cap, nothing evicted
+  Workspace::Stats s = ws.stats();
+  EXPECT_EQ(s.retained_buffers, 3u);
+  EXPECT_EQ(s.retained_doubles, 84u);
+  EXPECT_EQ(s.evictions, 0u);
+
+  // Class 256 has nothing parked, so this is a miss on acquire; parking it
+  // blows through the cap and the drain must walk oldest-first across every
+  // size class — including the newcomer itself — without losing count.
+  { Matrix d(16, 16, 4.0); }
+  s = ws.stats();
+  EXPECT_EQ(s.evictions, 4u);
+  EXPECT_EQ(s.retained_buffers, 0u);
+  EXPECT_EQ(s.retained_doubles, 0u);
+
+  // Refill and Clear: both tallies return to zero together.
+  ws.set_retained_limit(1 << 20);
+  { Matrix e(6, 6, 5.0); }
+  s = ws.stats();
+  EXPECT_EQ(s.retained_buffers, 1u);
+  EXPECT_EQ(s.retained_doubles, 64u);
+  ws.Clear();
+  s = ws.stats();
+  EXPECT_EQ(s.retained_buffers, 0u);
+  EXPECT_EQ(s.retained_doubles, 0u);
+}
+
 TEST(WorkspaceTest, BuffersMigrateAcrossThreadsSafely) {
   Workspace ws;
   Workspace::Bind bind(&ws);

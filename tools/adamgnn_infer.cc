@@ -30,10 +30,9 @@
 #include "core/adamgnn_model.h"
 #include "core/graph_plan.h"
 #include "core/inference_session.h"
-#include "data/node_datasets.h"
-#include "graph/io.h"
 #include "nn/linear.h"
 #include "nn/serialize.h"
+#include "tools/cli_common.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -42,86 +41,21 @@
 namespace {
 
 using namespace adamgnn;  // CLI tool; library code never does this
+using cli::FlagOr;
 
 const std::set<std::string>& KnownFlags() {
   static const std::set<std::string>* kKnown = new std::set<std::string>{
       "help",    "task",  "load",   "edges",  "features", "labels",
       "synthetic", "scale", "levels", "hidden", "classes",  "seed",
-      "threads", "output", "repeat",
+      "threads", "output", "repeat", "metrics-out",
   };
   return *kKnown;
-}
-
-std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
-  std::map<std::string, std::string> flags;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-      std::exit(2);
-    }
-    arg = arg.substr(2);
-    const size_t eq = arg.find('=');
-    std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
-    if (KnownFlags().count(name) == 0) {
-      std::fprintf(stderr,
-                   "unknown flag: --%s (run with --help for the flag list)\n",
-                   name.c_str());
-      std::exit(2);
-    }
-    if (eq == std::string::npos) {
-      flags[std::move(name)] = "true";
-    } else {
-      flags[std::move(name)] = arg.substr(eq + 1);
-    }
-  }
-  return flags;
-}
-
-std::string FlagOr(const std::map<std::string, std::string>& flags,
-                   const std::string& key, const std::string& fallback) {
-  auto it = flags.find(key);
-  return it == flags.end() ? fallback : it->second;
-}
-
-util::Result<graph::Graph> LoadInput(
-    const std::map<std::string, std::string>& flags) {
-  const std::string synthetic = FlagOr(flags, "synthetic", "");
-  if (!synthetic.empty()) {
-    const double scale = std::atof(FlagOr(flags, "scale", "0.2").c_str());
-    const std::map<std::string, data::NodeDatasetId> kByName = {
-        {"acm", data::NodeDatasetId::kAcm},
-        {"citeseer", data::NodeDatasetId::kCiteseer},
-        {"cora", data::NodeDatasetId::kCora},
-        {"emails", data::NodeDatasetId::kEmails},
-        {"dblp", data::NodeDatasetId::kDblp},
-        {"wiki", data::NodeDatasetId::kWiki},
-    };
-    auto it = kByName.find(synthetic);
-    if (it == kByName.end()) {
-      return util::Status::InvalidArgument("unknown synthetic dataset: " +
-                                           synthetic);
-    }
-    ADAMGNN_ASSIGN_OR_RETURN(
-        data::NodeDataset d,
-        data::MakeNodeDataset(it->second,
-                              std::atoll(FlagOr(flags, "seed", "1").c_str()),
-                              scale));
-    return std::move(d.graph);
-  }
-  const std::string edges = FlagOr(flags, "edges", "");
-  if (edges.empty()) {
-    return util::Status::InvalidArgument(
-        "either --edges or --synthetic is required");
-  }
-  return graph::ReadGraph(edges, FlagOr(flags, "features", ""),
-                          FlagOr(flags, "labels", ""));
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags = ParseFlags(argc, argv);
+  auto flags = cli::ParseFlags(argc, argv, KnownFlags());
   if (flags.count("help") > 0) {
     std::printf(
         "usage: adamgnn_infer --task=nc|lp --load=CKPT (--edges=F "
@@ -135,19 +69,13 @@ int main(int argc, char** argv) {
         "  --output=FILE predictions file (default: stdout).\n"
         "                nc: node<TAB>class, lp: u<TAB>v<TAB>score\n"
         "  --repeat=N    run N extra warm queries against the cached plan\n"
-        "                and report cold vs. warm latency\n");
+        "                and report cold vs. warm latency\n"
+        "  --metrics-out=FILE  write request-latency histograms, plan-cache\n"
+        "                hit/miss counters, and trace spans as JSONL; \"-\"\n"
+        "                means stdout. ADAMGNN_METRICS env is the fallback.\n");
     return 0;
   }
-  const std::string threads = FlagOr(flags, "threads", "");
-  if (!threads.empty()) {
-    const int n = std::atoi(threads.c_str());
-    if (n < 1) {
-      std::fprintf(stderr, "--threads must be >= 1, got %s\n",
-                   threads.c_str());
-      return 2;
-    }
-    util::SetNumThreads(n);
-  }
+  cli::ConfigureThreadsOrDie(flags);
 
   const std::string load = FlagOr(flags, "load", "");
   if (load.empty()) {
@@ -161,7 +89,7 @@ int main(int argc, char** argv) {
     return 2;
   }
 
-  auto graph_result = LoadInput(flags);
+  auto graph_result = cli::LoadInput(flags);
   if (!graph_result.ok()) {
     std::fprintf(stderr, "%s\n", graph_result.status().ToString().c_str());
     return 2;
@@ -175,11 +103,13 @@ int main(int argc, char** argv) {
 
   core::AdamGnnConfig config;
   config.in_dim = g.feature_dim();
-  config.hidden_dim =
-      static_cast<size_t>(std::atoi(FlagOr(flags, "hidden", "64").c_str()));
-  config.num_levels = std::atoi(FlagOr(flags, "levels", "3").c_str());
+  config.hidden_dim = static_cast<size_t>(
+      cli::IntFlagOr(flags, "hidden", cli::kDefaultHidden));
+  config.num_levels = static_cast<int>(
+      cli::IntFlagOr(flags, "levels", cli::kDefaultLevels));
   if (task == "nc") {
-    const int classes = std::atoi(FlagOr(flags, "classes", "0").c_str());
+    const int classes =
+        static_cast<int>(cli::IntFlagOr(flags, "classes", "0"));
     if (classes > 0) {
       config.num_classes = static_cast<size_t>(classes);
     } else if (g.has_labels()) {
@@ -192,7 +122,7 @@ int main(int argc, char** argv) {
 
   // The init RNG only seeds weights that LoadParameters overwrites.
   util::Rng rng(static_cast<uint64_t>(
-      std::atoll(FlagOr(flags, "seed", "1").c_str())));
+      cli::IntFlagOr(flags, "seed", cli::kDefaultSeed)));
   core::AdamGnn model(config, &rng);
   // Mirror the trainer's parameter order: link prediction checkpoints append
   // the decoder projection after the core model's tensors.
@@ -216,7 +146,7 @@ int main(int argc, char** argv) {
   const core::InferenceSession::Result& result = session.Run(plan);
   const double cold_ms = cold_watch.ElapsedSeconds() * 1e3;
 
-  const int repeat = std::atoi(FlagOr(flags, "repeat", "0").c_str());
+  const int repeat = static_cast<int>(cli::IntFlagOr(flags, "repeat", "0"));
   if (repeat > 0) {
     util::Stopwatch warm_watch;
     for (int i = 0; i < repeat; ++i) session.Run(plan);
@@ -262,5 +192,6 @@ int main(int argc, char** argv) {
     std::fclose(out);
     std::fprintf(stderr, "predictions written to %s\n", output.c_str());
   }
+  cli::DumpMetricsOrDie(flags);
   return 0;
 }

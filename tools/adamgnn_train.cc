@@ -23,10 +23,9 @@
 
 #include "autograd/loss_ops.h"
 #include "core/adapters.h"
-#include "data/node_datasets.h"
 #include "data/splits.h"
-#include "graph/io.h"
 #include "nn/serialize.h"
+#include "tools/cli_common.h"
 #include "train/evaluation.h"
 #include "train/link_trainer.h"
 #include "train/node_trainer.h"
@@ -37,6 +36,7 @@
 namespace {
 
 using namespace adamgnn;  // CLI tool; library code never does this
+using cli::FlagOr;
 
 // Every flag the tool understands. Anything else — including a typo like
 // --epoch=5 — is rejected instead of silently ignored.
@@ -46,35 +46,9 @@ const std::set<std::string>& KnownFlags() {
       "labels",     "synthetic", "scale", "levels",
       "hidden",     "epochs",  "lr",      "seed",
       "threads",    "save",    "checkpoint", "checkpoint-every",
-      "resume",     "dump-predictions",
+      "resume",     "dump-predictions",     "metrics-out",
   };
   return *kKnown;
-}
-
-std::map<std::string, std::string> ParseFlags(int argc, char** argv) {
-  std::map<std::string, std::string> flags;
-  for (int i = 1; i < argc; ++i) {
-    std::string arg = argv[i];
-    if (arg.rfind("--", 0) != 0) {
-      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
-      std::exit(2);
-    }
-    arg = arg.substr(2);
-    const size_t eq = arg.find('=');
-    std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
-    if (KnownFlags().count(name) == 0) {
-      std::fprintf(stderr,
-                   "unknown flag: --%s (run with --help for the flag list)\n",
-                   name.c_str());
-      std::exit(2);
-    }
-    if (eq == std::string::npos) {
-      flags[std::move(name)] = "true";
-    } else {
-      flags[std::move(name)] = arg.substr(eq + 1);
-    }
-  }
-  return flags;
 }
 
 // Prints resume provenance and any divergence recoveries for a finished run.
@@ -88,46 +62,6 @@ void ReportResilience(int resumed_from_epoch,
                 static_cast<long long>(e.epoch),
                 nn::RecoveryKindToString(e.kind), e.lr_before, e.lr_after);
   }
-}
-
-std::string FlagOr(const std::map<std::string, std::string>& flags,
-                   const std::string& key, const std::string& fallback) {
-  auto it = flags.find(key);
-  return it == flags.end() ? fallback : it->second;
-}
-
-util::Result<graph::Graph> LoadInput(
-    const std::map<std::string, std::string>& flags) {
-  const std::string synthetic = FlagOr(flags, "synthetic", "");
-  if (!synthetic.empty()) {
-    const double scale = std::atof(FlagOr(flags, "scale", "0.2").c_str());
-    const std::map<std::string, data::NodeDatasetId> kByName = {
-        {"acm", data::NodeDatasetId::kAcm},
-        {"citeseer", data::NodeDatasetId::kCiteseer},
-        {"cora", data::NodeDatasetId::kCora},
-        {"emails", data::NodeDatasetId::kEmails},
-        {"dblp", data::NodeDatasetId::kDblp},
-        {"wiki", data::NodeDatasetId::kWiki},
-    };
-    auto it = kByName.find(synthetic);
-    if (it == kByName.end()) {
-      return util::Status::InvalidArgument("unknown synthetic dataset: " +
-                                           synthetic);
-    }
-    ADAMGNN_ASSIGN_OR_RETURN(
-        data::NodeDataset d,
-        data::MakeNodeDataset(it->second,
-                              std::atoll(FlagOr(flags, "seed", "1").c_str()),
-                              scale));
-    return std::move(d.graph);
-  }
-  const std::string edges = FlagOr(flags, "edges", "");
-  if (edges.empty()) {
-    return util::Status::InvalidArgument(
-        "either --edges or --synthetic is required");
-  }
-  return graph::ReadGraph(edges, FlagOr(flags, "features", ""),
-                          FlagOr(flags, "labels", ""));
 }
 
 int RunNodeClassification(const graph::Graph& g,
@@ -220,7 +154,7 @@ int RunLinkPrediction(const graph::Graph& g,
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags = ParseFlags(argc, argv);
+  auto flags = cli::ParseFlags(argc, argv, KnownFlags());
   if (flags.count("help") > 0) {
     std::printf(
         "usage: adamgnn_train --task=nc|lp (--edges=F [--features=F] "
@@ -241,23 +175,19 @@ int main(int argc, char** argv) {
         "                           the end of the run always saves)\n"
         "  --resume                 continue from --checkpoint if it exists;\n"
         "                           reproduces the uninterrupted run\n"
-        "                           bitwise at the same seed and threads\n");
+        "                           bitwise at the same seed and threads\n"
+        "  --metrics-out=FILE       write run telemetry (epoch/phase\n"
+        "                           timings, pool and workspace stats, trace\n"
+        "                           spans) as JSONL; \"-\" means stdout. The\n"
+        "                           ADAMGNN_METRICS env var is the fallback\n"
+        "                           when the flag is absent.\n");
     return 0;
   }
-  const std::string threads = FlagOr(flags, "threads", "");
-  if (!threads.empty()) {
-    const int n = std::atoi(threads.c_str());
-    if (n < 1) {
-      std::fprintf(stderr, "--threads must be >= 1, got %s\n",
-                   threads.c_str());
-      return 2;
-    }
-    util::SetNumThreads(n);
-  }
+  cli::ConfigureThreadsOrDie(flags);
   std::printf("kernel threads: %d\n", util::NumThreads());
   const std::string task = FlagOr(flags, "task", "nc");
 
-  auto graph_result = LoadInput(flags);
+  auto graph_result = cli::LoadInput(flags);
   if (!graph_result.ok()) {
     std::fprintf(stderr, "%s\n", graph_result.status().ToString().c_str());
     return 2;
@@ -271,19 +201,20 @@ int main(int argc, char** argv) {
 
   core::AdamGnnConfig config;
   config.in_dim = g.feature_dim();
-  config.hidden_dim =
-      static_cast<size_t>(std::atoi(FlagOr(flags, "hidden", "64").c_str()));
-  config.num_levels = std::atoi(FlagOr(flags, "levels", "3").c_str());
+  config.hidden_dim = static_cast<size_t>(
+      cli::IntFlagOr(flags, "hidden", cli::kDefaultHidden));
+  config.num_levels = static_cast<int>(
+      cli::IntFlagOr(flags, "levels", cli::kDefaultLevels));
 
   train::TrainConfig tc;
-  tc.max_epochs = std::atoi(FlagOr(flags, "epochs", "200").c_str());
+  tc.max_epochs = static_cast<int>(cli::IntFlagOr(flags, "epochs", "200"));
   tc.patience = tc.max_epochs / 3 + 5;
-  tc.learning_rate = std::atof(FlagOr(flags, "lr", "0.01").c_str());
-  tc.seed =
-      static_cast<uint64_t>(std::atoll(FlagOr(flags, "seed", "1").c_str()));
+  tc.learning_rate = cli::DoubleFlagOr(flags, "lr", "0.01");
+  tc.seed = static_cast<uint64_t>(
+      cli::IntFlagOr(flags, "seed", cli::kDefaultSeed));
   tc.checkpoint_path = FlagOr(flags, "checkpoint", "");
   tc.checkpoint_every =
-      std::atoi(FlagOr(flags, "checkpoint-every", "10").c_str());
+      static_cast<int>(cli::IntFlagOr(flags, "checkpoint-every", "10"));
   tc.resume = flags.count("resume") > 0;
   if (tc.resume && tc.checkpoint_path.empty()) {
     std::fprintf(stderr, "--resume requires --checkpoint=PATH\n");
@@ -295,13 +226,16 @@ int main(int argc, char** argv) {
   }
 
   util::Rng rng(tc.seed);
+  int rc = 2;
   if (task == "nc") {
-    return RunNodeClassification(g, flags, config, tc, &rng);
+    rc = RunNodeClassification(g, flags, config, tc, &rng);
+  } else if (task == "lp") {
+    rc = RunLinkPrediction(g, flags, config, tc, &rng);
+  } else {
+    std::fprintf(stderr, "unknown --task=%s (expected nc or lp)\n",
+                 task.c_str());
+    return 2;
   }
-  if (task == "lp") {
-    return RunLinkPrediction(g, flags, config, tc, &rng);
-  }
-  std::fprintf(stderr, "unknown --task=%s (expected nc or lp)\n",
-               task.c_str());
-  return 2;
+  cli::DumpMetricsOrDie(flags);
+  return rc;
 }

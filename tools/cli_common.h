@@ -1,0 +1,169 @@
+// Shared flag-parsing and input-loading helpers for the adamgnn_* CLIs.
+//
+// adamgnn_train and adamgnn_infer used to carry private copies of
+// ParseFlags/FlagOr/LoadInput, so their defaults (hidden width, level count,
+// seed, synthetic scale) could drift apart silently, and both parsed numeric
+// flags with atoi/atof — which turn `--epochs=abc` into 0 and train nothing.
+// Everything here parses strictly (util::ParseInt/ParseDouble) and exits 2
+// with the offending flag and value on any malformed input.
+//
+// Header-only on purpose: two small binaries, no third library target.
+
+#ifndef ADAMGNN_TOOLS_CLI_COMMON_H_
+#define ADAMGNN_TOOLS_CLI_COMMON_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "data/node_datasets.h"
+#include "graph/io.h"
+#include "obs/export.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/thread_pool.h"
+
+namespace adamgnn::cli {
+
+// Model/dataset defaults shared by both CLIs. adamgnn_infer must rebuild the
+// exact model shape adamgnn_train produced, so these MUST stay one copy.
+inline constexpr const char* kDefaultHidden = "64";
+inline constexpr const char* kDefaultLevels = "3";
+inline constexpr const char* kDefaultSeed = "1";
+inline constexpr const char* kDefaultScale = "0.2";
+
+using FlagMap = std::map<std::string, std::string>;
+
+/// Parses --name / --name=value arguments. Anything not in `known` —
+/// including a typo like --epoch=5 — is rejected instead of ignored.
+inline FlagMap ParseFlags(int argc, char** argv,
+                          const std::set<std::string>& known) {
+  FlagMap flags;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+      std::exit(2);
+    }
+    arg = arg.substr(2);
+    const size_t eq = arg.find('=');
+    std::string name = eq == std::string::npos ? arg : arg.substr(0, eq);
+    if (known.count(name) == 0) {
+      std::fprintf(stderr,
+                   "unknown flag: --%s (run with --help for the flag list)\n",
+                   name.c_str());
+      std::exit(2);
+    }
+    if (eq == std::string::npos) {
+      flags[std::move(name)] = "true";
+    } else {
+      flags[std::move(name)] = arg.substr(eq + 1);
+    }
+  }
+  return flags;
+}
+
+inline std::string FlagOr(const FlagMap& flags, const std::string& key,
+                          const std::string& fallback) {
+  auto it = flags.find(key);
+  return it == flags.end() ? fallback : it->second;
+}
+
+/// Integer flag with strict parsing: `--epochs=abc` (or `--epochs=12abc`,
+/// or an out-of-range value) prints the flag, the bad value, and the parse
+/// error, then exits 2. `fallback` must itself be parseable.
+inline long long IntFlagOr(const FlagMap& flags, const std::string& key,
+                           const std::string& fallback) {
+  const std::string raw = FlagOr(flags, key, fallback);
+  const util::Result<int64_t> parsed = util::ParseInt(raw);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "invalid value for --%s: \"%s\" (%s)\n", key.c_str(),
+                 raw.c_str(), parsed.status().message().c_str());
+    std::exit(2);
+  }
+  return parsed.ValueOrDie();
+}
+
+/// Floating-point flag with the same strict contract as IntFlagOr.
+inline double DoubleFlagOr(const FlagMap& flags, const std::string& key,
+                           const std::string& fallback) {
+  const std::string raw = FlagOr(flags, key, fallback);
+  const util::Result<double> parsed = util::ParseDouble(raw);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "invalid value for --%s: \"%s\" (%s)\n", key.c_str(),
+                 raw.c_str(), parsed.status().message().c_str());
+    std::exit(2);
+  }
+  return parsed.ValueOrDie();
+}
+
+/// Applies --threads=N (strictly parsed, must be >= 1) to the kernel pool.
+inline void ConfigureThreadsOrDie(const FlagMap& flags) {
+  if (flags.count("threads") == 0) return;
+  const long long n = IntFlagOr(flags, "threads", "1");
+  if (n < 1) {
+    std::fprintf(stderr, "--threads must be >= 1, got %lld\n", n);
+    std::exit(2);
+  }
+  util::SetNumThreads(static_cast<int>(n));
+}
+
+/// Loads the input graph: --synthetic=NAME [--scale=S] or --edges=F
+/// [--features=F] [--labels=F]. Identical semantics in both CLIs.
+inline util::Result<graph::Graph> LoadInput(const FlagMap& flags) {
+  const std::string synthetic = FlagOr(flags, "synthetic", "");
+  if (!synthetic.empty()) {
+    const double scale = DoubleFlagOr(flags, "scale", kDefaultScale);
+    const std::map<std::string, data::NodeDatasetId> kByName = {
+        {"acm", data::NodeDatasetId::kAcm},
+        {"citeseer", data::NodeDatasetId::kCiteseer},
+        {"cora", data::NodeDatasetId::kCora},
+        {"emails", data::NodeDatasetId::kEmails},
+        {"dblp", data::NodeDatasetId::kDblp},
+        {"wiki", data::NodeDatasetId::kWiki},
+    };
+    auto it = kByName.find(synthetic);
+    if (it == kByName.end()) {
+      return util::Status::InvalidArgument("unknown synthetic dataset: " +
+                                           synthetic);
+    }
+    ADAMGNN_ASSIGN_OR_RETURN(
+        data::NodeDataset d,
+        data::MakeNodeDataset(
+            it->second,
+            static_cast<uint64_t>(IntFlagOr(flags, "seed", kDefaultSeed)),
+            scale));
+    return std::move(d.graph);
+  }
+  const std::string edges = FlagOr(flags, "edges", "");
+  if (edges.empty()) {
+    return util::Status::InvalidArgument(
+        "either --edges or --synthetic is required");
+  }
+  return graph::ReadGraph(edges, FlagOr(flags, "features", ""),
+                          FlagOr(flags, "labels", ""));
+}
+
+/// Writes the process's metrics + trace spans as JSONL to the path from
+/// --metrics-out, or from ADAMGNN_METRICS when the flag is absent ("-" means
+/// stdout). No-op when neither is set. Call once, at the end of the run.
+inline void DumpMetricsOrDie(const FlagMap& flags) {
+  std::string path = FlagOr(flags, "metrics-out", "");
+  if (path.empty()) path = obs::MetricsPathFromEnv();
+  if (path.empty()) return;
+  const util::Status st = obs::WriteMetricsJsonl(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "%s\n", st.ToString().c_str());
+    std::exit(1);
+  }
+  if (path != "-") {
+    std::fprintf(stderr, "metrics written to %s\n", path.c_str());
+  }
+}
+
+}  // namespace adamgnn::cli
+
+#endif  // ADAMGNN_TOOLS_CLI_COMMON_H_
