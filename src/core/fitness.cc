@@ -9,6 +9,7 @@
 #include "core/graph_plan.h"
 #include "nn/init.h"
 #include "tensor/kernels.h"
+#include "util/cancel.h"
 #include "util/logging.h"
 
 namespace adamgnn::core {
@@ -32,6 +33,11 @@ EgoPairs EgoPairs::Build(const std::vector<std::vector<size_t>>& adjacency,
   std::vector<int> visited(n, 0);
   std::vector<size_t> seen;
   for (size_t ego = 0; ego < n; ++ego) {
+    // Strided cancellation poll: an expired serving deadline stops the λ-hop
+    // enumeration here; the caller (GraphPlan::TryBuild or the forward's
+    // level rebuild) checks the token right after and discards the partial
+    // pair list, so training and uncancelled runs are untouched.
+    if ((ego & 255) == 0 && util::CancelRequested()) break;
     // Bounded BFS identical to graph::EgoNetwork but over raw lists.
     seen.clear();
     std::deque<std::pair<size_t, int>> queue;

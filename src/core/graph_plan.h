@@ -23,6 +23,7 @@
 #include "core/fitness.h"
 #include "graph/graph.h"
 #include "graph/sparse_matrix.h"
+#include "util/status.h"
 
 namespace adamgnn::core {
 
@@ -48,6 +49,17 @@ class GraphPlan {
  public:
   static std::shared_ptr<const GraphPlan> Build(const graph::Graph& g,
                                                 int lambda);
+
+  /// Cancellable Build for the serving path: polls the ambient
+  /// util::CancelToken between construction phases (fingerprint, Â,
+  /// adjacency, level-0 ego enumeration) and inside the long per-node
+  /// loops, so an expired request deadline aborts plan construction in
+  /// bounded time with DeadlineExceeded instead of running to completion.
+  /// Identical output to Build when the token never fires (the checkpoints
+  /// touch no data). Also validates lambda (InvalidArgument for < 1)
+  /// instead of aborting.
+  static util::Result<std::shared_ptr<const GraphPlan>> TryBuild(
+      const graph::Graph& g, int lambda);
 
   /// Order-sensitive digest of the plan inputs: node count, CSR neighbor
   /// stream, and raw feature bytes (features are folded in because the plan

@@ -1,11 +1,13 @@
 #include "core/inference_session.h"
 
 #include <algorithm>
+#include <string>
 
 #include "autograd/sparse_ops.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "tensor/kernels.h"
+#include "util/cancel.h"
 #include "util/logging.h"
 #include "util/stopwatch.h"
 
@@ -41,6 +43,19 @@ obs::Histogram& RequestSeconds() {
 }  // namespace
 
 InferenceSession::InferenceSession(const AdamGnn& model) { Snapshot(model); }
+
+InferenceSession::InferenceSession(const AdamGnn& model, int lambda_override,
+                                   int max_levels) {
+  ADAMGNN_CHECK_GE(lambda_override, 1);
+  ADAMGNN_CHECK_GE(max_levels, 1);
+  Snapshot(model);
+  // Shallow-depth serving: run fewer pooling levels at a smaller ego radius.
+  // Snapshot copied every level's weights; the forward only consults the
+  // first config_.num_levels of them, so clamping after the snapshot is
+  // enough.
+  config_.lambda = lambda_override;
+  if (max_levels < config_.num_levels) config_.num_levels = max_levels;
+}
 
 void InferenceSession::Snapshot(const AdamGnn& model) {
   config_ = model.config();
@@ -80,14 +95,32 @@ void InferenceSession::Snapshot(const AdamGnn& model) {
 }
 
 void InferenceSession::RefreshWeights(const AdamGnn& model) {
+  // Snapshot resets config_ from the model; a degraded-mode session must
+  // keep its λ / level-count overrides across weight refreshes.
+  const int lambda = config_.lambda;
+  const int num_levels = config_.num_levels;
   Snapshot(model);
+  config_.lambda = lambda;
+  if (num_levels < config_.num_levels) config_.num_levels = num_levels;
   cache_.clear();
   order_.clear();
 }
 
 const InferenceSession::Result& InferenceSession::Run(
     const std::shared_ptr<const GraphPlan>& plan) {
+  const Result* out = nullptr;
+  // Without an ambient cancellation token and with a well-formed plan,
+  // TryRun cannot fail, so the training/eval path keeps its infallible
+  // reference-returning contract.
+  TryRun(plan, &out).CheckOK();
+  return *out;
+}
+
+util::Status InferenceSession::TryRun(
+    const std::shared_ptr<const GraphPlan>& plan, const Result** out) {
   ADAMGNN_CHECK(plan != nullptr);
+  ADAMGNN_CHECK(out != nullptr);
+  *out = nullptr;
   InferRequests().Add();
   obs::TraceSpan span("infer.request");
   util::Stopwatch sw;
@@ -96,35 +129,54 @@ const InferenceSession::Result& InferenceSession::Run(
     PlanCacheHits().Add();
     span.Note("cache_hit", 1.0);
     RequestSeconds().Observe(sw.ElapsedSeconds());
-    return it->second;
+    *out = &it->second;
+    return util::Status::OK();
   }
   PlanCacheMisses().Add();
   span.Note("cache_hit", 0.0);
+  Result result;
+  ADAMGNN_RETURN_NOT_OK(RunUncached(*plan, &result));
+  // Partial results from a cancelled forward never reach the cache: the
+  // eviction + insert below only happen after RunUncached ran to the end.
   if (order_.size() >= kMaxCachedPlans) {
     PlanCacheEvictions().Add();
     cache_.erase(order_.front().get());
     order_.erase(order_.begin());
   }
-  Result result = RunUncached(*plan);
   order_.push_back(plan);
   const Result& cached =
       cache_.emplace(plan.get(), std::move(result)).first->second;
   RequestSeconds().Observe(sw.ElapsedSeconds());
-  return cached;
+  *out = &cached;
+  return util::Status::OK();
 }
 
-InferenceSession::Result InferenceSession::RunUncached(
-    const GraphPlan& plan) const {
-  ADAMGNN_CHECK(plan.feature_constant().defined());
-  ADAMGNN_CHECK_EQ(plan.lambda(), config_.lambda);
+util::Status InferenceSession::RunUncached(const GraphPlan& plan,
+                                           Result* out_result) const {
+  if (!plan.feature_constant().defined()) {
+    return util::Status::FailedPrecondition(
+        "plan has no feature constant (graph without node features)");
+  }
+  if (plan.lambda() != config_.lambda) {
+    return util::Status::InvalidArgument(
+        "plan lambda " + std::to_string(plan.lambda()) +
+        " != session lambda " + std::to_string(config_.lambda));
+  }
   const tensor::Matrix& x = plan.feature_constant().value();
-  ADAMGNN_CHECK_EQ(x.cols(), config_.in_dim);
-  Result out;
+  if (x.cols() != config_.in_dim) {
+    return util::Status::InvalidArgument(
+        "feature dim " + std::to_string(x.cols()) + " != model in_dim " +
+        std::to_string(config_.in_dim));
+  }
+  ADAMGNN_RETURN_NOT_OK(util::CheckCancel());
+  Result& out = *out_result;
+  out = Result();
 
   // Primary node representation (Eq. 1); dropout is identity in eval.
   tensor::Matrix h0 = tensor::Relu(
       nn::GcnConv::ForwardValues(*plan.norm_adj(), x, input_weight_,
                                  input_bias_));
+  ADAMGNN_RETURN_NOT_OK(util::CheckCancel());
 
   // Pooling cascade — the same break conditions, selection rule, and kernel
   // order as AdamGnn::ForwardFromFeatures in eval mode.
@@ -146,6 +198,7 @@ InferenceSession::Result InferenceSession::RunUncached(
     FitnessScorer::ValueScores scores = FitnessScorer::ScoreValues(
         *cur_topo, h_prev, lw.fitness_weight, lw.fitness_attention,
         config_.fitness_mode);
+    ADAMGNN_RETURN_NOT_OK(util::CheckCancel());
     Selection sel =
         SelectEgoNetworks(scores.ego_phi, cur_topo->adjacency, pairs);
     if (sel.selected_egos.empty()) break;
@@ -156,6 +209,7 @@ InferenceSession::Result InferenceSession::RunUncached(
     tensor::Matrix x_k = HyperFeatureInit::InitialiseValues(
         structure, scores.pair_phi, h_prev, lw.init_weight,
         lw.init_attention);
+    ADAMGNN_RETURN_NOT_OK(util::CheckCancel());
 
     graph::SparseMatrix next_adj =
         NextAdjacency(*cur_adj, *structure.pattern, values);
@@ -163,6 +217,7 @@ InferenceSession::Result InferenceSession::RunUncached(
     tensor::Matrix h_k = tensor::Relu(
         nn::GcnConv::ForwardValues(norm_next, x_k, lw.conv_weight,
                                    lw.conv_bias));
+    ADAMGNN_RETURN_NOT_OK(util::CheckCancel());
 
     LevelInfo info;
     info.num_prev_nodes = pairs.num_nodes;
@@ -200,6 +255,7 @@ InferenceSession::Result InferenceSession::RunUncached(
                                             chain_values[level - 1], message);
     }
     messages.push_back(std::move(message));
+    ADAMGNN_RETURN_NOT_OK(util::CheckCancel());
 
     if (sel.num_hyper_nodes() < 4) break;  // pooled to (near) a point
     owned_adj = std::move(next_adj);
@@ -207,6 +263,9 @@ InferenceSession::Result InferenceSession::RunUncached(
     owned_topo = LevelTopology::FromAdjacency(
         AdjacencyListsFromSparse(owned_adj), config_.lambda);
     cur_topo = &owned_topo;
+    // FromAdjacency's ego enumeration breaks out early once the token
+    // fires; discard the truncated topology before the next level uses it.
+    ADAMGNN_RETURN_NOT_OK(util::CheckCancel());
     h_prev = std::move(h_k);
   }
 
@@ -225,7 +284,7 @@ InferenceSession::Result InferenceSession::RunUncached(
     out.logits = nn::Linear::ForwardValues(out.embeddings, node_head_weight_,
                                            node_head_bias_);
   }
-  return out;
+  return util::CheckCancel();
 }
 
 std::vector<int> InferenceSession::PredictNodes(

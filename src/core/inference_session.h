@@ -24,6 +24,7 @@
 #include "core/adamgnn_model.h"
 #include "core/graph_plan.h"
 #include "tensor/matrix.h"
+#include "util/status.h"
 
 namespace adamgnn::core {
 
@@ -32,6 +33,15 @@ class InferenceSession {
   /// Snapshots the model's current parameters. Later optimizer steps on the
   /// model do not affect the session until RefreshWeights.
   explicit InferenceSession(const AdamGnn& model);
+
+  /// Degraded-mode session: same frozen weights, but the forward runs at
+  /// `lambda_override` (> 0; the ego-network radius) and at most
+  /// `max_levels` pooling levels (> 0, clamped to the model's level count).
+  /// ADMP-GNN-style depth adaptation: accuracy degrades smoothly with
+  /// shallower λ / fewer levels, which makes this the serving layer's
+  /// principled load-shedding fallback. Plans for this session must be
+  /// built at `lambda_override`.
+  InferenceSession(const AdamGnn& model, int lambda_override, int max_levels);
 
   /// One graph's frozen-weight forward, all raw matrices.
   struct Result {
@@ -45,8 +55,22 @@ class InferenceSession {
 
   /// Runs (or returns the cached) forward for `plan`. The reference stays
   /// valid until RefreshWeights or eviction of that entry (the cache holds
-  /// the most recent kMaxCachedPlans plans).
+  /// the most recent kMaxCachedPlans plans). Aborts on a malformed plan or
+  /// a fired cancellation token — serving layers use TryRun instead.
   const Result& Run(const std::shared_ptr<const GraphPlan>& plan);
+
+  /// Status-returning Run for the serving path. Polls the ambient
+  /// util::CancelToken at every pooling-level boundary and around each
+  /// major kernel (the kernels themselves poll at ParallelFor chunk
+  /// boundaries), so an expired request deadline aborts the forward in
+  /// bounded time with DeadlineExceeded; partial results are discarded and
+  /// never cached. Malformed requests (plan/session λ mismatch, missing
+  /// features, feature-dim mismatch) return InvalidArgument or
+  /// FailedPrecondition instead of aborting the process. When the token
+  /// never fires, `*out` is bitwise-identical to Run's result. A cache hit
+  /// is returned even for an already-expired request (it costs nothing).
+  util::Status TryRun(const std::shared_ptr<const GraphPlan>& plan,
+                      const Result** out);
 
   /// Argmax class per node. Requires a model with a node head.
   std::vector<int> PredictNodes(const std::shared_ptr<const GraphPlan>& plan);
@@ -80,7 +104,7 @@ class InferenceSession {
     tensor::Matrix conv_bias;
   };
 
-  Result RunUncached(const GraphPlan& plan) const;
+  util::Status RunUncached(const GraphPlan& plan, Result* out) const;
   void Snapshot(const AdamGnn& model);
 
   AdamGnnConfig config_;

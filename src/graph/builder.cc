@@ -1,6 +1,7 @@
 #include "graph/builder.h"
 
 #include <algorithm>
+#include <cmath>
 #include <string>
 
 namespace adamgnn::graph {
@@ -15,6 +16,14 @@ util::Status GraphBuilder::AddEdge(NodeId u, NodeId v, double weight) {
   if (u == v) {
     return util::Status::InvalidArgument("self-loop rejected at node " +
                                          std::to_string(u));
+  }
+  // NOTE: the finiteness check must come first — `NaN <= 0.0` is false, so
+  // the positivity test alone would wave NaN weights straight through into
+  // the normalized adjacency.
+  if (!std::isfinite(weight)) {
+    return util::Status::InvalidArgument(
+        "edge weight must be finite (got NaN/Inf) on edge (" +
+        std::to_string(u) + ", " + std::to_string(v) + ")");
   }
   if (weight <= 0.0) {
     return util::Status::InvalidArgument("edge weight must be positive");

@@ -1,7 +1,9 @@
 #include "graph/graph.h"
 
 #include <algorithm>
+#include <cmath>
 #include <sstream>
+#include <string>
 
 #include "util/logging.h"
 
@@ -66,6 +68,78 @@ std::string Graph::DebugString() const {
   if (graph_label_ >= 0) os << ", graph_label=" << graph_label_;
   os << ")";
   return os.str();
+}
+
+util::Status ValidateGraph(const Graph& g) {
+  const size_t n = g.num_nodes();
+  if (n == 0) {
+    return util::Status::InvalidArgument("graph has no nodes");
+  }
+  for (NodeId u = 0; static_cast<size_t>(u) < n; ++u) {
+    auto nbrs = g.Neighbors(u);
+    auto ws = g.NeighborWeights(u);
+    NodeId prev = -1;
+    for (size_t i = 0; i < nbrs.size(); ++i) {
+      const NodeId v = nbrs[i];
+      if (v < 0 || static_cast<size_t>(v) >= n) {
+        return util::Status::InvalidArgument(
+            "corrupt CSR: neighbor id " + std::to_string(v) +
+            " out of range at node " + std::to_string(u));
+      }
+      if (v == u) {
+        return util::Status::InvalidArgument("self-loop at node " +
+                                             std::to_string(u));
+      }
+      if (v <= prev) {
+        return util::Status::InvalidArgument(
+            "corrupt CSR: unsorted or duplicate neighbor ids at node " +
+            std::to_string(u));
+      }
+      prev = v;
+      if (!std::isfinite(ws[i]) || ws[i] <= 0.0) {
+        return util::Status::InvalidArgument(
+            "edge (" + std::to_string(u) + ", " + std::to_string(v) +
+            ") has non-finite or non-positive weight");
+      }
+      if (!g.HasEdge(v, u)) {
+        return util::Status::InvalidArgument(
+            "asymmetric edge (" + std::to_string(u) + ", " +
+            std::to_string(v) + ") in an undirected graph");
+      }
+    }
+  }
+  if (g.has_features()) {
+    const tensor::Matrix& x = g.features();
+    for (size_t r = 0; r < x.rows(); ++r) {
+      for (size_t c = 0; c < x.cols(); ++c) {
+        if (!std::isfinite(x(r, c))) {
+          return util::Status::InvalidArgument(
+              "non-finite feature at (" + std::to_string(r) + ", " +
+              std::to_string(c) + ")");
+        }
+      }
+    }
+  } else if (g.features().rows() != 0) {
+    return util::Status::InvalidArgument(
+        "feature rows (" + std::to_string(g.features().rows()) +
+        ") != num_nodes (" + std::to_string(n) + ")");
+  }
+  if (g.has_labels()) {
+    const int classes = g.num_classes();
+    for (size_t i = 0; i < g.labels().size(); ++i) {
+      const int l = g.labels()[i];
+      if (l < 0 || l >= classes) {
+        return util::Status::InvalidArgument(
+            "label " + std::to_string(l) + " at node " + std::to_string(i) +
+            " outside [0, " + std::to_string(classes) + ")");
+      }
+    }
+  } else if (!g.labels().empty()) {
+    return util::Status::InvalidArgument(
+        "label count (" + std::to_string(g.labels().size()) +
+        ") != num_nodes (" + std::to_string(n) + ")");
+  }
+  return util::Status::OK();
 }
 
 }  // namespace adamgnn::graph

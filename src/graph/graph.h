@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "tensor/matrix.h"
+#include "util/status.h"
 
 namespace adamgnn::graph {
 
@@ -76,6 +77,16 @@ class Graph {
   std::vector<int> labels_;
   int graph_label_ = -1;
 };
+
+/// Full semantic validation of an ingested graph, shared by every CLI entry
+/// point before the graph reaches a model: CSR invariants (monotone offsets,
+/// in-range sorted neighbor ids, no self-loops, symmetric edges), finite
+/// positive edge weights, finite features, and labels in [0, num_classes).
+/// GraphBuilder enforces most of this at construction; ValidateGraph is the
+/// trust boundary for graphs arriving from disk or other processes, so a
+/// corrupt input fails with InvalidArgument here instead of as NaN
+/// embeddings or UB three layers down.
+util::Status ValidateGraph(const Graph& g);
 
 }  // namespace adamgnn::graph
 

@@ -1,15 +1,22 @@
 #include "graph/io.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <fstream>
 #include <sstream>
 
 #include "graph/builder.h"
+#include "util/string_util.h"
 
 namespace adamgnn::graph {
 
 namespace {
+
+// Largest node id ReadEdgeList will accept when inferring the node count
+// from the file itself (CSR offsets are ~8 bytes/node, so this bounds the
+// allocation a corrupt id can force to < 1 GiB).
+constexpr int64_t kMaxInferredNodes = int64_t{100} * 1000 * 1000;
 
 bool IsSkippable(const std::string& line) {
   for (char c : line) {
@@ -49,13 +56,51 @@ util::Result<Graph> ReadEdgeList(const std::string& path, size_t num_nodes) {
       return util::Status::InvalidArgument(
           LineError(path, line_no, "expected 'u v [weight]'"));
     }
-    ss >> w;  // optional
+    // Optional weight, parsed strictly: `istream >> double` silently
+    // rejects "nan"/"inf" and would leave w = 1.0, turning a corrupt line
+    // into a valid-looking edge. ParseDouble accepts them (strtod
+    // semantics) so the finiteness check below can reject them loudly, and
+    // any other garbage token errors here.
+    std::string weight_token;
+    if (ss >> weight_token) {
+      const util::Result<double> parsed = util::ParseDouble(weight_token);
+      if (!parsed.ok()) {
+        return util::Status::InvalidArgument(LineError(
+            path, line_no, "malformed weight \"" + weight_token + "\""));
+      }
+      w = parsed.ValueOrDie();
+      std::string extra;
+      if (ss >> extra) {
+        return util::Status::InvalidArgument(
+            LineError(path, line_no, "trailing tokens after 'u v weight'"));
+      }
+    }
     if (u < 0 || v < 0) {
       return util::Status::InvalidArgument(
           LineError(path, line_no, "negative node id"));
     }
+    if (num_nodes > 0 && (static_cast<size_t>(u) >= num_nodes ||
+                          static_cast<size_t>(v) >= num_nodes)) {
+      return util::Status::InvalidArgument(LineError(
+          path, line_no,
+          "edge endpoint out of range for n=" + std::to_string(num_nodes)));
+    }
+    if (!std::isfinite(w)) {
+      return util::Status::InvalidArgument(
+          LineError(path, line_no, "non-finite edge weight"));
+    }
     edges.push_back({u, v, w});
     max_id = std::max({max_id, u, v});
+  }
+  // When n is inferred from the ids in the file, a single corrupt line like
+  // "0 99999999999999" would otherwise make us allocate CSR offsets for
+  // trillions of nodes and die on OOM instead of returning a status.
+  if (num_nodes == 0 && max_id >= kMaxInferredNodes) {
+    return util::Status::InvalidArgument(
+        path + ": max node id " + std::to_string(max_id) +
+        " exceeds the inferred-size cap of " +
+        std::to_string(kMaxInferredNodes) +
+        "; pass an explicit node count if this is intentional");
   }
   const size_t n =
       num_nodes > 0 ? num_nodes : static_cast<size_t>(max_id + 1);
@@ -99,6 +144,10 @@ util::Result<tensor::Matrix> ReadDenseMatrix(const std::string& path) {
     size_t row_cols = 0;
     double x = 0;
     while (ss >> x) {
+      if (!std::isfinite(x)) {
+        return util::Status::InvalidArgument(
+            LineError(path, line_no, "non-finite value (NaN/Inf)"));
+      }
       values.push_back(x);
       ++row_cols;
     }

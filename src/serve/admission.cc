@@ -1,0 +1,68 @@
+#include "serve/admission.h"
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace adamgnn::serve {
+
+namespace {
+
+obs::Counter& Admitted() {
+  static obs::Counter* c = new obs::Counter("serve.admitted");
+  return *c;
+}
+obs::Counter& Rejected() {
+  static obs::Counter* c = new obs::Counter("serve.rejected");
+  return *c;
+}
+obs::Gauge& QueueDepth() {
+  static obs::Gauge* g = new obs::Gauge("serve.queue_depth");
+  return *g;
+}
+
+}  // namespace
+
+AdmissionController::AdmissionController(size_t max_inflight)
+    : max_inflight_(max_inflight) {
+  ADAMGNN_CHECK_GE(max_inflight, size_t{1});
+}
+
+util::Result<AdmissionController::Permit> AdmissionController::TryAdmit() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (inflight_ >= max_inflight_) {
+      Rejected().Add();
+      return util::Status::ResourceExhausted(
+          "admission rejected: " + std::to_string(inflight_) +
+          " requests in flight (budget " + std::to_string(max_inflight_) +
+          ")");
+    }
+    ++inflight_;
+    QueueDepth().Set(static_cast<double>(inflight_));
+  }
+  Admitted().Add();
+  return Permit(this);
+}
+
+void AdmissionController::ReleaseSlot() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ADAMGNN_DCHECK_GE(inflight_, size_t{1});
+  if (inflight_ > 0) --inflight_;
+  QueueDepth().Set(static_cast<double>(inflight_));
+}
+
+void AdmissionController::Permit::Release() {
+  if (controller_ != nullptr) {
+    controller_->ReleaseSlot();
+    controller_ = nullptr;
+  }
+}
+
+size_t AdmissionController::inflight() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inflight_;
+}
+
+}  // namespace adamgnn::serve

@@ -1,0 +1,75 @@
+// Admission control for the serving path: a bounded in-flight budget with
+// deterministic load shedding. TryAdmit either hands out an RAII Permit or
+// rejects with ResourceExhausted the moment the in-flight count reaches the
+// high-water mark — no queueing, no wall-clock randomness, so whether a
+// given request sequence is shed depends only on that sequence.
+//
+// Exposed metrics: serve.admitted / serve.rejected counters and the
+// serve.queue_depth gauge (current in-flight requests).
+
+#ifndef ADAMGNN_SERVE_ADMISSION_H_
+#define ADAMGNN_SERVE_ADMISSION_H_
+
+#include <cstddef>
+#include <mutex>
+#include <utility>
+
+#include "util/status.h"
+
+namespace adamgnn::serve {
+
+class AdmissionController {
+ public:
+  /// `max_inflight` >= 1 is the hard in-flight budget (the high-water mark).
+  explicit AdmissionController(size_t max_inflight);
+
+  AdmissionController(const AdmissionController&) = delete;
+  AdmissionController& operator=(const AdmissionController&) = delete;
+
+  /// One admitted request's slot. Move-only; releasing (destruction) frees
+  /// the slot for the next TryAdmit.
+  class Permit {
+   public:
+    Permit() = default;
+    Permit(Permit&& other) noexcept
+        : controller_(std::exchange(other.controller_, nullptr)) {}
+    Permit& operator=(Permit&& other) noexcept {
+      if (this != &other) {
+        Release();
+        controller_ = std::exchange(other.controller_, nullptr);
+      }
+      return *this;
+    }
+    Permit(const Permit&) = delete;
+    Permit& operator=(const Permit&) = delete;
+    ~Permit() { Release(); }
+
+    bool held() const { return controller_ != nullptr; }
+
+   private:
+    friend class AdmissionController;
+    explicit Permit(AdmissionController* controller)
+        : controller_(controller) {}
+    void Release();
+
+    AdmissionController* controller_ = nullptr;
+  };
+
+  /// Admits the request (incrementing the in-flight count for the permit's
+  /// lifetime) or rejects with ResourceExhausted when the budget is spent.
+  util::Result<Permit> TryAdmit();
+
+  size_t inflight() const;
+  size_t max_inflight() const { return max_inflight_; }
+
+ private:
+  void ReleaseSlot();
+
+  const size_t max_inflight_;
+  mutable std::mutex mu_;
+  size_t inflight_ = 0;
+};
+
+}  // namespace adamgnn::serve
+
+#endif  // ADAMGNN_SERVE_ADMISSION_H_

@@ -1,0 +1,108 @@
+#include "serve/breaker.h"
+
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace adamgnn::serve {
+
+namespace {
+
+obs::Counter& BreakerTrips() {
+  static obs::Counter* c = new obs::Counter("serve.breaker.trips");
+  return *c;
+}
+obs::Counter& BreakerShed() {
+  static obs::Counter* c = new obs::Counter("serve.breaker.shed");
+  return *c;
+}
+obs::Counter& BreakerRecoveries() {
+  static obs::Counter* c = new obs::Counter("serve.breaker.recoveries");
+  return *c;
+}
+
+}  // namespace
+
+CircuitBreaker::CircuitBreaker(const CircuitBreakerOptions& options)
+    : options_(options) {
+  ADAMGNN_CHECK_GE(options.failure_threshold, 1);
+  ADAMGNN_CHECK_GE(options.open_cooldown, 0);
+}
+
+bool CircuitBreaker::Allow(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() > kMaxTrackedKeys) entries_.clear();
+  Entry& e = entries_[key];
+  switch (e.state) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (e.shed_remaining > 0) {
+        --e.shed_remaining;
+        BreakerShed().Add();
+        return false;
+      }
+      // Cooldown spent: this request is the half-open probe.
+      e.state = State::kHalfOpen;
+      return true;
+    case State::kHalfOpen:
+      // One probe at a time; everything else is shed until its outcome is
+      // recorded.
+      BreakerShed().Add();
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  if (it->second.state == State::kHalfOpen) BreakerRecoveries().Add();
+  it->second = Entry();  // closed, streak cleared
+}
+
+void CircuitBreaker::RecordFailure(uint64_t key) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (entries_.size() > kMaxTrackedKeys) entries_.clear();
+  Entry& e = entries_[key];
+  if (e.state == State::kHalfOpen) {
+    // Failed probe: straight back to open with a fresh cooldown.
+    e.state = State::kOpen;
+    e.shed_remaining = options_.open_cooldown;
+    BreakerTrips().Add();
+    return;
+  }
+  if (e.state == State::kClosed) {
+    if (++e.consecutive_failures >= options_.failure_threshold) {
+      e.state = State::kOpen;
+      e.shed_remaining = options_.open_cooldown;
+      BreakerTrips().Add();
+    }
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? State::kClosed : it->second.state;
+}
+
+int CircuitBreaker::consecutive_failures(uint64_t key) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(key);
+  return it == entries_.end() ? 0 : it->second.consecutive_failures;
+}
+
+const char* CircuitBreakerStateToString(CircuitBreaker::State state) {
+  switch (state) {
+    case CircuitBreaker::State::kClosed:
+      return "closed";
+    case CircuitBreaker::State::kOpen:
+      return "open";
+    case CircuitBreaker::State::kHalfOpen:
+      return "half-open";
+  }
+  return "unknown";
+}
+
+}  // namespace adamgnn::serve

@@ -1,0 +1,77 @@
+// Per-plan circuit breaker: a deterministic three-state machine
+// (closed → open → half-open) keyed by GraphPlan fingerprint, so one
+// pathological graph cannot keep burning serving capacity while every other
+// plan stays healthy.
+//
+// All transitions are request-count driven — no wall clock, no randomness:
+//   closed:    requests flow; `failure_threshold` CONSECUTIVE failures trip
+//              the breaker to open (a success resets the streak).
+//   open:      the next `open_cooldown` requests for the key are shed
+//              without running; the request after that is admitted as the
+//              half-open probe.
+//   half-open: exactly one probe is in flight; its success closes the
+//              breaker, its failure re-opens it with a fresh cooldown.
+// A given sequence of (request, outcome) events therefore reproduces the
+// same shed/probe pattern bit-for-bit on every run.
+
+#ifndef ADAMGNN_SERVE_BREAKER_H_
+#define ADAMGNN_SERVE_BREAKER_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+namespace adamgnn::serve {
+
+struct CircuitBreakerOptions {
+  /// Consecutive failures that trip a closed breaker.
+  int failure_threshold = 3;
+  /// Requests shed while open before the half-open probe is admitted.
+  int open_cooldown = 4;
+};
+
+class CircuitBreaker {
+ public:
+  enum class State { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(const CircuitBreakerOptions& options = {});
+
+  CircuitBreaker(const CircuitBreaker&) = delete;
+  CircuitBreaker& operator=(const CircuitBreaker&) = delete;
+
+  /// Counts one request for `key` and says whether it may run. A false
+  /// return is a shed request (the caller degrades or rejects); a true
+  /// return in half-open state is the probe and MUST be followed by
+  /// RecordSuccess or RecordFailure.
+  bool Allow(uint64_t key);
+
+  void RecordSuccess(uint64_t key);
+  void RecordFailure(uint64_t key);
+
+  State state(uint64_t key) const;
+  /// Consecutive-failure streak for `key` (0 when unknown or healthy).
+  int consecutive_failures(uint64_t key) const;
+
+ private:
+  struct Entry {
+    State state = State::kClosed;
+    int consecutive_failures = 0;
+    int shed_remaining = 0;  // open-state countdown to the half-open probe
+  };
+
+  /// Tracked keys are plan fingerprints — a bounded population in any sane
+  /// deployment, but cap the map so a fingerprint-churning client cannot
+  /// grow it without bound; past the cap, all breaker state resets
+  /// (deterministically: the reset depends only on the request sequence).
+  static constexpr size_t kMaxTrackedKeys = 4096;
+
+  const CircuitBreakerOptions options_;
+  mutable std::mutex mu_;
+  std::unordered_map<uint64_t, Entry> entries_;
+};
+
+const char* CircuitBreakerStateToString(CircuitBreaker::State state);
+
+}  // namespace adamgnn::serve
+
+#endif  // ADAMGNN_SERVE_BREAKER_H_

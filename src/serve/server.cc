@@ -1,0 +1,312 @@
+#include "serve/server.h"
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <utility>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "util/logging.h"
+#include "util/stopwatch.h"
+
+namespace adamgnn::serve {
+
+namespace {
+
+obs::Counter& ServeRequests() {
+  static obs::Counter* c = new obs::Counter("serve.requests");
+  return *c;
+}
+obs::Counter& ServeOk() {
+  static obs::Counter* c = new obs::Counter("serve.ok");
+  return *c;
+}
+obs::Counter& ServeDegraded() {
+  static obs::Counter* c = new obs::Counter("serve.degraded");
+  return *c;
+}
+obs::Counter& ServeDeadlineExceeded() {
+  static obs::Counter* c = new obs::Counter("serve.deadline_exceeded");
+  return *c;
+}
+obs::Counter& ServeRetries() {
+  static obs::Counter* c = new obs::Counter("serve.retries");
+  return *c;
+}
+obs::Histogram& ServeSeconds() {
+  static obs::Histogram* h =
+      new obs::Histogram("serve.request_seconds", obs::LatencyBucketBounds());
+  return *h;
+}
+
+/// Client errors: the request itself is wrong, so retrying is pointless and
+/// the failure says nothing about the plan's health.
+bool IsClientError(const util::Status& s) {
+  return s.code() == util::StatusCode::kInvalidArgument ||
+         s.code() == util::StatusCode::kFailedPrecondition ||
+         s.code() == util::StatusCode::kNotFound;
+}
+
+/// Failures a retry cannot fix within this request: the deadline has
+/// already passed, or the caller explicitly cancelled.
+bool IsTerminal(const util::Status& s) {
+  return s.code() == util::StatusCode::kDeadlineExceeded ||
+         s.code() == util::StatusCode::kCancelled;
+}
+
+}  // namespace
+
+const char* ServeModeToString(ServeMode mode) {
+  switch (mode) {
+    case ServeMode::kFull:
+      return "full";
+    case ServeMode::kDegradedShallow:
+      return "degraded-shallow";
+    case ServeMode::kDegradedStale:
+      return "degraded-stale";
+  }
+  return "unknown";
+}
+
+ResilientServer::ResilientServer(const core::AdamGnn& model,
+                                 const ServerOptions& options)
+    : options_(options),
+      admission_(options.max_inflight),
+      breaker_(options.breaker),
+      session_(model),
+      degraded_session_(model, options.degraded_lambda,
+                        options.degraded_max_levels) {
+  ADAMGNN_CHECK_GE(options.max_retries, 0);
+  ADAMGNN_CHECK_GE(options.degraded_lambda, 1);
+  ADAMGNN_CHECK_GE(options.degraded_max_levels, 1);
+}
+
+uint64_t ResilientServer::FingerprintOf(const graph::Graph& g) {
+  return core::GraphPlan::Fingerprint(g);
+}
+
+util::Result<ServeResult> ResilientServer::Serve(
+    const graph::Graph& g, const RequestOptions& request) {
+  ServeRequests().Add();
+  obs::TraceSpan span("serve.request");
+  util::Stopwatch watch;
+
+  // Fingerprint BEFORE binding any cancellation token: the digest loop
+  // early-exits under a fired token, and a truncated digest must never
+  // become a cache/breaker key.
+  const uint64_t fingerprint = core::GraphPlan::Fingerprint(g);
+
+  util::Result<AdmissionController::Permit> permit = admission_.TryAdmit();
+  if (!permit.ok()) {
+    // Over budget. Running MORE work now would defeat admission control, so
+    // the only acceptable fallback is a stale cached result (free).
+    if (options_.allow_degraded) {
+      ServeResult stale;
+      if (LookupStale(fingerprint, &stale)) {
+        ServeDegraded().Add();
+        span.Note("degraded_stale", 1.0);
+        ServeSeconds().Observe(watch.ElapsedSeconds());
+        return stale;
+      }
+    }
+    return permit.status();
+  }
+
+  // Resolve the request deadline once, as an absolute time point, so every
+  // retry attempt gets a fresh token honoring the SAME deadline (a reused
+  // token would stay fired after the first expiry and starve retries of
+  // their fair share of the budget).
+  const double timeout_s =
+      request.timeout_s >= 0 ? request.timeout_s : options_.default_timeout_s;
+  const bool has_deadline = request.timeout_s >= 0
+                                ? true
+                                : options_.default_timeout_s > 0;
+  const auto deadline_at =
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(timeout_s));
+  const auto make_token = [&]() -> util::CancelToken {
+    if (request.token.valid()) return request.token;
+    if (has_deadline) return util::CancelToken::WithDeadlineAt(deadline_at);
+    // Even without a deadline the attempt gets a live token, so allocation
+    // pressure (AllocCheckpoint) can abort a serving request; only paths
+    // with no token at all — training — are immune by design.
+    return util::CancelToken::Cancellable();
+  };
+
+  if (!breaker_.Allow(fingerprint)) {
+    span.Note("breaker_shed", 1.0);
+    return Degrade(g, fingerprint, make_token(),
+                   util::Status::Unavailable(
+                       "circuit breaker open for plan fingerprint " +
+                       std::to_string(fingerprint)),
+                   /*attempts=*/0, watch);
+  }
+
+  util::Status last = util::Status::OK();
+  int attempts = 0;
+  for (int attempt = 0; attempt <= options_.max_retries; ++attempt) {
+    if (attempt > 0) {
+      ServeRetries().Add();
+      if (options_.retry_backoff_s > 0) {
+        // Deterministic schedule: base * 2^(attempt-1). No jitter — the
+        // failures we retry (injected pressure, internal errors) are not
+        // time-correlated, and determinism is worth more here.
+        const double sleep_s =
+            options_.retry_backoff_s * static_cast<double>(1 << (attempt - 1));
+        std::this_thread::sleep_for(std::chrono::duration<double>(sleep_s));
+      }
+    }
+    ++attempts;
+    util::CancelToken token = make_token();
+    util::ScopedCancel bind(token);
+    ServeResult result;
+    util::Status st = RunFull(g, fingerprint, &result);
+    if (st.ok()) {
+      breaker_.RecordSuccess(fingerprint);
+      StoreStale(fingerprint, result);
+      result.attempts = attempts;
+      ServeOk().Add();
+      ServeSeconds().Observe(watch.ElapsedSeconds());
+      return result;
+    }
+    last = st;
+    if (IsClientError(st)) return st;  // not the plan's fault; no breaker
+    breaker_.RecordFailure(fingerprint);
+    if (IsTerminal(st)) break;  // the clock will not rewind
+  }
+
+  if (last.code() == util::StatusCode::kDeadlineExceeded) {
+    ServeDeadlineExceeded().Add();
+    span.Note("deadline_exceeded", 1.0);
+  }
+  return Degrade(g, fingerprint, make_token(), last, attempts, watch);
+}
+
+util::Result<ServeResult> ResilientServer::Degrade(
+    const graph::Graph& g, uint64_t fingerprint,
+    const util::CancelToken& token, util::Status cause, int attempts,
+    const util::Stopwatch& watch) {
+  if (!options_.allow_degraded) return cause;
+
+  // Rung 1: a fresh forward at shallow λ / fewer levels. Still runs under
+  // the request deadline — if that has already fired, this fails fast and
+  // the ladder falls through to rung 2.
+  {
+    util::ScopedCancel bind(token);
+    ServeResult result;
+    util::Status st = RunDegraded(g, fingerprint, &result);
+    if (st.ok()) {
+      result.attempts = attempts + 1;
+      ServeDegraded().Add();
+      ServeSeconds().Observe(watch.ElapsedSeconds());
+      return result;
+    }
+  }
+
+  // Rung 2: a stale cached result for the same graph, if we ever served it
+  // successfully before.
+  ServeResult stale;
+  if (LookupStale(fingerprint, &stale)) {
+    stale.attempts = attempts + 1;
+    ServeDegraded().Add();
+    ServeSeconds().Observe(watch.ElapsedSeconds());
+    return stale;
+  }
+
+  return cause;
+}
+
+util::Status ResilientServer::RunFull(const graph::Graph& g,
+                                      uint64_t fingerprint, ServeResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const core::GraphPlan> plan;
+  auto it = plans_.find(fingerprint);
+  if (it != plans_.end()) {
+    plan = it->second;
+  } else {
+    ADAMGNN_ASSIGN_OR_RETURN(
+        plan, core::GraphPlan::TryBuild(g, session_.config().lambda));
+    if (plans_.size() >= kMaxCachedPlans) {
+      plans_.erase(plan_order_.front());
+      plan_order_.erase(plan_order_.begin());
+    }
+    plans_.emplace(fingerprint, plan);
+    plan_order_.push_back(fingerprint);
+  }
+  const core::InferenceSession::Result* r = nullptr;
+  ADAMGNN_RETURN_NOT_OK(session_.TryRun(plan, &r));
+  out->embeddings = r->embeddings;
+  out->logits = r->logits;
+  out->mode = ServeMode::kFull;
+  out->lambda_used = session_.config().lambda;
+  out->levels_used = session_.config().num_levels;
+  return util::Status::OK();
+}
+
+util::Status ResilientServer::RunDegraded(const graph::Graph& g,
+                                          uint64_t fingerprint,
+                                          ServeResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::shared_ptr<const core::GraphPlan> plan;
+  auto it = degraded_plans_.find(fingerprint);
+  if (it != degraded_plans_.end()) {
+    plan = it->second;
+  } else {
+    ADAMGNN_ASSIGN_OR_RETURN(
+        plan, core::GraphPlan::TryBuild(g, degraded_session_.config().lambda));
+    if (degraded_plans_.size() >= kMaxCachedPlans) {
+      degraded_plans_.erase(degraded_plan_order_.front());
+      degraded_plan_order_.erase(degraded_plan_order_.begin());
+    }
+    degraded_plans_.emplace(fingerprint, plan);
+    degraded_plan_order_.push_back(fingerprint);
+  }
+  const core::InferenceSession::Result* r = nullptr;
+  ADAMGNN_RETURN_NOT_OK(degraded_session_.TryRun(plan, &r));
+  out->embeddings = r->embeddings;
+  out->logits = r->logits;
+  out->mode = ServeMode::kDegradedShallow;
+  out->lambda_used = degraded_session_.config().lambda;
+  out->levels_used = degraded_session_.config().num_levels;
+  return util::Status::OK();
+}
+
+void ResilientServer::StoreStale(uint64_t fingerprint,
+                                 const ServeResult& result) {
+  if (options_.max_stale_results == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stale_.find(fingerprint) == stale_.end()) {
+    if (stale_.size() >= options_.max_stale_results) {
+      stale_.erase(stale_order_.front());
+      stale_order_.erase(stale_order_.begin());
+    }
+    stale_order_.push_back(fingerprint);
+  }
+  ServeResult copy = result;
+  copy.mode = ServeMode::kDegradedStale;  // pre-tagged for serving later
+  stale_[fingerprint] = std::move(copy);
+}
+
+bool ResilientServer::LookupStale(uint64_t fingerprint, ServeResult* out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = stale_.find(fingerprint);
+  if (it == stale_.end()) return false;
+  *out = it->second;
+  return true;
+}
+
+void ResilientServer::RefreshWeights(const core::AdamGnn& model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  session_.RefreshWeights(model);
+  degraded_session_.RefreshWeights(model);
+  plans_.clear();
+  plan_order_.clear();
+  degraded_plans_.clear();
+  degraded_plan_order_.clear();
+  stale_.clear();
+  stale_order_.clear();
+}
+
+}  // namespace adamgnn::serve

@@ -1,0 +1,179 @@
+// Serving-path resilience: ResilientServer wraps core::InferenceSession
+// with the four protections the bare session lacks —
+//
+//   1. request deadlines + cooperative cancellation: every attempt runs
+//      under a util::CancelToken; an expired deadline aborts plan
+//      construction or the forward in bounded time with DeadlineExceeded
+//      instead of running to completion;
+//   2. admission control: a bounded in-flight budget sheds excess load
+//      with ResourceExhausted at the high-water mark (deterministic — no
+//      wall-clock randomness in the decision);
+//   3. bounded retries + a per-plan circuit breaker: transient failures
+//      (injected allocation pressure, internal errors) are retried up to
+//      max_retries times with a deterministic exponential backoff schedule;
+//      consecutive failures trip the plan's breaker, which sheds requests
+//      for a request-counted cooldown before probing;
+//   4. graceful degradation: when over budget, after a breaker trip, or
+//      once retries are exhausted, the server walks the degradation ladder
+//      full plan → shallow plan (λ = degraded_lambda, at most
+//      degraded_max_levels pooling levels; ADMP-GNN-style depth adaptation,
+//      accuracy degrades smoothly) → stale cached result — and tags the
+//      response with the rung that produced it.
+//
+// Responses that ran the full plan with no token firing are
+// bitwise-identical to InferenceSession::Run on the same graph.
+//
+// Metrics: serve.requests / serve.ok / serve.degraded /
+// serve.deadline_exceeded / serve.retries counters, the
+// serve.request_seconds histogram, plus the admission
+// (serve.admitted/rejected, serve.queue_depth) and breaker
+// (serve.breaker.*) families.
+
+#ifndef ADAMGNN_SERVE_SERVER_H_
+#define ADAMGNN_SERVE_SERVER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "core/adamgnn_model.h"
+#include "core/graph_plan.h"
+#include "core/inference_session.h"
+#include "serve/admission.h"
+#include "serve/breaker.h"
+#include "tensor/matrix.h"
+#include "util/cancel.h"
+#include "util/status.h"
+#include "util/stopwatch.h"
+
+namespace adamgnn::serve {
+
+struct ServerOptions {
+  /// Hard in-flight budget; requests past it are shed (or served stale).
+  size_t max_inflight = 64;
+  /// Extra attempts after the first for TRANSIENT failures (allocation
+  /// pressure, internal errors). Deadline expiry and explicit cancellation
+  /// are never retried — the clock will not rewind.
+  int max_retries = 1;
+  /// Deterministic backoff schedule: attempt i (1-based retry) sleeps
+  /// retry_backoff_s * 2^(i-1). 0 disables sleeping (tests, and the
+  /// default: the fault classes we retry are not time-correlated).
+  double retry_backoff_s = 0.0;
+  /// Default per-request deadline in seconds; <= 0 means none. A request's
+  /// own timeout_s overrides this.
+  double default_timeout_s = 0.0;
+  CircuitBreakerOptions breaker;
+  /// Degradation ladder switches.
+  bool allow_degraded = true;
+  int degraded_lambda = 1;
+  int degraded_max_levels = 1;
+  /// Stale-result cache entries kept for last-ditch degradation.
+  size_t max_stale_results = 16;
+};
+
+/// Which rung of the degradation ladder produced a response.
+enum class ServeMode {
+  kFull = 0,            // full-λ plan, fresh forward
+  kDegradedShallow = 1, // shallow-λ / fewer-levels fresh forward
+  kDegradedStale = 2,   // stale cached result for the same graph
+};
+const char* ServeModeToString(ServeMode mode);
+
+struct RequestOptions {
+  /// Deadline: < 0 uses the server default, 0 is an already-expired
+  /// deadline (the first cooperative check fires), > 0 seconds from now.
+  double timeout_s = -1.0;
+  /// Optional external cancellation handle; when valid it replaces the
+  /// server-made deadline token for every attempt (so a caller-side Cancel
+  /// aborts the request wherever it is).
+  util::CancelToken token;
+};
+
+struct ServeResult {
+  tensor::Matrix embeddings;  // (n x hidden)
+  tensor::Matrix logits;      // (n x classes); empty without a node head
+  ServeMode mode = ServeMode::kFull;
+  int lambda_used = 0;
+  int levels_used = 0;
+  int attempts = 1;  // forward attempts consumed (1 = no retries)
+};
+
+class ResilientServer {
+ public:
+  ResilientServer(const core::AdamGnn& model, const ServerOptions& options);
+
+  ResilientServer(const ResilientServer&) = delete;
+  ResilientServer& operator=(const ResilientServer&) = delete;
+
+  /// Serves one request end to end: admission → breaker → deadline-scoped
+  /// attempts with bounded retries → degradation ladder. Error statuses:
+  ///   DeadlineExceeded  — the request deadline fired and no degraded
+  ///                       fallback was available;
+  ///   ResourceExhausted — shed at admission, or transient pressure
+  ///                       outlasted the retry budget, with no fallback;
+  ///   Unavailable       — the plan's circuit breaker is open, no fallback;
+  ///   InvalidArgument / FailedPrecondition — malformed request (wrong
+  ///                       feature dim, missing features); never retried,
+  ///                       never counted against the breaker.
+  util::Result<ServeResult> Serve(const graph::Graph& g,
+                                  const RequestOptions& request = {});
+
+  /// Re-snapshots weights into both sessions and drops every cached plan,
+  /// result, and stale entry (weights change ⇒ everything downstream is
+  /// stale). Breaker state survives: it describes the plan, not the
+  /// weights.
+  void RefreshWeights(const core::AdamGnn& model);
+
+  const ServerOptions& options() const { return options_; }
+  size_t inflight() const { return admission_.inflight(); }
+  CircuitBreaker& breaker() { return breaker_; }
+  /// The breaker/stale-cache key for `g` (exposed for tests).
+  static uint64_t FingerprintOf(const graph::Graph& g);
+
+ private:
+  static constexpr size_t kMaxCachedPlans = 16;
+
+  struct StaleEntry {
+    ServeResult result;
+    uint64_t fingerprint = 0;
+  };
+
+  // All three run under mu_: the underlying InferenceSession caches are
+  // single-writer structures, so forwards are serialized per server. The
+  // cooperative checkpoints keep each critical section bounded by one
+  // (cancellable) forward.
+  util::Status RunFull(const graph::Graph& g, uint64_t fingerprint,
+                       ServeResult* out);
+  util::Status RunDegraded(const graph::Graph& g, uint64_t fingerprint,
+                           ServeResult* out);
+  void StoreStale(uint64_t fingerprint, const ServeResult& result);
+  bool LookupStale(uint64_t fingerprint, ServeResult* out);
+
+  util::Result<ServeResult> Degrade(const graph::Graph& g,
+                                    uint64_t fingerprint,
+                                    const util::CancelToken& token,
+                                    util::Status cause, int attempts,
+                                    const util::Stopwatch& watch);
+
+  ServerOptions options_;
+  AdmissionController admission_;
+  CircuitBreaker breaker_;
+
+  std::mutex mu_;
+  core::InferenceSession session_;
+  core::InferenceSession degraded_session_;
+  std::unordered_map<uint64_t, std::shared_ptr<const core::GraphPlan>> plans_;
+  std::vector<uint64_t> plan_order_;
+  std::unordered_map<uint64_t, std::shared_ptr<const core::GraphPlan>>
+      degraded_plans_;
+  std::vector<uint64_t> degraded_plan_order_;
+  std::unordered_map<uint64_t, ServeResult> stale_;
+  std::vector<uint64_t> stale_order_;
+};
+
+}  // namespace adamgnn::serve
+
+#endif  // ADAMGNN_SERVE_SERVER_H_

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <bit>
 
+#include "util/cancel.h"
 #include "util/logging.h"
 
 namespace adamgnn::tensor {
@@ -120,6 +121,7 @@ bool Workspace::EvictOldest() noexcept {
 }
 
 std::vector<double> Workspace::AcquireFilled(size_t n, double fill) {
+  util::AllocCheckpoint();
   Workspace* ws = CurrentIfEnabled();
   if (ws == nullptr || n == 0) return std::vector<double>(n, fill);
   std::vector<double> buf = ws->TakeBuffer(n);
@@ -132,6 +134,7 @@ std::vector<double> Workspace::AcquireFilled(size_t n, double fill) {
 }
 
 std::vector<double> Workspace::AcquireUninit(size_t n) {
+  util::AllocCheckpoint();
   Workspace* ws = CurrentIfEnabled();
   if (ws == nullptr || n == 0) return std::vector<double>(n);
   std::vector<double> buf = ws->TakeBuffer(n);
@@ -142,6 +145,7 @@ std::vector<double> Workspace::AcquireUninit(size_t n) {
 }
 
 std::vector<double> Workspace::AcquireCopy(const std::vector<double>& src) {
+  util::AllocCheckpoint();
   Workspace* ws = CurrentIfEnabled();
   if (ws == nullptr || src.empty()) return src;
   std::vector<double> buf = ws->TakeBuffer(src.size());

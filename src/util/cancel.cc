@@ -1,0 +1,108 @@
+#include "util/cancel.h"
+
+#include <atomic>
+#include <mutex>
+#include <utility>
+
+#include "util/fault_injection.h"
+
+namespace adamgnn::util {
+
+struct CancelToken::State {
+  // fired_ is the fast peek; reason_ is written once (under mu_) before
+  // fired_ is released, so a reader that observes fired_ == true sees the
+  // final reason.
+  std::atomic<bool> fired{false};
+  std::mutex mu;
+  Status reason;
+
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline;
+};
+
+CancelToken CancelToken::Cancellable() {
+  return CancelToken(std::make_shared<State>());
+}
+
+CancelToken CancelToken::WithTimeout(double seconds) {
+  return WithDeadlineAt(
+      std::chrono::steady_clock::now() +
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::duration<double>(seconds > 0 ? seconds : 0)));
+}
+
+CancelToken CancelToken::WithDeadlineAt(
+    std::chrono::steady_clock::time_point t) {
+  auto state = std::make_shared<State>();
+  state->has_deadline = true;
+  state->deadline = t;
+  return CancelToken(std::move(state));
+}
+
+void CancelToken::Cancel() const {
+  CancelWith(Status::Cancelled("request cancelled"));
+}
+
+void CancelToken::CancelWith(Status reason) const {
+  if (state_ == nullptr || reason.ok()) return;
+  std::lock_guard<std::mutex> lock(state_->mu);
+  if (state_->fired.load(std::memory_order_relaxed)) return;  // first wins
+  state_->reason = std::move(reason);
+  state_->fired.store(true, std::memory_order_release);
+}
+
+bool CancelToken::cancelled() const {
+  return state_ != nullptr && state_->fired.load(std::memory_order_acquire);
+}
+
+Status CancelToken::Check() const {
+  if (state_ == nullptr) return Status::OK();
+  if (!state_->fired.load(std::memory_order_acquire) && state_->has_deadline) {
+    // Injected clock first (deterministic tests), then the real clock.
+    if (FaultInjector::ArmedFast() &&
+        FaultInjector::Instance().ShouldFail(FaultOp::kDeadlineCheck)) {
+      CancelWith(Status::DeadlineExceeded("deadline expired (injected clock)"));
+    } else if (std::chrono::steady_clock::now() >= state_->deadline) {
+      CancelWith(Status::DeadlineExceeded("request deadline expired"));
+    }
+  }
+  if (!state_->fired.load(std::memory_order_acquire)) return Status::OK();
+  std::lock_guard<std::mutex> lock(state_->mu);
+  return state_->reason;
+}
+
+namespace {
+thread_local const CancelToken* tls_current_cancel = nullptr;
+}  // namespace
+
+ScopedCancel::ScopedCancel(const CancelToken& token)
+    : token_(token), prev_(tls_current_cancel) {
+  tls_current_cancel = &token_;
+}
+
+ScopedCancel::~ScopedCancel() { tls_current_cancel = prev_; }
+
+const CancelToken* CurrentCancel() { return tls_current_cancel; }
+
+Status CheckCancel() {
+  const CancelToken* token = tls_current_cancel;
+  return token == nullptr ? Status::OK() : token->Check();
+}
+
+bool CancelRequested() {
+  const CancelToken* token = tls_current_cancel;
+  return token != nullptr && token->Poll();
+}
+
+void AllocCheckpoint() {
+  if (!FaultInjector::ArmedFast()) return;
+  if (FaultInjector::Instance().ShouldFail(FaultOp::kAlloc)) {
+    const CancelToken* token = tls_current_cancel;
+    if (token != nullptr) {
+      token->CancelWith(Status::ResourceExhausted(
+          "allocation failed (injected allocation pressure)"));
+    }
+  }
+}
+
+}  // namespace adamgnn::util

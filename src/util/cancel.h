@@ -1,0 +1,127 @@
+// Cooperative cancellation for the serving path: a CancelToken is shared
+// state that a request handler arms (with an optional steady-clock deadline)
+// and that the hot layers poll at natural boundaries — plan-construction
+// phases, pooling-level boundaries, ParallelFor chunk boundaries. Once the
+// token fires, every subsequent poll reports the same Status
+// (DeadlineExceeded / Cancelled / ResourceExhausted) and in-flight kernels
+// fast-forward over their remaining work; the layer that owns the request
+// discards the partial output and propagates the status. Cancellation is
+// strictly cooperative: nothing is interrupted mid-kernel-chunk, so an
+// expired request aborts in bounded time (one chunk / one checkpoint
+// stride) without ever tearing shared state.
+//
+// Determinism: polling never changes numerics — a run whose token never
+// fires is bitwise-identical to a run with no token at all. For tests, the
+// deadline clock can be replaced by fault injection
+// (FaultPlan::expire_deadline_at_check): the Nth cooperative check reports
+// expiry, so "the deadline fired exactly during level-2's fitness kernel"
+// reproduces bit-for-bit.
+//
+// Ambient binding: ScopedCancel binds a token to the current thread;
+// library code reaches it through CurrentCancel()/CheckCancel() instead of
+// threading a parameter through every kernel signature. util::ParallelFor
+// re-binds the caller's token inside pool workers for the duration of each
+// chunk, so nested checkpoints fire on worker threads too. With no token
+// bound, every checkpoint is one thread-local load — the training loop pays
+// nothing.
+
+#ifndef ADAMGNN_UTIL_CANCEL_H_
+#define ADAMGNN_UTIL_CANCEL_H_
+
+#include <chrono>
+#include <memory>
+
+#include "util/status.h"
+
+namespace adamgnn::util {
+
+/// Shared, thread-safe cancellation handle. Copies share the same state.
+/// A default-constructed token is inert (valid() == false): it never fires
+/// and polls cost nothing.
+class CancelToken {
+ public:
+  /// Inert token: never fires.
+  CancelToken() = default;
+
+  /// A token that only fires on an explicit Cancel()/CancelWith().
+  static CancelToken Cancellable();
+
+  /// A token with a steady-clock deadline `seconds` from now. seconds <= 0
+  /// produces an already-expired deadline (the first poll fires). While the
+  /// process fault injector is armed, polls additionally consult the
+  /// injected deadline clock (FaultPlan::expire_deadline_at_check).
+  static CancelToken WithTimeout(double seconds);
+
+  /// A token expiring at an absolute steady-clock instant. Used by retry
+  /// loops: every attempt gets a fresh token (so an attempt-scoped failure
+  /// does not poison the next attempt) that still honours the request's
+  /// one absolute deadline.
+  static CancelToken WithDeadlineAt(std::chrono::steady_clock::time_point t);
+
+  bool valid() const { return state_ != nullptr; }
+
+  /// Fires the token with Status::Cancelled. First cause wins; later calls
+  /// are no-ops.
+  void Cancel() const;
+  /// Fires the token with an explicit non-OK cause (e.g. ResourceExhausted
+  /// from an allocation-pressure checkpoint). First cause wins.
+  void CancelWith(Status reason) const;
+
+  /// True once the token has fired. A cheap peek: does NOT poll the
+  /// deadline clock (use Poll/Check at cooperative checkpoints).
+  bool cancelled() const;
+
+  /// Polls the deadline (real and injected clocks), then returns OK or the
+  /// firing cause. Safe from any thread.
+  Status Check() const;
+
+  /// Check() as a branch-friendly bool: true when the token has fired.
+  bool Poll() const { return !Check().ok(); }
+
+ private:
+  struct State;
+  explicit CancelToken(std::shared_ptr<State> state)
+      : state_(std::move(state)) {}
+
+  std::shared_ptr<State> state_;
+};
+
+/// Binds `token` as the calling thread's ambient cancellation context for
+/// the scope's lifetime; nestable (restores the previous binding). Holds a
+/// copy, so the scope keeps the shared state alive.
+class ScopedCancel {
+ public:
+  explicit ScopedCancel(const CancelToken& token);
+  ~ScopedCancel();
+  ScopedCancel(const ScopedCancel&) = delete;
+  ScopedCancel& operator=(const ScopedCancel&) = delete;
+
+ private:
+  CancelToken token_;
+  const CancelToken* prev_;
+};
+
+/// The token bound to the calling thread, or nullptr. The pointer is valid
+/// for the duration of the innermost ScopedCancel scope.
+const CancelToken* CurrentCancel();
+
+/// Polls the ambient token; OK when none is bound. The standard cooperative
+/// checkpoint for Status-returning layers:
+///   ADAMGNN_RETURN_NOT_OK(util::CheckCancel());
+Status CheckCancel();
+
+/// Cheap checkpoint for inner loops (call it strided, e.g. every 256
+/// iterations): true when the ambient token has fired. Polls the deadline.
+bool CancelRequested();
+
+/// Allocation-pressure checkpoint, called from the tensor storage layer on
+/// every buffer acquisition. Disarmed fault injector: one relaxed load.
+/// When the injector's allocation-failure window is open, fires the ambient
+/// token with ResourceExhausted — simulating allocation pressure without
+/// actually failing the allocation, so paths with no token (training) are
+/// counted but unaffected.
+void AllocCheckpoint();
+
+}  // namespace adamgnn::util
+
+#endif  // ADAMGNN_UTIL_CANCEL_H_

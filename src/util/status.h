@@ -24,6 +24,10 @@ enum class StatusCode {
   kFailedPrecondition,
   kNotImplemented,
   kInternal,
+  kDeadlineExceeded,
+  kResourceExhausted,
+  kCancelled,
+  kUnavailable,
 };
 
 /// Returns a stable human-readable name for a status code ("InvalidArgument").
@@ -60,6 +64,18 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

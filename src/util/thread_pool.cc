@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "obs/metrics.h"
+#include "util/cancel.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 
@@ -84,7 +85,24 @@ std::vector<ChunkRange> SplitRange(size_t begin, size_t end, size_t grain) {
 
 void ParallelForChunks(size_t num_chunks,
                        const std::function<void(size_t)>& fn) {
-  ThreadPool::Global().Run(num_chunks, static_cast<size_t>(NumThreads()), fn);
+  const CancelToken* ambient = CurrentCancel();
+  if (ambient == nullptr || !ambient->valid()) {
+    ThreadPool::Global().Run(num_chunks, static_cast<size_t>(NumThreads()), fn);
+    return;
+  }
+  // Serving path with a live cancellation token: poll at every chunk
+  // boundary, and skip remaining chunk bodies once the token fires — the
+  // output is garbage at that point and the request layer discards it after
+  // its own post-kernel CheckCancel(). The token is re-bound inside the
+  // chunk so nested checkpoints fire on pool workers too.
+  const CancelToken token = *ambient;  // copy shares state, outlives workers
+  const std::function<void(size_t)> wrapped = [&fn, &token](size_t c) {
+    if (token.Poll()) return;
+    ScopedCancel bind(token);
+    fn(c);
+  };
+  ThreadPool::Global().Run(num_chunks, static_cast<size_t>(NumThreads()),
+                           wrapped);
 }
 
 void ParallelFor(size_t begin, size_t end, size_t grain,

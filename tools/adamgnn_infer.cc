@@ -3,17 +3,35 @@
 // Usage:
 //   adamgnn_infer --task=nc --load=model.ckpt --synthetic=cora [--scale=0.2]
 //                 [--seed=1] [--levels=3] [--hidden=64] [--threads=N]
-//                 [--output=pred.tsv] [--repeat=N]
+//                 [--output=pred.tsv] [--repeat=N] [--timeout-ms=T]
+//                 [--max-inflight=B] [--max-retries=R]
 //   adamgnn_infer --task=lp --load=model.ckpt --edges=g.txt --features=x.txt
 //                 [...]
 //
-// Loads frozen weights written by `adamgnn_train --save`, builds one
-// core::GraphPlan for the input graph, and runs the tape-free
-// core::InferenceSession — no autograd tape, no gradient bookkeeping,
-// predictions bitwise-identical to the trainer's eval-mode forward at the
-// same checkpoint. --repeat measures the warm-plan path: repeated queries
-// against the same graph hit the session's per-plan result cache and skip
-// the pooling cascade entirely.
+// Loads frozen weights written by `adamgnn_train --save` and serves the
+// input graph through serve::ResilientServer: request deadline
+// (--timeout-ms), admission budget (--max-inflight), bounded retries with a
+// per-plan circuit breaker, and graceful degradation to a shallow plan or a
+// stale cached result when the full path cannot complete. Responses that ran
+// the full plan are bitwise-identical to the trainer's eval-mode forward at
+// the same checkpoint. --repeat measures the warm path: repeated requests
+// for the same graph hit the session's per-plan result cache.
+//
+// Exit codes (scriptable — see tools/check.sh):
+//   0  success (including degraded-mode responses; stderr names the mode)
+//   1  internal error (checkpoint write failure, unexpected status)
+//   2  bad flags / usage
+//   3  invalid input (unreadable or corrupt graph/feature/label/checkpoint
+//      files, NaN/Inf features, out-of-range edge endpoints)
+//   4  deadline exceeded or resources exhausted (admission reject, retry
+//      budget spent, circuit breaker open) with no degraded fallback
+//
+// Fault-injection flags (deterministic, for resilience drills):
+//   --inject-alloc-fault-at=N [--inject-alloc-fault-count=C] fail C
+//       consecutive tensor-allocation checkpoints starting at the Nth;
+//   --inject-deadline-at-check=N report the request deadline as expired
+//       from the Nth cooperative check onward (needs --timeout-ms so the
+//       request carries a deadline token).
 //
 // Output (--output, default stdout): `node<TAB>class` lines for nc (the
 // same format as `adamgnn_train --dump-predictions`), `u<TAB>v<TAB>score`
@@ -28,11 +46,11 @@
 #include <vector>
 
 #include "core/adamgnn_model.h"
-#include "core/graph_plan.h"
-#include "core/inference_session.h"
 #include "nn/linear.h"
 #include "nn/serialize.h"
+#include "serve/server.h"
 #include "tools/cli_common.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/random.h"
 #include "util/stopwatch.h"
@@ -45,11 +63,33 @@ using cli::FlagOr;
 
 const std::set<std::string>& KnownFlags() {
   static const std::set<std::string>* kKnown = new std::set<std::string>{
-      "help",    "task",  "load",   "edges",  "features", "labels",
-      "synthetic", "scale", "levels", "hidden", "classes",  "seed",
-      "threads", "output", "repeat", "metrics-out",
+      "help",        "task",         "load",
+      "edges",       "features",     "labels",
+      "synthetic",   "scale",        "levels",
+      "hidden",      "classes",      "seed",
+      "threads",     "output",       "repeat",
+      "metrics-out", "timeout-ms",   "max-inflight",
+      "max-retries", "inject-alloc-fault-at", "inject-alloc-fault-count",
+      "inject-deadline-at-check",
   };
   return *kKnown;
+}
+
+/// Maps a serving/input Status onto the CLI's exit-code contract.
+int ExitCodeFor(const util::Status& status) {
+  switch (status.code()) {
+    case util::StatusCode::kDeadlineExceeded:
+    case util::StatusCode::kResourceExhausted:
+    case util::StatusCode::kCancelled:
+    case util::StatusCode::kUnavailable:
+      return 4;
+    case util::StatusCode::kInvalidArgument:
+    case util::StatusCode::kFailedPrecondition:
+    case util::StatusCode::kNotFound:
+      return 3;
+    default:
+      return 1;
+  }
 }
 
 }  // namespace
@@ -62,7 +102,8 @@ int main(int argc, char** argv) {
         "[--features=F] [--labels=F] | "
         "--synthetic=acm|citeseer|cora|emails|dblp|wiki [--scale=S]) "
         "[--levels=K] [--hidden=D] [--classes=C] [--seed=S] [--threads=N] "
-        "[--output=FILE] [--repeat=N]\n"
+        "[--output=FILE] [--repeat=N] [--timeout-ms=T] [--max-inflight=B] "
+        "[--max-retries=R]\n"
         "  --load=CKPT   checkpoint from `adamgnn_train --save` (model\n"
         "                shape flags --levels/--hidden/--classes must match\n"
         "                the training run)\n"
@@ -70,9 +111,24 @@ int main(int argc, char** argv) {
         "                nc: node<TAB>class, lp: u<TAB>v<TAB>score\n"
         "  --repeat=N    run N extra warm queries against the cached plan\n"
         "                and report cold vs. warm latency\n"
-        "  --metrics-out=FILE  write request-latency histograms, plan-cache\n"
-        "                hit/miss counters, and trace spans as JSONL; \"-\"\n"
-        "                means stdout. ADAMGNN_METRICS env is the fallback.\n");
+        "  --timeout-ms=T  per-request deadline in milliseconds; an expired\n"
+        "                request aborts mid-plan or mid-forward with exit 4\n"
+        "                (0 = already expired, useful for drills)\n"
+        "  --max-inflight=B  admission budget (default 64); over-budget\n"
+        "                requests are shed with exit 4\n"
+        "  --max-retries=R  extra attempts for transient failures\n"
+        "                (default 1)\n"
+        "  --inject-alloc-fault-at=N [--inject-alloc-fault-count=C]\n"
+        "                deterministically fail C tensor allocations\n"
+        "                starting at the Nth (resilience drills)\n"
+        "  --inject-deadline-at-check=N  expire the deadline at the Nth\n"
+        "                cooperative check (needs --timeout-ms)\n"
+        "  --metrics-out=FILE  write request-latency histograms, serve.*\n"
+        "                resilience counters, plan-cache hit/miss counters,\n"
+        "                and trace spans as JSONL; \"-\" means stdout.\n"
+        "                ADAMGNN_METRICS env is the fallback.\n"
+        "exit codes: 0 ok, 1 internal, 2 bad flags, 3 invalid input,\n"
+        "            4 deadline/resources\n");
     return 0;
   }
   cli::ConfigureThreadsOrDie(flags);
@@ -92,12 +148,12 @@ int main(int argc, char** argv) {
   auto graph_result = cli::LoadInput(flags);
   if (!graph_result.ok()) {
     std::fprintf(stderr, "%s\n", graph_result.status().ToString().c_str());
-    return 2;
+    return 3;
   }
   graph::Graph g = std::move(graph_result).ValueOrDie();
   if (!g.has_features()) {
     std::fprintf(stderr, "input graph has no node features\n");
-    return 2;
+    return 3;
   }
   std::fprintf(stderr, "loaded %s\n", g.DebugString().c_str());
 
@@ -135,26 +191,74 @@ int main(int argc, char** argv) {
   util::Status load_status = nn::LoadParameters(load, &params);
   if (!load_status.ok()) {
     std::fprintf(stderr, "%s\n", load_status.ToString().c_str());
-    return 1;
+    return 3;
   }
 
-  // Cold query: plan construction + the full pooling cascade.
+  serve::ServerOptions server_options;
+  server_options.max_inflight = static_cast<size_t>(
+      cli::IntFlagOr(flags, "max-inflight", "64"));
+  server_options.max_retries =
+      static_cast<int>(cli::IntFlagOr(flags, "max-retries", "1"));
+  serve::ResilientServer server(model, server_options);
+
+  // Optional deterministic fault injection for resilience drills. Armed
+  // AFTER server construction so the counted allocations are serving work,
+  // not the weight snapshot.
+  const int alloc_at = static_cast<int>(
+      cli::IntFlagOr(flags, "inject-alloc-fault-at", "0"));
+  const int alloc_count = static_cast<int>(
+      cli::IntFlagOr(flags, "inject-alloc-fault-count", "1"));
+  const int deadline_at = static_cast<int>(
+      cli::IntFlagOr(flags, "inject-deadline-at-check", "0"));
+  if (alloc_at > 0 || deadline_at > 0) {
+    util::FaultPlan fault_plan;
+    fault_plan.fail_alloc_at = alloc_at;
+    fault_plan.fail_alloc_count = alloc_count;
+    fault_plan.expire_deadline_at_check = deadline_at;
+    util::FaultInjector::Instance().Arm(fault_plan);
+  }
+
+  serve::RequestOptions request;
+  if (flags.count("timeout-ms") > 0) {
+    request.timeout_s = cli::DoubleFlagOr(flags, "timeout-ms", "0") / 1e3;
+    if (request.timeout_s < 0) {
+      std::fprintf(stderr, "--timeout-ms must be >= 0\n");
+      return 2;
+    }
+  }
+
+  // Cold request: plan construction + the full pooling cascade.
   util::Stopwatch cold_watch;
-  core::InferenceSession session(model);
-  std::shared_ptr<const core::GraphPlan> plan =
-      core::GraphPlan::Build(g, config.lambda);
-  const core::InferenceSession::Result& result = session.Run(plan);
+  util::Result<serve::ServeResult> served = server.Serve(g, request);
   const double cold_ms = cold_watch.ElapsedSeconds() * 1e3;
+  if (!served.ok()) {
+    std::fprintf(stderr, "serve failed: %s\n",
+                 served.status().ToString().c_str());
+    cli::DumpMetricsOrDie(flags);  // the drill legs inspect these
+    return ExitCodeFor(served.status());
+  }
+  serve::ServeResult result = std::move(served).ValueOrDie();
+  std::fprintf(stderr, "served mode=%s lambda=%d levels=%d attempts=%d\n",
+               serve::ServeModeToString(result.mode), result.lambda_used,
+               result.levels_used, result.attempts);
 
   const int repeat = static_cast<int>(cli::IntFlagOr(flags, "repeat", "0"));
   if (repeat > 0) {
     util::Stopwatch warm_watch;
-    for (int i = 0; i < repeat; ++i) session.Run(plan);
+    for (int i = 0; i < repeat; ++i) {
+      util::Result<serve::ServeResult> warm = server.Serve(g, request);
+      if (!warm.ok()) {
+        std::fprintf(stderr, "warm serve failed: %s\n",
+                     warm.status().ToString().c_str());
+        cli::DumpMetricsOrDie(flags);
+        return ExitCodeFor(warm.status());
+      }
+    }
     const double warm_ms = warm_watch.ElapsedSeconds() * 1e3 / repeat;
-    std::fprintf(stderr, "cold query %.3f ms, warm query %.3f ms (x%d)\n",
+    std::fprintf(stderr, "cold request %.3f ms, warm request %.3f ms (x%d)\n",
                  cold_ms, warm_ms, repeat);
   } else {
-    std::fprintf(stderr, "cold query %.3f ms\n", cold_ms);
+    std::fprintf(stderr, "cold request %.3f ms\n", cold_ms);
   }
 
   const std::string output = FlagOr(flags, "output", "");
@@ -168,9 +272,16 @@ int main(int argc, char** argv) {
   }
 
   if (task == "nc") {
-    std::vector<int> pred = session.PredictNodes(plan);
-    for (size_t i = 0; i < pred.size(); ++i) {
-      std::fprintf(out, "%zu\t%d\n", i, pred[i]);
+    // Argmax over the served logits (degraded responses stay usable: the
+    // shallow forward produces the same shape at lower fidelity).
+    const tensor::Matrix& logits = result.logits;
+    for (size_t i = 0; i < logits.rows(); ++i) {
+      const double* row = logits.row(i);
+      size_t best = 0;
+      for (size_t c = 1; c < logits.cols(); ++c) {
+        if (row[c] > row[best]) best = c;
+      }
+      std::fprintf(out, "%zu\t%d\n", i, static_cast<int>(best));
     }
   } else {
     // Decoder-space link scores for every edge of the input graph.

@@ -433,6 +433,10 @@ int CheckInferMode(const ParsedFile& file) {
   int rc = 0;
   rc |= RequireCounter(file, "infer.requests", 1.0);
   rc |= RequireHistogramCount(file, "infer.request_seconds", 1.0);
+  // The serving CLI fronts the session with serve::ResilientServer, so a
+  // healthy infer run must show serve-layer traffic too.
+  rc |= RequireCounter(file, "serve.requests", 1.0);
+  rc |= RequireHistogramCount(file, "serve.request_seconds", 1.0);
   rc |= RequireCounter(file, "infer.plan_cache.misses", 1.0);
   rc |= RequireCounter(file, "infer.plan_cache.hits", 0.0);
   const double requests = file.counters.at("infer.requests");

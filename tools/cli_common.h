@@ -111,9 +111,20 @@ inline void ConfigureThreadsOrDie(const FlagMap& flags) {
   util::SetNumThreads(static_cast<int>(n));
 }
 
+inline util::Result<graph::Graph> LoadInputUnvalidated(const FlagMap& flags);
+
 /// Loads the input graph: --synthetic=NAME [--scale=S] or --edges=F
-/// [--features=F] [--labels=F]. Identical semantics in both CLIs.
+/// [--features=F] [--labels=F]. Identical semantics in both CLIs. Every
+/// loaded graph passes graph::ValidateGraph before it is returned — this is
+/// the single trust boundary for on-disk inputs, so a corrupt file fails
+/// here with InvalidArgument instead of as NaN embeddings mid-forward.
 inline util::Result<graph::Graph> LoadInput(const FlagMap& flags) {
+  ADAMGNN_ASSIGN_OR_RETURN(graph::Graph g, LoadInputUnvalidated(flags));
+  ADAMGNN_RETURN_NOT_OK(graph::ValidateGraph(g));
+  return g;
+}
+
+inline util::Result<graph::Graph> LoadInputUnvalidated(const FlagMap& flags) {
   const std::string synthetic = FlagOr(flags, "synthetic", "");
   if (!synthetic.empty()) {
     const double scale = DoubleFlagOr(flags, "scale", kDefaultScale);
