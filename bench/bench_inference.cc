@@ -15,6 +15,7 @@
 // non-zero unless the warm-plan repeated-query path is at least 3x faster
 // than the naive per-call forward.
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -83,9 +84,15 @@ int RunInferenceBench(const std::string& json_path) {
   }
   const double warm_ms = watch.ElapsedSeconds() * 1e3 / kWarmRepeats;
 
-  const double speedup_warm = naive_ms / (warm_ms > 1e-9 ? warm_ms : 1e-9);
+  // A warm query is a result-cache hit and routinely lands below the
+  // timer's practical resolution; dividing by the raw measurement used to
+  // report timer noise as a multi-million-x speedup. Clamping the
+  // denominator to one microsecond per query makes the figure a measurable
+  // LOWER BOUND on the real speedup instead of a meaningless ratio.
+  constexpr double kMinMeasurableMs = 1e-3;
+  const double speedup_warm = naive_ms / std::max(warm_ms, kMinMeasurableMs);
   const double speedup_uncached =
-      naive_ms / (uncached_ms > 1e-9 ? uncached_ms : 1e-9);
+      naive_ms / std::max(uncached_ms, kMinMeasurableMs);
 
   std::FILE* f = std::fopen(json_path.c_str(), "w");
   if (f == nullptr) {

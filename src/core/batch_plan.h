@@ -1,0 +1,82 @@
+// Batch-first precomputation: one BatchPlan turns a block-diagonal
+// graph::GraphBatch into (a) a single merged GraphPlan — one normalized
+// adjacency, one λ-hop ego enumeration, one hoisted feature constant over
+// the whole union — and (b) per-member views sliced back out of that merged
+// precompute, each bitwise-identical to what GraphPlan::Build would have
+// produced for the member alone.
+//
+// Why slicing is exact (the bitwise-equivalence argument, expanded in
+// DESIGN.md "Batch-first serving"):
+//   - The union has no cross-member edges, so every merged CSR row of Â and
+//     A contains exactly the member's entries with columns shifted by the
+//     member's node base; the symmetric normalization divides by per-row
+//     degrees, which are sums over those same entries in the same order —
+//     identical doubles.
+//   - EgoPairs::Build walks egos in ascending id order and BFS never leaves
+//     a connected component, so the merged pair list is the concatenation of
+//     the members' pair lists (each pair's BFS discovery order matches the
+//     single-graph run on the shifted adjacency lists). A member's level-0
+//     topology is therefore a contiguous pair range, rebased by its node
+//     offset.
+// Downstream, InferenceSession::TryRunBatch fuses only the operations whose
+// per-element summation order is member-local (the input GCN layer) and
+// runs the weight-dependent pooling cascade per member on these views — the
+// cascade's break conditions and segment-reduction chunk grains depend on
+// the global node count, so fusing them would break per-member bitwise
+// equality with the single-graph path.
+
+#ifndef ADAMGNN_CORE_BATCH_PLAN_H_
+#define ADAMGNN_CORE_BATCH_PLAN_H_
+
+#include <memory>
+#include <vector>
+
+#include "core/graph_plan.h"
+#include "graph/batch.h"
+#include "graph/sparse_matrix.h"
+#include "util/status.h"
+
+namespace adamgnn::core {
+
+class BatchPlan {
+ public:
+  /// One member's slice of the merged precompute — the exact inputs
+  /// GraphPlan::Build(member, lambda) would hold (fingerprint and feature
+  /// constant excluded; the batch keeps those merged).
+  struct MemberView {
+    size_t base = 0;       // first merged-node id of this member
+    size_t num_nodes = 0;  // member node count
+    std::shared_ptr<const graph::SparseMatrix> norm_adj;  // member Â
+    graph::SparseMatrix adjacency;                        // member A
+    LevelTopology level0;  // rebased λ-hop pairs + 1-hop lists
+  };
+
+  /// Builds the merged plan over `batch.merged` and slices the member
+  /// views. Cancellable like GraphPlan::TryBuild (polls the ambient token
+  /// between phases). InvalidArgument for lambda < 1 or an empty batch.
+  static util::Result<std::shared_ptr<const BatchPlan>> TryBuild(
+      const graph::GraphBatch& batch, int lambda);
+
+  /// Infallible TryBuild for tests/benches (aborts on error).
+  static std::shared_ptr<const BatchPlan> Build(const graph::GraphBatch& batch,
+                                                int lambda);
+
+  size_t num_members() const { return members_.size(); }
+  const MemberView& member(size_t m) const { return members_[m]; }
+  /// The merged union's plan (fused Â, features, fingerprint).
+  const std::shared_ptr<const GraphPlan>& merged() const { return merged_; }
+  /// Node offsets of the source batch (size num_members + 1).
+  const std::vector<size_t>& offsets() const { return offsets_; }
+  int lambda() const { return merged_->lambda(); }
+
+ private:
+  BatchPlan() = default;
+
+  std::shared_ptr<const GraphPlan> merged_;
+  std::vector<size_t> offsets_;
+  std::vector<MemberView> members_;
+};
+
+}  // namespace adamgnn::core
+
+#endif  // ADAMGNN_CORE_BATCH_PLAN_H_

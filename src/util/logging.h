@@ -76,6 +76,7 @@ class FatalLogMessage {
 
 #define ADAMGNN_DCHECK_GE(a, b) ADAMGNN_DCHECK((a) >= (b))
 #define ADAMGNN_DCHECK_EQ(a, b) ADAMGNN_DCHECK((a) == (b))
+#define ADAMGNN_DCHECK_LT(a, b) ADAMGNN_DCHECK((a) < (b))
 
 #define ADAMGNN_CHECK_EQ(a, b) ADAMGNN_CHECK((a) == (b))
 #define ADAMGNN_CHECK_NE(a, b) ADAMGNN_CHECK((a) != (b))

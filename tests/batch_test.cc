@@ -95,5 +95,111 @@ TEST(BatchTest, SingletonBatch) {
   EXPECT_EQ(batch.node_to_graph.size(), 4u);
 }
 
+TEST(BatchTest, RejectsZeroNodeMember) {
+  Graph g1 = SmallLabeled(3, 0, 14);
+  GraphBuilder b(0);
+  Graph empty = std::move(b).Build().ValueOrDie();
+  util::Result<GraphBatch> batch = MakeBatch({&g1, &empty});
+  ASSERT_FALSE(batch.ok());
+  EXPECT_EQ(batch.status().code(), util::StatusCode::kInvalidArgument);
+  EXPECT_NE(batch.status().message().find("member 1"), std::string::npos);
+}
+
+TEST(BatchTest, RejectionsNameTheOffendingMember) {
+  Graph g1 = SmallLabeled(2, 0, 15);
+  Graph g2 = SmallLabeled(2, 1, 16);
+  util::Result<GraphBatch> null_batch = MakeBatch({&g1, &g2, nullptr});
+  ASSERT_FALSE(null_batch.ok());
+  EXPECT_NE(null_batch.status().message().find("member 2"), std::string::npos);
+
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  util::Rng rng(17);
+  b.SetFeatures(tensor::Matrix::Gaussian(2, 7, 1.0, &rng)).CheckOK();
+  b.SetGraphLabel(1);
+  Graph wide = std::move(b).Build().ValueOrDie();
+  util::Result<GraphBatch> dim_batch = MakeBatch({&g1, &wide});
+  ASSERT_FALSE(dim_batch.ok());
+  EXPECT_NE(dim_batch.status().message().find("member 1"), std::string::npos);
+  EXPECT_NE(dim_batch.status().message().find("feature dim 7"),
+            std::string::npos);
+}
+
+TEST(BatchTest, UnlabeledMembersAllowedWhenLabelsNotRequired) {
+  GraphBuilder b(2);
+  b.AddEdge(0, 1).CheckOK();
+  util::Rng rng(18);
+  b.SetFeatures(tensor::Matrix::Gaussian(2, 3, 1.0, &rng)).CheckOK();
+  Graph unlabeled = std::move(b).Build().ValueOrDie();
+  Graph labeled = SmallLabeled(3, 1, 19);
+  MakeBatchOptions options;
+  options.require_labels = false;
+  GraphBatch batch = MakeBatch({&unlabeled, &labeled}, options).ValueOrDie();
+  EXPECT_EQ(batch.graph_labels, (std::vector<int>{-1, 1}));
+}
+
+TEST(BatchTest, OffsetsPartitionNodeToGraph) {
+  Graph g1 = SmallLabeled(2, 0, 20);
+  Graph g2 = SmallLabeled(5, 1, 21);
+  Graph g3 = SmallLabeled(3, 0, 22);
+  GraphBatch batch = MakeBatch({&g1, &g2, &g3}).ValueOrDie();
+  ASSERT_EQ(batch.offsets.size(), 4u);
+  EXPECT_EQ(batch.offsets.front(), 0u);
+  EXPECT_EQ(batch.offsets.back(), batch.merged.num_nodes());
+  for (size_t m = 0; m + 1 < batch.offsets.size(); ++m) {
+    for (size_t v = batch.offsets[m]; v < batch.offsets[m + 1]; ++v) {
+      EXPECT_EQ(batch.node_to_graph[v], m);
+    }
+  }
+}
+
+TEST(SplitRowsTest, SingleMemberIdentity) {
+  Graph g1 = SmallLabeled(4, 0, 23);
+  GraphBatch batch = MakeBatch({&g1}).ValueOrDie();
+  std::vector<tensor::Matrix> parts =
+      SplitRows(batch.merged.features(), batch.offsets).ValueOrDie();
+  ASSERT_EQ(parts.size(), 1u);
+  ASSERT_EQ(parts[0].rows(), g1.num_nodes());
+  ASSERT_EQ(parts[0].cols(), g1.feature_dim());
+  for (size_t r = 0; r < g1.num_nodes(); ++r) {
+    for (size_t j = 0; j < g1.feature_dim(); ++j) {
+      EXPECT_EQ(parts[0](r, j), g1.features()(r, j));
+    }
+  }
+}
+
+TEST(SplitRowsTest, HeterogeneousRoundTrip) {
+  Graph g1 = SmallLabeled(2, 0, 24);
+  Graph g2 = SmallLabeled(6, 1, 25);
+  Graph g3 = SmallLabeled(3, 1, 26);
+  const std::vector<const Graph*> members = {&g1, &g2, &g3};
+  GraphBatch batch = MakeBatch(members).ValueOrDie();
+  std::vector<tensor::Matrix> parts =
+      SplitRows(batch.merged.features(), batch.offsets).ValueOrDie();
+  ASSERT_EQ(parts.size(), members.size());
+  for (size_t m = 0; m < members.size(); ++m) {
+    const Graph& g = *members[m];
+    ASSERT_EQ(parts[m].rows(), g.num_nodes());
+    for (size_t r = 0; r < g.num_nodes(); ++r) {
+      for (size_t j = 0; j < g.feature_dim(); ++j) {
+        EXPECT_EQ(parts[m](r, j), g.features()(r, j));
+      }
+    }
+  }
+}
+
+TEST(SplitRowsTest, RejectsMalformedOffsets) {
+  tensor::Matrix merged(5, 2);
+  EXPECT_FALSE(SplitRows(merged, {}).ok());
+  EXPECT_FALSE(SplitRows(merged, {0}).ok());
+  EXPECT_FALSE(SplitRows(merged, {1, 5}).ok());   // must start at 0
+  EXPECT_FALSE(SplitRows(merged, {0, 4}).ok());   // must end at rows()
+  EXPECT_FALSE(SplitRows(merged, {0, 3, 2, 5}).ok());  // not ascending
+  util::Result<std::vector<tensor::Matrix>> bad =
+      SplitRows(merged, {0, 3, 2, 5});
+  ASSERT_FALSE(bad.ok());
+  EXPECT_NE(bad.status().message().find("member 1"), std::string::npos);
+}
+
 }  // namespace
 }  // namespace adamgnn::graph

@@ -557,6 +557,116 @@ TEST(ResilientServerTest, ConcurrentServesWithCancellationAreSafe) {
 }
 
 // ---------------------------------------------------------------------------
+// Micro-batching scheduler (batch_max > 1).
+
+TEST(ResilientServerTest, BatchedServesAreBitwiseIdenticalPerRequest) {
+  constexpr size_t kClients = 4;
+  constexpr int kRounds = 3;
+  util::Rng rng(21);
+  AdamGnn model(SmallConfig(5, 2), &rng);
+  std::vector<graph::Graph> graphs;
+  std::vector<InferenceSession::Result> refs;
+  for (size_t i = 0; i < kClients; ++i) {
+    graphs.push_back(Ring(10 + 3 * i, 5, /*seed=*/50 + i));
+    refs.push_back(Reference(model, graphs.back()));
+  }
+
+  ServerOptions options;
+  options.batch_max = kClients;
+  options.batch_wait_us = 50000;
+  options.allow_degraded = false;
+  ResilientServer server(model, options);
+
+  // Each client repeatedly serves its own graph; windows fuse whatever
+  // raced in. Every response — fused, cached, or singleton-bypassed — must
+  // be kFull and bitwise equal to the bare-session reference.
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  for (size_t i = 0; i < kClients; ++i) {
+    clients.emplace_back([&, i] {
+      for (int round = 0; round < kRounds; ++round) {
+        auto got = server.Serve(graphs[i]);
+        if (!got.ok() || got.ValueOrDie().mode != ServeMode::kFull ||
+            !(got.ValueOrDie().embeddings == refs[i].embeddings) ||
+            !(got.ValueOrDie().logits == refs[i].logits)) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& c : clients) c.join();
+  EXPECT_EQ(failures.load(), 0);
+}
+
+TEST(ResilientServerTest, QueueDelayExpiresMemberBeforeLaunch) {
+  util::Rng rng(22);
+  AdamGnn model(SmallConfig(4, 2), &rng);
+  graph::Graph g_fast = TwoTriangles();
+  graph::Graph g_slow = Ring(9, 4, /*seed=*/23);
+  const InferenceSession::Result ref = Reference(model, g_fast);
+
+  ServerOptions options;
+  options.batch_max = 2;
+  options.batch_wait_us = 1000000;  // the window fills long before this
+  options.allow_degraded = false;
+  options.max_retries = 0;
+  ResilientServer server(model, options);
+
+  // The leader stalls 30ms between fill and collection; the 5ms-deadline
+  // member is guaranteed to expire IN THE QUEUE and must be dropped before
+  // any fused work, while its batchmate is served normally.
+  FaultPlan plan;
+  plan.queue_delay_us = 30000;
+  ScopedFaultPlan scoped(plan);
+
+  util::Status slow_status = util::Status::OK();
+  util::Result<ServeResult> fast_result = util::Status::Internal("unset");
+  std::thread slow([&] {
+    RequestOptions request;
+    request.timeout_s = 0.005;
+    slow_status = server.Serve(g_slow, request).status();
+  });
+  std::thread fast([&] { fast_result = server.Serve(g_fast); });
+  slow.join();
+  fast.join();
+
+  EXPECT_EQ(slow_status.code(), util::StatusCode::kDeadlineExceeded);
+  ASSERT_TRUE(fast_result.ok());
+  EXPECT_EQ(fast_result.ValueOrDie().mode, ServeMode::kFull);
+  EXPECT_TRUE(fast_result.ValueOrDie().embeddings == ref.embeddings);
+}
+
+TEST(ResilientServerTest, FusedFailureFallsBackPerRequest) {
+  util::Rng rng(24);
+  AdamGnn model(SmallConfig(4, 2), &rng);
+  graph::Graph g_good = TwoTriangles();       // feature dim 4 == model
+  graph::Graph g_bad = Ring(8, 6, /*seed=*/25);  // feature dim 6: malformed
+  const InferenceSession::Result ref = Reference(model, g_good);
+
+  ServerOptions options;
+  options.batch_max = 2;
+  options.batch_wait_us = 500000;
+  options.allow_degraded = false;
+  ResilientServer server(model, options);
+
+  // The merge rejects the mismatched feature dims, failing the WHOLE fused
+  // attempt — but per-request semantics must survive: the innocent member
+  // retries sequentially and succeeds bitwise; the malformed one gets its
+  // own precise InvalidArgument, not vice versa.
+  util::Result<ServeResult> good_result = util::Status::Internal("unset");
+  util::Status bad_status = util::Status::OK();
+  std::thread good([&] { good_result = server.Serve(g_good); });
+  std::thread bad([&] { bad_status = server.Serve(g_bad).status(); });
+  good.join();
+  bad.join();
+
+  ASSERT_TRUE(good_result.ok());
+  EXPECT_EQ(good_result.ValueOrDie().mode, ServeMode::kFull);
+  EXPECT_TRUE(good_result.ValueOrDie().embeddings == ref.embeddings);
+  EXPECT_EQ(bad_status.code(), util::StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
 // Weight refresh.
 
 TEST(ResilientServerTest, RefreshWeightsDropsEveryCache) {

@@ -5,6 +5,7 @@
 //                 [--seed=1] [--levels=3] [--hidden=64] [--threads=N]
 //                 [--output=pred.tsv] [--repeat=N] [--timeout-ms=T]
 //                 [--max-inflight=B] [--max-retries=R]
+//                 [--batch-max=B] [--batch-wait-us=U] [--batch-graphs=N]
 //   adamgnn_infer --task=lp --load=model.ckpt --edges=g.txt --features=x.txt
 //                 [...]
 //
@@ -16,6 +17,14 @@
 // the full plan are bitwise-identical to the trainer's eval-mode forward at
 // the same checkpoint. --repeat measures the warm path: repeated requests
 // for the same graph hit the session's per-plan result cache.
+//
+// Micro-batching: --batch-max=B (> 1) turns on the server's batching
+// scheduler — concurrent requests are fused into one block-diagonal forward
+// (waiting up to --batch-wait-us for the batch to fill) and scattered back
+// per request, bitwise-identical to serving each graph alone.
+// --batch-graphs=N (synthetic input only) fans out N concurrent client
+// threads, each serving its own seed-variant of the input graph, to
+// exercise the scheduler from a single CLI invocation.
 //
 // Exit codes (scriptable — see tools/check.sh):
 //   0  success (including degraded-mode responses; stderr names the mode)
@@ -31,17 +40,23 @@
 //       consecutive tensor-allocation checkpoints starting at the Nth;
 //   --inject-deadline-at-check=N report the request deadline as expired
 //       from the Nth cooperative check onward (needs --timeout-ms so the
-//       request carries a deadline token).
+//       request carries a deadline token);
+//   --inject-queue-delay-us=U stall the batching scheduler's leader U
+//       microseconds before every collection window (with --timeout-ms this
+//       forces deterministic mid-queue deadline expiry).
 //
 // Output (--output, default stdout): `node<TAB>class` lines for nc (the
 // same format as `adamgnn_train --dump-predictions`), `u<TAB>v<TAB>score`
 // lines over the graph's edges for lp.
 
+#include <atomic>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <mutex>
 #include <set>
 #include <string>
+#include <thread>
 #include <utility>
 #include <vector>
 
@@ -69,8 +84,9 @@ const std::set<std::string>& KnownFlags() {
       "hidden",      "classes",      "seed",
       "threads",     "output",       "repeat",
       "metrics-out", "timeout-ms",   "max-inflight",
-      "max-retries", "inject-alloc-fault-at", "inject-alloc-fault-count",
-      "inject-deadline-at-check",
+      "max-retries", "batch-max",    "batch-wait-us",
+      "batch-graphs", "inject-alloc-fault-at", "inject-alloc-fault-count",
+      "inject-deadline-at-check", "inject-queue-delay-us",
   };
   return *kKnown;
 }
@@ -118,11 +134,22 @@ int main(int argc, char** argv) {
         "                requests are shed with exit 4\n"
         "  --max-retries=R  extra attempts for transient failures\n"
         "                (default 1)\n"
+        "  --batch-max=B  fuse up to B concurrent requests into one\n"
+        "                block-diagonal forward (default 1 = no batching);\n"
+        "                per-request results are bitwise-identical to\n"
+        "                serving each graph alone\n"
+        "  --batch-wait-us=U  how long the batch leader waits for the batch\n"
+        "                to fill before launching what has queued (default 0)\n"
+        "  --batch-graphs=N  fan out N concurrent client threads over N\n"
+        "                seed-variants of the synthetic input graph\n"
+        "                (rejected with --edges input)\n"
         "  --inject-alloc-fault-at=N [--inject-alloc-fault-count=C]\n"
         "                deterministically fail C tensor allocations\n"
         "                starting at the Nth (resilience drills)\n"
         "  --inject-deadline-at-check=N  expire the deadline at the Nth\n"
         "                cooperative check (needs --timeout-ms)\n"
+        "  --inject-queue-delay-us=U  stall the batch leader U microseconds\n"
+        "                before every collection window (drills)\n"
         "  --metrics-out=FILE  write request-latency histograms, serve.*\n"
         "                resilience counters, plan-cache hit/miss counters,\n"
         "                and trace spans as JSONL; \"-\" means stdout.\n"
@@ -199,6 +226,14 @@ int main(int argc, char** argv) {
       cli::IntFlagOr(flags, "max-inflight", "64"));
   server_options.max_retries =
       static_cast<int>(cli::IntFlagOr(flags, "max-retries", "1"));
+  const long long batch_max = cli::IntFlagOr(flags, "batch-max", "1");
+  const long long batch_wait_us = cli::IntFlagOr(flags, "batch-wait-us", "0");
+  if (batch_max < 1 || batch_wait_us < 0) {
+    std::fprintf(stderr, "--batch-max must be >= 1, --batch-wait-us >= 0\n");
+    return 2;
+  }
+  server_options.batch_max = static_cast<size_t>(batch_max);
+  server_options.batch_wait_us = batch_wait_us;
   serve::ResilientServer server(model, server_options);
 
   // Optional deterministic fault injection for resilience drills. Armed
@@ -210,11 +245,14 @@ int main(int argc, char** argv) {
       cli::IntFlagOr(flags, "inject-alloc-fault-count", "1"));
   const int deadline_at = static_cast<int>(
       cli::IntFlagOr(flags, "inject-deadline-at-check", "0"));
-  if (alloc_at > 0 || deadline_at > 0) {
+  const int queue_delay_us = static_cast<int>(
+      cli::IntFlagOr(flags, "inject-queue-delay-us", "0"));
+  if (alloc_at > 0 || deadline_at > 0 || queue_delay_us > 0) {
     util::FaultPlan fault_plan;
     fault_plan.fail_alloc_at = alloc_at;
     fault_plan.fail_alloc_count = alloc_count;
     fault_plan.expire_deadline_at_check = deadline_at;
+    fault_plan.queue_delay_us = queue_delay_us;
     util::FaultInjector::Instance().Arm(fault_plan);
   }
 
@@ -259,6 +297,70 @@ int main(int argc, char** argv) {
                  cold_ms, warm_ms, repeat);
   } else {
     std::fprintf(stderr, "cold request %.3f ms\n", cold_ms);
+  }
+
+  // Concurrent fan-out over seed-variant graphs: N client threads hit the
+  // server at once so the batching scheduler (--batch-max) has something to
+  // fuse. The base graph's predictions above are untouched by this section.
+  const int batch_graphs =
+      static_cast<int>(cli::IntFlagOr(flags, "batch-graphs", "1"));
+  if (batch_graphs > 1) {
+    if (flags.count("edges") > 0) {
+      std::fprintf(stderr,
+                   "--batch-graphs needs --synthetic input (seed variants "
+                   "of a file graph are not defined)\n");
+      return 2;
+    }
+    const long long base_seed = cli::IntFlagOr(flags, "seed",
+                                               cli::kDefaultSeed);
+    std::vector<graph::Graph> variants;
+    variants.reserve(static_cast<size_t>(batch_graphs) - 1);
+    for (int i = 1; i < batch_graphs; ++i) {
+      auto variant_flags = flags;
+      variant_flags["seed"] = std::to_string(base_seed + i);
+      auto variant = cli::LoadInput(variant_flags);
+      if (!variant.ok()) {
+        std::fprintf(stderr, "%s\n", variant.status().ToString().c_str());
+        return 3;
+      }
+      variants.push_back(std::move(variant).ValueOrDie());
+    }
+    std::atomic<int> ok_count{0};
+    std::atomic<int> degraded_count{0};
+    std::mutex failure_mu;
+    util::Status first_failure = util::Status::OK();
+    util::Stopwatch fanout_watch;
+    std::vector<std::thread> clients;
+    clients.reserve(static_cast<size_t>(batch_graphs));
+    for (int i = 0; i < batch_graphs; ++i) {
+      const graph::Graph* target =
+          i == 0 ? &g : &variants[static_cast<size_t>(i) - 1];
+      clients.emplace_back([&, target]() {
+        util::Result<serve::ServeResult> r = server.Serve(*target, request);
+        if (!r.ok()) {
+          std::lock_guard<std::mutex> lock(failure_mu);
+          if (first_failure.ok()) first_failure = r.status();
+          return;
+        }
+        ok_count.fetch_add(1);
+        if (r.ValueOrDie().mode != serve::ServeMode::kFull) {
+          degraded_count.fetch_add(1);
+        }
+      });
+    }
+    for (auto& t : clients) t.join();
+    const double fanout_ms = fanout_watch.ElapsedSeconds() * 1e3;
+    std::fprintf(stderr,
+                 "batched fan-out: %d concurrent requests, ok=%d "
+                 "(degraded=%d) in %.3f ms\n",
+                 batch_graphs, ok_count.load(), degraded_count.load(),
+                 fanout_ms);
+    if (ok_count.load() < batch_graphs) {
+      std::fprintf(stderr, "fan-out serve failed: %s\n",
+                   first_failure.ToString().c_str());
+      cli::DumpMetricsOrDie(flags);
+      return ExitCodeFor(first_failure);
+    }
   }
 
   const std::string output = FlagOr(flags, "output", "");

@@ -451,6 +451,28 @@ int CheckInferMode(const ParsedFile& file) {
                  hits, misses, requests);
     rc = 1;
   }
+  // The micro-batching scheduler (check.sh runs the infer leg with
+  // --batch-max/--batch-graphs): at least one multi-member batch must have
+  // been fused and scattered, with its scheduler histograms populated.
+  // Fused members run through infer.batch.* (never infer.requests or the
+  // plan cache), so the cache consistency check above stays exact.
+  rc |= RequireCounter(file, "serve.batch.batches", 1.0);
+  rc |= RequireCounter(file, "serve.batch.fused_requests", 2.0);
+  rc |= RequireHistogramCount(file, "serve.batch.size", 1.0);
+  rc |= RequireHistogramCount(file, "serve.batch.queue_wait_seconds", 1.0);
+  rc |= RequireCounter(file, "infer.batch.runs", 1.0);
+  rc |= RequireCounter(file, "infer.batch.members", 2.0);
+  if (file.counters.count("infer.batch.members") > 0 &&
+      file.counters.count("serve.batch.fused_requests") > 0 &&
+      file.counters.at("infer.batch.members") !=
+          file.counters.at("serve.batch.fused_requests")) {
+    std::fprintf(stderr,
+                 "check_metrics: infer.batch.members (%g) != "
+                 "serve.batch.fused_requests (%g)\n",
+                 file.counters.at("infer.batch.members"),
+                 file.counters.at("serve.batch.fused_requests"));
+    rc = 1;
+  }
   return rc;
 }
 
