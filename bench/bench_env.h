@@ -1,0 +1,45 @@
+// Shared execution-environment JSON block for the bench harnesses.
+//
+// Every BENCH_*.json used to record `hardware_concurrency` (and sometimes a
+// thread count) ad hoc, which let "hardware_concurrency": 1 sit next to a
+// benchmark actually running a 4-thread pool. This header is the one place
+// that writes the full provenance: the machine's core count, the pool size
+// the run requested, the parallelism the pool can actually deliver, and the
+// kernel ISA the dispatcher selected (plus what the CPU could have run).
+
+#ifndef ADAMGNN_BENCH_BENCH_ENV_H_
+#define ADAMGNN_BENCH_BENCH_ENV_H_
+
+#include <cstdio>
+#include <thread>
+
+#include "tensor/isa.h"
+#include "util/thread_pool.h"
+
+namespace adamgnn::bench {
+
+/// Writes the `"env": {...},` member (with trailing comma and newline) into
+/// an open JSON object. `indent` is the indentation of the member itself;
+/// nested fields indent two further spaces. Call it right after the opening
+/// `{` and after the run's thread/ISA configuration has been applied, so the
+/// recorded values are the ones the measurements ran under.
+inline void WriteEnvJson(std::FILE* f, const char* indent = "  ") {
+  std::fprintf(f, "%s\"env\": {\n", indent);
+  std::fprintf(f, "%s  \"hardware_concurrency\": %u,\n", indent,
+               std::thread::hardware_concurrency());
+  std::fprintf(f, "%s  \"requested_threads\": %d,\n", indent,
+               util::NumThreads());
+  std::fprintf(f, "%s  \"effective_parallelism\": %d,\n", indent,
+               util::EffectiveParallelism());
+  std::fprintf(f, "%s  \"isa\": \"%s\",\n", indent,
+               tensor::IsaName(tensor::ActiveIsa()));
+  std::fprintf(f, "%s  \"best_supported_isa\": \"%s\",\n", indent,
+               tensor::IsaName(tensor::BestSupportedIsa()));
+  std::fprintf(f, "%s  \"cpu_features\": \"%s\"\n", indent,
+               tensor::CpuFeatureString().c_str());
+  std::fprintf(f, "%s},\n", indent);
+}
+
+}  // namespace adamgnn::bench
+
+#endif  // ADAMGNN_BENCH_BENCH_ENV_H_

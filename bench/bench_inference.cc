@@ -20,6 +20,7 @@
 #include <cstring>
 #include <string>
 
+#include "bench_env.h"
 #include "core/adamgnn_model.h"
 #include "core/graph_plan.h"
 #include "core/inference_session.h"
@@ -99,8 +100,9 @@ int RunInferenceBench(const std::string& json_path) {
     std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
     return 1;
   }
+  std::fprintf(f, "{\n");
+  bench::WriteEnvJson(f);
   std::fprintf(f,
-               "{\n"
                "  \"dataset\": \"cora\",\n"
                "  \"scale\": %.2f,\n"
                "  \"nodes\": %zu,\n"

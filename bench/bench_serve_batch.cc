@@ -38,6 +38,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_env.h"
 #include "core/adamgnn_model.h"
 #include "core/graph_plan.h"
 #include "core/inference_session.h"
@@ -190,8 +191,9 @@ int RunServeBatchBench(const std::string& json_path, bool smoke) {
     std::fprintf(stderr, "cannot open %s for writing\n", json_path.c_str());
     return 1;
   }
+  std::fprintf(f, "{\n");
+  bench::WriteEnvJson(f);
   std::fprintf(f,
-               "{\n"
                "  \"dataset\": \"mutag\",\n"
                "  \"num_graphs\": %zu,\n"
                "  \"rounds\": %d,\n"

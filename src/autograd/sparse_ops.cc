@@ -4,6 +4,8 @@
 #include <cstdint>
 
 #include "autograd/ops.h"
+#include "tensor/simd_ops.h"
+#include "tensor/tuning.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
@@ -16,37 +18,15 @@ using tensor::Matrix;
 
 namespace {
 
-// Same fan-out gate and chunk cap as the CSR kernels in graph/sparse_matrix.cc.
-// Decompositions are pure functions of the shapes so SpMMValues stays
-// bitwise-deterministic at every thread count.
-constexpr size_t kMinParallelWork = size_t{1} << 20;  // nnz * dense cols
-constexpr size_t kEntryGrain = size_t{1} << 12;
-constexpr size_t kMaxScatterChunks = 8;
+// Grains come from tensor/tuning.h (single source of truth shared with
+// graph/sparse_matrix.cc and tensor/kernels.cc); inner loops run through the
+// per-ISA lane primitives of tensor/simd_ops.h, which use no FMA at any ISA
+// — so SpMMValues results are bitwise-identical across scalar/sse2/avx2.
 
-// Gather outputs are invariant to their decomposition (each output element
-// or row is produced by one sequential loop), so these grains only bound
-// dispatch overhead; mirrors kMaxGatherChunks in graph/sparse_matrix.cc.
-constexpr size_t kRowGrain = 256;
-constexpr size_t kMaxGatherChunks = 64;
-
-size_t GatherGrain(size_t entries, size_t work) {
-  if (work < kMinParallelWork) return entries == 0 ? 1 : entries;
-  return kEntryGrain;
-}
-
-size_t RowGatherGrain(size_t rows, size_t work) {
-  if (work < kMinParallelWork) return rows == 0 ? 1 : rows;
-  return std::max(kRowGrain, (rows + kMaxGatherChunks - 1) / kMaxGatherChunks);
-}
-
-size_t ScatterGrain(size_t entries, size_t work) {
-  if (work < kMinParallelWork) return entries == 0 ? 1 : entries;
-  return std::max<size_t>(
-      kEntryGrain, (entries + kMaxScatterChunks - 1) / kMaxScatterChunks);
-}
-
-// out(row_indices[k], :) += weight(k) * x(col_indices[k], :) for k in
-// [0, nnz), scattered through per-chunk partials merged in chunk order.
+// Legacy engine: out(out_rows[k], :) += weight(k) * x(in_rows[k], :) for k
+// in [0, nnz), scattered through per-chunk partials merged in chunk order.
+// The entry-chunk decomposition is a pure function of the shapes, so the
+// merge — and the result — is bitwise-identical at every thread count.
 template <typename WeightFn>
 void ScatterRows(const SparsePattern& pattern,
                  const std::vector<size_t>& out_rows,
@@ -55,8 +35,8 @@ void ScatterRows(const SparsePattern& pattern,
   const size_t nnz = pattern.nnz();
   const size_t d = x.cols();
   if (nnz == 0) return;
-  const std::vector<util::ChunkRange> chunks =
-      util::SplitRange(0, nnz, ScatterGrain(nnz, nnz * d));
+  const std::vector<util::ChunkRange> chunks = util::SplitRange(
+      0, nnz, tensor::tuning::LegacyEntryScatterGrain(nnz, nnz * d));
   std::vector<Matrix> partials;
   for (size_t ci = 1; ci < chunks.size(); ++ci) {
     partials.emplace_back(out->rows(), d);
@@ -73,69 +53,42 @@ void ScatterRows(const SparsePattern& pattern,
   for (const Matrix& partial : partials) *out += partial;
 }
 
-// Gather counterpart of ScatterRows: identical math and — by replaying the
-// legacy entry-chunk summation order — identical bits, without per-chunk
-// partial matrices. `groups` holds each output row's entry ids ascending;
-// the scatter kernel splits the entry range into chunks of `legacy_grain`
-// and merges partials in ascending chunk order, so flushing a per-row
-// accumulator into the (zero-initialized) output row whenever the entry id
-// crosses a legacy chunk boundary reproduces ((chunk0 + chunk1) + ...) term
-// for term. Chunks holding no entry for a row contribute +0.0 partials, and
-// x + (+0.0) is bitwise x for every x these sums can produce (a sum started
-// at +0.0 is never -0.0), so skipping them changes nothing. Each output row
-// is owned by one task: race-free at any thread count.
-template <typename WeightFn>
-void GatherRows(const SparsePattern::EntryGroups& groups,
-                const std::vector<size_t>& in_rows, WeightFn weight,
+// Engine counterpart of ScatterRows with adaptive strategy selection.
+// `transpose=false` computes out(row, :) += w(k) * x(col, :) (forward);
+// `transpose=true` swaps the index roles (the dx backward). Both strategies
+// fold each output row's contributions in ascending entry order into the
+// zero-initialized `out`, so they produce identical bits — to each other and
+// to a plain serial loop — at every ISA and thread count. The serial
+// strategy additionally skips building (and caching) the entry groups: the
+// right call when the pool cannot help or the multiply is small.
+void EngineSpmm(const SparsePattern& pattern, bool transpose, const double* w,
                 const Matrix& x, Matrix* out) {
-  const size_t nnz = groups.order.size();
+  const size_t nnz = pattern.nnz();
   const size_t d = x.cols();
   if (nnz == 0) return;
-  const size_t legacy_grain = ScatterGrain(nnz, nnz * d);
-  const bool multi_chunk = legacy_grain < nnz;
+  const std::vector<size_t>& out_rows =
+      transpose ? pattern.col_indices : pattern.row_indices;
+  const std::vector<size_t>& in_rows =
+      transpose ? pattern.row_indices : pattern.col_indices;
+  const tensor::SimdOps* ops = tensor::ActiveOps();
+  const int ep = util::EffectiveParallelism();
+  if (tensor::tuning::ChooseSpmmTranspose(nnz, d, out->rows(), ep) ==
+      tensor::tuning::ReduceStrategy::kSerialScatter) {
+    for (size_t k = 0; k < nnz; ++k) {
+      ops->axpy(out->row(out_rows[k]), x.row(in_rows[k]), d, w[k]);
+    }
+    return;
+  }
+  const std::shared_ptr<const SparsePattern::EntryGroups> groups =
+      transpose ? pattern.ColGroups() : pattern.RowGroups();
+  const tensor::GatherSpec spec{groups->offsets.data(), groups->order.data(),
+                                in_rows.data(),         w,
+                                x.data(),               d,
+                                out->data(),            false};
   util::ParallelFor(
-      0, out->rows(), RowGatherGrain(out->rows(), nnz * d),
-      [&](size_t r0, size_t r1) {
-        std::vector<double> acc;
-        if (multi_chunk) acc.assign(d, 0.0);
-        for (size_t r = r0; r < r1; ++r) {
-          double* orow = out->row(r);
-          const size_t begin = groups.offsets[r];
-          const size_t end = groups.offsets[r + 1];
-          if (!multi_chunk) {
-            for (size_t i = begin; i < end; ++i) {
-              const size_t k = groups.order[i];
-              const double v = weight(k);
-              const double* xr = x.row(in_rows[k]);
-              for (size_t j = 0; j < d; ++j) orow[j] += v * xr[j];
-            }
-            continue;
-          }
-          size_t current_chunk = SIZE_MAX;
-          for (size_t i = begin; i < end; ++i) {
-            const size_t k = groups.order[i];
-            const size_t chunk = k / legacy_grain;
-            if (chunk != current_chunk) {
-              if (current_chunk != SIZE_MAX) {
-                for (size_t j = 0; j < d; ++j) {
-                  orow[j] += acc[j];
-                  acc[j] = 0.0;
-                }
-              }
-              current_chunk = chunk;
-            }
-            const double v = weight(k);
-            const double* xr = x.row(in_rows[k]);
-            for (size_t j = 0; j < d; ++j) acc[j] += v * xr[j];
-          }
-          if (current_chunk != SIZE_MAX) {
-            for (size_t j = 0; j < d; ++j) {
-              orow[j] += acc[j];
-              acc[j] = 0.0;
-            }
-          }
-        }
-      });
+      0, out->rows(),
+      tensor::tuning::GatherRowGrain(out->rows(), nnz * d, ep),
+      [&](size_t r0, size_t r1) { ops->gather_rows(spec, r0, r1); });
 }
 
 // Counting sort of entry ids by `keys`, ids ascending within each group.
@@ -220,8 +173,7 @@ Matrix SpMMValuesForward(const SparsePattern& pattern, const Matrix& values,
     ScatterRows(pattern, pattern.row_indices, pattern.col_indices,
                 [&values](size_t k) { return values(k, 0); }, x, &out);
   } else {
-    GatherRows(*pattern.RowGroups(), pattern.col_indices,
-               [&values](size_t k) { return values(k, 0); }, x, &out);
+    EngineSpmm(pattern, /*transpose=*/false, values.data(), x, &out);
   }
   return out;
 }
@@ -239,10 +191,14 @@ Variable SpMMValues(std::shared_ptr<const SparsePattern> pattern,
         const size_t d = px->value.cols();
         const size_t nnz = pattern->nnz();
         if (pv->requires_grad) {
-          // Gather: dvals(k) is owned by exactly one chunk.
+          // Gather: dvals(k) is owned by exactly one chunk. Scalar
+          // ascending-j dots, identical at every ISA.
           Matrix dvals(nnz, 1);
           util::ParallelFor(
-              0, nnz, GatherGrain(nnz, nnz * d), [&](size_t b, size_t e) {
+              0, nnz,
+              tensor::tuning::GatherEntryGrain(nnz, nnz * d,
+                                               util::EffectiveParallelism()),
+              [&](size_t b, size_t e) {
                 for (size_t k = b; k < e; ++k) {
                   const double* g = self.grad.row(pattern->row_indices[k]);
                   const double* xr = px->value.row(pattern->col_indices[k]);
@@ -264,8 +220,7 @@ Variable SpMMValues(std::shared_ptr<const SparsePattern> pattern,
                         [&vals](size_t k) { return vals(k, 0); }, self.grad,
                         &dx);
           } else {
-            GatherRows(*pattern->ColGroups(), pattern->row_indices,
-                       [&vals](size_t k) { return vals(k, 0); }, self.grad,
+            EngineSpmm(*pattern, /*transpose=*/true, vals.data(), self.grad,
                        &dx);
           }
           AccumulateGrad(px.get(), dx);

@@ -6,38 +6,19 @@
 #include <cstdint>
 #include <sstream>
 
+#include "tensor/simd_ops.h"
+#include "tensor/tuning.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
 
+// Grains and strategy selection come from tensor/tuning.h (the former local
+// GatherGrain/ScatterGrain copies are deduped there); the row-gather inner
+// loops run through the per-ISA vtable in tensor/simd_ops.h. The lane
+// primitives use no FMA at any ISA, so SpMM results are bitwise-identical
+// across scalar/sse2/avx2 and identical to the plain serial loops they
+// replaced.
+
 namespace adamgnn::graph {
-
-namespace {
-
-// Gate and grains for the parallel SpMM paths. Pure functions of the operand
-// shapes, so decompositions — and therefore results — are bitwise-identical
-// at every thread count (see util/thread_pool.h).
-constexpr size_t kMinParallelWork = size_t{1} << 20;  // nnz * dense cols
-constexpr size_t kSpmmRowGrain = 256;
-constexpr size_t kMaxScatterChunks = 8;
-// Gather outputs are invariant to the row decomposition (each output row is
-// produced by one sequential loop), so the grain only controls dispatch
-// overhead. Capping the chunk count keeps pool dispatch cheap on large
-// matrices without starving wide thread pools.
-constexpr size_t kMaxGatherChunks = 64;
-
-size_t GatherGrain(size_t rows, size_t work) {
-  if (work < kMinParallelWork) return rows == 0 ? 1 : rows;
-  return std::max(kSpmmRowGrain,
-                  (rows + kMaxGatherChunks - 1) / kMaxGatherChunks);
-}
-
-size_t ScatterGrain(size_t rows, size_t work) {
-  if (work < kMinParallelWork) return rows == 0 ? 1 : rows;
-  return std::max<size_t>(kSpmmRowGrain,
-                          (rows + kMaxScatterChunks - 1) / kMaxScatterChunks);
-}
-
-}  // namespace
 
 SparseMatrix SparseMatrix::FromTriplets(size_t rows, size_t cols,
                                         std::vector<Triplet> triplets) {
@@ -151,35 +132,24 @@ double SparseMatrix::At(size_t r, size_t c) const {
 tensor::Matrix SparseMatrix::MultiplyDense(const tensor::Matrix& x) const {
   ADAMGNN_CHECK_EQ(cols_, x.rows());
   // Uninitialized output: every row is either zeroed (no entries) or fully
-  // written below. The first entry is stored as `0.0 + v * x` — the exact
-  // value the zero-initialized accumulation produced (the explicit add
-  // keeps -0.0 products normalizing to +0.0, so results stay bitwise
+  // written by the gather kernel, whose first-entry store is `0.0 + v * x` —
+  // the exact value the zero-initialized accumulation produced (the explicit
+  // add keeps -0.0 products normalizing to +0.0, so results stay bitwise
   // unchanged) — which lets the buffer skip its fill pass entirely.
   tensor::Matrix out = tensor::Matrix::Uninit(rows_, x.cols());
+  const size_t d = x.cols();
+  const tensor::SimdOps* ops = tensor::ActiveOps();
   // Gather: each output row is owned by exactly one chunk, so row
   // partitioning is race-free and bitwise-deterministic.
+  const tensor::GatherSpec spec{row_offsets_.data(), nullptr,
+                                col_indices_.data(), values_.data(),
+                                x.data(),            d,
+                                out.data(),          true};
   util::ParallelFor(
-      0, rows_, GatherGrain(rows_, nnz() * x.cols()),
-      [&](size_t r0, size_t r1) {
-        for (size_t r = r0; r < r1; ++r) {
-          double* or_ = out.row(r);
-          const size_t kb = row_offsets_[r], ke = row_offsets_[r + 1];
-          if (kb == ke) {
-            std::fill(or_, or_ + x.cols(), 0.0);
-            continue;
-          }
-          {
-            const double v = values_[kb];
-            const double* xr = x.row(col_indices_[kb]);
-            for (size_t j = 0; j < x.cols(); ++j) or_[j] = 0.0 + v * xr[j];
-          }
-          for (size_t k = kb + 1; k < ke; ++k) {
-            const double v = values_[k];
-            const double* xr = x.row(col_indices_[k]);
-            for (size_t j = 0; j < x.cols(); ++j) or_[j] += v * xr[j];
-          }
-        }
-      });
+      0, rows_,
+      tensor::tuning::GatherRowGrain(rows_, nnz() * d,
+                                     util::EffectiveParallelism()),
+      [&](size_t r0, size_t r1) { ops->gather_rows(spec, r0, r1); });
   return out;
 }
 
@@ -235,81 +205,39 @@ tensor::Matrix SparseMatrix::TransposeMultiplyDense(
 tensor::Matrix SparseMatrix::TransposeMultiplyDenseGather(
     const tensor::Matrix& x) const {
   if (rows_ == 0 || nnz() == 0) return tensor::Matrix(cols_, x.cols());
-  // Uninitialized output, as in MultiplyDense: rows with no entries are
-  // zeroed explicitly, every other row's first contribution is stored
-  // rather than accumulated onto the (former) zero fill.
-  tensor::Matrix out = tensor::Matrix::Uninit(cols_, x.cols());
-  const std::shared_ptr<const TransposeView> view = EnsureTransposeView();
   const size_t d = x.cols();
-  // The gather replays the scatter kernel's floating-point summation order
-  // exactly. The scatter splits the *source* rows into chunks of
-  // `legacy_grain` and merges per-chunk partials in ascending chunk order;
-  // within a chunk, a given output row's contributions arrive in ascending
-  // source-row order. The view stores each output row's entries in ascending
-  // source-row order, so flushing a per-row accumulator into the output row
-  // whenever the source row crosses a legacy chunk boundary reproduces
-  //   out = ((chunk0 + chunk1) + chunk2) + ...
-  // term for term. Chunks that hold no entry for a row contribute a +0.0
-  // partial, and x + (+0.0) is bitwise x for every x the kernel can produce
-  // (a sum that starts at +0.0 can never be -0.0), so skipping empty chunks
-  // changes nothing. Each output row is owned by exactly one task: no
-  // partial matrices, no merge, race-free at any thread count.
-  const size_t legacy_grain = ScatterGrain(rows_, nnz() * d);
-  const bool multi_chunk = legacy_grain < rows_;
+  const tensor::SimdOps* ops = tensor::ActiveOps();
+  const int ep = util::EffectiveParallelism();
+  // Every output row's contributions fold in ascending source-row order
+  // from a +0.0 root, under both strategies below, so the strategy choice —
+  // and the pool size it consults — changes speed, never bits.
+  if (tensor::tuning::ChooseSpmmTranspose(nnz(), d, cols_, ep) ==
+      tensor::tuning::ReduceStrategy::kSerialScatter) {
+    // One ascending pass over the CSR rows, accumulating into a
+    // zero-initialized output. Skips building (and caching) the transposed
+    // view entirely — the right call for small one-shot multiplies.
+    tensor::Matrix out(cols_, d);
+    for (size_t r = 0; r < rows_; ++r) {
+      const double* xr = x.row(r);
+      for (size_t k = row_offsets_[r]; k < row_offsets_[r + 1]; ++k) {
+        ops->axpy(out.row(col_indices_[k]), xr, d, values_[k]);
+      }
+    }
+    return out;
+  }
+  // Gather: the cached transposed view stores each output row's entries in
+  // ascending source-row order — the same order the serial scatter above
+  // delivers them in — and each output row is owned by exactly one task:
+  // no partial matrices, no merge, race-free at any thread count.
+  tensor::Matrix out = tensor::Matrix::Uninit(cols_, d);
+  const std::shared_ptr<const TransposeView> view = EnsureTransposeView();
+  const tensor::GatherSpec spec{view->row_offsets.data(), nullptr,
+                                view->col_indices.data(), view->values.data(),
+                                x.data(),                 d,
+                                out.data(),               true};
   util::ParallelFor(
-      0, cols_, GatherGrain(cols_, nnz() * d), [&](size_t c0, size_t c1) {
-        std::vector<double> acc;
-        if (multi_chunk) acc.assign(d, 0.0);
-        for (size_t c = c0; c < c1; ++c) {
-          double* orow = out.row(c);
-          const size_t begin = view->row_offsets[c];
-          const size_t end = view->row_offsets[c + 1];
-          if (begin == end) {
-            std::fill(orow, orow + d, 0.0);
-            continue;
-          }
-          if (!multi_chunk) {
-            {
-              const double v = view->values[begin];
-              const double* xr = x.row(view->col_indices[begin]);
-              // 0.0 + : the zero-initialized accumulation's exact value.
-              for (size_t j = 0; j < d; ++j) orow[j] = 0.0 + v * xr[j];
-            }
-            for (size_t k = begin + 1; k < end; ++k) {
-              const double v = view->values[k];
-              const double* xr = x.row(view->col_indices[k]);
-              for (size_t j = 0; j < d; ++j) orow[j] += v * xr[j];
-            }
-            continue;
-          }
-          // The first flush stores instead of accumulating; acc is a
-          // +0.0-rooted running sum, so it can never hold -0.0 and the
-          // stored value equals the legacy 0.0 + acc bitwise.
-          bool first_flush = true;
-          size_t current_chunk = SIZE_MAX;
-          for (size_t k = begin; k < end; ++k) {
-            const size_t r = view->col_indices[k];
-            const size_t chunk = r / legacy_grain;
-            if (chunk != current_chunk) {
-              if (current_chunk != SIZE_MAX) {
-                for (size_t j = 0; j < d; ++j) {
-                  orow[j] = first_flush ? acc[j] : orow[j] + acc[j];
-                  acc[j] = 0.0;
-                }
-                first_flush = false;
-              }
-              current_chunk = chunk;
-            }
-            const double v = view->values[k];
-            const double* xr = x.row(r);
-            for (size_t j = 0; j < d; ++j) acc[j] += v * xr[j];
-          }
-          for (size_t j = 0; j < d; ++j) {
-            orow[j] = first_flush ? acc[j] : orow[j] + acc[j];
-            acc[j] = 0.0;
-          }
-        }
-      });
+      0, cols_, tensor::tuning::GatherRowGrain(cols_, nnz() * d, ep),
+      [&](size_t c0, size_t c1) { ops->gather_rows(spec, c0, c1); });
   return out;
 }
 
@@ -322,8 +250,9 @@ tensor::Matrix SparseMatrix::TransposeMultiplyDenseScatter(
   // chunk decomposition depends only on the shapes, which keeps the merge —
   // and the result — bitwise-identical at every thread count. A single
   // chunk writes straight into `out`, matching the plain serial loop.
-  const std::vector<util::ChunkRange> chunks =
-      util::SplitRange(0, rows_, ScatterGrain(rows_, nnz() * x.cols()));
+  const std::vector<util::ChunkRange> chunks = util::SplitRange(
+      0, rows_,
+      tensor::tuning::LegacySpmmScatterGrain(rows_, nnz() * x.cols()));
   std::vector<tensor::Matrix> partials;
   for (size_t ci = 1; ci < chunks.size(); ++ci) {
     partials.emplace_back(cols_, x.cols());

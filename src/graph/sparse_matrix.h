@@ -2,14 +2,18 @@
 // operator Â = D^{-1/2}(A+I)D^{-1/2}, the AdamGNN assignment matrices S_k,
 // and the pooled adjacencies A_k = S_kᵀ Â_{k-1} S_k.
 //
-// Training-path engine: TransposeMultiplyDense runs as a row-parallel
-// *gather* over a lazily built, cached transposed-CSR view (thread-safe
-// once-init), instead of the historical scatter-into-partials kernel. The
-// gather replays the scatter kernel's chunk-partial summation order exactly
-// (see the determinism note in the .cc), so results are bitwise-identical
-// to the legacy kernel at every shape and every thread count. The legacy
-// scatter path is retained behind SetSparseEngine(kLegacyScatter) as the
-// baseline for A/B benchmarks and bitwise-equality tests.
+// Training-path engine: TransposeMultiplyDense adaptively runs either as a
+// plain serial scatter or as a row-parallel *gather* over a lazily built,
+// cached transposed-CSR view (thread-safe once-init); the strategy is
+// picked per call from the problem shape and the effective pool parallelism
+// (tensor/tuning.h). Every strategy folds each output row's contributions
+// in the same ascending source-row order through the per-ISA lane
+// primitives (tensor/simd_ops.h, no FMA), so the engine's results are
+// bitwise-identical across strategies, thread counts, and ISAs. The legacy
+// scatter-into-partials path is retained behind
+// SetSparseEngine(kLegacyScatter) as the A/B baseline; its chunk-partial
+// merge order differs from the plain fold at multi-chunk shapes, so the two
+// engines agree to tolerance there (bitwise at single-chunk shapes).
 
 #ifndef ADAMGNN_GRAPH_SPARSE_MATRIX_H_
 #define ADAMGNN_GRAPH_SPARSE_MATRIX_H_
@@ -86,9 +90,10 @@ class SparseMatrix {
 
   /// this * dense. Shapes (r,c)(c,d) -> (r,d).
   tensor::Matrix MultiplyDense(const tensor::Matrix& x) const;
-  /// thisᵀ * dense without materializing the transpose. Gather over the
-  /// cached transposed view (legacy scatter under kLegacyScatter); both
-  /// engines produce bitwise-identical results.
+  /// thisᵀ * dense without materializing the transpose. Adaptive serial
+  /// scatter or gather over the cached transposed view (legacy
+  /// scatter-into-partials under kLegacyScatter). Engine strategies agree
+  /// bitwise with each other; the legacy engine agrees to tolerance.
   tensor::Matrix TransposeMultiplyDense(const tensor::Matrix& x) const;
 
   /// Builds the cached transposed-CSR view now (idempotent, thread-safe).

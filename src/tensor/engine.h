@@ -8,12 +8,16 @@
 
 namespace adamgnn::tensor {
 
-/// Which implementation the gather-able kernels run: SpMMᵀ over the cached
-/// transposed-CSR view and the grouped segment reductions (kCachedGather,
-/// the default), or the historical scatter-into-partials kernels
+/// Which implementation the gather-able kernels run: the adaptive
+/// serial-scatter / cached-gather strategies (kCachedGather, the default;
+/// see tensor/tuning.h) or the historical scatter-into-partials kernels
 /// (kLegacyScatter), retained so benchmarks and tests can reproduce the
-/// pre-engine behavior in the same binary. The two produce bitwise-identical
-/// results — flipping the switch changes speed, not math.
+/// pre-engine behavior in the same binary. Within kCachedGather every
+/// strategy folds each output row in ascending source order, so the engine
+/// is bitwise-deterministic across strategies, thread counts, and ISAs. The
+/// legacy engine merges per-chunk partials instead; its summation order
+/// matches the plain fold only at single-chunk shapes, so the two engines
+/// agree bitwise there and to numerical tolerance at larger shapes.
 enum class SparseEngine {
   kCachedGather,
   kLegacyScatter,

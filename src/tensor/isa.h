@@ -1,0 +1,61 @@
+#ifndef ADAMGNN_TENSOR_ISA_H_
+#define ADAMGNN_TENSOR_ISA_H_
+
+#include <string>
+
+// Runtime ISA selection for the kernel backend. The library ships three
+// kernel variants compiled in separate translation units (scalar, SSE2,
+// AVX2+FMA); at process start the dispatcher probes the CPU and picks the
+// widest supported one. `ADAMGNN_ISA=scalar|sse2|avx2` (env) or `--isa`
+// (both CLIs) forces a narrower variant for reproducibility across
+// machines.
+//
+// Determinism contract (see DESIGN.md "Kernel dispatch & determinism"):
+//   - At a fixed ISA, every kernel is bitwise-identical across thread
+//     counts.
+//   - Sparse/reduction kernels (SpMM, SpMM^T, SegmentSum, IndexAddRows) and
+//     the elementwise primitives avoid FMA contraction entirely, so they are
+//     bitwise-identical across ALL ISAs.
+//   - Dense GEMM differs on avx2 only through explicit FMA in the
+//     microkernel: scalar and sse2 agree bitwise; avx2 agrees within an
+//     ULP-bounded tolerance (tests/isa_test.cc).
+
+namespace adamgnn::tensor {
+
+enum class Isa : int {
+  kScalar = 0,  // portable C++, no vector intrinsics
+  kSse2 = 1,    // 128-bit lanes (baseline on x86-64)
+  kAvx2 = 2,    // 256-bit lanes + FMA in the GEMM microkernel
+};
+
+// Short lowercase name ("scalar", "sse2", "avx2").
+const char* IsaName(Isa isa);
+
+// Parses an ISA name; returns false (and leaves *out untouched) on an
+// unknown name.
+bool ParseIsa(const std::string& name, Isa* out);
+
+// Widest ISA the running CPU supports. kScalar on non-x86 builds.
+Isa BestSupportedIsa();
+
+inline bool IsaSupported(Isa isa) {
+  return static_cast<int>(isa) <= static_cast<int>(BestSupportedIsa());
+}
+
+// The ISA kernels currently dispatch to. Resolved on first use from
+// ADAMGNN_ISA (falling back to BestSupportedIsa on an absent/invalid value,
+// with a stderr warning for invalid ones).
+Isa ActiveIsa();
+
+// Forces the active ISA process-wide. Returns false (no change) if the CPU
+// does not support it — callers forcing an ISA for reproducibility must
+// fail loudly rather than silently compute different bits.
+bool SetIsa(Isa isa);
+
+// Space-separated CPU feature flags relevant to the backend (e.g.
+// "sse2 sse4.1 avx avx2 fma"), for bench JSON provenance.
+std::string CpuFeatureString();
+
+}  // namespace adamgnn::tensor
+
+#endif  // ADAMGNN_TENSOR_ISA_H_

@@ -4,55 +4,66 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/metrics.h"
 #include "tensor/engine.h"
+#include "tensor/isa.h"
+#include "tensor/simd_ops.h"
+#include "tensor/tuning.h"
+#include "tensor/workspace.h"
 #include "util/thread_pool.h"
-
-#if defined(__SSE2__)
-#include <emmintrin.h>
-#endif
 
 namespace adamgnn::tensor {
 
 namespace {
 
-// Parallelization thresholds and grains. Every decomposition below is a pure
-// function of the operand shapes — never of the thread count — so results
+// Elementwise thresholds and grains. These decompositions are pure
+// functions of the operand shapes — never of the thread count — so results
 // are bitwise-identical at any ADAMGNN_NUM_THREADS (see util/thread_pool.h).
-constexpr size_t kMinParallelFlops = size_t{1} << 20;  // matmul fan-out gate
-constexpr size_t kMatMulRowGrain = 32;                 // C rows per chunk
-constexpr size_t kMinParallelElems = size_t{1} << 15;  // elementwise gate
-constexpr size_t kElemGrain = size_t{1} << 14;         // elements per chunk
-constexpr size_t kMinScatterRows = size_t{1} << 12;    // segment-scatter gate
-constexpr size_t kMaxScatterChunks = 8;  // bounds partial-accumulator memory
+// GEMM and the gather-engine reductions additionally consult
+// util::EffectiveParallelism() via tensor/tuning.h, which is safe because
+// their bits are invariant to the decomposition.
+constexpr size_t kElemGrain = size_t{1} << 14;  // elements per chunk
 
 // Inputs at or below kLogTiny (including zero and negatives from degenerate
 // cluster assignments) are clamped before std::log so downstream training
 // never sees NaN/-inf. log(1e-300) ~= -690.8.
 constexpr double kLogTiny = 1e-300;
 
-size_t MatMulGrain(size_t m, size_t k, size_t n) {
-  // Serial (single chunk) below the fan-out gate: pool dispatch costs more
-  // than the multiply itself for the small matrices that dominate autograd.
-  if (m * k * n < kMinParallelFlops) return m;
-  return kMatMulRowGrain;
-}
-
 size_t ElemGrain(size_t total) {
-  return total < kMinParallelElems ? (total == 0 ? 1 : total) : kElemGrain;
+  return total < tuning::kMinParallelElems ? (total == 0 ? 1 : total)
+                                           : kElemGrain;
 }
 
 size_t RowGrain(size_t rows, size_t cols) {
   const size_t total = rows * cols;
-  if (total < kMinParallelElems) return rows == 0 ? 1 : rows;
+  if (total < tuning::kMinParallelElems) return rows == 0 ? 1 : rows;
   const size_t per_chunk = kElemGrain / (cols == 0 ? 1 : cols);
   return per_chunk < 1 ? 1 : per_chunk;
 }
 
-// Grain for scatter-style kernels that merge per-chunk partial accumulators:
-// capped at kMaxScatterChunks chunks so partial memory stays bounded.
-size_t ScatterGrain(size_t rows) {
-  const size_t by_cap = (rows + kMaxScatterChunks - 1) / kMaxScatterChunks;
-  return std::max(kMinScatterRows, by_cap);
+// Per-kernel-variant dispatch counters: which ISA the GEMMs ran at, and
+// which strategy the adaptive reductions picked.
+obs::Counter& GemmDispatchCounter(Isa isa) {
+  static obs::Counter* scalar_calls = new obs::Counter("kernel.gemm.scalar");
+  static obs::Counter* sse2_calls = new obs::Counter("kernel.gemm.sse2");
+  static obs::Counter* avx2_calls = new obs::Counter("kernel.gemm.avx2");
+  switch (isa) {
+    case Isa::kSse2:
+      return *sse2_calls;
+    case Isa::kAvx2:
+      return *avx2_calls;
+    default:
+      return *scalar_calls;
+  }
+}
+
+obs::Counter& SegmentStrategyCounter(tuning::ReduceStrategy strategy) {
+  static obs::Counter* serial_calls =
+      new obs::Counter("kernel.segment_reduce.serial");
+  static obs::Counter* gather_calls =
+      new obs::Counter("kernel.segment_reduce.gather");
+  return strategy == tuning::ReduceStrategy::kSerialScatter ? *serial_calls
+                                                            : *gather_calls;
 }
 
 // Writes c[i] = f(a[i]) into an uninitialized result: one read pass and one
@@ -81,11 +92,14 @@ void ParallelCombineInto(const Matrix& a, const Matrix& b, Matrix* c, F f) {
 }
 
 // ---------------------------------------------------------------------------
-// Register-blocked GEMM micro-kernels.
-//
-// Every variant computes each output element with a single accumulator over
-// ascending p, so all code paths (vector panel, scalar tails, any chunk
-// boundary) agree bitwise for the same inputs.
+// GEMM dispatch. The microkernels live in the per-ISA translation units
+// (kernels_{scalar,sse2,avx2}.cc, shared body in kernels_isa_body.inc);
+// this layer packs B once, fans C rows across the pool, and hands each
+// chunk a Workspace-backed A-packing scratch. Per output element the fold
+// is a single accumulator over ascending k (K blocks accumulate in order),
+// so results are bitwise-identical at every thread count for a fixed ISA;
+// scalar and sse2 agree bitwise, avx2 differs only via its explicit
+// in-kernel FMA (ULP-bounded, see tests/isa_test.cc).
 // ---------------------------------------------------------------------------
 
 // Packs b's 8-column panels into panel-major layout: panel j/8 occupies
@@ -107,151 +121,40 @@ std::vector<double> PackPanels(const Matrix& b) {
   return packed;
 }
 
-#if defined(__SSE2__)
-// 4 rows x 8 columns: 16 SSE accumulators against one packed k x 8 panel.
-inline void MicroKernel4x8(const double* a0, const double* a1,
-                           const double* a2, const double* a3, size_t a_stride,
-                           const double* panel, size_t k, double* c0,
-                           double* c1, double* c2, double* c3) {
-  __m128d s00 = _mm_setzero_pd(), s01 = _mm_setzero_pd(),
-          s02 = _mm_setzero_pd(), s03 = _mm_setzero_pd();
-  __m128d s10 = _mm_setzero_pd(), s11 = _mm_setzero_pd(),
-          s12 = _mm_setzero_pd(), s13 = _mm_setzero_pd();
-  __m128d s20 = _mm_setzero_pd(), s21 = _mm_setzero_pd(),
-          s22 = _mm_setzero_pd(), s23 = _mm_setzero_pd();
-  __m128d s30 = _mm_setzero_pd(), s31 = _mm_setzero_pd(),
-          s32 = _mm_setzero_pd(), s33 = _mm_setzero_pd();
-  for (size_t p = 0; p < k; ++p) {
-    const double* bp = panel + p * 8;
-    const __m128d b0 = _mm_loadu_pd(bp);
-    const __m128d b1 = _mm_loadu_pd(bp + 2);
-    const __m128d b2 = _mm_loadu_pd(bp + 4);
-    const __m128d b3 = _mm_loadu_pd(bp + 6);
-    __m128d x = _mm_set1_pd(a0[p * a_stride]);
-    s00 = _mm_add_pd(s00, _mm_mul_pd(x, b0));
-    s01 = _mm_add_pd(s01, _mm_mul_pd(x, b1));
-    s02 = _mm_add_pd(s02, _mm_mul_pd(x, b2));
-    s03 = _mm_add_pd(s03, _mm_mul_pd(x, b3));
-    x = _mm_set1_pd(a1[p * a_stride]);
-    s10 = _mm_add_pd(s10, _mm_mul_pd(x, b0));
-    s11 = _mm_add_pd(s11, _mm_mul_pd(x, b1));
-    s12 = _mm_add_pd(s12, _mm_mul_pd(x, b2));
-    s13 = _mm_add_pd(s13, _mm_mul_pd(x, b3));
-    x = _mm_set1_pd(a2[p * a_stride]);
-    s20 = _mm_add_pd(s20, _mm_mul_pd(x, b0));
-    s21 = _mm_add_pd(s21, _mm_mul_pd(x, b1));
-    s22 = _mm_add_pd(s22, _mm_mul_pd(x, b2));
-    s23 = _mm_add_pd(s23, _mm_mul_pd(x, b3));
-    x = _mm_set1_pd(a3[p * a_stride]);
-    s30 = _mm_add_pd(s30, _mm_mul_pd(x, b0));
-    s31 = _mm_add_pd(s31, _mm_mul_pd(x, b1));
-    s32 = _mm_add_pd(s32, _mm_mul_pd(x, b2));
-    s33 = _mm_add_pd(s33, _mm_mul_pd(x, b3));
-  }
-  _mm_storeu_pd(c0, s00);
-  _mm_storeu_pd(c0 + 2, s01);
-  _mm_storeu_pd(c0 + 4, s02);
-  _mm_storeu_pd(c0 + 6, s03);
-  _mm_storeu_pd(c1, s10);
-  _mm_storeu_pd(c1 + 2, s11);
-  _mm_storeu_pd(c1 + 4, s12);
-  _mm_storeu_pd(c1 + 6, s13);
-  _mm_storeu_pd(c2, s20);
-  _mm_storeu_pd(c2 + 2, s21);
-  _mm_storeu_pd(c2 + 4, s22);
-  _mm_storeu_pd(c2 + 6, s23);
-  _mm_storeu_pd(c3, s30);
-  _mm_storeu_pd(c3 + 2, s31);
-  _mm_storeu_pd(c3 + 4, s32);
-  _mm_storeu_pd(c3 + 6, s33);
-}
-#else
-// Portable fallback with the same accumulation order.
-inline void MicroKernel4x8(const double* a0, const double* a1,
-                           const double* a2, const double* a3, size_t a_stride,
-                           const double* panel, size_t k, double* c0,
-                           double* c1, double* c2, double* c3) {
-  double s0[8] = {0}, s1[8] = {0}, s2[8] = {0}, s3[8] = {0};
-  for (size_t p = 0; p < k; ++p) {
-    const double* bp = panel + p * 8;
-    const double x0 = a0[p * a_stride], x1 = a1[p * a_stride];
-    const double x2 = a2[p * a_stride], x3 = a3[p * a_stride];
-    for (int u = 0; u < 8; ++u) {
-      s0[u] += x0 * bp[u];
-      s1[u] += x1 * bp[u];
-      s2[u] += x2 * bp[u];
-      s3[u] += x3 * bp[u];
-    }
-  }
-  for (int u = 0; u < 8; ++u) {
-    c0[u] = s0[u];
-    c1[u] = s1[u];
-    c2[u] = s2[u];
-    c3[u] = s3[u];
-  }
-}
-#endif
-
-// One row x one packed 8-column panel.
-inline void MicroKernel1x8(const double* a0, size_t a_stride,
-                           const double* panel, size_t k, double* c0) {
-  double s[8] = {0};
-  for (size_t p = 0; p < k; ++p) {
-    const double* bp = panel + p * 8;
-    const double x = a0[p * a_stride];
-    for (int u = 0; u < 8; ++u) s[u] += x * bp[u];
-  }
-  for (int u = 0; u < 8; ++u) c0[u] = s[u];
-}
-
-// Computes C rows [i0, i1) of A(m,k) * B(k,n) against panel-packed B.
-// a_row(i) must return a pointer whose p-th element (stride a_stride) is
-// A(i, p) — this lets MatMulTransA reuse the kernel with A stored (k, m).
-template <typename ARow>
-void MatMulRowRange(ARow a_row, size_t a_stride, const Matrix& b,
-                    const std::vector<double>& packed, Matrix* c, size_t i0,
-                    size_t i1) {
-  const size_t k = b.rows(), n = b.cols();
+// Same layout for MatMulTransB, where the effective B'(p, j) = b(j, p):
+// panel row p holds b(8 * panel + u, p) for u in [0, 8).
+std::vector<double> PackPanelsTransB(const Matrix& b) {
+  const size_t k = b.cols(), n = b.rows();
   const size_t num_panels = n / 8;
-  size_t i = i0;
-  for (; i + 4 <= i1; i += 4) {
-    const double* a0 = a_row(i);
-    const double* a1 = a_row(i + 1);
-    const double* a2 = a_row(i + 2);
-    const double* a3 = a_row(i + 3);
-    for (size_t panel = 0; panel < num_panels; ++panel) {
-      const double* pk = packed.data() + panel * k * 8;
-      const size_t j = panel * 8;
-      MicroKernel4x8(a0, a1, a2, a3, a_stride, pk, k, c->row(i) + j,
-                     c->row(i + 1) + j, c->row(i + 2) + j, c->row(i + 3) + j);
-    }
-    for (size_t j = num_panels * 8; j < n; ++j) {
-      double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-      for (size_t p = 0; p < k; ++p) {
-        const double bpj = b.row(p)[j];
-        s0 += a0[p * a_stride] * bpj;
-        s1 += a1[p * a_stride] * bpj;
-        s2 += a2[p * a_stride] * bpj;
-        s3 += a3[p * a_stride] * bpj;
-      }
-      (*c)(i, j) = s0;
-      (*c)(i + 1, j) = s1;
-      (*c)(i + 2, j) = s2;
-      (*c)(i + 3, j) = s3;
+  std::vector<double> packed(num_panels * k * 8);
+  for (size_t panel = 0; panel < num_panels; ++panel) {
+    double* dst = packed.data() + panel * k * 8;
+    const size_t j = panel * 8;
+    for (int u = 0; u < 8; ++u) {
+      const double* br = b.row(j + u);
+      for (size_t p = 0; p < k; ++p) dst[p * 8 + u] = br[p];
     }
   }
-  for (; i < i1; ++i) {
-    const double* a0 = a_row(i);
-    for (size_t panel = 0; panel < num_panels; ++panel) {
-      MicroKernel1x8(a0, a_stride, packed.data() + panel * k * 8, k,
-                     c->row(i) + panel * 8);
-    }
-    for (size_t j = num_panels * 8; j < n; ++j) {
-      double s = 0.0;
-      for (size_t p = 0; p < k; ++p) s += a0[p * a_stride] * b.row(p)[j];
-      (*c)(i, j) = s;
-    }
-  }
+  return packed;
+}
+
+// Fans C rows across the pool; each chunk gets its own A-packing scratch
+// (groups of 4 rows interleaved, one K block at a time — see
+// kernels_isa_body.inc). proto.apack is filled in per chunk.
+void GemmDispatch(const GemmArgs& proto, size_t m, size_t k, size_t n) {
+  const SimdOps* ops = ActiveOps();
+  GemmDispatchCounter(ops->isa).Add();
+  const size_t grain =
+      tuning::MatMulGrain(m, k, n, util::EffectiveParallelism());
+  util::ParallelFor(0, m, grain, [&](size_t i0, size_t i1) {
+    const size_t kc = k < tuning::kGemmKc ? k : tuning::kGemmKc;
+    const size_t rows4 = (i1 - i0 + 3) & ~size_t{3};
+    std::vector<double> apack = Workspace::AcquireUninit(kc * rows4);
+    GemmArgs args = proto;
+    args.apack = apack.data();
+    ops->gemm_rows(args, i0, i1);
+    Workspace::Release(std::move(apack));
+  });
 }
 
 }  // namespace
@@ -261,12 +164,15 @@ Matrix MatMul(const Matrix& a, const Matrix& b) {
   Matrix c = Matrix::Uninit(a.rows(), b.cols());  // kernels store every entry
   const size_t m = a.rows(), k = a.cols(), n = b.cols();
   if (m == 0 || n == 0) return c;
+  if (k == 0) {  // K-blocked kernel never stores with an empty inner dim
+    std::fill(c.data(), c.data() + c.size(), 0.0);
+    return c;
+  }
   const std::vector<double> packed = PackPanels(b);
-  util::ParallelFor(0, m, MatMulGrain(m, k, n), [&](size_t i0, size_t i1) {
-    // A(i, p) lives at a.row(i)[p]: stride 1 along p.
-    MatMulRowRange([&a](size_t i) { return a.row(i); }, 1, b, packed, &c, i0,
-                   i1);
-  });
+  // A(i, p) at a[i * k + p]; B'(p, j) = b[p * n + j].
+  GemmDispatch({a.data(), k, 1, b.data(), n, 1, packed.data(), k, n, c.data(),
+                n, nullptr},
+               m, k, n);
   return c;
 }
 
@@ -275,13 +181,15 @@ Matrix MatMulTransA(const Matrix& a, const Matrix& b) {
   Matrix c = Matrix::Uninit(a.cols(), b.cols());  // kernels store every entry
   const size_t k = a.rows(), m = a.cols(), n = b.cols();
   if (m == 0 || n == 0) return c;
+  if (k == 0) {
+    std::fill(c.data(), c.data() + c.size(), 0.0);
+    return c;
+  }
   const std::vector<double> packed = PackPanels(b);
-  util::ParallelFor(0, m, MatMulGrain(m, k, n), [&](size_t i0, size_t i1) {
-    // (A^T)(i, p) = A(p, i) lives at a.data()[p * m + i]: stride m along p.
-    const double* base = a.data();
-    MatMulRowRange([base](size_t i) { return base + i; }, m, b, packed, &c,
-                   i0, i1);
-  });
+  // (A^T)(i, p) = A(p, i) at a[p * m + i]: row stride 1, element stride m.
+  GemmDispatch({a.data(), 1, m, b.data(), n, 1, packed.data(), k, n, c.data(),
+                n, nullptr},
+               m, k, n);
   return c;
 }
 
@@ -290,39 +198,15 @@ Matrix MatMulTransB(const Matrix& a, const Matrix& b) {
   Matrix c = Matrix::Uninit(a.rows(), b.rows());  // kernels store every entry
   const size_t m = a.rows(), k = a.cols(), n = b.rows();
   if (m == 0 || n == 0) return c;
-  util::ParallelFor(0, m, MatMulGrain(m, k, n), [&](size_t i0, size_t i1) {
-    // Row-row dot products; 1x4 register tile reuses each a load 4 times.
-    size_t i = i0;
-    for (; i < i1; ++i) {
-      const double* ai = a.row(i);
-      double* ci = c.row(i);
-      size_t j = 0;
-      for (; j + 4 <= n; j += 4) {
-        const double* b0 = b.row(j);
-        const double* b1 = b.row(j + 1);
-        const double* b2 = b.row(j + 2);
-        const double* b3 = b.row(j + 3);
-        double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
-        for (size_t p = 0; p < k; ++p) {
-          const double x = ai[p];
-          s0 += x * b0[p];
-          s1 += x * b1[p];
-          s2 += x * b2[p];
-          s3 += x * b3[p];
-        }
-        ci[j] = s0;
-        ci[j + 1] = s1;
-        ci[j + 2] = s2;
-        ci[j + 3] = s3;
-      }
-      for (; j < n; ++j) {
-        const double* bj = b.row(j);
-        double s = 0.0;
-        for (size_t p = 0; p < k; ++p) s += ai[p] * bj[p];
-        ci[j] = s;
-      }
-    }
-  });
+  if (k == 0) {
+    std::fill(c.data(), c.data() + c.size(), 0.0);
+    return c;
+  }
+  const std::vector<double> packed = PackPanelsTransB(b);
+  // (B^T)(p, j) = B(j, p) at b[j * k + p]: k stride 1, column stride k.
+  GemmDispatch({a.data(), k, 1, b.data(), 1, k, packed.data(), k, n, c.data(),
+                n, nullptr},
+               m, k, n);
   return c;
 }
 
@@ -534,58 +418,40 @@ void GroupRowsBySegment(const std::vector<size_t>& segments,
   }
 }
 
-/// Row-parallel gather form of segment summation: each output row is
-/// produced by one sequential pass over its (ascending) source rows, so no
-/// partial accumulators are allocated, zeroed, or merged. `emulate_grain`
-/// sets the summation order replayed bitwise: rows are accumulated into a
-/// scratch register file that is flushed into the output row at every
-/// legacy chunk boundary (chunk = r / emulate_grain), which reproduces the
-/// scatter kernel's chunk-partial merge order exactly; a grain >= rows
-/// replays the plain serial loop. Flushes of empty chunks are skipped: they
-/// would add +0.0, and a +0.0-rooted running sum can never be -0.0, so
-/// x + (+0.0) is bitwise x.
-void SegmentGatherInto(const Matrix& a, const std::vector<size_t>& offsets,
-                       const std::vector<size_t>& row_ids,
-                       size_t emulate_grain, Matrix* c) {
-  const size_t num_segments = c->rows(), cols = c->cols();
-  const size_t seg_grain =
-      std::max<size_t>(256, (num_segments + kMaxScatterChunks * 8 - 1) /
-                                (kMaxScatterChunks * 8));
-  util::ParallelFor(0, num_segments, seg_grain, [&](size_t sb, size_t se) {
-    std::vector<double> scratch(cols);
-    for (size_t s = sb; s < se; ++s) {
-      const size_t begin = offsets[s], end = offsets[s + 1];
-      double* cs = c->row(s);
-      // `c` arrives uninitialized: rows with no sources are zeroed here,
-      // and the FIRST flush below stores instead of accumulating. The
-      // stored value equals the legacy 0.0 + scratch bitwise because the
-      // scratch sum is +0.0-rooted and so can never be -0.0.
-      if (begin == end) {
-        std::fill(cs, cs + cols, 0.0);
-        continue;
-      }
-      std::fill(scratch.begin(), scratch.end(), 0.0);
-      bool first_flush = true;
-      size_t chunk = row_ids[begin] / emulate_grain;
-      for (size_t i = begin; i < end; ++i) {
-        const size_t r = row_ids[i];
-        const size_t rc = r / emulate_grain;
-        if (rc != chunk) {
-          for (size_t j = 0; j < cols; ++j) {
-            cs[j] = first_flush ? scratch[j] : cs[j] + scratch[j];
-          }
-          first_flush = false;
-          std::fill(scratch.begin(), scratch.end(), 0.0);
-          chunk = rc;
-        }
-        const double* ar = a.row(r);
-        for (size_t j = 0; j < cols; ++j) scratch[j] += ar[j];
-      }
-      for (size_t j = 0; j < cols; ++j) {
-        cs[j] = first_flush ? scratch[j] : cs[j] + scratch[j];
-      }
+/// Engine-path segment reduction with adaptive strategy selection. Both
+/// strategies fold each output row's sources in ascending source-row order
+/// through the per-ISA lane primitives (no FMA at any ISA), so they produce
+/// IDENTICAL bits — to each other, to the plain serial scatter loop, and
+/// across scalar/sse2/avx2. The choice is pure speed:
+///   kSerialScatter  — one ascending pass, no grouping, no pool dispatch;
+///                     wins when the pool cannot help or the work is small.
+///   kParallelGather — counting-sort rows by segment, then one pool task
+///                     per output-row range; no partial accumulators are
+///                     allocated, zeroed, or merged.
+Matrix SegmentReduceEngine(const Matrix& a, const std::vector<size_t>& segments,
+                           size_t num_segments) {
+  const size_t rows = a.rows(), cols = a.cols();
+  const SimdOps* ops = ActiveOps();
+  const tuning::ReduceStrategy strategy = tuning::ChooseSegmentReduce(
+      rows, cols, num_segments, util::EffectiveParallelism());
+  SegmentStrategyCounter(strategy).Add();
+  if (strategy == tuning::ReduceStrategy::kSerialScatter) {
+    Matrix c(num_segments, cols);  // zero-init: scatter accumulates in place
+    for (size_t r = 0; r < rows; ++r) {
+      ADAMGNN_CHECK_LT(segments[r], num_segments);
+      ops->vadd(c.row(segments[r]), a.row(r), cols);
     }
-  });
+    return c;
+  }
+  Matrix c = Matrix::Uninit(num_segments, cols);  // gather writes all rows
+  std::vector<size_t> offsets, row_ids;
+  GroupRowsBySegment(segments, num_segments, &offsets, &row_ids);
+  const GatherSpec spec{offsets.data(), nullptr, row_ids.data(), nullptr,
+                        a.data(),       cols,    c.data(),       true};
+  util::ParallelFor(
+      0, num_segments, tuning::SegmentGrain(num_segments),
+      [&](size_t s0, size_t s1) { ops->gather_rows(spec, s0, s1); });
+  return c;
 }
 
 }  // namespace
@@ -595,23 +461,18 @@ Matrix SegmentSum(const Matrix& a, const std::vector<size_t>& segments,
   ADAMGNN_CHECK_EQ(segments.size(), a.rows());
   const size_t rows = a.rows(), cols = a.cols();
   if (rows == 0) return Matrix(num_segments, cols);
-  const size_t grain = ScatterGrain(rows);
-  if (rows > grain && GetSparseEngine() == SparseEngine::kCachedGather) {
-    Matrix c = Matrix::Uninit(num_segments, cols);  // gather writes all rows
-    // Gather engine: group rows by segment, then one pass per output row,
-    // replaying the scatter kernel's chunk merge order bitwise (see
-    // SegmentGatherInto). Skips the legacy path's up-to-7 partial matrices
-    // of num_segments x cols — the dominant cost on allocation-bound boxes.
-    std::vector<size_t> offsets, row_ids;
-    GroupRowsBySegment(segments, num_segments, &offsets, &row_ids);
-    SegmentGatherInto(a, offsets, row_ids, grain, &c);
-    return c;
+  if (GetSparseEngine() == SparseEngine::kCachedGather) {
+    return SegmentReduceEngine(a, segments, num_segments);
   }
   Matrix c(num_segments, cols);
-  // Scatter with per-chunk partial accumulators, merged in ascending chunk
-  // order. The decomposition depends only on `rows`, so the merged result is
-  // bitwise-identical at every thread count; a single chunk (the common
-  // small case) accumulates straight into c exactly like the serial loop.
+  // Legacy scatter with per-chunk partial accumulators, merged in ascending
+  // chunk order. The decomposition depends only on `rows`, so the merged
+  // result is bitwise-identical at every thread count; a single chunk (the
+  // common small case) accumulates straight into c exactly like the serial
+  // loop. NOTE: at multi-chunk shapes this summation order differs from the
+  // engine's plain ascending fold — the engines agree to tolerance, not
+  // bitwise (see DESIGN.md "Kernel dispatch & determinism").
+  const size_t grain = tuning::LegacySegmentScatterGrain(rows);
   const std::vector<util::ChunkRange> chunks =
       util::SplitRange(0, rows, grain);
   std::vector<Matrix> partials;
@@ -637,17 +498,11 @@ Matrix IndexAddRows(const Matrix& a, const std::vector<size_t>& index,
   ADAMGNN_CHECK_EQ(index.size(), a.rows());
   const size_t rows = a.rows(), cols = a.cols();
   if (rows == 0) return Matrix(num_rows, cols);
-  // Historically a serial ascending-i scatter; the gather engine reproduces
-  // that exact summation order (emulate_grain >= rows means "one chunk" =
-  // the serial left-fold) while parallelizing across output rows. Worth the
-  // grouping pass only when the work is large enough to parallelize.
-  if (rows * cols >= kMinParallelElems &&
-      GetSparseEngine() == SparseEngine::kCachedGather) {
-    Matrix c = Matrix::Uninit(num_rows, cols);  // gather writes all rows
-    std::vector<size_t> offsets, row_ids;
-    GroupRowsBySegment(index, num_rows, &offsets, &row_ids);
-    SegmentGatherInto(a, offsets, row_ids, /*emulate_grain=*/rows, &c);
-    return c;
+  // The engine path is bitwise-identical to the serial loop below at every
+  // strategy (ascending-source left fold either way), so this branch only
+  // changes speed.
+  if (GetSparseEngine() == SparseEngine::kCachedGather) {
+    return SegmentReduceEngine(a, index, num_rows);
   }
   Matrix c(num_rows, cols);
   for (size_t i = 0; i < rows; ++i) {

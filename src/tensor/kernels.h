@@ -2,10 +2,19 @@
 // primitives; the autograd layer composes them into differentiable ops.
 //
 // Threading: the MatMul variants, elementwise maps, SoftmaxRows, and the
-// segment reductions run on the shared pool in util/thread_pool.h. All of
-// them use deterministic static partitioning, so results are
-// bitwise-identical at every thread count (ADAMGNN_NUM_THREADS /
-// util::SetNumThreads), including the serial threads == 1 fallback.
+// segment reductions run on the shared pool in util/thread_pool.h. Results
+// are bitwise-identical at every thread count (ADAMGNN_NUM_THREADS /
+// util::SetNumThreads), including the serial threads == 1 fallback: either
+// the decomposition is a pure function of the operand shapes, or (GEMM and
+// the engine-path reductions) every decomposition produces the same
+// per-element fold order, so consulting the pool size for strategy
+// selection cannot change bits.
+//
+// ISA dispatch: the inner loops run through the runtime-selected SIMD
+// backend (tensor/isa.h, ADAMGNN_ISA=scalar|sse2|avx2). Sparse/segment
+// kernels are bitwise-identical across all ISAs; the MatMul variants are
+// bitwise-identical between scalar and sse2, while avx2 uses explicit FMA
+// and differs within an ULP-bounded tolerance.
 
 #ifndef ADAMGNN_TENSOR_KERNELS_H_
 #define ADAMGNN_TENSOR_KERNELS_H_
@@ -78,9 +87,10 @@ Matrix SegmentMean(const Matrix& a, const std::vector<size_t>& segments,
 
 /// Indexed row accumulation: out(index[i], :) += a(i, :), out has num_rows
 /// rows. Bitwise-identical to the plain serial ascending-i loop at every
-/// thread count; under the gather engine large inputs run segment-grouped
-/// and row-parallel instead (the backward of a row gather, the forward of a
-/// row scatter). Every index must be < num_rows.
+/// thread count and strategy; under the gather engine large inputs run
+/// segment-grouped and row-parallel instead (the backward of a row gather,
+/// the forward of a row scatter), picked adaptively per call (see
+/// tensor/tuning.h). Every index must be < num_rows.
 Matrix IndexAddRows(const Matrix& a, const std::vector<size_t>& index,
                     size_t num_rows);
 

@@ -1,0 +1,182 @@
+// SSE2 (128-bit) kernel variant. See simd_ops.h for the contract. SSE2 is
+// the x86-64 baseline, so this TU needs no special compile flags; on other
+// targets the portable fallbacks below keep the exact same fold order (the
+// runtime dispatcher never selects this variant there anyway).
+//
+// Every lane operation is mul-then-add — no FMA exists at this ISA — so
+// axpy/vadd/gather results are bitwise-identical to the scalar variant, and
+// the GEMM microkernel reproduces the scalar fold per element exactly.
+
+#include "tensor/simd_ops.h"
+#include "tensor/tuning.h"
+
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+namespace adamgnn::tensor::simd {
+
+namespace {
+
+#if defined(__SSE2__)
+
+inline void Axpy(double* y, const double* x, size_t d, double w) {
+  const __m128d vw = _mm_set1_pd(w);
+  size_t j = 0;
+  for (; j + 2 <= d; j += 2) {
+    const __m128d p = _mm_mul_pd(vw, _mm_loadu_pd(x + j));
+    _mm_storeu_pd(y + j, _mm_add_pd(_mm_loadu_pd(y + j), p));
+  }
+  for (; j < d; ++j) y[j] += w * x[j];
+}
+
+inline void AxpyStore(double* y, const double* x, size_t d, double w) {
+  const __m128d vw = _mm_set1_pd(w);
+  const __m128d zero = _mm_setzero_pd();
+  size_t j = 0;
+  for (; j + 2 <= d; j += 2) {
+    const __m128d p = _mm_mul_pd(vw, _mm_loadu_pd(x + j));
+    _mm_storeu_pd(y + j, _mm_add_pd(zero, p));
+  }
+  for (; j < d; ++j) y[j] = 0.0 + w * x[j];
+}
+
+inline void VAdd(double* y, const double* x, size_t d) {
+  size_t j = 0;
+  for (; j + 2 <= d; j += 2) {
+    _mm_storeu_pd(y + j, _mm_add_pd(_mm_loadu_pd(y + j), _mm_loadu_pd(x + j)));
+  }
+  for (; j < d; ++j) y[j] += x[j];
+}
+
+// 4 rows x 8 columns: 16 xmm accumulators against one packed panel slice.
+inline void MicroKernel4x8(const double* ap, const double* bp, size_t kc,
+                           double* c0, double* c1, double* c2, double* c3,
+                           bool accumulate) {
+  __m128d s00, s01, s02, s03, s10, s11, s12, s13;
+  __m128d s20, s21, s22, s23, s30, s31, s32, s33;
+  if (accumulate) {
+    s00 = _mm_loadu_pd(c0);
+    s01 = _mm_loadu_pd(c0 + 2);
+    s02 = _mm_loadu_pd(c0 + 4);
+    s03 = _mm_loadu_pd(c0 + 6);
+    s10 = _mm_loadu_pd(c1);
+    s11 = _mm_loadu_pd(c1 + 2);
+    s12 = _mm_loadu_pd(c1 + 4);
+    s13 = _mm_loadu_pd(c1 + 6);
+    s20 = _mm_loadu_pd(c2);
+    s21 = _mm_loadu_pd(c2 + 2);
+    s22 = _mm_loadu_pd(c2 + 4);
+    s23 = _mm_loadu_pd(c2 + 6);
+    s30 = _mm_loadu_pd(c3);
+    s31 = _mm_loadu_pd(c3 + 2);
+    s32 = _mm_loadu_pd(c3 + 4);
+    s33 = _mm_loadu_pd(c3 + 6);
+  } else {
+    s00 = s01 = s02 = s03 = _mm_setzero_pd();
+    s10 = s11 = s12 = s13 = _mm_setzero_pd();
+    s20 = s21 = s22 = s23 = _mm_setzero_pd();
+    s30 = s31 = s32 = s33 = _mm_setzero_pd();
+  }
+  for (size_t p = 0; p < kc; ++p) {
+    const double* b = bp + p * 8;
+    const __m128d b0 = _mm_loadu_pd(b);
+    const __m128d b1 = _mm_loadu_pd(b + 2);
+    const __m128d b2 = _mm_loadu_pd(b + 4);
+    const __m128d b3 = _mm_loadu_pd(b + 6);
+    __m128d x = _mm_set1_pd(ap[p * 4]);
+    s00 = _mm_add_pd(s00, _mm_mul_pd(x, b0));
+    s01 = _mm_add_pd(s01, _mm_mul_pd(x, b1));
+    s02 = _mm_add_pd(s02, _mm_mul_pd(x, b2));
+    s03 = _mm_add_pd(s03, _mm_mul_pd(x, b3));
+    x = _mm_set1_pd(ap[p * 4 + 1]);
+    s10 = _mm_add_pd(s10, _mm_mul_pd(x, b0));
+    s11 = _mm_add_pd(s11, _mm_mul_pd(x, b1));
+    s12 = _mm_add_pd(s12, _mm_mul_pd(x, b2));
+    s13 = _mm_add_pd(s13, _mm_mul_pd(x, b3));
+    x = _mm_set1_pd(ap[p * 4 + 2]);
+    s20 = _mm_add_pd(s20, _mm_mul_pd(x, b0));
+    s21 = _mm_add_pd(s21, _mm_mul_pd(x, b1));
+    s22 = _mm_add_pd(s22, _mm_mul_pd(x, b2));
+    s23 = _mm_add_pd(s23, _mm_mul_pd(x, b3));
+    x = _mm_set1_pd(ap[p * 4 + 3]);
+    s30 = _mm_add_pd(s30, _mm_mul_pd(x, b0));
+    s31 = _mm_add_pd(s31, _mm_mul_pd(x, b1));
+    s32 = _mm_add_pd(s32, _mm_mul_pd(x, b2));
+    s33 = _mm_add_pd(s33, _mm_mul_pd(x, b3));
+  }
+  _mm_storeu_pd(c0, s00);
+  _mm_storeu_pd(c0 + 2, s01);
+  _mm_storeu_pd(c0 + 4, s02);
+  _mm_storeu_pd(c0 + 6, s03);
+  _mm_storeu_pd(c1, s10);
+  _mm_storeu_pd(c1 + 2, s11);
+  _mm_storeu_pd(c1 + 4, s12);
+  _mm_storeu_pd(c1 + 6, s13);
+  _mm_storeu_pd(c2, s20);
+  _mm_storeu_pd(c2 + 2, s21);
+  _mm_storeu_pd(c2 + 4, s22);
+  _mm_storeu_pd(c2 + 6, s23);
+  _mm_storeu_pd(c3, s30);
+  _mm_storeu_pd(c3 + 2, s31);
+  _mm_storeu_pd(c3 + 4, s32);
+  _mm_storeu_pd(c3 + 6, s33);
+}
+
+#else  // !__SSE2__: portable fallbacks with the same fold order.
+
+inline void Axpy(double* y, const double* x, size_t d, double w) {
+  for (size_t j = 0; j < d; ++j) y[j] += w * x[j];
+}
+
+inline void AxpyStore(double* y, const double* x, size_t d, double w) {
+  for (size_t j = 0; j < d; ++j) y[j] = 0.0 + w * x[j];
+}
+
+inline void VAdd(double* y, const double* x, size_t d) {
+  for (size_t j = 0; j < d; ++j) y[j] += x[j];
+}
+
+inline void MicroKernel4x8(const double* ap, const double* bp, size_t kc,
+                           double* c0, double* c1, double* c2, double* c3,
+                           bool accumulate) {
+  double s0[8], s1[8], s2[8], s3[8];
+  for (int u = 0; u < 8; ++u) {
+    s0[u] = accumulate ? c0[u] : 0.0;
+    s1[u] = accumulate ? c1[u] : 0.0;
+    s2[u] = accumulate ? c2[u] : 0.0;
+    s3[u] = accumulate ? c3[u] : 0.0;
+  }
+  for (size_t p = 0; p < kc; ++p) {
+    const double* b = bp + p * 8;
+    const double x0 = ap[p * 4], x1 = ap[p * 4 + 1];
+    const double x2 = ap[p * 4 + 2], x3 = ap[p * 4 + 3];
+    for (int u = 0; u < 8; ++u) {
+      s0[u] += x0 * b[u];
+      s1[u] += x1 * b[u];
+      s2[u] += x2 * b[u];
+      s3[u] += x3 * b[u];
+    }
+  }
+  for (int u = 0; u < 8; ++u) {
+    c0[u] = s0[u];
+    c1[u] = s1[u];
+    c2[u] = s2[u];
+    c3[u] = s3[u];
+  }
+}
+
+#endif  // __SSE2__
+
+#include "tensor/kernels_isa_body.inc"
+
+}  // namespace
+
+const SimdOps* Sse2Ops() {
+  static const SimdOps ops = {Isa::kSse2, "sse2", &GemmRowRange,
+                              &GatherRowRange, &Axpy, &AxpyStore,
+                              &VAdd};
+  return &ops;
+}
+
+}  // namespace adamgnn::tensor::simd

@@ -72,6 +72,15 @@ void SetNumThreads(int n) {
   g_thread_override.store(n < 0 ? 0 : n, std::memory_order_relaxed);
 }
 
+int EffectiveParallelism() {
+  static const int hardware = [] {
+    const unsigned hc = std::thread::hardware_concurrency();
+    return hc == 0 ? 1 : static_cast<int>(hc);
+  }();
+  const int pool = NumThreads();
+  return pool < hardware ? pool : hardware;
+}
+
 std::vector<ChunkRange> SplitRange(size_t begin, size_t end, size_t grain) {
   std::vector<ChunkRange> chunks;
   if (end <= begin) return chunks;

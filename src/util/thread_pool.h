@@ -30,6 +30,15 @@ int NumThreads();
 /// default (n == 0). Thread-safe; takes effect on the next ParallelFor.
 void SetNumThreads(int n);
 
+/// Parallelism the machine can actually deliver to the pool:
+/// min(NumThreads(), hardware_concurrency), always >= 1. The adaptive
+/// kernel-strategy selectors (tensor/tuning.h) consult this to skip pool
+/// dispatch when extra workers cannot help (e.g. a 4-thread pool pinned to
+/// one core). Safe for deterministic kernels ONLY because every strategy of
+/// the gather engine produces identical bits — the choice changes speed,
+/// never results.
+int EffectiveParallelism();
+
 /// One chunk of an index range: [begin, end).
 struct ChunkRange {
   size_t begin = 0;

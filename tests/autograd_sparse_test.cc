@@ -243,12 +243,16 @@ TEST(SpMMValuesThreadingTest, ForwardAndBackwardBitwiseAcrossThreadCounts) {
 }
 
 // ---------------------------------------------------------------------------
-// Engine A/B: the cached-gather engine must match the legacy scatter engine
-// bit for bit through every autograd sparse op, at a shape above the
-// parallel-work gate (where the kernels actually diverge in strategy).
+// Engine A/B: the cached-gather engine must agree with the legacy scatter
+// engine through every autograd sparse op at a shape above the
+// parallel-work gate. The legacy scatter merges per-chunk partial sums in a
+// different order than the engine's plain ascending fold, so agreement here
+// is to tolerance; each engine individually is bitwise thread-invariant
+// (covered by the threading tests above, which run the default engine, and
+// by the engine tests in kernels_test / sparse_matrix_test).
 // ---------------------------------------------------------------------------
 
-TEST(SparseEngineABTest, GatherMatchesLegacyScatterBitwise) {
+TEST(SparseEngineABTest, GatherMatchesLegacyScatterWithinTolerance) {
   auto s = LargeSparse(2000, 1500, 30000, 50);
   auto p = LargePattern(2000, 1500, 30000, 51);
   util::Rng rng(52);
@@ -288,7 +292,8 @@ TEST(SparseEngineABTest, GatherMatchesLegacyScatterBitwise) {
   const std::vector<Matrix> gather = run();
   ASSERT_EQ(legacy.size(), gather.size());
   for (size_t i = 0; i < legacy.size(); ++i) {
-    EXPECT_TRUE(gather[i] == legacy[i]) << "output " << i << " differs";
+    EXPECT_TRUE(tensor::AllClose(gather[i], legacy[i], 1e-9))
+        << "output " << i << " differs beyond tolerance";
   }
 }
 

@@ -82,7 +82,8 @@ const std::set<std::string>& KnownFlags() {
       "edges",       "features",     "labels",
       "synthetic",   "scale",        "levels",
       "hidden",      "classes",      "seed",
-      "threads",     "output",       "repeat",
+      "threads",     "isa",          "output",
+      "repeat",
       "metrics-out", "timeout-ms",   "max-inflight",
       "max-retries", "batch-max",    "batch-wait-us",
       "batch-graphs", "inject-alloc-fault-at", "inject-alloc-fault-count",
@@ -125,6 +126,9 @@ int main(int argc, char** argv) {
         "                the training run)\n"
         "  --output=FILE predictions file (default: stdout).\n"
         "                nc: node<TAB>class, lp: u<TAB>v<TAB>score\n"
+        "  --isa=scalar|sse2|avx2  force the SIMD kernel backend (default:\n"
+        "                ADAMGNN_ISA env or best supported); exits 2 if the\n"
+        "                CPU cannot run it\n"
         "  --repeat=N    run N extra warm queries against the cached plan\n"
         "                and report cold vs. warm latency\n"
         "  --timeout-ms=T  per-request deadline in milliseconds; an expired\n"
@@ -159,6 +163,7 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli::ConfigureThreadsOrDie(flags);
+  cli::ConfigureIsaOrDie(flags);
 
   const std::string load = FlagOr(flags, "load", "");
   if (load.empty()) {

@@ -45,8 +45,9 @@ const std::set<std::string>& KnownFlags() {
       "help",       "task",    "edges",   "features",
       "labels",     "synthetic", "scale", "levels",
       "hidden",     "epochs",  "lr",      "seed",
-      "threads",    "save",    "checkpoint", "checkpoint-every",
-      "resume",     "dump-predictions",     "metrics-out",
+      "threads",    "isa",     "save",    "checkpoint",
+      "checkpoint-every",      "resume",  "dump-predictions",
+      "metrics-out",
   };
   return *kKnown;
 }
@@ -168,6 +169,11 @@ int main(int argc, char** argv) {
         "  --threads=N  kernel worker threads (default: ADAMGNN_NUM_THREADS\n"
         "               env or hardware concurrency). Results are\n"
         "               bitwise-identical at every thread count.\n"
+        "  --isa=scalar|sse2|avx2  force the SIMD kernel backend (default:\n"
+        "               ADAMGNN_ISA env or best the CPU supports). Exits 2\n"
+        "               if the CPU cannot run the requested ISA. At a fixed\n"
+        "               ISA results are bitwise-reproducible; across ISAs\n"
+        "               dense matmuls may differ by a few ULPs (avx2 FMA).\n"
         "  --checkpoint=PATH        crash-safe resumable checkpoint file\n"
         "                           (parameters + Adam moments + RNG +\n"
         "                           epoch bookkeeping, atomic writes)\n"
@@ -184,7 +190,11 @@ int main(int argc, char** argv) {
     return 0;
   }
   cli::ConfigureThreadsOrDie(flags);
+  cli::ConfigureIsaOrDie(flags);
   std::printf("kernel threads: %d\n", util::NumThreads());
+  std::printf("kernel isa: %s (best supported: %s)\n",
+              tensor::IsaName(tensor::ActiveIsa()),
+              tensor::IsaName(tensor::BestSupportedIsa()));
   const std::string task = FlagOr(flags, "task", "nc");
 
   auto graph_result = cli::LoadInput(flags);

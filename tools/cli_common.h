@@ -22,6 +22,7 @@
 #include "data/node_datasets.h"
 #include "graph/io.h"
 #include "obs/export.h"
+#include "tensor/isa.h"
 #include "util/status.h"
 #include "util/string_util.h"
 #include "util/thread_pool.h"
@@ -109,6 +110,25 @@ inline void ConfigureThreadsOrDie(const FlagMap& flags) {
     std::exit(2);
   }
   util::SetNumThreads(static_cast<int>(n));
+}
+
+/// Applies --isa=scalar|sse2|avx2 to the kernel dispatcher. Unlike the
+/// ADAMGNN_ISA environment override (which warns and falls back), an
+/// explicit flag naming an ISA this CPU cannot run is an error: exit 2.
+inline void ConfigureIsaOrDie(const FlagMap& flags) {
+  if (flags.count("isa") == 0) return;
+  const std::string name = FlagOr(flags, "isa", "");
+  tensor::Isa isa;
+  if (!tensor::ParseIsa(name, &isa)) {
+    std::fprintf(stderr, "--isa must be scalar|sse2|avx2, got \"%s\"\n",
+                 name.c_str());
+    std::exit(2);
+  }
+  if (!tensor::SetIsa(isa)) {
+    std::fprintf(stderr, "--isa=%s is not supported on this CPU (best: %s)\n",
+                 name.c_str(), tensor::IsaName(tensor::BestSupportedIsa()));
+    std::exit(2);
+  }
 }
 
 inline util::Result<graph::Graph> LoadInputUnvalidated(const FlagMap& flags);
