@@ -13,6 +13,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "obs/metrics.h"
 #include "tensor/isa.h"
 #include "util/thread_pool.h"
 
@@ -35,8 +36,15 @@ inline void WriteEnvJson(std::FILE* f, const char* indent = "  ") {
                tensor::IsaName(tensor::ActiveIsa()));
   std::fprintf(f, "%s  \"best_supported_isa\": \"%s\",\n", indent,
                tensor::IsaName(tensor::BestSupportedIsa()));
-  std::fprintf(f, "%s  \"cpu_features\": \"%s\"\n", indent,
+  std::fprintf(f, "%s  \"cpu_features\": \"%s\",\n", indent,
                tensor::CpuFeatureString().c_str());
+  // Whether observability instrumentation could have perturbed the numbers:
+  // compiled out entirely (-DADAMGNN_OBS=OFF), present but switched off, or
+  // live and recording during the measured region.
+  std::fprintf(f, "%s  \"obs_compiled\": %s,\n", indent,
+               obs::Compiled() ? "true" : "false");
+  std::fprintf(f, "%s  \"obs_enabled\": %s\n", indent,
+               obs::Enabled() ? "true" : "false");
   std::fprintf(f, "%s},\n", indent);
 }
 

@@ -109,6 +109,46 @@ void InferenceSession::Snapshot(const AdamGnn& model) {
     graph_head_weight_ = tensor::Matrix();
     graph_head_bias_ = tensor::Matrix();
   }
+
+  // Version identity: FNV-1a over every frozen matrix, shapes included so
+  // structurally different checkpoints can never collide through zero-sized
+  // payloads. Same constants/mix as GraphPlan::Fingerprint.
+  constexpr uint64_t kOffset = 14695981039346656037ull;
+  constexpr uint64_t kPrime = 1099511628211ull;
+  uint64_t h = kOffset;
+  auto mix_u64 = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (i * 8)) & 0xffu;
+      h *= kPrime;
+    }
+  };
+  auto mix_matrix = [&](const tensor::Matrix& m) {
+    mix_u64(static_cast<uint64_t>(m.rows()));
+    mix_u64(static_cast<uint64_t>(m.cols()));
+    const auto* bytes = reinterpret_cast<const unsigned char*>(m.data());
+    const size_t n = m.rows() * m.cols() * sizeof(double);
+    for (size_t i = 0; i < n; ++i) {
+      h ^= bytes[i];
+      h *= kPrime;
+    }
+  };
+  mix_matrix(input_weight_);
+  mix_matrix(input_bias_);
+  for (const LevelWeights& lw : level_weights_) {
+    mix_matrix(lw.fitness_weight);
+    mix_matrix(lw.fitness_attention);
+    mix_matrix(lw.init_weight);
+    mix_matrix(lw.init_attention);
+    mix_matrix(lw.conv_weight);
+    mix_matrix(lw.conv_bias);
+  }
+  mix_matrix(flyback_weight_);
+  mix_matrix(flyback_attention_);
+  mix_matrix(node_head_weight_);
+  mix_matrix(node_head_bias_);
+  mix_matrix(graph_head_weight_);
+  mix_matrix(graph_head_bias_);
+  weights_fingerprint_ = h;
 }
 
 void InferenceSession::RefreshWeights(const AdamGnn& model) {

@@ -136,6 +136,12 @@ class InferenceSession {
 
   const AdamGnnConfig& config() const { return config_; }
 
+  /// FNV-1a digest of every frozen weight matrix (shapes + raw bytes),
+  /// computed at snapshot time. Two sessions with bitwise-identical weights
+  /// have equal fingerprints; the model registry uses this as the version
+  /// identity for canary bookkeeping and rollback verification.
+  uint64_t WeightsFingerprint() const { return weights_fingerprint_; }
+
   static constexpr size_t kMaxCachedPlans = 16;
 
  private:
@@ -159,6 +165,7 @@ class InferenceSession {
   void Snapshot(const AdamGnn& model);
 
   AdamGnnConfig config_;
+  uint64_t weights_fingerprint_ = 0;
   tensor::Matrix input_weight_, input_bias_;
   std::vector<LevelWeights> level_weights_;
   tensor::Matrix flyback_weight_, flyback_attention_;

@@ -415,6 +415,36 @@ util::Status LoadParameters(const std::string& path,
   return ParseParamsSection(it->second, params, path);
 }
 
+util::Result<CheckpointInfo> InspectCheckpoint(const std::string& path) {
+  ADAMGNN_ASSIGN_OR_RETURN(Container c, ReadContainer(path));
+  CheckpointInfo info;
+  info.version = c.version;
+  if (c.version == kVersionLegacy) {
+    // v1 has no section framing; the whole body is implicitly parameters.
+    Reader r(c.legacy_body.data(), c.legacy_body.size());
+    uint64_t count = 0;
+    if (!r.U64(&count)) {
+      return util::Status::InvalidArgument("truncated checkpoint: " + path);
+    }
+    info.num_param_tensors = count;
+    return info;
+  }
+  for (const auto& [tag, payload] : c.sections) {
+    info.section_tags.push_back(tag);
+    info.section_payload_sizes.push_back(payload.size());
+    if (tag == kSectionParams) {
+      Reader r(payload.data(), payload.size());
+      uint64_t count = 0;
+      if (!r.U64(&count)) {
+        return util::Status::InvalidArgument("truncated parameter section in " +
+                                             path);
+      }
+      info.num_param_tensors = count;
+    }
+  }
+  return info;
+}
+
 util::Status SaveTrainingCheckpoint(
     const std::vector<autograd::Variable>& params, const Adam& optimizer,
     const TrainingState& state, const std::string& path) {

@@ -100,6 +100,23 @@ util::Result<TrainingState> LoadTrainingCheckpoint(
     const std::string& path, std::vector<autograd::Variable>* params,
     Adam* optimizer);
 
+/// Structural summary of a checkpoint file, without loading it into a
+/// model. The hot-swap registry and tests use this to reason about section
+/// framing (e.g. computing every section boundary for truncation sweeps).
+struct CheckpointInfo {
+  uint32_t version = 0;
+  /// v2 only: tag and payload size of every section, in tag order (the
+  /// writer emits sections in ascending tag order).
+  std::vector<uint32_t> section_tags;
+  std::vector<uint64_t> section_payload_sizes;
+  /// Tensor count in the parameter section (0 when absent).
+  uint64_t num_param_tensors = 0;
+};
+
+/// Validates framing + CRCs (like any load) and returns the container
+/// structure. Fails with the loader's taxonomy on torn/corrupt files.
+util::Result<CheckpointInfo> InspectCheckpoint(const std::string& path);
+
 /// In-memory snapshot of parameter values — the cheap way to keep the
 /// best-validation weights during training and roll back at the end.
 class ParameterSnapshot {

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fallible_io.h"
 
 namespace adamgnn::obs {
 
@@ -138,16 +139,28 @@ util::Status WriteMetricsJsonl(const std::string& path) {
     std::fwrite(payload.data(), 1, payload.size(), stdout);
     return util::Status::OK();
   }
-  std::FILE* f = std::fopen(path.c_str(), "w");
+  // Crash-safe like checkpoints: write to a temp file, fsync, atomically
+  // rename over `path`. A kill at any point leaves either the previous
+  // metrics file or the complete new one — never a truncated JSONL a
+  // downstream parser chokes on. Goes through util::fallible_io so the
+  // fault-injection write/fsync/rename sweep covers this path too.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
     return util::Status::InvalidArgument("cannot open metrics output file: " +
-                                         path);
+                                         tmp);
   }
-  const size_t written = std::fwrite(payload.data(), 1, payload.size(), f);
-  const bool close_ok = std::fclose(f) == 0;
-  if (written != payload.size() || !close_ok) {
-    return util::Status::Internal("short write to metrics output file: " +
-                                  path);
+  util::Status status =
+      util::FallibleWrite(f, payload.data(), payload.size(), tmp);
+  if (status.ok()) status = util::FallibleFsync(f, tmp);
+  if (std::fclose(f) != 0 && status.ok()) {
+    status = util::Status::Internal("close failed for metrics output file: " +
+                                    tmp);
+  }
+  if (status.ok()) status = util::FallibleRename(tmp, path);
+  if (!status.ok()) {
+    std::remove(tmp.c_str());
+    return status;
   }
   return util::Status::OK();
 }

@@ -1,0 +1,244 @@
+#include "serve/model_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "core/inference_session.h"
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "util/logging.h"
+
+namespace adamgnn::serve {
+
+namespace {
+
+obs::Counter& ReloadAttempts() {
+  static obs::Counter c("serve.reload.attempts");
+  return c;
+}
+obs::Counter& ReloadSuccess() {
+  static obs::Counter c("serve.reload.success");
+  return c;
+}
+obs::Counter& ReloadRejected() {
+  static obs::Counter c("serve.reload.rejected");
+  return c;
+}
+obs::Counter& ReloadRollbacks() {
+  static obs::Counter c("serve.reload.rollbacks");
+  return c;
+}
+obs::Gauge& CurrentVersionGauge() {
+  static obs::Gauge g("serve.reload.current_version");
+  return g;
+}
+
+bool AllFinite(const tensor::Matrix& m) {
+  const double* p = m.data();
+  const size_t n = m.rows() * m.cols();
+  for (size_t i = 0; i < n; ++i) {
+    if (!std::isfinite(p[i])) return false;
+  }
+  return true;
+}
+
+/// Max per-element absolute difference; infinity on shape mismatch so a
+/// structurally different canary always exceeds any finite tolerance.
+double MaxAbsDiff(const tensor::Matrix& a, const tensor::Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) {
+    return std::numeric_limits<double>::infinity();
+  }
+  double worst = 0.0;
+  const double* pa = a.data();
+  const double* pb = b.data();
+  const size_t n = a.rows() * a.cols();
+  for (size_t i = 0; i < n; ++i) {
+    const double d = std::fabs(pa[i] - pb[i]);
+    if (d > worst) worst = d;
+  }
+  return worst;
+}
+
+}  // namespace
+
+ModelRegistry::ModelRegistry(const ModelRegistryOptions& options,
+                             graph::Graph probe)
+    : options_(options), probe_(std::move(probe)) {
+  ADAMGNN_CHECK(probe_.has_features());
+  util::Result<std::shared_ptr<const core::GraphPlan>> built =
+      core::GraphPlan::TryBuild(probe_, options_.config.lambda);
+  if (built.ok()) {
+    probe_plan_ = built.ValueOrDie();
+    probe_status_ = util::Status::OK();
+  } else {
+    probe_status_ = built.status();
+  }
+}
+
+util::Status ModelRegistry::CanaryGate(const tensor::Matrix& embeddings,
+                                       const tensor::Matrix& logits,
+                                       const ModelVersion* current) const {
+  // Gate 1: numeric sanity — a version that emits NaN/Inf on the pinned
+  // probe would poison every downstream consumer.
+  if (!AllFinite(embeddings) || !AllFinite(logits)) {
+    return util::Status::FailedPrecondition(
+        "canary gate: non-finite values in probe outputs");
+  }
+  // Gate 2: output shape against the registry's fixed architecture.
+  if (embeddings.rows() != probe_.num_nodes() ||
+      embeddings.cols() != options_.config.hidden_dim) {
+    return util::Status::FailedPrecondition(
+        "canary gate: embedding shape mismatch (" +
+        std::to_string(embeddings.rows()) + "x" +
+        std::to_string(embeddings.cols()) + ", expected " +
+        std::to_string(probe_.num_nodes()) + "x" +
+        std::to_string(options_.config.hidden_dim) + ")");
+  }
+  if (options_.config.num_classes > 0 &&
+      (logits.rows() != probe_.num_nodes() ||
+       logits.cols() != options_.config.num_classes)) {
+    return util::Status::FailedPrecondition(
+        "canary gate: logits shape mismatch");
+  }
+  // Gate 3: bounded divergence from the version we would displace. Guards
+  // against rolling out the WRONG weights (a checkpoint from a different
+  // run/task that is numerically healthy but semantically foreign).
+  if (options_.canary_tolerance >= 0 && current != nullptr) {
+    const double diff =
+        std::max(MaxAbsDiff(embeddings, current->canary_embeddings()),
+                 MaxAbsDiff(logits, current->canary_logits()));
+    if (diff > options_.canary_tolerance) {
+      return util::Status::FailedPrecondition(
+          "canary gate: probe divergence " + std::to_string(diff) +
+          " exceeds tolerance " + std::to_string(options_.canary_tolerance));
+    }
+  }
+  return util::Status::OK();
+}
+
+util::Result<std::shared_ptr<ModelVersion>> ModelRegistry::TryLoadVersion(
+    const std::string& path) {
+  ReloadAttempts().Add(1);
+  const auto reject = [](util::Status status) {
+    ReloadRejected().Add(1);
+    return status;
+  };
+  if (!probe_status_.ok()) return reject(probe_status_);
+
+  // Fresh scratch model per load: the checkpoint reader mutates parameters
+  // in place, so a mid-load failure can leave the scratch partially
+  // written — and the scratch is then simply discarded. Live versions are
+  // immutable and never see candidate bytes.
+  util::Rng rng(options_.scratch_seed);
+  core::AdamGnn model(options_.config, &rng);
+  std::vector<autograd::Variable> params = model.Parameters();
+  std::vector<autograd::Variable> extras;
+  if (options_.make_extra_params) {
+    extras = options_.make_extra_params(&rng);
+    for (auto& p : extras) params.push_back(p);
+  }
+  util::Status load_status = nn::LoadParameters(path, &params);
+  if (!load_status.ok()) return reject(std::move(load_status));
+
+  // Canary gate: a standalone frozen session (NOT the server — no
+  // admission/retry/degradation semantics apply to the probe) forwards the
+  // pinned probe graph.
+  core::InferenceSession canary(model);
+  const core::InferenceSession::Result* probe_out = nullptr;
+  util::Status run_status = canary.TryRun(probe_plan_, &probe_out);
+  if (!run_status.ok()) return reject(std::move(run_status));
+
+  std::shared_ptr<ModelVersion> current = Current();
+  util::Status gate = CanaryGate(probe_out->embeddings, probe_out->logits,
+                                 current.get());
+  if (!gate.ok()) return reject(std::move(gate));
+
+  auto version = std::shared_ptr<ModelVersion>(new ModelVersion());
+  version->source_path_ = path;
+  version->weights_fingerprint_ = canary.WeightsFingerprint();
+  version->canary_embeddings_ = probe_out->embeddings;
+  version->canary_logits_ = probe_out->logits;
+  version->extra_values_.reserve(extras.size());
+  for (const auto& p : extras) version->extra_values_.push_back(p.value());
+  version->server_ =
+      std::make_unique<ResilientServer>(model, options_.server);
+
+  // Atomic publish: one pointer swap under the registry mutex. Requests
+  // already serving against the displaced version keep their shared_ptr
+  // pins and finish on it untouched.
+  std::lock_guard<std::mutex> lock(mu_);
+  version->id_ = next_id_++;
+  previous_ = current_;
+  current_ = version;
+  history_.push_back(version);
+  EvictLocked();
+  ReloadSuccess().Add(1);
+  CurrentVersionGauge().Set(static_cast<double>(version->id_));
+  return version;
+}
+
+std::shared_ptr<ModelVersion> ModelRegistry::Current() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_;
+}
+
+std::shared_ptr<ModelVersion> ModelRegistry::Previous() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return previous_;
+}
+
+util::Status ModelRegistry::Rollback() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (previous_ == nullptr) {
+    return util::Status::FailedPrecondition(
+        "rollback: no last-known-good version");
+  }
+  std::swap(current_, previous_);
+  ReloadRollbacks().Add(1);
+  CurrentVersionGauge().Set(static_cast<double>(current_->id_));
+  return util::Status::OK();
+}
+
+util::Status ModelRegistry::Unload(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = history_.begin(); it != history_.end(); ++it) {
+    if ((*it)->id() != id) continue;
+    if (*it == current_ || *it == previous_) {
+      return util::Status::FailedPrecondition(
+          "unload: version " + std::to_string(id) +
+          " is current or last-known-good");
+    }
+    // use_count == 1 means only the history entry holds it; anything more
+    // is an external pin (an in-flight request or a caller-held handle).
+    if (it->use_count() > 1) {
+      return util::Status::FailedPrecondition(
+          "unload: version " + std::to_string(id) +
+          " is pinned by outstanding references");
+    }
+    history_.erase(it);
+    return util::Status::OK();
+  }
+  return util::Status::NotFound("unload: no version " + std::to_string(id));
+}
+
+size_t ModelRegistry::num_versions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_.size();
+}
+
+void ModelRegistry::EvictLocked() {
+  const size_t cap = options_.max_versions < 2 ? 2 : options_.max_versions;
+  size_t scan = 0;
+  while (history_.size() > cap && scan < history_.size()) {
+    const auto& v = history_[scan];
+    if (v != current_ && v != previous_ && v.use_count() == 1) {
+      history_.erase(history_.begin() + static_cast<ptrdiff_t>(scan));
+      continue;  // same index now holds the next candidate
+    }
+    ++scan;  // pinned or protected: skip, never force-drop
+  }
+}
+
+}  // namespace adamgnn::serve

@@ -1,0 +1,182 @@
+// Versioned, atomically-swappable model registry: the hot-swap layer that
+// turns "one checkpoint per process" serving into live weight rollout.
+//
+// A ModelVersion is an immutable unit of serving: frozen weights (loaded
+// through the v2 sectioned/CRC checkpoint reader into a scratch model that
+// is discarded on any failure — a rejected load can never touch live
+// state), a ResilientServer built on those weights, the canary outputs the
+// version produced on the registry's pinned probe graph, and the weights
+// fingerprint that names it. Versions are published RCU-style: readers take
+// a shared_ptr via Current() and serve against it for the whole request, so
+// a concurrent swap retires the old version only after its last in-flight
+// request drops the reference — every response is computed wholly against
+// ONE published version, never a blend.
+//
+// TryLoadVersion is the guarded rollout path:
+//
+//   read checkpoint (CRC/shape-validated, v2 loader)
+//     → canary gate: forward on the pinned probe graph; reject on NaN/Inf,
+//       output-shape mismatch, or per-element divergence from the currently
+//       published version's canary beyond canary_tolerance
+//     → atomic publish (shared_ptr swap; previous version retained as
+//       last-known-good)
+//
+// Rollback() swaps current and last-known-good back (bitwise — versions are
+// immutable, so the restored version's outputs are exactly what it served
+// before). Unload() refuses while a version is current, last-known-good, or
+// pinned by any outstanding reference.
+//
+// Every version's server shares the registry's ServerOptions — including
+// the (non-owning) ServerLifecycle pointer, so drain/watchdog state spans
+// hot-swaps instead of resetting with each version.
+//
+// Metrics: serve.reload.attempts / success / rejected / rollbacks counters
+// and the serve.reload.current_version gauge.
+
+#ifndef ADAMGNN_SERVE_MODEL_REGISTRY_H_
+#define ADAMGNN_SERVE_MODEL_REGISTRY_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "autograd/variable.h"
+#include "core/adamgnn_model.h"
+#include "core/graph_plan.h"
+#include "graph/graph.h"
+#include "serve/server.h"
+#include "tensor/matrix.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace adamgnn::serve {
+
+struct ModelRegistryOptions {
+  /// Architecture every loaded checkpoint must match (the scratch model the
+  /// loader fills is built from this config).
+  core::AdamGnnConfig config;
+  /// Options for each version's ResilientServer. The lifecycle pointer (if
+  /// any) is shared by every published version.
+  ServerOptions server;
+  /// Seed for scratch-model construction. The values it seeds are
+  /// overwritten by the checkpoint; it only fixes Parameters() shapes.
+  uint64_t scratch_seed = 1;
+  /// Canary divergence bound: reject a new version whose probe-graph
+  /// outputs differ from the CURRENT version's canary by more than this,
+  /// per element. < 0 disables the divergence gate (NaN/Inf and shape
+  /// checks always run). The gate only applies when a current version
+  /// exists — the first load has nothing to diverge from.
+  double canary_tolerance = -1.0;
+  /// How many versions (beyond current + last-known-good, which are always
+  /// retained) the registry keeps before evicting unpinned history.
+  size_t max_versions = 4;
+  /// Optional extra parameters appended after the core model's tensors, in
+  /// the trainer's save order — e.g. the link-prediction decoder projection.
+  /// Called with the scratch RNG each load; must produce the same shapes
+  /// every time.
+  std::function<std::vector<autograd::Variable>(util::Rng*)>
+      make_extra_params;
+};
+
+class ModelRegistry;
+
+/// One immutable published model generation. Thread-safe: the server
+/// serializes its own forwards, everything else is frozen after load.
+class ModelVersion {
+ public:
+  uint64_t id() const { return id_; }
+  const std::string& source_path() const { return source_path_; }
+  /// InferenceSession::WeightsFingerprint of the frozen weights.
+  uint64_t weights_fingerprint() const { return weights_fingerprint_; }
+  ResilientServer& server() { return *server_; }
+  /// Probe-graph outputs recorded by the canary gate at load time.
+  const tensor::Matrix& canary_embeddings() const { return canary_embeddings_; }
+  const tensor::Matrix& canary_logits() const { return canary_logits_; }
+  /// Values of make_extra_params tensors as loaded from the checkpoint
+  /// (e.g. the lp decoder projection), in append order.
+  const std::vector<tensor::Matrix>& extra_values() const {
+    return extra_values_;
+  }
+
+ private:
+  friend class ModelRegistry;
+  ModelVersion() = default;
+
+  uint64_t id_ = 0;
+  std::string source_path_;
+  uint64_t weights_fingerprint_ = 0;
+  tensor::Matrix canary_embeddings_;
+  tensor::Matrix canary_logits_;
+  std::vector<tensor::Matrix> extra_values_;
+  std::unique_ptr<ResilientServer> server_;
+};
+
+class ModelRegistry {
+ public:
+  /// `probe` is the pinned canary input: a small representative graph WITH
+  /// features, forwarded through every candidate version before publish.
+  ModelRegistry(const ModelRegistryOptions& options, graph::Graph probe);
+
+  ModelRegistry(const ModelRegistry&) = delete;
+  ModelRegistry& operator=(const ModelRegistry&) = delete;
+
+  /// Loads `path` into a fresh scratch model, runs the canary gate, and —
+  /// only if everything passes — atomically publishes the new version and
+  /// returns it. On ANY failure the registry (and the currently serving
+  /// version) is untouched and the error explains the rejection:
+  /// InvalidArgument/NotFound for unreadable/corrupt/mismatched
+  /// checkpoints (the v2 loader's taxonomy), FailedPrecondition for a
+  /// canary-gate rejection.
+  util::Result<std::shared_ptr<ModelVersion>> TryLoadVersion(
+      const std::string& path);
+
+  /// The currently published version (nullptr before the first successful
+  /// load). Callers pin the version for as long as they hold the pointer.
+  std::shared_ptr<ModelVersion> Current() const;
+  /// Last-known-good: the version Rollback() would restore.
+  std::shared_ptr<ModelVersion> Previous() const;
+
+  /// Swaps current and last-known-good. FailedPrecondition when no
+  /// previous version exists. Versions are immutable, so the restored
+  /// version's outputs are bitwise-identical to what it served before the
+  /// swap that displaced it.
+  util::Status Rollback();
+
+  /// Drops a retired version from the registry's history.
+  /// FailedPrecondition while the version is current, last-known-good, or
+  /// pinned by any outstanding shared_ptr (in-flight requests hold one).
+  util::Status Unload(uint64_t id);
+
+  /// Number of versions currently retained (history, including current and
+  /// last-known-good).
+  size_t num_versions() const;
+
+  const ModelRegistryOptions& options() const { return options_; }
+  const graph::Graph& probe() const { return probe_; }
+
+ private:
+  util::Status CanaryGate(const tensor::Matrix& embeddings,
+                          const tensor::Matrix& logits,
+                          const ModelVersion* current) const;
+  void EvictLocked();
+
+  const ModelRegistryOptions options_;
+  const graph::Graph probe_;
+  // Probe plan built once at construction (the probe is pinned); a failed
+  // build is deferred to TryLoadVersion so construction stays noexcept.
+  std::shared_ptr<const core::GraphPlan> probe_plan_;
+  util::Status probe_status_;
+
+  mutable std::mutex mu_;
+  uint64_t next_id_ = 1;
+  std::shared_ptr<ModelVersion> current_;
+  std::shared_ptr<ModelVersion> previous_;
+  std::vector<std::shared_ptr<ModelVersion>> history_;
+};
+
+}  // namespace adamgnn::serve
+
+#endif  // ADAMGNN_SERVE_MODEL_REGISTRY_H_

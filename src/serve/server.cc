@@ -122,6 +122,17 @@ util::Result<ServeResult> ResilientServer::Serve(
   obs::TraceSpan span("serve.request");
   util::Stopwatch watch;
 
+  // Lifecycle gate FIRST: a draining/stopped process sheds with Unavailable
+  // before spending any compute, and before admission counts the request —
+  // a drain must only wait for requests that were actually accepted.
+  if (options_.lifecycle != nullptr) {
+    util::Status admit = options_.lifecycle->Admit();
+    if (!admit.ok()) {
+      span.Note("lifecycle_rejected", 1.0);
+      return admit;
+    }
+  }
+
   // Fingerprint BEFORE binding any cancellation token: the digest loop
   // early-exits under a fired token, and a truncated digest must never
   // become a cache/breaker key.
@@ -156,13 +167,29 @@ util::Result<ServeResult> ResilientServer::Serve(
       std::chrono::steady_clock::now() +
       std::chrono::duration_cast<std::chrono::steady_clock::duration>(
           std::chrono::duration<double>(timeout_s));
+  // Lifecycle tracking: the admitted request registers for drain
+  // accounting and the watchdog's hard bound. Each attempt re-binds its
+  // fresh token (inside make_token) so the watchdog and drain-cancel paths
+  // always fire the token of the attempt that is actually executing.
+  InflightGuard inflight_guard;
+  if (options_.lifecycle != nullptr) {
+    inflight_guard = options_.lifecycle->Track(has_deadline ? timeout_s : 0.0);
+  }
   const auto make_token = [&]() -> util::CancelToken {
-    if (request.token.valid()) return request.token;
-    if (has_deadline) return util::CancelToken::WithDeadlineAt(deadline_at);
-    // Even without a deadline the attempt gets a live token, so allocation
-    // pressure (AllocCheckpoint) can abort a serving request; only paths
-    // with no token at all — training — are immune by design.
-    return util::CancelToken::Cancellable();
+    util::CancelToken token;
+    if (request.token.valid()) {
+      token = request.token;
+    } else if (has_deadline) {
+      token = util::CancelToken::WithDeadlineAt(deadline_at);
+    } else {
+      // Even without a deadline the attempt gets a live token, so
+      // allocation pressure (AllocCheckpoint) can abort a serving request —
+      // only paths with no token at all (training) are immune by design —
+      // and so drain/watchdog cancellation has something to fire.
+      token = util::CancelToken::Cancellable();
+    }
+    inflight_guard.BindToken(token);
+    return token;
   };
 
   if (!breaker_.Allow(fingerprint)) {
@@ -549,6 +576,11 @@ bool ResilientServer::LookupStale(uint64_t fingerprint, ServeResult* out) {
   if (it == stale_.end()) return false;
   *out = it->second;
   return true;
+}
+
+uint64_t ResilientServer::weights_fingerprint() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return session_.WeightsFingerprint();
 }
 
 void ResilientServer::RefreshWeights(const core::AdamGnn& model) {

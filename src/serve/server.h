@@ -63,6 +63,7 @@
 #include "core/inference_session.h"
 #include "serve/admission.h"
 #include "serve/breaker.h"
+#include "serve/lifecycle.h"
 #include "tensor/matrix.h"
 #include "util/cancel.h"
 #include "util/status.h"
@@ -99,6 +100,13 @@ struct ServerOptions {
   /// whatever has queued (microseconds; 0 = launch immediately with the
   /// requests already queued).
   long long batch_wait_us = 0;
+  /// Optional, non-owning process lifecycle. When set, Serve consults
+  /// lifecycle->Admit() before any work (Unavailable unless Ready) and
+  /// registers every admitted request via Track/BindToken so drains wait
+  /// for it and the watchdog can cancel it. The lifecycle MUST outlive the
+  /// server — the model registry shares one lifecycle across every version
+  /// it publishes.
+  ServerLifecycle* lifecycle = nullptr;
 };
 
 /// Which rung of the degradation ladder produced a response.
@@ -157,6 +165,10 @@ class ResilientServer {
   const ServerOptions& options() const { return options_; }
   size_t inflight() const { return admission_.inflight(); }
   CircuitBreaker& breaker() { return breaker_; }
+  /// The frozen full-mode session's weight digest (see
+  /// InferenceSession::WeightsFingerprint) — the registry's version
+  /// identity.
+  uint64_t weights_fingerprint() const;
   /// The breaker/stale-cache key for `g` (exposed for tests).
   static uint64_t FingerprintOf(const graph::Graph& g);
 
@@ -214,7 +226,7 @@ class ResilientServer {
   AdmissionController admission_;
   CircuitBreaker breaker_;
 
-  std::mutex mu_;
+  mutable std::mutex mu_;
   core::InferenceSession session_;
   core::InferenceSession degraded_session_;
   std::unordered_map<uint64_t, std::shared_ptr<const core::GraphPlan>> plans_;

@@ -1,0 +1,90 @@
+#include "util/signal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <csignal>
+#include <cstring>
+
+namespace adamgnn::util {
+
+namespace {
+
+// The only state the handler touches. std::atomic<int> is lock-free for int
+// on every platform we build for, which makes the store async-signal-safe.
+std::atomic<int> g_shutdown_signal{0};
+int g_pipe_read = -1;
+int g_pipe_write = -1;
+
+extern "C" void ShutdownHandler(int signo) {
+  // First signal wins; later ones (e.g. a SIGINT after a SIGTERM) must not
+  // overwrite the recorded cause.
+  int expected = 0;
+  g_shutdown_signal.compare_exchange_strong(expected, signo,
+                                            std::memory_order_relaxed);
+  if (g_pipe_write >= 0) {
+    const char byte = 's';
+    // Non-blocking pipe: if it is full the wakeup byte is already pending,
+    // so a failed write loses nothing. The cast silences unused-result.
+    (void)!write(g_pipe_write, &byte, 1);
+  }
+}
+
+bool MakePipeFd(int fd) {
+  const int flags = fcntl(fd, F_GETFL);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) return false;
+  const int fdflags = fcntl(fd, F_GETFD);
+  return fdflags >= 0 && fcntl(fd, F_SETFD, fdflags | FD_CLOEXEC) >= 0;
+}
+
+}  // namespace
+
+Status InstallShutdownHandlers() {
+  if (g_pipe_read < 0) {
+    int fds[2] = {-1, -1};
+    if (pipe(fds) != 0) {
+      return Status::Internal("self-pipe creation failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    if (!MakePipeFd(fds[0]) || !MakePipeFd(fds[1])) {
+      close(fds[0]);
+      close(fds[1]);
+      return Status::Internal("self-pipe fcntl failed: " +
+                              std::string(std::strerror(errno)));
+    }
+    // Publish the write end only after both fds are fully configured, so a
+    // signal racing this setup either sees -1 (skips the write) or a valid
+    // non-blocking descriptor.
+    g_pipe_read = fds[0];
+    g_pipe_write = fds[1];
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = ShutdownHandler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = SA_RESTART;
+  if (sigaction(SIGTERM, &sa, nullptr) != 0 ||
+      sigaction(SIGINT, &sa, nullptr) != 0) {
+    return Status::Internal("sigaction failed: " +
+                            std::string(std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+int ShutdownSignal() { return g_shutdown_signal.load(std::memory_order_relaxed); }
+
+bool ShutdownRequested() { return ShutdownSignal() != 0; }
+
+int ShutdownFd() { return g_pipe_read; }
+
+void ResetShutdownLatch() {
+  g_shutdown_signal.store(0, std::memory_order_relaxed);
+  if (g_pipe_read >= 0) {
+    char buf[16];
+    while (read(g_pipe_read, buf, sizeof(buf)) > 0) {
+    }
+  }
+}
+
+}  // namespace adamgnn::util

@@ -1,0 +1,43 @@
+// Async-signal-safe shutdown notification for long-running serving
+// processes. InstallShutdownHandlers routes SIGTERM/SIGINT through the
+// classic self-pipe pattern: the handler does nothing but store the signal
+// number into a lock-free atomic and write one byte to a non-blocking pipe
+// — both async-signal-safe — so the serving loop can either poll
+// ShutdownRequested() between requests or select()/poll() on ShutdownFd()
+// while idle. No locks, no allocation, no stdio ever runs in signal
+// context.
+//
+// The latch is process-wide and sticky: once a shutdown signal lands,
+// ShutdownRequested() stays true until ResetShutdownLatch() (tests and
+// rolling-restart harnesses only; a real server drains and exits instead).
+
+#ifndef ADAMGNN_UTIL_SIGNAL_H_
+#define ADAMGNN_UTIL_SIGNAL_H_
+
+#include "util/status.h"
+
+namespace adamgnn::util {
+
+/// Installs the SIGTERM/SIGINT self-pipe handlers. Idempotent; the pipe is
+/// created once per process. Fails with Internal if the pipe or sigaction
+/// syscalls fail.
+Status InstallShutdownHandlers();
+
+/// The signal number of the first shutdown signal observed, or 0.
+int ShutdownSignal();
+
+/// True once SIGTERM or SIGINT has been delivered.
+bool ShutdownRequested();
+
+/// Read end of the self-pipe (readable once a signal has landed), or -1
+/// before InstallShutdownHandlers. The caller must not close it.
+int ShutdownFd();
+
+/// Clears the latch and drains the self-pipe so the next signal is
+/// observable again. For tests and soak harnesses that simulate repeated
+/// server generations in one process.
+void ResetShutdownLatch();
+
+}  // namespace adamgnn::util
+
+#endif  // ADAMGNN_UTIL_SIGNAL_H_

@@ -383,6 +383,128 @@ TEST(HostileHeaderTest, V2SectionLengthBeyondFileRejected) {
   EXPECT_FALSE(LoadParameters(path, &params).ok());
 }
 
+// ---- container geometry + section-boundary truncation ------------------
+
+TEST(InspectCheckpointTest, ReportsSectionGeometry) {
+  TrainingFixture f(21);
+  const std::string full_path = TempPath("inspect_full.ckpt");
+  ASSERT_TRUE(SaveTrainingCheckpoint(f.layer.Parameters(), f.adam,
+                                     MakeState(11), full_path)
+                  .ok());
+  auto info = InspectCheckpoint(full_path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info.ValueOrDie().version, 2u);
+  // params + optimizer + training state.
+  EXPECT_EQ(info.ValueOrDie().section_tags,
+            (std::vector<uint32_t>{1, 2, 3}));
+  EXPECT_EQ(info.ValueOrDie().num_param_tensors,
+            f.layer.Parameters().size());
+  // The declared payloads plus header and per-section framing must account
+  // for the whole file — no hidden or trailing bytes.
+  size_t expected = 8;
+  for (uint64_t len : info.ValueOrDie().section_payload_sizes) {
+    expected += 4 + 8 + static_cast<size_t>(len) + 4;
+  }
+  EXPECT_EQ(ReadFileBytes(full_path).size(), expected);
+
+  const std::string params_path = TempPath("inspect_params.ckpt");
+  ASSERT_TRUE(SaveParameters(f.layer.Parameters(), params_path).ok());
+  auto params_info = InspectCheckpoint(params_path);
+  ASSERT_TRUE(params_info.ok());
+  EXPECT_EQ(params_info.ValueOrDie().section_tags,
+            (std::vector<uint32_t>{1}));
+
+  // Corruption surfaces through Inspect with the loader's taxonomy.
+  std::string bytes = ReadFileBytes(params_path);
+  bytes[bytes.size() / 2] = static_cast<char>(bytes[bytes.size() / 2] ^ 1);
+  WriteFileBytes(params_path, bytes);
+  EXPECT_EQ(InspectCheckpoint(params_path).status().code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+TEST(TrainingCheckpointTest, TruncationAtEverySectionBoundaryIsRejected) {
+  TrainingFixture f(22);
+  const std::string path = TempPath("section_boundaries.ckpt");
+  ASSERT_TRUE(SaveTrainingCheckpoint(f.layer.Parameters(), f.adam,
+                                     MakeState(11), path)
+                  .ok());
+  const std::string bytes = ReadFileBytes(path);
+  auto info = InspectCheckpoint(path);
+  ASSERT_TRUE(info.ok());
+
+  // Every structural boundary in the v2 container: mid-header, post-header,
+  // then for each section after the tag, after the length, after the
+  // payload, and after the CRC (the last one being the next section's
+  // start; the final section's CRC boundary is the full file, skipped).
+  std::vector<size_t> boundaries = {0, 4, 8};
+  size_t offset = 8;
+  for (uint64_t len : info.ValueOrDie().section_payload_sizes) {
+    boundaries.push_back(offset + 4);
+    boundaries.push_back(offset + 4 + 8);
+    boundaries.push_back(offset + 4 + 8 + static_cast<size_t>(len));
+    offset += 4 + 8 + static_cast<size_t>(len) + 4;
+    if (offset < bytes.size()) boundaries.push_back(offset);
+  }
+  const std::string cut_path = TempPath("section_boundary_cut.ckpt");
+  for (size_t cut : boundaries) {
+    ASSERT_LT(cut, bytes.size());
+    WriteFileBytes(cut_path, bytes.substr(0, cut));
+    TrainingFixture g(23);
+    auto params = g.layer.Parameters();
+    auto loaded = LoadTrainingCheckpoint(cut_path, &params, &g.adam);
+    EXPECT_FALSE(loaded.ok()) << "cut at " << cut << " loaded";
+    // Always the loader's taxonomy — never a crash, never Internal.
+    EXPECT_TRUE(loaded.status().code() == util::StatusCode::kInvalidArgument ||
+                loaded.status().code() ==
+                    util::StatusCode::kFailedPrecondition)
+        << "cut at " << cut << ": " << loaded.status().ToString();
+  }
+}
+
+// ---- snapshot/restore around a failed load -----------------------------
+
+TEST(ParameterSnapshotTest, RestoreAfterFailedLoadIsBitwiseUntouched) {
+  TrainingFixture f(24);
+  std::vector<autograd::Variable> params = f.layer.Parameters();
+  ParameterSnapshot snapshot(params);
+
+  std::vector<Matrix> original;
+  for (const auto& p : params) original.push_back(p.value());
+
+  // A checkpoint with valid framing and CRCs whose FIRST tensor matches our
+  // module (different values) but whose SECOND has the wrong shape: the
+  // loader overwrites tensor 0 in place, then fails on tensor 1 — the
+  // worst case for a caller without a snapshot.
+  util::Rng rng(25);
+  std::vector<autograd::Variable> half_matching = {
+      autograd::Variable::Parameter(
+          Matrix::Gaussian(params[0].rows(), params[0].cols(), 1.0, &rng)),
+      autograd::Variable::Parameter(Matrix::Gaussian(7, 7, 1.0, &rng)),
+  };
+  ASSERT_EQ(params.size(), half_matching.size());
+  const std::string path = TempPath("snapshot_failed_load.ckpt");
+  ASSERT_TRUE(SaveParameters(half_matching, path).ok());
+  ASSERT_FALSE(LoadParameters(path, &params).ok());
+  // The failed load really did clobber tensor 0 (this is what makes the
+  // snapshot necessary, not just nice).
+  EXPECT_NE(std::memcmp(params[0].value().data(), original[0].data(),
+                        original[0].rows() * original[0].cols() *
+                            sizeof(double)),
+            0);
+
+  // Whatever the failed load touched, Restore must put every byte back.
+  snapshot.Restore();
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Matrix& now = params[i].value();
+    ASSERT_EQ(now.rows(), original[i].rows());
+    ASSERT_EQ(now.cols(), original[i].cols());
+    EXPECT_EQ(std::memcmp(now.data(), original[i].data(),
+                          now.rows() * now.cols() * sizeof(double)),
+              0)
+        << "tensor " << i << " not restored bitwise";
+  }
+}
+
 TEST(TrainingCheckpointTest, ShapeAndCountMismatchMessages) {
   TrainingFixture f(18);
   const std::string path = TempPath("mismatch.ckpt");

@@ -18,6 +18,7 @@
 #include "obs/export.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
+#include "util/fault_injection.h"
 #include "util/thread_pool.h"
 
 namespace adamgnn::obs {
@@ -248,6 +249,51 @@ TEST(ExportTest, JsonlRoundTripsThroughFile) {
   EXPECT_NE(contents.find("\"test.export.span\""), std::string::npos);
   // One JSON object per line, every line closed.
   EXPECT_EQ(contents.back(), '\n');
+  std::remove(path.c_str());
+}
+
+TEST(ExportTest, CrashSafeWriteKeepsPreviousFileOnEveryInjectedFailure) {
+  MetricsRegistry::Global().ResetForTest();
+  TraceBuffer::Global().Reset();
+  Counter c("test.export.crash_safe");
+  c.Add(1);
+
+  const std::string path =
+      ::testing::TempDir() + "/obs_export_crash_safe.jsonl";
+  const std::string tmp = path + ".tmp";
+  ASSERT_TRUE(WriteMetricsJsonl(path).ok());
+  const auto read_file = [](const std::string& p) {
+    std::string out;
+    std::FILE* f = std::fopen(p.c_str(), "rb");
+    if (f == nullptr) return out;
+    char buf[4096];
+    size_t n;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) out.append(buf, n);
+    std::fclose(f);
+    return out;
+  };
+  const std::string good = read_file(path);
+  ASSERT_FALSE(good.empty());
+
+  // Fail the write, the fsync, and the rename in turn. Every failure must
+  // leave the previous metrics file byte-identical and no temp file behind.
+  const util::FaultPlan plans[] = {
+      {.fail_write_at = 1}, {.fail_fsync_at = 1}, {.fail_rename_at = 1}};
+  for (const util::FaultPlan& plan : plans) {
+    c.Add(1);  // make the would-be payload differ from `good`
+    {
+      util::ScopedFaultPlan armed(plan);
+      EXPECT_FALSE(WriteMetricsJsonl(path).ok());
+    }
+    EXPECT_EQ(read_file(path), good);
+    std::FILE* leftover = std::fopen(tmp.c_str(), "rb");
+    EXPECT_EQ(leftover, nullptr) << "temp file left behind: " << tmp;
+    if (leftover != nullptr) std::fclose(leftover);
+  }
+
+  // Disarmed, the write goes through and replaces the file atomically.
+  ASSERT_TRUE(WriteMetricsJsonl(path).ok());
+  EXPECT_NE(read_file(path), good);
   std::remove(path.c_str());
 }
 

@@ -8,6 +8,9 @@
 //                 [--batch-max=B] [--batch-wait-us=U] [--batch-graphs=N]
 //   adamgnn_infer --task=lp --load=model.ckpt --edges=g.txt --features=x.txt
 //                 [...]
+//   adamgnn_infer --task=nc --load=model.ckpt --synthetic=cora --serve-loop
+//                 [--serve-iters=N] [--serve-clients=C] [--reload-on=MARKER]
+//                 [--drain-timeout-ms=T] [--watchdog-factor=F]
 //
 // Loads frozen weights written by `adamgnn_train --save` and serves the
 // input graph through serve::ResilientServer: request deadline
@@ -26,6 +29,19 @@
 // threads, each serving its own seed-variant of the input graph, to
 // exercise the scheduler from a single CLI invocation.
 //
+// Serve-loop mode (--serve-loop): the process becomes a long-running server
+// with a full lifecycle. The checkpoint is published through the versioned
+// serve::ModelRegistry (canary-gated), --serve-clients worker threads issue
+// a continuous request stream, and the main thread polls --reload-on: when
+// that marker file appears, its first line names a checkpoint to hot-swap
+// in (empty line = reload --load; the literal word `rollback` = swap back
+// to the last-known-good version), and the marker is removed. A rejected
+// reload (corrupt file, canary-gate failure) is logged and the current
+// version keeps serving. SIGTERM/SIGINT triggers a graceful drain: new
+// requests are shed with Unavailable, in-flight requests finish (bounded by
+// --drain-timeout-ms, after which stragglers are cancelled), and the
+// process exits 0 — or 5 if the drain deadline cancelled anyone.
+//
 // Exit codes (scriptable — see tools/check.sh):
 //   0  success (including degraded-mode responses; stderr names the mode)
 //   1  internal error (checkpoint write failure, unexpected status)
@@ -34,27 +50,20 @@
 //      files, NaN/Inf features, out-of-range edge endpoints)
 //   4  deadline exceeded or resources exhausted (admission reject, retry
 //      budget spent, circuit breaker open) with no degraded fallback
-//
-// Fault-injection flags (deterministic, for resilience drills):
-//   --inject-alloc-fault-at=N [--inject-alloc-fault-count=C] fail C
-//       consecutive tensor-allocation checkpoints starting at the Nth;
-//   --inject-deadline-at-check=N report the request deadline as expired
-//       from the Nth cooperative check onward (needs --timeout-ms so the
-//       request carries a deadline token);
-//   --inject-queue-delay-us=U stall the batching scheduler's leader U
-//       microseconds before every collection window (with --timeout-ms this
-//       forces deterministic mid-queue deadline expiry).
+//   5  drain timeout: shutdown completed but in-flight stragglers had to be
+//      cancelled at the drain deadline (serve-loop mode only)
 //
 // Output (--output, default stdout): `node<TAB>class` lines for nc (the
 // same format as `adamgnn_train --dump-predictions`), `u<TAB>v<TAB>score`
 // lines over the graph's edges for lp.
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <map>
+#include <memory>
 #include <mutex>
-#include <set>
 #include <string>
 #include <thread>
 #include <utility>
@@ -63,11 +72,14 @@
 #include "core/adamgnn_model.h"
 #include "nn/linear.h"
 #include "nn/serialize.h"
+#include "serve/lifecycle.h"
+#include "serve/model_registry.h"
 #include "serve/server.h"
 #include "tools/cli_common.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/random.h"
+#include "util/signal.h"
 #include "util/stopwatch.h"
 #include "util/thread_pool.h"
 
@@ -76,20 +88,100 @@ namespace {
 using namespace adamgnn;  // CLI tool; library code never does this
 using cli::FlagOr;
 
-const std::set<std::string>& KnownFlags() {
-  static const std::set<std::string>* kKnown = new std::set<std::string>{
-      "help",        "task",         "load",
-      "edges",       "features",     "labels",
-      "synthetic",   "scale",        "levels",
-      "hidden",      "classes",      "seed",
-      "threads",     "isa",          "output",
-      "repeat",
-      "metrics-out", "timeout-ms",   "max-inflight",
-      "max-retries", "batch-max",    "batch-wait-us",
-      "batch-graphs", "inject-alloc-fault-at", "inject-alloc-fault-count",
-      "inject-deadline-at-check", "inject-queue-delay-us",
-  };
-  return *kKnown;
+// Single source of truth for the tool's flag surface: the known-flag set
+// (strict parsing) and the --help listing are both derived from this table,
+// so every flag is documented exactly once.
+const std::vector<cli::FlagSpec>& Specs() {
+  static const std::vector<cli::FlagSpec>* kSpecs =
+      new std::vector<cli::FlagSpec>{
+          {"help", "print this flag list and exit"},
+          {"task", "nc (node classification, default) or lp (link "
+                   "prediction)"},
+          {"load", "checkpoint from `adamgnn_train --save` (model shape "
+                   "flags\n--levels/--hidden/--classes must match the "
+                   "training run); required"},
+          {"edges", "edge-list input file (one `u v [w]` line per edge)"},
+          {"features", "node-feature file for --edges input"},
+          {"labels", "node-label file for --edges input"},
+          {"synthetic", "built-in dataset: acm|citeseer|cora|emails|dblp|"
+                        "wiki"},
+          {"scale", "synthetic dataset size multiplier (default 0.2)"},
+          {"levels", "pooling levels; must match training (default 3)"},
+          {"hidden", "hidden width; must match training (default 64)"},
+          {"classes", "class count for --task=nc on unlabeled input"},
+          {"seed", "synthetic-data / scratch-model seed (default 1)"},
+          {"threads", "kernel worker threads (default: ADAMGNN_NUM_THREADS "
+                      "env\nor hardware concurrency)"},
+          {"isa", "scalar|sse2|avx2: force the SIMD kernel backend "
+                  "(default:\nADAMGNN_ISA env or best supported); exits 2 "
+                  "if the CPU\ncannot run it"},
+          {"output", "predictions file (default: stdout).\nnc: "
+                     "node<TAB>class, lp: u<TAB>v<TAB>score"},
+          {"repeat", "run N extra warm queries against the cached plan and\n"
+                     "report cold vs. warm latency"},
+          {"metrics-out", "write request-latency histograms, serve.* "
+                          "resilience\ncounters, plan-cache counters, and "
+                          "trace spans as JSONL;\n\"-\" means stdout. "
+                          "ADAMGNN_METRICS env is the fallback"},
+          {"timeout-ms", "per-request deadline in milliseconds; an expired\n"
+                         "request aborts mid-plan or mid-forward with exit "
+                         "4\n(0 = already expired, useful for drills)"},
+          {"max-inflight", "admission budget (default 64); over-budget "
+                           "requests\nare shed with exit 4"},
+          {"max-retries", "extra attempts for transient failures (default "
+                          "1)"},
+          {"batch-max", "fuse up to B concurrent requests into one\n"
+                        "block-diagonal forward (default 1 = no batching);\n"
+                        "per-request results are bitwise-identical to "
+                        "serving\neach graph alone"},
+          {"batch-wait-us", "how long the batch leader waits for the batch "
+                            "to fill\nbefore launching what has queued "
+                            "(default 0)"},
+          {"batch-graphs", "fan out N concurrent client threads over N\n"
+                           "seed-variants of the synthetic input graph\n"
+                           "(rejected with --edges input)"},
+          {"print-config", "print the resolved effective configuration\n"
+                           "(threads, ISA, obs state, serve limits) as one "
+                           "JSON\nline on stdout and exit 0"},
+          {"serve-loop", "run as a long-lived server: client threads issue "
+                         "a\ncontinuous request stream, --reload-on is "
+                         "polled for\nhot-swaps, SIGTERM/SIGINT drains "
+                         "gracefully"},
+          {"serve-iters", "serve-loop: stop after N total requests "
+                          "(default 0 =\nrun until a shutdown signal)"},
+          {"serve-clients", "serve-loop: concurrent client threads "
+                            "(default 2)"},
+          {"reload-on", "serve-loop: marker-file path polled for hot-swap\n"
+                        "commands; first line = checkpoint path (empty "
+                        "line =\nreload --load, `rollback` = restore "
+                        "last-known-good);\nthe marker is removed after "
+                        "each poll"},
+          {"drain-timeout-ms", "serve-loop: how long a signal-triggered "
+                               "drain waits\nfor in-flight requests before "
+                               "cancelling stragglers\n(default 2000); "
+                               "exceeding it exits 5"},
+          {"watchdog-factor", "serve-loop: cancel any request running "
+                              "longer than\nF x its deadline (default 4)"},
+          {"watchdog-poll-ms", "serve-loop: watchdog sweep interval "
+                               "(default 10)"},
+          {"canary-tolerance", "serve-loop: max per-element probe-output "
+                               "divergence a\nreloaded checkpoint may show "
+                               "vs. the serving version\n(default -1 = "
+                               "divergence gate off; NaN/Inf and shape\n"
+                               "gates always run)"},
+          {"inject-alloc-fault-at",
+           "deterministically fail tensor allocations starting at\nthe Nth "
+           "(resilience drills)"},
+          {"inject-alloc-fault-count",
+           "how many consecutive allocations fail (default 1)"},
+          {"inject-deadline-at-check",
+           "expire the deadline at the Nth cooperative check\n(needs "
+           "--timeout-ms)"},
+          {"inject-queue-delay-us",
+           "stall the batch leader U microseconds before every\ncollection "
+           "window (drills)"},
+      };
+  return *kSpecs;
 }
 
 /// Maps a serving/input Status onto the CLI's exit-code contract.
@@ -109,68 +201,300 @@ int ExitCodeFor(const util::Status& status) {
   }
 }
 
+constexpr int kExitDrainTimeout = 5;
+
+/// Arms the deterministic fault injector from the --inject-* flags. Called
+/// at the point where the counted events should start being serving work.
+void ArmFaultInjectionFromFlags(const cli::FlagMap& flags) {
+  const int alloc_at = static_cast<int>(
+      cli::IntFlagOr(flags, "inject-alloc-fault-at", "0"));
+  const int alloc_count = static_cast<int>(
+      cli::IntFlagOr(flags, "inject-alloc-fault-count", "1"));
+  const int deadline_at = static_cast<int>(
+      cli::IntFlagOr(flags, "inject-deadline-at-check", "0"));
+  const int queue_delay_us = static_cast<int>(
+      cli::IntFlagOr(flags, "inject-queue-delay-us", "0"));
+  if (alloc_at > 0 || deadline_at > 0 || queue_delay_us > 0) {
+    util::FaultPlan fault_plan;
+    fault_plan.fail_alloc_at = alloc_at;
+    fault_plan.fail_alloc_count = alloc_count;
+    fault_plan.expire_deadline_at_check = deadline_at;
+    fault_plan.queue_delay_us = queue_delay_us;
+    util::FaultInjector::Instance().Arm(fault_plan);
+  }
+}
+
+/// One --reload-on poll: consume the marker file (if present) and apply the
+/// command it carries. Reload failures are logged and swallowed — the
+/// current version keeps serving, which is the whole point of the gate.
+void PollReloadMarker(const std::string& marker,
+                      const std::string& default_ckpt,
+                      serve::ModelRegistry* registry) {
+  std::FILE* f = std::fopen(marker.c_str(), "r");
+  if (f == nullptr) return;
+  char buf[4096] = {0};
+  std::string line;
+  if (std::fgets(buf, sizeof(buf), f) != nullptr) line = buf;
+  std::fclose(f);
+  std::remove(marker.c_str());
+  while (!line.empty() &&
+         (line.back() == '\n' || line.back() == '\r' || line.back() == ' ')) {
+    line.pop_back();
+  }
+  if (line == "rollback") {
+    util::Status st = registry->Rollback();
+    if (st.ok()) {
+      std::fprintf(stderr, "serve-loop: rollback ok version=%llu\n",
+                   static_cast<unsigned long long>(registry->Current()->id()));
+    } else {
+      std::fprintf(stderr, "serve-loop: rollback failed: %s\n",
+                   st.ToString().c_str());
+    }
+    return;
+  }
+  const std::string path = line.empty() ? default_ckpt : line;
+  auto loaded = registry->TryLoadVersion(path);
+  if (loaded.ok()) {
+    std::fprintf(
+        stderr, "serve-loop: reload ok version=%llu fp=%016llx path=%s\n",
+        static_cast<unsigned long long>(loaded.ValueOrDie()->id()),
+        static_cast<unsigned long long>(
+            loaded.ValueOrDie()->weights_fingerprint()),
+        path.c_str());
+  } else {
+    std::fprintf(stderr, "serve-loop: reload rejected (still serving): %s\n",
+                 loaded.status().ToString().c_str());
+  }
+}
+
+/// The --serve-loop server body. Returns the process exit code.
+int RunServeLoop(const cli::FlagMap& flags, const std::string& task,
+                 const std::string& load, const graph::Graph& g,
+                 const core::AdamGnnConfig& config,
+                 serve::ServerOptions server_options,
+                 const serve::RequestOptions& base_request) {
+  serve::LifecycleOptions lc_options;
+  lc_options.drain_timeout_s =
+      cli::DoubleFlagOr(flags, "drain-timeout-ms", "2000") / 1e3;
+  lc_options.watchdog_factor = cli::DoubleFlagOr(flags, "watchdog-factor",
+                                                 "4");
+  lc_options.watchdog_poll_s =
+      cli::DoubleFlagOr(flags, "watchdog-poll-ms", "10") / 1e3;
+  if (lc_options.watchdog_factor < 1.0) {
+    std::fprintf(stderr, "--watchdog-factor must be >= 1\n");
+    return 2;
+  }
+
+  // Declared before the registry on purpose: every version's server holds a
+  // raw lifecycle pointer, so the registry (and its versions) must unwind
+  // first.
+  serve::ServerLifecycle lifecycle(lc_options);
+  server_options.lifecycle = &lifecycle;
+
+  serve::ModelRegistryOptions reg_options;
+  reg_options.config = config;
+  reg_options.server = server_options;
+  reg_options.scratch_seed = static_cast<uint64_t>(
+      cli::IntFlagOr(flags, "seed", cli::kDefaultSeed));
+  reg_options.canary_tolerance =
+      cli::DoubleFlagOr(flags, "canary-tolerance", "-1");
+  if (task == "lp") {
+    // Mirror the trainer's parameter order: lp checkpoints append the
+    // decoder projection after the core model's tensors.
+    const size_t hidden = config.hidden_dim;
+    reg_options.make_extra_params = [hidden](util::Rng* rng) {
+      nn::Linear projection(hidden, hidden, /*use_bias=*/false, rng);
+      return projection.Parameters();
+    };
+  }
+  // The serving input doubles as the pinned canary probe: every candidate
+  // version must produce sane outputs on the exact graph it will serve.
+  serve::ModelRegistry registry(reg_options, g);
+
+  auto first = registry.TryLoadVersion(load);
+  if (!first.ok()) {
+    std::fprintf(stderr, "serve-loop: initial load failed: %s\n",
+                 first.status().ToString().c_str());
+    return ExitCodeFor(first.status());
+  }
+
+  util::Status sig = util::InstallShutdownHandlers();
+  if (!sig.ok()) {
+    std::fprintf(stderr, "%s\n", sig.ToString().c_str());
+    return 1;
+  }
+  lifecycle.MarkReady();
+  lifecycle.StartWatchdog();
+  std::fprintf(stderr, "serve-loop: ready version=%llu fp=%016llx\n",
+               static_cast<unsigned long long>(first.ValueOrDie()->id()),
+               static_cast<unsigned long long>(
+                   first.ValueOrDie()->weights_fingerprint()));
+
+  // Injected faults start counting HERE: everything before this line
+  // (initial load, canary, warm snapshot) is startup, not serving.
+  ArmFaultInjectionFromFlags(flags);
+
+  const long long serve_iters = cli::IntFlagOr(flags, "serve-iters", "0");
+  const int clients =
+      static_cast<int>(cli::IntFlagOr(flags, "serve-clients", "2"));
+  if (clients < 1 || serve_iters < 0) {
+    std::fprintf(stderr,
+                 "--serve-clients must be >= 1, --serve-iters >= 0\n");
+    return 2;
+  }
+
+  std::atomic<long long> issued{0};
+  std::atomic<long long> answered{0};
+  std::atomic<long long> degraded{0};
+  std::atomic<long long> shed{0};
+  std::atomic<bool> stop{false};
+  std::atomic<bool> internal_error{false};
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(clients));
+  for (int i = 0; i < clients; ++i) {
+    workers.emplace_back([&]() {
+      while (!stop.load(std::memory_order_relaxed)) {
+        const long long n = issued.fetch_add(1, std::memory_order_relaxed);
+        if (serve_iters > 0 && n >= serve_iters) {
+          issued.fetch_sub(1, std::memory_order_relaxed);
+          break;
+        }
+        // Pin ONE published version for the whole request: the response is
+        // computed wholly against it even if a hot-swap lands mid-forward.
+        std::shared_ptr<serve::ModelVersion> version = registry.Current();
+        if (version == nullptr) break;
+        util::Result<serve::ServeResult> r =
+            version->server().Serve(g, base_request);
+        if (r.ok()) {
+          answered.fetch_add(1, std::memory_order_relaxed);
+          if (r.ValueOrDie().mode != serve::ServeMode::kFull) {
+            degraded.fetch_add(1, std::memory_order_relaxed);
+          }
+          continue;
+        }
+        const util::StatusCode code = r.status().code();
+        if (code == util::StatusCode::kUnavailable &&
+            lifecycle.state() != serve::LifecycleState::kReady) {
+          break;  // draining/stopping: not an accepted request, just stop
+        }
+        if (code == util::StatusCode::kDeadlineExceeded ||
+            code == util::StatusCode::kResourceExhausted ||
+            code == util::StatusCode::kCancelled ||
+            code == util::StatusCode::kUnavailable) {
+          shed.fetch_add(1, std::memory_order_relaxed);  // taxonomy shed
+          continue;
+        }
+        std::fprintf(stderr, "serve-loop: request failed: %s\n",
+                     r.status().ToString().c_str());
+        internal_error.store(true, std::memory_order_relaxed);
+      }
+    });
+  }
+
+  const std::string reload_on = FlagOr(flags, "reload-on", "");
+  while (true) {
+    if (util::ShutdownRequested()) {
+      std::fprintf(stderr, "serve-loop: shutdown signal %d\n",
+                   util::ShutdownSignal());
+      break;
+    }
+    if (serve_iters > 0 &&
+        issued.load(std::memory_order_relaxed) >= serve_iters) {
+      break;
+    }
+    if (!reload_on.empty()) PollReloadMarker(reload_on, load, &registry);
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+
+  lifecycle.BeginDrain();
+  const bool drained_clean = lifecycle.WaitForDrain();
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : workers) t.join();
+  lifecycle.StopWatchdog();
+  lifecycle.MarkStopped();
+
+  std::fprintf(stderr,
+               "serve-loop: %s answered=%lld degraded=%lld shed=%lld "
+               "versions=%zu\n",
+               drained_clean ? "drained" : "drain timeout, stragglers "
+                                           "cancelled",
+               answered.load(), degraded.load(), shed.load(),
+               registry.num_versions());
+  cli::DumpMetricsOrDie(flags);
+  if (internal_error.load()) return 1;
+  return drained_clean ? 0 : kExitDrainTimeout;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags = cli::ParseFlags(argc, argv, KnownFlags());
+  auto flags = cli::ParseFlags(argc, argv, cli::FlagNames(Specs()));
   if (flags.count("help") > 0) {
     std::printf(
         "usage: adamgnn_infer --task=nc|lp --load=CKPT (--edges=F "
         "[--features=F] [--labels=F] | "
         "--synthetic=acm|citeseer|cora|emails|dblp|wiki [--scale=S]) "
-        "[--levels=K] [--hidden=D] [--classes=C] [--seed=S] [--threads=N] "
-        "[--output=FILE] [--repeat=N] [--timeout-ms=T] [--max-inflight=B] "
-        "[--max-retries=R]\n"
-        "  --load=CKPT   checkpoint from `adamgnn_train --save` (model\n"
-        "                shape flags --levels/--hidden/--classes must match\n"
-        "                the training run)\n"
-        "  --output=FILE predictions file (default: stdout).\n"
-        "                nc: node<TAB>class, lp: u<TAB>v<TAB>score\n"
-        "  --isa=scalar|sse2|avx2  force the SIMD kernel backend (default:\n"
-        "                ADAMGNN_ISA env or best supported); exits 2 if the\n"
-        "                CPU cannot run it\n"
-        "  --repeat=N    run N extra warm queries against the cached plan\n"
-        "                and report cold vs. warm latency\n"
-        "  --timeout-ms=T  per-request deadline in milliseconds; an expired\n"
-        "                request aborts mid-plan or mid-forward with exit 4\n"
-        "                (0 = already expired, useful for drills)\n"
-        "  --max-inflight=B  admission budget (default 64); over-budget\n"
-        "                requests are shed with exit 4\n"
-        "  --max-retries=R  extra attempts for transient failures\n"
-        "                (default 1)\n"
-        "  --batch-max=B  fuse up to B concurrent requests into one\n"
-        "                block-diagonal forward (default 1 = no batching);\n"
-        "                per-request results are bitwise-identical to\n"
-        "                serving each graph alone\n"
-        "  --batch-wait-us=U  how long the batch leader waits for the batch\n"
-        "                to fill before launching what has queued (default 0)\n"
-        "  --batch-graphs=N  fan out N concurrent client threads over N\n"
-        "                seed-variants of the synthetic input graph\n"
-        "                (rejected with --edges input)\n"
-        "  --inject-alloc-fault-at=N [--inject-alloc-fault-count=C]\n"
-        "                deterministically fail C tensor allocations\n"
-        "                starting at the Nth (resilience drills)\n"
-        "  --inject-deadline-at-check=N  expire the deadline at the Nth\n"
-        "                cooperative check (needs --timeout-ms)\n"
-        "  --inject-queue-delay-us=U  stall the batch leader U microseconds\n"
-        "                before every collection window (drills)\n"
-        "  --metrics-out=FILE  write request-latency histograms, serve.*\n"
-        "                resilience counters, plan-cache hit/miss counters,\n"
-        "                and trace spans as JSONL; \"-\" means stdout.\n"
-        "                ADAMGNN_METRICS env is the fallback.\n"
+        "[flags...]\n"
         "exit codes: 0 ok, 1 internal, 2 bad flags, 3 invalid input,\n"
-        "            4 deadline/resources\n");
+        "            4 deadline/resources, 5 drain timeout\n"
+        "flags:\n");
+    cli::PrintFlagHelp(Specs());
     return 0;
   }
   cli::ConfigureThreadsOrDie(flags);
   cli::ConfigureIsaOrDie(flags);
+
+  const std::string task = FlagOr(flags, "task", "nc");
+
+  serve::ServerOptions server_options;
+  server_options.max_inflight = static_cast<size_t>(
+      cli::IntFlagOr(flags, "max-inflight", "64"));
+  server_options.max_retries =
+      static_cast<int>(cli::IntFlagOr(flags, "max-retries", "1"));
+  const long long batch_max = cli::IntFlagOr(flags, "batch-max", "1");
+  const long long batch_wait_us = cli::IntFlagOr(flags, "batch-wait-us", "0");
+  if (batch_max < 1 || batch_wait_us < 0) {
+    std::fprintf(stderr, "--batch-max must be >= 1, --batch-wait-us >= 0\n");
+    return 2;
+  }
+  server_options.batch_max = static_cast<size_t>(batch_max);
+  server_options.batch_wait_us = batch_wait_us;
+
+  serve::RequestOptions request;
+  if (flags.count("timeout-ms") > 0) {
+    request.timeout_s = cli::DoubleFlagOr(flags, "timeout-ms", "0") / 1e3;
+    if (request.timeout_s < 0) {
+      std::fprintf(stderr, "--timeout-ms must be >= 0\n");
+      return 2;
+    }
+  }
+
+  if (flags.count("print-config") > 0) {
+    cli::PrintEffectiveConfig(
+        "adamgnn_infer",
+        {{"task", cli::JsonQuote(task)},
+         {"serve_loop", flags.count("serve-loop") > 0 ? "true" : "false"},
+         {"max_inflight", std::to_string(server_options.max_inflight)},
+         {"max_retries", std::to_string(server_options.max_retries)},
+         {"batch_max", std::to_string(server_options.batch_max)},
+         {"batch_wait_us", std::to_string(server_options.batch_wait_us)},
+         {"timeout_ms",
+          std::to_string(flags.count("timeout-ms") > 0
+                             ? request.timeout_s * 1e3
+                             : -1.0)},
+         {"drain_timeout_ms",
+          cli::FlagOr(flags, "drain-timeout-ms", "2000")},
+         {"watchdog_factor", cli::FlagOr(flags, "watchdog-factor", "4")},
+         {"canary_tolerance",
+          cli::FlagOr(flags, "canary-tolerance", "-1")}});
+    return 0;
+  }
 
   const std::string load = FlagOr(flags, "load", "");
   if (load.empty()) {
     std::fprintf(stderr, "--load=CKPT is required\n");
     return 2;
   }
-  const std::string task = FlagOr(flags, "task", "nc");
   if (task != "nc" && task != "lp") {
     std::fprintf(stderr, "unknown --task=%s (expected nc or lp)\n",
                  task.c_str());
@@ -208,6 +532,11 @@ int main(int argc, char** argv) {
     }
   }
 
+  if (flags.count("serve-loop") > 0) {
+    return RunServeLoop(flags, task, load, g, config, server_options,
+                        request);
+  }
+
   // The init RNG only seeds weights that LoadParameters overwrites.
   util::Rng rng(static_cast<uint64_t>(
       cli::IntFlagOr(flags, "seed", cli::kDefaultSeed)));
@@ -226,49 +555,12 @@ int main(int argc, char** argv) {
     return 3;
   }
 
-  serve::ServerOptions server_options;
-  server_options.max_inflight = static_cast<size_t>(
-      cli::IntFlagOr(flags, "max-inflight", "64"));
-  server_options.max_retries =
-      static_cast<int>(cli::IntFlagOr(flags, "max-retries", "1"));
-  const long long batch_max = cli::IntFlagOr(flags, "batch-max", "1");
-  const long long batch_wait_us = cli::IntFlagOr(flags, "batch-wait-us", "0");
-  if (batch_max < 1 || batch_wait_us < 0) {
-    std::fprintf(stderr, "--batch-max must be >= 1, --batch-wait-us >= 0\n");
-    return 2;
-  }
-  server_options.batch_max = static_cast<size_t>(batch_max);
-  server_options.batch_wait_us = batch_wait_us;
   serve::ResilientServer server(model, server_options);
 
   // Optional deterministic fault injection for resilience drills. Armed
   // AFTER server construction so the counted allocations are serving work,
   // not the weight snapshot.
-  const int alloc_at = static_cast<int>(
-      cli::IntFlagOr(flags, "inject-alloc-fault-at", "0"));
-  const int alloc_count = static_cast<int>(
-      cli::IntFlagOr(flags, "inject-alloc-fault-count", "1"));
-  const int deadline_at = static_cast<int>(
-      cli::IntFlagOr(flags, "inject-deadline-at-check", "0"));
-  const int queue_delay_us = static_cast<int>(
-      cli::IntFlagOr(flags, "inject-queue-delay-us", "0"));
-  if (alloc_at > 0 || deadline_at > 0 || queue_delay_us > 0) {
-    util::FaultPlan fault_plan;
-    fault_plan.fail_alloc_at = alloc_at;
-    fault_plan.fail_alloc_count = alloc_count;
-    fault_plan.expire_deadline_at_check = deadline_at;
-    fault_plan.queue_delay_us = queue_delay_us;
-    util::FaultInjector::Instance().Arm(fault_plan);
-  }
-
-  serve::RequestOptions request;
-  if (flags.count("timeout-ms") > 0) {
-    request.timeout_s = cli::DoubleFlagOr(flags, "timeout-ms", "0") / 1e3;
-    if (request.timeout_s < 0) {
-      std::fprintf(stderr, "--timeout-ms must be >= 0\n");
-      return 2;
-    }
-  }
+  ArmFaultInjectionFromFlags(flags);
 
   // Cold request: plan construction + the full pooling cascade.
   util::Stopwatch cold_watch;

@@ -20,6 +20,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "autograd/loss_ops.h"
 #include "core/adapters.h"
@@ -38,18 +39,57 @@ namespace {
 using namespace adamgnn;  // CLI tool; library code never does this
 using cli::FlagOr;
 
-// Every flag the tool understands. Anything else — including a typo like
-// --epoch=5 — is rejected instead of silently ignored.
-const std::set<std::string>& KnownFlags() {
-  static const std::set<std::string>* kKnown = new std::set<std::string>{
-      "help",       "task",    "edges",   "features",
-      "labels",     "synthetic", "scale", "levels",
-      "hidden",     "epochs",  "lr",      "seed",
-      "threads",    "isa",     "save",    "checkpoint",
-      "checkpoint-every",      "resume",  "dump-predictions",
-      "metrics-out",
-  };
-  return *kKnown;
+// Single source of truth for the tool's flag surface: the known-flag set
+// (strict parsing — a typo like --epoch=5 is rejected, not ignored) and the
+// --help listing are both derived from this table, so every flag is
+// documented exactly once.
+const std::vector<cli::FlagSpec>& Specs() {
+  static const std::vector<cli::FlagSpec>* kSpecs =
+      new std::vector<cli::FlagSpec>{
+          {"help", "print this flag list and exit"},
+          {"task", "nc (node classification, default) or lp (link "
+                   "prediction)"},
+          {"edges", "edge-list input file (one `u v [w]` line per edge)"},
+          {"features", "node-feature file for --edges input"},
+          {"labels", "node-label file for --edges input (required for nc)"},
+          {"synthetic", "built-in dataset: acm|citeseer|cora|emails|dblp|"
+                        "wiki"},
+          {"scale", "synthetic dataset size multiplier (default 0.2)"},
+          {"levels", "pooling levels (default 3)"},
+          {"hidden", "hidden width (default 64)"},
+          {"epochs", "training epoch budget (default 200)"},
+          {"lr", "Adam learning rate (default 0.01)"},
+          {"seed", "RNG seed for init/splits/synthetic data (default 1)"},
+          {"threads", "kernel worker threads (default: ADAMGNN_NUM_THREADS "
+                      "env\nor hardware concurrency). Results are "
+                      "bitwise-identical\nat every thread count."},
+          {"isa", "scalar|sse2|avx2: force the SIMD kernel backend "
+                  "(default:\nADAMGNN_ISA env or best the CPU supports). "
+                  "Exits 2 if the\nCPU cannot run it. At a fixed ISA "
+                  "results are\nbitwise-reproducible; across ISAs dense "
+                  "matmuls may\ndiffer by a few ULPs (avx2 FMA)."},
+          {"save", "write the final weights as a checkpoint loadable by\n"
+                   "adamgnn_infer --load"},
+          {"checkpoint", "crash-safe resumable checkpoint file (parameters "
+                         "+\nAdam moments + RNG + epoch bookkeeping, "
+                         "atomic writes)"},
+          {"checkpoint-every", "also save every N epochs (default 10; the "
+                               "end of the\nrun always saves)"},
+          {"resume", "continue from --checkpoint if it exists; reproduces\n"
+                     "the uninterrupted run bitwise at the same seed and\n"
+                     "threads"},
+          {"dump-predictions", "(nc only) write every node's final argmax "
+                               "class as\n`node<TAB>class` lines, "
+                               "comparable with adamgnn_infer\noutput"},
+          {"print-config", "print the resolved effective configuration\n"
+                           "(threads, ISA, obs state, training params) as "
+                           "one JSON\nline on stdout and exit 0"},
+          {"metrics-out", "write run telemetry (epoch/phase timings, pool "
+                          "and\nworkspace stats, trace spans) as JSONL; "
+                          "\"-\" means\nstdout. The ADAMGNN_METRICS env "
+                          "var is the fallback\nwhen the flag is absent."},
+      };
+  return *kSpecs;
 }
 
 // Prints resume provenance and any divergence recoveries for a finished run.
@@ -155,42 +195,32 @@ int RunLinkPrediction(const graph::Graph& g,
 }  // namespace
 
 int main(int argc, char** argv) {
-  auto flags = cli::ParseFlags(argc, argv, KnownFlags());
+  auto flags = cli::ParseFlags(argc, argv, cli::FlagNames(Specs()));
   if (flags.count("help") > 0) {
     std::printf(
         "usage: adamgnn_train --task=nc|lp (--edges=F [--features=F] "
         "[--labels=F] | --synthetic=acm|citeseer|cora|emails|dblp|wiki "
-        "[--scale=S]) [--levels=K] [--hidden=D] [--epochs=N] [--lr=R] "
-        "[--seed=S] [--threads=N] [--save=PATH] [--dump-predictions=PATH] "
-        "[--checkpoint=PATH] [--checkpoint-every=N] [--resume]\n"
-        "  --dump-predictions=PATH  (nc only) write every node's final\n"
-        "                           argmax class as `node<TAB>class` lines,\n"
-        "                           comparable with adamgnn_infer output\n"
-        "  --threads=N  kernel worker threads (default: ADAMGNN_NUM_THREADS\n"
-        "               env or hardware concurrency). Results are\n"
-        "               bitwise-identical at every thread count.\n"
-        "  --isa=scalar|sse2|avx2  force the SIMD kernel backend (default:\n"
-        "               ADAMGNN_ISA env or best the CPU supports). Exits 2\n"
-        "               if the CPU cannot run the requested ISA. At a fixed\n"
-        "               ISA results are bitwise-reproducible; across ISAs\n"
-        "               dense matmuls may differ by a few ULPs (avx2 FMA).\n"
-        "  --checkpoint=PATH        crash-safe resumable checkpoint file\n"
-        "                           (parameters + Adam moments + RNG +\n"
-        "                           epoch bookkeeping, atomic writes)\n"
-        "  --checkpoint-every=N     also save every N epochs (default 10;\n"
-        "                           the end of the run always saves)\n"
-        "  --resume                 continue from --checkpoint if it exists;\n"
-        "                           reproduces the uninterrupted run\n"
-        "                           bitwise at the same seed and threads\n"
-        "  --metrics-out=FILE       write run telemetry (epoch/phase\n"
-        "                           timings, pool and workspace stats, trace\n"
-        "                           spans) as JSONL; \"-\" means stdout. The\n"
-        "                           ADAMGNN_METRICS env var is the fallback\n"
-        "                           when the flag is absent.\n");
+        "[--scale=S]) [flags...]\n"
+        "flags:\n");
+    cli::PrintFlagHelp(Specs());
     return 0;
   }
   cli::ConfigureThreadsOrDie(flags);
   cli::ConfigureIsaOrDie(flags);
+  if (flags.count("print-config") > 0) {
+    cli::PrintEffectiveConfig(
+        "adamgnn_train",
+        {{"task", cli::JsonQuote(cli::FlagOr(flags, "task", "nc"))},
+         {"epochs", cli::FlagOr(flags, "epochs", "200")},
+         {"lr", cli::FlagOr(flags, "lr", "0.01")},
+         {"seed", cli::FlagOr(flags, "seed", cli::kDefaultSeed)},
+         {"hidden", cli::FlagOr(flags, "hidden", cli::kDefaultHidden)},
+         {"levels", cli::FlagOr(flags, "levels", cli::kDefaultLevels)},
+         {"checkpoint_every",
+          cli::FlagOr(flags, "checkpoint-every", "10")},
+         {"resume", flags.count("resume") > 0 ? "true" : "false"}});
+    return 0;
+  }
   std::printf("kernel threads: %d\n", util::NumThreads());
   std::printf("kernel isa: %s (best supported: %s)\n",
               tensor::IsaName(tensor::ActiveIsa()),

@@ -1,0 +1,680 @@
+// Deterministic chaos soak for the serving stack: hot-swap registry +
+// server lifecycle + resilient server, driven by a seeded action mix that
+// interleaves traffic with injected faults. Usage:
+//
+//   chaos_soak --iters=200 --seed=7 [--dir=PATH] [--clients=2]
+//
+// Every iteration draws one action from a seeded RNG:
+//
+//   traffic burst        concurrent clients pin Current() and serve
+//   reload under load    TryLoadVersion(good ckpt) races live traffic
+//   bad reload           corrupt / torn / truncated / NaN-canary files must
+//                        be rejected with the serving version untouched
+//   rollback             Rollback() must restore the last-known-good
+//                        version's outputs bitwise
+//   deadline storm       FaultPlan::expire_deadline_at_check fires request
+//                        deadlines at exact cooperative checkpoints
+//   alloc window         FaultPlan::fail_alloc_at simulates allocation
+//                        pressure across a counted window
+//   watchdog drill       a tracked request past its hard bound must be
+//                        cancelled by SweepNow()
+//   drain cycle          BeginDrain → admission rejects Unavailable →
+//                        WaitForDrain (with a mid-drain reload) → Reset →
+//                        MarkReady, all in one process
+//
+// Invariants enforced (any break => nonzero exit):
+//
+//   1. no crash, no wedge: the process finishes all iterations;
+//   2. every response is either (a) a full-mode result bitwise-identical to
+//      the reference outputs of the version the client pinned, (b) an
+//      explicitly-tagged degraded result, or (c) a taxonomy error
+//      (DeadlineExceeded / ResourceExhausted / Unavailable / Cancelled) —
+//      never Internal, never a blend of two versions;
+//   3. a rejected reload leaves Current() untouched (same fingerprint,
+//      still serving bitwise-correct results);
+//   4. Rollback() restores bitwise-identical outputs;
+//   5. a tracked request past its watchdog hard bound is cancelled by the
+//      next sweep — nothing stays stuck.
+//
+// The action SEQUENCE is fully deterministic from --seed. Thread
+// interleaving within a burst is not (which request lands on which version
+// during a swap), but every invariant above is scheduling-independent:
+// each response is validated against the version its client pinned.
+
+#include <atomic>
+#include <cinttypes>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <limits>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/adamgnn_model.h"
+#include "core/graph_plan.h"
+#include "core/inference_session.h"
+#include "data/node_datasets.h"
+#include "graph/graph.h"
+#include "nn/serialize.h"
+#include "obs/metrics.h"
+#include "serve/lifecycle.h"
+#include "serve/model_registry.h"
+#include "serve/server.h"
+#include "tensor/matrix.h"
+#include "tools/cli_common.h"
+#include "util/cancel.h"
+#include "util/fault_injection.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace {
+
+using adamgnn::cli::DoubleFlagOr;
+using adamgnn::cli::FlagMap;
+using adamgnn::cli::FlagOr;
+using adamgnn::cli::FlagSpec;
+using adamgnn::cli::IntFlagOr;
+
+std::vector<FlagSpec> Specs() {
+  return {
+      {"help", "print this help and exit"},
+      {"iters", "soak iterations (default 200)"},
+      {"seed", "RNG seed driving the action mix (default 1)"},
+      {"dir", "scratch directory for checkpoint files (default "
+              "\"chaos_soak.tmp\", created files are removed on exit)"},
+      {"clients", "concurrent client threads per traffic burst (default 2)"},
+      {"scale", "synthetic catalog graph scale (default 0.05)"},
+      {"print-config", "print resolved run config as one JSON line and exit"},
+      {"threads", "kernel thread-pool size (default: hardware)"},
+  };
+}
+
+// ---- failure collection ------------------------------------------------
+
+class SoakState {
+ public:
+  void Fail(const std::string& what) {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++failures_;
+    std::fprintf(stderr, "chaos-soak: INVARIANT BREAK: %s\n", what.c_str());
+  }
+  int failures() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return failures_;
+  }
+
+ private:
+  mutable std::mutex mu_;
+  int failures_ = 0;
+};
+
+bool BitwiseEqual(const adamgnn::tensor::Matrix& a,
+                  const adamgnn::tensor::Matrix& b) {
+  if (a.rows() != b.rows() || a.cols() != b.cols()) return false;
+  return std::memcmp(a.data(), b.data(),
+                     a.rows() * a.cols() * sizeof(double)) == 0;
+}
+
+// ---- checkpoint fixtures -----------------------------------------------
+
+adamgnn::util::Status WriteBytes(const std::string& path,
+                                 const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) {
+    return adamgnn::util::Status::Internal("cannot open for writing: " + path);
+  }
+  const size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    return adamgnn::util::Status::Internal("short write: " + path);
+  }
+  return adamgnn::util::Status::OK();
+}
+
+adamgnn::util::Result<std::string> ReadBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return adamgnn::util::Status::NotFound("cannot open: " + path);
+  }
+  std::string bytes;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) bytes.append(buf, n);
+  std::fclose(f);
+  return bytes;
+}
+
+/// A good checkpoint is just a freshly initialized model at `init_seed`
+/// saved through the real v2 writer — valid weights, distinct per seed.
+adamgnn::util::Status MakeGoodCheckpoint(
+    const adamgnn::core::AdamGnnConfig& config, uint64_t init_seed,
+    const std::string& path) {
+  adamgnn::util::Rng rng(init_seed);
+  adamgnn::core::AdamGnn model(config, &rng);
+  return adamgnn::nn::SaveParameters(model.Parameters(), path);
+}
+
+/// NaN-poisoned weights: structurally a perfect checkpoint, but the canary
+/// forward produces non-finite outputs, so the gate must reject it.
+adamgnn::util::Status MakeNanCheckpoint(
+    const adamgnn::core::AdamGnnConfig& config, uint64_t init_seed,
+    const std::string& path) {
+  adamgnn::util::Rng rng(init_seed);
+  adamgnn::core::AdamGnn model(config, &rng);
+  std::vector<adamgnn::autograd::Variable> params = model.Parameters();
+  // Poison every tensor wholesale: a single poisoned element can land in a
+  // weight the forward never touches (an unselected ego's attention row),
+  // which would make this a legitimately loadable checkpoint.
+  for (adamgnn::autograd::Variable& p : params) {
+    adamgnn::tensor::Matrix& value = p.mutable_value();
+    const size_t n = value.rows() * value.cols();
+    for (size_t i = 0; i < n; ++i) {
+      value.data()[i] = std::numeric_limits<double>::quiet_NaN();
+    }
+  }
+  return adamgnn::nn::SaveParameters(params, path);
+}
+
+/// Derives the corrupt-file fixtures from a good checkpoint, using
+/// InspectCheckpoint for the section geometry instead of hardcoded offsets.
+adamgnn::util::Status MakeBadCheckpoints(const std::string& good_path,
+                                         const std::string& dir,
+                                         std::vector<std::string>* bad_paths) {
+  ADAMGNN_ASSIGN_OR_RETURN(std::string bytes, ReadBytes(good_path));
+  ADAMGNN_ASSIGN_OR_RETURN(adamgnn::nn::CheckpointInfo info,
+                           adamgnn::nn::InspectCheckpoint(good_path));
+  if (info.section_payload_sizes.empty()) {
+    return adamgnn::util::Status::Internal("good checkpoint has no sections");
+  }
+  // Header (8) + section frame header (4 + 8): flip a byte in the middle of
+  // the first section payload => CRC mismatch.
+  const size_t payload_start = 8 + 4 + 8;
+  const size_t flip_at = payload_start + info.section_payload_sizes[0] / 2;
+  std::string corrupt = bytes;
+  corrupt[flip_at] = static_cast<char>(corrupt[flip_at] ^ 0x5a);
+  ADAMGNN_RETURN_NOT_OK(WriteBytes(dir + "/corrupt.ckpt", corrupt));
+  bad_paths->push_back(dir + "/corrupt.ckpt");
+
+  // Torn mid-payload: the section frame promises more bytes than exist.
+  ADAMGNN_RETURN_NOT_OK(
+      WriteBytes(dir + "/truncated.ckpt", bytes.substr(0, flip_at)));
+  bad_paths->push_back(dir + "/truncated.ckpt");
+
+  // Torn mid-header.
+  ADAMGNN_RETURN_NOT_OK(WriteBytes(dir + "/torn.ckpt", bytes.substr(0, 6)));
+  bad_paths->push_back(dir + "/torn.ckpt");
+
+  // Wrong magic entirely.
+  ADAMGNN_RETURN_NOT_OK(
+      WriteBytes(dir + "/garbage.ckpt", "this is not a checkpoint\n"));
+  bad_paths->push_back(dir + "/garbage.ckpt");
+
+  // A path that does not exist.
+  bad_paths->push_back(dir + "/missing.ckpt");
+  return adamgnn::util::Status::OK();
+}
+
+// ---- reference outputs --------------------------------------------------
+
+struct Reference {
+  adamgnn::tensor::Matrix embeddings;
+  adamgnn::tensor::Matrix logits;
+};
+
+/// Loads `path` exactly the way the registry does (scratch model at
+/// scratch_seed, v2 loader) and runs a standalone frozen session over every
+/// catalog plan. Full-mode server responses from the version published off
+/// this file must match these matrices bitwise.
+adamgnn::util::Result<uint64_t> ComputeReferences(
+    const adamgnn::core::AdamGnnConfig& config, uint64_t scratch_seed,
+    const std::string& path,
+    const std::vector<std::shared_ptr<const adamgnn::core::GraphPlan>>& plans,
+    std::map<uint64_t, std::vector<Reference>>* refs_by_fingerprint) {
+  adamgnn::util::Rng rng(scratch_seed);
+  adamgnn::core::AdamGnn model(config, &rng);
+  std::vector<adamgnn::autograd::Variable> params = model.Parameters();
+  ADAMGNN_RETURN_NOT_OK(adamgnn::nn::LoadParameters(path, &params));
+  adamgnn::core::InferenceSession session(model);
+  std::vector<Reference> refs;
+  for (const auto& plan : plans) {
+    const adamgnn::core::InferenceSession::Result* out = nullptr;
+    ADAMGNN_RETURN_NOT_OK(session.TryRun(plan, &out));
+    refs.push_back(Reference{out->embeddings, out->logits});
+  }
+  const uint64_t fp = session.WeightsFingerprint();
+  (*refs_by_fingerprint)[fp] = std::move(refs);
+  return fp;
+}
+
+// ---- traffic ------------------------------------------------------------
+
+struct SoakEnv {
+  std::vector<adamgnn::graph::Graph> graphs;
+  std::map<uint64_t, std::vector<Reference>> refs;  // fingerprint -> per-graph
+  adamgnn::serve::ServerLifecycle* lifecycle = nullptr;
+  adamgnn::serve::ModelRegistry* registry = nullptr;
+  SoakState* state = nullptr;
+  std::atomic<long long> answered{0};
+  std::atomic<long long> full{0};
+  std::atomic<long long> degraded{0};
+  std::atomic<long long> shed{0};
+};
+
+bool IsTaxonomyError(const adamgnn::util::Status& s) {
+  switch (s.code()) {
+    case adamgnn::util::StatusCode::kDeadlineExceeded:
+    case adamgnn::util::StatusCode::kResourceExhausted:
+    case adamgnn::util::StatusCode::kUnavailable:
+    case adamgnn::util::StatusCode::kCancelled:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One client's burst: pin Current(), serve, validate. Returns the number
+/// of FULL-mode responses (callers that need a full response loop on this).
+long long ServeBurst(SoakEnv* env, uint64_t seed, int requests,
+                     double timeout_s) {
+  adamgnn::util::Rng rng(seed);
+  long long full_here = 0;
+  for (int i = 0; i < requests; ++i) {
+    const size_t graph_idx = static_cast<size_t>(
+        rng.NextUint64(static_cast<uint64_t>(env->graphs.size())));
+    std::shared_ptr<adamgnn::serve::ModelVersion> version =
+        env->registry->Current();
+    if (version == nullptr) {
+      env->state->Fail("no published version during traffic");
+      return full_here;
+    }
+    adamgnn::serve::RequestOptions request;
+    request.timeout_s = timeout_s;
+    adamgnn::util::Result<adamgnn::serve::ServeResult> served =
+        version->server().Serve(env->graphs[graph_idx], request);
+    if (!served.ok()) {
+      if (!IsTaxonomyError(served.status())) {
+        env->state->Fail("non-taxonomy serve error: " +
+                         served.status().ToString());
+      } else {
+        env->shed.fetch_add(1, std::memory_order_relaxed);
+      }
+      continue;
+    }
+    env->answered.fetch_add(1, std::memory_order_relaxed);
+    const adamgnn::serve::ServeResult& result = served.ValueOrDie();
+    if (result.mode != adamgnn::serve::ServeMode::kFull) {
+      env->degraded.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    ++full_here;
+    env->full.fetch_add(1, std::memory_order_relaxed);
+    auto it = env->refs.find(version->weights_fingerprint());
+    if (it == env->refs.end()) {
+      char fp_hex[32];
+      std::snprintf(fp_hex, sizeof(fp_hex), "%016" PRIx64,
+                    version->weights_fingerprint());
+      env->state->Fail("response from unknown version fingerprint " +
+                       std::string(fp_hex) + " (version " +
+                       std::to_string(version->id()) + " from " +
+                       version->source_path() + ")");
+      continue;
+    }
+    const Reference& ref = it->second[graph_idx];
+    if (!BitwiseEqual(result.embeddings, ref.embeddings) ||
+        !BitwiseEqual(result.logits, ref.logits)) {
+      env->state->Fail(
+          "full-mode response does not match pinned version " +
+          std::to_string(version->id()) +
+          " bitwise (old/new blend or corrupted hot-swap)");
+    }
+  }
+  return full_here;
+}
+
+void ParallelBurst(SoakEnv* env, uint64_t seed, int clients,
+                   int requests_per_client, double timeout_s) {
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(clients));
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([env, seed, c, requests_per_client, timeout_s] {
+      ServeBurst(env, seed * 1000003u + static_cast<uint64_t>(c),
+                 requests_per_client, timeout_s);
+    });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+/// Serves until a FULL-mode (bitwise-validated) response is produced —
+/// bounded, because faults are disarmed and the breaker's cooldown is
+/// request-counted. Used after rollback / bad-reload checks, where "still
+/// serving the right bits" is the invariant.
+void RequireFullResponse(SoakEnv* env, uint64_t seed, const char* why) {
+  for (int attempt = 0; attempt < 100; ++attempt) {
+    if (ServeBurst(env, seed + static_cast<uint64_t>(attempt), 1, -1.0) > 0) {
+      return;
+    }
+  }
+  env->state->Fail(std::string("could not obtain a full-mode response (") +
+                   why + ")");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace adamgnn;  // NOLINT
+
+  const std::vector<FlagSpec> specs = Specs();
+  const FlagMap flags = cli::ParseFlags(argc, argv, cli::FlagNames(specs));
+  if (flags.count("help") > 0) {
+    std::printf("chaos_soak: deterministic fault-injection soak for the "
+                "serving stack\n\nusage:\n  chaos_soak --iters=200 --seed=7 "
+                "[--dir=PATH] [--clients=2]\n\nexit codes: 0 all invariants "
+                "held, 1 invariant break or setup failure,\n2 bad flags\n\n"
+                "flags:\n");
+    cli::PrintFlagHelp(specs);
+    return 0;
+  }
+  cli::ConfigureThreadsOrDie(flags);
+
+  const long long iters = IntFlagOr(flags, "iters", "200");
+  const uint64_t seed =
+      static_cast<uint64_t>(IntFlagOr(flags, "seed", cli::kDefaultSeed));
+  const std::string dir = FlagOr(flags, "dir", "chaos_soak.tmp");
+  const int clients = static_cast<int>(IntFlagOr(flags, "clients", "2"));
+  const double scale = DoubleFlagOr(flags, "scale", "0.05");
+  if (iters < 1 || clients < 1 || scale <= 0.0) {
+    std::fprintf(stderr, "--iters/--clients/--scale must be positive\n");
+    return 2;
+  }
+  if (flags.count("print-config") > 0) {
+    cli::PrintEffectiveConfig(
+        "chaos_soak", {{"iters", std::to_string(iters)},
+                       {"seed", std::to_string(seed)},
+                       {"clients", std::to_string(clients)},
+                       {"scale", std::to_string(scale)},
+                       {"dir", cli::JsonQuote(dir)}});
+    return 0;
+  }
+
+  // The scratch dir must exist; create it with stdio-free mkdir via fopen
+  // probing is not possible, so shell out to the C library's mkdir.
+  std::string mkdir_cmd = "mkdir -p '" + dir + "'";
+  if (std::system(mkdir_cmd.c_str()) != 0) {
+    std::fprintf(stderr, "chaos-soak: cannot create --dir=%s\n", dir.c_str());
+    return 1;
+  }
+
+  // ---- catalog: three seed-variants of a small synthetic graph ----------
+  std::vector<graph::Graph> graphs;
+  for (uint64_t s = 0; s < 3; ++s) {
+    util::Result<data::NodeDataset> d =
+        data::MakeNodeDataset(data::NodeDatasetId::kCora, seed + s, scale);
+    if (!d.ok()) {
+      std::fprintf(stderr, "chaos-soak: dataset: %s\n",
+                   d.status().ToString().c_str());
+      return 1;
+    }
+    graphs.push_back(std::move(d.ValueOrDie().graph));
+  }
+  for (const graph::Graph& g : graphs) {
+    if (g.feature_dim() != graphs[0].feature_dim()) {
+      std::fprintf(stderr, "chaos-soak: catalog feature dims diverge\n");
+      return 1;
+    }
+  }
+
+  core::AdamGnnConfig config;
+  config.in_dim = graphs[0].feature_dim();
+  config.hidden_dim = 16;
+  config.num_classes = static_cast<size_t>(graphs[0].num_classes());
+  config.num_levels = 2;
+  config.lambda = 1;
+
+  // ---- checkpoint fixtures + per-version references --------------------
+  const uint64_t scratch_seed = seed + 977;
+  std::vector<std::string> good_paths;
+  std::vector<std::string> cleanup_paths;
+  std::vector<std::shared_ptr<const core::GraphPlan>> plans;
+  for (const graph::Graph& g : graphs) {
+    util::Result<std::shared_ptr<const core::GraphPlan>> plan =
+        core::GraphPlan::TryBuild(g, config.lambda);
+    if (!plan.ok()) {
+      std::fprintf(stderr, "chaos-soak: plan: %s\n",
+                   plan.status().ToString().c_str());
+      return 1;
+    }
+    plans.push_back(plan.ValueOrDie());
+  }
+  std::map<uint64_t, std::vector<Reference>> refs;
+  std::vector<uint64_t> good_fingerprints;
+  for (uint64_t v = 0; v < 3; ++v) {
+    const std::string path = dir + "/good" + std::to_string(v) + ".ckpt";
+    util::Status st = MakeGoodCheckpoint(config, seed + 101 * (v + 1), path);
+    if (st.ok()) {
+      util::Result<uint64_t> fp =
+          ComputeReferences(config, scratch_seed, path, plans, &refs);
+      if (!fp.ok()) st = fp.status();
+      if (fp.ok()) good_fingerprints.push_back(fp.ValueOrDie());
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "chaos-soak: fixture %s: %s\n", path.c_str(),
+                   st.ToString().c_str());
+      return 1;
+    }
+    good_paths.push_back(path);
+    cleanup_paths.push_back(path);
+  }
+  std::vector<std::string> bad_paths;
+  {
+    util::Status st = MakeNanCheckpoint(config, seed + 31337,
+                                        dir + "/canary_nan.ckpt");
+    if (st.ok()) {
+      bad_paths.push_back(dir + "/canary_nan.ckpt");
+      st = MakeBadCheckpoints(good_paths[0], dir, &bad_paths);
+    }
+    if (!st.ok()) {
+      std::fprintf(stderr, "chaos-soak: bad fixtures: %s\n",
+                   st.ToString().c_str());
+      return 1;
+    }
+  }
+  for (const std::string& p : bad_paths) cleanup_paths.push_back(p);
+
+  // ---- serving stack ----------------------------------------------------
+  serve::LifecycleOptions lifecycle_options;
+  lifecycle_options.drain_timeout_s = 2.0;
+  lifecycle_options.watchdog_factor = 4.0;
+  lifecycle_options.watchdog_poll_s = 0.001;
+  serve::ServerLifecycle lifecycle(lifecycle_options);
+
+  serve::ServerOptions server_options;
+  server_options.max_inflight = 16;
+  server_options.max_retries = 1;
+  server_options.allow_degraded = true;
+  server_options.lifecycle = &lifecycle;
+
+  serve::ModelRegistryOptions registry_options;
+  registry_options.config = config;
+  registry_options.server = server_options;
+  registry_options.scratch_seed = scratch_seed;
+  // Freshly initialized models diverge arbitrarily from each other, so the
+  // divergence gate stays off; the NaN and shape gates (the crash-safety
+  // ones) always run.
+  registry_options.canary_tolerance = -1.0;
+  serve::ModelRegistry registry(registry_options, graphs[0]);
+
+  SoakState state;
+  SoakEnv env;
+  env.graphs = graphs;
+  env.refs = refs;
+  env.lifecycle = &lifecycle;
+  env.registry = &registry;
+  env.state = &state;
+
+  {
+    util::Result<std::shared_ptr<serve::ModelVersion>> first =
+        registry.TryLoadVersion(good_paths[0]);
+    if (!first.ok()) {
+      std::fprintf(stderr, "chaos-soak: initial load: %s\n",
+                   first.status().ToString().c_str());
+      return 1;
+    }
+  }
+  lifecycle.MarkReady();
+  lifecycle.StartWatchdog();
+
+  std::fprintf(stderr,
+               "chaos-soak: start iters=%lld seed=%" PRIu64
+               " clients=%d versions=3 graphs=%zu\n",
+               iters, seed, clients, graphs.size());
+
+  // ---- the soak loop ----------------------------------------------------
+  util::Rng rng(seed * 2654435761u + 1);
+  long long actions[8] = {};
+  for (long long iter = 0; iter < iters; ++iter) {
+    const uint64_t roll = rng.NextUint64(100);
+    const uint64_t burst_seed = rng.Next();
+    if (roll < 40) {
+      // Plain traffic burst.
+      ++actions[0];
+      ParallelBurst(&env, burst_seed, clients, 6, -1.0);
+    } else if (roll < 55) {
+      // Good reload racing live traffic: responses must stay old-or-new.
+      ++actions[1];
+      std::thread traffic(
+          [&env, burst_seed, clients] {
+            ParallelBurst(&env, burst_seed, clients, 6, -1.0);
+          });
+      const std::string& path = good_paths[static_cast<size_t>(
+          rng.NextUint64(static_cast<uint64_t>(good_paths.size())))];
+      util::Result<std::shared_ptr<serve::ModelVersion>> loaded =
+          registry.TryLoadVersion(path);
+      if (!loaded.ok()) {
+        state.Fail("good reload rejected: " + loaded.status().ToString());
+      }
+      traffic.join();
+    } else if (roll < 65) {
+      // Bad reload: rejected, current untouched, still serving right bits.
+      ++actions[2];
+      std::shared_ptr<serve::ModelVersion> before = registry.Current();
+      const std::string& path = bad_paths[static_cast<size_t>(
+          rng.NextUint64(static_cast<uint64_t>(bad_paths.size())))];
+      util::Result<std::shared_ptr<serve::ModelVersion>> loaded =
+          registry.TryLoadVersion(path);
+      if (loaded.ok()) {
+        state.Fail("bad checkpoint " + path + " was accepted");
+      }
+      std::shared_ptr<serve::ModelVersion> after = registry.Current();
+      if (before->id() != after->id() ||
+          before->weights_fingerprint() != after->weights_fingerprint()) {
+        state.Fail("rejected reload displaced the serving version");
+      }
+      RequireFullResponse(&env, burst_seed, "after rejected reload");
+    } else if (roll < 75) {
+      // Rollback restores the last-known-good version bitwise.
+      ++actions[3];
+      std::shared_ptr<serve::ModelVersion> previous = registry.Previous();
+      util::Status st = registry.Rollback();
+      if (previous == nullptr) {
+        if (st.ok()) state.Fail("Rollback succeeded with no previous");
+      } else if (!st.ok()) {
+        state.Fail("Rollback failed: " + st.ToString());
+      } else {
+        std::shared_ptr<serve::ModelVersion> now = registry.Current();
+        if (now->id() != previous->id() ||
+            now->weights_fingerprint() != previous->weights_fingerprint()) {
+          state.Fail("Rollback did not restore last-known-good");
+        }
+        RequireFullResponse(&env, burst_seed, "after rollback");
+      }
+    } else if (roll < 85) {
+      // Deadline storm: the injected clock expires request deadlines at an
+      // exact cooperative checkpoint.
+      ++actions[4];
+      const int at = static_cast<int>(1 + rng.NextUint64(32));
+      {
+        util::FaultPlan plan;
+        plan.expire_deadline_at_check = at;
+        util::ScopedFaultPlan armed(plan);
+        ParallelBurst(&env, burst_seed, clients, 4, 30.0);
+      }
+    } else if (roll < 92) {
+      // Allocation-pressure window.
+      ++actions[5];
+      util::FaultPlan plan;
+      plan.fail_alloc_at = static_cast<int>(1 + rng.NextUint64(16));
+      plan.fail_alloc_count = static_cast<int>(1 + rng.NextUint64(8));
+      util::ScopedFaultPlan armed(plan);
+      ParallelBurst(&env, burst_seed, clients, 4, -1.0);
+    } else if (roll < 96) {
+      // Watchdog drill: a tracked request past its hard bound must be
+      // cancelled by the next sweep — nothing can stay stuck.
+      ++actions[6];
+      serve::InflightGuard guard = lifecycle.Track(1e-9);
+      util::CancelToken token = util::CancelToken::Cancellable();
+      guard.BindToken(token);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      lifecycle.SweepNow();
+      if (!token.cancelled()) {
+        state.Fail("watchdog sweep left an over-bound request running");
+      }
+    } else {
+      // Drain cycle with a mid-drain reload, then back to Ready.
+      ++actions[7];
+      lifecycle.BeginDrain();
+      std::shared_ptr<serve::ModelVersion> version = registry.Current();
+      util::Result<serve::ServeResult> rejected =
+          version->server().Serve(env.graphs[0], {});
+      if (rejected.ok() ||
+          rejected.status().code() != util::StatusCode::kUnavailable) {
+        state.Fail("admission during drain was not Unavailable");
+      }
+      // A reload while draining must not wedge or corrupt the registry.
+      util::Result<std::shared_ptr<serve::ModelVersion>> mid =
+          registry.TryLoadVersion(good_paths[static_cast<size_t>(
+              rng.NextUint64(static_cast<uint64_t>(good_paths.size())))]);
+      if (!mid.ok()) {
+        state.Fail("mid-drain reload rejected: " + mid.status().ToString());
+      }
+      if (!lifecycle.WaitForDrain()) {
+        state.Fail("drain cancelled stragglers with no traffic in flight");
+      }
+      lifecycle.MarkStopped();
+      lifecycle.Reset();
+      lifecycle.MarkReady();
+      if (lifecycle.state() != serve::LifecycleState::kReady) {
+        state.Fail("lifecycle did not return to Ready after drain cycle");
+      }
+      RequireFullResponse(&env, burst_seed, "after drain cycle");
+    }
+  }
+
+  // ---- teardown: one clean final drain ----------------------------------
+  lifecycle.BeginDrain();
+  if (!lifecycle.WaitForDrain()) {
+    state.Fail("final drain cancelled stragglers");
+  }
+  lifecycle.StopWatchdog();
+  lifecycle.MarkStopped();
+
+  for (const std::string& p : cleanup_paths) std::remove(p.c_str());
+
+  std::fprintf(stderr,
+               "chaos-soak: done iters=%lld answered=%lld full=%lld "
+               "degraded=%lld shed=%lld versions=%zu failures=%d\n",
+               iters, env.answered.load(), env.full.load(),
+               env.degraded.load(), env.shed.load(), registry.num_versions(),
+               state.failures());
+  std::fprintf(stderr,
+               "chaos-soak: actions traffic=%lld reload=%lld bad_reload=%lld "
+               "rollback=%lld deadline=%lld alloc=%lld watchdog=%lld "
+               "drain=%lld\n",
+               actions[0], actions[1], actions[2], actions[3], actions[4],
+               actions[5], actions[6], actions[7]);
+  return state.failures() == 0 ? 0 : 1;
+}

@@ -1,7 +1,7 @@
 // check_metrics — schema validator for the JSONL emitted by --metrics-out.
 //
 // Usage:
-//   check_metrics --file=metrics.jsonl [--mode=any|train|infer|off]
+//   check_metrics --file=metrics.jsonl [--mode=any|train|infer|serve|off]
 //
 // Validates every line against the export schema (see src/obs/export.h):
 //   - exactly one leading meta line with version/compiled/enabled
@@ -13,8 +13,10 @@
 // and then applies mode-specific liveness checks: `train` requires the
 // trainer's epoch/phase metrics and pool/workspace stats to be present and
 // non-trivial, `infer` requires request-latency and plan-cache metrics,
-// `off` requires a compiled:false meta line and nothing else. Exits 0 on
-// success, 1 with a diagnostic on the first violation.
+// `serve` requires the serve-loop lifecycle/reload/watchdog families with a
+// balanced reload ledger, `off` requires a compiled:false meta line and
+// nothing else. Exits 0 on success, 1 with a diagnostic on the first
+// violation.
 //
 // The parser is a deliberately small recursive-descent JSON subset reader
 // (objects, arrays, strings, numbers, booleans, null) — enough for our own
@@ -476,6 +478,39 @@ int CheckInferMode(const ParsedFile& file) {
   return rc;
 }
 
+// serve-loop mode: the long-lived server path (adamgnn_infer --serve-loop).
+// Beyond raw serve traffic, the lifecycle must have moved through
+// Starting→Ready→Draining→Stopped (>= 3 transitions), at least one drain
+// must have completed, the watchdog must have swept at least once, and the
+// hot-swap registry's ledger must balance: every reload attempt is either a
+// success or a rejection.
+int CheckServeMode(const ParsedFile& file) {
+  int rc = 0;
+  rc |= RequireCounter(file, "serve.requests", 1.0);
+  rc |= RequireHistogramCount(file, "serve.request_seconds", 1.0);
+  rc |= RequireCounter(file, "serve.lifecycle.transitions", 3.0);
+  rc |= RequireGauge(file, "serve.lifecycle.state");
+  rc |= RequireCounter(file, "serve.lifecycle.drains", 1.0);
+  rc |= RequireCounter(file, "serve.reload.attempts", 1.0);
+  rc |= RequireGauge(file, "serve.reload.current_version");
+  rc |= RequireCounter(file, "serve.watchdog.sweeps", 1.0);
+  const auto counter_or_zero = [&file](const char* name) {
+    auto it = file.counters.find(name);
+    return it == file.counters.end() ? 0.0 : it->second;
+  };
+  const double attempts = counter_or_zero("serve.reload.attempts");
+  const double success = counter_or_zero("serve.reload.success");
+  const double rejected = counter_or_zero("serve.reload.rejected");
+  if (attempts != success + rejected) {
+    std::fprintf(stderr,
+                 "check_metrics: serve.reload.attempts (%g) != success (%g) "
+                 "+ rejected (%g)\n",
+                 attempts, success, rejected);
+    rc = 1;
+  }
+  return rc;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -490,15 +525,16 @@ int main(int argc, char** argv) {
     } else {
       std::fprintf(stderr,
                    "usage: check_metrics --file=metrics.jsonl "
-                   "[--mode=any|train|infer|off]\n");
+                   "[--mode=any|train|infer|serve|off]\n");
       return 2;
     }
   }
   if (file_path.empty() ||
-      (mode != "any" && mode != "train" && mode != "infer" && mode != "off")) {
+      (mode != "any" && mode != "train" && mode != "infer" &&
+       mode != "serve" && mode != "off")) {
     std::fprintf(stderr,
                  "usage: check_metrics --file=metrics.jsonl "
-                 "[--mode=any|train|infer|off]\n");
+                 "[--mode=any|train|infer|serve|off]\n");
     return 2;
   }
 
@@ -599,6 +635,8 @@ int main(int argc, char** argv) {
     rc = CheckTrainMode(file);
   } else if (mode == "infer") {
     rc = CheckInferMode(file);
+  } else if (mode == "serve") {
+    rc = CheckServeMode(file);
   }
   if (rc == 0) {
     std::printf(

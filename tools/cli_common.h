@@ -18,10 +18,12 @@
 #include <set>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "data/node_datasets.h"
 #include "graph/io.h"
 #include "obs/export.h"
+#include "obs/metrics.h"
 #include "tensor/isa.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -37,6 +39,95 @@ inline constexpr const char* kDefaultSeed = "1";
 inline constexpr const char* kDefaultScale = "0.2";
 
 using FlagMap = std::map<std::string, std::string>;
+
+/// One CLI flag: its name and the --help text. Each CLI declares a single
+/// FlagSpec table and derives BOTH the known-flag set (for strict parsing)
+/// and the --help listing from it, so a flag cannot exist without help text,
+/// appear twice, or be documented but unparseable.
+struct FlagSpec {
+  const char* name;  ///< without the leading "--"
+  const char* help;  ///< one or more lines; each is indented under the flag
+};
+
+/// The known-flag set for ParseFlags, derived from the spec table. A
+/// duplicate name in the table is a programming error: exit 2 loudly (this
+/// runs before any parsing, so the mistake cannot ship silently).
+inline std::set<std::string> FlagNames(const std::vector<FlagSpec>& specs) {
+  std::set<std::string> names;
+  for (const FlagSpec& spec : specs) {
+    if (!names.insert(spec.name).second) {
+      std::fprintf(stderr, "duplicate flag spec: --%s\n", spec.name);
+      std::exit(2);
+    }
+  }
+  return names;
+}
+
+/// Prints every flag exactly once, in table order: `  --name` followed by
+/// the indented help lines (the help string may contain '\n').
+inline void PrintFlagHelp(const std::vector<FlagSpec>& specs) {
+  for (const FlagSpec& spec : specs) {
+    std::printf("  --%s\n", spec.name);
+    const std::string help = spec.help;
+    size_t start = 0;
+    while (start <= help.size()) {
+      const size_t end = help.find('\n', start);
+      const std::string line =
+          help.substr(start, end == std::string::npos ? end : end - start);
+      if (!line.empty()) std::printf("      %s\n", line.c_str());
+      if (end == std::string::npos) break;
+      start = end + 1;
+    }
+  }
+}
+
+/// Minimal JSON string escaping for PrintEffectiveConfig values.
+inline std::string JsonQuote(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      default:
+        out += c;
+    }
+  }
+  out += "\"";
+  return out;
+}
+
+/// Prints the resolved effective configuration as ONE JSON line on stdout:
+/// the shared process state (threads, ISA, observability) plus the
+/// tool-specific entries in `extras` (values must already be JSON — use
+/// JsonQuote for strings). Call AFTER ConfigureThreadsOrDie /
+/// ConfigureIsaOrDie so the printed values are what the run would use.
+inline void PrintEffectiveConfig(
+    const std::string& tool,
+    const std::vector<std::pair<std::string, std::string>>& extras) {
+  std::string line = "{\"tool\":" + JsonQuote(tool);
+  line += ",\"threads\":" + std::to_string(util::NumThreads());
+  line += ",\"effective_parallelism\":" +
+          std::to_string(util::EffectiveParallelism());
+  line += ",\"isa\":" + JsonQuote(tensor::IsaName(tensor::ActiveIsa()));
+  line += ",\"best_isa\":" +
+          JsonQuote(tensor::IsaName(tensor::BestSupportedIsa()));
+  line += std::string(",\"obs_compiled\":") +
+          (obs::Compiled() ? "true" : "false");
+  line += std::string(",\"obs_enabled\":") +
+          (obs::Enabled() ? "true" : "false");
+  for (const auto& [key, value] : extras) {
+    line += "," + JsonQuote(key) + ":" + value;
+  }
+  line += "}";
+  std::printf("%s\n", line.c_str());
+}
 
 /// Parses --name / --name=value arguments. Anything not in `known` —
 /// including a typo like --epoch=5 — is rejected instead of ignored.
